@@ -1,0 +1,137 @@
+//! Generic elementwise array operations, as the CM Fortran compiler would
+//! emit them.
+//!
+//! The Gordon Bell seismic code's main loop is "a stencil pattern, adding
+//! in the tenth term, and then performing two assignment statements to
+//! shift the time-step data into the correct variables for the next
+//! iteration" (§7). The tenth term and those copies are ordinary
+//! elementwise CM Fortran — generic vector code, not compiled stencils —
+//! so they are modeled here with the slicewise cost constants.
+
+use cmcc_cm2::machine::Machine;
+use cmcc_cm2::timing::{CycleBreakdown, Measurement};
+use cmcc_runtime::array::CmArray;
+use cmcc_runtime::error::RuntimeError;
+
+/// Cycles per element of a fused elementwise multiply-add
+/// (`dst += a * b`): three operand loads and one store through the
+/// memory path at one word per cycle.
+const MULTIPLY_ADD_CYCLES_PER_ELEM: u64 = 4;
+
+/// Cycles per element of an array copy (`dst = src`): one load and one
+/// store.
+const COPY_CYCLES_PER_ELEM: u64 = 2;
+
+/// Front-end cycles to dispatch one elementwise operation.
+const DISPATCH_CYCLES: u64 = 1200;
+
+fn check_shapes(args: &[&CmArray]) -> Result<(), RuntimeError> {
+    let first = args[0];
+    for a in &args[1..] {
+        if !a.same_shape(first) {
+            return Err(RuntimeError::ShapeMismatch {
+                what: "elementwise operands must share one shape".to_owned(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn measure(machine: &Machine, flops_per_elem: u64, cycles_per_elem: u64, n_global: u64, n_sub: u64) -> Measurement {
+    Measurement {
+        useful_flops: flops_per_elem * n_global,
+        cycles: CycleBreakdown {
+            comm: 0,
+            compute: cycles_per_elem * n_sub,
+            frontend: DISPATCH_CYCLES,
+        },
+        nodes: machine.node_count(),
+    }
+}
+
+/// `dst += a * b`, elementwise: 2 useful flops per element.
+///
+/// # Errors
+///
+/// [`RuntimeError::ShapeMismatch`] if shapes differ.
+pub fn elementwise_multiply_add(
+    machine: &mut Machine,
+    dst: &CmArray,
+    a: &CmArray,
+    b: &CmArray,
+) -> Result<Measurement, RuntimeError> {
+    check_shapes(&[dst, a, b])?;
+    let mut out = dst.gather(machine);
+    let av = a.gather(machine);
+    let bv = b.gather(machine);
+    for i in 0..out.len() {
+        out[i] += av[i] * bv[i];
+    }
+    dst.scatter(machine, &out);
+    let n_global = (dst.rows() * dst.cols()) as u64;
+    let n_sub = (dst.sub_rows() * dst.sub_cols()) as u64;
+    Ok(measure(machine, 2, MULTIPLY_ADD_CYCLES_PER_ELEM, n_global, n_sub))
+}
+
+/// `dst = src`, elementwise: zero useful flops (pure data motion — the
+/// cost the seismic code's 3×-unrolled variant eliminates).
+///
+/// # Errors
+///
+/// [`RuntimeError::ShapeMismatch`] if shapes differ.
+pub fn elementwise_copy(
+    machine: &mut Machine,
+    dst: &CmArray,
+    src: &CmArray,
+) -> Result<Measurement, RuntimeError> {
+    check_shapes(&[dst, src])?;
+    let data = src.gather(machine);
+    dst.scatter(machine, &data);
+    let n_sub = (dst.sub_rows() * dst.sub_cols()) as u64;
+    Ok(measure(machine, 0, COPY_CYCLES_PER_ELEM, 0, n_sub))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmcc_cm2::config::MachineConfig;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::tiny_4()).unwrap()
+    }
+
+    #[test]
+    fn multiply_add_computes_and_counts() {
+        let mut m = machine();
+        let d = CmArray::new(&mut m, 4, 4).unwrap();
+        let a = CmArray::new(&mut m, 4, 4).unwrap();
+        let b = CmArray::new(&mut m, 4, 4).unwrap();
+        d.fill(&mut m, 1.0);
+        a.fill(&mut m, 2.0);
+        b.fill(&mut m, 3.0);
+        let meas = elementwise_multiply_add(&mut m, &d, &a, &b).unwrap();
+        assert_eq!(d.get(&m, 2, 2), 7.0);
+        assert_eq!(meas.useful_flops, 2 * 16);
+        assert!(meas.cycles.compute > 0);
+    }
+
+    #[test]
+    fn copy_moves_data_without_flops() {
+        let mut m = machine();
+        let d = CmArray::new(&mut m, 4, 4).unwrap();
+        let s = CmArray::new(&mut m, 4, 4).unwrap();
+        s.fill_with(&mut m, |r, c| (r + 10 * c) as f32);
+        let meas = elementwise_copy(&mut m, &d, &s).unwrap();
+        assert_eq!(d.gather(&m), s.gather(&m));
+        assert_eq!(meas.useful_flops, 0);
+        assert!(meas.cycles.compute > 0);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut m = machine();
+        let d = CmArray::new(&mut m, 4, 4).unwrap();
+        let s = CmArray::new(&mut m, 4, 8).unwrap();
+        assert!(elementwise_copy(&mut m, &d, &s).is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! Baseline comparators for the Connection Machine Convolution Compiler.
+//!
+//! The paper's performance story is a three-step ladder:
+//!
+//! 1. **Generic slicewise CM Fortran** (§3): "around 4 gigaflops" — each
+//!    `CSHIFT` materializes a temporary and each multiply/add is a
+//!    separate elementwise operation ([`slicewise`]);
+//! 2. **The 1989 hand-coded library routine** (§1): 5.6 Gflops in the
+//!    1989 Gordon Bell run — fast inner loops but a *fixed* pattern
+//!    repertoire, fieldwise data format, and the old per-direction grid
+//!    primitive ([`handlib`]);
+//! 3. **The convolution compiler** (this project's `cmcc-core` +
+//!    `cmcc-runtime`): the same Fortran statement compiled to >10 Gflops.
+//!
+//! Both baselines are functionally exact (they compute the same result
+//! arrays) and carry documented per-operation cycle models, so benchmark
+//! comparisons share one accounting scheme.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod elementwise;
+pub mod handlib;
+pub mod slicewise;
+
+pub use elementwise::{elementwise_copy, elementwise_multiply_add};
+pub use handlib::{handlib_convolve, nine_point_cross_offsets, HandLibError};
+pub use slicewise::slicewise_convolve;

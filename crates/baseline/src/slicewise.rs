@@ -1,0 +1,273 @@
+//! The generic "slicewise CM Fortran" baseline.
+//!
+//! Before the convolution compiler, the CM Fortran compiler's slicewise
+//! target model "routinely allows Fortran users to achieve execution
+//! rates of around 4 gigaflops" (§3). Generic code evaluates the stencil
+//! statement term by term: every `CSHIFT` materializes a whole shifted
+//! temporary (an in-memory copy plus grid communication for the
+//! boundary-crossing slab), and every multiply / add is a separate
+//! elementwise vector operation that reloads its operands from memory —
+//! no register reuse across terms, which is precisely the waste the
+//! convolution compiler eliminates.
+//!
+//! The baseline is *functionally* exact (it computes the same result,
+//! via the reference evaluator's semantics applied on-node) and carries a
+//! per-operation cycle model documented constant by constant.
+
+use cmcc_cm2::machine::Machine;
+use cmcc_cm2::news::{news_exchange_cycles, ExchangeShape};
+use cmcc_cm2::timing::{CycleBreakdown, Measurement};
+use cmcc_core::recognize::{CoeffSpec, StencilSpec};
+use cmcc_core::stencil::CoeffRef;
+use cmcc_runtime::array::CmArray;
+use cmcc_runtime::error::RuntimeError;
+use cmcc_runtime::reference::{reference_convolve, CoeffValue};
+
+/// Cycles to copy one word memory-to-memory during a `CSHIFT`
+/// materialization (read + write through the node's memory port,
+/// pipelined).
+const SHIFT_COPY_CYCLES_PER_ELEM: u64 = 1;
+
+/// Cycles per element of an elementwise vector operation: two operand
+/// loads and one result store through the 32-bit memory path, at one
+/// word per cycle, with the arithmetic overlapped.
+const VECTOR_OP_CYCLES_PER_ELEM: u64 = 3;
+
+/// Front-end cycles to dispatch one elemental operation (shift, multiply,
+/// or add) — each is a separate run-time call in generic code.
+const ELEMENTAL_DISPATCH_CYCLES: u64 = 1200;
+
+/// Evaluates `spec` the way generic slicewise CM Fortran would, writing
+/// the (exact) result into `result` and returning the modeled
+/// measurement.
+///
+/// `coeffs` binds the named coefficients exactly as
+/// [`cmcc_runtime::convolve()`] does.
+///
+/// # Errors
+///
+/// Shape mismatches and coefficient-count mismatches, as for the
+/// compiled path.
+pub fn slicewise_convolve(
+    machine: &mut Machine,
+    spec: &StencilSpec,
+    result: &CmArray,
+    source: &CmArray,
+    coeffs: &[&CmArray],
+) -> Result<Measurement, RuntimeError> {
+    let stencil = &spec.stencil;
+    if !result.same_shape(source) {
+        return Err(RuntimeError::ShapeMismatch {
+            what: "result and source shapes differ".to_owned(),
+        });
+    }
+    let named = spec
+        .coeffs
+        .iter()
+        .filter(|c| matches!(c, CoeffSpec::Named(_)))
+        .count();
+    if coeffs.len() != named {
+        return Err(RuntimeError::WrongCoeffCount {
+            expected: named,
+            got: coeffs.len(),
+        });
+    }
+    for arr in coeffs {
+        if !arr.same_shape(source) {
+            return Err(RuntimeError::ShapeMismatch {
+                what: "coefficient shape differs from source".to_owned(),
+            });
+        }
+    }
+
+    // --- Functional result (exact, reference semantics). ---
+    let x_host = source.gather(machine);
+    let coeff_host: Vec<Vec<f32>> = coeffs.iter().map(|a| a.gather(machine)).collect();
+    let mut host_iter = coeff_host.iter();
+    let values: Vec<CoeffValue<'_>> = spec
+        .coeffs
+        .iter()
+        .map(|c| match c {
+            CoeffSpec::Named(_) => CoeffValue::Array(host_iter.next().expect("count checked")),
+            CoeffSpec::Literal(v) => CoeffValue::Literal(*v),
+        })
+        .collect();
+    let out = reference_convolve(stencil, source.rows(), source.cols(), &x_host, &values);
+    result.scatter(machine, &out);
+
+    // --- Cycle model. ---
+    let cfg = machine.config();
+    let n = (source.sub_rows() * source.sub_cols()) as u64;
+    let mut compute: u64 = 0;
+    let mut comm: u64 = 0;
+    let mut ops: u64 = 0;
+    for (i, tap) in stencil.taps().iter().enumerate() {
+        // Materialize the shifted temporary: one whole-subgrid copy per
+        // shifted axis plus the boundary-crossing communication.
+        let dr = tap.offset.drow.unsigned_abs() as usize;
+        let dc = tap.offset.dcol.unsigned_abs() as usize;
+        if dr > 0 {
+            compute += SHIFT_COPY_CYCLES_PER_ELEM * n;
+            comm += news_exchange_cycles(
+                cfg,
+                ExchangeShape {
+                    north: dr * source.sub_cols(),
+                    ..ExchangeShape::default()
+                },
+            );
+            ops += 1;
+        }
+        if dc > 0 {
+            compute += SHIFT_COPY_CYCLES_PER_ELEM * n;
+            comm += news_exchange_cycles(
+                cfg,
+                ExchangeShape {
+                    east: dc * source.sub_rows(),
+                    ..ExchangeShape::default()
+                },
+            );
+            ops += 1;
+        }
+        // The multiply (skipped for unit coefficients — generic code just
+        // uses the shifted temporary directly).
+        if matches!(tap.coeff, CoeffRef::Array(_)) {
+            compute += VECTOR_OP_CYCLES_PER_ELEM * n;
+            ops += 1;
+        }
+        // Accumulate into the result (the first term stores instead).
+        if i > 0 {
+            compute += VECTOR_OP_CYCLES_PER_ELEM * n;
+            ops += 1;
+        }
+    }
+    for _ in stencil.bias() {
+        compute += VECTOR_OP_CYCLES_PER_ELEM * n;
+        ops += 1;
+    }
+
+    Ok(Measurement {
+        useful_flops: stencil.useful_flops_per_point()
+            * (source.rows() * source.cols()) as u64,
+        cycles: CycleBreakdown {
+            comm,
+            compute,
+            frontend: ELEMENTAL_DISPATCH_CYCLES * ops.max(1),
+        },
+        nodes: machine.node_count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmcc_cm2::config::MachineConfig;
+    use cmcc_core::compiler::Compiler;
+    use cmcc_core::patterns::PaperPattern;
+    use cmcc_runtime::convolve::{convolve, ExecOptions};
+
+    fn setup(pattern: PaperPattern) -> (Machine, StencilSpec, CmArray, CmArray, Vec<CmArray>) {
+        let mut m = Machine::new(MachineConfig::tiny_4()).unwrap();
+        let spec = pattern.spec().unwrap();
+        let x = CmArray::new(&mut m, 8, 8).unwrap();
+        x.fill_with(&mut m, |r, c| ((r * 13 + c * 7) % 11) as f32 - 5.0);
+        let n = spec.coeffs.len();
+        let coeffs: Vec<CmArray> = (0..n)
+            .map(|i| {
+                let a = CmArray::new(&mut m, 8, 8).unwrap();
+                a.fill_with(&mut m, move |r, c| ((r + c + i) % 5) as f32 * 0.25);
+                a
+            })
+            .collect();
+        let r = CmArray::new(&mut m, 8, 8).unwrap();
+        (m, spec, x, r, coeffs)
+    }
+
+    #[test]
+    fn matches_the_compiled_path_functionally() {
+        let (mut m, spec, x, r, coeffs) = setup(PaperPattern::Square9);
+        let refs: Vec<&CmArray> = coeffs.iter().collect();
+        slicewise_convolve(&mut m, &spec, &r, &x, &refs).unwrap();
+        let slicewise_out = r.gather(&m);
+
+        let compiled = Compiler::new(m.config().clone())
+            .compile_assignment(&PaperPattern::Square9.fortran())
+            .unwrap();
+        convolve(&mut m, &compiled, &r, &x, &refs, &ExecOptions::default()).unwrap();
+        assert_eq!(slicewise_out, r.gather(&m));
+    }
+
+    #[test]
+    fn is_substantially_slower_than_the_compiled_path() {
+        let (mut m, spec, x, r, coeffs) = setup(PaperPattern::Cross5);
+        let refs: Vec<&CmArray> = coeffs.iter().collect();
+        let slice = slicewise_convolve(&mut m, &spec, &r, &x, &refs).unwrap();
+
+        let compiled = Compiler::new(m.config().clone())
+            .compile_assignment(&PaperPattern::Cross5.fortran())
+            .unwrap();
+        let fast = convolve(&mut m, &compiled, &r, &x, &refs, &ExecOptions::default()).unwrap();
+        // On tiny subgrids overheads dominate everything; compare the
+        // per-element compute models.
+        assert!(
+            slice.cycles.compute > fast.cycles.compute,
+            "slicewise {} vs compiled {}",
+            slice.cycles.compute,
+            fast.cycles.compute
+        );
+    }
+
+    #[test]
+    fn rate_lands_near_four_gigaflops_at_scale() {
+        // The §3 figure: generic slicewise code ≈ 4 Gflops on a full
+        // machine. Model a 256×256 subgrid per node.
+        let cfg = MachineConfig {
+            node_memory_words: 1 << 21,
+            ..MachineConfig::tiny_4()
+        };
+        let mut m = Machine::new(cfg).unwrap();
+        let spec = PaperPattern::Cross5.spec().unwrap();
+        let x = CmArray::new(&mut m, 512, 512).unwrap();
+        let r = CmArray::new(&mut m, 512, 512).unwrap();
+        let coeffs: Vec<CmArray> = (0..5)
+            .map(|_| CmArray::new(&mut m, 512, 512).unwrap())
+            .collect();
+        let refs: Vec<&CmArray> = coeffs.iter().collect();
+        let meas = slicewise_convolve(&mut m, &spec, &r, &x, &refs).unwrap();
+        let full = meas.extrapolate(2048);
+        let gflops = full.gflops(m.config());
+        assert!(
+            (2.5..6.0).contains(&gflops),
+            "slicewise full-machine rate {gflops} Gflops outside the ~4 Gflops band"
+        );
+    }
+
+    #[test]
+    fn unit_taps_skip_the_multiply() {
+        let mut m = Machine::new(MachineConfig::tiny_4()).unwrap();
+        let with_mult = cmcc_core::recognize::recognize(
+            &cmcc_front::parser::parse_assignment("R = C1 * CSHIFT(X, 1, 1) + C2 * X").unwrap(),
+        )
+        .unwrap();
+        let without = cmcc_core::recognize::recognize(
+            &cmcc_front::parser::parse_assignment("R = CSHIFT(X, 1, 1) + X").unwrap(),
+        )
+        .unwrap();
+        let x = CmArray::new(&mut m, 8, 8).unwrap();
+        let r = CmArray::new(&mut m, 8, 8).unwrap();
+        let c1 = CmArray::new(&mut m, 8, 8).unwrap();
+        let c2 = CmArray::new(&mut m, 8, 8).unwrap();
+        let a = slicewise_convolve(&mut m, &with_mult, &r, &x, &[&c1, &c2]).unwrap();
+        let b = slicewise_convolve(&mut m, &without, &r, &x, &[]).unwrap();
+        assert!(a.cycles.compute > b.cycles.compute);
+    }
+
+    #[test]
+    fn argument_validation() {
+        let (mut m, spec, x, r, coeffs) = setup(PaperPattern::Cross5);
+        let refs: Vec<&CmArray> = coeffs[..3].iter().collect();
+        assert!(matches!(
+            slicewise_convolve(&mut m, &spec, &r, &x, &refs),
+            Err(RuntimeError::WrongCoeffCount { expected: 5, got: 3 })
+        ));
+    }
+}

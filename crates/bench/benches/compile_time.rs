@@ -1,0 +1,30 @@
+//! Criterion bench of the compiler itself: lex + parse + recognize +
+//! multistencil/ring planning + schedule emission for each paper pattern.
+
+use cmcc_cm2::config::MachineConfig;
+use cmcc_core::compiler::Compiler;
+use cmcc_core::patterns::PaperPattern;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_compile(c: &mut Criterion) {
+    let compiler = Compiler::new(MachineConfig::test_board_16());
+    let mut group = c.benchmark_group("compile");
+    for pattern in PaperPattern::ALL {
+        let source = pattern.fortran();
+        group.bench_function(pattern.name(), |b| {
+            b.iter(|| black_box(compiler.compile_assignment(&source).expect("compiles")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_front_end_only(c: &mut Criterion) {
+    let source = PaperPattern::Diamond13.fortran();
+    c.bench_function("parse_diamond13", |b| {
+        b.iter(|| black_box(cmcc_front::parser::parse_assignment(&source).expect("parses")));
+    });
+}
+
+criterion_group!(benches, bench_compile, bench_front_end_only);
+criterion_main!(benches);

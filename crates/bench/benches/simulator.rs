@@ -1,0 +1,25 @@
+//! Criterion bench of the simulator core: cycle-accurate vs fast
+//! functional kernel interpretation (simulated-instruction throughput).
+
+use cmcc_bench::Workload;
+use cmcc_cm2::config::MachineConfig;
+use cmcc_core::patterns::PaperPattern;
+use cmcc_runtime::convolve::ExecOptions;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_exec_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    let mut w = Workload::new(MachineConfig::tiny_4(), PaperPattern::Square9, (64, 64));
+    group.bench_function("cycle_accurate", |b| {
+        b.iter(|| black_box(w.run(&ExecOptions::default())));
+    });
+    group.bench_function("fast_functional", |b| {
+        b.iter(|| black_box(w.run(&ExecOptions::fast())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exec_modes);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Regenerates Figure 1: the division of a 256×256 array among 16 nodes
+//! (experiment F1).
+//!
+//! ```sh
+//! cargo run --release -p cmcc-bench --bin repro_figure1
+//! ```
+
+use cmcc_cm2::config::MachineConfig;
+use cmcc_cm2::machine::Machine;
+use cmcc_runtime::array::CmArray;
+
+fn main() {
+    let mut machine = Machine::new(MachineConfig::test_board_16()).expect("valid preset");
+    let a = CmArray::new(&mut machine, 256, 256).expect("array fits");
+
+    println!("Figure 1: division of a 256x256 array among 16 nodes");
+    println!(
+        "(node grid {}x{}, each node holds a {}x{} subgrid; Fortran 1-based ranges)\n",
+        machine.grid().rows(),
+        machine.grid().cols(),
+        a.sub_rows(),
+        a.sub_cols()
+    );
+
+    for gr in 0..machine.grid().rows() {
+        for gc in 0..machine.grid().cols() {
+            let r0 = gr * a.sub_rows() + 1;
+            let r1 = (gr + 1) * a.sub_rows();
+            let c0 = gc * a.sub_cols() + 1;
+            let c1 = (gc + 1) * a.sub_cols();
+            print!("A({r0:>3}:{r1:>3},{c0:>3}:{c1:>3})  ");
+        }
+        println!();
+    }
+
+    // Verify the layout programmatically: the element the paper's figure
+    // places on node (3, 2) — A(193, 129) in 1-based terms — lives there.
+    let (node, lr, lc) = a.locate(&machine, 192, 128);
+    assert_eq!(node, machine.grid().id(3, 2));
+    assert_eq!((lr, lc), (0, 0));
+    println!("\nverified: A(193,129) is element (1,1) of node (4,3)'s subgrid, as drawn");
+}

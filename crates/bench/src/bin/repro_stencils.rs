@@ -1,0 +1,69 @@
+//! Regenerates the stencil pictograms and register-economy figures of
+//! §2 and §5 (experiment F2).
+//!
+//! Shows, for each pattern the paper draws: the pictogram, the border
+//! widths, the multistencil at each attempted width with its register
+//! demand (including the 13-point diamond's 48-vs-28 registers), and the
+//! ring-buffer sizes with their LCM unroll factor.
+//!
+//! ```sh
+//! cargo run --release -p cmcc-bench --bin repro_stencils
+//! ```
+
+use cmcc_cm2::config::{MachineConfig, FPU_REGISTERS};
+use cmcc_core::columns::plan_rings;
+use cmcc_core::compiler::Compiler;
+use cmcc_core::multistencil::Multistencil;
+use cmcc_core::patterns::PaperPattern;
+use cmcc_core::pictogram::{render_multistencil, render_stencil};
+
+fn main() {
+    let compiler = Compiler::new(MachineConfig::test_board_16());
+
+    for pattern in PaperPattern::ALL {
+        let stencil = pattern.stencil();
+        println!("=== {pattern} ({} flops/point) ===", stencil.useful_flops_per_point());
+        println!("{}", render_stencil(&stencil));
+        println!("border widths: {}\n", stencil.borders());
+
+        for width in [8usize, 4, 2, 1] {
+            let ms = Multistencil::new(&stencil, width);
+            let budget = FPU_REGISTERS - 1 - usize::from(stencil.needs_one_register());
+            print!(
+                "width {width}: {} cells, natural register demand {}",
+                ms.cell_count(),
+                ms.natural_register_demand()
+            );
+            match plan_rings(&ms, budget, 512) {
+                Ok(plan) => println!(
+                    " -> rings {:?}, {} registers, unroll x{}",
+                    plan.rings().iter().map(|r| r.size).collect::<Vec<_>>(),
+                    plan.registers_used(),
+                    plan.unroll()
+                ),
+                Err(e) => println!(" -> REJECTED: {e}"),
+            }
+        }
+
+        let compiled = compiler
+            .compile_assignment(&pattern.fortran())
+            .expect("paper patterns compile");
+        let widest = compiled.widths()[0];
+        println!("\nwidth-{widest} multistencil:");
+        println!("{}", render_multistencil(&stencil, widest));
+        println!(
+            "compiled widths {:?}; sequencer scratch entries {}\n",
+            compiled.widths(),
+            compiled.scratch_entries()
+        );
+    }
+
+    // The two §5.3 headline numbers, asserted.
+    let cross = PaperPattern::Cross5.stencil();
+    assert_eq!(Multistencil::new(&cross, 8).cell_count(), 26);
+    let diamond = PaperPattern::Diamond13.stencil();
+    assert_eq!(Multistencil::new(&diamond, 8).natural_register_demand(), 48);
+    assert_eq!(Multistencil::new(&diamond, 4).natural_register_demand(), 28);
+    println!("paper figures verified: cross width-8 multistencil = 26 positions;");
+    println!("diamond width-8 demand = 48 registers (rejected), width-4 = 28 (accepted)");
+}

@@ -1,0 +1,407 @@
+//! The instruction set consumed by the simulated CM-2 node.
+//!
+//! The CM-2 splits floating-point instructions into a *static part* (the
+//! operation code, latched once on the processor boards) and *dynamic
+//! parts* (load/store control and register addresses, streamed cycle by
+//! cycle from the sequencer's scratch data memory — paper §4.3). The
+//! convolution compiler's whole output is a table of dynamic parts plus
+//! the choice of a fixed microcode routine.
+//!
+//! [`DynamicPart`] is one scratch-memory entry: what the node does in one
+//! clock cycle. [`Kernel`] is the compiler's complete output for one strip
+//! width: a prologue that fills the register rings for the first line,
+//! and an unrolled body of per-line instruction vectors (the unroll factor
+//! is the LCM of the ring-buffer sizes, paper §5.4).
+//!
+//! Memory operands are expressed relative to a per-line origin
+//! ([`MemRef`]); the sequencer (our executor) adds the per-line base
+//! addresses that the real machine's microcode computed from run-time
+//! parameters.
+
+use std::fmt;
+
+/// A floating-point register index (0..32 on the WTL3164).
+///
+/// By the compiler's convention register 0 always contains `0.0`
+/// (paper §5.3: "one register is reserved to contain the value zero"),
+/// and register 1 contains `1.0` when the stencil has a bare-coefficient
+/// term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The always-zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// The always-one register (reserved only when needed).
+    pub const ONE: Reg = Reg(1);
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A memory operand, relative to the current line origin.
+///
+/// The executor resolves these against a [`crate::exec::StripContext`] that carries the
+/// base addresses the real microcode computed at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemRef {
+    /// Element `(drow, dcol)` of padded source buffer `array`, relative to
+    /// the first result position of the current line. Single-source
+    /// stencils use `array == 0`; the multi-source extension (the paper's
+    /// §9 future work, realized here) indexes the call's source list.
+    Source {
+        /// Which source array (index into the call's source table).
+        array: u16,
+        /// Row offset from the current line.
+        drow: i32,
+        /// Column offset from the line's first result position.
+        dcol: i32,
+    },
+    /// Element of coefficient array `array` at column `col` of the current
+    /// line (coefficients are whole arrays of the same shape as the
+    /// source).
+    Coeff {
+        /// Which coefficient array (index into the call's coefficient
+        /// base-address table).
+        array: u16,
+        /// Result column within the line, `0..width`.
+        col: u16,
+    },
+    /// Element of the result buffer at column `col` of the current line.
+    Result {
+        /// Result column within the line, `0..width`.
+        col: u16,
+    },
+    /// The pre-filled page of `1.0` values used to stream the multiplier
+    /// for bare `s(x)` terms (a term with no coefficient array).
+    Ones,
+    /// The pre-filled page of `0.0` values (dummy multiply-add operand).
+    Zeros,
+}
+
+/// Where a multiply-add chain gets its addend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MacAcc {
+    /// Start a new accumulation chain by adding the named register
+    /// (the compiler always names [`Reg::ZERO`]: "The result of the first
+    /// multiplication for a given result is added to this zero to begin
+    /// the accumulation", §5.3).
+    Start(Reg),
+    /// Continue the chain begun by the previous multiply-add of the *same
+    /// interleaved thread* (the product joins the running sum inside the
+    /// pipeline; two threads alternate cycles, paper §5.3).
+    Chain,
+}
+
+/// One dynamic instruction part: what the node does in one clock cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DynamicPart {
+    /// A chained multiply-add step: multiply the value streamed from
+    /// `coeff` (the off-chip operand — "one of the operands for each
+    /// multiplication must come from off-chip", §4.2) by register `data`,
+    /// and add according to `acc`. If `dest` is `Some`, this is the final
+    /// step of its chain and the sum is written to `dest` after the
+    /// pipeline latency.
+    Mac {
+        /// The streamed (memory) multiplier operand.
+        coeff: MemRef,
+        /// The register multiplicand (a preloaded source element).
+        data: Reg,
+        /// Addend source.
+        acc: MacAcc,
+        /// Writeback target for the completed chain, if this is the last
+        /// step.
+        dest: Option<Reg>,
+    },
+    /// Load a source element into a register through the interface chip.
+    /// (The FPU still executes a harmless multiply-add into the zero
+    /// register this cycle — "there is no way not to store the result!",
+    /// §5.3 — which is why load cycles cost exactly one cycle but zero
+    /// useful flops.)
+    Load {
+        /// Memory operand to read.
+        src: MemRef,
+        /// Destination register; readable `load_commit_latency` cycles
+        /// later.
+        dest: Reg,
+    },
+    /// Store a register to memory through the interface chip (pipe runs
+    /// FPU→memory; a direction reversal penalty applies on transitions).
+    Store {
+        /// Register to store.
+        src: Reg,
+        /// Memory operand to write.
+        dest: MemRef,
+    },
+    /// An idle cycle (pipeline drain bubble inserted by the compiler).
+    Nop,
+}
+
+impl DynamicPart {
+    /// Whether this cycle drives the memory pipe in the store direction.
+    pub fn is_store(&self) -> bool {
+        matches!(self, DynamicPart::Store { .. })
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemRef::Source { array, drow, dcol } => {
+                write!(f, "src{array}[{drow:+},{dcol:+}]")
+            }
+            MemRef::Coeff { array, col } => write!(f, "coeff{array}[{col}]"),
+            MemRef::Result { col } => write!(f, "res[{col}]"),
+            MemRef::Ones => f.write_str("ones"),
+            MemRef::Zeros => f.write_str("zeros"),
+        }
+    }
+}
+
+impl fmt::Display for DynamicPart {
+    /// One microcode-listing line per dynamic part, e.g.
+    /// `mac  r5 * coeff2[3] + chain -> r9`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DynamicPart::Mac {
+                coeff,
+                data,
+                acc,
+                dest,
+            } => {
+                write!(f, "mac  {data} * {coeff}")?;
+                match acc {
+                    MacAcc::Start(r) => write!(f, " + {r}")?,
+                    MacAcc::Chain => f.write_str(" + chain")?,
+                }
+                if let Some(d) = dest {
+                    write!(f, " -> {d}")?;
+                }
+                Ok(())
+            }
+            DynamicPart::Load { src, dest } => write!(f, "load {src} -> {dest}"),
+            DynamicPart::Store { src, dest } => write!(f, "stor {src} -> {dest}"),
+            DynamicPart::Nop => f.write_str("nop"),
+        }
+    }
+}
+
+/// The latched static instruction part. The convolution compiler uses a
+/// single static part for the whole kernel: chained multiply-add with
+/// streamed multiplier (paper §4.3: "This microcode issues a single static
+/// instruction part to instruct the floating-point units to perform
+/// multiply-add operations").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StaticPart {
+    /// Chained multiply-add, multiplier streamed from memory.
+    #[default]
+    ChainedMac,
+}
+
+/// A complete compiled kernel for one strip width: the contents of the
+/// sequencer scratch data memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// The latched operation.
+    pub static_part: StaticPart,
+    /// Number of results computed per line (the strip width `w`).
+    pub width: usize,
+    /// Row step between consecutive lines: `-1` when the kernel walks
+    /// north (bottom half-strip, edge→center), `+1` when it walks south.
+    pub row_step: i32,
+    /// Instructions that fill the register rings before the first line
+    /// (loads of every multistencil element except each column's leading
+    /// edge, which the first body line loads itself).
+    pub prologue: Vec<DynamicPart>,
+    /// Unrolled per-line instruction vectors. Line `l` of the half-strip
+    /// executes `body[l % body.len()]`; the unroll factor `body.len()` is
+    /// the LCM of the ring-buffer sizes.
+    pub body: Vec<Vec<DynamicPart>>,
+    /// Useful floating-point operations per line (for rate accounting;
+    /// dummy multiply-adds and adds of zero are excluded, §7).
+    pub useful_flops_per_line: u64,
+}
+
+impl Kernel {
+    /// The unroll factor (number of distinct per-line register patterns).
+    pub fn unroll(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Total scratch-memory entries this kernel occupies (the paper calls
+    /// out that unrolling costs sequencer scratch data memory, §5.4).
+    pub fn scratch_entries(&self) -> usize {
+        self.prologue.len() + self.body.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Renders the kernel as a microcode listing: the prologue followed
+    /// by each unrolled line, one dynamic part per row.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cmcc_cm2::isa::{DynamicPart, Kernel, MemRef, Reg, StaticPart};
+    ///
+    /// let kernel = Kernel {
+    ///     static_part: StaticPart::ChainedMac,
+    ///     width: 1,
+    ///     row_step: -1,
+    ///     prologue: vec![],
+    ///     body: vec![vec![DynamicPart::Load {
+    ///         src: MemRef::Source { array: 0, drow: 0, dcol: 0 },
+    ///         dest: Reg(2),
+    ///     }]],
+    ///     useful_flops_per_line: 0,
+    /// };
+    /// let text = kernel.disassemble();
+    /// assert!(text.contains("load src0[+0,+0] -> r2"));
+    /// ```
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "; width {}, row step {:+}, unroll x{}, {} useful flops/line\n",
+            self.width,
+            self.row_step,
+            self.unroll(),
+            self.useful_flops_per_line
+        ));
+        if !self.prologue.is_empty() {
+            out.push_str("prologue:\n");
+            for part in &self.prologue {
+                out.push_str(&format!("    {part}\n"));
+            }
+        }
+        for (l, line) in self.body.iter().enumerate() {
+            out.push_str(&format!("line {l}:\n"));
+            for part in line {
+                out.push_str(&format!("    {part}\n"));
+            }
+        }
+        out
+    }
+
+    /// Validates structural invariants: a nonzero width, a nonempty body,
+    /// a `±1` row step, and register indices within the file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.width == 0 {
+            return Err("kernel width must be nonzero".into());
+        }
+        if self.body.is_empty() {
+            return Err("kernel body must contain at least one line".into());
+        }
+        if self.row_step != 1 && self.row_step != -1 {
+            return Err(format!("row step must be ±1, got {}", self.row_step));
+        }
+        let check_reg = |r: Reg| -> Result<(), String> {
+            if (r.0 as usize) < crate::config::FPU_REGISTERS {
+                Ok(())
+            } else {
+                Err(format!("register {r} out of range"))
+            }
+        };
+        for part in self.prologue.iter().chain(self.body.iter().flatten()) {
+            match *part {
+                DynamicPart::Mac { data, acc, dest, .. } => {
+                    check_reg(data)?;
+                    if let MacAcc::Start(r) = acc {
+                        check_reg(r)?;
+                    }
+                    if let Some(d) = dest {
+                        check_reg(d)?;
+                    }
+                }
+                DynamicPart::Load { dest, .. } => check_reg(dest)?,
+                DynamicPart::Store { src, .. } => check_reg(src)?,
+                DynamicPart::Nop => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_kernel() -> Kernel {
+        Kernel {
+            static_part: StaticPart::ChainedMac,
+            width: 1,
+            row_step: -1,
+            prologue: vec![],
+            body: vec![vec![
+                DynamicPart::Load {
+                    src: MemRef::Source { array: 0, drow: 0, dcol: 0 },
+                    dest: Reg(2),
+                },
+                DynamicPart::Mac {
+                    coeff: MemRef::Coeff { array: 0, col: 0 },
+                    data: Reg(2),
+                    acc: MacAcc::Start(Reg::ZERO),
+                    dest: Some(Reg(3)),
+                },
+                DynamicPart::Nop,
+                DynamicPart::Nop,
+                DynamicPart::Nop,
+                DynamicPart::Store {
+                    src: Reg(3),
+                    dest: MemRef::Result { col: 0 },
+                },
+            ]],
+            useful_flops_per_line: 1,
+        }
+    }
+
+    #[test]
+    fn trivial_kernel_validates() {
+        trivial_kernel().validate().unwrap();
+    }
+
+    #[test]
+    fn scratch_accounting_counts_all_entries() {
+        let k = trivial_kernel();
+        assert_eq!(k.scratch_entries(), 6);
+        assert_eq!(k.unroll(), 1);
+    }
+
+    #[test]
+    fn out_of_range_register_is_rejected() {
+        let mut k = trivial_kernel();
+        k.body[0][0] = DynamicPart::Load {
+            src: MemRef::Ones,
+            dest: Reg(32),
+        };
+        assert!(k.validate().is_err());
+    }
+
+    #[test]
+    fn bad_row_step_is_rejected() {
+        let mut k = trivial_kernel();
+        k.row_step = 2;
+        assert!(k.validate().is_err());
+    }
+
+    #[test]
+    fn empty_body_is_rejected() {
+        let mut k = trivial_kernel();
+        k.body.clear();
+        assert!(k.validate().is_err());
+    }
+
+    #[test]
+    fn store_detection() {
+        assert!(DynamicPart::Store {
+            src: Reg(1),
+            dest: MemRef::Result { col: 0 }
+        }
+        .is_store());
+        assert!(!DynamicPart::Nop.is_store());
+    }
+}

@@ -1,0 +1,267 @@
+//! The simulated machine: a SIMD array of nodes plus the shared field
+//! allocator and the node grid.
+
+use crate::config::MachineConfig;
+use crate::exec::{run_strip, ExecMode, HazardError, StripContext, StripRun};
+use crate::grid::{NodeGrid, NodeId};
+use crate::isa::Kernel;
+use crate::memory::{Field, FieldAllocator, NodeMemory, OutOfMemory};
+
+/// A simulated CM-2: `rows × cols` nodes, each with its own memory,
+/// executing identical instruction streams (SIMD).
+///
+/// # Examples
+///
+/// ```
+/// use cmcc_cm2::config::MachineConfig;
+/// use cmcc_cm2::machine::Machine;
+///
+/// let mut machine = Machine::new(MachineConfig::tiny_4())?;
+/// let field = machine.alloc_field(64)?;
+/// machine.mem_mut(cmcc_cm2::grid::NodeId(0)).fill_field(field, 3.0);
+/// assert_eq!(machine.mem(cmcc_cm2::grid::NodeId(0)).field(field)[0], 3.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    grid: NodeGrid,
+    nodes: Vec<NodeMemory>,
+    allocator: FieldAllocator,
+}
+
+impl Machine {
+    /// Builds a machine from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration's own validation message if it is
+    /// inconsistent.
+    pub fn new(config: MachineConfig) -> Result<Self, String> {
+        config.validate()?;
+        let grid = NodeGrid::new(config.grid_rows, config.grid_cols);
+        let nodes = (0..grid.len())
+            .map(|_| NodeMemory::new(config.node_memory_words))
+            .collect();
+        let allocator = FieldAllocator::new(config.node_memory_words);
+        Ok(Machine {
+            config,
+            grid,
+            nodes,
+            allocator,
+        })
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The node grid.
+    pub fn grid(&self) -> NodeGrid {
+        self.grid
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.grid.len()
+    }
+
+    /// Allocates a field of `len` words on every node (SIMD addressing:
+    /// the same addresses are valid machine-wide).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when node memory is exhausted.
+    pub fn alloc_field(&mut self, len: usize) -> Result<Field, OutOfMemory> {
+        self.allocator.alloc(len)
+    }
+
+    /// Checkpoint for LIFO release of temporary fields.
+    pub fn alloc_mark(&self) -> usize {
+        self.allocator.mark()
+    }
+
+    /// Releases all fields allocated after `mark` (on every node).
+    pub fn release_to(&mut self, mark: usize) {
+        self.allocator.release_to(mark);
+    }
+
+    /// One node's memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn mem(&self, id: NodeId) -> &NodeMemory {
+        &self.nodes[id.0]
+    }
+
+    /// One node's memory, mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn mem_mut(&mut self, id: NodeId) -> &mut NodeMemory {
+        &mut self.nodes[id.0]
+    }
+
+    /// Two distinct nodes' memories, mutably (for exchanges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are equal or out of range.
+    pub fn mem_pair_mut(&mut self, a: NodeId, b: NodeId) -> (&mut NodeMemory, &mut NodeMemory) {
+        assert_ne!(a, b, "mem_pair_mut requires distinct nodes");
+        if a.0 < b.0 {
+            let (lo, hi) = self.nodes.split_at_mut(b.0);
+            (&mut lo[a.0], &mut hi[0])
+        } else {
+            let (lo, hi) = self.nodes.split_at_mut(a.0);
+            (&mut hi[0], &mut lo[b.0])
+        }
+    }
+
+    /// Copies `len` words from `src_addr` on node `src` to `dst_addr` on
+    /// node `dst`. This is the data-movement half of a grid exchange; the
+    /// caller separately charges the cycle cost from [`crate::news`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range nodes or addresses.
+    pub fn copy_region(
+        &mut self,
+        src: NodeId,
+        src_addr: usize,
+        dst: NodeId,
+        dst_addr: usize,
+        len: usize,
+    ) {
+        if src == dst {
+            self.mem_mut(src).copy_within(src_addr, dst_addr, len);
+            return;
+        }
+        let (s, d) = self.mem_pair_mut(src, dst);
+        d.copy_from(dst_addr, s.slice(src_addr, len));
+    }
+
+    /// Executes `kernel` over the half-strip `ctx` on **every** node
+    /// (SIMD), returning the per-node cycle/operation counts — identical
+    /// across nodes because the instruction stream is identical.
+    ///
+    /// In [`ExecMode::Cycle`] every node runs the full pipeline model, so
+    /// hazards are detected against real data on all nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HazardError`] if the kernel is miscompiled (cycle mode).
+    pub fn run_strip_all(
+        &mut self,
+        kernel: &Kernel,
+        ctx: &StripContext<'_>,
+        mode: ExecMode,
+    ) -> Result<StripRun, HazardError> {
+        let mut result = None;
+        for mem in &mut self.nodes {
+            let run = run_strip(kernel, ctx, mem, &self.config, mode)?;
+            if let Some(prev) = &result {
+                debug_assert_eq!(prev, &run, "SIMD nodes must agree on cycle counts");
+            }
+            result = Some(run);
+        }
+        Ok(result.expect("machine has at least one node"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Direction;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::tiny_4()).unwrap()
+    }
+
+    #[test]
+    fn construction_matches_config() {
+        let m = machine();
+        assert_eq!(m.node_count(), 4);
+        assert_eq!(m.grid().rows(), 2);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = MachineConfig::tiny_4();
+        cfg.grid_cols = 0;
+        assert!(Machine::new(cfg).is_err());
+    }
+
+    #[test]
+    fn fields_are_shared_addresses_private_data() {
+        let mut m = machine();
+        let f = m.alloc_field(8).unwrap();
+        let n0 = m.grid().id(0, 0);
+        let n1 = m.grid().id(0, 1);
+        m.mem_mut(n0).fill_field(f, 1.0);
+        m.mem_mut(n1).fill_field(f, 2.0);
+        assert_eq!(m.mem(n0).field(f)[0], 1.0);
+        assert_eq!(m.mem(n1).field(f)[0], 2.0);
+    }
+
+    #[test]
+    fn copy_region_moves_between_nodes() {
+        let mut m = machine();
+        let f = m.alloc_field(4).unwrap();
+        let a = m.grid().id(0, 0);
+        let b = m.grid().neighbor(a, Direction::East);
+        m.mem_mut(a).fill_field(f, 5.0);
+        m.copy_region(a, f.base(), b, f.base(), 4);
+        assert_eq!(m.mem(b).field(f), &[5.0; 4]);
+    }
+
+    #[test]
+    fn copy_region_within_one_node() {
+        let mut m = machine();
+        let f = m.alloc_field(8).unwrap();
+        let a = m.grid().id(1, 1);
+        m.mem_mut(a).write(f.addr(0), 9.0);
+        m.copy_region(a, f.base(), a, f.base() + 4, 2);
+        assert_eq!(m.mem(a).read(f.base() + 4), 9.0);
+    }
+
+    #[test]
+    fn mem_pair_mut_orders_do_not_matter() {
+        let mut m = machine();
+        let f = m.alloc_field(1).unwrap();
+        let a = m.grid().id(0, 0);
+        let b = m.grid().id(1, 1);
+        {
+            let (ma, mb) = m.mem_pair_mut(a, b);
+            ma.write(f.base(), 1.0);
+            mb.write(f.base(), 2.0);
+        }
+        {
+            let (mb2, ma2) = m.mem_pair_mut(b, a);
+            assert_eq!(mb2.read(f.base()), 2.0);
+            assert_eq!(ma2.read(f.base()), 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn mem_pair_mut_same_node_panics() {
+        let mut m = machine();
+        let a = m.grid().id(0, 0);
+        let _ = m.mem_pair_mut(a, a);
+    }
+
+    #[test]
+    fn release_to_reclaims_temporaries() {
+        let mut m = machine();
+        let _persistent = m.alloc_field(16).unwrap();
+        let mark = m.alloc_mark();
+        let t1 = m.alloc_field(100).unwrap();
+        m.release_to(mark);
+        let t2 = m.alloc_field(10).unwrap();
+        assert_eq!(t1.base(), t2.base());
+    }
+}

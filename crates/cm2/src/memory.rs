@@ -1,0 +1,295 @@
+//! Per-node memory and the SIMD field allocator.
+//!
+//! Every node of the CM-2 carries its own memory, but because the machine
+//! is SIMD, all nodes use the *same* addresses for the same arrays: the
+//! run-time library allocates a "field" (a named region) once and every
+//! node interprets the address identically. [`FieldAllocator`] hands out
+//! those shared addresses; [`NodeMemory`] is one node's storage.
+
+use std::fmt;
+
+/// A shared per-node memory region descriptor.
+///
+/// The same `Field` is valid on every node of a machine (SIMD addressing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Field {
+    base: usize,
+    len: usize,
+}
+
+impl Field {
+    /// Base address of the field in node memory.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Length of the field in 32-bit words.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the field is zero-length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The address of word `offset` within the field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is out of bounds.
+    pub fn addr(&self, offset: usize) -> usize {
+        assert!(offset < self.len, "field offset {offset} out of bounds ({})", self.len);
+        self.base + offset
+    }
+}
+
+/// Bump allocator for per-node memory fields.
+///
+/// The paper's run-time library "takes care of allocating temporary memory
+/// space" (§5); this allocator plays that role. It deliberately has no
+/// free list — stencil calls allocate temporaries and release them in LIFO
+/// order via [`FieldAllocator::mark`] / [`FieldAllocator::release_to`].
+///
+/// # Examples
+///
+/// ```
+/// use cmcc_cm2::memory::FieldAllocator;
+///
+/// let mut alloc = FieldAllocator::new(1024);
+/// let a = alloc.alloc(100)?;
+/// let mark = alloc.mark();
+/// let tmp = alloc.alloc(200)?;
+/// assert_ne!(a.base(), tmp.base());
+/// alloc.release_to(mark);
+/// let tmp2 = alloc.alloc(50)?;
+/// assert_eq!(tmp.base(), tmp2.base()); // temporaries reuse the region
+/// # Ok::<(), cmcc_cm2::memory::OutOfMemory>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FieldAllocator {
+    capacity: usize,
+    next: usize,
+}
+
+/// Error returned when node memory is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Words requested.
+    pub requested: usize,
+    /// Words remaining.
+    pub available: usize,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "node memory exhausted: requested {} words, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+impl FieldAllocator {
+    /// Creates an allocator over `capacity` words of node memory.
+    pub fn new(capacity: usize) -> Self {
+        FieldAllocator { capacity, next: 0 }
+    }
+
+    /// Allocates a field of `len` words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when the request does not fit.
+    pub fn alloc(&mut self, len: usize) -> Result<Field, OutOfMemory> {
+        if self.capacity - self.next < len {
+            return Err(OutOfMemory {
+                requested: len,
+                available: self.capacity - self.next,
+            });
+        }
+        let field = Field {
+            base: self.next,
+            len,
+        };
+        self.next += len;
+        Ok(field)
+    }
+
+    /// Words currently allocated.
+    pub fn used(&self) -> usize {
+        self.next
+    }
+
+    /// A checkpoint for LIFO release of temporaries.
+    pub fn mark(&self) -> usize {
+        self.next
+    }
+
+    /// Releases every allocation made after `mark`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mark` is in the future (greater than the current
+    /// allocation point).
+    pub fn release_to(&mut self, mark: usize) {
+        assert!(mark <= self.next, "release mark {mark} is ahead of allocator at {}", self.next);
+        self.next = mark;
+    }
+}
+
+/// One node's memory: a flat array of 32-bit floating-point words.
+///
+/// The real CM-2 stored data slicewise (one bit per bit-serial processor,
+/// §3); at the level this simulator models, a node's memory is simply an
+/// addressable vector of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeMemory {
+    words: Vec<f32>,
+}
+
+impl NodeMemory {
+    /// Allocates zeroed memory of `capacity` words.
+    pub fn new(capacity: usize) -> Self {
+        NodeMemory {
+            words: vec![0.0; capacity],
+        }
+    }
+
+    /// Capacity in words.
+    pub fn capacity(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Reads the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds.
+    #[inline]
+    pub fn read(&self, addr: usize) -> f32 {
+        self.words[addr]
+    }
+
+    /// Writes the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds.
+    #[inline]
+    pub fn write(&mut self, addr: usize, value: f32) {
+        self.words[addr] = value;
+    }
+
+    /// A slice view of a field.
+    pub fn field(&self, field: Field) -> &[f32] {
+        &self.words[field.base()..field.base() + field.len()]
+    }
+
+    /// A mutable slice view of a field.
+    pub fn field_mut(&mut self, field: Field) -> &mut [f32] {
+        &mut self.words[field.base()..field.base() + field.len()]
+    }
+
+    /// Fills a field with `value`.
+    pub fn fill_field(&mut self, field: Field, value: f32) {
+        self.field_mut(field).fill(value);
+    }
+
+    /// A slice view of `len` words starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, addr: usize, len: usize) -> &[f32] {
+        &self.words[addr..addr + len]
+    }
+
+    /// Copies `data` into memory starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn copy_from(&mut self, addr: usize, data: &[f32]) {
+        self.words[addr..addr + data.len()].copy_from_slice(data);
+    }
+
+    /// Copies `len` words from `src_addr` to `dst_addr` within this
+    /// memory (the regions may overlap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either range is out of bounds.
+    pub fn copy_within(&mut self, src_addr: usize, dst_addr: usize, len: usize) {
+        self.words.copy_within(src_addr..src_addr + len, dst_addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_sequential_and_bounded() {
+        let mut a = FieldAllocator::new(10);
+        let f1 = a.alloc(4).unwrap();
+        let f2 = a.alloc(6).unwrap();
+        assert_eq!(f1.base(), 0);
+        assert_eq!(f2.base(), 4);
+        let err = a.alloc(1).unwrap_err();
+        assert_eq!(err.available, 0);
+        assert!(err.to_string().contains("exhausted"));
+    }
+
+    #[test]
+    fn release_to_mark_reuses_space() {
+        let mut a = FieldAllocator::new(100);
+        a.alloc(10).unwrap();
+        let mark = a.mark();
+        a.alloc(50).unwrap();
+        a.release_to(mark);
+        assert_eq!(a.used(), 10);
+        let f = a.alloc(20).unwrap();
+        assert_eq!(f.base(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "ahead of allocator")]
+    fn future_mark_panics() {
+        let mut a = FieldAllocator::new(100);
+        a.release_to(5);
+    }
+
+    #[test]
+    fn field_addr_checks_bounds() {
+        let mut a = FieldAllocator::new(100);
+        let f = a.alloc(10).unwrap();
+        assert_eq!(f.addr(9), 9);
+        let result = std::panic::catch_unwind(|| f.addr(10));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn memory_read_write_roundtrip() {
+        let mut m = NodeMemory::new(16);
+        m.write(3, 2.5);
+        assert_eq!(m.read(3), 2.5);
+        assert_eq!(m.read(0), 0.0);
+    }
+
+    #[test]
+    fn field_views_window_the_memory() {
+        let mut a = FieldAllocator::new(16);
+        let _pad = a.alloc(2).unwrap();
+        let f = a.alloc(3).unwrap();
+        let mut m = NodeMemory::new(16);
+        m.fill_field(f, 7.0);
+        assert_eq!(m.field(f), &[7.0, 7.0, 7.0]);
+        assert_eq!(m.read(1), 0.0); // padding untouched
+        assert_eq!(m.read(2), 7.0);
+        assert_eq!(m.read(5), 0.0);
+    }
+}

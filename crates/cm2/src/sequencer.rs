@@ -1,0 +1,149 @@
+//! The sequencer's scratch data memory: the budget that loop unrolling
+//! spends.
+//!
+//! "A useful strategy is to keep the dynamic parts of floating-point
+//! instructions in the scratch data memory of the sequencer and feed
+//! them cycle by cycle to the floating-point units" (§4.3), and "there
+//! is a cost (in consumption of sequencer scratch data memory) to this
+//! unrolling, so the compiler attempts to minimize it" (§5.4) — while
+//! the half-strip design "conserves microcode instruction memory, which
+//! is a scarce resource" (§5.2).
+//!
+//! [`ScratchMemory`] models that budget: every dynamic part of every
+//! kernel a stencil call loads must fit. The compiler consults it when
+//! deciding which strip widths to keep.
+
+use crate::isa::Kernel;
+use std::fmt;
+
+/// Scratch-memory capacity of the paper-era sequencer, in dynamic-part
+/// entries. The CM-2's sequencer carried 16K words of scratch data
+/// memory; one dynamic part occupies one word.
+pub const DEFAULT_SCRATCH_ENTRIES: usize = 16 * 1024;
+
+/// The sequencer's scratch data memory budget.
+///
+/// # Examples
+///
+/// ```
+/// use cmcc_cm2::sequencer::ScratchMemory;
+///
+/// let scratch = ScratchMemory::default();
+/// assert!(scratch.capacity() >= 16 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScratchMemory {
+    capacity: usize,
+}
+
+/// A kernel set that does not fit the scratch memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScratchOverflow {
+    /// Entries demanded.
+    pub needed: usize,
+    /// Entries available.
+    pub capacity: usize,
+}
+
+impl fmt::Display for ScratchOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kernels need {} scratch-memory entries but the sequencer has {}",
+            self.needed, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for ScratchOverflow {}
+
+impl ScratchMemory {
+    /// A scratch memory of `capacity` dynamic-part entries.
+    pub fn new(capacity: usize) -> Self {
+        ScratchMemory { capacity }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries one kernel occupies: its prologue plus every unrolled
+    /// line.
+    pub fn entries_for(kernel: &Kernel) -> usize {
+        kernel.scratch_entries()
+    }
+
+    /// Checks that a set of kernels loaded together (all widths, both
+    /// walk directions of one stencil call) fits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScratchOverflow`] with the demand when it does not.
+    pub fn check<'a>(
+        &self,
+        kernels: impl IntoIterator<Item = &'a Kernel>,
+    ) -> Result<usize, ScratchOverflow> {
+        let needed: usize = kernels.into_iter().map(Kernel::scratch_entries).sum();
+        if needed <= self.capacity {
+            Ok(needed)
+        } else {
+            Err(ScratchOverflow {
+                needed,
+                capacity: self.capacity,
+            })
+        }
+    }
+}
+
+impl Default for ScratchMemory {
+    fn default() -> Self {
+        ScratchMemory::new(DEFAULT_SCRATCH_ENTRIES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{DynamicPart, StaticPart};
+
+    fn kernel_of(lines: usize, per_line: usize, prologue: usize) -> Kernel {
+        Kernel {
+            static_part: StaticPart::ChainedMac,
+            width: 1,
+            row_step: -1,
+            prologue: vec![DynamicPart::Nop; prologue],
+            body: vec![vec![DynamicPart::Nop; per_line]; lines],
+            useful_flops_per_line: 0,
+        }
+    }
+
+    #[test]
+    fn accounting_sums_prologue_and_unrolled_lines() {
+        let k = kernel_of(3, 10, 4);
+        assert_eq!(ScratchMemory::entries_for(&k), 34);
+    }
+
+    #[test]
+    fn check_accepts_within_capacity() {
+        let scratch = ScratchMemory::new(100);
+        let a = kernel_of(2, 20, 5);
+        let b = kernel_of(1, 40, 10);
+        assert_eq!(scratch.check([&a, &b]), Ok(95));
+    }
+
+    #[test]
+    fn check_rejects_overflow_with_demand() {
+        let scratch = ScratchMemory::new(50);
+        let a = kernel_of(3, 20, 0);
+        let err = scratch.check([&a]).unwrap_err();
+        assert_eq!(err.needed, 60);
+        assert_eq!(err.capacity, 50);
+        assert!(err.to_string().contains("60"));
+    }
+
+    #[test]
+    fn default_capacity_is_paper_scale() {
+        assert_eq!(ScratchMemory::default().capacity(), 16384);
+    }
+}

@@ -1,0 +1,219 @@
+//! Cycle accounting, flop rates, and machine-size extrapolation.
+//!
+//! The paper reports sustained Mflops on 16-node boards and extrapolates
+//! to the 2,048-node machine; "such extrapolations are quite reliable ...
+//! because the CM-2 is a completely synchronous SIMD machine; the time
+//! required for computation and grid communication does not change as the
+//! number of nodes is increased" (§7). [`Measurement::extrapolate`]
+//! implements exactly that rule: same elapsed time, flops scaled by the
+//! node ratio.
+
+use crate::config::MachineConfig;
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// A breakdown of the cycles one stencil call spends in each phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CycleBreakdown {
+    /// Interprocessor communication (halo exchange).
+    pub comm: u64,
+    /// FPU kernel execution, including loads/stores/drain bubbles and
+    /// half-strip startup.
+    pub compute: u64,
+    /// Front-end (host) dispatch overhead, expressed in CM cycles.
+    pub frontend: u64,
+}
+
+impl CycleBreakdown {
+    /// Total cycles: the front end and the CM overlap imperfectly on the
+    /// real machine; this model charges whichever is larger per call
+    /// *when the caller has already folded them*, so here total is the
+    /// plain sum of what was charged.
+    pub fn total(&self) -> u64 {
+        self.comm + self.compute + self.frontend
+    }
+
+    /// Elapsed seconds at the configured clock.
+    pub fn seconds(&self, cfg: &MachineConfig) -> f64 {
+        self.total() as f64 / cfg.clock_hz
+    }
+}
+
+impl Add for CycleBreakdown {
+    type Output = CycleBreakdown;
+
+    fn add(self, rhs: CycleBreakdown) -> CycleBreakdown {
+        CycleBreakdown {
+            comm: self.comm + rhs.comm,
+            compute: self.compute + rhs.compute,
+            frontend: self.frontend + rhs.frontend,
+        }
+    }
+}
+
+impl AddAssign for CycleBreakdown {
+    fn add_assign(&mut self, rhs: CycleBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for CycleBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles (comm {}, compute {}, front end {})",
+            self.total(),
+            self.comm,
+            self.compute,
+            self.frontend
+        )
+    }
+}
+
+/// A timed stencil execution: useful flops performed (per the paper's
+/// counting rule, §7: "Only useful floating-point operations are
+/// counted") and the cycles spent, on a machine of `nodes` nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Useful floating-point operations across the whole machine.
+    pub useful_flops: u64,
+    /// Cycle breakdown (identical on every node: the machine is SIMD).
+    pub cycles: CycleBreakdown,
+    /// Number of nodes that participated.
+    pub nodes: usize,
+}
+
+impl Measurement {
+    /// Sustained rate in Mflops.
+    pub fn mflops(&self, cfg: &MachineConfig) -> f64 {
+        let secs = self.cycles.seconds(cfg);
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.useful_flops as f64 / secs / 1.0e6
+    }
+
+    /// Sustained rate in Gflops.
+    pub fn gflops(&self, cfg: &MachineConfig) -> f64 {
+        self.mflops(cfg) / 1.0e3
+    }
+
+    /// Extrapolates to a machine of `to_nodes` nodes with the same
+    /// per-node subgrid: elapsed time is unchanged (fully synchronous
+    /// SIMD), total flops scale with the node count.
+    pub fn extrapolate(&self, to_nodes: usize) -> Measurement {
+        let ratio = to_nodes as f64 / self.nodes as f64;
+        Measurement {
+            useful_flops: (self.useful_flops as f64 * ratio).round() as u64,
+            cycles: self.cycles,
+            nodes: to_nodes,
+        }
+    }
+
+    /// Combines two measurements taken on the same machine (e.g. repeated
+    /// iterations): flops and cycles add.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node counts differ.
+    pub fn combine(&self, other: &Measurement) -> Measurement {
+        assert_eq!(self.nodes, other.nodes, "measurements from different machines");
+        Measurement {
+            useful_flops: self.useful_flops + other.useful_flops,
+            cycles: self.cycles + other.cycles,
+            nodes: self.nodes,
+        }
+    }
+
+    /// Scales the measurement to `n` identical iterations.
+    pub fn repeated(&self, n: u64) -> Measurement {
+        Measurement {
+            useful_flops: self.useful_flops * n,
+            cycles: CycleBreakdown {
+                comm: self.cycles.comm * n,
+                compute: self.cycles.compute * n,
+                frontend: self.cycles.frontend * n,
+            },
+            nodes: self.nodes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::test_board_16()
+    }
+
+    fn sample() -> Measurement {
+        Measurement {
+            useful_flops: 7_000_000,
+            cycles: CycleBreakdown {
+                comm: 100_000,
+                compute: 850_000,
+                frontend: 50_000,
+            },
+            nodes: 16,
+        }
+    }
+
+    #[test]
+    fn mflops_is_flops_over_elapsed() {
+        // 1e6 cycles at 7 MHz = 1/7 s; 7e6 flops / (1/7 s) = 49 Mflops.
+        let m = sample();
+        assert!((m.mflops(&cfg()) - 49.0).abs() < 1e-9);
+        assert!((m.gflops(&cfg()) - 0.049).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extrapolation_scales_flops_not_time() {
+        let m = sample();
+        let big = m.extrapolate(2048);
+        assert_eq!(big.cycles, m.cycles);
+        assert_eq!(big.useful_flops, 7_000_000 * 128);
+        let ratio = big.mflops(&cfg()) / m.mflops(&cfg());
+        assert!((ratio - 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_scales_everything() {
+        let m = sample().repeated(100);
+        assert_eq!(m.useful_flops, 700_000_000);
+        assert_eq!(m.cycles.comm, 10_000_000);
+        assert_eq!(m.mflops(&cfg()), sample().mflops(&cfg()));
+    }
+
+    #[test]
+    fn combine_adds() {
+        let m = sample().combine(&sample());
+        assert_eq!(m.useful_flops, 14_000_000);
+        assert_eq!(m.cycles.total(), 2_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "different machines")]
+    fn combine_rejects_mismatched_nodes() {
+        let a = sample();
+        let b = sample().extrapolate(2048);
+        let _ = a.combine(&b);
+    }
+
+    #[test]
+    fn zero_cycles_reports_zero_rate() {
+        let m = Measurement {
+            useful_flops: 10,
+            cycles: CycleBreakdown::default(),
+            nodes: 16,
+        };
+        assert_eq!(m.mflops(&cfg()), 0.0);
+    }
+
+    #[test]
+    fn breakdown_display_mentions_phases() {
+        let text = sample().cycles.to_string();
+        assert!(text.contains("comm"));
+        assert!(text.contains("front end"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the cm2 cost models and timing algebra.
+
+use cmcc_cm2::config::MachineConfig;
+use cmcc_cm2::grid::{Direction, NodeGrid};
+use cmcc_cm2::news::{news_exchange_cycles, old_exchange_cycles, ExchangeShape};
+use cmcc_cm2::timing::{CycleBreakdown, Measurement};
+use proptest::prelude::*;
+
+fn cfg() -> MachineConfig {
+    MachineConfig::test_board_16()
+}
+
+proptest! {
+    /// The new simultaneous primitive never costs more than the old
+    /// per-direction one, and both are monotone in the transfer sizes.
+    #[test]
+    fn new_primitive_dominates_old(
+        n in 0usize..10_000,
+        s in 0usize..10_000,
+        e in 0usize..10_000,
+        w in 0usize..10_000,
+    ) {
+        let shape = ExchangeShape { north: n, south: s, east: e, west: w };
+        let new = news_exchange_cycles(&cfg(), shape);
+        let old = old_exchange_cycles(&cfg(), shape);
+        prop_assert!(new <= old);
+        // Monotonicity: growing any one direction never reduces cost.
+        let bigger = ExchangeShape { north: n + 1, ..shape };
+        prop_assert!(news_exchange_cycles(&cfg(), bigger) >= new);
+        prop_assert!(old_exchange_cycles(&cfg(), bigger) >= old);
+    }
+
+    /// The new primitive's cost depends only on the largest transfer —
+    /// "the communications time will be proportional to the length of
+    /// the longer side" (§5.1).
+    #[test]
+    fn new_primitive_costs_the_maximum(
+        n in 1usize..10_000,
+        s in 1usize..10_000,
+        e in 1usize..10_000,
+        w in 1usize..10_000,
+    ) {
+        let shape = ExchangeShape { north: n, south: s, east: e, west: w };
+        let max = n.max(s).max(e).max(w);
+        let square = ExchangeShape { north: max, south: max, east: max, west: max };
+        prop_assert_eq!(
+            news_exchange_cycles(&cfg(), shape),
+            news_exchange_cycles(&cfg(), square)
+        );
+    }
+
+    /// Extrapolation preserves elapsed time and scales flops exactly with
+    /// the node ratio; repetition preserves the rate.
+    #[test]
+    fn timing_algebra_laws(
+        flops in 1u64..1_000_000_000,
+        comm in 0u64..1_000_000,
+        compute in 1u64..10_000_000,
+        frontend in 0u64..1_000_000,
+        reps in 1u64..1000,
+    ) {
+        let m = Measurement {
+            useful_flops: flops,
+            cycles: CycleBreakdown { comm, compute, frontend },
+            nodes: 16,
+        };
+        let big = m.extrapolate(2048);
+        prop_assert_eq!(big.cycles, m.cycles);
+        prop_assert_eq!(big.useful_flops, flops * 128);
+        let r = m.repeated(reps);
+        let rate_m = m.mflops(&cfg());
+        let rate_r = r.mflops(&cfg());
+        prop_assert!((rate_m - rate_r).abs() < 1e-6 * rate_m.max(1.0));
+    }
+
+    /// Torus navigation: four steps around any unit square return home,
+    /// and opposite directions cancel, on any grid shape.
+    #[test]
+    fn torus_navigation_laws(rows in 1usize..20, cols in 1usize..20, r in 0usize..20, c in 0usize..20) {
+        prop_assume!(r < rows && c < cols);
+        let g = NodeGrid::new(rows, cols);
+        let id = g.id(r, c);
+        for dir in Direction::ALL {
+            prop_assert_eq!(g.neighbor(g.neighbor(id, dir), dir.opposite()), id);
+        }
+        let square = g.neighbor(
+            g.neighbor(
+                g.neighbor(g.neighbor(id, Direction::North), Direction::East),
+                Direction::South,
+            ),
+            Direction::West,
+        );
+        prop_assert_eq!(square, id);
+    }
+
+    /// Gray-code hypercube embedding: grid neighbors are hypercube
+    /// neighbors on power-of-two grids (the §4.1 property).
+    #[test]
+    fn gray_embedding_property(rp in 0u32..5, cp in 0u32..5) {
+        let g = NodeGrid::new(1 << rp, 1 << cp);
+        for id in g.iter() {
+            for dir in Direction::ALL {
+                let n = g.neighbor(id, dir);
+                if n == id {
+                    continue; // 1-wide axis: self-neighbor
+                }
+                let diff = g.hypercube_address(id) ^ g.hypercube_address(n);
+                prop_assert_eq!(diff.count_ones(), 1);
+            }
+        }
+    }
+}

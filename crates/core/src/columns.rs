@@ -1,0 +1,309 @@
+//! Ring-buffer planning: sizing one register ring per multistencil column.
+//!
+//! "The solution is to treat separately each column of the multistencil.
+//! Instead of having a ring buffer of five rows ... the compiler treats
+//! each column as a separate ring buffer" (§5.4). Each line of a
+//! half-strip loads one *leading edge* element per column into the next
+//! slot of that column's ring; the rings rotate at different rates, so the
+//! register-access pattern repeats with period LCM(sizes) — the unroll
+//! factor of the compiled kernel.
+//!
+//! Sizing strategy (§5.4): "The strategy is to try to keep each ring
+//! buffer equal in size to the maximum column size, except for columns of
+//! height 1, because reducing a ring buffer to size 1 always saves
+//! registers and never makes the LCM larger. If this uses too many
+//! registers, then the compiler slowly compresses the columns, from
+//! smallest to largest, from their too-large size to their natural size."
+
+use crate::multistencil::{ColumnSpan, Multistencil};
+use std::fmt;
+
+/// One planned ring buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingSpec {
+    /// The multistencil column this ring serves.
+    pub span: ColumnSpan,
+    /// The chosen ring size (`span.height() ..= max column height`).
+    pub size: usize,
+}
+
+/// A complete ring plan for one multistencil.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingPlan {
+    rings: Vec<RingSpec>,
+    unroll: usize,
+}
+
+/// The multistencil does not fit the register budget even with
+/// natural-size rings, or its unroll factor exceeds the sequencer's
+/// scratch memory budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanError {
+    /// Register demand exceeds the budget at this width.
+    NotEnoughRegisters {
+        /// Registers required by natural-size rings.
+        needed: usize,
+        /// Registers available for data elements.
+        available: usize,
+    },
+    /// The best feasible plan's unroll factor exceeds `max_unroll`.
+    UnrollTooLarge {
+        /// The smallest achievable LCM within the register budget.
+        unroll: usize,
+        /// The configured cap.
+        max_unroll: usize,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::NotEnoughRegisters { needed, available } => write!(
+                f,
+                "multistencil needs {needed} data registers but only {available} are available"
+            ),
+            PlanError::UnrollTooLarge { unroll, max_unroll } => write!(
+                f,
+                "ring plan unrolls {unroll} lines, exceeding the scratch-memory cap of {max_unroll}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl RingPlan {
+    /// The rings, left to right by column.
+    pub fn rings(&self) -> &[RingSpec] {
+        &self.rings
+    }
+
+    /// The kernel unroll factor: LCM of all ring sizes.
+    pub fn unroll(&self) -> usize {
+        self.unroll
+    }
+
+    /// Total data registers consumed.
+    pub fn registers_used(&self) -> usize {
+        self.rings.iter().map(|r| r.size).sum()
+    }
+
+    /// The ring serving multistencil column `dcol`, if occupied.
+    pub fn ring_for(&self, dcol: i32) -> Option<&RingSpec> {
+        self.rings.iter().find(|r| r.span.dcol == dcol)
+    }
+}
+
+/// Plans ring buffers for `ms` within `budget` data registers, keeping the
+/// unroll factor at or below `max_unroll`.
+///
+/// # Errors
+///
+/// Returns [`PlanError::NotEnoughRegisters`] when even natural-size rings
+/// exceed the budget (the caller then tries a narrower multistencil, §5.3),
+/// or [`PlanError::UnrollTooLarge`] when every feasible plan unrolls more
+/// lines than the scratch-memory cap allows.
+pub fn plan_rings(ms: &Multistencil, budget: usize, max_unroll: usize) -> Result<RingPlan, PlanError> {
+    let columns = ms.columns();
+    let natural: usize = columns.iter().map(ColumnSpan::height).sum();
+    if natural > budget {
+        return Err(PlanError::NotEnoughRegisters {
+            needed: natural,
+            available: budget,
+        });
+    }
+    let max_height = columns.iter().map(ColumnSpan::height).max().unwrap_or(1);
+
+    // Start from the equalized plan: every ring at max height, except
+    // height-1 columns which stay at 1.
+    let mut sizes: Vec<usize> = columns
+        .iter()
+        .map(|c| if c.height() == 1 { 1 } else { max_height })
+        .collect();
+
+    // Compress columns from smallest natural height to largest until the
+    // plan fits the budget.
+    let mut order: Vec<usize> = (0..columns.len()).collect();
+    order.sort_by_key(|&i| columns[i].height());
+    let mut cursor = 0;
+    while sizes.iter().sum::<usize>() > budget {
+        let i = order[cursor];
+        sizes[i] = columns[i].height();
+        cursor += 1;
+    }
+
+    let mut unroll = sizes.iter().copied().fold(1, lcm);
+    if unroll > max_unroll {
+        // Fall back to fully natural sizes; occasionally (mixed heights
+        // with a shared factor) this yields a smaller LCM than the padded
+        // plan.
+        let natural_sizes: Vec<usize> = columns.iter().map(ColumnSpan::height).collect();
+        let natural_unroll = natural_sizes.iter().copied().fold(1, lcm);
+        if natural_unroll <= max_unroll {
+            sizes = natural_sizes;
+            unroll = natural_unroll;
+        } else {
+            return Err(PlanError::UnrollTooLarge {
+                unroll: unroll.min(natural_unroll),
+                max_unroll,
+            });
+        }
+    }
+
+    let rings = columns
+        .iter()
+        .zip(&sizes)
+        .map(|(&span, &size)| RingSpec { span, size })
+        .collect();
+    Ok(RingPlan { rings, unroll })
+}
+
+/// Least common multiple.
+pub fn lcm(a: usize, b: usize) -> usize {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    a / gcd(a, b) * b
+}
+
+/// Greatest common divisor.
+pub fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stencil::{Boundary, Stencil};
+
+    fn diamond13() -> Stencil {
+        let mut offsets = Vec::new();
+        for dr in -2i32..=2 {
+            for dc in -2i32..=2 {
+                if dr.abs() + dc.abs() <= 2 {
+                    offsets.push((dr, dc));
+                }
+            }
+        }
+        Stencil::from_offsets(offsets, Boundary::Circular).unwrap()
+    }
+
+    fn cross5() -> Stencil {
+        Stencil::from_offsets(
+            [(-1, 0), (0, -1), (0, 0), (0, 1), (1, 0)],
+            Boundary::Circular,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lcm_gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(5, 3), 15);
+        assert_eq!(lcm(1, 7), 7);
+        assert_eq!(lcm(0, 7), 0);
+    }
+
+    #[test]
+    fn paper_diamond_width4_compressed_plan() {
+        // §5.4: natural heights 1,3,5,5,5,5,3,1. Equalization pads the
+        // 3-columns to 5 (1-columns never pad); under a 31-register
+        // budget one 3-column compresses back, giving ring sizes of 5, 3
+        // and 1 with LCM 15.
+        let ms = Multistencil::new(&diamond13(), 4);
+        let plan = plan_rings(&ms, 31, 512).unwrap();
+        assert_eq!(plan.registers_used(), 30);
+        let sizes: Vec<usize> = plan.rings().iter().map(|r| r.size).collect();
+        assert_eq!(sizes, vec![1, 3, 5, 5, 5, 5, 5, 1]);
+        assert_eq!(plan.unroll(), 15);
+
+        // With a budget of exactly the natural demand, every padded
+        // column compresses to its natural height — the paper's
+        // 28-register figure.
+        let tight = plan_rings(&ms, 28, 512).unwrap();
+        assert_eq!(tight.registers_used(), 28);
+        let sizes: Vec<usize> = tight.rings().iter().map(|r| r.size).collect();
+        assert_eq!(sizes, vec![1, 3, 5, 5, 5, 5, 3, 1]);
+        assert_eq!(tight.unroll(), 15);
+    }
+
+    #[test]
+    fn equalized_plan_when_budget_allows() {
+        // Cross width 4: columns heights 1,3,3,3,3,1 (6 columns, natural
+        // 14). Equalized: 1,3,3,3,3,1 — already equal to max except the
+        // height-1 ends. Unroll = 3.
+        let ms = Multistencil::new(&cross5(), 4);
+        let plan = plan_rings(&ms, 31, 512).unwrap();
+        let sizes: Vec<usize> = plan.rings().iter().map(|r| r.size).collect();
+        assert_eq!(sizes, vec![1, 3, 3, 3, 3, 1]);
+        assert_eq!(plan.unroll(), 3);
+    }
+
+    #[test]
+    fn equalization_pads_shorter_columns_to_reduce_lcm() {
+        // A stencil whose columns have heights 2 and 3 (LCM 6) gets the
+        // height-2 ring padded to 3 when budget allows (LCM 3).
+        let s = Stencil::from_offsets([(-1, 0), (0, 0), (1, 0), (0, 1), (1, 1)], Boundary::Circular)
+            .unwrap();
+        let ms = Multistencil::new(&s, 1);
+        // columns: dcol 0 height 3, dcol 1 height 2.
+        let plan = plan_rings(&ms, 31, 512).unwrap();
+        let sizes: Vec<usize> = plan.rings().iter().map(|r| r.size).collect();
+        assert_eq!(sizes, vec![3, 3]);
+        assert_eq!(plan.unroll(), 3);
+
+        // With a budget of exactly 5, the smaller column compresses back
+        // to its natural height and the LCM grows to 6.
+        let tight = plan_rings(&ms, 5, 512).unwrap();
+        let sizes: Vec<usize> = tight.rings().iter().map(|r| r.size).collect();
+        assert_eq!(sizes, vec![3, 2]);
+        assert_eq!(tight.unroll(), 6);
+    }
+
+    #[test]
+    fn paper_diamond_width8_does_not_fit() {
+        // §5.3: "A width-8 multistencil would require 48 registers."
+        let ms = Multistencil::new(&diamond13(), 8);
+        let err = plan_rings(&ms, 31, 512).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::NotEnoughRegisters {
+                needed: 48,
+                available: 31
+            }
+        );
+        assert!(err.to_string().contains("48"));
+    }
+
+    #[test]
+    fn unroll_cap_is_enforced() {
+        let ms = Multistencil::new(&diamond13(), 4);
+        let err = plan_rings(&ms, 30, 8).unwrap_err();
+        assert!(matches!(err, PlanError::UnrollTooLarge { unroll: 15, .. }));
+    }
+
+    #[test]
+    fn height1_columns_never_pad() {
+        let ms = Multistencil::new(&cross5(), 8);
+        let plan = plan_rings(&ms, 31, 512).unwrap();
+        for ring in plan.rings() {
+            if ring.span.height() == 1 {
+                assert_eq!(ring.size, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_lookup_by_column() {
+        let ms = Multistencil::new(&cross5(), 2);
+        let plan = plan_rings(&ms, 31, 512).unwrap();
+        assert!(plan.ring_for(-1).is_some());
+        assert!(plan.ring_for(2).is_some());
+        assert!(plan.ring_for(3).is_none());
+    }
+}

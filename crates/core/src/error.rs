@@ -1,0 +1,111 @@
+//! The compiler's error type.
+
+use crate::recognize::RecognizeError;
+use cmcc_front::error::ParseError;
+use std::error::Error;
+use std::fmt;
+
+/// Anything that can go wrong between Fortran text and a compiled stencil.
+///
+/// The paper planned exactly this feedback path: "the presence of a
+/// directive justifies the compiler in providing feedback to the user,
+/// such as a warning if the statement could not be processed by this
+/// technique after all (for lack of registers, for example)" (§6).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The source text did not parse.
+    Parse(ParseError),
+    /// The statement parsed but is not in the convolution form.
+    Recognize(RecognizeError),
+    /// No strip width fits the register file — the stencil footprint is
+    /// too large even at width 1.
+    NoFeasibleWidth {
+        /// Data registers the narrowest multistencil demands.
+        needed: usize,
+        /// Data registers available.
+        available: usize,
+    },
+    /// A `SUBROUTINE` unit violated the expected shape (wrong declaration
+    /// ranks, missing arguments, several assignments, …).
+    Subroutine(String),
+    /// Even the narrowest kernel set overflows the sequencer's scratch
+    /// data memory ("a scarce resource", §5.2).
+    ScratchOverflow {
+        /// Entries the minimal kernel set demands.
+        needed: usize,
+        /// Entries available.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "parse error: {e}"),
+            CompileError::Recognize(e) => e.fmt(f),
+            CompileError::NoFeasibleWidth { needed, available } => write!(
+                f,
+                "stencil cannot be compiled for lack of registers: even a width-1 \
+                 multistencil needs {needed} data registers but only {available} are available"
+            ),
+            CompileError::Subroutine(msg) => write!(f, "unsupported subroutine shape: {msg}"),
+            CompileError::ScratchOverflow { needed, capacity } => write!(
+                f,
+                "stencil cannot be compiled: even the narrowest kernels need {needed} \
+                 sequencer scratch-memory entries but only {capacity} exist"
+            ),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Parse(e) => Some(e),
+            CompileError::Recognize(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for CompileError {
+    fn from(e: ParseError) -> Self {
+        CompileError::Parse(e)
+    }
+}
+
+impl From<RecognizeError> for CompileError {
+    fn from(e: RecognizeError) -> Self {
+        CompileError::Recognize(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmcc_front::span::Span;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let p = CompileError::from(ParseError::new("bad token", Span::point(0)));
+        assert!(p.to_string().contains("parse error"));
+        let n = CompileError::NoFeasibleWidth {
+            needed: 48,
+            available: 31,
+        };
+        assert!(n.to_string().contains("lack of registers"));
+        let s = CompileError::Subroutine("two assignments".into());
+        assert!(s.to_string().contains("two assignments"));
+    }
+
+    #[test]
+    fn source_chains_to_parse_error() {
+        let e = CompileError::from(ParseError::new("oops", Span::point(3)));
+        assert!(std::error::Error::source(&e).is_some());
+        let n = CompileError::NoFeasibleWidth {
+            needed: 1,
+            available: 0,
+        };
+        assert!(std::error::Error::source(&n).is_none());
+    }
+}

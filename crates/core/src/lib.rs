@@ -1,0 +1,72 @@
+//! The Connection Machine Convolution Compiler: stencil recognition,
+//! multistencil construction, ring-buffer register allocation, and kernel
+//! scheduling.
+//!
+//! This crate is the paper's primary contribution (Bromley, Heller,
+//! McNerney & Steele, *Fortran at Ten Gigaflops*, PLDI 1991): a compiler
+//! module that pattern-matches Fortran 90 array assignment statements of
+//! the sum-of-products form and compiles them into chained multiply-add
+//! kernels for the CM-2's Weitek floating-point units.
+//!
+//! The pipeline:
+//!
+//! 1. [`recognize`] — match the AST against the convolution form and
+//!    build [`stencil::Stencil`] IR;
+//! 2. [`multistencil`] — compute the footprint of `w` side-by-side
+//!    stencil instances (tried at widths 8, 4, 2, 1);
+//! 3. [`columns`] — size one register ring buffer per multistencil
+//!    column (equalize to the tallest column, compress smallest-first
+//!    under register pressure; the kernel unrolls LCM(ring sizes) lines);
+//! 4. [`regalloc`] — assign the 32 physical registers: `r0 ≡ 0.0`,
+//!    `r1 ≡ 1.0` when needed, result accumulators recycled from the
+//!    registers of the *tagged* (bottom-left) data elements;
+//! 5. [`schedule`] — emit per-line dynamic instruction parts: leading-edge
+//!    loads, interleaved multiply-add pairs, drain bubbles, stores;
+//! 6. [`compiler`] — the driver tying it together, producing a
+//!    [`compiler::CompiledStencil`] with one kernel pair per workable
+//!    width.
+//!
+//! # Examples
+//!
+//! ```
+//! use cmcc_core::Compiler;
+//!
+//! let compiled = Compiler::default().compile_assignment(
+//!     "R = C1 * CSHIFT(X, DIM=1, SHIFT=-1) \
+//!        + C2 * CSHIFT(X, DIM=2, SHIFT=-1) \
+//!        + C3 * X \
+//!        + C4 * CSHIFT(X, DIM=2, SHIFT=+1) \
+//!        + C5 * CSHIFT(X, DIM=1, SHIFT=+1)",
+//! )?;
+//! // The 5-point cross compiles at every width the paper attempts.
+//! assert_eq!(compiled.widths(), vec![8, 4, 2, 1]);
+//! # Ok::<(), cmcc_core::CompileError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod columns;
+pub mod compiler;
+pub mod error;
+pub mod multistencil;
+pub mod offset;
+pub mod patterns;
+pub mod pictogram;
+pub mod program;
+pub mod recognize;
+pub mod regalloc;
+pub mod schedule;
+pub mod stencil;
+pub mod unparse;
+
+pub use compiler::{CompiledStencil, Compiler, StripKernel};
+pub use error::CompileError;
+pub use offset::{Borders, Offset};
+pub use patterns::PaperPattern;
+pub use program::{compile_program, ProgramUnit, UnitOutcome, Warning};
+pub use recognize::{recognize, recognize_extended, CoeffSpec, StencilSpec};
+pub use regalloc::Walk;
+pub use schedule::KernelInfo;
+pub use stencil::{Boundary, CoeffRef, Stencil, Tap};
+pub use unparse::{unparse_spec, unparse_stencil};

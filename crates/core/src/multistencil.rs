@@ -1,0 +1,233 @@
+//! Multistencils: the composite footprint of `w` side-by-side stencil
+//! instances.
+//!
+//! "Placing eight copies of the pattern with their centers side by side
+//! shows the total set of data array elements actually needed to compute
+//! eight results ... We call this composite pattern a multistencil"
+//! (§5.3). Loading each element of the multistencil once — instead of
+//! once per result that uses it — is the central memory-bandwidth saving:
+//! the width-8 multistencil of the 5-point cross spans 26 positions
+//! rather than the naive 40 loads.
+
+use crate::offset::Offset;
+use crate::stencil::Stencil;
+use std::collections::BTreeSet;
+
+/// The footprint of `width` stencil instances at columns `0..width`.
+///
+/// Cells are keyed by `(source, offset)`: a multi-source stencil (the
+/// paper's §9 future work) keeps one resident element per source per
+/// position, and each source's columns get their own ring buffers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Multistencil {
+    width: usize,
+    cells: BTreeSet<(u16, Offset)>,
+}
+
+/// One column of a multistencil (within one source plane) and the rows
+/// it occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnSpan {
+    /// Which source array's plane this column lives in.
+    pub source: u16,
+    /// The column (offset from the first result position).
+    pub dcol: i32,
+    /// Topmost occupied row.
+    pub lo: i32,
+    /// Bottommost occupied row.
+    pub hi: i32,
+}
+
+impl ColumnSpan {
+    /// The column height: number of rows between top and bottom
+    /// inclusive. This is the *natural* ring-buffer size for the column
+    /// (§5.4).
+    pub fn height(&self) -> usize {
+        (self.hi - self.lo + 1) as usize
+    }
+}
+
+impl Multistencil {
+    /// Builds the multistencil of `stencil` at `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or the stencil has no taps.
+    pub fn new(stencil: &Stencil, width: usize) -> Self {
+        assert!(width > 0, "multistencil width must be nonzero");
+        let footprint = stencil.sourced_footprint();
+        assert!(
+            !footprint.is_empty(),
+            "cannot build a multistencil of a pure-bias stencil"
+        );
+        let mut cells = BTreeSet::new();
+        for i in 0..width as i32 {
+            for &(source, cell) in &footprint {
+                cells.insert((source, Offset::new(cell.drow, cell.dcol + i)));
+            }
+        }
+        Multistencil { width, cells }
+    }
+
+    /// The width this multistencil was built for.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of distinct positions — the count of data elements that
+    /// must be resident to compute one line of `width` results.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the multistencil covers `offset` in source plane `source`.
+    pub fn contains(&self, source: u16, offset: Offset) -> bool {
+        self.cells.contains(&(source, offset))
+    }
+
+    /// All `(source, offset)` cells, ordered by source then position.
+    pub fn cells(&self) -> impl Iterator<Item = (u16, Offset)> + '_ {
+        self.cells.iter().copied()
+    }
+
+    /// The occupied columns, left to right, each with its row span.
+    ///
+    /// Gaps inside a column still count toward its span (the ring buffer
+    /// streams every row between the column's top and bottom through its
+    /// registers); columns with no cells at all are absent.
+    pub fn columns(&self) -> Vec<ColumnSpan> {
+        let mut spans: Vec<ColumnSpan> = Vec::new();
+        for &(source, cell) in &self.cells {
+            match spans
+                .iter_mut()
+                .find(|s| s.source == source && s.dcol == cell.dcol)
+            {
+                Some(span) => {
+                    span.lo = span.lo.min(cell.drow);
+                    span.hi = span.hi.max(cell.drow);
+                }
+                None => spans.push(ColumnSpan {
+                    source,
+                    dcol: cell.dcol,
+                    lo: cell.drow,
+                    hi: cell.drow,
+                }),
+            }
+        }
+        spans.sort_by_key(|s| (s.source, s.dcol));
+        spans
+    }
+
+    /// Sum of all column heights: the register demand of natural-size
+    /// ring buffers.
+    pub fn natural_register_demand(&self) -> usize {
+        self.columns().iter().map(ColumnSpan::height).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stencil::Boundary;
+
+    fn cross5() -> Stencil {
+        Stencil::from_offsets(
+            [(-1, 0), (0, -1), (0, 0), (0, 1), (1, 0)],
+            Boundary::Circular,
+        )
+        .unwrap()
+    }
+
+    fn diamond13() -> Stencil {
+        let mut offsets = Vec::new();
+        for dr in -2i32..=2 {
+            for dc in -2i32..=2 {
+                if dr.abs() + dc.abs() <= 2 {
+                    offsets.push((dr, dc));
+                }
+            }
+        }
+        assert_eq!(offsets.len(), 13);
+        Stencil::from_offsets(offsets, Boundary::Circular).unwrap()
+    }
+
+    #[test]
+    fn paper_cross_width8_spans_26_positions() {
+        // §5.3: "It spans only 26 array positions; therefore only 26 data
+        // elements need be loaded in order to compute eight results."
+        let ms = Multistencil::new(&cross5(), 8);
+        assert_eq!(ms.cell_count(), 26);
+    }
+
+    #[test]
+    fn paper_diamond_register_demands() {
+        // §5.3: "A width-8 multistencil would require 48 registers, but
+        // the width-4 multistencil requires only 28 registers."
+        let d = diamond13();
+        assert_eq!(Multistencil::new(&d, 8).natural_register_demand(), 48);
+        assert_eq!(Multistencil::new(&d, 4).natural_register_demand(), 28);
+        assert_eq!(Multistencil::new(&d, 4).cell_count(), 28);
+    }
+
+    #[test]
+    fn paper_diamond_width4_column_heights() {
+        // §5.4: "the first and last columns require only a single
+        // register; the second and seventh columns require ring buffers of
+        // three registers apiece; and the middle four columns require five
+        // registers apiece."
+        let ms = Multistencil::new(&diamond13(), 4);
+        let heights: Vec<usize> = ms.columns().iter().map(ColumnSpan::height).collect();
+        assert_eq!(heights, vec![1, 3, 5, 5, 5, 5, 3, 1]);
+    }
+
+    #[test]
+    fn width1_multistencil_is_the_footprint() {
+        let ms = Multistencil::new(&cross5(), 1);
+        assert_eq!(ms.cell_count(), 5);
+        assert!(ms.contains(0, Offset::new(-1, 0)));
+        assert!(!ms.contains(0, Offset::new(-1, 1)));
+    }
+
+    #[test]
+    fn cross_width8_columns() {
+        let ms = Multistencil::new(&cross5(), 8);
+        let cols = ms.columns();
+        assert_eq!(cols.len(), 10); // dcol -1..=8
+        assert_eq!(cols[0].dcol, -1);
+        assert_eq!(cols[0].height(), 1); // west arm: middle row only
+        assert_eq!(cols[1].height(), 3); // full span
+        assert_eq!(cols[9].height(), 1); // east arm
+    }
+
+    #[test]
+    fn gapped_columns_span_their_extremes() {
+        // Taps at rows -2 and +2 in one column: the ring must span 5 rows
+        // even though the middle three are unused.
+        let s = Stencil::from_offsets([(-2, 0), (2, 0)], Boundary::Circular).unwrap();
+        let ms = Multistencil::new(&s, 1);
+        assert_eq!(ms.columns()[0].height(), 5);
+        assert_eq!(ms.cell_count(), 2);
+        assert_eq!(ms.natural_register_demand(), 5);
+    }
+
+    #[test]
+    fn shared_offsets_counted_once() {
+        let s = Stencil::new(
+            vec![
+                crate::stencil::Tap::new(0, 0, 0),
+                crate::stencil::Tap::new(0, 0, 1),
+            ],
+            vec![],
+            Boundary::Circular,
+            2,
+        )
+        .unwrap();
+        assert_eq!(Multistencil::new(&s, 4).cell_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_width_panics() {
+        let _ = Multistencil::new(&cross5(), 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Grid offsets: the displacement a shifted array reference reads from.
+
+use std::fmt;
+use std::ops::Add;
+
+/// A relative grid position `(drow, dcol)`.
+///
+/// Fortran's `CSHIFT(X, DIM=k, SHIFT=m)` produces an array whose element
+/// `i` is `X(i+m)` along dimension `k`; a term built from such shifts
+/// therefore reads the source at `position + offset`, where nested shifts
+/// compose additively. `DIM=1` is the row axis, `DIM=2` the column axis.
+///
+/// # Examples
+///
+/// ```
+/// use cmcc_core::offset::Offset;
+///
+/// // CSHIFT(CSHIFT(X, 1, -1), 2, +1) reads X(r-1, c+1).
+/// let o = Offset::new(-1, 0) + Offset::new(0, 1);
+/// assert_eq!(o, Offset::new(-1, 1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Offset {
+    /// Row displacement (negative = north).
+    pub drow: i32,
+    /// Column displacement (negative = west).
+    pub dcol: i32,
+}
+
+impl Offset {
+    /// The stencil center.
+    pub const CENTER: Offset = Offset { drow: 0, dcol: 0 };
+
+    /// Creates an offset.
+    pub fn new(drow: i32, dcol: i32) -> Self {
+        Offset { drow, dcol }
+    }
+
+    /// The offset of a single `CSHIFT(_, DIM=dim, SHIFT=shift)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not 1 or 2 (callers validate first).
+    pub fn from_shift(dim: u32, shift: i32) -> Self {
+        match dim {
+            1 => Offset::new(shift, 0),
+            2 => Offset::new(0, shift),
+            other => panic!("dimension {other} out of range for a 2-D stencil"),
+        }
+    }
+
+    /// Whether this offset is diagonal (touches a corner-neighbor
+    /// subgrid): both components nonzero.
+    pub fn is_diagonal(&self) -> bool {
+        self.drow != 0 && self.dcol != 0
+    }
+
+    /// Chebyshev radius: how far the offset extends in any direction.
+    pub fn radius(&self) -> u32 {
+        self.drow.unsigned_abs().max(self.dcol.unsigned_abs())
+    }
+}
+
+impl Add for Offset {
+    type Output = Offset;
+
+    fn add(self, rhs: Offset) -> Offset {
+        Offset::new(self.drow + rhs.drow, self.dcol + rhs.dcol)
+    }
+}
+
+impl fmt::Display for Offset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:+}, {:+})", self.drow, self.dcol)
+    }
+}
+
+/// The four border widths of a stencil: "The amount by which it extends
+/// in each direction from its center we will call the border width for
+/// that pattern in that direction" (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Borders {
+    /// Rows of neighbor data needed from the north.
+    pub north: u32,
+    /// Rows needed from the south.
+    pub south: u32,
+    /// Columns needed from the east.
+    pub east: u32,
+    /// Columns needed from the west.
+    pub west: u32,
+}
+
+impl Borders {
+    /// Computes border widths from a set of offsets.
+    pub fn of<'a>(offsets: impl IntoIterator<Item = &'a Offset>) -> Self {
+        let mut b = Borders::default();
+        for o in offsets {
+            b.north = b.north.max((-o.drow).max(0) as u32);
+            b.south = b.south.max(o.drow.max(0) as u32);
+            b.west = b.west.max((-o.dcol).max(0) as u32);
+            b.east = b.east.max(o.dcol.max(0) as u32);
+        }
+        b
+    }
+
+    /// The largest of the four widths. The halo protocol pads "on all
+    /// four sides by the largest of the four border widths" (§5.1).
+    pub fn max_width(&self) -> u32 {
+        self.north.max(self.south).max(self.east).max(self.west)
+    }
+
+    /// Whether the stencil needs no neighbor data at all.
+    pub fn is_zero(&self) -> bool {
+        self.max_width() == 0
+    }
+}
+
+impl fmt::Display for Borders {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "N={} S={} E={} W={}",
+            self.north, self.south, self.east, self.west
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_offsets_follow_fortran_semantics() {
+        assert_eq!(Offset::from_shift(1, -1), Offset::new(-1, 0));
+        assert_eq!(Offset::from_shift(2, 3), Offset::new(0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dim_three_panics() {
+        let _ = Offset::from_shift(3, 1);
+    }
+
+    #[test]
+    fn composition_is_additive() {
+        let o = Offset::from_shift(1, -2) + Offset::from_shift(2, 1) + Offset::from_shift(1, 1);
+        assert_eq!(o, Offset::new(-1, 1));
+    }
+
+    #[test]
+    fn diagonal_detection() {
+        assert!(Offset::new(1, -1).is_diagonal());
+        assert!(!Offset::new(0, 5).is_diagonal());
+        assert!(!Offset::CENTER.is_diagonal());
+    }
+
+    #[test]
+    fn paper_asymmetric_border_example() {
+        // §5.1 example: East 1, North 2, South 0, West 3.
+        let offsets = [
+            Offset::new(0, 1),
+            Offset::new(-2, 0),
+            Offset::new(0, -3),
+            Offset::new(-1, -1),
+        ];
+        let b = Borders::of(&offsets);
+        assert_eq!(b.east, 1);
+        assert_eq!(b.north, 2);
+        assert_eq!(b.south, 0);
+        assert_eq!(b.west, 3);
+        assert_eq!(b.max_width(), 3);
+    }
+
+    #[test]
+    fn center_only_stencil_has_zero_borders() {
+        let b = Borders::of(&[Offset::CENTER]);
+        assert!(b.is_zero());
+    }
+
+    #[test]
+    fn radius_is_chebyshev() {
+        assert_eq!(Offset::new(-2, 1).radius(), 2);
+        assert_eq!(Offset::new(0, -3).radius(), 3);
+    }
+
+    #[test]
+    fn display_shows_signs() {
+        assert_eq!(Offset::new(-1, 2).to_string(), "(-1, +2)");
+    }
+}

@@ -1,0 +1,213 @@
+//! The stencil patterns drawn in the paper, as reusable Fortran sources.
+//!
+//! §2 and §5 of the paper draw several concrete patterns: the 5-point
+//! cross, a 9-point axis star with shifts of ±1 and ±2, the 9-point 3×3
+//! square built from nested shifts, an asymmetric 5-point pattern, and
+//! the 13-point diamond used to motivate per-column ring buffers. §7
+//! additionally times a seismic kernel ("a nine-point cross stencil plus
+//! an additional term"). Each variant here carries the Fortran statement
+//! the paper would write for it; [`PaperPattern::spec`] runs it through
+//! the real front end and recognizer so tests, examples, and benchmarks
+//! all exercise the production path.
+
+use crate::error::CompileError;
+use crate::recognize::{recognize, StencilSpec};
+use crate::stencil::Stencil;
+use cmcc_front::parser::parse_assignment;
+use std::fmt;
+
+/// The named patterns of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperPattern {
+    /// The 5-point von Neumann cross (§2's first example; 9 flops/point).
+    Cross5,
+    /// The 9-point axis star with shifts ±1 and ±2 (§2's second example;
+    /// 17 flops/point).
+    Star9,
+    /// The dense 3×3 square written with nested shifts (§2; 17
+    /// flops/point).
+    Square9,
+    /// §2's asymmetric, uncentered 5-point example (9 flops/point).
+    Asymmetric5,
+    /// The 13-point diamond of §5.3–5.4 (25 flops/point; no width-8
+    /// kernel fits).
+    Diamond13,
+}
+
+impl PaperPattern {
+    /// All patterns, in presentation order.
+    pub const ALL: [PaperPattern; 5] = [
+        PaperPattern::Cross5,
+        PaperPattern::Star9,
+        PaperPattern::Square9,
+        PaperPattern::Asymmetric5,
+        PaperPattern::Diamond13,
+    ];
+
+    /// The four patterns the results table is reproduced over (the OCR of
+    /// the paper's table makes the exact pattern↔block mapping ambiguous;
+    /// see EXPERIMENTS.md).
+    pub const TABLE: [PaperPattern; 4] = [
+        PaperPattern::Cross5,
+        PaperPattern::Star9,
+        PaperPattern::Square9,
+        PaperPattern::Diamond13,
+    ];
+
+    /// A short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PaperPattern::Cross5 => "5-point cross",
+            PaperPattern::Star9 => "9-point star",
+            PaperPattern::Square9 => "9-point square",
+            PaperPattern::Asymmetric5 => "asymmetric 5-point",
+            PaperPattern::Diamond13 => "13-point diamond",
+        }
+    }
+
+    /// The Fortran 90 assignment statement for this pattern, as the paper
+    /// writes it.
+    pub fn fortran(&self) -> String {
+        match self {
+            PaperPattern::Cross5 => "R = C1 * CSHIFT (X, DIM=1, SHIFT=-1) \
+                                       + C2 * CSHIFT (X, DIM=2, SHIFT=-1) \
+                                       + C3 * X \
+                                       + C4 * CSHIFT (X, DIM=2, SHIFT=+1) \
+                                       + C5 * CSHIFT (X, DIM=1, SHIFT=+1)"
+                .to_owned(),
+            PaperPattern::Star9 => "R = C1 * CSHIFT (X, DIM=1, SHIFT=-2) \
+                                      + C2 * CSHIFT (X, DIM=1, SHIFT=-1) \
+                                      + C3 * CSHIFT (X, DIM=2, SHIFT=-2) \
+                                      + C4 * CSHIFT (X, DIM=2, SHIFT=-1) \
+                                      + C5 * X \
+                                      + C6 * CSHIFT (X, DIM=2, SHIFT=+2) \
+                                      + C7 * CSHIFT (X, DIM=2, SHIFT=+1) \
+                                      + C8 * CSHIFT (X, DIM=1, SHIFT=+1) \
+                                      + C9 * CSHIFT (X, DIM=1, SHIFT=+2)"
+                .to_owned(),
+            PaperPattern::Square9 => "R = C1 * CSHIFT(CSHIFT (X, 1,-1) ,2, -1) \
+                                        + C2 * CSHIFT(X, 1, -1) \
+                                        + C3 * CSHIFT(CSHIFT (X,1,-1) ,2,+1) \
+                                        + C4 * CSHIFT (X,2,-1) \
+                                        + C5 * X \
+                                        + C6 * CSHIFT (X,2,+1) \
+                                        + C7 * CSHIFT (CSHIFT (X, 1,+1) ,2, -1) \
+                                        + C8 * CSHIFT(X, 1,+1) \
+                                        + C9 * CSHIFT(CSHIFT (X, 1,+1) ,2, +1)"
+                .to_owned(),
+            PaperPattern::Asymmetric5 => "R = C1 * X \
+                                            + C2 * CSHIFT (X,2,+1) \
+                                            + C3 * CSHIFT(CSHIFT (X, 1,+1) ,2,-1) \
+                                            + C4 * CSHIFT (X, 1,+1) \
+                                            + C5 * CSHIFT (X,1,+2)"
+                .to_owned(),
+            PaperPattern::Diamond13 => {
+                let mut terms = Vec::new();
+                let mut i = 0;
+                for dr in -2i32..=2 {
+                    for dc in -2i32..=2 {
+                        if dr.abs() + dc.abs() <= 2 {
+                            i += 1;
+                            terms.push(match (dr, dc) {
+                                (0, 0) => format!("C{i} * X"),
+                                (dr, 0) => format!("C{i} * CSHIFT(X, 1, {dr:+})"),
+                                (0, dc) => format!("C{i} * CSHIFT(X, 2, {dc:+})"),
+                                (dr, dc) => {
+                                    format!("C{i} * CSHIFT(CSHIFT(X, 1, {dr:+}), 2, {dc:+})")
+                                }
+                            });
+                        }
+                    }
+                }
+                format!("R = {}", terms.join(" + "))
+            }
+        }
+    }
+
+    /// Parses and recognizes the pattern through the production front end.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the built-in patterns in practice; the `Result`
+    /// propagates the front-end plumbing.
+    pub fn spec(&self) -> Result<StencilSpec, CompileError> {
+        let stmt = parse_assignment(&self.fortran())?;
+        Ok(recognize(&stmt)?)
+    }
+
+    /// The stencil IR for this pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the built-in source fails to recognize (a bug).
+    pub fn stencil(&self) -> Stencil {
+        self.spec()
+            .unwrap_or_else(|e| panic!("builtin pattern {self} failed to compile: {e}"))
+            .stencil
+    }
+
+    /// Number of taps.
+    pub fn points(&self) -> usize {
+        match self {
+            PaperPattern::Cross5 | PaperPattern::Asymmetric5 => 5,
+            PaperPattern::Star9 | PaperPattern::Square9 => 9,
+            PaperPattern::Diamond13 => 13,
+        }
+    }
+}
+
+impl fmt::Display for PaperPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_patterns_recognize() {
+        for p in PaperPattern::ALL {
+            let spec = p.spec().unwrap();
+            assert_eq!(spec.stencil.taps().len(), p.points(), "{p}");
+            assert_eq!(spec.source(), "X");
+            assert_eq!(spec.target, "R");
+        }
+    }
+
+    #[test]
+    fn flop_counts_match_the_paper_rule() {
+        assert_eq!(PaperPattern::Cross5.stencil().useful_flops_per_point(), 9);
+        assert_eq!(PaperPattern::Star9.stencil().useful_flops_per_point(), 17);
+        assert_eq!(PaperPattern::Square9.stencil().useful_flops_per_point(), 17);
+        assert_eq!(
+            PaperPattern::Asymmetric5.stencil().useful_flops_per_point(),
+            9
+        );
+        assert_eq!(
+            PaperPattern::Diamond13.stencil().useful_flops_per_point(),
+            25
+        );
+    }
+
+    #[test]
+    fn corner_exchange_requirements() {
+        assert!(!PaperPattern::Cross5.stencil().needs_corner_exchange());
+        assert!(!PaperPattern::Star9.stencil().needs_corner_exchange());
+        assert!(PaperPattern::Square9.stencil().needs_corner_exchange());
+        assert!(PaperPattern::Diamond13.stencil().needs_corner_exchange());
+    }
+
+    #[test]
+    fn asymmetric_borders_match_section_2() {
+        let b = PaperPattern::Asymmetric5.stencil().borders();
+        assert_eq!((b.north, b.south, b.east, b.west), (0, 2, 1, 1));
+    }
+
+    #[test]
+    fn star_borders_are_two_everywhere() {
+        let b = PaperPattern::Star9.stencil().borders();
+        assert_eq!((b.north, b.south, b.east, b.west), (2, 2, 2, 2));
+    }
+}

@@ -1,0 +1,146 @@
+//! ASCII rendering of stencils and multistencils.
+//!
+//! The paper communicates stencil shapes with pictograms: shaded squares
+//! for contributing positions and a bullet for the result position. This
+//! module reproduces those figures in ASCII for the `repro_stencils`
+//! binary and for diagnostics: `#` marks a tap, `@` a tap at the result
+//! position, `o` the result position when it is not itself a tap, and
+//! `.` empty grid.
+
+use crate::offset::Offset;
+use crate::stencil::Stencil;
+
+/// Renders a stencil pattern as the paper draws it.
+///
+/// # Examples
+///
+/// ```
+/// use cmcc_core::patterns::PaperPattern;
+/// use cmcc_core::pictogram::render_stencil;
+///
+/// let art = render_stencil(&PaperPattern::Cross5.stencil());
+/// assert_eq!(art, ". # .\n# @ #\n. # .\n");
+/// ```
+pub fn render_stencil(stencil: &Stencil) -> String {
+    let cells = stencil.footprint();
+    render_cells(&cells, &[Offset::CENTER])
+}
+
+/// Renders a multistencil (the union over all sources) with all `w`
+/// result positions marked.
+pub fn render_multistencil(stencil: &Stencil, width: usize) -> String {
+    let mut cells = Vec::new();
+    for i in 0..width as i32 {
+        for cell in stencil.footprint() {
+            let shifted = Offset::new(cell.drow, cell.dcol + i);
+            if !cells.contains(&shifted) {
+                cells.push(shifted);
+            }
+        }
+    }
+    let results: Vec<Offset> = (0..width as i32).map(|i| Offset::new(0, i)).collect();
+    render_cells(&cells, &results)
+}
+
+fn render_cells(cells: &[Offset], results: &[Offset]) -> String {
+    let min_r = cells
+        .iter()
+        .chain(results)
+        .map(|o| o.drow)
+        .min()
+        .unwrap_or(0);
+    let max_r = cells
+        .iter()
+        .chain(results)
+        .map(|o| o.drow)
+        .max()
+        .unwrap_or(0);
+    let min_c = cells
+        .iter()
+        .chain(results)
+        .map(|o| o.dcol)
+        .min()
+        .unwrap_or(0);
+    let max_c = cells
+        .iter()
+        .chain(results)
+        .map(|o| o.dcol)
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for r in min_r..=max_r {
+        for c in min_c..=max_c {
+            if c > min_c {
+                out.push(' ');
+            }
+            let here = Offset::new(r, c);
+            let is_cell = cells.contains(&here);
+            let is_result = results.contains(&here);
+            out.push(match (is_cell, is_result) {
+                (true, true) => '@',
+                (true, false) => '#',
+                (false, true) => 'o',
+                (false, false) => '.',
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::PaperPattern;
+
+    #[test]
+    fn cross_renders_as_a_plus() {
+        let art = render_stencil(&PaperPattern::Cross5.stencil());
+        assert_eq!(art, ". # .\n# @ #\n. # .\n");
+    }
+
+    #[test]
+    fn diamond_renders_symmetric() {
+        let art = render_stencil(&PaperPattern::Diamond13.stencil());
+        let expected = "\
+. . # . .
+. # # # .
+# # @ # #
+. # # # .
+. . # . .
+";
+        assert_eq!(art, expected);
+    }
+
+    #[test]
+    fn asymmetric_marks_offcenter_result() {
+        // §2's uncentered pattern: the bullet is a tap here.
+        let art = render_stencil(&PaperPattern::Asymmetric5.stencil());
+        assert!(art.contains('@'));
+        // The pattern extends 2 rows south of the result.
+        assert_eq!(art.lines().count(), 3);
+    }
+
+    #[test]
+    fn multistencil_of_cross_width_4() {
+        let art = render_multistencil(&PaperPattern::Cross5.stencil(), 4);
+        let expected = "\
+. # # # # .
+# @ @ @ @ #
+. # # # # .
+";
+        assert_eq!(art, expected);
+    }
+
+    #[test]
+    fn result_outside_cells_rendered_as_o() {
+        // A stencil that does not read its own center.
+        let s = crate::stencil::Stencil::from_offsets(
+            [(-1, 0), (1, 0)],
+            crate::stencil::Boundary::Circular,
+        )
+        .unwrap();
+        let art = render_stencil(&s);
+        assert_eq!(art, "#\no\n#\n");
+    }
+}

@@ -1,0 +1,298 @@
+//! Whole-program compilation with structured-comment directives — the
+//! paper's third implementation (§6).
+//!
+//! "The third version ... will be fully integrated into the CM Fortran
+//! compiler ... The need for isolated subroutines will be eliminated. We
+//! plan to allow the user to flag stencil assignment statements with a
+//! directive in the form of a structured comment; while the compiler can
+//! easily recognize candidate assignment statements, the presence of a
+//! directive justifies the compiler in providing feedback to the user,
+//! such as a warning if the statement could not be processed by this
+//! technique after all (for lack of registers, for example)."
+//!
+//! [`compile_program`] implements exactly that contract:
+//!
+//! * every assignment statement is a *candidate* and is compiled when it
+//!   matches the convolution form;
+//! * statements flagged `!CMF$ STENCIL` that cannot be compiled produce a
+//!   [`Warning`] with a rendered caret diagnostic;
+//! * unflagged non-stencil statements are silently left to generic code.
+//!
+//! `!CMF$ STENCIL MULTI` additionally opts the statement into the
+//! multi-source extension.
+
+use crate::compiler::{CompiledStencil, Compiler};
+use crate::error::CompileError;
+use crate::recognize::{recognize, recognize_extended};
+use cmcc_front::ast::DirectedStmt;
+use cmcc_front::error::ParseError;
+use cmcc_front::parser::parse_program;
+use std::fmt;
+
+/// A compiler warning on a flagged statement, with the paper's promised
+/// feedback.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Warning {
+    /// What went wrong, in one sentence.
+    pub message: String,
+    /// A rendered caret diagnostic pointing into the program source.
+    pub rendered: String,
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "warning: {}", self.message)
+    }
+}
+
+/// What became of one statement of the program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnitOutcome {
+    /// Compiled to convolution kernels.
+    Stencil(Box<CompiledStencil>),
+    /// Flagged with a directive but not compilable: a warning, per §6.
+    Flagged(Warning),
+    /// Not a stencil and not flagged: left to the generic compiler,
+    /// silently (the reason is recorded for tooling).
+    Generic {
+        /// Why the statement was passed over.
+        reason: String,
+    },
+}
+
+impl UnitOutcome {
+    /// The compiled stencil, if this unit produced one.
+    pub fn compiled(&self) -> Option<&CompiledStencil> {
+        match self {
+            UnitOutcome::Stencil(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// One statement's compilation record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramUnit {
+    /// The statement, printed back from the AST.
+    pub statement: String,
+    /// The directive text, if the statement was flagged.
+    pub directive: Option<String>,
+    /// What happened.
+    pub outcome: UnitOutcome,
+}
+
+/// Compiles a whole program unit: every statement is a candidate; flagged
+/// failures warn.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] only for malformed source text — recognition
+/// and register failures are per-unit outcomes, not errors.
+///
+/// # Examples
+///
+/// ```
+/// use cmcc_core::compiler::Compiler;
+/// use cmcc_core::program::{compile_program, UnitOutcome};
+///
+/// let units = compile_program(
+///     &Compiler::default(),
+///     "Q = A / B\n\
+///      !CMF$ STENCIL\n\
+///      R = C1 * CSHIFT(X, 1, -1) + C2 * X\n",
+/// )?;
+/// assert!(matches!(units[0].outcome, UnitOutcome::Generic { .. }));
+/// assert!(units[1].outcome.compiled().is_some());
+/// # Ok::<(), cmcc_front::error::ParseError>(())
+/// ```
+pub fn compile_program(
+    compiler: &Compiler,
+    source: &str,
+) -> Result<Vec<ProgramUnit>, ParseError> {
+    let program = parse_program(source)?;
+    Ok(program
+        .stmts
+        .iter()
+        .map(|unit| compile_unit(compiler, source, unit))
+        .collect())
+}
+
+fn compile_unit(compiler: &Compiler, source: &str, unit: &DirectedStmt) -> ProgramUnit {
+    let statement = unit.stmt.to_string();
+    let directive = unit.directive.as_ref().map(|d| d.value.clone());
+
+    // Directive validation: only STENCIL (optionally MULTI) is known.
+    let mut multi = false;
+    if let Some(d) = &unit.directive {
+        let words: Vec<&str> = d.value.split_whitespace().collect();
+        match words.as_slice() {
+            ["STENCIL"] | ["stencil"] => {}
+            ["STENCIL", "MULTI"] | ["stencil", "multi"] => multi = true,
+            _ => {
+                return ProgramUnit {
+                    statement,
+                    directive,
+                    outcome: UnitOutcome::Flagged(Warning {
+                        message: format!("unknown directive `!CMF$ {}`", d.value),
+                        rendered: ParseError::new(
+                            format!("unknown directive `!CMF$ {}`", d.value),
+                            d.span,
+                        )
+                        .render(source),
+                    }),
+                };
+            }
+        }
+    }
+
+    let recognized = if multi {
+        recognize_extended(&unit.stmt)
+    } else {
+        recognize(&unit.stmt)
+    };
+    let failure: CompileError = match recognized {
+        Ok(spec) => match compiler.compile(spec) {
+            Ok(compiled) => {
+                return ProgramUnit {
+                    statement,
+                    directive,
+                    outcome: UnitOutcome::Stencil(Box::new(compiled)),
+                }
+            }
+            Err(e) => e,
+        },
+        Err(e) => e.into(),
+    };
+
+    // The statement is not compilable by this technique. Flagged →
+    // warning with a diagnostic; unflagged → silently generic.
+    if unit.directive.is_some() {
+        let rendered = match &failure {
+            CompileError::Recognize(e) => {
+                ParseError::new(e.message().to_owned(), e.span()).render(source)
+            }
+            other => format!("error: {other}\n"),
+        };
+        let message = match &failure {
+            CompileError::NoFeasibleWidth { .. } => {
+                // The paper's example: "for lack of registers".
+                format!("statement could not be processed by this technique: {failure}")
+            }
+            _ => format!("statement is not a stencil computation: {failure}"),
+        };
+        ProgramUnit {
+            statement,
+            directive,
+            outcome: UnitOutcome::Flagged(Warning { message, rendered }),
+        }
+    } else {
+        ProgramUnit {
+            statement,
+            directive,
+            outcome: UnitOutcome::Generic {
+                reason: failure.to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::PaperPattern;
+
+    fn compiler() -> Compiler {
+        Compiler::default()
+    }
+
+    #[test]
+    fn candidates_compile_without_directives() {
+        // §6: "the compiler can easily recognize candidate assignment
+        // statements" — no directive needed for a match.
+        let units = compile_program(&compiler(), &PaperPattern::Cross5.fortran()).unwrap();
+        assert_eq!(units.len(), 1);
+        assert!(units[0].outcome.compiled().is_some());
+        assert!(units[0].directive.is_none());
+    }
+
+    #[test]
+    fn flagged_failures_warn_with_diagnostics() {
+        let src = "!CMF$ STENCIL\nR = C1 * X - C2 * CSHIFT(X, 1, 1)\n";
+        let units = compile_program(&compiler(), src).unwrap();
+        let UnitOutcome::Flagged(warning) = &units[0].outcome else {
+            panic!("expected a warning, got {:?}", units[0].outcome);
+        };
+        assert!(warning.message.contains("subtraction"), "{warning}");
+        assert!(warning.rendered.contains('^'), "{}", warning.rendered);
+    }
+
+    #[test]
+    fn flagged_register_exhaustion_warns_like_the_paper() {
+        // §6's example feedback: "for lack of registers".
+        let terms: Vec<String> = (0..41)
+            .map(|i| format!("C{i} * CSHIFT(X, 2, {})", i - 20))
+            .collect();
+        let src = format!("!CMF$ STENCIL\nR = {}\n", terms.join(" + "));
+        let units = compile_program(&compiler(), &src).unwrap();
+        let UnitOutcome::Flagged(warning) = &units[0].outcome else {
+            panic!("expected a warning");
+        };
+        assert!(
+            warning.message.contains("could not be processed"),
+            "{warning}"
+        );
+        assert!(warning.message.contains("registers"), "{warning}");
+    }
+
+    #[test]
+    fn unflagged_failures_stay_silent() {
+        let units = compile_program(&compiler(), "Q = A / B\n").unwrap();
+        assert!(matches!(
+            &units[0].outcome,
+            UnitOutcome::Generic { reason } if reason.contains('/')
+        ));
+    }
+
+    #[test]
+    fn multi_directive_enables_fusion() {
+        let src = "!CMF$ STENCIL MULTI\nR = CSHIFT(A, 1, 1) + CSHIFT(B, 2, 1)\n";
+        let units = compile_program(&compiler(), src).unwrap();
+        let compiled = units[0].outcome.compiled().expect("compiles under MULTI");
+        assert!(compiled.stencil().is_multi_source());
+
+        // Without MULTI, the same statement warns.
+        let src = "!CMF$ STENCIL\nR = CSHIFT(A, 1, 1) + CSHIFT(B, 2, 1)\n";
+        let units = compile_program(&compiler(), src).unwrap();
+        assert!(matches!(units[0].outcome, UnitOutcome::Flagged(_)));
+    }
+
+    #[test]
+    fn unknown_directives_warn() {
+        let src = "!CMF$ VECTORIZE\nR = C * X\n";
+        let units = compile_program(&compiler(), src).unwrap();
+        let UnitOutcome::Flagged(warning) = &units[0].outcome else {
+            panic!("expected a warning");
+        };
+        assert!(warning.message.contains("VECTORIZE"), "{warning}");
+    }
+
+    #[test]
+    fn mixed_programs_compile_statement_by_statement() {
+        let src = format!(
+            "Q = A / B\n!CMF$ STENCIL\n{}\nP = C * D\n",
+            PaperPattern::Square9.fortran()
+        );
+        let units = compile_program(&compiler(), &src).unwrap();
+        assert_eq!(units.len(), 3);
+        assert!(matches!(units[0].outcome, UnitOutcome::Generic { .. }));
+        assert!(units[1].outcome.compiled().is_some());
+        // `P = C * D` is a legal stencil candidate (identity on D).
+        assert!(units[2].outcome.compiled().is_some());
+    }
+
+    #[test]
+    fn trailing_directive_is_a_parse_error() {
+        let err = compile_program(&compiler(), "R = C * X\n!CMF$ STENCIL\n").unwrap_err();
+        assert!(err.message().contains("not followed"));
+    }
+}

@@ -1,0 +1,349 @@
+//! Physical register assignment over the WTL3164's 32-register file.
+//!
+//! Register conventions (§5.3):
+//! * register 0 always holds `0.0` — chains start by adding it, and dummy
+//!   multiply-adds park their results there;
+//! * register 1 holds `1.0` *only* when the statement has a bare
+//!   coefficient term (`… + C`), leaving "31 or 30 registers into which to
+//!   load data elements";
+//! * every remaining register belongs to some column's ring buffer;
+//! * the accumulator for result *i* is not a separate register at all —
+//!   it recycles the register currently holding the *tagged* (bottom-left)
+//!   data element of stencil instance *i*.
+
+use crate::columns::{RingPlan, RingSpec};
+use crate::multistencil::ColumnSpan;
+use cmcc_cm2::config::FPU_REGISTERS;
+use cmcc_cm2::isa::Reg;
+use std::fmt;
+
+/// Direction a kernel walks its half-strip.
+///
+/// The paper's kernels walk toward decreasing rows ("the line just above
+/// this one", §5.4), recycling the bottommost row; the mirrored southward
+/// walk lets the second half-strip also start at a subgrid edge and move
+/// toward the center (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Walk {
+    /// Rows decrease line by line; the leading edge is each column's
+    /// topmost row and the bottommost row recycles.
+    North,
+    /// Rows increase line by line; roles are mirrored.
+    South,
+}
+
+impl Walk {
+    /// The per-line row step.
+    pub fn row_step(&self) -> i32 {
+        match self {
+            Walk::North => -1,
+            Walk::South => 1,
+        }
+    }
+
+    /// The leading-edge row of a column: the row whose element is newly
+    /// loaded each line.
+    pub fn edge_row(&self, span: &ColumnSpan) -> i32 {
+        match self {
+            Walk::North => span.lo,
+            Walk::South => span.hi,
+        }
+    }
+
+    /// How many lines ago the element at `drow` entered its ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drow` is outside the column span.
+    pub fn age(&self, span: &ColumnSpan, drow: i32) -> usize {
+        assert!(
+            (span.lo..=span.hi).contains(&drow),
+            "row {drow} outside column span {}..={}",
+            span.lo,
+            span.hi
+        );
+        match self {
+            Walk::North => (drow - span.lo) as usize,
+            Walk::South => (span.hi - drow) as usize,
+        }
+    }
+}
+
+/// One ring buffer's physical registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingRegs {
+    /// The planned ring.
+    pub spec: RingSpec,
+    /// Physical registers, one per slot.
+    pub regs: Vec<Reg>,
+}
+
+/// The complete register assignment for one kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterFile {
+    rings: Vec<RingRegs>,
+    uses_one: bool,
+    /// Accumulators for a pure-bias stencil (no taps, so no rings to
+    /// recycle); empty otherwise.
+    acc_pool: Vec<Reg>,
+    registers_used: usize,
+}
+
+/// The assignment did not fit the register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterOverflow {
+    /// Registers demanded (data + reserved).
+    pub needed: usize,
+}
+
+impl fmt::Display for RegisterOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "register assignment needs {} registers but the file has {FPU_REGISTERS}",
+            self.needed
+        )
+    }
+}
+
+impl std::error::Error for RegisterOverflow {}
+
+impl RegisterFile {
+    /// Assigns physical registers to a ring plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegisterOverflow`] if the plan plus reserved registers
+    /// exceeds the file (callers normally pre-budget via
+    /// [`crate::columns::plan_rings`], so this is a defensive check).
+    pub fn assign(plan: &RingPlan, needs_one: bool) -> Result<Self, RegisterOverflow> {
+        let reserved = 1 + usize::from(needs_one);
+        let needed = reserved + plan.registers_used();
+        if needed > FPU_REGISTERS {
+            return Err(RegisterOverflow { needed });
+        }
+        let mut next = reserved as u8;
+        let rings = plan
+            .rings()
+            .iter()
+            .map(|&spec| {
+                let regs = (0..spec.size)
+                    .map(|_| {
+                        let r = Reg(next);
+                        next += 1;
+                        r
+                    })
+                    .collect();
+                RingRegs { spec, regs }
+            })
+            .collect();
+        Ok(RegisterFile {
+            rings,
+            uses_one: needs_one,
+            acc_pool: Vec::new(),
+            registers_used: needed,
+        })
+    }
+
+    /// Assigns `width` bare accumulator registers for a pure-bias stencil
+    /// (one per result; there are no data rings to recycle).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegisterOverflow`] if `width` accumulators plus the two
+    /// reserved registers do not fit.
+    pub fn assign_bias_only(width: usize, needs_one: bool) -> Result<Self, RegisterOverflow> {
+        let reserved = 1 + usize::from(needs_one);
+        let needed = reserved + width;
+        if needed > FPU_REGISTERS {
+            return Err(RegisterOverflow { needed });
+        }
+        let acc_pool = (0..width).map(|i| Reg((reserved + i) as u8)).collect();
+        Ok(RegisterFile {
+            rings: Vec::new(),
+            uses_one: needs_one,
+            acc_pool,
+            registers_used: needed,
+        })
+    }
+
+    /// The rings with their registers, left to right.
+    pub fn rings(&self) -> &[RingRegs] {
+        &self.rings
+    }
+
+    /// Whether register 1 is reserved for `1.0`.
+    pub fn uses_one(&self) -> bool {
+        self.uses_one
+    }
+
+    /// Total registers in use, including reserved ones.
+    pub fn registers_used(&self) -> usize {
+        self.registers_used
+    }
+
+    /// Accumulators for the pure-bias case.
+    pub fn acc_pool(&self) -> &[Reg] {
+        &self.acc_pool
+    }
+
+    /// The ring serving multistencil column `dcol` of source plane
+    /// `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column is not part of the multistencil (a compiler
+    /// bug).
+    pub fn ring(&self, source: u16, dcol: i32) -> &RingRegs {
+        self.rings
+            .iter()
+            .find(|r| r.spec.span.source == source && r.spec.span.dcol == dcol)
+            .unwrap_or_else(|| panic!("no ring for source {source} column {dcol}"))
+    }
+
+    /// The register that receives the leading-edge load of source
+    /// `source`, column `dcol`, at unrolled line `line`.
+    pub fn edge_reg(&self, source: u16, dcol: i32, line: usize) -> Reg {
+        let ring = self.ring(source, dcol);
+        ring.regs[line % ring.regs.len()]
+    }
+
+    /// The register holding source `source`'s element at `(drow, dcol)`
+    /// while processing unrolled line `line` under `walk`.
+    ///
+    /// The element entered the ring `age` lines ago, so it sits `age`
+    /// slots behind the current load slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(source, drow, dcol)` is outside the multistencil (a
+    /// compiler bug).
+    pub fn element_reg(&self, walk: Walk, line: usize, source: u16, drow: i32, dcol: i32) -> Reg {
+        let ring = self.ring(source, dcol);
+        let age = walk.age(&ring.spec.span, drow);
+        let size = ring.regs.len() as i64;
+        let slot = (line as i64 - age as i64).rem_euclid(size) as usize;
+        ring.regs[slot]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::columns::plan_rings;
+    use crate::multistencil::Multistencil;
+    use crate::stencil::{Boundary, Stencil};
+
+    fn cross5() -> Stencil {
+        Stencil::from_offsets(
+            [(-1, 0), (0, -1), (0, 0), (0, 1), (1, 0)],
+            Boundary::Circular,
+        )
+        .unwrap()
+    }
+
+    fn file(width: usize) -> RegisterFile {
+        let ms = Multistencil::new(&cross5(), width);
+        let plan = plan_rings(&ms, 31, 512).unwrap();
+        RegisterFile::assign(&plan, false).unwrap()
+    }
+
+    #[test]
+    fn registers_start_after_reserved() {
+        let f = file(8);
+        assert_eq!(f.rings()[0].regs[0], Reg(1), "no 1.0 register reserved");
+        let ms = Multistencil::new(&cross5(), 8);
+        let plan = plan_rings(&ms, 30, 512).unwrap();
+        let f1 = RegisterFile::assign(&plan, true).unwrap();
+        assert_eq!(f1.rings()[0].regs[0], Reg(2), "1.0 register reserved");
+        assert!(f1.uses_one());
+    }
+
+    #[test]
+    fn all_registers_distinct_and_in_range() {
+        let f = file(8);
+        let mut seen = std::collections::BTreeSet::new();
+        for ring in f.rings() {
+            for &r in &ring.regs {
+                assert!(seen.insert(r), "register {r} assigned twice");
+                assert!((r.0 as usize) < FPU_REGISTERS);
+                assert_ne!(r, Reg::ZERO);
+            }
+        }
+        assert_eq!(seen.len() + 1, f.registers_used());
+    }
+
+    #[test]
+    fn ring_rotation_cycles_with_line() {
+        let f = file(4);
+        // Column 0 has a 3-slot ring; the edge register repeats mod 3.
+        assert_eq!(f.edge_reg(0, 0, 0), f.edge_reg(0, 0, 3));
+        assert_ne!(f.edge_reg(0, 0, 0), f.edge_reg(0, 0, 1));
+    }
+
+    #[test]
+    fn element_age_maps_to_earlier_slots() {
+        let f = file(4);
+        // Northward: the bottom row (drow=1) is the oldest (age 2 in a
+        // height-3 column); at line 2 it sits in the slot loaded at
+        // line 0.
+        assert_eq!(
+            f.element_reg(Walk::North, 2, 0, 1, 0),
+            f.edge_reg(0, 0, 0),
+        );
+        // The top row (drow=-1) is the line's own edge load.
+        assert_eq!(
+            f.element_reg(Walk::North, 2, 0, -1, 0),
+            f.edge_reg(0, 0, 2),
+        );
+    }
+
+    #[test]
+    fn southward_walk_mirrors_ages() {
+        let f = file(4);
+        let span = f.ring(0, 0).spec.span;
+        assert_eq!(Walk::South.edge_row(&span), 1);
+        assert_eq!(Walk::South.age(&span, 1), 0);
+        assert_eq!(Walk::South.age(&span, -1), 2);
+        assert_eq!(Walk::North.age(&span, -1), 0);
+    }
+
+    #[test]
+    fn accumulator_slot_is_reloaded_next_line_for_natural_rings() {
+        // §5.4: "loading this new row into the row of registers just
+        // vacated by the storing of results."
+        let f = file(4);
+        // Natural 3-slot ring in column 0: the bottom element's register
+        // at line l is the edge register of line l+1.
+        for l in 0..6 {
+            assert_eq!(
+                f.element_reg(Walk::North, l, 0, 1, 0),
+                f.edge_reg(0, 0, l + 1),
+                "line {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn bias_only_assignment() {
+        let f = RegisterFile::assign_bias_only(8, true).unwrap();
+        assert_eq!(f.acc_pool().len(), 8);
+        assert_eq!(f.acc_pool()[0], Reg(2));
+        assert_eq!(f.registers_used(), 10);
+        assert!(RegisterFile::assign_bias_only(31, true).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "no ring")]
+    fn unknown_column_panics() {
+        let f = file(2);
+        let _ = f.ring(0, 99);
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let err = RegisterFile::assign_bias_only(40, false).unwrap_err();
+        assert_eq!(err.needed, 41);
+        assert!(err.to_string().contains("41"));
+    }
+}

@@ -1,0 +1,435 @@
+//! The stencil intermediate representation.
+//!
+//! A [`Stencil`] is the recognizer's output and the compiler's input: an
+//! ordered list of *taps* (offset × coefficient products), optional *bias*
+//! terms (a bare coefficient added in), the boundary discipline
+//! (`CSHIFT` = circular, `EOSHIFT` = end-off zero fill), and derived
+//! geometry (border widths, flop counts).
+//!
+//! Tap order is semantically significant: it is the accumulation order of
+//! the chained multiply-adds, and the reference evaluator mirrors it so
+//! compiled results match the golden model bit for bit.
+
+use crate::offset::{Borders, Offset};
+use std::fmt;
+
+/// What multiplies the shifted data element of a tap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoeffRef {
+    /// Coefficient array `index` (into [`crate::recognize::StencilSpec::coeffs`] /
+    /// the run-time coefficient list), streamed from memory.
+    Array(usize),
+    /// No coefficient: a bare `s(x)` term. Executed as a multiply by a
+    /// streamed `1.0` (the "ones page"), since one multiplier operand must
+    /// come from memory; the multiply is not counted as a useful flop.
+    Unit,
+}
+
+/// One product term `coeff * source(position + offset)`.
+///
+/// `source` selects which shifted array the tap reads. The paper requires
+/// a single source per statement; the multi-source extension (its §9
+/// future work — "handle all ten terms as one stencil pattern") allows
+/// several, and single-source constructors simply use source 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tap {
+    /// Where the term reads its source array.
+    pub offset: Offset,
+    /// What it multiplies by.
+    pub coeff: CoeffRef,
+    /// Which source array the term shifts (0 for single-source stencils).
+    pub source: u16,
+}
+
+impl Tap {
+    /// A tap on source 0 with a coefficient array.
+    pub fn new(drow: i32, dcol: i32, coeff: usize) -> Self {
+        Tap {
+            offset: Offset::new(drow, dcol),
+            coeff: CoeffRef::Array(coeff),
+            source: 0,
+        }
+    }
+
+    /// A bare `s(x)` tap on source 0 (unit coefficient).
+    pub fn unit(drow: i32, dcol: i32) -> Self {
+        Tap {
+            offset: Offset::new(drow, dcol),
+            coeff: CoeffRef::Unit,
+            source: 0,
+        }
+    }
+
+    /// A tap on an explicit source array.
+    pub fn on_source(source: u16, drow: i32, dcol: i32, coeff: usize) -> Self {
+        Tap {
+            offset: Offset::new(drow, dcol),
+            coeff: CoeffRef::Array(coeff),
+            source,
+        }
+    }
+}
+
+/// Boundary handling for the whole statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Boundary {
+    /// `CSHIFT`: the array wraps circularly ("Notice the wraparound effect
+    /// that occurs because the shifts are circular", §2).
+    #[default]
+    Circular,
+    /// `EOSHIFT`: zeros shift in at the array ends.
+    ZeroFill,
+}
+
+/// A recognized stencil: the compiler's source of truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stencil {
+    taps: Vec<Tap>,
+    /// Bias terms: coefficient array indices added in without a data
+    /// element (`… + C`), executed as `C * 1.0` with the reserved
+    /// 1.0 register as the register operand.
+    bias: Vec<usize>,
+    boundary: Boundary,
+    /// The value shifted in at array ends under [`Boundary::ZeroFill`]
+    /// (Fortran's `EOSHIFT(…, BOUNDARY=v)`; defaults to 0.0). Unused for
+    /// circular shifts.
+    fill: f32,
+    coeff_count: usize,
+    source_count: usize,
+}
+
+/// Error building a structurally invalid stencil.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidStencil(String);
+
+impl fmt::Display for InvalidStencil {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid stencil: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidStencil {}
+
+impl Stencil {
+    /// Builds a stencil from its parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidStencil`] when the stencil has no terms at all,
+    /// or a coefficient index is out of range of `coeff_count`.
+    pub fn new(
+        taps: Vec<Tap>,
+        bias: Vec<usize>,
+        boundary: Boundary,
+        coeff_count: usize,
+    ) -> Result<Self, InvalidStencil> {
+        if taps.is_empty() && bias.is_empty() {
+            return Err(InvalidStencil("a stencil needs at least one term".into()));
+        }
+        for tap in &taps {
+            if let CoeffRef::Array(i) = tap.coeff {
+                if i >= coeff_count {
+                    return Err(InvalidStencil(format!(
+                        "tap coefficient index {i} out of range ({coeff_count} arrays)"
+                    )));
+                }
+            }
+        }
+        if let Some(&i) = bias.iter().find(|&&i| i >= coeff_count) {
+            return Err(InvalidStencil(format!(
+                "bias coefficient index {i} out of range ({coeff_count} arrays)"
+            )));
+        }
+        let source_count = taps
+            .iter()
+            .map(|t| t.source as usize + 1)
+            .max()
+            .unwrap_or(0)
+            .max(usize::from(!taps.is_empty()));
+        Ok(Stencil {
+            taps,
+            bias,
+            boundary,
+            fill: 0.0,
+            coeff_count,
+            source_count,
+        })
+    }
+
+    /// Sets the end-off fill value (Fortran's `EOSHIFT(…, BOUNDARY=v)`).
+    /// Meaningful only under [`Boundary::ZeroFill`].
+    pub fn with_fill(mut self, fill: f32) -> Self {
+        self.fill = fill;
+        self
+    }
+
+    /// Builds a stencil with one distinct coefficient array per offset, in
+    /// order — the common shape of the paper's examples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidStencil`] if `offsets` is empty.
+    pub fn from_offsets(
+        offsets: impl IntoIterator<Item = (i32, i32)>,
+        boundary: Boundary,
+    ) -> Result<Self, InvalidStencil> {
+        let taps: Vec<Tap> = offsets
+            .into_iter()
+            .enumerate()
+            .map(|(i, (dr, dc))| Tap::new(dr, dc, i))
+            .collect();
+        let n = taps.len();
+        Stencil::new(taps, Vec::new(), boundary, n)
+    }
+
+    /// The product taps, in accumulation order.
+    pub fn taps(&self) -> &[Tap] {
+        &self.taps
+    }
+
+    /// Bias (bare-coefficient) term indices, in accumulation order after
+    /// the taps.
+    pub fn bias(&self) -> &[usize] {
+        &self.bias
+    }
+
+    /// The boundary discipline.
+    pub fn boundary(&self) -> Boundary {
+        self.boundary
+    }
+
+    /// The end-off fill value (0.0 unless `BOUNDARY=` overrode it).
+    pub fn fill(&self) -> f32 {
+        self.fill
+    }
+
+    /// Number of coefficient arrays referenced.
+    pub fn coeff_count(&self) -> usize {
+        self.coeff_count
+    }
+
+    /// Number of distinct source arrays shifted (1 for the paper's form;
+    /// more under the multi-source extension; 0 for pure-bias stencils).
+    pub fn source_count(&self) -> usize {
+        self.source_count
+    }
+
+    /// Whether the stencil shifts more than one source array.
+    pub fn is_multi_source(&self) -> bool {
+        self.source_count > 1
+    }
+
+    /// Number of chained multiply-add steps per result point (taps plus
+    /// bias terms; this is the chain length, not the useful-flop count).
+    pub fn chain_len(&self) -> usize {
+        self.taps.len() + self.bias.len()
+    }
+
+    /// Whether the reserved `1.0` register is needed (only bias terms use
+    /// it; §5.3).
+    pub fn needs_one_register(&self) -> bool {
+        !self.bias.is_empty()
+    }
+
+    /// Border widths of the tap footprint.
+    pub fn borders(&self) -> Borders {
+        Borders::of(self.taps.iter().map(|t| &t.offset))
+    }
+
+    /// Whether any tap is diagonal, requiring the corner-exchange step of
+    /// the halo protocol (§5.1: "For some common stencil patterns ... the
+    /// third step may be omitted").
+    pub fn needs_corner_exchange(&self) -> bool {
+        self.taps.iter().any(|t| t.offset.is_diagonal())
+    }
+
+    /// Useful floating-point operations per result point, by the paper's
+    /// counting rule (§7): one multiply per coefficient×data tap, one add
+    /// per term beyond the first; unit-coefficient multiplies and the
+    /// initial add-to-zero are *not* counted. The 5-point cross therefore
+    /// counts 9 (5 multiplies + 4 adds).
+    pub fn useful_flops_per_point(&self) -> u64 {
+        let multiplies = self
+            .taps
+            .iter()
+            .filter(|t| matches!(t.coeff, CoeffRef::Array(_)))
+            .count() as u64;
+        let terms = self.chain_len() as u64;
+        multiplies + terms.saturating_sub(1)
+    }
+
+    /// Distinct cells of the tap footprint, ignoring sources (several
+    /// taps may share an offset; used for pictograms and border math).
+    pub fn footprint(&self) -> Vec<Offset> {
+        let mut cells: Vec<Offset> = self.taps.iter().map(|t| t.offset).collect();
+        cells.sort();
+        cells.dedup();
+        cells
+    }
+
+    /// Distinct `(source, offset)` cells — each is one resident data
+    /// element per multistencil instance.
+    pub fn sourced_footprint(&self) -> Vec<(u16, Offset)> {
+        let mut cells: Vec<(u16, Offset)> =
+            self.taps.iter().map(|t| (t.source, t.offset)).collect();
+        cells.sort();
+        cells.dedup();
+        cells
+    }
+
+    /// The *tagged* cell: the leftmost tap position of the edge row in the
+    /// direction of travel. Processing northward recycles the bottommost
+    /// row ("In practice we always choose the bottommost row", §5.3); a
+    /// southward kernel tags the topmost row instead.
+    ///
+    /// Returns `None` for a stencil with no taps (pure bias).
+    pub fn tagged_cell(&self, northward: bool) -> Option<Offset> {
+        self.tagged_sourced_cell(northward).map(|(_, o)| o)
+    }
+
+    /// The tagged cell together with the source it belongs to: among all
+    /// taps, the edge row in the direction of travel, then the leftmost
+    /// column of that row; ties between sources resolve to the lowest
+    /// source index. The recycling argument is per source plane, so the
+    /// register holding this element is dead for every later result.
+    pub fn tagged_sourced_cell(&self, northward: bool) -> Option<(u16, Offset)> {
+        let edge_row = if northward {
+            self.taps.iter().map(|t| t.offset.drow).max()?
+        } else {
+            self.taps.iter().map(|t| t.offset.drow).min()?
+        };
+        let in_row = self.taps.iter().filter(|t| t.offset.drow == edge_row);
+        let col = in_row.clone().map(|t| t.offset.dcol).min()?;
+        let source = self
+            .taps
+            .iter()
+            .filter(|t| t.offset.drow == edge_row && t.offset.dcol == col)
+            .map(|t| t.source)
+            .min()?;
+        Some((source, Offset::new(edge_row, col)))
+    }
+}
+
+impl fmt::Display for Stencil {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stencil of {} taps + {} bias terms, borders {}, {:?}",
+            self.taps.len(),
+            self.bias.len(),
+            self.borders(),
+            self.boundary
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cross5() -> Stencil {
+        // Paper §2: the five-point cross, taps in statement order.
+        Stencil::from_offsets(
+            [(-1, 0), (0, -1), (0, 0), (0, 1), (1, 0)],
+            Boundary::Circular,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cross_counts_nine_flops() {
+        // §7: the 5-point cross "is counted as 9 floating-point operations
+        // (5 multiplies and 4 adds)".
+        assert_eq!(cross5().useful_flops_per_point(), 9);
+    }
+
+    #[test]
+    fn unit_taps_do_not_count_multiplies() {
+        let s = Stencil::new(
+            vec![Tap::unit(0, 0), Tap::new(0, 1, 0)],
+            vec![],
+            Boundary::Circular,
+            1,
+        )
+        .unwrap();
+        // 1 multiply (the array tap) + 1 add.
+        assert_eq!(s.useful_flops_per_point(), 2);
+    }
+
+    #[test]
+    fn bias_terms_count_adds_and_need_the_one_register() {
+        let s = Stencil::new(
+            vec![Tap::new(0, 0, 0)],
+            vec![1],
+            Boundary::Circular,
+            2,
+        )
+        .unwrap();
+        assert_eq!(s.useful_flops_per_point(), 2); // 1 mult + 1 add
+        assert!(s.needs_one_register());
+        assert_eq!(s.chain_len(), 2);
+        assert!(!cross5().needs_one_register());
+    }
+
+    #[test]
+    fn empty_stencil_rejected() {
+        assert!(Stencil::new(vec![], vec![], Boundary::Circular, 0).is_err());
+    }
+
+    #[test]
+    fn out_of_range_coefficients_rejected() {
+        assert!(Stencil::new(vec![Tap::new(0, 0, 5)], vec![], Boundary::Circular, 1).is_err());
+        assert!(Stencil::new(vec![Tap::new(0, 0, 0)], vec![3], Boundary::Circular, 1).is_err());
+    }
+
+    #[test]
+    fn corner_exchange_needed_only_for_diagonal_taps() {
+        assert!(!cross5().needs_corner_exchange());
+        let square = Stencil::from_offsets(
+            [(-1, -1), (-1, 0), (0, 0), (1, 1)],
+            Boundary::Circular,
+        )
+        .unwrap();
+        assert!(square.needs_corner_exchange());
+    }
+
+    #[test]
+    fn tagged_cell_is_bottom_left_for_northward() {
+        // §5.3: "Choose any row and label the leftmost position ... In
+        // practice we always choose the bottommost row."
+        assert_eq!(cross5().tagged_cell(true), Some(Offset::new(1, 0)));
+        assert_eq!(cross5().tagged_cell(false), Some(Offset::new(-1, 0)));
+        let square = Stencil::from_offsets(
+            [(-1, -1), (-1, 0), (-1, 1), (1, -1), (1, 0), (1, 1)],
+            Boundary::Circular,
+        )
+        .unwrap();
+        assert_eq!(square.tagged_cell(true), Some(Offset::new(1, -1)));
+        assert_eq!(square.tagged_cell(false), Some(Offset::new(-1, -1)));
+    }
+
+    #[test]
+    fn footprint_dedups_shared_offsets() {
+        let s = Stencil::new(
+            vec![Tap::new(0, 0, 0), Tap::new(0, 0, 1), Tap::new(0, 1, 0)],
+            vec![],
+            Boundary::Circular,
+            2,
+        )
+        .unwrap();
+        assert_eq!(s.footprint().len(), 2);
+    }
+
+    #[test]
+    fn borders_of_cross() {
+        let b = cross5().borders();
+        assert_eq!((b.north, b.south, b.east, b.west), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = cross5().to_string();
+        assert!(text.contains("5 taps"));
+        assert!(text.contains("Circular"));
+    }
+}

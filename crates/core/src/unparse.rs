@@ -1,0 +1,190 @@
+//! Rendering stencil IR back to Fortran source.
+//!
+//! The inverse of [`crate::recognize`]: useful for diagnostics, for
+//! persisting compiled patterns, and for the round-trip property the
+//! test suite leans on (`recognize(unparse(s)) == s`).
+
+use crate::recognize::{CoeffSpec, StencilSpec};
+use crate::stencil::{Boundary, CoeffRef, Stencil};
+
+/// Renders a recognized statement back to Fortran, with its original
+/// array names.
+///
+/// # Examples
+///
+/// ```
+/// use cmcc_core::patterns::PaperPattern;
+/// use cmcc_core::recognize::recognize;
+/// use cmcc_core::unparse::unparse_spec;
+/// use cmcc_front::parser::parse_assignment;
+///
+/// let spec = PaperPattern::Cross5.spec().unwrap();
+/// let text = unparse_spec(&spec);
+/// let again = recognize(&parse_assignment(&text)?)?;
+/// assert_eq!(again.stencil, spec.stencil);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn unparse_spec(spec: &StencilSpec) -> String {
+    let coeff_name = |i: usize| match &spec.coeffs[i] {
+        CoeffSpec::Named(n) => n.clone(),
+        CoeffSpec::Literal(v) => format_literal(*v),
+    };
+    let source_name = |s: u16| spec.sources[s as usize].clone();
+    render(&spec.stencil, &spec.target, &source_name, &coeff_name)
+}
+
+/// Renders bare stencil IR to Fortran with synthesized names: target
+/// `R`, sources `X` (or `X0`, `X1`, … when multi-source), coefficients
+/// `C0`, `C1`, ….
+pub fn unparse_stencil(stencil: &Stencil) -> String {
+    let multi = stencil.is_multi_source();
+    let source_name = move |s: u16| {
+        if multi {
+            format!("X{s}")
+        } else {
+            "X".to_owned()
+        }
+    };
+    render(stencil, "R", &source_name, &|i| format!("C{i}"))
+}
+
+fn format_literal(v: f32) -> String {
+    // A plain integer-valued literal must still parse as a real.
+    if v == v.trunc() && v.abs() < 1.0e6 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render(
+    stencil: &Stencil,
+    target: &str,
+    source_name: &dyn Fn(u16) -> String,
+    coeff_name: &dyn Fn(usize) -> String,
+) -> String {
+    let kw = match stencil.boundary() {
+        Boundary::Circular => "CSHIFT",
+        Boundary::ZeroFill => "EOSHIFT",
+    };
+    // A nonzero fill value is attached to the first EOSHIFT rendered.
+    let mut fill_pending = stencil.boundary() == Boundary::ZeroFill && stencil.fill() != 0.0;
+    let mut terms = Vec::new();
+    for tap in stencil.taps() {
+        let mut sx = source_name(tap.source);
+        let mut shifted = false;
+        let mut boundary_arg = || -> String {
+            if std::mem::take(&mut fill_pending) {
+                format!(", BOUNDARY={}", format_literal(stencil.fill()))
+            } else {
+                String::new()
+            }
+        };
+        if tap.offset.drow != 0 {
+            sx = format!("{kw}({sx}, 1, {:+}{})", tap.offset.drow, boundary_arg());
+            shifted = true;
+        }
+        if tap.offset.dcol != 0 {
+            sx = format!("{kw}({sx}, 2, {:+}{})", tap.offset.dcol, boundary_arg());
+            shifted = true;
+        }
+        // A bare center reference of a non-primary source would read as a
+        // bias coefficient; a zero shift keeps it a source reference.
+        if !shifted && (tap.source != 0 || stencil.is_multi_source()) {
+            sx = format!("{kw}({sx}, 1, 0)");
+        }
+        match tap.coeff {
+            CoeffRef::Array(a) => terms.push(format!("{} * {sx}", coeff_name(a))),
+            CoeffRef::Unit => terms.push(sx),
+        }
+    }
+    for &b in stencil.bias() {
+        terms.push(coeff_name(b));
+    }
+    format!("{target} = {}", terms.join(" + "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::PaperPattern;
+    use crate::recognize::{recognize, recognize_extended};
+    use crate::stencil::Tap;
+    use cmcc_front::parser::parse_assignment;
+
+    #[test]
+    fn paper_patterns_round_trip() {
+        for p in PaperPattern::ALL {
+            let spec = p.spec().unwrap();
+            let text = unparse_spec(&spec);
+            let again = recognize(&parse_assignment(&text).unwrap())
+                .unwrap_or_else(|e| panic!("{p}: `{text}`: {e}"));
+            assert_eq!(again.stencil, spec.stencil, "{p}");
+            assert_eq!(again.sources, spec.sources, "{p}");
+        }
+    }
+
+    #[test]
+    fn synthesized_names_round_trip() {
+        let s = Stencil::new(
+            vec![Tap::unit(0, 0), Tap::new(-1, 2, 0)],
+            vec![1],
+            Boundary::ZeroFill,
+            2,
+        )
+        .unwrap();
+        let text = unparse_stencil(&s);
+        assert!(text.contains("EOSHIFT"));
+        let again = recognize(&parse_assignment(&text).unwrap()).unwrap();
+        assert_eq!(again.stencil, s);
+    }
+
+    #[test]
+    fn multi_source_round_trips_with_zero_shifts() {
+        let s = Stencil::new(
+            vec![
+                Tap::on_source(0, -1, 0, 0),
+                Tap::on_source(1, 0, 0, 1), // center tap of source 1
+                Tap::on_source(1, 0, 1, 2),
+            ],
+            vec![],
+            Boundary::Circular,
+            3,
+        )
+        .unwrap();
+        let text = unparse_stencil(&s);
+        let again = recognize_extended(&parse_assignment(&text).unwrap())
+            .unwrap_or_else(|e| panic!("`{text}`: {e}"));
+        assert_eq!(again.stencil, s);
+        assert_eq!(again.sources, vec!["X0", "X1"]);
+    }
+
+    #[test]
+    fn boundary_fill_round_trips() {
+        let spec = recognize(
+            &parse_assignment("R = 1.0 * EOSHIFT(X, 1, -1, BOUNDARY=3.5) + 2.0 * EOSHIFT(X, 2, 1)")
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(spec.stencil.fill(), 3.5);
+        let text = unparse_spec(&spec);
+        assert!(text.contains("BOUNDARY=3.5"), "{text}");
+        let again = recognize(&parse_assignment(&text).unwrap()).unwrap();
+        assert_eq!(again.stencil, spec.stencil);
+        assert_eq!(again.stencil.fill(), 3.5);
+    }
+
+    #[test]
+    fn literal_coefficients_render_as_reals() {
+        let spec = recognize(
+            &parse_assignment("R = 2 * X + 0.25 * CSHIFT(X, 1, 1)").unwrap(),
+        )
+        .unwrap();
+        let text = unparse_spec(&spec);
+        assert!(text.contains("2.0 * X"), "{text}");
+        assert!(text.contains("0.25"), "{text}");
+        let again = recognize(&parse_assignment(&text).unwrap()).unwrap();
+        assert_eq!(again.stencil, spec.stencil);
+        assert_eq!(again.coeffs, spec.coeffs);
+    }
+}

@@ -1,0 +1,94 @@
+//! End-to-end tests of the `cmcc` command-line driver.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn cmcc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cmcc"))
+}
+
+fn run_stdin(args: &[&str], source: &str) -> (String, String, i32) {
+    let mut child = cmcc()
+        .args(args)
+        .arg("-")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("driver spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(source.as_bytes())
+        .expect("write source");
+    let out = child.wait_with_output().expect("driver exits");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn compiles_a_clean_statement() {
+    let (stdout, _, code) = run_stdin(
+        &[],
+        "R = C1 * CSHIFT(X, 1, -1) + C2 * X + C3 * CSHIFT(X, 1, +1)\n",
+    );
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("1 compiled, 0 warnings"), "{stdout}");
+    assert!(stdout.contains("widths [8, 4, 2, 1]"), "{stdout}");
+}
+
+#[test]
+fn warns_on_flagged_failures_with_nonzero_exit() {
+    let (stdout, _, code) = run_stdin(&[], "!CMF$ STENCIL\nR = A - B\n");
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("warning"), "{stdout}");
+    assert!(stdout.contains("subtraction"), "{stdout}");
+}
+
+#[test]
+fn runs_and_verifies_with_run_flag() {
+    let (stdout, stderr, code) = run_stdin(
+        &["--run", "--subgrid", "8x8"],
+        "R = 0.5 * CSHIFT(X, 2, 1) + 0.5 * X\n",
+    );
+    assert_eq!(code, 0, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("[verified bit-exact]"), "{stdout}");
+    assert!(stdout.contains("Mflops"), "{stdout}");
+}
+
+#[test]
+fn multi_directive_compiles_fused_statements() {
+    let (stdout, _, code) = run_stdin(
+        &["--run", "--subgrid", "8x8"],
+        "!CMF$ STENCIL MULTI\nR = 0.5 * CSHIFT(U, 1, -1) + 0.5 * CSHIFT(V, 2, +1)\n",
+    );
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("[verified bit-exact]"), "{stdout}");
+}
+
+#[test]
+fn parse_errors_render_to_stderr() {
+    let (_, stderr, code) = run_stdin(&[], "R = C1 *\n");
+    assert_ne!(code, 0);
+    assert!(stderr.contains("error"), "{stderr}");
+}
+
+#[test]
+fn missing_file_is_reported() {
+    let out = cmcc()
+        .arg("/nonexistent/path.f90")
+        .output()
+        .expect("driver runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    let out = cmcc().arg("--bogus-flag").output().expect("driver runs");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,340 @@
+//! Abstract syntax for the Fortran 90 subset the convolution compiler
+//! accepts: whole-array assignment statements and the `SUBROUTINE` wrapper
+//! the paper's second implementation required.
+
+use crate::span::{Span, Spanned};
+use std::fmt;
+
+/// A binary operator appearing in an expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl BinOp {
+    /// The operator's surface syntax.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Unary `-`
+    Neg,
+    /// Unary `+`
+    Plus,
+}
+
+/// An actual argument, optionally with a keyword (`DIM=1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arg {
+    /// `Some("DIM")` for `DIM=1`; `None` for positional arguments.
+    pub keyword: Option<Spanned<String>>,
+    /// The argument expression.
+    pub value: Expr,
+}
+
+impl Arg {
+    /// A positional argument.
+    pub fn positional(value: Expr) -> Self {
+        Arg {
+            keyword: None,
+            value,
+        }
+    }
+
+    /// A keyword argument.
+    pub fn keyword(name: Spanned<String>, value: Expr) -> Self {
+        Arg {
+            keyword: Some(name),
+            value,
+        }
+    }
+}
+
+/// An expression in the Fortran subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A whole-array or scalar name reference.
+    Name(Spanned<String>),
+    /// An integer literal.
+    IntLit(Spanned<i64>),
+    /// A real literal.
+    RealLit(Spanned<f64>),
+    /// A unary operation.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// Its operand.
+        operand: Box<Expr>,
+        /// Span of the whole expression.
+        span: Span,
+    },
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// An intrinsic or function call such as `CSHIFT(X, DIM=1, SHIFT=-1)`.
+    Call {
+        /// The called name.
+        name: Spanned<String>,
+        /// The argument list.
+        args: Vec<Arg>,
+        /// Span of the whole call.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The source span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Name(n) => n.span,
+            Expr::IntLit(v) => v.span,
+            Expr::RealLit(v) => v.span,
+            Expr::Unary { span, .. } => *span,
+            Expr::Binary { lhs, rhs, .. } => lhs.span().merge(rhs.span()),
+            Expr::Call { span, .. } => *span,
+        }
+    }
+
+    /// Evaluates the expression as a compile-time integer, folding unary
+    /// signs. Returns `None` for anything else. Used for `SHIFT=` amounts.
+    pub fn as_const_int(&self) -> Option<i64> {
+        match self {
+            Expr::IntLit(v) => Some(v.value),
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                operand,
+                ..
+            } => operand.as_const_int().map(|v| -v),
+            Expr::Unary {
+                op: UnaryOp::Plus,
+                operand,
+                ..
+            } => operand.as_const_int(),
+            _ => None,
+        }
+    }
+
+    /// Evaluates the expression as a compile-time real constant, folding
+    /// unary signs over real and integer literals. Used for signed
+    /// literal coefficients like `-1.0 * CSHIFT(…)`.
+    pub fn as_const_real(&self) -> Option<f64> {
+        match self {
+            Expr::RealLit(v) => Some(v.value),
+            Expr::IntLit(v) => Some(v.value as f64),
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                operand,
+                ..
+            } => operand.as_const_real().map(|v| -v),
+            Expr::Unary {
+                op: UnaryOp::Plus,
+                operand,
+                ..
+            } => operand.as_const_real(),
+            _ => None,
+        }
+    }
+
+    /// The referenced name, if the expression is a bare name.
+    pub fn as_name(&self) -> Option<&str> {
+        match self {
+            Expr::Name(n) => Some(&n.value),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Name(n) => f.write_str(&n.value),
+            Expr::IntLit(v) => write!(f, "{}", v.value),
+            Expr::RealLit(v) => write!(f, "{:?}", v.value),
+            Expr::Unary { op, operand, .. } => match op {
+                UnaryOp::Neg => write!(f, "-{operand}"),
+                UnaryOp::Plus => write!(f, "+{operand}"),
+            },
+            Expr::Binary { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
+            Expr::Call { name, args, .. } => {
+                write!(f, "{}(", name.value)?;
+                for (i, arg) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    if let Some(kw) = &arg.keyword {
+                        write!(f, "{}=", kw.value)?;
+                    }
+                    write!(f, "{}", arg.value)?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+/// A whole-array assignment statement `R = expr`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assign {
+    /// The assigned array name.
+    pub target: Spanned<String>,
+    /// The right-hand side.
+    pub value: Expr,
+    /// Span of the whole statement.
+    pub span: Span,
+}
+
+impl fmt::Display for Assign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.target.value, self.value)
+    }
+}
+
+/// A type declaration such as `REAL, ARRAY(:,:) :: R, X, C1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decl {
+    /// The base type keyword (`REAL`).
+    pub type_name: Spanned<String>,
+    /// The declared array rank (number of `:` in `ARRAY(:,:)`);
+    /// 0 for scalars.
+    pub rank: usize,
+    /// The declared names.
+    pub names: Vec<Spanned<String>>,
+}
+
+/// One statement of a [`Program`], with the structured-comment directive
+/// that precedes it, if any (paper §6: "We plan to allow the user to flag
+/// stencil assignment statements with a directive in the form of a
+/// structured comment").
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirectedStmt {
+    /// The `!CMF$ …` directive text on the preceding line, if present.
+    pub directive: Option<Spanned<String>>,
+    /// The assignment statement.
+    pub stmt: Assign,
+}
+
+/// A sequence of assignment statements, some flagged with directives —
+/// the unit the paper's third implementation compiles without isolating
+/// statements in their own subroutines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// The statements, in order.
+    pub stmts: Vec<DirectedStmt>,
+}
+
+/// A `SUBROUTINE name(params) … END` unit containing stencil assignments.
+///
+/// The paper's second implementation required "the assignment statement for
+/// a stencil computation to be isolated in a subroutine of its own"; this
+/// type models exactly that unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subroutine {
+    /// The subroutine name.
+    pub name: Spanned<String>,
+    /// Dummy argument names in order.
+    pub params: Vec<Spanned<String>>,
+    /// Type declarations.
+    pub decls: Vec<Decl>,
+    /// Body statements (whole-array assignments).
+    pub body: Vec<Assign>,
+    /// Span of the whole unit.
+    pub span: Span,
+}
+
+impl Subroutine {
+    /// The declared rank of `name`, if a declaration covers it.
+    pub fn rank_of(&self, name: &str) -> Option<usize> {
+        self.decls.iter().find_map(|d| {
+            d.names
+                .iter()
+                .any(|n| n.value.eq_ignore_ascii_case(name))
+                .then_some(d.rank)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    fn name(s: &str) -> Expr {
+        Expr::Name(Spanned::new(s.to_owned(), Span::point(0)))
+    }
+
+    #[test]
+    fn const_int_folds_signs() {
+        let neg = Expr::Unary {
+            op: UnaryOp::Neg,
+            operand: Box::new(Expr::IntLit(Spanned::new(3, Span::point(0)))),
+            span: Span::point(0),
+        };
+        assert_eq!(neg.as_const_int(), Some(-3));
+        let plus = Expr::Unary {
+            op: UnaryOp::Plus,
+            operand: Box::new(neg),
+            span: Span::point(0),
+        };
+        assert_eq!(plus.as_const_int(), Some(-3));
+        assert_eq!(name("X").as_const_int(), None);
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(name("A")),
+            rhs: Box::new(Expr::Binary {
+                op: BinOp::Mul,
+                lhs: Box::new(name("B")),
+                rhs: Box::new(name("C")),
+            }),
+        };
+        assert_eq!(e.to_string(), "(A + (B * C))");
+    }
+
+    #[test]
+    fn rank_of_is_case_insensitive() {
+        let sub = Subroutine {
+            name: Spanned::new("S".into(), Span::point(0)),
+            params: vec![],
+            decls: vec![Decl {
+                type_name: Spanned::new("REAL".into(), Span::point(0)),
+                rank: 2,
+                names: vec![Spanned::new("Xy".into(), Span::point(0))],
+            }],
+            body: vec![],
+            span: Span::point(0),
+        };
+        assert_eq!(sub.rank_of("XY"), Some(2));
+        assert_eq!(sub.rank_of("zz"), None);
+    }
+}

@@ -1,0 +1,110 @@
+//! Front-end diagnostics: lexing and parsing errors with source locations.
+
+use crate::span::Span;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while lexing or parsing Fortran source.
+///
+/// The error carries a [`Span`] so callers can render a caret diagnostic
+/// with [`ParseError::render`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    message: String,
+    span: Span,
+}
+
+impl ParseError {
+    /// Creates an error with a message and the span it applies to.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// The human-readable message, lowercase, without trailing punctuation.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The source span the error points at.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// Renders a multi-line diagnostic with the offending line and a caret.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cmcc_front::{error::ParseError, span::Span};
+    ///
+    /// let src = "R = +";
+    /// let err = ParseError::new("expected an operand", Span::point(5));
+    /// let text = err.render(src);
+    /// assert!(text.contains("expected an operand"));
+    /// assert!(text.contains("R = +"));
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let (line_no, col) = self.span.line_col(source);
+        let line = source.lines().nth(line_no - 1).unwrap_or("");
+        let caret_width = self.span.len().max(1).min(line.len().saturating_sub(col - 1).max(1));
+        let mut out = String::new();
+        out.push_str(&format!("error: {} (line {line_no}, column {col})\n", self.message));
+        out.push_str(&format!("  |\n{line_no:3} | {line}\n  | "));
+        out.push_str(&" ".repeat(col - 1));
+        out.push_str(&"^".repeat(caret_width));
+        out.push('\n');
+        out
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message, self.span)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Convenience alias for front-end results.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_column() {
+        let src = "R = C1 ** X";
+        let pos = src.find("**").unwrap();
+        let err = ParseError::new("unexpected `*`", Span::new(pos, pos + 2));
+        let text = err.render(src);
+        assert!(text.contains("unexpected `*`"), "{text}");
+        assert!(text.contains("^^"), "{text}");
+        assert!(text.contains("line 1, column 8"), "{text}");
+    }
+
+    #[test]
+    fn render_second_line() {
+        let src = "R = X\nQ = ?";
+        let pos = src.find('?').unwrap();
+        let err = ParseError::new("unexpected character", Span::new(pos, pos + 1));
+        let text = err.render(src);
+        assert!(text.contains("line 2, column 5"), "{text}");
+        assert!(text.contains("Q = ?"), "{text}");
+    }
+
+    #[test]
+    fn display_is_single_line() {
+        let err = ParseError::new("bad thing", Span::new(0, 1));
+        assert_eq!(format!("{err}"), "bad thing at 0..1");
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(ParseError::new("x", Span::point(0)));
+    }
+}

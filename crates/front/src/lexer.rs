@@ -1,0 +1,358 @@
+//! Lexer for the free-form Fortran 90 subset.
+//!
+//! Handles `&` continuation lines (both trailing `&` and a leading `&` on
+//! the continuation line), `!` comments, and case-preserving identifiers.
+//! Newlines that terminate a statement are emitted as
+//! [`TokenKind::Newline`] tokens; continuations swallow the newline.
+
+use crate::error::{ParseError, Result};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Lexes `source` into a token stream terminated by [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on characters outside the subset or malformed
+/// numeric literals.
+///
+/// # Examples
+///
+/// ```
+/// use cmcc_front::lexer::lex;
+/// use cmcc_front::token::TokenKind;
+///
+/// let tokens = lex("R = C1 * CSHIFT(X, 1, -1)")?;
+/// assert!(matches!(tokens[0].kind, TokenKind::Ident(_)));
+/// assert_eq!(tokens.last().unwrap().kind, TokenKind::Eof);
+/// # Ok::<(), cmcc_front::error::ParseError>(())
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'src> {
+    source: &'src str,
+    bytes: &'src [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+    /// Set when the previous line ended with `&`: the next newline does not
+    /// terminate the statement.
+    continuation: bool,
+}
+
+impl<'src> Lexer<'src> {
+    fn new(source: &'src str) -> Self {
+        Lexer {
+            source,
+            bytes: source.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+            continuation: false,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        self.tokens.push(Token::new(kind, Span::new(start, self.pos)));
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        while let Some(b) = self.peek() {
+            let start = self.pos;
+            match b {
+                b' ' | b'\t' | b'\r' => {
+                    self.pos += 1;
+                }
+                b'!' => {
+                    // Comment to end of line; the newline itself is handled
+                    // in the next iteration. Structured comments beginning
+                    // with `!CMF$` become directive tokens (paper §6).
+                    self.pos += 1;
+                    let body_start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let body = &self.source[body_start..self.pos];
+                    if let Some(rest) = body
+                        .trim_start()
+                        .strip_prefix("CMF$")
+                        .or_else(|| body.trim_start().strip_prefix("cmf$"))
+                    {
+                        self.push(
+                            TokenKind::Directive(rest.trim().to_owned()),
+                            start,
+                        );
+                    }
+                }
+                b'\n' => {
+                    self.pos += 1;
+                    if self.continuation {
+                        self.continuation = false;
+                        // A continuation line may itself start with `&`.
+                        self.skip_leading_continuation_marker();
+                    } else if !matches!(
+                        self.tokens.last().map(|t| &t.kind),
+                        None | Some(TokenKind::Newline)
+                    ) {
+                        self.push(TokenKind::Newline, start);
+                    }
+                }
+                b'&' => {
+                    self.pos += 1;
+                    self.continuation = true;
+                }
+                b'+' => {
+                    self.pos += 1;
+                    self.push(TokenKind::Plus, start);
+                }
+                b'-' => {
+                    self.pos += 1;
+                    self.push(TokenKind::Minus, start);
+                }
+                b'*' => {
+                    self.pos += 1;
+                    self.push(TokenKind::Star, start);
+                }
+                b'/' => {
+                    self.pos += 1;
+                    self.push(TokenKind::Slash, start);
+                }
+                b'=' => {
+                    self.pos += 1;
+                    self.push(TokenKind::Equals, start);
+                }
+                b'(' => {
+                    self.pos += 1;
+                    self.push(TokenKind::LParen, start);
+                }
+                b')' => {
+                    self.pos += 1;
+                    self.push(TokenKind::RParen, start);
+                }
+                b',' => {
+                    self.pos += 1;
+                    self.push(TokenKind::Comma, start);
+                }
+                b':' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b':') {
+                        self.pos += 1;
+                        self.push(TokenKind::ColonColon, start);
+                    } else {
+                        self.push(TokenKind::Colon, start);
+                    }
+                }
+                b'0'..=b'9' => self.lex_number(start)?,
+                b'.' if self.peek2().is_some_and(|c| c.is_ascii_digit()) => {
+                    self.lex_number(start)?
+                }
+                c if c.is_ascii_alphabetic() || c == b'_' => self.lex_ident(start),
+                other => {
+                    return Err(ParseError::new(
+                        format!("unexpected character `{}`", other as char),
+                        Span::new(start, start + 1),
+                    ));
+                }
+            }
+        }
+        if self.continuation {
+            return Err(ParseError::new(
+                "continuation `&` at end of input",
+                Span::point(self.pos),
+            ));
+        }
+        let end = self.pos;
+        self.tokens.push(Token::new(TokenKind::Eof, Span::point(end)));
+        Ok(self.tokens)
+    }
+
+    /// After a continued newline, skip whitespace and an optional leading
+    /// `&` marker (Fortran allows `... &\n& more`).
+    fn skip_leading_continuation_marker(&mut self) {
+        let mut probe = self.pos;
+        while matches!(self.bytes.get(probe), Some(b' ' | b'\t' | b'\r')) {
+            probe += 1;
+        }
+        if self.bytes.get(probe) == Some(&b'&') {
+            self.pos = probe + 1;
+        }
+    }
+
+    fn lex_ident(&mut self, start: usize) {
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.pos += 1;
+        }
+        let text = self.source[start..self.pos].to_owned();
+        self.push(TokenKind::Ident(text), start);
+    }
+
+    fn lex_number(&mut self, start: usize) -> Result<()> {
+        let mut saw_dot = false;
+        let mut saw_exp = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => {
+                    self.pos += 1;
+                }
+                b'.' if !saw_dot && !saw_exp => {
+                    // Guard against `1.0.2`; also allow `2.` trailing dot.
+                    saw_dot = true;
+                    self.pos += 1;
+                }
+                b'e' | b'E' | b'd' | b'D' if !saw_exp => {
+                    // Fortran allows D exponents for double precision.
+                    saw_exp = true;
+                    self.pos += 1;
+                    if matches!(self.peek(), Some(b'+' | b'-')) {
+                        self.pos += 1;
+                    }
+                    if !self.peek().is_some_and(|d| d.is_ascii_digit()) {
+                        return Err(ParseError::new(
+                            "exponent has no digits",
+                            Span::new(start, self.pos),
+                        ));
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = &self.source[start..self.pos];
+        let span = Span::new(start, self.pos);
+        if saw_dot || saw_exp {
+            let normalized = text.replace(['d', 'D'], "E");
+            let value: f64 = normalized
+                .parse()
+                .map_err(|_| ParseError::new(format!("invalid real literal `{text}`"), span))?;
+            self.push(TokenKind::Real(value), start);
+        } else {
+            let value: i64 = text
+                .parse()
+                .map_err(|_| ParseError::new(format!("invalid integer literal `{text}`"), span))?;
+            self.push(TokenKind::Int(value), start);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_assignment() {
+        let k = kinds("R = C1 * X");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("R".into()),
+                TokenKind::Equals,
+                TokenKind::Ident("C1".into()),
+                TokenKind::Star,
+                TokenKind::Ident("X".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn continuation_swallows_newline() {
+        let k = kinds("R = X &\n  + Y");
+        assert!(!k.contains(&TokenKind::Newline), "{k:?}");
+    }
+
+    #[test]
+    fn continuation_with_leading_ampersand() {
+        let k = kinds("R = X &\n  & + Y");
+        assert!(!k.contains(&TokenKind::Newline), "{k:?}");
+        assert_eq!(k.iter().filter(|t| **t == TokenKind::Plus).count(), 1);
+    }
+
+    #[test]
+    fn newline_terminates_statement() {
+        let k = kinds("R = X\nQ = Y");
+        assert_eq!(k.iter().filter(|t| **t == TokenKind::Newline).count(), 1);
+    }
+
+    #[test]
+    fn blank_lines_collapse() {
+        let k = kinds("R = X\n\n\nQ = Y\n");
+        assert_eq!(k.iter().filter(|t| **t == TokenKind::Newline).count(), 2);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("R = X ! the identity stencil");
+        assert_eq!(k.len(), 4); // R = X EOF
+    }
+
+    #[test]
+    fn numbers_integer_and_real() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("1.5")[0], TokenKind::Real(1.5));
+        assert_eq!(kinds("2.")[0], TokenKind::Real(2.0));
+        assert_eq!(kinds(".25")[0], TokenKind::Real(0.25));
+        assert_eq!(kinds("1E3")[0], TokenKind::Real(1000.0));
+        assert_eq!(kinds("1.0D-2")[0], TokenKind::Real(0.01));
+    }
+
+    #[test]
+    fn double_colon_vs_colon() {
+        assert_eq!(
+            kinds(":: :"),
+            vec![TokenKind::ColonColon, TokenKind::Colon, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn minus_is_separate_token() {
+        // `-1` lexes as Minus, Int(1); the parser folds unary minus.
+        let k = kinds("-1");
+        assert_eq!(k[0], TokenKind::Minus);
+        assert_eq!(k[1], TokenKind::Int(1));
+    }
+
+    #[test]
+    fn rejects_stray_character() {
+        let err = lex("R = #").unwrap_err();
+        assert!(err.message().contains('#'));
+    }
+
+    #[test]
+    fn rejects_trailing_continuation() {
+        let err = lex("R = X &").unwrap_err();
+        assert!(err.message().contains("end of input"));
+    }
+
+    #[test]
+    fn rejects_empty_exponent() {
+        let err = lex("1.0E+").unwrap_err();
+        assert!(err.message().contains("exponent"));
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let src = "R = CSHIFT";
+        let toks = lex(src).unwrap();
+        let cshift = &toks[2];
+        assert_eq!(cshift.span.slice(src), "CSHIFT");
+    }
+}

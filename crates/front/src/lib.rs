@@ -1,0 +1,50 @@
+//! Fortran 90 subset front end for the Connection Machine Convolution
+//! Compiler.
+//!
+//! The Connection Machine Convolution Compiler (Bromley, Heller, McNerney &
+//! Steele, PLDI 1991) processes array assignment statements whose right-hand
+//! side is a sum of products of coefficient arrays and `CSHIFT`/`EOSHIFT`
+//! shiftings of one source array. This crate provides the two front ends the
+//! paper describes:
+//!
+//! * a **Fortran 90 parser** ([`parser`]) for assignment statements and for
+//!   the isolated `SUBROUTINE` units required by the paper's second
+//!   implementation, and
+//! * a **`defstencil` s-expression parser** ([`sexp`]) matching the Lisp
+//!   prototype of the first implementation.
+//!
+//! Both produce the same [`ast`], which the `cmcc-core` crate pattern-matches
+//! into stencil IR.
+//!
+//! # Examples
+//!
+//! ```
+//! use cmcc_front::parser::parse_assignment;
+//!
+//! let stmt = parse_assignment(
+//!     "R = C1 * CSHIFT(X, DIM=1, SHIFT=-1) \
+//!        + C2 * CSHIFT(X, DIM=2, SHIFT=-1) \
+//!        + C3 * X \
+//!        + C4 * CSHIFT(X, DIM=2, SHIFT=+1) \
+//!        + C5 * CSHIFT(X, DIM=1, SHIFT=+1)",
+//! )?;
+//! assert_eq!(stmt.target.value, "R");
+//! # Ok::<(), cmcc_front::error::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod sexp;
+pub mod span;
+pub mod token;
+
+pub use ast::{Arg, Assign, BinOp, Decl, DirectedStmt, Expr, Program, Subroutine, UnaryOp};
+pub use error::ParseError;
+pub use parser::{parse_assignment, parse_expression, parse_program, parse_subroutine};
+pub use sexp::{parse_defstencil, DefStencil};
+pub use span::{Span, Spanned};

@@ -1,0 +1,168 @@
+//! Byte-offset source spans used by the lexer, parser, and diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the original source text.
+///
+/// Spans are attached to tokens, AST nodes, and diagnostics so that errors
+/// can point back at the offending Fortran text.
+///
+/// # Examples
+///
+/// ```
+/// use cmcc_front::span::Span;
+///
+/// let span = Span::new(4, 10);
+/// assert_eq!(span.len(), 6);
+/// assert_eq!(&"R = CSHIFT(X, 1, -1)"[4..10], span.slice("R = CSHIFT(X, 1, -1)"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(end >= start, "span end {end} precedes start {start}");
+        Span { start, end }
+    }
+
+    /// A zero-width span at `pos`, used for end-of-input diagnostics.
+    pub fn point(pos: usize) -> Self {
+        Span {
+            start: pos,
+            end: pos,
+        }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(&self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// The text this span covers in `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is out of bounds for `source` or does not fall on
+    /// a character boundary.
+    pub fn slice<'a>(&self, source: &'a str) -> &'a str {
+        &source[self.start..self.end]
+    }
+
+    /// 1-based (line, column) of the span start within `source`.
+    pub fn line_col(&self, source: &str) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for (idx, ch) in source.char_indices() {
+            if idx >= self.start {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A value tagged with the span it was parsed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Spanned<T> {
+    /// The carried value.
+    pub value: T,
+    /// Where the value came from.
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Tags `value` with `span`.
+    pub fn new(value: T, span: Span) -> Self {
+        Spanned { value, span }
+    }
+
+    /// Applies `f` to the value, preserving the span.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Spanned<U> {
+        Spanned {
+            value: f(self.value),
+            span: self.span,
+        }
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Spanned<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.value.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_commutative_and_covering() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn line_col_counts_newlines() {
+        let src = "R = X\n  + Y\n";
+        let y = src.find('Y').unwrap();
+        let span = Span::new(y, y + 1);
+        assert_eq!(span.line_col(src), (2, 5));
+    }
+
+    #[test]
+    fn point_span_is_empty() {
+        assert!(Span::point(9).is_empty());
+        assert_eq!(Span::point(9).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes")]
+    fn reversed_span_panics() {
+        let _ = Span::new(5, 4);
+    }
+
+    #[test]
+    fn spanned_map_keeps_span() {
+        let s = Spanned::new(21u32, Span::new(1, 2));
+        let t = s.map(|v| v * 2);
+        assert_eq!(t.value, 42);
+        assert_eq!(t.span, Span::new(1, 2));
+    }
+}

@@ -1,0 +1,138 @@
+//! Token definitions for the Fortran 90 subset accepted by the compiler.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexical token.
+///
+/// Fortran has no reserved words, so keywords such as `SUBROUTINE` or
+/// `CSHIFT` are lexed as [`TokenKind::Ident`] and recognized by the parser
+/// via case-insensitive comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword, stored in its original spelling.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A real literal such as `1.5`, `2.`, or `1.0E-3`.
+    Real(f64),
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `=`
+    Equals,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `::`
+    ColonColon,
+    /// `:`
+    Colon,
+    /// A structured comment directive, e.g. `!CMF$ STENCIL` (the paper's
+    /// §6 mechanism for flagging stencil candidates). Carries the text
+    /// after the `!CMF$` sigil, trimmed.
+    Directive(String),
+    /// End of statement (newline outside a continuation).
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description used in diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(name) => format!("identifier `{name}`"),
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Real(v) => format!("real `{v}`"),
+            TokenKind::Plus => "`+`".to_owned(),
+            TokenKind::Minus => "`-`".to_owned(),
+            TokenKind::Star => "`*`".to_owned(),
+            TokenKind::Slash => "`/`".to_owned(),
+            TokenKind::Equals => "`=`".to_owned(),
+            TokenKind::LParen => "`(`".to_owned(),
+            TokenKind::RParen => "`)`".to_owned(),
+            TokenKind::Comma => "`,`".to_owned(),
+            TokenKind::ColonColon => "`::`".to_owned(),
+            TokenKind::Colon => "`:`".to_owned(),
+            TokenKind::Directive(text) => format!("directive `!CMF$ {text}`"),
+            TokenKind::Newline => "end of statement".to_owned(),
+            TokenKind::Eof => "end of input".to_owned(),
+        }
+    }
+
+    /// Returns the identifier text if this token is an identifier.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(name) => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Case-insensitive keyword test, e.g. `tok.is_keyword("CSHIFT")`.
+    pub fn is_keyword(&self, keyword: &str) -> bool {
+        self.as_ident()
+            .is_some_and(|name| name.eq_ignore_ascii_case(keyword))
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// A token together with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.kind.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_test_is_case_insensitive() {
+        let t = TokenKind::Ident("CsHiFt".to_owned());
+        assert!(t.is_keyword("cshift"));
+        assert!(t.is_keyword("CSHIFT"));
+        assert!(!t.is_keyword("eoshift"));
+    }
+
+    #[test]
+    fn non_ident_is_not_keyword() {
+        assert!(!TokenKind::Plus.is_keyword("plus"));
+        assert_eq!(TokenKind::Plus.as_ident(), None);
+    }
+
+    #[test]
+    fn describe_mentions_payload() {
+        assert_eq!(TokenKind::Int(42).describe(), "integer `42`");
+        assert!(TokenKind::Ident("R".into()).describe().contains('R'));
+    }
+}

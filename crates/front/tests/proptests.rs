@@ -1,0 +1,177 @@
+//! Property tests for the front end: the printer and parser are inverse,
+//! and the lexer is total (never panics, whatever the input).
+
+use cmcc_front::ast::{Arg, BinOp, Expr, UnaryOp};
+use cmcc_front::lexer::lex;
+use cmcc_front::parser::{parse_assignment, parse_expression};
+use cmcc_front::span::{Span, Spanned};
+use proptest::prelude::*;
+
+fn nm(s: String) -> Spanned<String> {
+    Spanned::new(s, Span::point(0))
+}
+
+/// Arbitrary identifier in the Fortran subset.
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_]{0,6}".prop_filter(
+        // Avoid spellings the assignment grammar treats specially.
+        "keywords",
+        |s| {
+            !["END", "SUBROUTINE", "REAL", "ARRAY"]
+                .iter()
+                .any(|k| s.eq_ignore_ascii_case(k))
+        },
+    )
+}
+
+/// Arbitrary expressions whose printed form reparses to the same tree:
+/// nonnegative literals (a leading minus reparses as unary), unary minus
+/// over non-literals only.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_ident().prop_map(|s| Expr::Name(nm(s))),
+        (0i64..100_000).prop_map(|v| Expr::IntLit(Spanned::new(v, Span::point(0)))),
+        (0u32..1_000_000).prop_map(|v| {
+            Expr::RealLit(Spanned::new(f64::from(v) * 0.001 + 0.5, Span::point(0)))
+        }),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            // Binary operators.
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div)
+                ]
+            )
+                .prop_map(|(lhs, rhs, op)| Expr::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                }),
+            // Unary minus over a name (literals would re-tokenize).
+            arb_ident().prop_map(|s| Expr::Unary {
+                op: UnaryOp::Neg,
+                operand: Box::new(Expr::Name(nm(s))),
+                span: Span::point(0),
+            }),
+            // Calls with positional and keyword arguments.
+            (
+                arb_ident(),
+                proptest::collection::vec((inner, proptest::option::of(arb_ident())), 0..3)
+            )
+                .prop_map(|(name, args)| Expr::Call {
+                    name: nm(name),
+                    args: args
+                        .into_iter()
+                        .map(|(value, kw)| match kw {
+                            Some(k) => Arg::keyword(nm(k), value),
+                            None => Arg::positional(value),
+                        })
+                        .collect(),
+                    span: Span::point(0),
+                }),
+        ]
+    })
+}
+
+/// Structural equality ignoring spans.
+fn same_shape(a: &Expr, b: &Expr) -> bool {
+    match (a, b) {
+        (Expr::Name(x), Expr::Name(y)) => x.value == y.value,
+        (Expr::IntLit(x), Expr::IntLit(y)) => x.value == y.value,
+        (Expr::RealLit(x), Expr::RealLit(y)) => x.value.to_bits() == y.value.to_bits(),
+        (
+            Expr::Unary {
+                op: oa, operand: a, ..
+            },
+            Expr::Unary {
+                op: ob, operand: b, ..
+            },
+        ) => oa == ob && same_shape(a, b),
+        (
+            Expr::Binary {
+                op: oa,
+                lhs: la,
+                rhs: ra,
+            },
+            Expr::Binary {
+                op: ob,
+                lhs: lb,
+                rhs: rb,
+            },
+        ) => oa == ob && same_shape(la, lb) && same_shape(ra, rb),
+        (
+            Expr::Call {
+                name: na, args: aa, ..
+            },
+            Expr::Call {
+                name: nb, args: ab, ..
+            },
+        ) => {
+            na.value == nb.value
+                && aa.len() == ab.len()
+                && aa.iter().zip(ab).all(|(x, y)| {
+                    x.keyword.as_ref().map(|k| &k.value) == y.keyword.as_ref().map(|k| &k.value)
+                        && same_shape(&x.value, &y.value)
+                })
+        }
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// print → parse is the identity on expression structure.
+    #[test]
+    fn display_parse_round_trip(expr in arb_expr()) {
+        let text = expr.to_string();
+        let reparsed = parse_expression(&text)
+            .unwrap_or_else(|e| panic!("`{text}` failed to reparse: {e}"));
+        prop_assert!(
+            same_shape(&expr, &reparsed),
+            "`{}` reparsed as `{}`",
+            text,
+            reparsed
+        );
+    }
+
+    /// The lexer is total: arbitrary input produces tokens or a clean
+    /// error, never a panic, and spans stay within bounds.
+    #[test]
+    fn lexer_is_total(input in "\\PC{0,200}") {
+        if let Ok(tokens) = lex(&input) {
+            for t in &tokens {
+                prop_assert!(t.span.end <= input.len());
+                prop_assert!(t.span.start <= t.span.end);
+            }
+        }
+    }
+
+    /// Assignments round-trip through display too.
+    #[test]
+    fn assignment_round_trip(target in arb_ident(), expr in arb_expr()) {
+        let text = format!("{target} = {expr}");
+        let stmt = parse_assignment(&text)
+            .unwrap_or_else(|e| panic!("`{text}` failed: {e}"));
+        prop_assert_eq!(&stmt.target.value, &target);
+        prop_assert!(same_shape(&stmt.value, &expr));
+    }
+
+    /// Continuations never change the token stream (modulo the newline).
+    #[test]
+    fn continuations_are_transparent(expr in arb_expr()) {
+        let text = format!("R = {expr}");
+        // Break the statement after every '+' with a continuation.
+        let broken = text.replace("+ ", "+ &\n  ");
+        let a = parse_assignment(&text).unwrap();
+        let b = parse_assignment(&broken)
+            .unwrap_or_else(|e| panic!("`{broken}` failed: {e}"));
+        prop_assert!(same_shape(&a.value, &b.value));
+    }
+}

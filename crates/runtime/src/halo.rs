@@ -1,0 +1,454 @@
+//! Halo (temporary-storage) management and the three-step exchange.
+//!
+//! "Interprocessor communication for an entire stencil computation is
+//! performed at the beginning all at once. First, temporary storage is
+//! allocated to hold data from neighboring subgrids ... Second, data is
+//! exchanged with all four neighbors. ... The third step is to exchange
+//! data for the corners" (§5.1). The subgrid is padded "on all four sides
+//! by the largest of the four border widths" because the four-neighbor
+//! primitive makes the extra padding free, and the corner step "may be
+//! omitted" for patterns that need no diagonal data.
+//!
+//! This implementation keeps the padded buffer contiguous in node memory,
+//! so the kernels address halo data with the same stride as interior data.
+//! (The paper's temporary storage was arranged as separate pieces, which
+//! is what made half-strip boundary handling delicate; the contiguous
+//! layout is a simplification that preserves all the costs we model —
+//! see DESIGN.md.)
+
+use crate::array::CmArray;
+use crate::error::RuntimeError;
+use cmcc_cm2::config::MachineConfig;
+use cmcc_cm2::exec::FieldLayout;
+use cmcc_cm2::grid::Direction;
+use cmcc_cm2::machine::Machine;
+use cmcc_cm2::memory::Field;
+use cmcc_cm2::news::{corner_exchange_cycles, news_exchange_cycles, old_exchange_cycles, ExchangeShape};
+use cmcc_core::stencil::Boundary;
+
+/// Which grid-communication primitive prices the exchange (the data moved
+/// is identical; §4.1 describes the new primitive's advantage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExchangePrimitive {
+    /// The paper's new microcoded primitive: all four neighbors at once.
+    #[default]
+    News,
+    /// The older primitive: one direction at a time.
+    OldPerDirection,
+}
+
+/// A padded per-node buffer holding a subgrid plus its halo ring.
+#[derive(Debug, Clone, Copy)]
+pub struct HaloBuffer {
+    field: Field,
+    pad: usize,
+    sub_rows: usize,
+    sub_cols: usize,
+}
+
+impl HaloBuffer {
+    /// Allocates a `(sub_rows + 2·pad) × (sub_cols + 2·pad)` buffer on
+    /// every node.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::SubgridTooSmall`] when the halo is deeper than the
+    /// subgrid (one exchange could not fill it), or
+    /// [`RuntimeError::OutOfMemory`].
+    pub fn new(
+        machine: &mut Machine,
+        sub_rows: usize,
+        sub_cols: usize,
+        pad: usize,
+    ) -> Result<Self, RuntimeError> {
+        if pad > sub_rows || pad > sub_cols {
+            return Err(RuntimeError::SubgridTooSmall {
+                pad,
+                sub_rows,
+                sub_cols,
+            });
+        }
+        let field = machine.alloc_field((sub_rows + 2 * pad) * (sub_cols + 2 * pad))?;
+        Ok(HaloBuffer {
+            field,
+            pad,
+            sub_rows,
+            sub_cols,
+        })
+    }
+
+    /// Halo depth.
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
+
+    /// Address arithmetic: logical subgrid coordinates, halo at negative
+    /// offsets.
+    pub fn layout(&self) -> FieldLayout {
+        FieldLayout {
+            base: self.field.base(),
+            row_stride: self.sub_cols + 2 * self.pad,
+            row_offset: self.pad as i64,
+            col_offset: self.pad as i64,
+        }
+    }
+
+    /// Words of temporary storage per node (the space cost of padding,
+    /// §5.1: "There is a cost in temporary memory space").
+    pub fn words(&self) -> usize {
+        self.field.len()
+    }
+
+    fn addr(&self, padded_row: usize, padded_col: usize) -> usize {
+        self.field.base() + padded_row * (self.sub_cols + 2 * self.pad) + padded_col
+    }
+
+    /// Copies each node's subgrid of `src` into the buffer interior.
+    pub fn fill_interior(&self, machine: &mut Machine, src: &CmArray) {
+        assert_eq!(src.sub_rows(), self.sub_rows);
+        assert_eq!(src.sub_cols(), self.sub_cols);
+        let src_layout = src.layout();
+        for node in machine.grid().iter().collect::<Vec<_>>() {
+            for lr in 0..self.sub_rows {
+                machine.copy_region(
+                    node,
+                    src_layout.addr(lr as i64, 0),
+                    node,
+                    self.addr(lr + self.pad, self.pad),
+                    self.sub_cols,
+                );
+            }
+        }
+    }
+
+    /// Performs the halo exchange and returns the communication cycles
+    /// charged.
+    ///
+    /// Step one exchanges edge sections with the four NEWS neighbors
+    /// simultaneously; step two (skipped when `need_corners` is false)
+    /// exchanges the four corner sections with diagonal neighbors. With
+    /// [`Boundary::ZeroFill`], halo regions beyond the global array edge
+    /// are zeroed afterward instead of keeping the torus-wrapped data.
+    pub fn exchange(
+        &self,
+        machine: &mut Machine,
+        boundary: Boundary,
+        need_corners: bool,
+        primitive: ExchangePrimitive,
+    ) -> u64 {
+        self.exchange_with_fill(machine, boundary, 0.0, need_corners, primitive)
+    }
+
+    /// [`HaloBuffer::exchange`] with an explicit end-off fill value
+    /// (Fortran's `EOSHIFT(…, BOUNDARY=v)`); meaningful only under
+    /// [`Boundary::ZeroFill`].
+    pub fn exchange_with_fill(
+        &self,
+        machine: &mut Machine,
+        boundary: Boundary,
+        fill: f32,
+        need_corners: bool,
+        primitive: ExchangePrimitive,
+    ) -> u64 {
+        let p = self.pad;
+        if p == 0 {
+            return 0;
+        }
+        let grid = machine.grid();
+        let nodes: Vec<_> = grid.iter().collect();
+
+        // Step one: edge sections from the four NEWS neighbors.
+        for &node in &nodes {
+            let north = grid.neighbor(node, Direction::North);
+            let south = grid.neighbor(node, Direction::South);
+            let west = grid.neighbor(node, Direction::West);
+            let east = grid.neighbor(node, Direction::East);
+            // North halo rows 0..p come from the north neighbor's last p
+            // subgrid rows.
+            for i in 0..p {
+                machine.copy_region(
+                    north,
+                    self.addr(self.sub_rows + i, p),
+                    node,
+                    self.addr(i, p),
+                    self.sub_cols,
+                );
+                machine.copy_region(
+                    south,
+                    self.addr(p + i, p),
+                    node,
+                    self.addr(p + self.sub_rows + i, p),
+                    self.sub_cols,
+                );
+            }
+            // West halo columns come from the west neighbor's last p
+            // columns; east likewise.
+            for lr in 0..self.sub_rows {
+                machine.copy_region(
+                    west,
+                    self.addr(p + lr, self.sub_cols),
+                    node,
+                    self.addr(p + lr, 0),
+                    p,
+                );
+                machine.copy_region(
+                    east,
+                    self.addr(p + lr, p),
+                    node,
+                    self.addr(p + lr, p + self.sub_cols),
+                    p,
+                );
+            }
+        }
+        let shape = ExchangeShape {
+            north: p * self.sub_cols,
+            south: p * self.sub_cols,
+            east: p * self.sub_rows,
+            west: p * self.sub_rows,
+        };
+        let mut cycles = match primitive {
+            ExchangePrimitive::News => news_exchange_cycles(machine.config(), shape),
+            ExchangePrimitive::OldPerDirection => old_exchange_cycles(machine.config(), shape),
+        };
+
+        // Step two: corner sections from the four diagonal neighbors.
+        if need_corners {
+            for &node in &nodes {
+                for (vert, horiz) in [
+                    (Direction::North, Direction::West),
+                    (Direction::North, Direction::East),
+                    (Direction::South, Direction::West),
+                    (Direction::South, Direction::East),
+                ] {
+                    let from = grid.diagonal_neighbor(node, vert, horiz);
+                    // My NW corner halo holds the diagonal neighbor's SE
+                    // interior corner, and so on.
+                    let (dst_r0, src_r0) = match vert {
+                        Direction::North => (0, self.sub_rows),
+                        _ => (p + self.sub_rows, p),
+                    };
+                    let (dst_c0, src_c0) = match horiz {
+                        Direction::West => (0, self.sub_cols),
+                        _ => (p + self.sub_cols, p),
+                    };
+                    for i in 0..p {
+                        machine.copy_region(
+                            from,
+                            self.addr(src_r0 + i, src_c0),
+                            node,
+                            self.addr(dst_r0 + i, dst_c0),
+                            p,
+                        );
+                    }
+                }
+            }
+            cycles += corner_exchange_cycles(machine.config(), p * p);
+        }
+
+        if boundary == Boundary::ZeroFill {
+            self.fill_global_edges(machine, fill);
+        }
+        cycles
+    }
+
+    /// Fills halo regions that fall beyond the global array boundary
+    /// (EOSHIFT semantics; `fill` defaults to 0.0): full-width strips so
+    /// corner blocks beyond either boundary are covered too.
+    fn fill_global_edges(&self, machine: &mut Machine, fill: f32) {
+        let p = self.pad;
+        let grid = machine.grid();
+        let padded_cols = self.sub_cols + 2 * p;
+        for node in grid.iter().collect::<Vec<_>>() {
+            let (gr, gc) = grid.coords(node);
+            let mem = machine.mem_mut(node);
+            if gr == 0 {
+                for r in 0..p {
+                    for c in 0..padded_cols {
+                        mem.write(self.addr(r, c), fill);
+                    }
+                }
+            }
+            if gr == grid.rows() - 1 {
+                for r in 0..p {
+                    for c in 0..padded_cols {
+                        mem.write(self.addr(p + self.sub_rows + r, c), fill);
+                    }
+                }
+            }
+            if gc == 0 {
+                for r in 0..self.sub_rows + 2 * p {
+                    for c in 0..p {
+                        mem.write(self.addr(r, c), fill);
+                    }
+                }
+            }
+            if gc == grid.cols() - 1 {
+                for r in 0..self.sub_rows + 2 * p {
+                    for c in 0..p {
+                        mem.write(self.addr(r, p + self.sub_cols + c), fill);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Predicted exchange cost in cycles without performing any data
+    /// movement — used by the baselines and cost ablations.
+    pub fn exchange_cost(
+        cfg: &MachineConfig,
+        sub_rows: usize,
+        sub_cols: usize,
+        pad: usize,
+        need_corners: bool,
+        primitive: ExchangePrimitive,
+    ) -> u64 {
+        if pad == 0 {
+            return 0;
+        }
+        let shape = ExchangeShape {
+            north: pad * sub_cols,
+            south: pad * sub_cols,
+            east: pad * sub_rows,
+            west: pad * sub_rows,
+        };
+        let mut cycles = match primitive {
+            ExchangePrimitive::News => news_exchange_cycles(cfg, shape),
+            ExchangePrimitive::OldPerDirection => old_exchange_cycles(cfg, shape),
+        };
+        if need_corners {
+            cycles += corner_exchange_cycles(cfg, pad * pad);
+        }
+        cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmcc_cm2::config::MachineConfig;
+
+    /// 2×2 nodes, 4×4 global array (2×2 subgrids), filled with
+    /// `10·r + c`.
+    fn setup(pad: usize) -> (Machine, CmArray, HaloBuffer) {
+        let mut m = Machine::new(MachineConfig::tiny_4()).unwrap();
+        let a = CmArray::new(&mut m, 4, 4).unwrap();
+        a.fill_with(&mut m, |r, c| (10 * r + c) as f32);
+        let h = HaloBuffer::new(&mut m, 2, 2, pad).unwrap();
+        h.fill_interior(&mut m, &a);
+        (m, a, h)
+    }
+
+    /// Reads the halo buffer of `node` at logical subgrid coordinates
+    /// (halo at negatives).
+    fn read(m: &Machine, h: &HaloBuffer, node: cmcc_cm2::grid::NodeId, r: i64, c: i64) -> f32 {
+        m.mem(node).read(h.layout().addr(r, c))
+    }
+
+    #[test]
+    fn interior_is_copied() {
+        let (m, _, h) = setup(1);
+        let n = m.grid().id(1, 1); // global rows 2..4, cols 2..4
+        assert_eq!(read(&m, &h, n, 0, 0), 22.0);
+        assert_eq!(read(&m, &h, n, 1, 1), 33.0);
+    }
+
+    #[test]
+    fn circular_exchange_wraps_the_torus() {
+        let (mut m, _, h) = setup(1);
+        h.exchange(&mut m, Boundary::Circular, true, ExchangePrimitive::News);
+        let n00 = m.grid().id(0, 0); // global rows 0..2, cols 0..2
+        // North halo of node (0,0) wraps to global row 3.
+        assert_eq!(read(&m, &h, n00, -1, 0), 30.0);
+        assert_eq!(read(&m, &h, n00, -1, 1), 31.0);
+        // West halo wraps to global column 3.
+        assert_eq!(read(&m, &h, n00, 0, -1), 3.0);
+        // South halo is global row 2.
+        assert_eq!(read(&m, &h, n00, 2, 0), 20.0);
+        // East halo is global column 2.
+        assert_eq!(read(&m, &h, n00, 1, 2), 12.0);
+        // NW corner wraps both ways: global (3, 3).
+        assert_eq!(read(&m, &h, n00, -1, -1), 33.0);
+        // SE corner: global (2, 2).
+        assert_eq!(read(&m, &h, n00, 2, 2), 22.0);
+    }
+
+    #[test]
+    fn skipping_corners_leaves_them_unwritten() {
+        let (mut m, _, h) = setup(1);
+        h.exchange(&mut m, Boundary::Circular, false, ExchangePrimitive::News);
+        let n00 = m.grid().id(0, 0);
+        // Edges arrive…
+        assert_eq!(read(&m, &h, n00, -1, 0), 30.0);
+        // …but the corner stays at its initial zero.
+        assert_eq!(read(&m, &h, n00, -1, -1), 0.0);
+    }
+
+    #[test]
+    fn zero_fill_clears_global_edges_only() {
+        let (mut m, _, h) = setup(1);
+        h.exchange(&mut m, Boundary::ZeroFill, true, ExchangePrimitive::News);
+        let n00 = m.grid().id(0, 0);
+        // Global north edge: zeros.
+        assert_eq!(read(&m, &h, n00, -1, 0), 0.0);
+        assert_eq!(read(&m, &h, n00, -1, -1), 0.0);
+        // Interior-facing halos keep real data.
+        assert_eq!(read(&m, &h, n00, 2, 0), 20.0);
+        assert_eq!(read(&m, &h, n00, 1, 2), 12.0);
+        // SE corner faces the interior diagonal: real data.
+        assert_eq!(read(&m, &h, n00, 2, 2), 22.0);
+        // Node (1,1): its south and east halos are global edges.
+        let n11 = m.grid().id(1, 1);
+        assert_eq!(read(&m, &h, n11, 2, 0), 0.0);
+        assert_eq!(read(&m, &h, n11, 0, 2), 0.0);
+        assert_eq!(read(&m, &h, n11, -1, -1), 11.0);
+    }
+
+    #[test]
+    fn pad_two_exchanges_two_deep() {
+        let mut m = Machine::new(MachineConfig::tiny_4()).unwrap();
+        let a = CmArray::new(&mut m, 8, 8).unwrap();
+        a.fill_with(&mut m, |r, c| (10 * r + c) as f32);
+        let h = HaloBuffer::new(&mut m, 4, 4, 2).unwrap();
+        h.fill_interior(&mut m, &a);
+        h.exchange(&mut m, Boundary::Circular, true, ExchangePrimitive::News);
+        let n00 = m.grid().id(0, 0);
+        assert_eq!(read(&m, &h, n00, -2, 0), 60.0); // global row 6
+        assert_eq!(read(&m, &h, n00, -1, 3), 73.0); // row 7, col 3
+        assert_eq!(read(&m, &h, n00, 0, -2), 6.0); // col 6
+        assert_eq!(read(&m, &h, n00, -2, -2), 66.0); // corner (6, 6)
+        assert_eq!(read(&m, &h, n00, 5, 5), 55.0); // SE corner block
+    }
+
+    #[test]
+    fn halo_deeper_than_subgrid_rejected() {
+        let mut m = Machine::new(MachineConfig::tiny_4()).unwrap();
+        assert!(matches!(
+            HaloBuffer::new(&mut m, 2, 8, 3),
+            Err(RuntimeError::SubgridTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn cost_model_matches_primitives() {
+        let cfg = MachineConfig::test_board_16();
+        let news = HaloBuffer::exchange_cost(&cfg, 64, 64, 1, false, ExchangePrimitive::News);
+        let old =
+            HaloBuffer::exchange_cost(&cfg, 64, 64, 1, false, ExchangePrimitive::OldPerDirection);
+        assert!(old > news);
+        let with_corners = HaloBuffer::exchange_cost(&cfg, 64, 64, 1, true, ExchangePrimitive::News);
+        assert!(with_corners > news);
+        assert_eq!(
+            HaloBuffer::exchange_cost(&cfg, 64, 64, 0, true, ExchangePrimitive::News),
+            0
+        );
+    }
+
+    #[test]
+    fn exchange_cost_agrees_with_exchange() {
+        let (mut m, _, h) = setup(1);
+        let charged = h.exchange(&mut m, Boundary::Circular, true, ExchangePrimitive::News);
+        let predicted =
+            HaloBuffer::exchange_cost(m.config(), 2, 2, 1, true, ExchangePrimitive::News);
+        assert_eq!(charged, predicted);
+    }
+}

@@ -1,0 +1,197 @@
+//! The golden model: direct host-side evaluation of a stencil statement
+//! with Fortran `CSHIFT`/`EOSHIFT` semantics.
+//!
+//! Accumulation follows the statement's term order — the same order the
+//! compiled chains use — so compiled results are expected to match this
+//! model *bit for bit*, not merely within a tolerance.
+
+use cmcc_core::stencil::{Boundary, CoeffRef, Stencil};
+
+/// A coefficient operand for the reference evaluator.
+#[derive(Debug, Clone, Copy)]
+pub enum CoeffValue<'a> {
+    /// A full coefficient array, row-major `rows × cols`.
+    Array(&'a [f32]),
+    /// A scalar literal coefficient.
+    Literal(f32),
+}
+
+impl CoeffValue<'_> {
+    fn at(&self, idx: usize) -> f32 {
+        match self {
+            CoeffValue::Array(data) => data[idx],
+            CoeffValue::Literal(v) => *v,
+        }
+    }
+}
+
+/// Evaluates a single-source `stencil` over the `rows × cols` array `x`
+/// with coefficient operands `coeffs` (indexed by [`CoeffRef::Array`]).
+///
+/// # Panics
+///
+/// Panics if `x` is not `rows × cols`, a coefficient array has the wrong
+/// length, a coefficient index is out of range, or the stencil shifts
+/// more than one source.
+pub fn reference_convolve(
+    stencil: &Stencil,
+    rows: usize,
+    cols: usize,
+    x: &[f32],
+    coeffs: &[CoeffValue<'_>],
+) -> Vec<f32> {
+    reference_convolve_multi(stencil, rows, cols, &[x], coeffs)
+}
+
+/// Evaluates a (possibly multi-source) `stencil`: `sources[i]` backs the
+/// taps with `source == i` — the §9 future-work extension.
+///
+/// # Panics
+///
+/// Panics if any array is not `rows × cols`, a coefficient index is out
+/// of range, or `sources` is shorter than the stencil's source count.
+pub fn reference_convolve_multi(
+    stencil: &Stencil,
+    rows: usize,
+    cols: usize,
+    sources: &[&[f32]],
+    coeffs: &[CoeffValue<'_>],
+) -> Vec<f32> {
+    assert!(
+        sources.len() >= stencil.source_count().max(1),
+        "stencil shifts {} sources, {} supplied",
+        stencil.source_count(),
+        sources.len()
+    );
+    for x in sources {
+        assert_eq!(x.len(), rows * cols, "source length mismatch");
+    }
+    for c in coeffs {
+        if let CoeffValue::Array(data) = c {
+            assert_eq!(data.len(), rows * cols, "coefficient length mismatch");
+        }
+    }
+    let fetch = |s: u16, r: i64, c: i64| -> f32 {
+        let x = sources[s as usize];
+        match stencil.boundary() {
+            Boundary::Circular => {
+                let rr = r.rem_euclid(rows as i64) as usize;
+                let cc = c.rem_euclid(cols as i64) as usize;
+                x[rr * cols + cc]
+            }
+            Boundary::ZeroFill => {
+                if r < 0 || c < 0 || r >= rows as i64 || c >= cols as i64 {
+                    stencil.fill()
+                } else {
+                    x[r as usize * cols + c as usize]
+                }
+            }
+        }
+    };
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows as i64 {
+        for c in 0..cols as i64 {
+            let idx = r as usize * cols + c as usize;
+            let mut acc = 0.0f32;
+            for tap in stencil.taps() {
+                let data = fetch(
+                    tap.source,
+                    r + tap.offset.drow as i64,
+                    c + tap.offset.dcol as i64,
+                );
+                let k = match tap.coeff {
+                    CoeffRef::Array(a) => coeffs[a].at(idx),
+                    CoeffRef::Unit => 1.0,
+                };
+                acc += k * data;
+            }
+            for &a in stencil.bias() {
+                acc += coeffs[a].at(idx);
+            }
+            out[idx] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmcc_core::patterns::PaperPattern;
+    use cmcc_core::stencil::Tap;
+
+    #[test]
+    fn identity_stencil_is_identity() {
+        let s = Stencil::from_offsets([(0, 0)], Boundary::Circular).unwrap();
+        let x: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let ones = vec![1.0f32; 12];
+        let r = reference_convolve(&s, 3, 4, &x, &[CoeffValue::Array(&ones)]);
+        assert_eq!(r, x);
+    }
+
+    #[test]
+    fn cshift_wraps_circularly() {
+        // R = 1.0 * CSHIFT(X, DIM=1, SHIFT=-1): R(r, c) = X(r-1, c).
+        let s = Stencil::from_offsets([(-1, 0)], Boundary::Circular).unwrap();
+        let x: Vec<f32> = (0..9).map(|i| i as f32).collect();
+        let r = reference_convolve(&s, 3, 3, &x, &[CoeffValue::Literal(1.0)]);
+        // Row 0 reads row 2 (wraparound).
+        assert_eq!(&r[0..3], &[6.0, 7.0, 8.0]);
+        assert_eq!(&r[3..6], &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn eoshift_zero_fills() {
+        let s = Stencil::from_offsets([(0, 1)], Boundary::ZeroFill).unwrap();
+        let x: Vec<f32> = (1..=4).map(|i| i as f32).collect();
+        let r = reference_convolve(&s, 2, 2, &x, &[CoeffValue::Literal(1.0)]);
+        // R(r, c) = X(r, c+1); the last column reads beyond the edge.
+        assert_eq!(r, vec![2.0, 0.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn accumulation_is_term_ordered() {
+        // With f32, (a + b) + c ≠ a + (b + c) in general; verify the
+        // evaluator accumulates left to right over taps.
+        let s = PaperPattern::Cross5.stencil();
+        let x = vec![1.0e7f32, 1.0, -1.0e7, 3.0, 0.5, -2.0, 7.0, 11.0, 0.25];
+        let coeffs: Vec<Vec<f32>> = (0..5).map(|i| vec![(i as f32 + 0.5) * 0.3; 9]).collect();
+        let refs: Vec<CoeffValue<'_>> = coeffs.iter().map(|c| CoeffValue::Array(c)).collect();
+        let got = reference_convolve(&s, 3, 3, &x, &refs);
+        // Manual recomputation for element (1, 1).
+        let mut want = 0.0f32;
+        for (tap, k) in s.taps().iter().zip(0..) {
+            let rr = (1 + tap.offset.drow) as usize;
+            let cc = (1 + tap.offset.dcol) as usize;
+            want += coeffs[k][4] * x[rr * 3 + cc];
+        }
+        assert_eq!(got[4].to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn bias_terms_add_in() {
+        let s = Stencil::new(
+            vec![Tap::new(0, 0, 0)],
+            vec![1],
+            Boundary::Circular,
+            2,
+        )
+        .unwrap();
+        let x = vec![2.0f32; 4];
+        let r = reference_convolve(
+            &s,
+            2,
+            2,
+            &x,
+            &[CoeffValue::Literal(3.0), CoeffValue::Literal(10.0)],
+        );
+        assert_eq!(r, vec![16.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_source_length_panics() {
+        let s = Stencil::from_offsets([(0, 0)], Boundary::Circular).unwrap();
+        let _ = reference_convolve(&s, 2, 2, &[0.0; 3], &[CoeffValue::Literal(1.0)]);
+    }
+}

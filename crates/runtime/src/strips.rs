@@ -1,0 +1,194 @@
+//! Strip mining: dividing a subgrid into kernel-width strips and
+//! half-strips.
+//!
+//! "Once the necessary data has been brought into each node from its
+//! neighboring nodes, the subgrid for that node is logically partitioned
+//! into strips of width w. ... The strips are then further divided in
+//! half; the basic microcode loop processes one half-strip, working from
+//! the edge of the subgrid to the center" (§5.2). The width of each strip
+//! is the widest for which a kernel exists, subject to the columns that
+//! remain: "a subgrid one of whose axes is of length 21 might be
+//! processed as two strips of width 8, one strip of width 4, and one
+//! strip of width 1" (§5.3).
+
+use cmcc_core::compiler::CompiledStencil;
+use cmcc_core::regalloc::Walk;
+
+/// One vertical strip of the subgrid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Strip {
+    /// First column of the strip.
+    pub col0: usize,
+    /// Strip width (a compiled kernel width).
+    pub width: usize,
+}
+
+/// One half of a strip, with its processing direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HalfStrip {
+    /// Row of the first line processed.
+    pub start_row: usize,
+    /// Lines in this half.
+    pub lines: usize,
+    /// Direction of travel (both halves move edge → center).
+    pub walk: Walk,
+}
+
+/// Shaves `sub_cols` columns into strips using the compiled widths.
+///
+/// # Panics
+///
+/// Panics if the compiled stencil has no width-1 kernel and the columns
+/// cannot be covered (the default compiler always attempts width 1).
+pub fn plan_strips(compiled: &CompiledStencil, sub_cols: usize) -> Vec<Strip> {
+    let mut strips = Vec::new();
+    let mut col0 = 0;
+    while col0 < sub_cols {
+        let remaining = sub_cols - col0;
+        let kernel = compiled
+            .widest_kernel_for(remaining)
+            .unwrap_or_else(|| panic!("no kernel narrow enough for {remaining} columns"));
+        strips.push(Strip {
+            col0,
+            width: kernel.width,
+        });
+        col0 += kernel.width;
+    }
+    strips
+}
+
+/// Splits `sub_rows` into the two half-strips. The bottom half starts at
+/// the south edge and walks north; the top half starts at the north edge
+/// and walks south; both end at the center.
+pub fn halfstrips(sub_rows: usize) -> Vec<HalfStrip> {
+    if sub_rows == 0 {
+        return Vec::new();
+    }
+    if sub_rows == 1 {
+        return vec![HalfStrip {
+            start_row: 0,
+            lines: 1,
+            walk: Walk::North,
+        }];
+    }
+    let top_lines = sub_rows / 2;
+    let bottom_lines = sub_rows - top_lines;
+    vec![
+        HalfStrip {
+            start_row: sub_rows - 1,
+            lines: bottom_lines,
+            walk: Walk::North,
+        },
+        HalfStrip {
+            start_row: 0,
+            lines: top_lines,
+            walk: Walk::South,
+        },
+    ]
+}
+
+/// A single full-length strip pass (the half-strip ablation's
+/// alternative): one startup, the whole strip walked north from the
+/// south edge.
+pub fn full_strip(sub_rows: usize) -> Vec<HalfStrip> {
+    if sub_rows == 0 {
+        return Vec::new();
+    }
+    vec![HalfStrip {
+        start_row: sub_rows - 1,
+        lines: sub_rows,
+        walk: Walk::North,
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmcc_core::compiler::Compiler;
+    use cmcc_core::patterns::PaperPattern;
+
+    #[test]
+    fn paper_example_21_columns() {
+        // §5.3: "two strips of width 8, one strip of width 4, and one
+        // strip of width 1."
+        let c = Compiler::default()
+            .compile_assignment(&PaperPattern::Cross5.fortran())
+            .unwrap();
+        let strips = plan_strips(&c, 21);
+        let widths: Vec<usize> = strips.iter().map(|s| s.width).collect();
+        assert_eq!(widths, vec![8, 8, 4, 1]);
+        assert_eq!(strips[2].col0, 16);
+    }
+
+    #[test]
+    fn paper_example_diamond_21_columns() {
+        // §5.3: without a width-8 kernel, "five strips of width 4 and a
+        // strip of width 1."
+        let c = Compiler::default()
+            .compile_assignment(&PaperPattern::Diamond13.fortran())
+            .unwrap();
+        let widths: Vec<usize> = plan_strips(&c, 21).iter().map(|s| s.width).collect();
+        assert_eq!(widths, vec![4, 4, 4, 4, 4, 1]);
+    }
+
+    #[test]
+    fn strips_tile_the_subgrid_exactly() {
+        let c = Compiler::default()
+            .compile_assignment(&PaperPattern::Cross5.fortran())
+            .unwrap();
+        for cols in 1..=40 {
+            let strips = plan_strips(&c, cols);
+            let covered: usize = strips.iter().map(|s| s.width).sum();
+            assert_eq!(covered, cols);
+            let mut expect = 0;
+            for s in &strips {
+                assert_eq!(s.col0, expect);
+                expect += s.width;
+            }
+        }
+    }
+
+    #[test]
+    fn halfstrips_cover_all_rows_from_the_edges() {
+        let halves = halfstrips(64);
+        assert_eq!(halves.len(), 2);
+        assert_eq!(halves[0].start_row, 63);
+        assert_eq!(halves[0].lines, 32);
+        assert_eq!(halves[0].walk, Walk::North);
+        assert_eq!(halves[1].start_row, 0);
+        assert_eq!(halves[1].lines, 32);
+        assert_eq!(halves[1].walk, Walk::South);
+    }
+
+    #[test]
+    fn odd_rows_put_the_extra_line_in_the_bottom_half() {
+        let halves = halfstrips(7);
+        assert_eq!(halves[0].lines, 4);
+        assert_eq!(halves[1].lines, 3);
+        // Bottom half: rows 6,5,4,3; top half: rows 0,1,2 — disjoint and
+        // complete.
+        let mut seen = [false; 7];
+        for h in &halves {
+            for i in 0..h.lines {
+                let r = (h.start_row as i64 + i as i64 * h.walk.row_step() as i64) as usize;
+                assert!(!seen[r], "row {r} processed twice");
+                seen[r] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn single_row_subgrid_has_one_half() {
+        assert_eq!(halfstrips(1).len(), 1);
+        assert!(halfstrips(0).is_empty());
+    }
+
+    #[test]
+    fn full_strip_is_one_pass() {
+        let f = full_strip(10);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lines, 10);
+        assert_eq!(f[0].start_row, 9);
+    }
+}

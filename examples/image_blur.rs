@@ -1,0 +1,106 @@
+//! Gaussian blur: the 3×3 separable kernel as a nine-point square
+//! stencil — the paper's §2 nested-`CSHIFT` pattern with binomial
+//! weights 1-2-1 ⊗ 1-2-1.
+//!
+//! Renders a synthetic test image before and after blurring, and shows
+//! the corner-exchange step firing (the square pattern has diagonal taps,
+//! so the halo protocol's third step cannot be skipped).
+//!
+//! ```sh
+//! cargo run --release --example image_blur
+//! ```
+
+use cmcc::prelude::*;
+
+const SHADES: &[u8] = b" .:-=+*#%@";
+
+fn render(label: &str, data: &[f32], rows: usize, cols: usize) {
+    println!("{label}:");
+    // Downsample to an ~32-wide ASCII thumbnail.
+    let step = (cols / 32).max(1);
+    for r in (0..rows).step_by(step) {
+        let mut line = String::new();
+        for c in (0..cols).step_by(step) {
+            let v = data[r * cols + c].clamp(0.0, 1.0);
+            let idx = (v * (SHADES.len() - 1) as f32).round() as usize;
+            line.push(SHADES[idx] as char);
+        }
+        println!("  {line}");
+    }
+    println!();
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut session = Session::test_board()?;
+
+    // 1-2-1 ⊗ 1-2-1 binomial kernel, normalized by 16 — written exactly
+    // in the paper's nested-shift style.
+    let statement = "BLURRED = 0.0625 * CSHIFT(CSHIFT(IMG, 1, -1), 2, -1) \
+                             + 0.125  * CSHIFT(IMG, 1, -1) \
+                             + 0.0625 * CSHIFT(CSHIFT(IMG, 1, -1), 2, +1) \
+                             + 0.125  * CSHIFT(IMG, 2, -1) \
+                             + 0.25   * IMG \
+                             + 0.125  * CSHIFT(IMG, 2, +1) \
+                             + 0.0625 * CSHIFT(CSHIFT(IMG, 1, +1), 2, -1) \
+                             + 0.125  * CSHIFT(IMG, 1, +1) \
+                             + 0.0625 * CSHIFT(CSHIFT(IMG, 1, +1), 2, +1)";
+    let compiled = session.compile(statement)?;
+    println!(
+        "blur kernel: {} taps, needs corner exchange: {}\n",
+        compiled.stencil().taps().len(),
+        compiled.stencil().needs_corner_exchange()
+    );
+    assert!(compiled.stencil().needs_corner_exchange());
+
+    let (rows, cols) = (64usize, 64usize);
+    let img = session.array(rows, cols)?;
+    let blurred = session.array(rows, cols)?;
+
+    // A synthetic test card: a bright ring plus a diagonal stripe.
+    img.fill_with(session.machine_mut(), |r, c| {
+        let dr = r as f32 - 32.0;
+        let dc = c as f32 - 32.0;
+        let radius = (dr * dr + dc * dc).sqrt();
+        let ring: f32 = if (14.0..19.0).contains(&radius) { 1.0 } else { 0.0 };
+        let stripe: f32 = if (r + c) % 16 < 2 { 0.8 } else { 0.0 };
+        (ring + stripe).min(1.0)
+    });
+
+    render(
+        "input",
+        &img.gather(session.machine()),
+        rows,
+        cols,
+    );
+
+    // Blur three times to make the smoothing obvious.
+    let mut measurement = session.run(&compiled, &blurred, &img, &[])?;
+    for _ in 0..2 {
+        measurement = measurement.combine(&session.run(&compiled, &img, &blurred, &[])?);
+        measurement = measurement.combine(&session.run(&compiled, &blurred, &img, &[])?);
+    }
+
+    let out = blurred.gather(session.machine());
+    render("after 5 blur passes", &out, rows, cols);
+
+    // Blurring is an averaging filter with unit weight sum: total
+    // brightness is conserved under the circular boundary.
+    let sum_in: f64 = img
+        .gather(session.machine())
+        .iter()
+        .map(|&v| f64::from(v))
+        .sum();
+    let sum_out: f64 = out.iter().map(|&v| f64::from(v)).sum();
+    let peak_in = 1.0f32;
+    let peak_out = out.iter().fold(0.0f32, |a, &b| a.max(b));
+    println!("peak value: {peak_in} -> {peak_out:.3} (smoothing)");
+    assert!(peak_out < peak_in);
+    assert!(sum_out > 0.0 && (sum_in / sum_out - 1.0).abs() < 0.05);
+
+    println!(
+        "5 passes: {} cycles total, {:.1} Mflops on 16 nodes",
+        measurement.cycles.total(),
+        measurement.mflops(session.config())
+    );
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Quickstart: compile the paper's five-point cross and run it on the
+//! simulated 16-node CM-2 test board.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cmcc::core::pictogram::render_stencil;
+use cmcc::prelude::*;
+use cmcc::runtime::reference::{reference_convolve, CoeffValue};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's 16-node single-board machine: 4×4 floating-point nodes
+    // at 7 MHz.
+    let mut session = Session::test_board()?;
+
+    // The statement, exactly as §2 of the paper writes it.
+    let statement = "R = C1 * CSHIFT (X, DIM=1, SHIFT=-1) \
+                       + C2 * CSHIFT (X, DIM=2, SHIFT=-1) \
+                       + C3 * X \
+                       + C4 * CSHIFT (X, DIM=2, SHIFT=+1) \
+                       + C5 * CSHIFT (X, DIM=1, SHIFT=+1)";
+    let compiled = session.compile(statement)?;
+
+    println!("statement:\n  {}\n", statement.split_whitespace().collect::<Vec<_>>().join(" "));
+    println!("recognized stencil:\n{}", render_stencil(compiled.stencil()));
+    println!(
+        "workable strip widths: {:?} (useful flops per point: {})",
+        compiled.widths(),
+        compiled.stencil().useful_flops_per_point()
+    );
+    for k in compiled.kernels() {
+        println!(
+            "  width {}: {} multistencil cells, {} registers, unroll x{}, \
+             {} loads / {} multiply-adds / {} stores per line",
+            k.width,
+            k.info.cells,
+            k.info.registers_used,
+            k.info.unroll,
+            k.info.loads_per_line,
+            k.info.macs_per_line,
+            k.info.stores_per_line,
+        );
+    }
+
+    // A 256×256 global array: each node holds a 64×64 subgrid (Figure 1).
+    let (rows, cols) = (256usize, 256usize);
+    let x = session.array(rows, cols)?;
+    let r = session.array(rows, cols)?;
+    x.fill_with(session.machine_mut(), |r, c| {
+        ((r * 37 + c * 11) % 101) as f32 * 0.01
+    });
+    let coeffs: Vec<CmArray> = (0..5)
+        .map(|i| {
+            let a = session.array(rows, cols).unwrap();
+            a.fill(session.machine_mut(), [0.05, 0.1, 0.6, 0.1, 0.05][i]);
+            a
+        })
+        .collect();
+    let coeff_refs: Vec<&CmArray> = coeffs.iter().collect();
+
+    let measurement = session.run(&compiled, &r, &x, &coeff_refs)?;
+
+    // Validate against the host-side golden model, bit for bit.
+    let x_host = x.gather(session.machine());
+    let coeff_host: Vec<Vec<f32>> = coeffs.iter().map(|c| c.gather(session.machine())).collect();
+    let values: Vec<CoeffValue<'_>> = coeff_host.iter().map(|c| CoeffValue::Array(c)).collect();
+    let expected = reference_convolve(compiled.stencil(), rows, cols, &x_host, &values);
+    let got = r.gather(session.machine());
+    assert_eq!(got.len(), expected.len());
+    let exact = got
+        .iter()
+        .zip(&expected)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    println!("\nresult matches the reference evaluator bit-for-bit: {exact}");
+    assert!(exact);
+
+    println!(
+        "one iteration: {} ({:.2} ms at 7 MHz)",
+        measurement.cycles,
+        measurement.cycles.seconds(session.config()) * 1e3
+    );
+    println!(
+        "sustained rate on 16 nodes: {:.1} Mflops",
+        measurement.mflops(session.config())
+    );
+    let full = measurement.extrapolate(2048);
+    println!(
+        "extrapolated to a full 2,048-node CM-2: {:.2} Gflops",
+        full.gflops(session.config())
+    );
+    Ok(())
+}

@@ -1,0 +1,135 @@
+//! Three-dimensional acoustic wave propagation — the full extension
+//! stack in one program.
+//!
+//! The paper's seismic applications were fundamentally 3-D; its run-time
+//! library "provides the outer loop structure for strip-mining and for
+//! handling multidimensional arrays" (§1). This example builds a 3-D
+//! 7-point stencil from the pieces this reproduction adds on top of the
+//! published system:
+//!
+//! * the **multi-source extension** (§9 future work) fuses the planes
+//!   above and below into one 2-D kernel, and
+//! * the **volume runtime** iterates that kernel across planes, with the
+//!   depth boundary following the stencil's own `CSHIFT` discipline.
+//!
+//! ```sh
+//! cargo run --release --example seismic3d
+//! ```
+
+use cmcc::prelude::*;
+use cmcc::runtime::CmVolume;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut session = Session::test_board()?;
+
+    // 2·P - P2 + v²·dt²·laplacian(P), with the 3-D laplacian's
+    // plane-above/plane-below terms fused in as extra sources and the
+    // P2 (two-steps-ago) term fused as a fourth source: a single
+    // 9-term, 4-source kernel per plane.
+    let c = 0.15f32; // v²·dt²/dx²
+    let center = 2.0 - 6.0 * c;
+    let statement = format!(
+        "R = {c} * CSHIFT(PDOWN, 1, 0) \
+           + {c} * CSHIFT(P, 1, -1) \
+           + {c} * CSHIFT(P, 2, -1) \
+           + {center} * P \
+           + {c} * CSHIFT(P, 2, +1) \
+           + {c} * CSHIFT(P, 1, +1) \
+           + {c} * CSHIFT(PUP, 1, 0) \
+           + -1.0 * CSHIFT(P2, 1, 0)"
+    );
+    let compiled = session
+        .compiler()
+        .compile_assignment_extended(&statement)?;
+    println!(
+        "fused 3-D kernel: {} taps over sources {:?}, widths {:?}\n",
+        compiled.stencil().taps().len(),
+        compiled.spec().sources,
+        compiled.widths()
+    );
+    assert_eq!(compiled.spec().sources, vec!["PDOWN", "P", "PUP", "P2"]);
+
+    let (depth, rows, cols) = (8usize, 64, 64);
+    let p = CmVolume::new(session.machine_mut(), depth, rows, cols)?;
+    let p2 = CmVolume::new(session.machine_mut(), depth, rows, cols)?;
+    let r = CmVolume::new(session.machine_mut(), depth, rows, cols)?;
+
+    // A point source in the middle of the volume.
+    let init = |vol: &CmVolume, machine: &mut Machine| {
+        vol.fill_with(machine, |pp, i, j| {
+            let dp = pp as f32 - depth as f32 / 2.0;
+            let dr = i as f32 - rows as f32 / 2.0;
+            let dc = j as f32 - cols as f32 / 2.0;
+            (-(dp * dp + dr * dr + dc * dc) / 8.0).exp()
+        });
+    };
+    init(&p, session.machine_mut());
+    p2.fill_with(session.machine_mut(), |_, _, _| 0.0);
+
+    // Source order in the statement: PDOWN, P, PUP, P2. The first three
+    // are planes of the current wavefield at depth offsets -1, 0, +1; P2
+    // is the two-steps-ago wavefield at offset 0 — but convolve_volume
+    // binds all sources to ONE volume, so the P2 term is handled by a
+    // rotating triple of volumes with P2 bound via its own offset-0 pass…
+    // Simplest faithful loop: rotate three volumes and bind
+    // [PDOWN, P, PUP] from the current one and P2 from the older one by
+    // interleaving two half-updates is overkill here — instead we treat
+    // P2 as a plane of the PREVIOUS volume by running the fused kernel
+    // with a per-plane source list built by hand.
+    let steps = 24u64;
+    let mut timing: Option<Measurement> = None;
+    let mut cur = p;
+    let mut old = p2;
+    let mut next = r;
+    for step in 0..steps {
+        let opts = if step == 0 {
+            ExecOptions::default()
+        } else {
+            ExecOptions::fast()
+        };
+        let mut step_m: Option<Measurement> = None;
+        for plane in 0..depth {
+            let below = cur.plane((plane + depth - 1) % depth);
+            let here = cur.plane(plane);
+            let above = cur.plane((plane + 1) % depth);
+            let two_ago = old.plane(plane);
+            let m = session.run_with_multi(
+                &compiled,
+                next.plane(plane),
+                &[below, here, above, two_ago],
+                &[],
+                &opts,
+            )?;
+            step_m = Some(match step_m {
+                None => m,
+                Some(t) => t.combine(&m),
+            });
+        }
+        if step == 0 {
+            timing = step_m;
+        }
+        // Rotate roles, v2-style: no copies.
+        let recycled = std::mem::replace(&mut old, cur);
+        cur = std::mem::replace(&mut next, recycled);
+    }
+
+    let field = cur.gather(session.machine());
+    let energy: f64 = field.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+    let peak = field.iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+    println!("after {steps} steps: energy {energy:.3}, peak |amplitude| {peak:.4}");
+    assert!(energy.is_finite() && energy > 0.0);
+    assert!(peak < 1.5, "the scheme should stay stable at c = {c}");
+
+    let timing = timing.expect("first step timed");
+    println!(
+        "\nper time step ({depth} planes): {} | {:.1} Mflops on 16 nodes -> {:.2} Gflops on 2,048",
+        timing.cycles,
+        timing.mflops(session.config()),
+        timing.extrapolate(2048).gflops(session.config()),
+    );
+    println!(
+        "flops per point per step: {} (8 multiplies + 7 adds, one fused kernel)",
+        compiled.stencil().useful_flops_per_point()
+    );
+    Ok(())
+}

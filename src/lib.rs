@@ -1,0 +1,320 @@
+//! # cmcc — the Connection Machine Convolution Compiler, reproduced
+//!
+//! A Rust reproduction of *"Fortran at Ten Gigaflops: The Connection
+//! Machine Convolution Compiler"* (Bromley, Heller, McNerney & Steele,
+//! PLDI 1991): a compiler that turns Fortran 90 array assignment
+//! statements of the sum-of-products `CSHIFT` form into chained
+//! multiply-add kernels, executed here on a cycle-level simulator of the
+//! CM-2's floating-point node array.
+//!
+//! The workspace splits the way the paper splits the system:
+//!
+//! | crate | paper role |
+//! |---|---|
+//! | [`front`] | Fortran 90 subset + `defstencil` front ends |
+//! | [`core`] | the compiler module: recognition, multistencils, ring-buffer register allocation, kernel scheduling |
+//! | [`cm2`] | the machine: WTL3164 pipeline, sequencer, node grid, communication primitives |
+//! | [`runtime`] | the run-time library: distributed arrays, halo exchange, strip mining |
+//! | [`baseline`] | comparators: generic slicewise CM Fortran and the 1989 hand-coded library |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cmcc::Session;
+//!
+//! let mut session = Session::tiny()?;
+//! let blur = session.compile(
+//!     "R = 0.25 * CSHIFT(X, 1, -1) + 0.5 * X + 0.25 * CSHIFT(X, 1, +1)",
+//! )?;
+//! let x = session.array(8, 8)?;
+//! let r = session.array(8, 8)?;
+//! x.fill_with(session.machine_mut(), |row, _| row as f32);
+//! let measurement = session.run(&blur, &r, &x, &[])?;
+//! assert_eq!(r.get(session.machine(), 4, 0), 4.0);
+//! println!("{:.1} Mflops", measurement.mflops(session.config()));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use cmcc_baseline as baseline;
+pub use cmcc_cm2 as cm2;
+pub use cmcc_core as core;
+pub use cmcc_front as front;
+pub use cmcc_runtime as runtime;
+
+pub use cmcc_cm2::{CycleBreakdown, Machine, MachineConfig, Measurement};
+pub use cmcc_core::{CompileError, CompiledStencil, Compiler, PaperPattern};
+pub use cmcc_runtime::{convolve, convolve_multi, convolve_volume, CmArray, CmVolume, ExecOptions, RuntimeError};
+
+use std::error::Error;
+use std::fmt;
+
+/// Everything needed for typical use, in one import.
+pub mod prelude {
+    pub use crate::{
+        convolve, CmArray, CompiledStencil, Compiler, ExecOptions, Machine, MachineConfig,
+        Measurement, PaperPattern, Session,
+    };
+}
+
+/// A combined error for [`Session`] operations.
+#[derive(Debug)]
+pub enum SessionError {
+    /// Machine construction failed.
+    Machine(String),
+    /// Compilation failed.
+    Compile(CompileError),
+    /// A run-time library error.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Machine(msg) => write!(f, "machine error: {msg}"),
+            SessionError::Compile(e) => e.fmt(f),
+            SessionError::Runtime(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for SessionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SessionError::Machine(_) => None,
+            SessionError::Compile(e) => Some(e),
+            SessionError::Runtime(e) => Some(e),
+        }
+    }
+}
+
+impl From<CompileError> for SessionError {
+    fn from(e: CompileError) -> Self {
+        SessionError::Compile(e)
+    }
+}
+
+impl From<RuntimeError> for SessionError {
+    fn from(e: RuntimeError) -> Self {
+        SessionError::Runtime(e)
+    }
+}
+
+/// A machine plus a compiler targeting it: the convenient front door.
+///
+/// See the crate-level example. For full control (execution options,
+/// alternative front ends, baselines) use the constituent crates
+/// directly.
+#[derive(Debug)]
+pub struct Session {
+    machine: Machine,
+    compiler: Compiler,
+}
+
+impl Session {
+    /// A session on the given machine configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Machine`] if the configuration is invalid.
+    pub fn with_config(config: MachineConfig) -> Result<Self, SessionError> {
+        let machine = Machine::new(config.clone()).map_err(SessionError::Machine)?;
+        Ok(Session {
+            machine,
+            compiler: Compiler::new(config),
+        })
+    }
+
+    /// The paper's 16-node measurement board (4×4 nodes).
+    ///
+    /// # Errors
+    ///
+    /// Never in practice; propagates machine construction.
+    pub fn test_board() -> Result<Self, SessionError> {
+        Self::with_config(MachineConfig::test_board_16())
+    }
+
+    /// A full 2,048-node CM-2.
+    ///
+    /// # Errors
+    ///
+    /// Never in practice; propagates machine construction.
+    pub fn full_machine() -> Result<Self, SessionError> {
+        Self::with_config(MachineConfig::full_machine_2048())
+    }
+
+    /// A tiny 2×2-node machine for tests and doc examples.
+    ///
+    /// # Errors
+    ///
+    /// Never in practice; propagates machine construction.
+    pub fn tiny() -> Result<Self, SessionError> {
+        Self::with_config(MachineConfig::tiny_4())
+    }
+
+    /// The machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The machine, mutably.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        self.machine.config()
+    }
+
+    /// The compiler.
+    pub fn compiler(&self) -> &Compiler {
+        &self.compiler
+    }
+
+    /// Compiles a Fortran array assignment statement.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CompileError`].
+    pub fn compile(&self, statement: &str) -> Result<CompiledStencil, SessionError> {
+        Ok(self.compiler.compile_assignment(statement)?)
+    }
+
+    /// Compiles a statement under the multi-source extension (several
+    /// shifted arrays fused into one kernel — the paper's §9 future
+    /// work).
+    ///
+    /// # Errors
+    ///
+    /// Any [`CompileError`].
+    pub fn compile_extended(&self, statement: &str) -> Result<CompiledStencil, SessionError> {
+        Ok(self.compiler.compile_assignment_extended(statement)?)
+    }
+
+    /// Allocates a distributed array.
+    ///
+    /// # Errors
+    ///
+    /// Shape or memory errors from the run-time library.
+    pub fn array(&mut self, rows: usize, cols: usize) -> Result<CmArray, SessionError> {
+        Ok(CmArray::new(&mut self.machine, rows, cols)?)
+    }
+
+    /// Runs a compiled stencil with default options (cycle-accurate).
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`].
+    pub fn run(
+        &mut self,
+        compiled: &CompiledStencil,
+        result: &CmArray,
+        source: &CmArray,
+        coeffs: &[&CmArray],
+    ) -> Result<Measurement, SessionError> {
+        Ok(convolve(
+            &mut self.machine,
+            compiled,
+            result,
+            source,
+            coeffs,
+            &ExecOptions::default(),
+        )?)
+    }
+
+    /// Runs a compiled multi-source stencil with default options.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`].
+    pub fn run_multi(
+        &mut self,
+        compiled: &CompiledStencil,
+        result: &CmArray,
+        sources: &[&CmArray],
+        coeffs: &[&CmArray],
+    ) -> Result<Measurement, SessionError> {
+        Ok(convolve_multi(
+            &mut self.machine,
+            compiled,
+            result,
+            sources,
+            coeffs,
+            &ExecOptions::default(),
+        )?)
+    }
+
+    /// Runs a compiled multi-source stencil with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`].
+    pub fn run_with_multi(
+        &mut self,
+        compiled: &CompiledStencil,
+        result: &CmArray,
+        sources: &[&CmArray],
+        coeffs: &[&CmArray],
+        opts: &ExecOptions,
+    ) -> Result<Measurement, SessionError> {
+        Ok(convolve_multi(
+            &mut self.machine,
+            compiled,
+            result,
+            sources,
+            coeffs,
+            opts,
+        )?)
+    }
+
+    /// Runs with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`].
+    pub fn run_with(
+        &mut self,
+        compiled: &CompiledStencil,
+        result: &CmArray,
+        source: &CmArray,
+        coeffs: &[&CmArray],
+        opts: &ExecOptions,
+    ) -> Result<Measurement, SessionError> {
+        Ok(convolve(
+            &mut self.machine,
+            compiled,
+            result,
+            source,
+            coeffs,
+            opts,
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_round_trip() {
+        let mut s = Session::tiny().unwrap();
+        let c = s.compile("R = 0.5 * X + 0.5 * CSHIFT(X, 2, 1)").unwrap();
+        let x = s.array(4, 4).unwrap();
+        let r = s.array(4, 4).unwrap();
+        x.fill(s.machine_mut(), 2.0);
+        let m = s.run(&c, &r, &x, &[]).unwrap();
+        assert_eq!(r.get(s.machine(), 1, 1), 2.0);
+        assert!(m.cycles.total() > 0);
+    }
+
+    #[test]
+    fn compile_errors_surface() {
+        let s = Session::tiny().unwrap();
+        let err = s.compile("R = X - Y").unwrap_err();
+        assert!(err.to_string().contains("subtraction") || err.to_string().contains("stencil"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

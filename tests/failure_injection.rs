@@ -1,0 +1,152 @@
+//! Failure injection at the system level: feed the pipeline wrong inputs
+//! and protocol variations and verify the differential checks notice.
+//! (Kernel-level injection — stripping drain bubbles, corrupting register
+//! assignments — lives in `cmcc-core`'s schedule tests, where `Kernel`
+//! internals are accessible; see
+//! `schedule::tests::stripped_drain_bubbles_trip_the_hazard_detector`.)
+
+use cmcc::cm2::{ExecMode, Machine, MachineConfig};
+use cmcc::core::Compiler;
+use cmcc::prelude::*;
+use cmcc::runtime::reference::{reference_convolve, CoeffValue};
+use cmcc::runtime::{convolve, ExecOptions, RuntimeError};
+
+fn setup(
+    statement: &str,
+) -> (
+    Machine,
+    CompiledStencil,
+    CmArray,
+    CmArray,
+    Vec<CmArray>,
+    Vec<f32>,
+) {
+    let mut machine = Machine::new(MachineConfig::tiny_4()).unwrap();
+    let compiled = Compiler::new(machine.config().clone())
+        .compile_assignment(statement)
+        .unwrap();
+    let (rows, cols) = (8usize, 8usize);
+    let x = CmArray::new(&mut machine, rows, cols).unwrap();
+    x.fill_with(&mut machine, |r, c| ((r * 13 + c * 7) % 19) as f32 - 9.0);
+    let n = compiled.spec().coeffs.len();
+    let coeffs: Vec<CmArray> = (0..n)
+        .map(|i| {
+            let a = CmArray::new(&mut machine, rows, cols).unwrap();
+            a.fill_with(&mut machine, move |r, c| ((r + c + i) % 5) as f32 * 0.5);
+            a
+        })
+        .collect();
+    let r = CmArray::new(&mut machine, rows, cols).unwrap();
+
+    let x_host = x.gather(&machine);
+    let coeff_host: Vec<Vec<f32>> = coeffs.iter().map(|a| a.gather(&machine)).collect();
+    let values: Vec<CoeffValue<'_>> = coeff_host.iter().map(|h| CoeffValue::Array(h)).collect();
+    let want = reference_convolve(compiled.stencil(), rows, cols, &x_host, &values);
+    (machine, compiled, x, r, coeffs, want)
+}
+
+fn run(
+    machine: &mut Machine,
+    compiled: &CompiledStencil,
+    r: &CmArray,
+    x: &CmArray,
+    coeffs: &[CmArray],
+    mode: ExecMode,
+) -> Result<Vec<f32>, RuntimeError> {
+    let refs: Vec<&CmArray> = coeffs.iter().collect();
+    let opts = ExecOptions {
+        mode,
+        ..ExecOptions::default()
+    };
+    convolve(machine, compiled, r, x, &refs, &opts)?;
+    Ok(r.gather(machine))
+}
+
+/// The baseline for the negative tests: an unbroken pipeline matches the
+/// reference bit for bit.
+#[test]
+fn unbroken_pipeline_matches() {
+    let (mut machine, compiled, x, r, coeffs, want) =
+        setup("R = C1 * CSHIFT(X, 1, -1) + C2 * X");
+    let got = run(&mut machine, &compiled, &r, &x, &coeffs, ExecMode::Cycle).unwrap();
+    assert!(got
+        .iter()
+        .zip(&want)
+        .all(|(a, b)| a.to_bits() == b.to_bits()));
+}
+
+/// Perturbed inputs change the output — the differential check is not
+/// vacuous (it would catch a kernel reading the wrong element).
+#[test]
+fn perturbed_inputs_are_visible_in_results() {
+    let (mut machine, compiled, x, r, coeffs, want) =
+        setup("R = C1 * CSHIFT(X, 1, -1) + C2 * X");
+    // Flip a single interior element of the source.
+    let v = x.get(&machine, 3, 3);
+    x.set(&mut machine, 3, 3, v + 1.0);
+    let got = run(&mut machine, &compiled, &r, &x, &coeffs, ExecMode::Fast).unwrap();
+    assert_ne!(got, want, "a one-element perturbation must be detected");
+    // And it propagates exactly to the stencil's readers: (3,3) itself
+    // and its south neighbor (4,3) which reads it through CSHIFT(1,-1).
+    let cols = 8;
+    let differing: Vec<usize> = got
+        .iter()
+        .zip(&want)
+        .enumerate()
+        .filter(|(_, (a, b))| a.to_bits() != b.to_bits())
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(differing, vec![3 * cols + 3, 4 * cols + 3]);
+}
+
+/// Every execution-option combination is *supposed* to be functionally
+/// identical; a sabotaged comparison (different boundary) is not — the
+/// equality assertions in the suite have teeth.
+#[test]
+fn boundary_discipline_changes_results_at_edges_only() {
+    let (mut machine, circular, x, r, coeffs, _) = setup("R = C1 * CSHIFT(X, 2, -1) + C2 * X");
+    let zerofill = Compiler::new(machine.config().clone())
+        .compile_assignment("R = C1 * EOSHIFT(X, 2, -1) + C2 * X")
+        .unwrap();
+    let got_c = run(&mut machine, &circular, &r, &x, &coeffs, ExecMode::Cycle).unwrap();
+    let got_z = run(&mut machine, &zerofill, &r, &x, &coeffs, ExecMode::Cycle).unwrap();
+    let cols = 8;
+    for (i, (c, z)) in got_c.iter().zip(&got_z).enumerate() {
+        if i % cols == 0 {
+            // The west column reads across the boundary: values differ
+            // unless the wrapped element happens to be zero-weighted.
+            continue;
+        }
+        assert_eq!(c.to_bits(), z.to_bits(), "interior element {i} differs");
+    }
+    assert_ne!(got_c, got_z, "the boundary column must differ");
+}
+
+/// Memory exhaustion surfaces as a clean error, not corruption: a
+/// machine too small for the temporaries refuses the call.
+#[test]
+fn out_of_memory_is_a_clean_refusal() {
+    let cfg = MachineConfig {
+        node_memory_words: 50, // room for the arrays, not the halo
+        ..MachineConfig::tiny_4()
+    };
+    let mut machine = Machine::new(cfg).unwrap();
+    let compiled = Compiler::new(machine.config().clone())
+        .compile_assignment("R = 1.0 * CSHIFT(X, 1, 1)")
+        .unwrap();
+    let x = CmArray::new(&mut machine, 8, 8).unwrap(); // 16 words/node
+    let r = CmArray::new(&mut machine, 8, 8).unwrap();
+    let mark = machine.alloc_mark();
+    let err = convolve(
+        &mut machine,
+        &compiled,
+        &r,
+        &x,
+        &[],
+        &ExecOptions::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, RuntimeError::OutOfMemory(_)), "{err}");
+    // And the failed call released whatever it had allocated.
+    assert_eq!(machine.alloc_mark(), mark);
+}

@@ -1,0 +1,238 @@
+//! Tests of the multi-source extension: the paper's §9 / §7 future work
+//! ("Future versions of the compiler should be able to handle all ten
+//! terms as one stencil pattern"), realized as stencils whose taps shift
+//! several arrays, fused into one kernel.
+
+use cmcc::core::recognize::CoeffSpec;
+use cmcc::prelude::*;
+use cmcc::runtime::reference::{reference_convolve_multi, CoeffValue};
+
+/// The fused Gordon Bell statement: the nine-point cross on `P` plus the
+/// tenth term on `P2` — one statement, one kernel, one halo pass.
+fn ten_term_statement() -> String {
+    "R = C1 * CSHIFT (P, DIM=1, SHIFT=-2) \
+       + C2 * CSHIFT (P, DIM=1, SHIFT=-1) \
+       + C3 * CSHIFT (P, DIM=2, SHIFT=-2) \
+       + C4 * CSHIFT (P, DIM=2, SHIFT=-1) \
+       + C5 * P \
+       + C6 * CSHIFT (P, DIM=2, SHIFT=+1) \
+       + C7 * CSHIFT (P, DIM=2, SHIFT=+2) \
+       + C8 * CSHIFT (P, DIM=1, SHIFT=+1) \
+       + C9 * CSHIFT (P, DIM=1, SHIFT=+2) \
+       + C10 * CSHIFT (P2, DIM=1, SHIFT=0)"
+        .to_owned()
+}
+
+#[test]
+fn strict_recognizer_rejects_the_ten_term_form() {
+    // The paper's published compiler requires one shifted variable; the
+    // strict path keeps that contract.
+    let session = Session::tiny().unwrap();
+    let err = session.compile(&ten_term_statement()).unwrap_err();
+    assert!(
+        err.to_string().contains("same variable"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn extended_recognizer_fuses_ten_terms() {
+    let session = Session::tiny().unwrap();
+    let compiled = session.compile_extended(&ten_term_statement()).unwrap();
+    let spec = compiled.spec();
+    assert_eq!(spec.sources, vec!["P", "P2"]);
+    assert_eq!(compiled.stencil().taps().len(), 10);
+    assert!(compiled.stencil().is_multi_source());
+    // Ten terms: 10 multiplies + 9 adds.
+    assert_eq!(compiled.stencil().useful_flops_per_point(), 19);
+    // The extra source plane costs registers: the multistencil carries
+    // P2's cells too, so width 8 needs more than the single-source star.
+    assert!(!compiled.widths().is_empty());
+}
+
+#[test]
+fn fused_execution_matches_reference_bit_for_bit() {
+    let mut session = Session::tiny().unwrap();
+    let compiled = session.compile_extended(&ten_term_statement()).unwrap();
+    let (rows, cols) = (12usize, 16usize);
+
+    let p = session.array(rows, cols).unwrap();
+    let p2 = session.array(rows, cols).unwrap();
+    p.fill_with(session.machine_mut(), |r, c| {
+        ((r * 31 + c * 7) % 17) as f32 * 0.3 - 2.0
+    });
+    p2.fill_with(session.machine_mut(), |r, c| {
+        ((r * 5 + c * 11) % 13) as f32 * 0.25 - 1.5
+    });
+    let coeffs: Vec<CmArray> = (0..10)
+        .map(|i| {
+            let a = session.array(rows, cols).unwrap();
+            a.fill_with(session.machine_mut(), move |r, c| {
+                ((r + 2 * c + 3 * i) % 7) as f32 * 0.2 - 0.6
+            });
+            a
+        })
+        .collect();
+    let r = session.array(rows, cols).unwrap();
+
+    let coeff_refs: Vec<&CmArray> = coeffs.iter().collect();
+    session
+        .run_multi(&compiled, &r, &[&p, &p2], &coeff_refs)
+        .unwrap();
+
+    let p_host = p.gather(session.machine());
+    let p2_host = p2.gather(session.machine());
+    let coeff_host: Vec<Vec<f32>> = coeffs.iter().map(|a| a.gather(session.machine())).collect();
+    let values: Vec<CoeffValue<'_>> = coeff_host.iter().map(|h| CoeffValue::Array(h)).collect();
+    let want = reference_convolve_multi(
+        compiled.stencil(),
+        rows,
+        cols,
+        &[&p_host, &p2_host],
+        &values,
+    );
+    let got = r.gather(session.machine());
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "element ({}, {}): got {g}, want {w}",
+            i / cols,
+            i % cols
+        );
+    }
+}
+
+#[test]
+fn three_sources_with_mixed_coefficients() {
+    let mut session = Session::tiny().unwrap();
+    let compiled = session
+        .compile_extended(
+            "OUT = 0.5 * CSHIFT(A, 1, -1) + B + 0.25 * CSHIFT(B, 2, +1) \
+                 + K * CSHIFT(C, 1, +1) + BIAS",
+        )
+        .unwrap();
+    let spec = compiled.spec();
+    assert_eq!(spec.sources, vec!["A", "B", "C"]);
+    // Named coefficients: K and BIAS.
+    let named: Vec<_> = spec
+        .coeffs
+        .iter()
+        .filter(|c| matches!(c, CoeffSpec::Named(_)))
+        .collect();
+    assert_eq!(named.len(), 2);
+
+    let (rows, cols) = (8usize, 8usize);
+    let arrays: Vec<CmArray> = (0..3)
+        .map(|i| {
+            let a = session.array(rows, cols).unwrap();
+            a.fill_with(session.machine_mut(), move |r, c| {
+                (r * 8 + c + i * 100) as f32 * 0.01
+            });
+            a
+        })
+        .collect();
+    let k = session.array(rows, cols).unwrap();
+    k.fill(session.machine_mut(), -0.75);
+    let bias = session.array(rows, cols).unwrap();
+    bias.fill(session.machine_mut(), 10.0);
+    let out = session.array(rows, cols).unwrap();
+
+    let sources: Vec<&CmArray> = arrays.iter().collect();
+    session
+        .run_multi(&compiled, &out, &sources, &[&k, &bias])
+        .unwrap();
+
+    let hosts: Vec<Vec<f32>> = arrays.iter().map(|a| a.gather(session.machine())).collect();
+    let host_refs: Vec<&[f32]> = hosts.iter().map(Vec::as_slice).collect();
+    let k_host = k.gather(session.machine());
+    let bias_host = bias.gather(session.machine());
+    // Coefficient list order: literals 0.5, 0.25 interleave with names
+    // K, BIAS per first appearance.
+    let values: Vec<CoeffValue<'_>> = spec
+        .coeffs
+        .iter()
+        .map(|c| match c {
+            CoeffSpec::Literal(v) => CoeffValue::Literal(*v),
+            CoeffSpec::Named(n) if n.eq_ignore_ascii_case("K") => CoeffValue::Array(&k_host),
+            CoeffSpec::Named(_) => CoeffValue::Array(&bias_host),
+        })
+        .collect();
+    let want = reference_convolve_multi(compiled.stencil(), rows, cols, &host_refs, &values);
+    let got = out.gather(session.machine());
+    for (g, w) in got.iter().zip(&want) {
+        assert_eq!(g.to_bits(), w.to_bits());
+    }
+}
+
+#[test]
+fn wrong_source_count_is_reported() {
+    let mut session = Session::tiny().unwrap();
+    let compiled = session
+        .compile_extended("R = CSHIFT(A, 2, 1) + CSHIFT(B, 1, 1)")
+        .unwrap();
+    let a = session.array(8, 8).unwrap();
+    let r = session.array(8, 8).unwrap();
+    let err = session.run_multi(&compiled, &r, &[&a], &[]).unwrap_err();
+    assert!(
+        err.to_string().contains("2 source arrays"),
+        "unexpected: {err}"
+    );
+}
+
+#[test]
+fn single_source_calls_reject_multi_source_stencils() {
+    let mut session = Session::tiny().unwrap();
+    let compiled = session
+        .compile_extended("R = CSHIFT(A, 2, 1) + CSHIFT(B, 1, 1)")
+        .unwrap();
+    let a = session.array(8, 8).unwrap();
+    let r = session.array(8, 8).unwrap();
+    // The single-source entry point passes one source; the runtime
+    // demands two.
+    let err = session.run(&compiled, &r, &a, &[]).unwrap_err();
+    assert!(err.to_string().contains("source arrays"), "{err}");
+}
+
+#[test]
+fn fused_kernel_beats_separate_passes_in_cycles() {
+    // The point of the future-work fusion: one halo pass and one strip
+    // sweep instead of a stencil call plus an elementwise pass.
+    let mut session = Session::test_board().unwrap();
+    let fused = session.compile_extended(&ten_term_statement()).unwrap();
+    let star = session
+        .compile(&PaperPattern::Star9.fortran())
+        .unwrap();
+
+    let (rows, cols) = (4 * 64, 4 * 64);
+    let p = session.array(rows, cols).unwrap();
+    let p2 = session.array(rows, cols).unwrap();
+    let r = session.array(rows, cols).unwrap();
+    let coeffs: Vec<CmArray> = (0..10)
+        .map(|_| session.array(rows, cols).unwrap())
+        .collect();
+    let refs10: Vec<&CmArray> = coeffs.iter().collect();
+    let refs9: Vec<&CmArray> = coeffs[..9].iter().collect();
+
+    let fused_m = session
+        .run_multi(&fused, &r, &[&p, &p2], &refs10)
+        .unwrap();
+    let star_m = session.run(&star, &r, &p, &refs9).unwrap();
+    let tenth = cmcc::baseline::elementwise_multiply_add(
+        session.machine_mut(),
+        &r,
+        &coeffs[9],
+        &p2,
+    )
+    .unwrap();
+    let separate = star_m.combine(&tenth);
+
+    assert!(
+        fused_m.cycles.total() < separate.cycles.total(),
+        "fused {} vs separate {}",
+        fused_m.cycles.total(),
+        separate.cycles.total()
+    );
+    // And the fused version still counts the same useful flops.
+    assert_eq!(fused_m.useful_flops, separate.useful_flops);
+}
