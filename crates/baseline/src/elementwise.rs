@@ -37,7 +37,13 @@ fn check_shapes(args: &[&CmArray]) -> Result<(), RuntimeError> {
     Ok(())
 }
 
-fn measure(machine: &Machine, flops_per_elem: u64, cycles_per_elem: u64, n_global: u64, n_sub: u64) -> Measurement {
+fn measure(
+    machine: &Machine,
+    flops_per_elem: u64,
+    cycles_per_elem: u64,
+    n_global: u64,
+    n_sub: u64,
+) -> Measurement {
     Measurement {
         useful_flops: flops_per_elem * n_global,
         cycles: CycleBreakdown {
@@ -70,7 +76,13 @@ pub fn elementwise_multiply_add(
     dst.scatter(machine, &out);
     let n_global = (dst.rows() * dst.cols()) as u64;
     let n_sub = (dst.sub_rows() * dst.sub_cols()) as u64;
-    Ok(measure(machine, 2, MULTIPLY_ADD_CYCLES_PER_ELEM, n_global, n_sub))
+    Ok(measure(
+        machine,
+        2,
+        MULTIPLY_ADD_CYCLES_PER_ELEM,
+        n_global,
+        n_sub,
+    ))
 }
 
 /// `dst = src`, elementwise: zero useful flops (pure data motion — the

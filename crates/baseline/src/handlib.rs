@@ -68,7 +68,10 @@ impl fmt::Display for HandLibError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HandLibError::NoSuchRoutine { reason } => {
-                write!(f, "no hand-coded library routine for this pattern: {reason}")
+                write!(
+                    f,
+                    "no hand-coded library routine for this pattern: {reason}"
+                )
             }
             HandLibError::Runtime(e) => e.fmt(f),
         }

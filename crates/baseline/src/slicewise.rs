@@ -146,8 +146,7 @@ pub fn slicewise_convolve(
     }
 
     Ok(Measurement {
-        useful_flops: stencil.useful_flops_per_point()
-            * (source.rows() * source.cols()) as u64,
+        useful_flops: stencil.useful_flops_per_point() * (source.rows() * source.cols()) as u64,
         cycles: CycleBreakdown {
             comm,
             compute,
@@ -267,7 +266,10 @@ mod tests {
         let refs: Vec<&CmArray> = coeffs[..3].iter().collect();
         assert!(matches!(
             slicewise_convolve(&mut m, &spec, &r, &x, &refs),
-            Err(RuntimeError::WrongCoeffCount { expected: 5, got: 3 })
+            Err(RuntimeError::WrongCoeffCount {
+                expected: 5,
+                got: 3
+            })
         ));
     }
 }

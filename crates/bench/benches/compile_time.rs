@@ -1,30 +1,24 @@
-//! Criterion bench of the compiler itself: lex + parse + recognize +
+//! Wall-clock bench of the compiler itself: lex + parse + recognize +
 //! multistencil/ring planning + schedule emission for each paper pattern.
 
+use cmcc_bench::microbench::Group;
 use cmcc_cm2::config::MachineConfig;
 use cmcc_core::compiler::Compiler;
 use cmcc_core::patterns::PaperPattern;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
-fn bench_compile(c: &mut Criterion) {
+fn main() {
     let compiler = Compiler::new(MachineConfig::test_board_16());
-    let mut group = c.benchmark_group("compile");
+    let group = Group::new("compile", 100);
     for pattern in PaperPattern::ALL {
         let source = pattern.fortran();
-        group.bench_function(pattern.name(), |b| {
-            b.iter(|| black_box(compiler.compile_assignment(&source).expect("compiles")));
+        group.bench(pattern.name(), || {
+            compiler.compile_assignment(&source).expect("compiles")
         });
     }
-    group.finish();
-}
 
-fn bench_front_end_only(c: &mut Criterion) {
+    let front = Group::new("front_end", 100);
     let source = PaperPattern::Diamond13.fortran();
-    c.bench_function("parse_diamond13", |b| {
-        b.iter(|| black_box(cmcc_front::parser::parse_assignment(&source).expect("parses")));
+    front.bench("parse_diamond13", || {
+        cmcc_front::parser::parse_assignment(&source).expect("parses")
     });
 }
-
-criterion_group!(benches, bench_compile, bench_front_end_only);
-criterion_main!(benches);

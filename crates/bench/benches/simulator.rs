@@ -1,25 +1,16 @@
-//! Criterion bench of the simulator core: cycle-accurate vs fast
-//! functional kernel interpretation (simulated-instruction throughput).
+//! Wall-clock bench of the simulator core: cycle-accurate vs fast
+//! functional kernel interpretation, serial vs threaded node execution.
 
+use cmcc_bench::microbench::Group;
 use cmcc_bench::Workload;
 use cmcc_cm2::config::MachineConfig;
 use cmcc_core::patterns::PaperPattern;
 use cmcc_runtime::convolve::ExecOptions;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
-fn bench_exec_modes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
-    group.sample_size(10);
+fn main() {
+    let group = Group::new("simulator", 10);
     let mut w = Workload::new(MachineConfig::tiny_4(), PaperPattern::Square9, (64, 64));
-    group.bench_function("cycle_accurate", |b| {
-        b.iter(|| black_box(w.run(&ExecOptions::default())));
-    });
-    group.bench_function("fast_functional", |b| {
-        b.iter(|| black_box(w.run(&ExecOptions::fast())));
-    });
-    group.finish();
+    group.bench("cycle_accurate_serial", || w.run(&ExecOptions::serial()));
+    group.bench("cycle_accurate_threads", || w.run(&ExecOptions::default()));
+    group.bench("fast_functional", || w.run(&ExecOptions::fast()));
 }
-
-criterion_group!(benches, bench_exec_modes);
-criterion_main!(benches);

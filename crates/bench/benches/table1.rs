@@ -1,25 +1,17 @@
-//! Criterion bench over the results-table workloads: wall-clock cost of
+//! Wall-clock bench over the results-table workloads: host cost of
 //! simulating one cycle-accurate stencil iteration per pattern (the
 //! simulated rates themselves are printed by `repro_table1`).
 
+use cmcc_bench::microbench::Group;
 use cmcc_bench::Workload;
 use cmcc_cm2::config::MachineConfig;
 use cmcc_core::patterns::PaperPattern;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 
-fn bench_table_patterns(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1_iteration");
-    group.sample_size(10);
+fn main() {
+    let group = Group::new("table1_iteration", 10);
     for pattern in PaperPattern::TABLE {
         // The 64×64-subgrid cell of the table, on the 16-node board.
         let mut w = Workload::new(MachineConfig::test_board_16(), pattern, (64, 64));
-        group.bench_function(pattern.name(), |b| {
-            b.iter(|| black_box(w.measure()));
-        });
+        group.bench(pattern.name(), || w.measure());
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table_patterns);
-criterion_main!(benches);

@@ -62,7 +62,10 @@ fn cfg() -> MachineConfig {
 /// against a dummy partner thread.
 fn pairing() {
     println!("A6: paired vs single-thread multiply-add chains (256x256 subgrids)\n");
-    println!("{:<18} {:>14} {:>14} {:>8}", "pattern", "paired Mflops", "single Mflops", "ratio");
+    println!(
+        "{:<18} {:>14} {:>14} {:>8}",
+        "pattern", "paired Mflops", "single Mflops", "ratio"
+    );
     for pattern in PaperPattern::TABLE {
         let mut w = Workload::new(cfg(), pattern, (256, 256));
         let paired = w.measure();

@@ -17,7 +17,9 @@
 //! cargo run --release -p cmcc-bench --bin repro_gordon_bell
 //! ```
 
-use cmcc_baseline::{elementwise_copy, elementwise_multiply_add, handlib_convolve, slicewise_convolve};
+use cmcc_baseline::{
+    elementwise_copy, elementwise_multiply_add, handlib_convolve, slicewise_convolve,
+};
 use cmcc_bench::Workload;
 use cmcc_cm2::config::MachineConfig;
 use cmcc_cm2::machine::Machine;
@@ -41,15 +43,11 @@ fn main() {
     let c10 = CmArray::new(&mut w.machine, rows, cols).expect("fits");
     c10.fill(&mut w.machine, -1.0);
     let p2 = CmArray::new(&mut w.machine, rows, cols).expect("fits");
-    let tenth =
-        elementwise_multiply_add(&mut w.machine, &w.r, &c10, &p2).expect("shapes match");
+    let tenth = elementwise_multiply_add(&mut w.machine, &w.r, &c10, &p2).expect("shapes match");
     let copy1 = elementwise_copy(&mut w.machine, &p2, &w.x).expect("shapes match");
     let copy2 = elementwise_copy(&mut w.machine, &w.x, &w.r).expect("shapes match");
 
-    let v1 = stencil_only
-        .combine(&tenth)
-        .combine(&copy1)
-        .combine(&copy2);
+    let v1 = stencil_only.combine(&tenth).combine(&copy1).combine(&copy2);
     let v2 = stencil_only.combine(&tenth);
 
     // v3: the paper's future work ("handle all ten terms as one stencil
@@ -80,7 +78,10 @@ fn main() {
     )
     .expect("fused run succeeds");
 
-    println!("{:<34} {:>14} {:>14} {:>10}", "variant", "Gflops (sim)", "Gflops (paper)", "ratio");
+    println!(
+        "{:<34} {:>14} {:>14} {:>10}",
+        "variant", "Gflops (sim)", "Gflops (paper)", "ratio"
+    );
     println!("{}", "-".repeat(76));
     let v1_full = v1.extrapolate(2048);
     let v2_full = v2.extrapolate(2048);
@@ -109,7 +110,10 @@ fn main() {
     let sim_ratio = v2_full.gflops(&cfg) / v1_full.gflops(&cfg);
     println!(
         "{:<34} {:>14.2} {:>14.2} {:>10}",
-        "v2/v1 unrolling speedup", sim_ratio, 14.88 / 11.62, ""
+        "v2/v1 unrolling speedup",
+        sim_ratio,
+        14.88 / 11.62,
+        ""
     );
     assert!(sim_ratio > 1.05, "unrolling must win");
     assert!(

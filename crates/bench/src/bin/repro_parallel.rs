@@ -1,0 +1,110 @@
+//! Parallel-engine benchmark: serial vs threaded node execution.
+//!
+//! Runs the 9-point square stencil on the simulated 16-node test board
+//! with a 128×128 per-node subgrid (a 512×512 global array), once with
+//! the serial executor (`threads = 1`) and once with one host thread
+//! per core, and checks the two are indistinguishable: bit-identical
+//! result arrays and exactly equal `Measurement`s. Wall-clock times and
+//! the speedup are written to `BENCH_parallel.json`.
+//!
+//! ```sh
+//! cargo run --release -p cmcc-bench --bin repro_parallel
+//! cargo run --release -p cmcc-bench --bin repro_parallel -- --smoke
+//! ```
+//!
+//! `--smoke` runs a single timed iteration per mode (for CI). The ≥2×
+//! speedup assertion only applies on hosts with 4+ cores — on fewer
+//! cores the numbers are still recorded, but a speedup is not expected.
+
+use cmcc_bench::Workload;
+use cmcc_cm2::config::MachineConfig;
+use cmcc_cm2::timing::Measurement;
+use cmcc_core::patterns::PaperPattern;
+use cmcc_runtime::convolve::ExecOptions;
+use std::time::Instant;
+
+const SUBGRID: (usize, usize) = (128, 128);
+
+/// Times `iters` runs of `w` under `opts`; returns the best wall-clock
+/// seconds per iteration, the last measurement, and the gathered result.
+fn time_mode(w: &mut Workload, opts: &ExecOptions, iters: usize) -> (f64, Measurement, Vec<f32>) {
+    let mut best = f64::INFINITY;
+    let mut m = w.run(opts); // warmup (also the compared measurement)
+    for _ in 0..iters {
+        let start = Instant::now();
+        m = w.run(opts);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, m, w.r.gather(&w.machine))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let iters = if smoke { 1 } else { 3 };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let threads = ExecOptions::default().threads;
+
+    println!("Parallel per-node execution engine benchmark");
+    println!(
+        "9-point square, {}x{} per node on the 16-node board (512x512 global), {cores} host core(s)\n",
+        SUBGRID.0, SUBGRID.1
+    );
+
+    // Two identically-seeded workloads, so any divergence is the
+    // executor's fault, not the data's.
+    let mut serial_w = Workload::new(
+        MachineConfig::test_board_16(),
+        PaperPattern::Square9,
+        SUBGRID,
+    );
+    let mut par_w = Workload::new(
+        MachineConfig::test_board_16(),
+        PaperPattern::Square9,
+        SUBGRID,
+    );
+
+    let (serial_secs, serial_m, serial_r) = time_mode(&mut serial_w, &ExecOptions::serial(), iters);
+    println!("  serial   (threads=1):  {serial_secs:.3} s/iter");
+    let (par_secs, par_m, par_r) = time_mode(
+        &mut par_w,
+        &ExecOptions::default().with_threads(threads),
+        iters,
+    );
+    println!("  parallel (threads={threads}): {par_secs:.3} s/iter");
+
+    let bit_identical = serial_r.len() == par_r.len()
+        && serial_r
+            .iter()
+            .zip(&par_r)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    let measurement_equal = serial_m == par_m;
+    let speedup = serial_secs / par_secs;
+    println!("\n  speedup {speedup:.2}x; bit-identical: {bit_identical}; measurements equal: {measurement_equal}");
+
+    let json = format!(
+        "{{\n  \"pattern\": \"{}\",\n  \"global_grid\": [512, 512],\n  \"subgrid\": [{}, {}],\n  \
+         \"host_cores\": {cores},\n  \"threads\": {threads},\n  \"iters\": {iters},\n  \
+         \"serial_secs_per_iter\": {serial_secs:.6},\n  \"parallel_secs_per_iter\": {par_secs:.6},\n  \
+         \"speedup\": {speedup:.4},\n  \"bit_identical\": {bit_identical},\n  \
+         \"measurement_equal\": {measurement_equal}\n}}\n",
+        PaperPattern::Square9.name(),
+        SUBGRID.0,
+        SUBGRID.1,
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("  wrote BENCH_parallel.json");
+
+    assert!(bit_identical, "parallel results diverge from serial");
+    assert!(
+        measurement_equal,
+        "parallel Measurement differs from serial"
+    );
+    if cores >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "expected >=2x speedup on {cores} cores, got {speedup:.2}x"
+        );
+    } else {
+        println!("  ({cores} core(s) < 4: speedup recorded but not asserted)");
+    }
+}

@@ -44,8 +44,15 @@ fn main() {
             mac_issue_cycles: mac,
             ..base.clone()
         };
-        let marker = if mac == base.mac_issue_cycles { "  <- calibrated" } else { "" };
-        println!("  mac_issue_cycles = {mac}: {:>5.1}%{marker}", 100.0 * table_error(&cfg));
+        let marker = if mac == base.mac_issue_cycles {
+            "  <- calibrated"
+        } else {
+            ""
+        };
+        println!(
+            "  mac_issue_cycles = {mac}: {:>5.1}%{marker}",
+            100.0 * table_error(&cfg)
+        );
     }
 
     println!("\nfront-end dispatch per half-strip (calibrated: 1200 cycles):");
@@ -83,7 +90,10 @@ fn main() {
     }
 
     let calibrated = table_error(&base);
-    println!("\ncalibrated model: {:.1}% mean error across all 18 cells", 100.0 * calibrated);
+    println!(
+        "\ncalibrated model: {:.1}% mean error across all 18 cells",
+        100.0 * calibrated
+    );
     assert!(
         calibrated < 0.15,
         "the calibrated model must stay within 15% on average"

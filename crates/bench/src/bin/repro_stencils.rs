@@ -22,7 +22,10 @@ fn main() {
 
     for pattern in PaperPattern::ALL {
         let stencil = pattern.stencil();
-        println!("=== {pattern} ({} flops/point) ===", stencil.useful_flops_per_point());
+        println!(
+            "=== {pattern} ({} flops/point) ===",
+            stencil.useful_flops_per_point()
+        );
         println!("{}", render_stencil(&stencil));
         println!("border widths: {}\n", stencil.borders());
 

@@ -75,7 +75,11 @@ fn main() {
             subgrid.1,
             direct.gflops(w.machine.config()),
         );
-        let mut w16 = Workload::new(MachineConfig::test_board_16(), PaperPattern::Square9, subgrid);
+        let mut w16 = Workload::new(
+            MachineConfig::test_board_16(),
+            PaperPattern::Square9,
+            subgrid,
+        );
         let extrap = w16.measure().extrapolate(2048);
         println!(
             "  9-point square {:>4}x{:<4} on 2,048 nodes (extrapolated from 16): {:.2} Gflops",

@@ -1,4 +1,4 @@
-//! Shared harness code for the table/figure regenerators and Criterion
+//! Shared harness code for the table/figure regenerators and wall-clock
 //! benches.
 //!
 //! Each helper builds the measurement setup the paper's §7 describes:
@@ -19,8 +19,9 @@ use cmcc_core::patterns::PaperPattern;
 use cmcc_core::recognize::CoeffSpec;
 use cmcc_runtime::array::CmArray;
 use cmcc_runtime::convolve::{convolve, ExecOptions};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cmcc_testkit::Rng;
+
+pub mod microbench;
 
 /// The per-node subgrid sizes of the paper's results table.
 pub const TABLE_SUBGRIDS: [(usize, usize); 5] =
@@ -107,9 +108,9 @@ impl Workload {
         let mut machine = Machine::new(cfg).expect("bench config is valid");
         let rows = subgrid.0 * machine.grid().rows();
         let cols = subgrid.1 * machine.grid().cols();
-        let mut rng = StdRng::seed_from_u64(0x1991_0626);
+        let mut rng = Rng::new(0x1991_0626);
         let x = CmArray::new(&mut machine, rows, cols).expect("source fits");
-        let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let data: Vec<f32> = (0..rows * cols).map(|_| rng.f32_in(-1.0, 1.0)).collect();
         x.scatter(&mut machine, &data);
         let named = compiled
             .spec()
@@ -120,8 +121,7 @@ impl Workload {
         let coeffs: Vec<CmArray> = (0..named)
             .map(|_| {
                 let a = CmArray::new(&mut machine, rows, cols).expect("coefficient fits");
-                let data: Vec<f32> =
-                    (0..rows * cols).map(|_| rng.gen_range(-0.5..0.5)).collect();
+                let data: Vec<f32> = (0..rows * cols).map(|_| rng.f32_in(-0.5, 0.5)).collect();
                 a.scatter(&mut machine, &data);
                 a
             })

@@ -1,0 +1,60 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace builds offline, so the benches use this std-only
+//! stand-in instead of an external harness: warm up, time a fixed
+//! number of samples with [`std::time::Instant`], and report
+//! min/median/mean per iteration. The numbers are indicative, not
+//! statistically rigorous — the cycle-accurate results the paper cares
+//! about come from the simulator's own counters, which are exact.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark group: shared sample counts and aligned output.
+pub struct Group {
+    name: String,
+    samples: usize,
+    warmup: usize,
+}
+
+impl Group {
+    /// Creates a group with `samples` timed runs (after 1 warmup run)
+    /// per benchmark.
+    #[must_use]
+    pub fn new(name: &str, samples: usize) -> Self {
+        Group {
+            name: name.to_owned(),
+            samples: samples.max(1),
+            warmup: 1,
+        }
+    }
+
+    /// Sets the number of untimed warmup runs per benchmark.
+    #[must_use]
+    pub fn warmup(mut self, runs: usize) -> Self {
+        self.warmup = runs;
+        self
+    }
+
+    /// Times `f` and prints a one-line summary.
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / u32::try_from(times.len()).unwrap_or(1);
+        println!(
+            "{}/{name:<24} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+            self.name, min, median, mean, self.samples
+        );
+    }
+}

@@ -51,7 +51,10 @@ impl FieldLayout {
     pub fn addr(&self, row: i64, col: i64) -> usize {
         let r = row + self.row_offset;
         let c = col + self.col_offset;
-        assert!(r >= 0 && c >= 0, "address underflow at logical ({row}, {col})");
+        assert!(
+            r >= 0 && c >= 0,
+            "address underflow at logical ({row}, {col})"
+        );
         self.base + r as usize * self.row_stride + c as usize
     }
 }
@@ -76,6 +79,22 @@ pub struct StripContext<'a> {
     pub lines: usize,
     /// Logical column of the strip's first result position.
     pub col0: i64,
+}
+
+/// One entry of a strip schedule: a compiled kernel plus the run-time
+/// parameters of the half-strip it processes.
+///
+/// A full stencil call is a sequence of these, identical on every node
+/// (the machine is SIMD); [`crate::machine::Machine::run_schedule_all`]
+/// executes the whole sequence per node, optionally fanning nodes out
+/// across host threads. Everything referenced is immutable shared data,
+/// so a `ScheduleStep` is `Send + Sync` and can be shared across workers.
+#[derive(Debug, Clone)]
+pub struct ScheduleStep<'a> {
+    /// The compiled kernel for this half-strip's width and walk.
+    pub kernel: &'a Kernel,
+    /// The half-strip's run-time parameters.
+    pub ctx: StripContext<'a>,
 }
 
 /// Execution mode selector.
@@ -260,7 +279,9 @@ pub fn run_strip(
         let row = ctx.start_row + line as i64 * i64::from(kernel.row_step);
         let pattern = &kernel.body[line % kernel.body.len()];
         for part in pattern {
-            step(part, row, ctx, mem, &mut fpu, &mut run, &mut now, cfg, cycle_mode)?;
+            step(
+                part, row, ctx, mem, &mut fpu, &mut run, &mut now, cfg, cycle_mode,
+            )?;
         }
         now += u64::from(cfg.line_loop_overhead);
     }
@@ -279,8 +300,9 @@ pub fn run_strip(
 #[inline]
 fn resolve(mref: MemRef, row: i64, ctx: &StripContext<'_>) -> usize {
     match mref {
-        MemRef::Source { array, drow, dcol } => ctx.srcs[array as usize]
-            .addr(row + i64::from(drow), ctx.col0 + i64::from(dcol)),
+        MemRef::Source { array, drow, dcol } => {
+            ctx.srcs[array as usize].addr(row + i64::from(drow), ctx.col0 + i64::from(dcol))
+        }
         MemRef::Coeff { array, col } => {
             ctx.coeffs[array as usize].addr(row, ctx.col0 + i64::from(col))
         }
@@ -410,7 +432,11 @@ mod tests {
             prologue: vec![],
             body: vec![vec![
                 DynamicPart::Load {
-                    src: MemRef::Source { array: 0, drow: 0, dcol: 0 },
+                    src: MemRef::Source {
+                        array: 0,
+                        drow: 0,
+                        dcol: 0,
+                    },
                     dest: Reg(2),
                 },
                 DynamicPart::Nop,
@@ -451,14 +477,8 @@ mod tests {
             row_offset: 0,
             col_offset: 0,
         };
-        let res = FieldLayout {
-            base: 16,
-            ..src
-        };
-        let coeff = FieldLayout {
-            base: 32,
-            ..src
-        };
+        let res = FieldLayout { base: 16, ..src };
+        let coeff = FieldLayout { base: 32, ..src };
         for i in 0..16 {
             mem.write(i, i as f32 + 1.0); // src = 1..16
             mem.write(32 + i, 2.0); // coeff = 2.0
@@ -644,15 +664,27 @@ mod tests {
             prologue: vec![],
             body: vec![vec![
                 DynamicPart::Load {
-                    src: MemRef::Source { array: 0, drow: 0, dcol: 0 },
+                    src: MemRef::Source {
+                        array: 0,
+                        drow: 0,
+                        dcol: 0,
+                    },
                     dest: Reg(2),
                 },
                 DynamicPart::Load {
-                    src: MemRef::Source { array: 0, drow: 0, dcol: 1 },
+                    src: MemRef::Source {
+                        array: 0,
+                        drow: 0,
+                        dcol: 1,
+                    },
                     dest: Reg(3),
                 },
                 DynamicPart::Load {
-                    src: MemRef::Source { array: 0, drow: 0, dcol: 2 },
+                    src: MemRef::Source {
+                        array: 0,
+                        drow: 0,
+                        dcol: 2,
+                    },
                     dest: Reg(4),
                 },
                 DynamicPart::Nop,
@@ -716,10 +748,7 @@ mod tests {
         }
         mem.write(120, 1.0);
         mem.write(121, 0.0);
-        let c3 = FieldLayout {
-            base: 64,
-            ..c2
-        };
+        let c3 = FieldLayout { base: 64, ..c2 };
         let coeffs = [c2, c3];
         let srcs = [src];
         let ctx = StripContext {

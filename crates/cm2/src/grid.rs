@@ -129,7 +129,10 @@ impl NodeGrid {
     ///
     /// Panics if the position is out of range.
     pub fn id(&self, row: usize, col: usize) -> NodeId {
-        assert!(row < self.rows && col < self.cols, "({row}, {col}) outside {self:?}");
+        assert!(
+            row < self.rows && col < self.cols,
+            "({row}, {col}) outside {self:?}"
+        );
         NodeId(row * self.cols + col)
     }
 
@@ -154,7 +157,12 @@ impl NodeGrid {
 
     /// The diagonal torus neighbor of `id` (one step in each of two
     /// directions), used by the corner-exchange step of the halo protocol.
-    pub fn diagonal_neighbor(&self, id: NodeId, vertical: Direction, horizontal: Direction) -> NodeId {
+    pub fn diagonal_neighbor(
+        &self,
+        id: NodeId,
+        vertical: Direction,
+        horizontal: Direction,
+    ) -> NodeId {
         self.neighbor(self.neighbor(id, vertical), horizontal)
     }
 

@@ -308,7 +308,9 @@ impl Kernel {
         };
         for part in self.prologue.iter().chain(self.body.iter().flatten()) {
             match *part {
-                DynamicPart::Mac { data, acc, dest, .. } => {
+                DynamicPart::Mac {
+                    data, acc, dest, ..
+                } => {
                     check_reg(data)?;
                     if let MacAcc::Start(r) = acc {
                         check_reg(r)?;
@@ -338,7 +340,11 @@ mod tests {
             prologue: vec![],
             body: vec![vec![
                 DynamicPart::Load {
-                    src: MemRef::Source { array: 0, drow: 0, dcol: 0 },
+                    src: MemRef::Source {
+                        array: 0,
+                        drow: 0,
+                        dcol: 0,
+                    },
                     dest: Reg(2),
                 },
                 DynamicPart::Mac {

@@ -37,10 +37,10 @@ pub mod sequencer;
 pub mod timing;
 
 pub use config::MachineConfig;
-pub use exec::{ExecMode, FieldLayout, HazardError, StripContext, StripRun};
+pub use exec::{ExecMode, FieldLayout, HazardError, ScheduleStep, StripContext, StripRun};
 pub use grid::{Direction, NodeGrid, NodeId};
 pub use isa::{DynamicPart, Kernel, MacAcc, MemRef, Reg, StaticPart};
-pub use machine::Machine;
+pub use machine::{Machine, NodeSlice};
 pub use memory::{Field, FieldAllocator, NodeMemory, OutOfMemory};
 pub use news::{corner_exchange_cycles, news_exchange_cycles, old_exchange_cycles, ExchangeShape};
 pub use sequencer::{ScratchMemory, ScratchOverflow, DEFAULT_SCRATCH_ENTRIES};

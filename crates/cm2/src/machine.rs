@@ -1,8 +1,22 @@
 //! The simulated machine: a SIMD array of nodes plus the shared field
 //! allocator and the node grid.
+//!
+//! # Parallel execution
+//!
+//! The real CM-2 runs every node *simultaneously*; this simulator can
+//! too. Per-node state lives in disjoint [`NodeMemory`] values, so the
+//! borrow checker proves that node executions cannot alias:
+//! [`Machine::par_nodes_mut`] yields every node's memory exactly once,
+//! [`Machine::node_slices_mut`] partitions the nodes into contiguous
+//! disjoint slices for worker threads, and
+//! [`Machine::run_schedule_all`] fans a whole strip schedule out across
+//! host threads — one SIMD instruction stream, many cores. The kernel,
+//! strip contexts, and machine configuration are plain shared data
+//! (`Send + Sync`), so no locks are needed and results are bit-identical
+//! to the serial path by construction.
 
 use crate::config::MachineConfig;
-use crate::exec::{run_strip, ExecMode, HazardError, StripContext, StripRun};
+use crate::exec::{run_strip, ExecMode, HazardError, ScheduleStep, StripContext, StripRun};
 use crate::grid::{NodeGrid, NodeId};
 use crate::isa::Kernel;
 use crate::memory::{Field, FieldAllocator, NodeMemory, OutOfMemory};
@@ -144,6 +158,45 @@ impl Machine {
         d.copy_from(dst_addr, s.slice(src_addr, len));
     }
 
+    /// Every node's memory, mutably, each exactly once, in node order.
+    ///
+    /// The disjointness is structural (one `&mut` per vector element), so
+    /// overlapping access is unrepresentable: the iterator is the only
+    /// borrow of `self` while it lives.
+    pub fn par_nodes_mut(
+        &mut self,
+    ) -> impl ExactSizeIterator<Item = (NodeId, &mut NodeMemory)> + '_ {
+        self.nodes
+            .iter_mut()
+            .enumerate()
+            .map(|(i, mem)| (NodeId(i), mem))
+    }
+
+    /// Partitions the nodes into at most `parts` contiguous, disjoint
+    /// slices (the unit of work one host thread takes in
+    /// [`Machine::run_schedule_all`]). `parts` is clamped to
+    /// `1..=node_count`; every node appears in exactly one slice, in node
+    /// order.
+    pub fn node_slices_mut(&mut self, parts: usize) -> Vec<NodeSlice<'_>> {
+        let parts = parts.clamp(1, self.nodes.len());
+        let chunk = self.nodes.len().div_ceil(parts);
+        self.nodes
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(i, mems)| NodeSlice {
+                first: NodeId(i * chunk),
+                mems,
+            })
+            .collect()
+    }
+
+    /// The machine configuration together with every node memory as one
+    /// disjoint mutable slice — the split borrow the parallel engine
+    /// needs (config shared and immutable, node state exclusive).
+    pub fn exec_parts_mut(&mut self) -> (&MachineConfig, &mut [NodeMemory]) {
+        (&self.config, &mut self.nodes)
+    }
+
     /// Executes `kernel` over the half-strip `ctx` on **every** node
     /// (SIMD), returning the per-node cycle/operation counts — identical
     /// across nodes because the instruction stream is identical.
@@ -160,16 +213,137 @@ impl Machine {
         ctx: &StripContext<'_>,
         mode: ExecMode,
     ) -> Result<StripRun, HazardError> {
-        let mut result = None;
-        for mem in &mut self.nodes {
-            let run = run_strip(kernel, ctx, mem, &self.config, mode)?;
-            if let Some(prev) = &result {
-                debug_assert_eq!(prev, &run, "SIMD nodes must agree on cycle counts");
-            }
-            result = Some(run);
-        }
-        Ok(result.expect("machine has at least one node"))
+        let step = ScheduleStep {
+            kernel,
+            ctx: ctx.clone(),
+        };
+        let mut runs = self.run_schedule_all(std::slice::from_ref(&step), mode, 1)?;
+        Ok(runs.pop().expect("one step yields one run"))
     }
+
+    /// Executes an entire strip schedule on every node, fanning the nodes
+    /// out over up to `threads` host threads (`1` = the serial path;
+    /// clamped to `1..=node_count`).
+    ///
+    /// Returns one [`StripRun`] per schedule step. The reduction over
+    /// nodes is deterministic and thread-count invariant: the machine is
+    /// a lockstep SIMD array, so per-step cycle counts agree across nodes
+    /// (checked with a debug assertion) and the reduced count is the
+    /// per-step maximum — the array advances at the pace of its slowest
+    /// node. Nodes are reduced in node order regardless of which thread
+    /// ran them, so the result is bit-identical for every `threads`
+    /// value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HazardError`] if the kernel is miscompiled (cycle mode);
+    /// when several nodes fault, the lowest-numbered node's error is
+    /// returned, again independent of thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (a kernel addressing bug).
+    pub fn run_schedule_all(
+        &mut self,
+        schedule: &[ScheduleStep<'_>],
+        mode: ExecMode,
+        threads: usize,
+    ) -> Result<Vec<StripRun>, HazardError> {
+        if schedule.is_empty() {
+            return Ok(Vec::new());
+        }
+        let threads = threads.clamp(1, self.nodes.len());
+        let config = &self.config;
+        let run_node = |mem: &mut NodeMemory| -> Result<Vec<StripRun>, HazardError> {
+            schedule
+                .iter()
+                .map(|step| run_strip(step.kernel, &step.ctx, mem, config, mode))
+                .collect()
+        };
+        let per_node: Vec<Result<Vec<StripRun>, HazardError>> = if threads == 1 {
+            self.nodes.iter_mut().map(run_node).collect()
+        } else {
+            let run_node = &run_node;
+            let chunk = self.nodes.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .nodes
+                    .chunks_mut(chunk)
+                    .map(|mems| {
+                        scope.spawn(move || mems.iter_mut().map(run_node).collect::<Vec<_>>())
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("node worker panicked"))
+                    .collect()
+            })
+        };
+        reduce_node_runs(per_node)
+    }
+}
+
+/// A contiguous group of nodes handed to one worker thread.
+///
+/// Produced only by [`Machine::node_slices_mut`], whose `chunks_mut`
+/// construction guarantees the slices are disjoint and cover every node
+/// exactly once.
+#[derive(Debug)]
+pub struct NodeSlice<'a> {
+    first: NodeId,
+    mems: &'a mut [NodeMemory],
+}
+
+impl<'a> NodeSlice<'a> {
+    /// The first node in the slice.
+    pub fn first(&self) -> NodeId {
+        self.first
+    }
+
+    /// Number of nodes in the slice.
+    pub fn len(&self) -> usize {
+        self.mems.len()
+    }
+
+    /// Whether the slice is empty (never true for
+    /// [`Machine::node_slices_mut`] output).
+    pub fn is_empty(&self) -> bool {
+        self.mems.is_empty()
+    }
+
+    /// Iterates the slice's nodes in node order.
+    pub fn iter_mut(&mut self) -> impl ExactSizeIterator<Item = (NodeId, &mut NodeMemory)> + '_ {
+        let first = self.first.0;
+        self.mems
+            .iter_mut()
+            .enumerate()
+            .map(move |(i, mem)| (NodeId(first + i), mem))
+    }
+}
+
+/// Reduces per-node schedule results (in node order) to one result per
+/// step: first error in node order wins; otherwise per-step cycles take
+/// the max over nodes (they agree — lockstep SIMD — which a debug
+/// assertion checks) and the remaining counters are the shared per-node
+/// values.
+fn reduce_node_runs(
+    per_node: Vec<Result<Vec<StripRun>, HazardError>>,
+) -> Result<Vec<StripRun>, HazardError> {
+    let mut reduced: Option<Vec<StripRun>> = None;
+    for result in per_node {
+        let runs = result?;
+        match &mut reduced {
+            None => reduced = Some(runs),
+            Some(acc) => {
+                debug_assert_eq!(acc.len(), runs.len());
+                for (a, r) in acc.iter_mut().zip(&runs) {
+                    debug_assert_eq!(a, r, "SIMD nodes must agree on cycle counts");
+                    a.cycles = a.cycles.max(r.cycles);
+                }
+            }
+        }
+    }
+    Ok(reduced.expect("machine has at least one node"))
 }
 
 #[cfg(test)]
@@ -252,6 +426,164 @@ mod tests {
         let mut m = machine();
         let a = m.grid().id(0, 0);
         let _ = m.mem_pair_mut(a, a);
+    }
+
+    #[test]
+    fn par_nodes_mut_covers_every_node_exactly_once() {
+        let mut m = machine();
+        let f = m.alloc_field(1).unwrap();
+        let mut ids = Vec::new();
+        for (id, mem) in m.par_nodes_mut() {
+            ids.push(id);
+            mem.write(f.base(), id.0 as f32 + 1.0);
+        }
+        assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        // Each write landed on its own node: no overlap, no omission.
+        for i in 0..4 {
+            assert_eq!(m.mem(NodeId(i)).read(f.base()), i as f32 + 1.0);
+        }
+    }
+
+    #[test]
+    fn node_slices_partition_exactly() {
+        let mut m = machine();
+        for parts in 1..=6 {
+            let mut covered = Vec::new();
+            for mut slice in m.node_slices_mut(parts) {
+                assert!(!slice.is_empty());
+                for (id, _) in slice.iter_mut() {
+                    covered.push(id);
+                }
+            }
+            assert_eq!(
+                covered,
+                vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+                "parts = {parts}"
+            );
+        }
+    }
+
+    #[test]
+    fn node_slices_clamp_degenerate_part_counts() {
+        let mut m = machine();
+        // Zero parts clamps to one slice holding everything…
+        let slices = m.node_slices_mut(0);
+        assert_eq!(slices.len(), 1);
+        assert_eq!(slices[0].len(), 4);
+        assert_eq!(slices[0].first(), NodeId(0));
+        // …and more parts than nodes clamps to one node per slice.
+        let slices = m.node_slices_mut(100);
+        assert_eq!(slices.len(), 4);
+        assert!(slices.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn node_slice_first_ids_match_offsets() {
+        let mut m = machine();
+        let slices = m.node_slices_mut(2);
+        assert_eq!(slices[0].first(), NodeId(0));
+        assert_eq!(slices[1].first(), NodeId(2));
+    }
+
+    #[test]
+    fn exec_parts_expose_all_nodes() {
+        let mut m = machine();
+        let (cfg, nodes) = m.exec_parts_mut();
+        assert_eq!(cfg.node_count(), nodes.len());
+    }
+
+    #[test]
+    fn shared_execution_inputs_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MachineConfig>();
+        assert_send_sync::<Kernel>();
+        assert_send_sync::<StripContext<'static>>();
+        assert_send_sync::<ScheduleStep<'static>>();
+        assert_send_sync::<NodeMemory>();
+    }
+
+    /// A minimal schedule (one store of the ones page into the result
+    /// field per step) whose execution writes real data on every node —
+    /// enough to observe that serial and threaded runs agree bitwise.
+    fn store_schedule_fixture(m: &mut Machine) -> (Field, Field, Kernel) {
+        use crate::isa::{DynamicPart, MemRef, Reg, StaticPart};
+        let consts = m.alloc_field(2).unwrap();
+        let res = m.alloc_field(4).unwrap();
+        for (_, mem) in m.par_nodes_mut() {
+            mem.write(consts.addr(0), 1.0);
+            mem.write(consts.addr(1), 0.0);
+        }
+        let kernel = Kernel {
+            static_part: StaticPart::ChainedMac,
+            width: 1,
+            row_step: -1,
+            prologue: vec![],
+            body: vec![vec![
+                DynamicPart::Load {
+                    src: MemRef::Ones,
+                    dest: Reg(2),
+                },
+                DynamicPart::Nop,
+                DynamicPart::Nop,
+                DynamicPart::Nop,
+                DynamicPart::Store {
+                    src: Reg(2),
+                    dest: MemRef::Result { col: 0 },
+                },
+            ]],
+            useful_flops_per_line: 0,
+        };
+        (consts, res, kernel)
+    }
+
+    #[test]
+    fn schedule_runs_are_thread_count_invariant() {
+        use crate::exec::FieldLayout;
+        let mut runs_by_threads = Vec::new();
+        for threads in [1usize, 2, 3, 8] {
+            let mut m = machine();
+            let (consts, res, kernel) = store_schedule_fixture(&mut m);
+            let ctx = StripContext {
+                srcs: &[],
+                res: FieldLayout {
+                    base: res.base(),
+                    row_stride: 1,
+                    row_offset: 0,
+                    col_offset: 0,
+                },
+                coeffs: &[],
+                ones_addr: consts.addr(0),
+                zeros_addr: consts.addr(1),
+                start_row: 3,
+                lines: 4,
+                col0: 0,
+            };
+            let steps = vec![
+                ScheduleStep {
+                    kernel: &kernel,
+                    ctx: ctx.clone(),
+                };
+                3
+            ];
+            let runs = m
+                .run_schedule_all(&steps, ExecMode::Cycle, threads)
+                .unwrap();
+            assert_eq!(runs.len(), 3);
+            for (_, mem) in m.par_nodes_mut() {
+                assert_eq!(mem.field(res), &[1.0; 4]);
+            }
+            runs_by_threads.push(runs);
+        }
+        for other in &runs_by_threads[1..] {
+            assert_eq!(&runs_by_threads[0], other);
+        }
+    }
+
+    #[test]
+    fn empty_schedule_is_a_no_op() {
+        let mut m = machine();
+        let runs = m.run_schedule_all(&[], ExecMode::Cycle, 8).unwrap();
+        assert!(runs.is_empty());
     }
 
     #[test]

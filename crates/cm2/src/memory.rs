@@ -39,7 +39,11 @@ impl Field {
     ///
     /// Panics if `offset` is out of bounds.
     pub fn addr(&self, offset: usize) -> usize {
-        assert!(offset < self.len, "field offset {offset} out of bounds ({})", self.len);
+        assert!(
+            offset < self.len,
+            "field offset {offset} out of bounds ({})",
+            self.len
+        );
         self.base + offset
     }
 }
@@ -136,7 +140,11 @@ impl FieldAllocator {
     /// Panics if `mark` is in the future (greater than the current
     /// allocation point).
     pub fn release_to(&mut self, mark: usize) {
-        assert!(mark <= self.next, "release mark {mark} is ahead of allocator at {}", self.next);
+        assert!(
+            mark <= self.next,
+            "release mark {mark} is ahead of allocator at {}",
+            self.next
+        );
         self.next = mark;
     }
 }

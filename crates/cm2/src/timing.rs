@@ -117,7 +117,10 @@ impl Measurement {
     ///
     /// Panics if the node counts differ.
     pub fn combine(&self, other: &Measurement) -> Measurement {
-        assert_eq!(self.nodes, other.nodes, "measurements from different machines");
+        assert_eq!(
+            self.nodes, other.nodes,
+            "measurements from different machines"
+        );
         Measurement {
             useful_flops: self.useful_flops + other.useful_flops,
             cycles: self.cycles + other.cycles,

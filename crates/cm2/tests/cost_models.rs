@@ -4,84 +4,112 @@ use cmcc_cm2::config::MachineConfig;
 use cmcc_cm2::grid::{Direction, NodeGrid};
 use cmcc_cm2::news::{news_exchange_cycles, old_exchange_cycles, ExchangeShape};
 use cmcc_cm2::timing::{CycleBreakdown, Measurement};
-use proptest::prelude::*;
+use cmcc_testkit::property;
 
 fn cfg() -> MachineConfig {
     MachineConfig::test_board_16()
 }
 
-proptest! {
-    /// The new simultaneous primitive never costs more than the old
-    /// per-direction one, and both are monotone in the transfer sizes.
-    #[test]
-    fn new_primitive_dominates_old(
-        n in 0usize..10_000,
-        s in 0usize..10_000,
-        e in 0usize..10_000,
-        w in 0usize..10_000,
-    ) {
-        let shape = ExchangeShape { north: n, south: s, east: e, west: w };
+/// The new simultaneous primitive never costs more than the old
+/// per-direction one, and both are monotone in the transfer sizes.
+#[test]
+fn new_primitive_dominates_old() {
+    property("new_primitive_dominates_old", 256, |rng| {
+        let n = rng.usize_in(0, 10_000);
+        let s = rng.usize_in(0, 10_000);
+        let e = rng.usize_in(0, 10_000);
+        let w = rng.usize_in(0, 10_000);
+        let shape = ExchangeShape {
+            north: n,
+            south: s,
+            east: e,
+            west: w,
+        };
         let new = news_exchange_cycles(&cfg(), shape);
         let old = old_exchange_cycles(&cfg(), shape);
-        prop_assert!(new <= old);
+        assert!(new <= old);
         // Monotonicity: growing any one direction never reduces cost.
-        let bigger = ExchangeShape { north: n + 1, ..shape };
-        prop_assert!(news_exchange_cycles(&cfg(), bigger) >= new);
-        prop_assert!(old_exchange_cycles(&cfg(), bigger) >= old);
-    }
+        let bigger = ExchangeShape {
+            north: n + 1,
+            ..shape
+        };
+        assert!(news_exchange_cycles(&cfg(), bigger) >= new);
+        assert!(old_exchange_cycles(&cfg(), bigger) >= old);
+    });
+}
 
-    /// The new primitive's cost depends only on the largest transfer —
-    /// "the communications time will be proportional to the length of
-    /// the longer side" (§5.1).
-    #[test]
-    fn new_primitive_costs_the_maximum(
-        n in 1usize..10_000,
-        s in 1usize..10_000,
-        e in 1usize..10_000,
-        w in 1usize..10_000,
-    ) {
-        let shape = ExchangeShape { north: n, south: s, east: e, west: w };
+/// The new primitive's cost depends only on the largest transfer —
+/// "the communications time will be proportional to the length of
+/// the longer side" (§5.1).
+#[test]
+fn new_primitive_costs_the_maximum() {
+    property("new_primitive_costs_the_maximum", 256, |rng| {
+        let n = rng.usize_in(1, 10_000);
+        let s = rng.usize_in(1, 10_000);
+        let e = rng.usize_in(1, 10_000);
+        let w = rng.usize_in(1, 10_000);
+        let shape = ExchangeShape {
+            north: n,
+            south: s,
+            east: e,
+            west: w,
+        };
         let max = n.max(s).max(e).max(w);
-        let square = ExchangeShape { north: max, south: max, east: max, west: max };
-        prop_assert_eq!(
+        let square = ExchangeShape {
+            north: max,
+            south: max,
+            east: max,
+            west: max,
+        };
+        assert_eq!(
             news_exchange_cycles(&cfg(), shape),
             news_exchange_cycles(&cfg(), square)
         );
-    }
+    });
+}
 
-    /// Extrapolation preserves elapsed time and scales flops exactly with
-    /// the node ratio; repetition preserves the rate.
-    #[test]
-    fn timing_algebra_laws(
-        flops in 1u64..1_000_000_000,
-        comm in 0u64..1_000_000,
-        compute in 1u64..10_000_000,
-        frontend in 0u64..1_000_000,
-        reps in 1u64..1000,
-    ) {
+/// Extrapolation preserves elapsed time and scales flops exactly with
+/// the node ratio; repetition preserves the rate.
+#[test]
+fn timing_algebra_laws() {
+    property("timing_algebra_laws", 256, |rng| {
+        let flops = rng.u64_below(1_000_000_000 - 1) + 1;
+        let comm = rng.u64_below(1_000_000);
+        let compute = rng.u64_below(10_000_000 - 1) + 1;
+        let frontend = rng.u64_below(1_000_000);
+        let reps = rng.u64_below(999) + 1;
         let m = Measurement {
             useful_flops: flops,
-            cycles: CycleBreakdown { comm, compute, frontend },
+            cycles: CycleBreakdown {
+                comm,
+                compute,
+                frontend,
+            },
             nodes: 16,
         };
         let big = m.extrapolate(2048);
-        prop_assert_eq!(big.cycles, m.cycles);
-        prop_assert_eq!(big.useful_flops, flops * 128);
+        assert_eq!(big.cycles, m.cycles);
+        assert_eq!(big.useful_flops, flops * 128);
         let r = m.repeated(reps);
         let rate_m = m.mflops(&cfg());
         let rate_r = r.mflops(&cfg());
-        prop_assert!((rate_m - rate_r).abs() < 1e-6 * rate_m.max(1.0));
-    }
+        assert!((rate_m - rate_r).abs() < 1e-6 * rate_m.max(1.0));
+    });
+}
 
-    /// Torus navigation: four steps around any unit square return home,
-    /// and opposite directions cancel, on any grid shape.
-    #[test]
-    fn torus_navigation_laws(rows in 1usize..20, cols in 1usize..20, r in 0usize..20, c in 0usize..20) {
-        prop_assume!(r < rows && c < cols);
+/// Torus navigation: four steps around any unit square return home,
+/// and opposite directions cancel, on any grid shape.
+#[test]
+fn torus_navigation_laws() {
+    property("torus_navigation_laws", 256, |rng| {
+        let rows = rng.usize_in(1, 20);
+        let cols = rng.usize_in(1, 20);
+        let r = rng.usize_in(0, rows);
+        let c = rng.usize_in(0, cols);
         let g = NodeGrid::new(rows, cols);
         let id = g.id(r, c);
         for dir in Direction::ALL {
-            prop_assert_eq!(g.neighbor(g.neighbor(id, dir), dir.opposite()), id);
+            assert_eq!(g.neighbor(g.neighbor(id, dir), dir.opposite()), id);
         }
         let square = g.neighbor(
             g.neighbor(
@@ -90,13 +118,17 @@ proptest! {
             ),
             Direction::West,
         );
-        prop_assert_eq!(square, id);
-    }
+        assert_eq!(square, id);
+    });
+}
 
-    /// Gray-code hypercube embedding: grid neighbors are hypercube
-    /// neighbors on power-of-two grids (the §4.1 property).
-    #[test]
-    fn gray_embedding_property(rp in 0u32..5, cp in 0u32..5) {
+/// Gray-code hypercube embedding: grid neighbors are hypercube
+/// neighbors on power-of-two grids (the §4.1 property).
+#[test]
+fn gray_embedding_property() {
+    property("gray_embedding_property", 25, |rng| {
+        let rp = rng.u64_below(5) as u32;
+        let cp = rng.u64_below(5) as u32;
         let g = NodeGrid::new(1 << rp, 1 << cp);
         for id in g.iter() {
             for dir in Direction::ALL {
@@ -105,8 +137,8 @@ proptest! {
                     continue; // 1-wide axis: self-neighbor
                 }
                 let diff = g.hypercube_address(id) ^ g.hypercube_address(n);
-                prop_assert_eq!(diff.count_ones(), 1);
+                assert_eq!(diff.count_ones(), 1);
             }
         }
-    }
+    });
 }

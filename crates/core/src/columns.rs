@@ -103,7 +103,11 @@ impl RingPlan {
 /// exceed the budget (the caller then tries a narrower multistencil, §5.3),
 /// or [`PlanError::UnrollTooLarge`] when every feasible plan unrolls more
 /// lines than the scratch-memory cap allows.
-pub fn plan_rings(ms: &Multistencil, budget: usize, max_unroll: usize) -> Result<RingPlan, PlanError> {
+pub fn plan_rings(
+    ms: &Multistencil,
+    budget: usize,
+    max_unroll: usize,
+) -> Result<RingPlan, PlanError> {
     let columns = ms.columns();
     let natural: usize = columns.iter().map(ColumnSpan::height).sum();
     if natural > budget {
@@ -248,8 +252,11 @@ mod tests {
     fn equalization_pads_shorter_columns_to_reduce_lcm() {
         // A stencil whose columns have heights 2 and 3 (LCM 6) gets the
         // height-2 ring padded to 3 when budget allows (LCM 3).
-        let s = Stencil::from_offsets([(-1, 0), (0, 0), (1, 0), (0, 1), (1, 1)], Boundary::Circular)
-            .unwrap();
+        let s = Stencil::from_offsets(
+            [(-1, 0), (0, 0), (1, 0), (0, 1), (1, 1)],
+            Boundary::Circular,
+        )
+        .unwrap();
         let ms = Multistencil::new(&s, 1);
         // columns: dcol 0 height 3, dcol 1 height 2.
         let plan = plan_rings(&ms, 31, 512).unwrap();

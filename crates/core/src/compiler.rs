@@ -17,8 +17,8 @@ use crate::regalloc::Walk;
 use crate::schedule::{emit_kernel_with, KernelInfo};
 use crate::stencil::Stencil;
 use cmcc_cm2::config::{MachineConfig, FPU_REGISTERS};
-use cmcc_cm2::sequencer::ScratchMemory;
 use cmcc_cm2::isa::Kernel;
+use cmcc_cm2::sequencer::ScratchMemory;
 use cmcc_front::parser::{parse_assignment, parse_subroutine};
 use cmcc_front::sexp::parse_defstencil;
 
@@ -199,8 +199,8 @@ impl Compiler {
             }
         }
         if kernels.is_empty() {
-            let (needed, available) = narrowest_failure
-                .unwrap_or((FPU_REGISTERS, FPU_REGISTERS - 1));
+            let (needed, available) =
+                narrowest_failure.unwrap_or((FPU_REGISTERS, FPU_REGISTERS - 1));
             return Err(CompileError::NoFeasibleWidth { needed, available });
         }
         // Fit the kernel set into the sequencer's scratch data memory:
@@ -356,9 +356,7 @@ mod tests {
             for dc in -2i32..=2 {
                 if dr.abs() + dc.abs() <= 2 {
                     i += 1;
-                    terms.push(format!(
-                        "C{i} * CSHIFT(CSHIFT(X, 1, {dr}), 2, {dc})"
-                    ));
+                    terms.push(format!("C{i} * CSHIFT(CSHIFT(X, 1, {dr}), 2, {dc})"));
                 }
             }
         }
@@ -367,9 +365,7 @@ mod tests {
 
     #[test]
     fn cross_compiles_at_all_widths() {
-        let c = Compiler::default()
-            .compile_assignment(CROSS)
-            .unwrap();
+        let c = Compiler::default().compile_assignment(CROSS).unwrap();
         assert_eq!(c.widths(), vec![8, 4, 2, 1]);
         assert_eq!(c.stencil().useful_flops_per_point(), 9);
     }
@@ -451,7 +447,8 @@ END
 
     #[test]
     fn subroutine_wrong_rank_rejected() {
-        let src = "SUBROUTINE S (R, X, C)\nREAL, ARRAY(:,:) :: R, X\nREAL, ARRAY(:) :: C\nR = C * X\nEND";
+        let src =
+            "SUBROUTINE S (R, X, C)\nREAL, ARRAY(:,:) :: R, X\nREAL, ARRAY(:) :: C\nR = C * X\nEND";
         let err = Compiler::default().compile_subroutine(src).unwrap_err();
         assert!(err.to_string().contains("rank 1"));
     }
@@ -465,7 +462,8 @@ END
 
     #[test]
     fn subroutine_two_assignments_rejected() {
-        let src = "SUBROUTINE S (R, Q, X, C)\nREAL, ARRAY(:,:) :: R, Q, X, C\nR = C * X\nQ = C * X\nEND";
+        let src =
+            "SUBROUTINE S (R, Q, X, C)\nREAL, ARRAY(:,:) :: R, Q, X, C\nR = C * X\nQ = C * X\nEND";
         let err = Compiler::default().compile_subroutine(src).unwrap_err();
         assert!(err.to_string().contains("exactly one"));
     }
@@ -504,7 +502,12 @@ END
         let full_entries: Vec<(usize, usize)> = full
             .kernels()
             .iter()
-            .map(|k| (k.width, k.north.scratch_entries() + k.south.scratch_entries()))
+            .map(|k| {
+                (
+                    k.width,
+                    k.north.scratch_entries() + k.south.scratch_entries(),
+                )
+            })
             .collect();
         let total: usize = full_entries.iter().map(|(_, e)| e).sum();
         // Budget for everything except the width-2 and width-4 kernels.

@@ -105,10 +105,7 @@ pub struct ProgramUnit {
 /// assert!(units[1].outcome.compiled().is_some());
 /// # Ok::<(), cmcc_front::error::ParseError>(())
 /// ```
-pub fn compile_program(
-    compiler: &Compiler,
-    source: &str,
-) -> Result<Vec<ProgramUnit>, ParseError> {
+pub fn compile_program(compiler: &Compiler, source: &str) -> Result<Vec<ProgramUnit>, ParseError> {
     let program = parse_program(source)?;
     Ok(program
         .stmts

@@ -313,14 +313,10 @@ impl Recognizer {
         // `BOUNDARY=` fill values must agree across the statement (one
         // halo is filled once).
         if let Some(&(first, _)) = fills.first() {
-            if let Some(&(other, span)) = fills
-                .iter()
-                .find(|(v, _)| v.to_bits() != first.to_bits())
+            if let Some(&(other, span)) = fills.iter().find(|(v, _)| v.to_bits() != first.to_bits())
             {
                 return Err(RecognizeError::new(
-                    format!(
-                        "conflicting BOUNDARY= values in one statement: {first} and {other}"
-                    ),
+                    format!("conflicting BOUNDARY= values in one statement: {first} and {other}"),
                     span,
                 ));
             }
@@ -374,9 +370,7 @@ fn flatten_sum<'a>(expr: &'a Expr, out: &mut Vec<&'a Expr>) -> Result<(), Recogn
             flatten_sum(rhs, out)?;
             Ok(())
         }
-        Expr::Binary {
-            op: BinOp::Sub, ..
-        } => Err(RecognizeError::new(
+        Expr::Binary { op: BinOp::Sub, .. } => Err(RecognizeError::new(
             "the right-hand side must be a sum of products; subtraction is not supported \
              (negate the coefficient array instead)",
             expr.span(),
@@ -791,11 +785,7 @@ mod tests {
     fn unit_taps_and_bias_terms() {
         let s = spec("R = CSHIFT(X, 1, -1) + X + B");
         assert_eq!(s.stencil.taps().len(), 2);
-        assert!(s
-            .stencil
-            .taps()
-            .iter()
-            .all(|t| t.coeff == CoeffRef::Unit));
+        assert!(s.stencil.taps().iter().all(|t| t.coeff == CoeffRef::Unit));
         assert_eq!(s.stencil.bias(), &[0]);
         assert_eq!(s.coeffs, vec![CoeffSpec::Named("B".into())]);
         assert!(s.stencil.needs_one_register());
@@ -850,9 +840,8 @@ mod tests {
 
     #[test]
     fn conflicting_boundary_fills_rejected() {
-        let e = err(
-            "R = C1 * EOSHIFT(X, 1, -1, BOUNDARY=1.0) + C2 * EOSHIFT(X, 1, 1, BOUNDARY=2.0)",
-        );
+        let e =
+            err("R = C1 * EOSHIFT(X, 1, -1, BOUNDARY=1.0) + C2 * EOSHIFT(X, 1, 1, BOUNDARY=2.0)");
         assert!(e.message().contains("conflicting"), "{}", e.message());
     }
 

@@ -287,15 +287,9 @@ mod tests {
         // Northward: the bottom row (drow=1) is the oldest (age 2 in a
         // height-3 column); at line 2 it sits in the slot loaded at
         // line 0.
-        assert_eq!(
-            f.element_reg(Walk::North, 2, 0, 1, 0),
-            f.edge_reg(0, 0, 0),
-        );
+        assert_eq!(f.element_reg(Walk::North, 2, 0, 1, 0), f.edge_reg(0, 0, 0),);
         // The top row (drow=-1) is the line's own edge load.
-        assert_eq!(
-            f.element_reg(Walk::North, 2, 0, -1, 0),
-            f.edge_reg(0, 0, 2),
-        );
+        assert_eq!(f.element_reg(Walk::North, 2, 0, -1, 0), f.edge_reg(0, 0, 2),);
     }
 
     #[test]

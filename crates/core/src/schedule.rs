@@ -747,8 +747,7 @@ mod tests {
 
     #[test]
     fn bias_only_kernel_computes() {
-        let stencil =
-            Stencil::new(vec![], vec![0, 1], Boundary::Circular, 2).unwrap();
+        let stencil = Stencil::new(vec![], vec![0, 1], Boundary::Circular, 2).unwrap();
         let (kernel, info) = emit_kernel(&stencil, 4, Walk::North, &cfg(), 512).unwrap();
         assert_eq!(info.loads_per_line, 0);
         assert_eq!(info.unroll, 1);
@@ -781,8 +780,7 @@ mod tests {
         let src_at = |r: i64, c: i64| (3 + 2 * r + 5 * c + r * c) as f32 * 0.125;
         for r in -(pad as i64)..(rows + pad) as i64 {
             for c in -(pad as i64)..(cols + pad) as i64 {
-                let addr =
-                    ((r + pad as i64) * src_stride as i64 + (c + pad as i64)) as usize;
+                let addr = ((r + pad as i64) * src_stride as i64 + (c + pad as i64)) as usize;
                 mem.write(addr, src_at(r, c));
             }
         }

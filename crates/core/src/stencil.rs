@@ -358,13 +358,7 @@ mod tests {
 
     #[test]
     fn bias_terms_count_adds_and_need_the_one_register() {
-        let s = Stencil::new(
-            vec![Tap::new(0, 0, 0)],
-            vec![1],
-            Boundary::Circular,
-            2,
-        )
-        .unwrap();
+        let s = Stencil::new(vec![Tap::new(0, 0, 0)], vec![1], Boundary::Circular, 2).unwrap();
         assert_eq!(s.useful_flops_per_point(), 2); // 1 mult + 1 add
         assert!(s.needs_one_register());
         assert_eq!(s.chain_len(), 2);
@@ -385,11 +379,8 @@ mod tests {
     #[test]
     fn corner_exchange_needed_only_for_diagonal_taps() {
         assert!(!cross5().needs_corner_exchange());
-        let square = Stencil::from_offsets(
-            [(-1, -1), (-1, 0), (0, 0), (1, 1)],
-            Boundary::Circular,
-        )
-        .unwrap();
+        let square =
+            Stencil::from_offsets([(-1, -1), (-1, 0), (0, 0), (1, 1)], Boundary::Circular).unwrap();
         assert!(square.needs_corner_exchange());
     }
 

@@ -176,10 +176,8 @@ mod tests {
 
     #[test]
     fn literal_coefficients_render_as_reals() {
-        let spec = recognize(
-            &parse_assignment("R = 2 * X + 0.25 * CSHIFT(X, 1, 1)").unwrap(),
-        )
-        .unwrap();
+        let spec =
+            recognize(&parse_assignment("R = 2 * X + 0.25 * CSHIFT(X, 1, 1)").unwrap()).unwrap();
         let text = unparse_spec(&spec);
         assert!(text.contains("2.0 * X"), "{text}");
         assert!(text.contains("0.25"), "{text}");

@@ -15,6 +15,7 @@
 //! OPTIONS:
 //!   --run              execute each compiled stencil (verify + time)
 //!   --subgrid RxC      per-node subgrid for --run (default 64x64)
+//!   --threads N        host threads for node execution (default: all cores)
 //!   --full-machine     extrapolate rates to 2,048 nodes
 //!   --pictogram        draw each recognized stencil
 //!   --dump-kernel      print the widest kernel's microcode listing
@@ -31,8 +32,7 @@ use cmcc_core::unparse::unparse_spec;
 use cmcc_runtime::array::CmArray;
 use cmcc_runtime::convolve::{convolve_multi, ExecOptions};
 use cmcc_runtime::reference::{reference_convolve_multi, CoeffValue};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cmcc_testkit::Rng;
 use std::io::Read;
 use std::process::ExitCode;
 
@@ -40,6 +40,7 @@ struct Options {
     path: String,
     run: bool,
     subgrid: (usize, usize),
+    threads: Option<usize>,
     full_machine: bool,
     pictogram: bool,
     dump_kernel: bool,
@@ -47,8 +48,8 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: cmcc [--run] [--subgrid RxC] [--full-machine] [--pictogram] \
-         [--dump-kernel] <file.f90 | ->"
+        "usage: cmcc [--run] [--subgrid RxC] [--threads N] [--full-machine] \
+         [--pictogram] [--dump-kernel] <file.f90 | ->"
     );
     std::process::exit(2);
 }
@@ -58,6 +59,7 @@ fn parse_args() -> Options {
         path: String::new(),
         run: false,
         subgrid: (64, 64),
+        threads: None,
         full_machine: false,
         pictogram: false,
         dump_kernel: false,
@@ -71,9 +73,18 @@ fn parse_args() -> Options {
             "--dump-kernel" => opts.dump_kernel = true,
             "--subgrid" => {
                 let Some(spec) = args.next() else { usage() };
-                let Some((r, c)) = spec.split_once('x') else { usage() };
+                let Some((r, c)) = spec.split_once('x') else {
+                    usage()
+                };
                 match (r.parse(), c.parse()) {
                     (Ok(r), Ok(c)) => opts.subgrid = (r, c),
+                    _ => usage(),
+                }
+            }
+            "--threads" => {
+                let Some(n) = args.next() else { usage() };
+                match n.parse::<usize>() {
+                    Ok(n) if n > 0 => opts.threads = Some(n),
                     _ => usage(),
                 }
             }
@@ -194,12 +205,12 @@ fn run_compiled(
     let mut machine = Machine::new(cfg.clone())?;
     let rows = opts.subgrid.0 * machine.grid().rows();
     let cols = opts.subgrid.1 * machine.grid().cols();
-    let mut rng = StdRng::seed_from_u64(0xCC);
+    let mut rng = Rng::new(0xCC);
     let spec = compiled.spec();
 
     let mut fill = |machine: &mut Machine| -> Result<CmArray, Box<dyn std::error::Error>> {
         let a = CmArray::new(machine, rows, cols)?;
-        let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let data: Vec<f32> = (0..rows * cols).map(|_| rng.f32_in(-1.0, 1.0)).collect();
         a.scatter(machine, &data);
         Ok(a)
     };
@@ -218,13 +229,17 @@ fn run_compiled(
 
     let source_refs: Vec<&CmArray> = sources.iter().collect();
     let coeff_refs: Vec<&CmArray> = coeffs.iter().collect();
+    let exec_opts = match opts.threads {
+        Some(n) => ExecOptions::default().with_threads(n),
+        None => ExecOptions::default(),
+    };
     let m = convolve_multi(
         &mut machine,
         compiled,
         &r,
         &source_refs,
         &coeff_refs,
-        &ExecOptions::default(),
+        &exec_opts,
     )?;
 
     // Verify against the golden model.
@@ -247,8 +262,11 @@ fn run_compiled(
         .zip(&want)
         .all(|(a, b)| a.to_bits() == b.to_bits());
     if !exact {
-        return Err(format!("results diverge from the reference evaluator for `{}`",
-            unparse_spec(spec)).into());
+        return Err(format!(
+            "results diverge from the reference evaluator for `{}`",
+            unparse_spec(spec)
+        )
+        .into());
     }
 
     print!(

@@ -49,9 +49,16 @@ impl ParseError {
     pub fn render(&self, source: &str) -> String {
         let (line_no, col) = self.span.line_col(source);
         let line = source.lines().nth(line_no - 1).unwrap_or("");
-        let caret_width = self.span.len().max(1).min(line.len().saturating_sub(col - 1).max(1));
+        let caret_width = self
+            .span
+            .len()
+            .max(1)
+            .min(line.len().saturating_sub(col - 1).max(1));
         let mut out = String::new();
-        out.push_str(&format!("error: {} (line {line_no}, column {col})\n", self.message));
+        out.push_str(&format!(
+            "error: {} (line {line_no}, column {col})\n",
+            self.message
+        ));
         out.push_str(&format!("  |\n{line_no:3} | {line}\n  | "));
         out.push_str(&" ".repeat(col - 1));
         out.push_str(&"^".repeat(caret_width));

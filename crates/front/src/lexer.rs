@@ -60,9 +60,9 @@ impl<'src> Lexer<'src> {
         self.bytes.get(self.pos + 1).copied()
     }
 
-
     fn push(&mut self, kind: TokenKind, start: usize) {
-        self.tokens.push(Token::new(kind, Span::new(start, self.pos)));
+        self.tokens
+            .push(Token::new(kind, Span::new(start, self.pos)));
     }
 
     fn run(mut self) -> Result<Vec<Token>> {
@@ -90,10 +90,7 @@ impl<'src> Lexer<'src> {
                         .strip_prefix("CMF$")
                         .or_else(|| body.trim_start().strip_prefix("cmf$"))
                     {
-                        self.push(
-                            TokenKind::Directive(rest.trim().to_owned()),
-                            start,
-                        );
+                        self.push(TokenKind::Directive(rest.trim().to_owned()), start);
                     }
                 }
                 b'\n' => {
@@ -174,7 +171,8 @@ impl<'src> Lexer<'src> {
             ));
         }
         let end = self.pos;
-        self.tokens.push(Token::new(TokenKind::Eof, Span::point(end)));
+        self.tokens
+            .push(Token::new(TokenKind::Eof, Span::point(end)));
         Ok(self.tokens)
     }
 

@@ -521,7 +521,12 @@ mod tests {
     #[test]
     fn precedence_mul_over_add() {
         let e = parse_expression("A + B * C").unwrap();
-        let Expr::Binary { op: BinOp::Add, rhs, .. } = &e else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = &e
+        else {
             panic!("expected top-level add: {e}")
         };
         assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
@@ -536,7 +541,12 @@ mod tests {
     #[test]
     fn parenthesized_expression() {
         let e = parse_expression("(A + B) * C").unwrap();
-        let Expr::Binary { op: BinOp::Mul, lhs, .. } = &e else {
+        let Expr::Binary {
+            op: BinOp::Mul,
+            lhs,
+            ..
+        } = &e
+        else {
             panic!()
         };
         assert!(matches!(**lhs, Expr::Binary { op: BinOp::Add, .. }));
@@ -587,7 +597,9 @@ END
     #[test]
     fn trailing_garbage_rejected() {
         let err = parse_assignment("R = X Y").unwrap_err();
-        assert!(err.message().contains("end of statement") || err.message().contains("end of input"));
+        assert!(
+            err.message().contains("end of statement") || err.message().contains("end of input")
+        );
     }
 
     #[test]
@@ -601,7 +613,12 @@ END
     fn division_parses() {
         let e = parse_expression("A / B / C").unwrap();
         // Left associative: (A/B)/C
-        let Expr::Binary { op: BinOp::Div, lhs, .. } = &e else {
+        let Expr::Binary {
+            op: BinOp::Div,
+            lhs,
+            ..
+        } = &e
+        else {
             panic!()
         };
         assert!(matches!(**lhs, Expr::Binary { op: BinOp::Div, .. }));

@@ -146,10 +146,7 @@ impl Reader<'_> {
                     self.skip_ws();
                     match self.bytes.get(self.pos) {
                         None => {
-                            return Err(ParseError::new(
-                                "unclosed parenthesis",
-                                Span::point(start),
-                            ))
+                            return Err(ParseError::new("unclosed parenthesis", Span::point(start)))
                         }
                         Some(b')') => {
                             self.pos += 1;
@@ -165,11 +162,9 @@ impl Reader<'_> {
             )),
             Some(_) => {
                 let start = self.pos;
-                while self
-                    .bytes
-                    .get(self.pos)
-                    .is_some_and(|&b| !matches!(b, b' ' | b'\t' | b'\r' | b'\n' | b'(' | b')' | b';'))
-                {
+                while self.bytes.get(self.pos).is_some_and(|&b| {
+                    !matches!(b, b' ' | b'\t' | b'\r' | b'\n' | b'(' | b')' | b';')
+                }) {
                     self.pos += 1;
                 }
                 let text = std::str::from_utf8(&self.bytes[start..self.pos])
@@ -189,7 +184,10 @@ fn lower_defstencil(sexp: &Sexp) -> Result<DefStencil> {
         .ok_or_else(|| ParseError::new("expected a `defstencil` list", sexp.span()))?;
     let [head, name, params, types, body] = items else {
         return Err(ParseError::new(
-            format!("`defstencil` takes 4 arguments, found {}", items.len().saturating_sub(1)),
+            format!(
+                "`defstencil` takes 4 arguments, found {}",
+                items.len().saturating_sub(1)
+            ),
             sexp.span(),
         ));
     };
@@ -363,7 +361,12 @@ mod tests {
             "(defstencil s (r x a b c) (single-float single-float) (:= r (+ a b c)))",
         )
         .unwrap();
-        let Expr::Binary { op: BinOp::Add, lhs, .. } = &def.body.value else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            lhs,
+            ..
+        } = &def.body.value
+        else {
             panic!()
         };
         assert!(matches!(**lhs, Expr::Binary { op: BinOp::Add, .. }));
@@ -375,7 +378,13 @@ mod tests {
             "(defstencil s (r x c) (single-float single-float) (:= r (- (* c x))))",
         )
         .unwrap();
-        assert!(matches!(def.body.value, Expr::Unary { op: UnaryOp::Neg, .. }));
+        assert!(matches!(
+            def.body.value,
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -420,18 +429,27 @@ mod tests {
 
     #[test]
     fn unsupported_operator_rejected() {
-        let err = parse_defstencil(
-            "(defstencil s (r x c) (a b) (:= r (/ c x)))",
-        )
-        .unwrap_err();
+        let err = parse_defstencil("(defstencil s (r x c) (a b) (:= r (/ c x)))").unwrap_err();
         assert!(err.message().contains('/'), "{}", err.message());
     }
 
     #[test]
     fn atoms_classify_numbers_and_names() {
-        assert!(matches!(lower_atom(&Spanned::new("3".into(), Span::point(0))).unwrap(), Expr::IntLit(_)));
-        assert!(matches!(lower_atom(&Spanned::new("+2".into(), Span::point(0))).unwrap(), Expr::IntLit(_)));
-        assert!(matches!(lower_atom(&Spanned::new("1.5".into(), Span::point(0))).unwrap(), Expr::RealLit(_)));
-        assert!(matches!(lower_atom(&Spanned::new("x".into(), Span::point(0))).unwrap(), Expr::Name(_)));
+        assert!(matches!(
+            lower_atom(&Spanned::new("3".into(), Span::point(0))).unwrap(),
+            Expr::IntLit(_)
+        ));
+        assert!(matches!(
+            lower_atom(&Spanned::new("+2".into(), Span::point(0))).unwrap(),
+            Expr::IntLit(_)
+        ));
+        assert!(matches!(
+            lower_atom(&Spanned::new("1.5".into(), Span::point(0))).unwrap(),
+            Expr::RealLit(_)
+        ));
+        assert!(matches!(
+            lower_atom(&Spanned::new("x".into(), Span::point(0))).unwrap(),
+            Expr::Name(_)
+        ));
     }
 }

@@ -5,78 +5,80 @@ use cmcc_front::ast::{Arg, BinOp, Expr, UnaryOp};
 use cmcc_front::lexer::lex;
 use cmcc_front::parser::{parse_assignment, parse_expression};
 use cmcc_front::span::{Span, Spanned};
-use proptest::prelude::*;
+use cmcc_testkit::{property, Rng};
 
 fn nm(s: String) -> Spanned<String> {
     Spanned::new(s, Span::point(0))
 }
 
-/// Arbitrary identifier in the Fortran subset.
-fn arb_ident() -> impl Strategy<Value = String> {
-    "[A-Za-z][A-Za-z0-9_]{0,6}".prop_filter(
-        // Avoid spellings the assignment grammar treats specially.
-        "keywords",
-        |s| {
-            !["END", "SUBROUTINE", "REAL", "ARRAY"]
-                .iter()
-                .any(|k| s.eq_ignore_ascii_case(k))
-        },
-    )
+/// Arbitrary identifier in the Fortran subset (avoiding spellings the
+/// assignment grammar treats specially).
+fn gen_ident(rng: &mut Rng) -> String {
+    const FIRST: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+    const REST: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_";
+    loop {
+        let mut s = String::new();
+        s.push(*rng.pick(FIRST) as char);
+        for _ in 0..rng.usize_in(0, 7) {
+            s.push(*rng.pick(REST) as char);
+        }
+        let keyword = ["END", "SUBROUTINE", "REAL", "ARRAY"]
+            .iter()
+            .any(|k| s.eq_ignore_ascii_case(k));
+        if !keyword {
+            return s;
+        }
+    }
 }
 
 /// Arbitrary expressions whose printed form reparses to the same tree:
 /// nonnegative literals (a leading minus reparses as unary), unary minus
 /// over non-literals only.
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        arb_ident().prop_map(|s| Expr::Name(nm(s))),
-        (0i64..100_000).prop_map(|v| Expr::IntLit(Spanned::new(v, Span::point(0)))),
-        (0u32..1_000_000).prop_map(|v| {
-            Expr::RealLit(Spanned::new(f64::from(v) * 0.001 + 0.5, Span::point(0)))
-        }),
-    ];
-    leaf.prop_recursive(4, 32, 4, |inner| {
-        prop_oneof![
-            // Binary operators.
-            (
-                inner.clone(),
-                inner.clone(),
-                prop_oneof![
-                    Just(BinOp::Add),
-                    Just(BinOp::Sub),
-                    Just(BinOp::Mul),
-                    Just(BinOp::Div)
-                ]
-            )
-                .prop_map(|(lhs, rhs, op)| Expr::Binary {
-                    op,
-                    lhs: Box::new(lhs),
-                    rhs: Box::new(rhs),
-                }),
-            // Unary minus over a name (literals would re-tokenize).
-            arb_ident().prop_map(|s| Expr::Unary {
-                op: UnaryOp::Neg,
-                operand: Box::new(Expr::Name(nm(s))),
+fn gen_expr(rng: &mut Rng, depth: usize) -> Expr {
+    if depth == 0 || rng.ratio(1, 3) {
+        return match rng.u64_below(3) {
+            0 => Expr::Name(nm(gen_ident(rng))),
+            1 => Expr::IntLit(Spanned::new(rng.i64_in(0, 99_999), Span::point(0))),
+            _ => Expr::RealLit(Spanned::new(
+                rng.u64_below(1_000_000) as f64 * 0.001 + 0.5,
+                Span::point(0),
+            )),
+        };
+    }
+    match rng.u64_below(3) {
+        0 => {
+            let op = *rng.pick(&[BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div]);
+            Expr::Binary {
+                op,
+                lhs: Box::new(gen_expr(rng, depth - 1)),
+                rhs: Box::new(gen_expr(rng, depth - 1)),
+            }
+        }
+        // Unary minus over a name (literals would re-tokenize).
+        1 => Expr::Unary {
+            op: UnaryOp::Neg,
+            operand: Box::new(Expr::Name(nm(gen_ident(rng)))),
+            span: Span::point(0),
+        },
+        // Calls with positional and keyword arguments.
+        _ => {
+            let args = (0..rng.usize_in(0, 3))
+                .map(|_| {
+                    let value = gen_expr(rng, depth - 1);
+                    if rng.bool() {
+                        Arg::keyword(nm(gen_ident(rng)), value)
+                    } else {
+                        Arg::positional(value)
+                    }
+                })
+                .collect();
+            Expr::Call {
+                name: nm(gen_ident(rng)),
+                args,
                 span: Span::point(0),
-            }),
-            // Calls with positional and keyword arguments.
-            (
-                arb_ident(),
-                proptest::collection::vec((inner, proptest::option::of(arb_ident())), 0..3)
-            )
-                .prop_map(|(name, args)| Expr::Call {
-                    name: nm(name),
-                    args: args
-                        .into_iter()
-                        .map(|(value, kw)| match kw {
-                            Some(k) => Arg::keyword(nm(k), value),
-                            None => Arg::positional(value),
-                        })
-                        .collect(),
-                    span: Span::point(0),
-                }),
-        ]
-    })
+            }
+        }
+    }
 }
 
 /// Structural equality ignoring spans.
@@ -124,54 +126,70 @@ fn same_shape(a: &Expr, b: &Expr) -> bool {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// print → parse is the identity on expression structure.
-    #[test]
-    fn display_parse_round_trip(expr in arb_expr()) {
+/// print → parse is the identity on expression structure.
+#[test]
+fn display_parse_round_trip() {
+    property("display_parse_round_trip", 256, |rng| {
+        let expr = gen_expr(rng, 4);
         let text = expr.to_string();
-        let reparsed = parse_expression(&text)
-            .unwrap_or_else(|e| panic!("`{text}` failed to reparse: {e}"));
-        prop_assert!(
+        let reparsed =
+            parse_expression(&text).unwrap_or_else(|e| panic!("`{text}` failed to reparse: {e}"));
+        assert!(
             same_shape(&expr, &reparsed),
-            "`{}` reparsed as `{}`",
-            text,
-            reparsed
+            "`{text}` reparsed as `{reparsed}`"
         );
-    }
+    });
+}
 
-    /// The lexer is total: arbitrary input produces tokens or a clean
-    /// error, never a panic, and spans stay within bounds.
-    #[test]
-    fn lexer_is_total(input in "\\PC{0,200}") {
+/// The lexer is total: arbitrary input produces tokens or a clean
+/// error, never a panic, and spans stay within bounds.
+#[test]
+fn lexer_is_total() {
+    property("lexer_is_total", 256, |rng| {
+        let len = rng.usize_in(0, 201);
+        let input: String = (0..len)
+            .map(|_| loop {
+                // Mostly printable ASCII, sometimes any Unicode scalar.
+                if rng.ratio(7, 8) {
+                    return (rng.u64_below(95) as u8 + 0x20) as char;
+                }
+                if let Some(c) = char::from_u32(rng.u64_below(0x11_0000) as u32) {
+                    return c;
+                }
+            })
+            .collect();
         if let Ok(tokens) = lex(&input) {
             for t in &tokens {
-                prop_assert!(t.span.end <= input.len());
-                prop_assert!(t.span.start <= t.span.end);
+                assert!(t.span.end <= input.len());
+                assert!(t.span.start <= t.span.end);
             }
         }
-    }
+    });
+}
 
-    /// Assignments round-trip through display too.
-    #[test]
-    fn assignment_round_trip(target in arb_ident(), expr in arb_expr()) {
+/// Assignments round-trip through display too.
+#[test]
+fn assignment_round_trip() {
+    property("assignment_round_trip", 256, |rng| {
+        let target = gen_ident(rng);
+        let expr = gen_expr(rng, 4);
         let text = format!("{target} = {expr}");
-        let stmt = parse_assignment(&text)
-            .unwrap_or_else(|e| panic!("`{text}` failed: {e}"));
-        prop_assert_eq!(&stmt.target.value, &target);
-        prop_assert!(same_shape(&stmt.value, &expr));
-    }
+        let stmt = parse_assignment(&text).unwrap_or_else(|e| panic!("`{text}` failed: {e}"));
+        assert_eq!(&stmt.target.value, &target);
+        assert!(same_shape(&stmt.value, &expr));
+    });
+}
 
-    /// Continuations never change the token stream (modulo the newline).
-    #[test]
-    fn continuations_are_transparent(expr in arb_expr()) {
+/// Continuations never change the token stream (modulo the newline).
+#[test]
+fn continuations_are_transparent() {
+    property("continuations_are_transparent", 256, |rng| {
+        let expr = gen_expr(rng, 4);
         let text = format!("R = {expr}");
         // Break the statement after every '+' with a continuation.
         let broken = text.replace("+ ", "+ &\n  ");
         let a = parse_assignment(&text).unwrap();
-        let b = parse_assignment(&broken)
-            .unwrap_or_else(|e| panic!("`{broken}` failed: {e}"));
-        prop_assert!(same_shape(&a.value, &b.value));
-    }
+        let b = parse_assignment(&broken).unwrap_or_else(|e| panic!("`{broken}` failed: {e}"));
+        assert!(same_shape(&a.value, &b.value));
+    });
 }

@@ -119,7 +119,12 @@ impl CmArray {
     ///
     /// Panics if `(r, c)` is outside the array.
     pub fn locate(&self, machine: &Machine, r: usize, c: usize) -> (NodeId, usize, usize) {
-        assert!(r < self.rows && c < self.cols, "({r}, {c}) outside {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "({r}, {c}) outside {}x{}",
+            self.rows,
+            self.cols
+        );
         let node = machine.grid().id(r / self.sub_rows, c / self.sub_cols);
         (node, r % self.sub_rows, c % self.sub_cols)
     }

@@ -14,7 +14,7 @@ use crate::array::CmArray;
 use crate::error::RuntimeError;
 use crate::halo::{ExchangePrimitive, HaloBuffer};
 use crate::strips::{full_strip, halfstrips, plan_strips};
-use cmcc_cm2::exec::{ExecMode, FieldLayout, StripContext};
+use cmcc_cm2::exec::{ExecMode, FieldLayout, ScheduleStep, StripContext};
 use cmcc_cm2::machine::Machine;
 use cmcc_cm2::timing::{CycleBreakdown, Measurement};
 use cmcc_core::compiler::CompiledStencil;
@@ -35,6 +35,12 @@ pub struct ExecOptions {
     /// taps ("the test is very easy and quick", §5.1). Disabled only by
     /// the corner ablation.
     pub skip_corners_when_possible: bool,
+    /// Host threads the per-node kernel execution fans out over
+    /// (clamped to `1..=node_count`; `1` is the serial path). Results and
+    /// [`Measurement`]s are bit-identical for every value — the node
+    /// reduction is deterministic — so this knob trades wall-clock time
+    /// only. Defaults to the host's available parallelism.
+    pub threads: usize,
 }
 
 impl Default for ExecOptions {
@@ -44,8 +50,16 @@ impl Default for ExecOptions {
             half_strips: true,
             primitive: ExchangePrimitive::News,
             skip_corners_when_possible: true,
+            threads: default_threads(),
         }
     }
+}
+
+/// The host's available parallelism (`1` when it cannot be queried).
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 impl ExecOptions {
@@ -56,6 +70,20 @@ impl ExecOptions {
             mode: ExecMode::Fast,
             ..Self::default()
         }
+    }
+
+    /// Today's serial execution path (`threads = 1`) — for
+    /// wall-clock-reproducible benchmarking of the simulator itself.
+    pub fn serial() -> Self {
+        ExecOptions {
+            threads: 1,
+            ..Self::default()
+        }
+    }
+
+    /// The same options with a pinned thread count.
+    pub fn with_threads(self, threads: usize) -> Self {
+        ExecOptions { threads, ..self }
     }
 }
 
@@ -246,7 +274,11 @@ pub fn convolve_multi(
             })
             .collect();
 
-        // Strip mining.
+        // Strip mining: build the whole schedule first — it is identical
+        // on every node (SIMD) — then run it per node, fanned out across
+        // host threads. The front end dispatches one microcode call per
+        // half-strip regardless of how the simulator parallelizes, so
+        // accounting is unchanged from the serial path.
         let mut compute: u64 = 0;
         let mut frontend: u64 = u64::from(cfg.call_overhead_cycles);
         let halves = if opts.half_strips {
@@ -255,6 +287,7 @@ pub fn convolve_multi(
             full_strip(sub_rows)
         };
         let src_layouts: Vec<FieldLayout> = halos.iter().map(HaloBuffer::layout).collect();
+        let mut schedule = Vec::new();
         for strip in plan_strips(compiled, sub_cols) {
             let sk = compiled
                 .widest_kernel_for(strip.width)
@@ -265,25 +298,28 @@ pub fn convolve_multi(
                     Walk::North => &sk.north,
                     Walk::South => &sk.south,
                 };
-                let ctx = StripContext {
-                    srcs: &src_layouts,
-                    res: result.layout(),
-                    coeffs: &coeff_layouts,
-                    ones_addr: consts.addr(0),
-                    zeros_addr: consts.addr(1),
-                    start_row: half.start_row as i64,
-                    lines: half.lines,
-                    col0: strip.col0 as i64,
-                };
-                let run = machine.run_strip_all(kernel, &ctx, opts.mode)?;
-                compute += run.cycles;
-                frontend += u64::from(cfg.frontend_dispatch_cycles);
+                schedule.push(ScheduleStep {
+                    kernel,
+                    ctx: StripContext {
+                        srcs: &src_layouts,
+                        res: result.layout(),
+                        coeffs: &coeff_layouts,
+                        ones_addr: consts.addr(0),
+                        zeros_addr: consts.addr(1),
+                        start_row: half.start_row as i64,
+                        lines: half.lines,
+                        col0: strip.col0 as i64,
+                    },
+                });
             }
+        }
+        for run in machine.run_schedule_all(&schedule, opts.mode, opts.threads)? {
+            compute += run.cycles;
+            frontend += u64::from(cfg.frontend_dispatch_cycles);
         }
 
         Ok(Measurement {
-            useful_flops: stencil.useful_flops_per_point()
-                * (source.rows() * source.cols()) as u64,
+            useful_flops: stencil.useful_flops_per_point() * (source.rows() * source.cols()) as u64,
             cycles: CycleBreakdown {
                 comm,
                 compute,
@@ -319,9 +355,7 @@ mod tests {
         let (rows, cols) = (8usize, 12usize);
 
         let x = CmArray::new(&mut m, rows, cols).unwrap();
-        x.fill_with(&mut m, |r, c| {
-            ((r * 31 + c * 17) % 23) as f32 * 0.375 - 3.0
-        });
+        x.fill_with(&mut m, |r, c| ((r * 31 + c * 17) % 23) as f32 * 0.375 - 3.0);
 
         let mut coeff_arrays = Vec::new();
         for (i, c) in spec.coeffs.iter().enumerate() {
@@ -602,8 +636,7 @@ mod tests {
         let x = CmArray::new(&mut m, 8, 8).unwrap(); // 4x4 subgrids
         let r = CmArray::new(&mut m, 8, 8).unwrap();
         let c = CmArray::new(&mut m, 8, 8).unwrap();
-        let err =
-            convolve(&mut m, &compiled, &r, &x, &[&c], &ExecOptions::default()).unwrap_err();
+        let err = convolve(&mut m, &compiled, &r, &x, &[&c], &ExecOptions::default()).unwrap_err();
         assert!(matches!(err, RuntimeError::SubgridTooSmall { .. }));
     }
 }

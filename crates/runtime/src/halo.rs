@@ -23,7 +23,9 @@ use cmcc_cm2::exec::FieldLayout;
 use cmcc_cm2::grid::Direction;
 use cmcc_cm2::machine::Machine;
 use cmcc_cm2::memory::Field;
-use cmcc_cm2::news::{corner_exchange_cycles, news_exchange_cycles, old_exchange_cycles, ExchangeShape};
+use cmcc_cm2::news::{
+    corner_exchange_cycles, news_exchange_cycles, old_exchange_cycles, ExchangeShape,
+};
 use cmcc_core::stencil::Boundary;
 
 /// Which grid-communication primitive prices the exchange (the data moved
@@ -357,7 +359,7 @@ mod tests {
         let (mut m, _, h) = setup(1);
         h.exchange(&mut m, Boundary::Circular, true, ExchangePrimitive::News);
         let n00 = m.grid().id(0, 0); // global rows 0..2, cols 0..2
-        // North halo of node (0,0) wraps to global row 3.
+                                     // North halo of node (0,0) wraps to global row 3.
         assert_eq!(read(&m, &h, n00, -1, 0), 30.0);
         assert_eq!(read(&m, &h, n00, -1, 1), 31.0);
         // West halo wraps to global column 3.
@@ -435,7 +437,8 @@ mod tests {
         let old =
             HaloBuffer::exchange_cost(&cfg, 64, 64, 1, false, ExchangePrimitive::OldPerDirection);
         assert!(old > news);
-        let with_corners = HaloBuffer::exchange_cost(&cfg, 64, 64, 1, true, ExchangePrimitive::News);
+        let with_corners =
+            HaloBuffer::exchange_cost(&cfg, 64, 64, 1, true, ExchangePrimitive::News);
         assert!(with_corners > news);
         assert_eq!(
             HaloBuffer::exchange_cost(&cfg, 64, 64, 0, true, ExchangePrimitive::News),

@@ -170,13 +170,7 @@ mod tests {
 
     #[test]
     fn bias_terms_add_in() {
-        let s = Stencil::new(
-            vec![Tap::new(0, 0, 0)],
-            vec![1],
-            Boundary::Circular,
-            2,
-        )
-        .unwrap();
+        let s = Stencil::new(vec![Tap::new(0, 0, 0)], vec![1], Boundary::Circular, 2).unwrap();
         let x = vec![2.0f32; 4];
         let r = reference_convolve(
             &s,

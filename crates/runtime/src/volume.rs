@@ -174,8 +174,7 @@ pub fn convolve_volume(
                     }
                 })
                 .collect();
-            let coeff_planes: Vec<&CmArray> =
-                coeffs.iter().map(|c| c.plane(p as usize)).collect();
+            let coeff_planes: Vec<&CmArray> = coeffs.iter().map(|c| c.plane(p as usize)).collect();
             let m = convolve_multi(
                 machine,
                 compiled,
@@ -359,7 +358,16 @@ mod tests {
         let x = CmVolume::new(&mut m, 3, 4, 4).unwrap();
         let r = CmVolume::new(&mut m, 3, 4, 4).unwrap();
         let before = m.alloc_mark();
-        convolve_volume(&mut m, &compiled, &r, &x, &[1], &[], &ExecOptions::default()).unwrap();
+        convolve_volume(
+            &mut m,
+            &compiled,
+            &r,
+            &x,
+            &[1],
+            &[],
+            &ExecOptions::default(),
+        )
+        .unwrap();
         assert_eq!(m.alloc_mark(), before);
     }
 }

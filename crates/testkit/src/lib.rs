@@ -1,0 +1,258 @@
+//! Deterministic randomness and a minimal property-test harness.
+//!
+//! The workspace builds in hermetic environments with no access to a
+//! crates.io mirror, so the usual `rand`/`proptest` stack is replaced by
+//! this tiny, dependency-free equivalent: [`Rng`] is a SplitMix64
+//! generator (Steele, Lea & Flood, OOPSLA 2014 — fittingly, a Guy Steele
+//! generator for a Guy Steele paper), and [`property`] runs a closure over
+//! many independently seeded cases, reporting the failing case's seed so
+//! it can be replayed with [`Rng::new`].
+//!
+//! # Examples
+//!
+//! ```
+//! use cmcc_testkit::{property, Rng};
+//!
+//! // Deterministic: the same seed always yields the same stream.
+//! let mut a = Rng::new(7);
+//! let mut b = Rng::new(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//!
+//! property("addition commutes", 32, |rng| {
+//!     let x = rng.i64_in(-1000, 1000);
+//!     let y = rng.i64_in(-1000, 1000);
+//!     assert_eq!(x + y, y + x);
+//! });
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// A SplitMix64 pseudo-random generator: tiny state, full 64-bit output,
+/// passes BigCrush, and — crucially here — bit-for-bit reproducible
+/// everywhere from a single `u64` seed.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `f32` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn f32_in(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo < hi, "empty f32 range {lo}..{hi}");
+        lo + (self.f64_unit() as f32) * (hi - lo)
+    }
+
+    /// A uniform `u64` below `bound` (`0` when `bound == 0`).
+    pub fn u64_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Debiased multiply-shift (Lemire): fine at test-harness scale.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// A uniform `usize` in the half-open range `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty usize range {lo}..{hi}");
+        lo + self.u64_below((hi - lo) as u64) as usize
+    }
+
+    /// A uniform `i64` in the *inclusive* range `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty i64 range {lo}..={hi}");
+        lo + self.u64_below((hi - lo) as u64 + 1) as i64
+    }
+
+    /// A uniform `i32` in the *inclusive* range `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn i32_in(&mut self, lo: i32, hi: i32) -> i32 {
+        self.i64_in(i64::from(lo), i64::from(hi)) as i32
+    }
+
+    /// A fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// `true` with probability `num / den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn ratio(&mut self, num: u64, den: u64) -> bool {
+        assert!(den > 0, "zero denominator");
+        self.u64_below(den) < num
+    }
+
+    /// A uniformly chosen element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.usize_in(0, items.len())]
+    }
+}
+
+/// Number of cases [`property`] runs when the caller asks for `n`:
+/// honours the `CMCC_PROPERTY_CASES` environment variable as an override
+/// (useful to crank coverage up in CI or down while bisecting).
+fn case_count(requested: u64) -> u64 {
+    std::env::var("CMCC_PROPERTY_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(requested)
+}
+
+/// Runs `f` over `cases` independently seeded random cases.
+///
+/// Each case gets its own [`Rng`] with a seed derived from the property
+/// name and the case index, so adding cases to one property never
+/// perturbs another. On failure the harness prints the property name,
+/// case index, and seed (replayable via [`Rng::new`]) and re-raises the
+/// panic.
+///
+/// # Panics
+///
+/// Re-raises whatever panic `f` raised, after printing the failing seed.
+pub fn property(name: &str, cases: u64, f: impl Fn(&mut Rng)) {
+    for case in 0..case_count(cases) {
+        let seed = seed_for(name, case);
+        let mut rng = Rng::new(seed);
+        if let Err(panic) = catch_unwind(AssertUnwindSafe(|| f(&mut rng))) {
+            eprintln!("property `{name}` failed at case {case}: replay with Rng::new({seed:#x})");
+            resume_unwind(panic);
+        }
+    }
+}
+
+/// FNV-1a over the property name, mixed with the case index.
+fn seed_for(name: &str, case: u64) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let a: Vec<u64> = (0..10)
+            .map({
+                let mut r = Rng::new(42);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let b: Vec<u64> = (0..10)
+            .map({
+                let mut r = Rng::new(42);
+                move |_| r.next_u64()
+            })
+            .collect();
+        assert_eq!(a, b);
+        let c: Vec<u64> = (0..10)
+            .map({
+                let mut r = Rng::new(43);
+                move |_| r.next_u64()
+            })
+            .collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::new(1);
+        for _ in 0..10_000 {
+            let u = r.usize_in(3, 17);
+            assert!((3..17).contains(&u));
+            let i = r.i64_in(-5, 5);
+            assert!((-5..=5).contains(&i));
+            let f = r.f32_in(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn u64_below_zero_bound_is_zero() {
+        let mut r = Rng::new(1);
+        assert_eq!(r.u64_below(0), 0);
+    }
+
+    #[test]
+    fn pick_covers_all_elements() {
+        let mut r = Rng::new(9);
+        let items = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[*r.pick(&items) as usize - 1] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+
+    #[test]
+    fn property_runs_every_case() {
+        let counter = std::sync::atomic::AtomicU64::new(0);
+        property("counting", 25, |_| {
+            counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        // Honour the env override if one is set in this environment.
+        assert_eq!(counter.into_inner(), case_count(25));
+    }
+
+    #[test]
+    fn property_reports_and_reraises_failures() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            property("always fails", 5, |_| panic!("boom"));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn seeds_differ_across_properties_and_cases() {
+        assert_ne!(seed_for("a", 0), seed_for("b", 0));
+        assert_ne!(seed_for("a", 0), seed_for("a", 1));
+    }
+}

@@ -78,8 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let remaining = total_heat(&session, &cur);
     let center = cur.get(session.machine(), 32, 32);
     let corner = cur.get(session.machine(), 0, 0);
-    println!("after {steps} steps: heat {remaining:.1} ({:.1}% lost through the cold walls)",
-        100.0 * (initial - remaining) / initial);
+    println!(
+        "after {steps} steps: heat {remaining:.1} ({:.1}% lost through the cold walls)",
+        100.0 * (initial - remaining) / initial
+    );
     println!("center temperature {center:.2}, corner temperature {corner:.6}");
 
     // Physics sanity: diffusion smooths and the cold walls absorb.

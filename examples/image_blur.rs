@@ -61,17 +61,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let dr = r as f32 - 32.0;
         let dc = c as f32 - 32.0;
         let radius = (dr * dr + dc * dc).sqrt();
-        let ring: f32 = if (14.0..19.0).contains(&radius) { 1.0 } else { 0.0 };
+        let ring: f32 = if (14.0..19.0).contains(&radius) {
+            1.0
+        } else {
+            0.0
+        };
         let stripe: f32 = if (r + c) % 16 < 2 { 0.8 } else { 0.0 };
         (ring + stripe).min(1.0)
     });
 
-    render(
-        "input",
-        &img.gather(session.machine()),
-        rows,
-        cols,
-    );
+    render("input", &img.gather(session.machine()), rows, cols);
 
     // Blur three times to make the smoothing obvious.
     let mut measurement = session.run(&compiled, &blurred, &img, &[])?;

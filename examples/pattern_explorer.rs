@@ -18,9 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut session = Session::test_board()?;
 
     for pattern in PaperPattern::ALL {
-        let compiled = session
-            .compiler()
-            .compile_assignment(&pattern.fortran())?;
+        let compiled = session.compiler().compile_assignment(&pattern.fortran())?;
         let stencil = compiled.stencil().clone();
 
         println!("=== {pattern} ===");

@@ -22,8 +22,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                        + C5 * CSHIFT (X, DIM=1, SHIFT=+1)";
     let compiled = session.compile(statement)?;
 
-    println!("statement:\n  {}\n", statement.split_whitespace().collect::<Vec<_>>().join(" "));
-    println!("recognized stencil:\n{}", render_stencil(compiled.stencil()));
+    println!(
+        "statement:\n  {}\n",
+        statement.split_whitespace().collect::<Vec<_>>().join(" ")
+    );
+    println!(
+        "recognized stencil:\n{}",
+        render_stencil(compiled.stencil())
+    );
     println!(
         "workable strip widths: {:?} (useful flops per point: {})",
         compiled.widths(),

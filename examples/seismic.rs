@@ -41,7 +41,12 @@ fn step_v1(
         ExecOptions::fast()
     };
     let mut total = session.run_with(compiled, r, p, coeffs, &opts)?;
-    total = total.combine(&elementwise_multiply_add(session.machine_mut(), r, c10, p2)?);
+    total = total.combine(&elementwise_multiply_add(
+        session.machine_mut(),
+        r,
+        c10,
+        p2,
+    )?);
     total = total.combine(&elementwise_copy(session.machine_mut(), p2, p)?);
     total = total.combine(&elementwise_copy(session.machine_mut(), p, r)?);
     Ok(total)
@@ -191,9 +196,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // stencil pattern"): the tenth term fused into the stencil via the
     // multi-source extension — one kernel, one halo pass, no separate
     // elementwise operation.
-    let fused_statement = format!(
-        "{statement} + C10 * CSHIFT(P2, DIM=1, SHIFT=0)"
-    );
+    let fused_statement = format!("{statement} + C10 * CSHIFT(P2, DIM=1, SHIFT=0)");
     let fused = session
         .compiler()
         .compile_assignment_extended(&fused_statement)
@@ -259,8 +262,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nunrolling speedup: {speedup:.2}x (paper: {:.2}x)",
         14.88 / 11.62
     );
-    let fusion_speedup =
-        per_step_v2.cycles.total() as f64 / per_step_v3.cycles.total() as f64;
+    let fusion_speedup = per_step_v2.cycles.total() as f64 / per_step_v3.cycles.total() as f64;
     println!("fusing the tenth term: a further {fusion_speedup:.2}x");
     Ok(())
 }

@@ -38,9 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
            + {c} * CSHIFT(PUP, 1, 0) \
            + -1.0 * CSHIFT(P2, 1, 0)"
     );
-    let compiled = session
-        .compiler()
-        .compile_assignment_extended(&statement)?;
+    let compiled = session.compiler().compile_assignment_extended(&statement)?;
     println!(
         "fused 3-D kernel: {} taps over sources {:?}, widths {:?}\n",
         compiled.stencil().taps().len(),

@@ -46,7 +46,9 @@ pub use cmcc_runtime as runtime;
 
 pub use cmcc_cm2::{CycleBreakdown, Machine, MachineConfig, Measurement};
 pub use cmcc_core::{CompileError, CompiledStencil, Compiler, PaperPattern};
-pub use cmcc_runtime::{convolve, convolve_multi, convolve_volume, CmArray, CmVolume, ExecOptions, RuntimeError};
+pub use cmcc_runtime::{
+    convolve, convolve_multi, convolve_volume, CmArray, CmVolume, ExecOptions, RuntimeError,
+};
 
 use std::error::Error;
 use std::fmt;

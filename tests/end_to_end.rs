@@ -60,9 +60,7 @@ fn run_and_verify(session: &mut Session, compiled: &CompiledStencil, opts: &Opts
 #[test]
 fn fortran_assignment_end_to_end() {
     let mut session = Session::tiny().unwrap();
-    let compiled = session
-        .compile(&PaperPattern::Cross5.fortran())
-        .unwrap();
+    let compiled = session.compile(&PaperPattern::Cross5.fortran()).unwrap();
     let m = run_and_verify(&mut session, &compiled, &Opts::default());
     assert!(m.mflops(session.config()) > 0.0);
 }
@@ -108,14 +106,25 @@ fn three_front_ends_agree() {
     let assignment = "R = C1 * CSHIFT(X, 1, -1) + C2 * X";
     let subroutine = "SUBROUTINE S (R, X, C1, C2)\nREAL, ARRAY(:,:) :: R, X, C1, C2\n\
                       R = C1 * CSHIFT(X, 1, -1) + C2 * X\nEND";
-    let defstencil =
-        "(defstencil s (r x c1 c2) (single-float single-float) \
+    let defstencil = "(defstencil s (r x c1 c2) (single-float single-float) \
           (:= r (+ (* c1 (cshift x 1 -1)) (* c2 x))))";
     let mut outputs = Vec::new();
     for (i, compiled) in [
-        Session::tiny().unwrap().compiler().compile_assignment(assignment).unwrap(),
-        Session::tiny().unwrap().compiler().compile_subroutine(subroutine).unwrap(),
-        Session::tiny().unwrap().compiler().compile_defstencil(defstencil).unwrap(),
+        Session::tiny()
+            .unwrap()
+            .compiler()
+            .compile_assignment(assignment)
+            .unwrap(),
+        Session::tiny()
+            .unwrap()
+            .compiler()
+            .compile_subroutine(subroutine)
+            .unwrap(),
+        Session::tiny()
+            .unwrap()
+            .compiler()
+            .compile_defstencil(defstencil)
+            .unwrap(),
     ]
     .into_iter()
     .enumerate()
@@ -138,41 +147,42 @@ fn three_front_ends_agree() {
 #[test]
 fn every_option_combination_is_functionally_identical() {
     let mut session = Session::tiny().unwrap();
-    let compiled = session
-        .compile(&PaperPattern::Square9.fortran())
-        .unwrap();
+    let compiled = session.compile(&PaperPattern::Square9.fortran()).unwrap();
     let mut baseline: Option<Vec<u32>> = None;
     for mode in [cmcc::cm2::ExecMode::Cycle, cmcc::cm2::ExecMode::Fast] {
         for half_strips in [true, false] {
             for primitive in [ExchangePrimitive::News, ExchangePrimitive::OldPerDirection] {
                 for skip in [true, false] {
-                    let opts = Opts {
-                        mode,
-                        half_strips,
-                        primitive,
-                        skip_corners_when_possible: skip,
-                    };
-                    let (rows, cols) = (8usize, 8usize);
-                    let x = session.array(rows, cols).unwrap();
-                    x.fill_with(session.machine_mut(), |r, c| ((r * 3 + c) % 7) as f32);
-                    let coeffs: Vec<CmArray> = (0..9)
-                        .map(|i| {
-                            let a = session.array(rows, cols).unwrap();
-                            a.fill(session.machine_mut(), (i as f32 - 4.0) * 0.1);
-                            a
-                        })
-                        .collect();
-                    let refs: Vec<&CmArray> = coeffs.iter().collect();
-                    let r = session.array(rows, cols).unwrap();
-                    session.run_with(&compiled, &r, &x, &refs, &opts).unwrap();
-                    let bits: Vec<u32> = r
-                        .gather(session.machine())
-                        .iter()
-                        .map(|v| v.to_bits())
-                        .collect();
-                    match &baseline {
-                        None => baseline = Some(bits),
-                        Some(b) => assert_eq!(b, &bits, "options {opts:?} changed the result"),
+                    for threads in [1usize, 8] {
+                        let opts = Opts {
+                            mode,
+                            half_strips,
+                            primitive,
+                            skip_corners_when_possible: skip,
+                            threads,
+                        };
+                        let (rows, cols) = (8usize, 8usize);
+                        let x = session.array(rows, cols).unwrap();
+                        x.fill_with(session.machine_mut(), |r, c| ((r * 3 + c) % 7) as f32);
+                        let coeffs: Vec<CmArray> = (0..9)
+                            .map(|i| {
+                                let a = session.array(rows, cols).unwrap();
+                                a.fill(session.machine_mut(), (i as f32 - 4.0) * 0.1);
+                                a
+                            })
+                            .collect();
+                        let refs: Vec<&CmArray> = coeffs.iter().collect();
+                        let r = session.array(rows, cols).unwrap();
+                        session.run_with(&compiled, &r, &x, &refs, &opts).unwrap();
+                        let bits: Vec<u32> = r
+                            .gather(session.machine())
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect();
+                        match &baseline {
+                            None => baseline = Some(bits),
+                            Some(b) => assert_eq!(b, &bits, "options {opts:?} changed the result"),
+                        }
                     }
                 }
             }

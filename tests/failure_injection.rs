@@ -66,8 +66,7 @@ fn run(
 /// reference bit for bit.
 #[test]
 fn unbroken_pipeline_matches() {
-    let (mut machine, compiled, x, r, coeffs, want) =
-        setup("R = C1 * CSHIFT(X, 1, -1) + C2 * X");
+    let (mut machine, compiled, x, r, coeffs, want) = setup("R = C1 * CSHIFT(X, 1, -1) + C2 * X");
     let got = run(&mut machine, &compiled, &r, &x, &coeffs, ExecMode::Cycle).unwrap();
     assert!(got
         .iter()
@@ -79,8 +78,7 @@ fn unbroken_pipeline_matches() {
 /// vacuous (it would catch a kernel reading the wrong element).
 #[test]
 fn perturbed_inputs_are_visible_in_results() {
-    let (mut machine, compiled, x, r, coeffs, want) =
-        setup("R = C1 * CSHIFT(X, 1, -1) + C2 * X");
+    let (mut machine, compiled, x, r, coeffs, want) = setup("R = C1 * CSHIFT(X, 1, -1) + C2 * X");
     // Flip a single interior element of the source.
     let v = x.get(&machine, 3, 3);
     x.set(&mut machine, 3, 3, v + 1.0);

@@ -200,9 +200,7 @@ fn fused_kernel_beats_separate_passes_in_cycles() {
     // sweep instead of a stencil call plus an elementwise pass.
     let mut session = Session::test_board().unwrap();
     let fused = session.compile_extended(&ten_term_statement()).unwrap();
-    let star = session
-        .compile(&PaperPattern::Star9.fortran())
-        .unwrap();
+    let star = session.compile(&PaperPattern::Star9.fortran()).unwrap();
 
     let (rows, cols) = (4 * 64, 4 * 64);
     let p = session.array(rows, cols).unwrap();
@@ -214,17 +212,11 @@ fn fused_kernel_beats_separate_passes_in_cycles() {
     let refs10: Vec<&CmArray> = coeffs.iter().collect();
     let refs9: Vec<&CmArray> = coeffs[..9].iter().collect();
 
-    let fused_m = session
-        .run_multi(&fused, &r, &[&p, &p2], &refs10)
-        .unwrap();
+    let fused_m = session.run_multi(&fused, &r, &[&p, &p2], &refs10).unwrap();
     let star_m = session.run(&star, &r, &p, &refs9).unwrap();
-    let tenth = cmcc::baseline::elementwise_multiply_add(
-        session.machine_mut(),
-        &r,
-        &coeffs[9],
-        &p2,
-    )
-    .unwrap();
+    let tenth =
+        cmcc::baseline::elementwise_multiply_add(session.machine_mut(), &r, &coeffs[9], &p2)
+            .unwrap();
     let separate = star_m.combine(&tenth);
 
     assert!(

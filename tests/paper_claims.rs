@@ -39,8 +39,7 @@ fn claim_diamond_unrolls_fifteen() {
     let diamond = PaperPattern::Diamond13.stencil();
     let ms = Multistencil::new(&diamond, 4);
     let plan = plan_rings(&ms, 31, 512).unwrap();
-    let sizes: std::collections::BTreeSet<usize> =
-        plan.rings().iter().map(|r| r.size).collect();
+    let sizes: std::collections::BTreeSet<usize> = plan.rings().iter().map(|r| r.size).collect();
     assert_eq!(sizes, [1usize, 3, 5].into_iter().collect());
     assert_eq!(plan.unroll(), 15);
 }
@@ -107,10 +106,7 @@ fn claim_ten_gigaflops() {
         let mut w = Workload::new(MachineConfig::test_board_16(), pattern, (256, 256));
         let m = w.measure().extrapolate(2048);
         let gflops = m.gflops(w.machine.config());
-        assert!(
-            gflops > 10.0,
-            "{pattern} reached only {gflops:.2} Gflops"
-        );
+        assert!(gflops > 10.0, "{pattern} reached only {gflops:.2} Gflops");
     }
 }
 
@@ -189,7 +185,10 @@ fn claim_three_generation_ladder() {
         .gflops(&cfg);
     let mut w = Workload::new(cfg.clone(), PaperPattern::Star9, (256, 256));
     let compiled = w.measure().extrapolate(2048).gflops(&cfg);
-    assert!(slice < hand && hand < compiled, "{slice:.2} / {hand:.2} / {compiled:.2}");
+    assert!(
+        slice < hand && hand < compiled,
+        "{slice:.2} / {hand:.2} / {compiled:.2}"
+    );
     assert!((3.0..5.5).contains(&slice), "slicewise {slice:.2}");
     assert!((4.5..7.0).contains(&hand), "hand library {hand:.2}");
     assert!(compiled > 9.0, "compiler {compiled:.2}");
@@ -230,7 +229,11 @@ fn claim_corner_skip_matters_more_for_small_arrays() {
         skip_corners_when_possible: false,
         ..ExecOptions::default()
     };
-    let mut small = Workload::new(MachineConfig::test_board_16(), PaperPattern::Cross5, (64, 64));
+    let mut small = Workload::new(
+        MachineConfig::test_board_16(),
+        PaperPattern::Cross5,
+        (64, 64),
+    );
     let s_skip = small.run(&opts_skip).cycles.comm;
     let s_noskip = small.run(&opts_noskip).cycles.comm;
     let mut big = Workload::new(
