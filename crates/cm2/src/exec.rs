@@ -98,7 +98,7 @@ pub struct ScheduleStep<'a> {
 }
 
 /// Execution mode selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExecMode {
     /// Cycle-accurate pipeline model with hazard detection.
     Cycle,
@@ -312,6 +312,24 @@ fn resolve(mref: MemRef, row: i64, ctx: &StripContext<'_>) -> usize {
     }
 }
 
+/// Splits a [`DynamicPart`] into its register operation and its memory
+/// reference, the decomposition both interpreters share: the legacy path
+/// resolves the reference per step, the plan path pre-resolves it once.
+#[inline]
+fn decompose(part: &DynamicPart) -> (ResolvedOp, Option<MemRef>) {
+    match *part {
+        DynamicPart::Mac {
+            coeff,
+            data,
+            acc,
+            dest,
+        } => (ResolvedOp::Mac { data, acc, dest }, Some(coeff)),
+        DynamicPart::Load { src, dest } => (ResolvedOp::Load { dest }, Some(src)),
+        DynamicPart::Store { src, dest } => (ResolvedOp::Store { src }, Some(dest)),
+        DynamicPart::Nop => (ResolvedOp::Nop, None),
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn step(
@@ -325,25 +343,42 @@ fn step(
     cfg: &MachineConfig,
     cycle_mode: bool,
 ) -> Result<(), HazardError> {
+    let (op, mref) = decompose(part);
+    let addr = mref.map_or(0, |m| resolve(m, row, ctx));
+    exec_resolved(op, addr, mem, fpu, run, now, cfg, cycle_mode)
+}
+
+/// Executes one operation against a concrete, already-resolved memory
+/// address. This is the single execution core shared by [`run_strip`]
+/// (which resolves addresses per step) and [`run_resolved_strip`] (which
+/// resolves them once at plan-build time), so the two paths are
+/// bit-identical and cycle-identical by construction.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn exec_resolved(
+    op: ResolvedOp,
+    addr: usize,
+    mem: &mut NodeMemory,
+    fpu: &mut Fpu,
+    run: &mut StripRun,
+    now: &mut u64,
+    cfg: &MachineConfig,
+    cycle_mode: bool,
+) -> Result<(), HazardError> {
     if cycle_mode {
         fpu.commit_due(*now);
     }
     // Issue cost of this dynamic part; multiply-adds pace at the
     // calibrated rate (see `MachineConfig::mac_issue_cycles`).
     let mut advance: u64 = 1;
-    match *part {
-        DynamicPart::Mac {
-            coeff,
-            data,
-            acc,
-            dest,
-        } => {
+    match op {
+        ResolvedOp::Mac { data, acc, dest } => {
             if cycle_mode && fpu.reversal(PipeDir::ToFpu) {
                 *now += u64::from(cfg.pipe_reversal_penalty);
                 run.reversals += 1;
                 fpu.commit_due(*now);
             }
-            let coeff_val = mem.read(resolve(coeff, row, ctx));
+            let coeff_val = mem.read(addr);
             let data_val = if cycle_mode {
                 fpu.read(data, *now)?
             } else {
@@ -377,13 +412,13 @@ fn step(
             run.macs += 1;
             advance = u64::from(cfg.mac_issue_cycles);
         }
-        DynamicPart::Load { src, dest } => {
+        ResolvedOp::Load { dest } => {
             if cycle_mode && fpu.reversal(PipeDir::ToFpu) {
                 *now += u64::from(cfg.pipe_reversal_penalty);
                 run.reversals += 1;
                 fpu.commit_due(*now);
             }
-            let value = mem.read(resolve(src, row, ctx));
+            let value = mem.read(addr);
             if cycle_mode {
                 fpu.pending
                     .push((*now + u64::from(cfg.load_commit_latency), dest, value));
@@ -392,7 +427,7 @@ fn step(
             }
             run.loads += 1;
         }
-        DynamicPart::Store { src, dest } => {
+        ResolvedOp::Store { src } => {
             if cycle_mode && fpu.reversal(PipeDir::ToMem) {
                 *now += u64::from(cfg.pipe_reversal_penalty);
                 run.reversals += 1;
@@ -403,15 +438,255 @@ fn step(
             } else {
                 fpu.regs[src.0 as usize]
             };
-            mem.write(resolve(dest, row, ctx), value);
+            mem.write(addr, value);
             run.stores += 1;
         }
-        DynamicPart::Nop => {
+        ResolvedOp::Nop => {
             run.nops += 1;
         }
     }
     *now += advance;
     Ok(())
+}
+
+/// A [`DynamicPart`] with its memory reference stripped out: just the
+/// register operation. The address arrives separately — per step in the
+/// legacy interpreter, pre-resolved in a [`ResolvedStrip`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolvedOp {
+    /// Chained multiply-add; the address is the coefficient operand.
+    Mac {
+        /// Data register (the preloaded source value).
+        data: Reg,
+        /// Accumulator behavior.
+        acc: MacAcc,
+        /// Optional register destination for the chain value.
+        dest: Option<Reg>,
+    },
+    /// Memory-to-register load; the address is the load source.
+    Load {
+        /// Destination register.
+        dest: Reg,
+    },
+    /// Register-to-memory store; the address is the store target.
+    Store {
+        /// Source register.
+        src: Reg,
+    },
+    /// Pipeline-drain bubble (no address).
+    Nop,
+}
+
+/// Which plan-bound buffer a pre-resolved address points into,
+/// determining how [`ResolvedStrip::rebase`] adjusts it when the plan is
+/// rebound to different arrays of the same shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolvedSlot {
+    /// The result array (rebased by the new result's base delta).
+    Result,
+    /// Coefficient array `n` (rebased by that coefficient's base delta).
+    Coeff(u16),
+    /// A plan-owned buffer — halo, constant, or literal page — whose
+    /// address never changes over the plan's lifetime.
+    Fixed,
+}
+
+/// One pre-resolved step: an operation, the concrete address of its
+/// first occurrence, the per-period address stride, and the rebase slot.
+///
+/// Kernel addresses are affine in the line index: pattern line `p` of a
+/// kernel with period `L` executes at lines `p, p+L, p+2L, …`, and each
+/// period moves the address by `L · row_step · row_stride` of the
+/// referenced buffer. Storing `(addr, delta)` therefore captures every
+/// occurrence with one add per execution — no layout lookup, no bounds
+/// recheck, no sign handling in the hot loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedPart {
+    /// The register operation.
+    pub op: ResolvedOp,
+    /// Address at the part's first execution.
+    pub addr: usize,
+    /// Address advance per kernel period (0 for prologue parts, constant
+    /// pages, and literal coefficient pages).
+    pub delta: i64,
+    /// How to rebase `addr` when the plan is rebound.
+    pub slot: ResolvedSlot,
+}
+
+/// A half-strip with every memory address pre-resolved — the executable
+/// payload of a cached execution plan.
+///
+/// Built once from a kernel and its [`StripContext`]; executed many
+/// times by [`run_resolved_strip`], which replays the same operation
+/// stream as [`run_strip`] (same order, same cycle accounting) without
+/// per-step address resolution. Only the pattern lines that actually
+/// execute are stored, so a strip shorter than the kernel period never
+/// resolves addresses it would never touch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedStrip {
+    prologue: Vec<ResolvedPart>,
+    body: Vec<Vec<ResolvedPart>>,
+    lines: usize,
+}
+
+impl ResolvedStrip {
+    /// Pre-resolves `kernel` over the half-strip described by `ctx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same addressing errors [`run_strip`] would hit:
+    /// out-of-halo accesses or coefficient indices missing from `ctx`.
+    pub fn new(kernel: &Kernel, ctx: &StripContext<'_>) -> Self {
+        let period = kernel.body.len();
+        // Store only patterns that execute: a strip shorter than the
+        // kernel period must not resolve lines it never reaches (their
+        // rows may fall outside the halo).
+        let stored = period.min(ctx.lines);
+        let resolve_part = |part: &DynamicPart, row: i64, delta_periods: i64| -> ResolvedPart {
+            let (op, mref) = decompose(part);
+            let (addr, slot, stride) = match mref {
+                None => (0, ResolvedSlot::Fixed, 0),
+                Some(m) => {
+                    let addr = resolve(m, row, ctx);
+                    // The slot governs rebasing only; the stride (and
+                    // hence the per-period delta) always follows the
+                    // referenced layout. Sources are `Fixed` because
+                    // kernels read plan-owned halo buffers, but their
+                    // addresses still walk row by row.
+                    let (slot, stride) = match m {
+                        MemRef::Source { array, .. } => (
+                            ResolvedSlot::Fixed,
+                            ctx.srcs[array as usize].row_stride as i64,
+                        ),
+                        MemRef::Coeff { array, .. } => (
+                            ResolvedSlot::Coeff(array),
+                            ctx.coeffs[array as usize].row_stride as i64,
+                        ),
+                        MemRef::Result { .. } => (ResolvedSlot::Result, ctx.res.row_stride as i64),
+                        MemRef::Ones | MemRef::Zeros => (ResolvedSlot::Fixed, 0),
+                    };
+                    (addr, slot, stride)
+                }
+            };
+            ResolvedPart {
+                op,
+                addr,
+                delta: delta_periods * i64::from(kernel.row_step) * stride,
+                slot,
+            }
+        };
+        let prologue = kernel
+            .prologue
+            .iter()
+            .map(|part| resolve_part(part, ctx.start_row, 0))
+            .collect();
+        let body = (0..stored)
+            .map(|p| {
+                let row = ctx.start_row + p as i64 * i64::from(kernel.row_step);
+                kernel.body[p % period]
+                    .iter()
+                    .map(|part| resolve_part(part, row, stored as i64))
+                    .collect()
+            })
+            .collect();
+        ResolvedStrip {
+            prologue,
+            body,
+            lines: ctx.lines,
+        }
+    }
+
+    /// Lines this strip processes.
+    pub fn lines(&self) -> usize {
+        self.lines
+    }
+
+    /// Dynamic steps executed per run (prologue plus every body line).
+    pub fn steps(&self) -> u64 {
+        let body: usize = (0..self.lines)
+            .map(|l| self.body[l % self.body.len().max(1)].len())
+            .sum();
+        (self.prologue.len() + body) as u64
+    }
+
+    /// Shifts every result-slot address by `result_delta` words and every
+    /// coefficient-slot address for array `i` by `coeff_deltas[i]` —
+    /// rebinding the strip to different arrays of identical shape without
+    /// rebuilding it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coefficient slot indexes past `coeff_deltas` or an
+    /// adjustment would move an address below zero.
+    pub fn rebase(&mut self, result_delta: i64, coeff_deltas: &[i64]) {
+        let shift = |part: &mut ResolvedPart| {
+            let delta = match part.slot {
+                ResolvedSlot::Result => result_delta,
+                ResolvedSlot::Coeff(i) => coeff_deltas[i as usize],
+                ResolvedSlot::Fixed => 0,
+            };
+            if delta != 0 {
+                let moved = part.addr as i64 + delta;
+                assert!(moved >= 0, "rebase moved address below zero");
+                part.addr = moved as usize;
+            }
+        };
+        self.prologue.iter_mut().for_each(&shift);
+        for pattern in &mut self.body {
+            pattern.iter_mut().for_each(&shift);
+        }
+    }
+}
+
+/// Executes a pre-resolved half-strip against one node's memory.
+///
+/// Replays exactly the operation stream [`run_strip`] would execute for
+/// the originating kernel and context — same order, same cycle
+/// accounting, same hazard semantics — with all address computation done
+/// at build time.
+///
+/// # Errors
+///
+/// Returns [`HazardError`] exactly as [`run_strip`] would (cycle mode
+/// only).
+pub fn run_resolved_strip(
+    strip: &ResolvedStrip,
+    mem: &mut NodeMemory,
+    cfg: &MachineConfig,
+    mode: ExecMode,
+) -> Result<StripRun, HazardError> {
+    let mut fpu = Fpu::new();
+    let mut run = StripRun::default();
+    let cycle_mode = mode == ExecMode::Cycle;
+    let mut now: u64 = u64::from(cfg.halfstrip_startup_cycles);
+
+    for part in &strip.prologue {
+        exec_resolved(
+            part.op, part.addr, mem, &mut fpu, &mut run, &mut now, cfg, cycle_mode,
+        )?;
+    }
+
+    let period = strip.body.len();
+    for line in 0..strip.lines {
+        let pattern = &strip.body[line % period];
+        let k = (line / period) as i64;
+        for part in pattern {
+            let addr = (part.addr as i64 + k * part.delta) as usize;
+            exec_resolved(
+                part.op, addr, mem, &mut fpu, &mut run, &mut now, cfg, cycle_mode,
+            )?;
+        }
+        now += u64::from(cfg.line_loop_overhead);
+    }
+
+    if cycle_mode {
+        if let Some(&(last, ..)) = fpu.pending.iter().max_by_key(|p| p.0) {
+            now = now.max(last);
+        }
+        fpu.commit_due(now);
+        run.cycles = now;
+    }
+    Ok(run)
 }
 
 #[cfg(test)]
@@ -650,6 +925,193 @@ mod tests {
             col_offset: 1,
         };
         let _ = f.addr(-2, 0);
+    }
+
+    /// A 2-line-period kernel (alternating result columns) to exercise
+    /// the pattern-cycling and per-period address delta in resolved form.
+    fn two_period_kernel() -> Kernel {
+        Kernel {
+            static_part: StaticPart::ChainedMac,
+            width: 1,
+            row_step: -1,
+            prologue: vec![DynamicPart::Load {
+                src: MemRef::Source {
+                    array: 0,
+                    drow: 0,
+                    dcol: 0,
+                },
+                dest: Reg(2),
+            }],
+            body: vec![
+                vec![
+                    DynamicPart::Nop,
+                    DynamicPart::Nop,
+                    DynamicPart::Nop,
+                    DynamicPart::Mac {
+                        coeff: MemRef::Coeff { array: 0, col: 0 },
+                        data: Reg(2),
+                        acc: MacAcc::Start(Reg::ZERO),
+                        dest: Some(Reg(3)),
+                    },
+                    DynamicPart::Nop,
+                    DynamicPart::Nop,
+                    DynamicPart::Nop,
+                    DynamicPart::Nop,
+                    DynamicPart::Store {
+                        src: Reg(3),
+                        dest: MemRef::Result { col: 0 },
+                    },
+                ],
+                vec![
+                    DynamicPart::Load {
+                        src: MemRef::Source {
+                            array: 0,
+                            drow: 1,
+                            dcol: 0,
+                        },
+                        dest: Reg(2),
+                    },
+                    DynamicPart::Nop,
+                    DynamicPart::Nop,
+                    DynamicPart::Mac {
+                        coeff: MemRef::Coeff { array: 0, col: 0 },
+                        data: Reg(2),
+                        acc: MacAcc::Start(Reg::ZERO),
+                        dest: Some(Reg(4)),
+                    },
+                    DynamicPart::Nop,
+                    DynamicPart::Nop,
+                    DynamicPart::Nop,
+                    DynamicPart::Nop,
+                    DynamicPart::Store {
+                        src: Reg(4),
+                        dest: MemRef::Result { col: 0 },
+                    },
+                ],
+            ],
+            useful_flops_per_line: 1,
+        }
+    }
+
+    fn differential(kernel: &Kernel, ctx: &StripContext<'_>, mode: ExecMode) {
+        let (legacy_mem, _, _, _) = setup();
+        let mut legacy_mem = legacy_mem;
+        let mut resolved_mem = legacy_mem.clone();
+        let legacy = run_strip(kernel, ctx, &mut legacy_mem, &cfg(), mode).unwrap();
+        let strip = ResolvedStrip::new(kernel, ctx);
+        let resolved = run_resolved_strip(&strip, &mut resolved_mem, &cfg(), mode).unwrap();
+        assert_eq!(legacy, resolved, "StripRun counters must match");
+        assert_eq!(legacy_mem, resolved_mem, "memory must match bitwise");
+    }
+
+    #[test]
+    fn resolved_strip_matches_legacy_interpreter() {
+        let kernel = identity_kernel();
+        let (_, [src, res, coeff], ones, zeros) = setup();
+        let coeffs = [coeff];
+        let srcs = [src];
+        for (start_row, lines) in [(3i64, 4usize), (1, 2), (0, 1)] {
+            let ctx = StripContext {
+                srcs: &srcs,
+                res,
+                coeffs: &coeffs,
+                ones_addr: ones,
+                zeros_addr: zeros,
+                start_row,
+                lines,
+                col0: 1,
+            };
+            differential(&kernel, &ctx, ExecMode::Cycle);
+            differential(&kernel, &ctx, ExecMode::Fast);
+        }
+    }
+
+    #[test]
+    fn resolved_strip_cycles_multi_line_patterns() {
+        let kernel = two_period_kernel();
+        let (_, [src, res, coeff], ones, zeros) = setup();
+        let coeffs = [coeff];
+        let srcs = [src];
+        // lines > period exercises the per-period delta; lines < period
+        // exercises pattern truncation (pattern 1 would address row -1
+        // relative to start and must not be resolved).
+        for (start_row, lines) in [(3i64, 4usize), (3, 3), (0, 1)] {
+            let ctx = StripContext {
+                srcs: &srcs,
+                res,
+                coeffs: &coeffs,
+                ones_addr: ones,
+                zeros_addr: zeros,
+                start_row,
+                lines,
+                col0: 1,
+            };
+            differential(&kernel, &ctx, ExecMode::Cycle);
+            differential(&kernel, &ctx, ExecMode::Fast);
+        }
+    }
+
+    #[test]
+    fn resolved_strip_rebases_result_and_coeffs() {
+        let kernel = identity_kernel();
+        let (mut mem, [src, res, coeff], ones, zeros) = setup();
+        let coeffs = [coeff];
+        let srcs = [src];
+        let ctx = StripContext {
+            srcs: &srcs,
+            res,
+            coeffs: &coeffs,
+            ones_addr: ones,
+            zeros_addr: zeros,
+            start_row: 3,
+            lines: 4,
+            col0: 1,
+        };
+        // Build at one binding, rebase to another: result moved from 16
+        // to 52, coefficients unmoved.
+        let mut strip = ResolvedStrip::new(&kernel, &ctx);
+        strip.rebase(36, &[0]);
+        let moved_res = FieldLayout { base: 52, ..res };
+        let ctx_moved = StripContext {
+            res: moved_res,
+            ..ctx.clone()
+        };
+        let direct = ResolvedStrip::new(&kernel, &ctx_moved);
+        assert_eq!(strip, direct);
+        // And execution lands in the new result field. (Memory map in
+        // `setup` is 64 words; 52..68 overflows, so use a bigger one.)
+        let mut big = NodeMemory::new(80);
+        for a in 0..64 {
+            big.write(a, mem.read(a));
+        }
+        mem = big;
+        run_resolved_strip(&strip, &mut mem, &cfg(), ExecMode::Fast).unwrap();
+        for row in 0..4 {
+            let want = 2.0 * (row as f32 * 4.0 + 2.0);
+            assert_eq!(mem.read(52 + row * 4 + 1), want, "row {row}");
+        }
+    }
+
+    #[test]
+    fn resolved_strip_reports_steps() {
+        let kernel = identity_kernel();
+        let (_, [src, res, coeff], ones, zeros) = setup();
+        let coeffs = [coeff];
+        let srcs = [src];
+        let ctx = StripContext {
+            srcs: &srcs,
+            res,
+            coeffs: &coeffs,
+            ones_addr: ones,
+            zeros_addr: zeros,
+            start_row: 3,
+            lines: 4,
+            col0: 1,
+        };
+        let strip = ResolvedStrip::new(&kernel, &ctx);
+        assert_eq!(strip.lines(), 4);
+        // identity_kernel: no prologue, 10 parts per line, 4 lines.
+        assert_eq!(strip.steps(), 40);
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub mod sequencer;
 pub mod timing;
 
 pub use config::MachineConfig;
-pub use exec::{ExecMode, FieldLayout, HazardError, ScheduleStep, StripContext, StripRun};
+pub use exec::{
+    ExecMode, FieldLayout, HazardError, ResolvedOp, ResolvedPart, ResolvedSlot, ResolvedStrip,
+    ScheduleStep, StripContext, StripRun,
+};
 pub use grid::{Direction, NodeGrid, NodeId};
 pub use isa::{DynamicPart, Kernel, MacAcc, MemRef, Reg, StaticPart};
 pub use machine::{Machine, NodeSlice};

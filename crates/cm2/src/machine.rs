@@ -16,7 +16,10 @@
 //! to the serial path by construction.
 
 use crate::config::MachineConfig;
-use crate::exec::{run_strip, ExecMode, HazardError, ScheduleStep, StripContext, StripRun};
+use crate::exec::{
+    run_resolved_strip, run_strip, ExecMode, HazardError, ResolvedStrip, ScheduleStep,
+    StripContext, StripRun,
+};
 use crate::grid::{NodeGrid, NodeId};
 use crate::isa::Kernel;
 use crate::memory::{Field, FieldAllocator, NodeMemory, OutOfMemory};
@@ -89,6 +92,40 @@ impl Machine {
     /// Returns [`OutOfMemory`] when node memory is exhausted.
     pub fn alloc_field(&mut self, len: usize) -> Result<Field, OutOfMemory> {
         self.allocator.alloc(len)
+    }
+
+    /// Allocates a plan-lifetime field on every node from the persistent
+    /// arena at the top of memory. Unlike [`Machine::alloc_field`], the
+    /// allocation survives [`Machine::release_to`] and must be returned
+    /// with [`Machine::free_field_persistent`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when node memory is exhausted.
+    pub fn alloc_field_persistent(&mut self, len: usize) -> Result<Field, OutOfMemory> {
+        self.allocator.alloc_persistent(len)
+    }
+
+    /// Returns a persistent field to the arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field` was not allocated with
+    /// [`Machine::alloc_field_persistent`].
+    pub fn free_field_persistent(&mut self, field: Field) {
+        self.allocator.free_persistent(field);
+    }
+
+    /// Total successful field allocations so far (temporary and
+    /// persistent). Subtract two readings to assert a code path performs
+    /// no allocations.
+    pub fn alloc_count(&self) -> u64 {
+        self.allocator.alloc_count()
+    }
+
+    /// Words currently held by the persistent arena (per node).
+    pub fn persistent_used(&self) -> usize {
+        self.allocator.persistent_used()
     }
 
     /// Checkpoint for LIFO release of temporary fields.
@@ -280,6 +317,73 @@ impl Machine {
             })
         };
         reduce_node_runs(per_node)
+    }
+
+    /// Executes a pre-resolved strip sequence on every node, fanning the
+    /// nodes out over up to `threads` host threads — the plan-execution
+    /// counterpart of [`Machine::run_schedule_all`], with the same
+    /// deterministic, thread-count-invariant reduction (per-strip cycles
+    /// agree across the lockstep SIMD nodes; the per-node totals are
+    /// absorbed into one [`StripRun`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HazardError`] if a strip is miscompiled (cycle mode);
+    /// when several nodes fault, the lowest-numbered node's error wins,
+    /// independent of thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (a kernel addressing bug).
+    pub fn run_resolved_all(
+        &mut self,
+        strips: &[ResolvedStrip],
+        mode: ExecMode,
+        threads: usize,
+    ) -> Result<StripRun, HazardError> {
+        if strips.is_empty() {
+            return Ok(StripRun::default());
+        }
+        let threads = threads.clamp(1, self.nodes.len());
+        let config = &self.config;
+        let run_node = |mem: &mut NodeMemory| -> Result<StripRun, HazardError> {
+            let mut total = StripRun::default();
+            for strip in strips {
+                total.absorb(&run_resolved_strip(strip, mem, config, mode)?);
+            }
+            Ok(total)
+        };
+        let per_node: Vec<Result<StripRun, HazardError>> = if threads == 1 {
+            self.nodes.iter_mut().map(run_node).collect()
+        } else {
+            let run_node = &run_node;
+            let chunk = self.nodes.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .nodes
+                    .chunks_mut(chunk)
+                    .map(|mems| {
+                        scope.spawn(move || mems.iter_mut().map(run_node).collect::<Vec<_>>())
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("node worker panicked"))
+                    .collect()
+            })
+        };
+        let mut reduced: Option<StripRun> = None;
+        for result in per_node {
+            let run = result?;
+            match &mut reduced {
+                None => reduced = Some(run),
+                Some(acc) => {
+                    debug_assert_eq!(*acc, run, "SIMD nodes must agree on cycle counts");
+                    acc.cycles = acc.cycles.max(run.cycles);
+                }
+            }
+        }
+        Ok(reduced.expect("machine has at least one node"))
     }
 }
 

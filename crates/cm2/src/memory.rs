@@ -48,12 +48,24 @@ impl Field {
     }
 }
 
-/// Bump allocator for per-node memory fields.
+/// Allocator for per-node memory fields.
 ///
 /// The paper's run-time library "takes care of allocating temporary memory
-/// space" (§5); this allocator plays that role. It deliberately has no
-/// free list — stencil calls allocate temporaries and release them in LIFO
-/// order via [`FieldAllocator::mark`] / [`FieldAllocator::release_to`].
+/// space" (§5); this allocator plays that role. It manages two regions:
+///
+/// * a **bump region** growing up from address 0 — stencil calls allocate
+///   temporaries and release them in LIFO order via
+///   [`FieldAllocator::mark`] / [`FieldAllocator::release_to`];
+/// * a **persistent arena** growing down from the top of memory — used
+///   for plan-lifetime allocations (cached execution plans) that outlive
+///   any single call and are freed out of order via
+///   [`FieldAllocator::free_persistent`], backed by a coalescing
+///   first-fit free list.
+///
+/// Every successful allocation (either region) increments a counter
+/// readable through [`FieldAllocator::alloc_count`], which tests and
+/// benches use to assert that steady-state plan execution performs zero
+/// field allocations.
 ///
 /// # Examples
 ///
@@ -74,6 +86,13 @@ impl Field {
 pub struct FieldAllocator {
     capacity: usize,
     next: usize,
+    /// Lower boundary of the persistent arena: `[floor, capacity)` is
+    /// persistent territory, `[0, floor)` belongs to the bump region.
+    floor: usize,
+    /// Free blocks inside the persistent arena, sorted by base address.
+    free: Vec<Field>,
+    /// Count of successful allocations, both regions.
+    allocs: u64,
 }
 
 /// Error returned when node memory is exhausted.
@@ -100,19 +119,26 @@ impl std::error::Error for OutOfMemory {}
 impl FieldAllocator {
     /// Creates an allocator over `capacity` words of node memory.
     pub fn new(capacity: usize) -> Self {
-        FieldAllocator { capacity, next: 0 }
+        FieldAllocator {
+            capacity,
+            next: 0,
+            floor: capacity,
+            free: Vec::new(),
+            allocs: 0,
+        }
     }
 
-    /// Allocates a field of `len` words.
+    /// Allocates a field of `len` words from the bump region.
     ///
     /// # Errors
     ///
-    /// Returns [`OutOfMemory`] when the request does not fit.
+    /// Returns [`OutOfMemory`] when the request does not fit below the
+    /// persistent arena.
     pub fn alloc(&mut self, len: usize) -> Result<Field, OutOfMemory> {
-        if self.capacity - self.next < len {
+        if self.floor - self.next < len {
             return Err(OutOfMemory {
                 requested: len,
-                available: self.capacity - self.next,
+                available: self.floor - self.next,
             });
         }
         let field = Field {
@@ -120,12 +146,127 @@ impl FieldAllocator {
             len,
         };
         self.next += len;
+        self.allocs += 1;
         Ok(field)
     }
 
-    /// Words currently allocated.
+    /// Allocates a plan-lifetime field from the persistent arena at the
+    /// top of memory.
+    ///
+    /// Unlike [`FieldAllocator::alloc`], persistent fields survive
+    /// [`FieldAllocator::release_to`] and are returned individually with
+    /// [`FieldAllocator::free_persistent`]. Freed blocks are recycled
+    /// first-fit before the arena grows downward.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when neither a free block nor the gap
+    /// above the bump region can satisfy the request.
+    pub fn alloc_persistent(&mut self, len: usize) -> Result<Field, OutOfMemory> {
+        if len == 0 {
+            self.allocs += 1;
+            return Ok(Field {
+                base: self.floor,
+                len: 0,
+            });
+        }
+        // First fit from recycled blocks.
+        if let Some(i) = self.free.iter().position(|f| f.len >= len) {
+            let block = self.free[i];
+            let field = Field {
+                base: block.base,
+                len,
+            };
+            if block.len == len {
+                self.free.remove(i);
+            } else {
+                self.free[i] = Field {
+                    base: block.base + len,
+                    len: block.len - len,
+                };
+            }
+            self.allocs += 1;
+            return Ok(field);
+        }
+        // Grow the arena downward toward the bump region.
+        if self.floor - self.next < len {
+            return Err(OutOfMemory {
+                requested: len,
+                available: self.floor - self.next,
+            });
+        }
+        self.floor -= len;
+        self.allocs += 1;
+        Ok(Field {
+            base: self.floor,
+            len,
+        })
+    }
+
+    /// Returns a persistent field to the arena.
+    ///
+    /// Adjacent free blocks coalesce; free space touching the arena
+    /// boundary is given back to the bump region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field` does not lie inside the persistent arena.
+    pub fn free_persistent(&mut self, field: Field) {
+        if field.len == 0 {
+            return;
+        }
+        assert!(
+            field.base >= self.floor && field.base + field.len <= self.capacity,
+            "free_persistent of field at {}..{} outside arena {}..{}",
+            field.base,
+            field.base + field.len,
+            self.floor,
+            self.capacity
+        );
+        let pos = self
+            .free
+            .iter()
+            .position(|f| f.base > field.base)
+            .unwrap_or(self.free.len());
+        self.free.insert(pos, field);
+        // Coalesce with the following block, then with the preceding one.
+        if pos + 1 < self.free.len()
+            && self.free[pos].base + self.free[pos].len == self.free[pos + 1].base
+        {
+            self.free[pos].len += self.free[pos + 1].len;
+            self.free.remove(pos + 1);
+        }
+        if pos > 0 && self.free[pos - 1].base + self.free[pos - 1].len == self.free[pos].base {
+            self.free[pos - 1].len += self.free[pos].len;
+            self.free.remove(pos);
+        }
+        // Give the lowest free block back to the bump region when it
+        // touches the arena boundary.
+        if let Some(first) = self.free.first().copied() {
+            if first.base == self.floor {
+                self.floor += first.len;
+                self.free.remove(0);
+            }
+        }
+    }
+
+    /// Total successful allocations so far (bump and persistent).
+    ///
+    /// Tests subtract two readings of this counter to assert a code path
+    /// allocates no fields.
+    pub fn alloc_count(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Words currently allocated in the bump region.
     pub fn used(&self) -> usize {
         self.next
+    }
+
+    /// Words currently held by the persistent arena (including
+    /// fragmentation holes awaiting reuse).
+    pub fn persistent_used(&self) -> usize {
+        self.capacity - self.floor
     }
 
     /// A checkpoint for LIFO release of temporaries.
@@ -207,6 +348,15 @@ impl NodeMemory {
         self.field_mut(field).fill(value);
     }
 
+    /// Fills `len` words starting at `addr` with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn fill_range(&mut self, addr: usize, len: usize, value: f32) {
+        self.words[addr..addr + len].fill(value);
+    }
+
     /// A slice view of `len` words starting at `addr`.
     ///
     /// # Panics
@@ -278,6 +428,67 @@ mod tests {
         assert_eq!(f.addr(9), 9);
         let result = std::panic::catch_unwind(|| f.addr(10));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn persistent_arena_grows_down_and_is_invisible_to_marks() {
+        let mut a = FieldAllocator::new(100);
+        let tmp = a.alloc(10).unwrap();
+        assert_eq!(tmp.base(), 0);
+        let mark = a.mark();
+        let p = a.alloc_persistent(20).unwrap();
+        assert_eq!(p.base(), 80);
+        assert_eq!(a.persistent_used(), 20);
+        // Persistent allocations do not move the bump pointer.
+        assert_eq!(a.mark(), mark);
+        a.release_to(mark);
+        assert_eq!(a.persistent_used(), 20);
+        a.free_persistent(p);
+        assert_eq!(a.persistent_used(), 0);
+    }
+
+    #[test]
+    fn regions_share_capacity() {
+        let mut a = FieldAllocator::new(100);
+        a.alloc(40).unwrap();
+        a.alloc_persistent(40).unwrap();
+        let err = a.alloc(30).unwrap_err();
+        assert_eq!(err.available, 20);
+        let err = a.alloc_persistent(30).unwrap_err();
+        assert_eq!(err.available, 20);
+        a.alloc(20).unwrap();
+    }
+
+    #[test]
+    fn free_persistent_coalesces_and_reuses() {
+        let mut a = FieldAllocator::new(100);
+        let p1 = a.alloc_persistent(10).unwrap(); // 90..100
+        let p2 = a.alloc_persistent(10).unwrap(); // 80..90
+        let p3 = a.alloc_persistent(10).unwrap(); // 70..80
+        a.free_persistent(p2); // hole in the middle
+        assert_eq!(a.persistent_used(), 30);
+        // First fit reuses the hole.
+        let p4 = a.alloc_persistent(6).unwrap();
+        assert_eq!(p4.base(), 80);
+        a.free_persistent(p4);
+        a.free_persistent(p1);
+        a.free_persistent(p3);
+        // All blocks coalesced and handed back to the bump region.
+        assert_eq!(a.persistent_used(), 0);
+        let full = a.alloc(100).unwrap();
+        assert_eq!(full.len(), 100);
+    }
+
+    #[test]
+    fn alloc_count_tracks_both_regions() {
+        let mut a = FieldAllocator::new(100);
+        let before = a.alloc_count();
+        a.alloc(5).unwrap();
+        a.alloc_persistent(5).unwrap();
+        assert_eq!(a.alloc_count() - before, 2);
+        let before = a.alloc_count();
+        a.alloc(1000).unwrap_err();
+        assert_eq!(a.alloc_count(), before); // failures don't count
     }
 
     #[test]

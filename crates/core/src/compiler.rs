@@ -44,12 +44,22 @@ pub struct StripKernel {
 pub struct CompiledStencil {
     spec: StencilSpec,
     kernels: Vec<StripKernel>,
+    fingerprint: u64,
 }
 
 impl CompiledStencil {
     /// The recognized statement: names and stencil IR.
     pub fn spec(&self) -> &StencilSpec {
         &self.spec
+    }
+
+    /// A stable structural fingerprint of the compilation: the spec
+    /// fingerprint combined with the full kernel set (widths, unroll
+    /// patterns, instruction streams). Computed once at compile time;
+    /// equal fingerprints mean interchangeable compilations, so this is
+    /// the statement component of an execution-plan cache key.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The stencil IR.
@@ -234,7 +244,18 @@ impl Compiler {
                 }
             }
         }
-        Ok(CompiledStencil { spec, kernels })
+        let mut fp = crate::fingerprint::Fingerprint::new();
+        fp.write_u64(spec.fingerprint());
+        fp.write_u64(kernels.len() as u64);
+        for k in &kernels {
+            crate::fingerprint::write_kernel(&mut fp, &k.north);
+            crate::fingerprint::write_kernel(&mut fp, &k.south);
+        }
+        Ok(CompiledStencil {
+            spec,
+            kernels,
+            fingerprint: fp.finish(),
+        })
     }
 
     /// Parses, recognizes, and compiles a single assignment statement.

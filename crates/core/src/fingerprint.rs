@@ -1,0 +1,273 @@
+//! Stable structural fingerprints for compiled stencils.
+//!
+//! The compile-once/run-many pipeline caches execution plans keyed by
+//! *what was compiled* — the recognized statement and the kernels it
+//! produced — so the key must be a deterministic function of structure
+//! alone, independent of process, allocation addresses, or hash-map seed
+//! randomization. This module provides that: a hand-rolled 64-bit
+//! FNV-1a hash over a canonical byte encoding of [`StencilSpec`] and the
+//! compiled kernel set.
+//!
+//! Two statements that recognize to the same spec (same target and
+//! source names, same coefficients, same taps, same boundary and fill)
+//! and compile to the same kernels share a fingerprint; any semantic
+//! difference — including an `EOSHIFT` fill-value change, which alters
+//! results without altering the tap pattern — produces a different one.
+
+use crate::recognize::{CoeffSpec, StencilSpec};
+use cmcc_cm2::isa::{DynamicPart, Kernel, MacAcc, MemRef, StaticPart};
+
+/// An incremental 64-bit FNV-1a hasher.
+///
+/// FNV-1a is not cryptographic; it is used here as a stable, dependency-
+/// free structural digest. Collisions between *different* stencils would
+/// merely cause a spurious plan-cache hit to fail its rebind validation,
+/// never a wrong result.
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fingerprint {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fingerprint(FNV_OFFSET)
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `i64` (little-endian two's complement).
+    pub fn write_i64(&mut self, v: i64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `f32` by bit pattern (so `-0.0 ≠ 0.0` and every NaN
+    /// payload is distinguished — bit-identity is the contract).
+    pub fn write_f32(&mut self, v: f32) {
+        self.write(&v.to_bits().to_le_bytes());
+    }
+
+    /// Absorbs a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+fn write_mem_ref(fp: &mut Fingerprint, mref: MemRef) {
+    match mref {
+        MemRef::Source { array, drow, dcol } => {
+            fp.write(&[0]);
+            fp.write_u64(u64::from(array));
+            fp.write_i64(i64::from(drow));
+            fp.write_i64(i64::from(dcol));
+        }
+        MemRef::Coeff { array, col } => {
+            fp.write(&[1]);
+            fp.write_u64(u64::from(array));
+            fp.write_u64(u64::from(col));
+        }
+        MemRef::Result { col } => {
+            fp.write(&[2]);
+            fp.write_u64(u64::from(col));
+        }
+        MemRef::Ones => fp.write(&[3]),
+        MemRef::Zeros => fp.write(&[4]),
+    }
+}
+
+fn write_part(fp: &mut Fingerprint, part: &DynamicPart) {
+    match *part {
+        DynamicPart::Mac {
+            coeff,
+            data,
+            acc,
+            dest,
+        } => {
+            fp.write(&[0]);
+            write_mem_ref(fp, coeff);
+            fp.write(&[data.0]);
+            match acc {
+                MacAcc::Start(reg) => fp.write(&[0, reg.0]),
+                MacAcc::Chain => fp.write(&[1]),
+            }
+            match dest {
+                Some(reg) => fp.write(&[1, reg.0]),
+                None => fp.write(&[0]),
+            }
+        }
+        DynamicPart::Load { src, dest } => {
+            fp.write(&[1]);
+            write_mem_ref(fp, src);
+            fp.write(&[dest.0]);
+        }
+        DynamicPart::Store { src, dest } => {
+            fp.write(&[2]);
+            fp.write(&[src.0]);
+            write_mem_ref(fp, dest);
+        }
+        DynamicPart::Nop => fp.write(&[3]),
+    }
+}
+
+/// Absorbs a compiled kernel's full structure.
+pub(crate) fn write_kernel(fp: &mut Fingerprint, kernel: &Kernel) {
+    match kernel.static_part {
+        StaticPart::ChainedMac => fp.write(&[0]),
+    }
+    fp.write_u64(kernel.width as u64);
+    fp.write_i64(i64::from(kernel.row_step));
+    fp.write_u64(kernel.useful_flops_per_line);
+    fp.write_u64(kernel.prologue.len() as u64);
+    for part in &kernel.prologue {
+        write_part(fp, part);
+    }
+    fp.write_u64(kernel.body.len() as u64);
+    for line in &kernel.body {
+        fp.write_u64(line.len() as u64);
+        for part in line {
+            write_part(fp, part);
+        }
+    }
+}
+
+impl StencilSpec {
+    /// A stable structural fingerprint of the recognized statement:
+    /// names, coefficients (literals by bit pattern), taps, bias terms,
+    /// boundary kind, and `EOSHIFT` fill value.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_str(&self.target);
+        fp.write_u64(self.sources.len() as u64);
+        for source in &self.sources {
+            fp.write_str(source);
+        }
+        fp.write_u64(self.coeffs.len() as u64);
+        for coeff in &self.coeffs {
+            match coeff {
+                CoeffSpec::Named(name) => {
+                    fp.write(&[0]);
+                    fp.write_str(name);
+                }
+                CoeffSpec::Literal(v) => {
+                    fp.write(&[1]);
+                    fp.write_f32(*v);
+                }
+            }
+        }
+        let stencil = &self.stencil;
+        fp.write_u64(stencil.taps().len() as u64);
+        for tap in stencil.taps() {
+            fp.write_i64(i64::from(tap.offset.drow));
+            fp.write_i64(i64::from(tap.offset.dcol));
+            match tap.coeff {
+                crate::stencil::CoeffRef::Array(i) => {
+                    fp.write(&[0]);
+                    fp.write_u64(i as u64);
+                }
+                crate::stencil::CoeffRef::Unit => fp.write(&[1]),
+            }
+            fp.write_u64(u64::from(tap.source));
+        }
+        fp.write_u64(stencil.bias().len() as u64);
+        for &b in stencil.bias() {
+            fp.write_u64(b as u64);
+        }
+        match stencil.boundary() {
+            crate::stencil::Boundary::Circular => fp.write(&[0]),
+            crate::stencil::Boundary::ZeroFill => {
+                fp.write(&[1]);
+                fp.write_f32(stencil.fill());
+            }
+        }
+        fp.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compiler::Compiler;
+
+    const CROSS: &str = "R = C1 * CSHIFT (X, DIM=1, SHIFT=-1) \
+                           + C2 * CSHIFT (X, DIM=2, SHIFT=-1) \
+                           + C3 * X \
+                           + C4 * CSHIFT (X, DIM=2, SHIFT=+1) \
+                           + C5 * CSHIFT (X, DIM=1, SHIFT=+1)";
+
+    #[test]
+    fn identical_statements_share_a_fingerprint() {
+        let a = Compiler::default().compile_assignment(CROSS).unwrap();
+        let b = Compiler::default().compile_assignment(CROSS).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.spec().fingerprint(), b.spec().fingerprint());
+    }
+
+    #[test]
+    fn different_statements_differ() {
+        let a = Compiler::default().compile_assignment(CROSS).unwrap();
+        let b = Compiler::default()
+            .compile_assignment("R = 0.5 * X + 0.5 * CSHIFT(X, 2, 1)")
+            .unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn eoshift_fill_value_changes_the_fingerprint() {
+        let zero = Compiler::default()
+            .compile_assignment("R = 0.5 * EOSHIFT(X, 1, -1) + 0.5 * X")
+            .unwrap();
+        let one = Compiler::default()
+            .compile_assignment("R = 0.5 * EOSHIFT(X, 1, -1, BOUNDARY=1.0) + 0.5 * X")
+            .unwrap();
+        assert_ne!(zero.fingerprint(), one.fingerprint());
+        assert_ne!(zero.spec().fingerprint(), one.spec().fingerprint());
+    }
+
+    #[test]
+    fn literal_coefficient_bits_matter() {
+        let a = Compiler::default()
+            .compile_assignment("R = 0.5 * X + 0.5 * CSHIFT(X, 2, 1)")
+            .unwrap();
+        let b = Compiler::default()
+            .compile_assignment("R = 0.25 * X + 0.75 * CSHIFT(X, 2, 1)")
+            .unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn kernel_structure_is_hashed() {
+        // Same statement, different compiler configuration → different
+        // kernel set → different compiled fingerprint, same spec
+        // fingerprint.
+        let full = Compiler::default().compile_assignment(CROSS).unwrap();
+        let narrow = Compiler::default()
+            .with_widths([2, 1])
+            .compile_assignment(CROSS)
+            .unwrap();
+        assert_eq!(full.spec().fingerprint(), narrow.spec().fingerprint());
+        assert_ne!(full.fingerprint(), narrow.fingerprint());
+    }
+}

@@ -10,7 +10,7 @@
 //!
 //! The pipeline:
 //!
-//! 1. [`recognize`] — match the AST against the convolution form and
+//! 1. [`mod@recognize`] — match the AST against the convolution form and
 //!    build [`stencil::Stencil`] IR;
 //! 2. [`multistencil`] — compute the footprint of `w` side-by-side
 //!    stencil instances (tried at widths 8, 4, 2, 1);
@@ -49,6 +49,7 @@
 pub mod columns;
 pub mod compiler;
 pub mod error;
+pub mod fingerprint;
 pub mod multistencil;
 pub mod offset;
 pub mod patterns;
@@ -62,6 +63,7 @@ pub mod unparse;
 
 pub use compiler::{CompiledStencil, Compiler, StripKernel};
 pub use error::CompileError;
+pub use fingerprint::Fingerprint;
 pub use offset::{Borders, Offset};
 pub use patterns::PaperPattern;
 pub use program::{compile_program, ProgramUnit, UnitOutcome, Warning};

@@ -1,6 +1,6 @@
 //! Rendering stencil IR back to Fortran source.
 //!
-//! The inverse of [`crate::recognize`]: useful for diagnostics, for
+//! The inverse of [`mod@crate::recognize`]: useful for diagnostics, for
 //! persisting compiled patterns, and for the round-trip property the
 //! test suite leans on (`recognize(unparse(s)) == s`).
 

@@ -14,6 +14,9 @@
 //!
 //! OPTIONS:
 //!   --run              execute each compiled stencil (verify + time)
+//!   --iters N          iterations per stencil for --run (default 1);
+//!                      the execution plan is built once and replayed,
+//!                      reporting first-iteration vs steady-state time
 //!   --subgrid RxC      per-node subgrid for --run (default 64x64)
 //!   --threads N        host threads for node execution (default: all cores)
 //!   --full-machine     extrapolate rates to 2,048 nodes
@@ -30,7 +33,8 @@ use cmcc_core::program::{compile_program, UnitOutcome};
 use cmcc_core::recognize::CoeffSpec;
 use cmcc_core::unparse::unparse_spec;
 use cmcc_runtime::array::CmArray;
-use cmcc_runtime::convolve::{convolve_multi, ExecOptions};
+use cmcc_runtime::convolve::ExecOptions;
+use cmcc_runtime::plan::{ExecutionPlan, PlanLifetime, StencilBinding};
 use cmcc_runtime::reference::{reference_convolve_multi, CoeffValue};
 use cmcc_testkit::Rng;
 use std::io::Read;
@@ -39,6 +43,7 @@ use std::process::ExitCode;
 struct Options {
     path: String,
     run: bool,
+    iters: usize,
     subgrid: (usize, usize),
     threads: Option<usize>,
     full_machine: bool,
@@ -48,7 +53,7 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: cmcc [--run] [--subgrid RxC] [--threads N] [--full-machine] \
+        "usage: cmcc [--run] [--iters N] [--subgrid RxC] [--threads N] [--full-machine] \
          [--pictogram] [--dump-kernel] <file.f90 | ->"
     );
     std::process::exit(2);
@@ -58,6 +63,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         path: String::new(),
         run: false,
+        iters: 1,
         subgrid: (64, 64),
         threads: None,
         full_machine: false,
@@ -85,6 +91,13 @@ fn parse_args() -> Options {
                 let Some(n) = args.next() else { usage() };
                 match n.parse::<usize>() {
                     Ok(n) if n > 0 => opts.threads = Some(n),
+                    _ => usage(),
+                }
+            }
+            "--iters" => {
+                let Some(n) = args.next() else { usage() };
+                match n.parse::<usize>() {
+                    Ok(n) if n > 0 => opts.iters = n,
                     _ => usage(),
                 }
             }
@@ -233,14 +246,25 @@ fn run_compiled(
         Some(n) => ExecOptions::default().with_threads(n),
         None => ExecOptions::default(),
     };
-    let m = convolve_multi(
-        &mut machine,
-        compiled,
-        &r,
-        &source_refs,
-        &coeff_refs,
-        &exec_opts,
-    )?;
+
+    // Compile-once/run-many: the plan (halo buffers, exchange program,
+    // resolved schedule) is built on the first iteration only; later
+    // iterations replay it.
+    let build_start = std::time::Instant::now();
+    let binding = StencilBinding::new(compiled, &r, &source_refs, &coeff_refs)?;
+    let mark = machine.alloc_mark();
+    let plan = ExecutionPlan::build(&mut machine, &binding, &exec_opts, PlanLifetime::Scoped)?;
+    let m = plan.execute(&mut machine)?;
+    let first_iter = build_start.elapsed();
+    let steady_start = std::time::Instant::now();
+    for _ in 1..opts.iters {
+        let again = plan.execute(&mut machine)?;
+        if again != m {
+            return Err("iterations disagree on a fixed input (nondeterminism?)".into());
+        }
+    }
+    let steady_total = steady_start.elapsed();
+    machine.release_to(mark);
 
     // Verify against the golden model.
     let source_hosts: Vec<Vec<f32>> = sources.iter().map(|a| a.gather(&machine)).collect();
@@ -286,5 +310,14 @@ fn run_compiled(
         );
     }
     println!(" [verified bit-exact]");
+    if opts.iters > 1 {
+        let steady_per_iter = steady_total / (opts.iters - 1) as u32;
+        println!(
+            "    {} iterations: first {:.3} ms (plan build + run), steady-state {:.3} ms/iter",
+            opts.iters,
+            first_iter.as_secs_f64() * 1e3,
+            steady_per_iter.as_secs_f64() * 1e3,
+        );
+    }
     Ok(())
 }

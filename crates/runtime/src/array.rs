@@ -163,9 +163,9 @@ impl CmArray {
             self.rows * self.cols,
             "host buffer length mismatch"
         );
-        for node in machine.grid().iter().collect::<Vec<_>>() {
-            let (gr, gc) = machine.grid().coords(node);
-            let mem = machine.mem_mut(node);
+        let grid = machine.grid();
+        for (node, mem) in machine.par_nodes_mut() {
+            let (gr, gc) = grid.coords(node);
             let sub = mem.field_mut(self.field);
             for lr in 0..self.sub_rows {
                 let global_row = gr * self.sub_rows + lr;
@@ -194,8 +194,8 @@ impl CmArray {
 
     /// Fills every element with `value`.
     pub fn fill(&self, machine: &mut Machine, value: f32) {
-        for node in machine.grid().iter().collect::<Vec<_>>() {
-            machine.mem_mut(node).fill_field(self.field, value);
+        for (_, mem) in machine.par_nodes_mut() {
+            mem.fill_field(self.field, value);
         }
     }
 

@@ -12,17 +12,16 @@
 
 use crate::array::CmArray;
 use crate::error::RuntimeError;
-use crate::halo::{ExchangePrimitive, HaloBuffer};
-use crate::strips::{full_strip, halfstrips, plan_strips};
-use cmcc_cm2::exec::{ExecMode, FieldLayout, ScheduleStep, StripContext};
+use crate::halo::ExchangePrimitive;
+use crate::plan::{ExecutionPlan, PlanLifetime, StencilBinding};
+use cmcc_cm2::exec::ExecMode;
 use cmcc_cm2::machine::Machine;
-use cmcc_cm2::timing::{CycleBreakdown, Measurement};
+use cmcc_cm2::timing::Measurement;
 use cmcc_core::compiler::CompiledStencil;
-use cmcc_core::recognize::CoeffSpec;
-use cmcc_core::regalloc::Walk;
 
-/// Execution options for one stencil call.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Execution options for one stencil call. Part of a plan-cache key
+/// (hence `Hash`): plans built under different options are distinct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExecOptions {
     /// Cycle-accurate (timed) or fast functional execution.
     pub mode: ExecMode,
@@ -145,188 +144,17 @@ pub fn convolve_multi(
     coeffs: &[&CmArray],
     opts: &ExecOptions,
 ) -> Result<Measurement, RuntimeError> {
-    let spec = compiled.spec();
-    let stencil = compiled.stencil();
-
-    // Argument checking (the front end's job on the real machine).
-    let expected_sources = stencil.source_count().max(1);
-    if sources.len() != expected_sources {
-        return Err(RuntimeError::WrongSourceCount {
-            expected: expected_sources,
-            got: sources.len(),
-        });
-    }
-    let source = sources[0];
-    for (i, s) in sources.iter().enumerate() {
-        if !result.same_shape(s) {
-            return Err(RuntimeError::ShapeMismatch {
-                what: format!(
-                    "result is {}x{} but source {i} is {}x{}",
-                    result.rows(),
-                    result.cols(),
-                    s.rows(),
-                    s.cols()
-                ),
-            });
-        }
-    }
-    let named: Vec<&str> = spec
-        .coeffs
-        .iter()
-        .filter_map(|c| match c {
-            CoeffSpec::Named(n) => Some(n.as_str()),
-            CoeffSpec::Literal(_) => None,
-        })
-        .collect();
-    if coeffs.len() != named.len() {
-        return Err(RuntimeError::WrongCoeffCount {
-            expected: named.len(),
-            got: coeffs.len(),
-        });
-    }
-    for (arr, name) in coeffs.iter().zip(&named) {
-        if !arr.same_shape(source) {
-            return Err(RuntimeError::ShapeMismatch {
-                what: format!(
-                    "coefficient `{name}` is {}x{}, expected {}x{}",
-                    arr.rows(),
-                    arr.cols(),
-                    source.rows(),
-                    source.cols()
-                ),
-            });
-        }
-    }
-
-    let cfg = machine.config().clone();
-    let sub_rows = source.sub_rows();
-    let sub_cols = source.sub_cols();
-    let pad = stencil.borders().max_width() as usize;
-
-    // Temporary allocations live only for this call (§5: the run-time
-    // library "takes care of allocating temporary memory space").
+    // The four phases run back to back: bind (validate), plan (allocate
+    // temporaries, compile the exchange, resolve the schedule), execute,
+    // release. Temporary allocations live only for this call (§5: the
+    // run-time library "takes care of allocating temporary memory
+    // space"); callers that iterate keep the plan instead — see
+    // [`crate::plan`] and the session-level plan cache.
+    let binding = StencilBinding::new(compiled, result, sources, coeffs)?;
     let mark = machine.alloc_mark();
     let outcome = (|| {
-        let halos: Vec<HaloBuffer> = sources
-            .iter()
-            .map(|_| HaloBuffer::new(machine, sub_rows, sub_cols, pad))
-            .collect::<Result<_, _>>()?;
-        // Constant pages: one word each of 1.0 and 0.0, plus one
-        // `sub_cols`-wide page per literal coefficient (streamed with a
-        // zero row stride).
-        let consts = machine.alloc_field(2)?;
-        let mut literal_pages = Vec::new();
-        for c in &spec.coeffs {
-            match c {
-                CoeffSpec::Literal(v) => {
-                    let page = machine.alloc_field(sub_cols)?;
-                    literal_pages.push(Some((page, *v)));
-                }
-                CoeffSpec::Named(_) => literal_pages.push(None),
-            }
-        }
-        for node in machine.grid().iter().collect::<Vec<_>>() {
-            let mem = machine.mem_mut(node);
-            mem.write(consts.addr(0), 1.0);
-            mem.write(consts.addr(1), 0.0);
-            for page in literal_pages.iter().flatten() {
-                mem.fill_field(page.0, page.1);
-            }
-        }
-
-        let need_corners = if opts.skip_corners_when_possible {
-            stencil.needs_corner_exchange()
-        } else {
-            pad > 0
-        };
-        let mut comm = 0;
-        for (halo, src) in halos.iter().zip(sources) {
-            halo.fill_interior(machine, src);
-            comm += halo.exchange_with_fill(
-                machine,
-                stencil.boundary(),
-                stencil.fill(),
-                need_corners,
-                opts.primitive,
-            );
-        }
-
-        // Coefficient address tables, indexed like `MemRef::Coeff.array`.
-        let mut named_iter = coeffs.iter();
-        let coeff_layouts: Vec<FieldLayout> = spec
-            .coeffs
-            .iter()
-            .zip(&literal_pages)
-            .map(|(c, page)| match c {
-                CoeffSpec::Named(_) => named_iter
-                    .next()
-                    .expect("coefficient count was validated")
-                    .layout(),
-                CoeffSpec::Literal(_) => {
-                    let (page, _) = page.expect("literal page was allocated");
-                    FieldLayout {
-                        base: page.base(),
-                        row_stride: 0,
-                        row_offset: 0,
-                        col_offset: 0,
-                    }
-                }
-            })
-            .collect();
-
-        // Strip mining: build the whole schedule first — it is identical
-        // on every node (SIMD) — then run it per node, fanned out across
-        // host threads. The front end dispatches one microcode call per
-        // half-strip regardless of how the simulator parallelizes, so
-        // accounting is unchanged from the serial path.
-        let mut compute: u64 = 0;
-        let mut frontend: u64 = u64::from(cfg.call_overhead_cycles);
-        let halves = if opts.half_strips {
-            halfstrips(sub_rows)
-        } else {
-            full_strip(sub_rows)
-        };
-        let src_layouts: Vec<FieldLayout> = halos.iter().map(HaloBuffer::layout).collect();
-        let mut schedule = Vec::new();
-        for strip in plan_strips(compiled, sub_cols) {
-            let sk = compiled
-                .widest_kernel_for(strip.width)
-                .expect("plan_strips used compiled widths");
-            debug_assert_eq!(sk.width, strip.width);
-            for half in &halves {
-                let kernel = match half.walk {
-                    Walk::North => &sk.north,
-                    Walk::South => &sk.south,
-                };
-                schedule.push(ScheduleStep {
-                    kernel,
-                    ctx: StripContext {
-                        srcs: &src_layouts,
-                        res: result.layout(),
-                        coeffs: &coeff_layouts,
-                        ones_addr: consts.addr(0),
-                        zeros_addr: consts.addr(1),
-                        start_row: half.start_row as i64,
-                        lines: half.lines,
-                        col0: strip.col0 as i64,
-                    },
-                });
-            }
-        }
-        for run in machine.run_schedule_all(&schedule, opts.mode, opts.threads)? {
-            compute += run.cycles;
-            frontend += u64::from(cfg.frontend_dispatch_cycles);
-        }
-
-        Ok(Measurement {
-            useful_flops: stencil.useful_flops_per_point() * (source.rows() * source.cols()) as u64,
-            cycles: CycleBreakdown {
-                comm,
-                compute,
-                frontend,
-            },
-            nodes: machine.node_count(),
-        })
+        let plan = ExecutionPlan::build(machine, &binding, opts, PlanLifetime::Scoped)?;
+        plan.execute(machine)
     })();
     machine.release_to(mark);
     outcome
@@ -339,6 +167,7 @@ mod tests {
     use cmcc_cm2::config::MachineConfig;
     use cmcc_core::compiler::Compiler;
     use cmcc_core::patterns::PaperPattern;
+    use cmcc_core::recognize::CoeffSpec;
 
     fn machine() -> Machine {
         Machine::new(MachineConfig::tiny_4()).unwrap()
@@ -351,7 +180,7 @@ mod tests {
         let compiled = Compiler::new(m.config().clone())
             .compile_assignment(source_text)
             .unwrap();
-        let spec = compiled.spec().clone();
+        let spec = compiled.spec();
         let (rows, cols) = (8usize, 12usize);
 
         let x = CmArray::new(&mut m, rows, cols).unwrap();

@@ -5,16 +5,21 @@
 //! interprocessor communication, and providing the outer levels of
 //! iteration" (§5). It owns:
 //!
-//! * [`array`] — distributed arrays divided into node subgrids
+//! * [`mod@array`] — distributed arrays divided into node subgrids
 //!   (Figure 1);
 //! * [`halo`] — temporary-storage allocation and the three-step halo
 //!   exchange (four neighbors simultaneously, corners when needed);
 //! * [`strips`] — strip mining with widest-first shaving and half-strip
 //!   splitting;
-//! * [`convolve`] — the stencil-call entry point tying compiler output to
+//! * [`mod@convolve`] — the stencil-call entry point tying compiler output to
 //!   the simulated machine, returning the paper's accounting
 //!   (useful flops, cycles by phase);
-//! * [`reference`] — a host-side golden model with Fortran
+//! * [`plan`] — the compile → bind → plan → execute pipeline:
+//!   [`plan::ExecutionPlan`] captures every per-call decision (halo
+//!   buffers, exchange programs, constant pages, pre-resolved kernel
+//!   schedules) once, so iterative applications replay only data movement
+//!   and arithmetic;
+//! * [`mod@reference`] — a host-side golden model with Fortran
 //!   `CSHIFT`/`EOSHIFT` semantics, matched bit for bit by compiled
 //!   execution.
 //!
@@ -45,6 +50,8 @@ pub mod array;
 pub mod convolve;
 pub mod error;
 pub mod halo;
+pub mod legacy;
+pub mod plan;
 pub mod reference;
 pub mod strips;
 pub mod volume;
@@ -52,7 +59,8 @@ pub mod volume;
 pub use array::CmArray;
 pub use convolve::{convolve, convolve_multi, ExecOptions};
 pub use error::RuntimeError;
-pub use halo::{ExchangePrimitive, HaloBuffer};
+pub use halo::{ExchangePrimitive, ExchangeProgram, HaloBuffer};
+pub use plan::{ExecutionPlan, PlanLifetime, StencilBinding};
 pub use reference::{reference_convolve, reference_convolve_multi, CoeffValue};
 pub use strips::{full_strip, halfstrips, plan_strips, HalfStrip, Strip};
 pub use volume::{convolve_volume, CmVolume};

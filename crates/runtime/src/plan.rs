@@ -1,0 +1,774 @@
+//! Compile once, run many: the bind → plan → execute pipeline.
+//!
+//! The paper's system compiles a stencil statement once and then calls it
+//! "many times — typically thousands" (§1). The original [`crate::convolve()`]
+//! entry point repeated every run-time decision on each call: allocating
+//! halo storage, materializing constant pages, computing exchange
+//! addresses, and rebuilding the strip schedule. This module splits those
+//! out:
+//!
+//! 1. **compile** — [`cmcc_core::Compiler`] produces a
+//!    [`CompiledStencil`] (unchanged), now carrying a stable
+//!    [`CompiledStencil::fingerprint`];
+//! 2. **bind** — [`StencilBinding`] attaches result/source/coefficient
+//!    arrays to the compiled stencil and validates shapes and counts
+//!    once;
+//! 3. **plan** — [`ExecutionPlan::build`] allocates halo buffers and
+//!    constant pages, compiles the halo exchange into an
+//!    [`ExchangeProgram`] per source, and pre-resolves the entire strip
+//!    schedule into [`ResolvedStrip`]s (every kernel operand address
+//!    computed ahead of time);
+//! 4. **execute** — [`ExecutionPlan::execute`] performs only the halo
+//!    exchange, the pre-resolved kernel runs, and the paper's cycle
+//!    accounting. No allocation, no address computation, no schedule
+//!    construction.
+//!
+//! Results and [`Measurement`]s are bit-identical to the rebuild-per-call
+//! path — the resolved executor mirrors the legacy interpreter step for
+//! step — so plans are purely a host-side performance feature, exactly
+//! like the paper's distinction between compile-time and run-time work.
+
+use crate::array::CmArray;
+use crate::convolve::ExecOptions;
+use crate::error::RuntimeError;
+use crate::halo::{ExchangeProgram, HaloBuffer};
+use crate::strips::{full_strip, halfstrips, plan_strips};
+use cmcc_cm2::exec::{FieldLayout, ResolvedStrip, StripContext};
+use cmcc_cm2::machine::Machine;
+use cmcc_cm2::memory::Field;
+use cmcc_cm2::timing::{CycleBreakdown, Measurement};
+use cmcc_core::compiler::CompiledStencil;
+use cmcc_core::recognize::CoeffSpec;
+use cmcc_core::regalloc::Walk;
+
+/// A compiled stencil bound to concrete distributed arrays, with all
+/// shape and count validation done up front (the front end's job on the
+/// real machine).
+///
+/// Binding is cheap — [`CmArray`] handles are `Copy` — and performs no
+/// machine allocation; it exists so that validation errors surface before
+/// any planning work starts.
+#[derive(Debug, Clone)]
+pub struct StencilBinding<'a> {
+    compiled: &'a CompiledStencil,
+    result: CmArray,
+    sources: Vec<CmArray>,
+    coeffs: Vec<CmArray>,
+}
+
+impl<'a> StencilBinding<'a> {
+    /// Validates and records the argument arrays for one stencil call.
+    ///
+    /// `sources` supplies one array per entry of
+    /// [`cmcc_core::recognize::StencilSpec::sources`]; `coeffs` one array
+    /// per *named* coefficient, in [`StencilSpec::coeffs`] order (literal
+    /// coefficients are materialized by the plan).
+    ///
+    /// [`StencilSpec::coeffs`]: cmcc_core::recognize::StencilSpec::coeffs
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::WrongSourceCount`], [`RuntimeError::WrongCoeffCount`],
+    /// or [`RuntimeError::ShapeMismatch`] when the argument lists do not
+    /// match the statement.
+    pub fn new(
+        compiled: &'a CompiledStencil,
+        result: &CmArray,
+        sources: &[&CmArray],
+        coeffs: &[&CmArray],
+    ) -> Result<Self, RuntimeError> {
+        let spec = compiled.spec();
+        let stencil = compiled.stencil();
+
+        let expected_sources = stencil.source_count().max(1);
+        if sources.len() != expected_sources {
+            return Err(RuntimeError::WrongSourceCount {
+                expected: expected_sources,
+                got: sources.len(),
+            });
+        }
+        for (i, s) in sources.iter().enumerate() {
+            if !result.same_shape(s) {
+                return Err(RuntimeError::ShapeMismatch {
+                    what: format!(
+                        "result is {}x{} but source {i} is {}x{}",
+                        result.rows(),
+                        result.cols(),
+                        s.rows(),
+                        s.cols()
+                    ),
+                });
+            }
+        }
+        let named: Vec<&str> = spec
+            .coeffs
+            .iter()
+            .filter_map(|c| match c {
+                CoeffSpec::Named(n) => Some(n.as_str()),
+                CoeffSpec::Literal(_) => None,
+            })
+            .collect();
+        if coeffs.len() != named.len() {
+            return Err(RuntimeError::WrongCoeffCount {
+                expected: named.len(),
+                got: coeffs.len(),
+            });
+        }
+        for (arr, name) in coeffs.iter().zip(&named) {
+            if !arr.same_shape(result) {
+                return Err(RuntimeError::ShapeMismatch {
+                    what: format!(
+                        "coefficient `{name}` is {}x{}, expected {}x{}",
+                        arr.rows(),
+                        arr.cols(),
+                        result.rows(),
+                        result.cols()
+                    ),
+                });
+            }
+        }
+
+        Ok(StencilBinding {
+            compiled,
+            result: *result,
+            sources: sources.iter().map(|s| **s).collect(),
+            coeffs: coeffs.iter().map(|c| **c).collect(),
+        })
+    }
+
+    /// The compiled stencil this binding attaches arrays to.
+    pub fn compiled(&self) -> &'a CompiledStencil {
+        self.compiled
+    }
+
+    /// The bound result array.
+    pub fn result(&self) -> &CmArray {
+        &self.result
+    }
+
+    /// The bound source arrays.
+    pub fn sources(&self) -> &[CmArray] {
+        &self.sources
+    }
+
+    /// The bound named-coefficient arrays.
+    pub fn coeffs(&self) -> &[CmArray] {
+        &self.coeffs
+    }
+}
+
+/// Where a plan's node-memory fields live, which decides how they are
+/// reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanLifetime {
+    /// Fields come from the bump region and are reclaimed by the caller's
+    /// [`Machine::release_to`] — the one-shot [`crate::convolve()`] path.
+    Scoped,
+    /// Fields come from the persistent arena and survive across calls
+    /// until [`ExecutionPlan::release`] — the cached-plan path.
+    Persistent,
+}
+
+/// Everything a stencil call decides ahead of its first iteration:
+/// halo buffers, compiled exchange programs, constant/literal pages, and
+/// the fully address-resolved strip schedule.
+///
+/// Build once with [`ExecutionPlan::build`], run any number of times with
+/// [`ExecutionPlan::execute`], retarget to other same-shape arrays with
+/// [`ExecutionPlan::rebind`]. A steady-state execute performs **zero**
+/// field allocations (observable via [`Machine::alloc_count`]) and zero
+/// schedule rebuilds.
+///
+/// # Examples
+///
+/// ```
+/// use cmcc_cm2::{Machine, MachineConfig};
+/// use cmcc_core::Compiler;
+/// use cmcc_runtime::{CmArray, ExecOptions, ExecutionPlan, PlanLifetime, StencilBinding};
+///
+/// let mut machine = Machine::new(MachineConfig::tiny_4())?;
+/// let compiled = Compiler::new(machine.config().clone())
+///     .compile_assignment("R = 0.25 * CSHIFT(X, 1, -1) + 0.75 * X")?;
+/// let x = CmArray::new(&mut machine, 8, 8)?;
+/// let r = CmArray::new(&mut machine, 8, 8)?;
+/// x.fill(&mut machine, 4.0);
+///
+/// let binding = StencilBinding::new(&compiled, &r, &[&x], &[])?;
+/// let plan = ExecutionPlan::build(
+///     &mut machine,
+///     &binding,
+///     &ExecOptions::default(),
+///     PlanLifetime::Persistent,
+/// )?;
+/// let first = plan.execute(&mut machine)?;
+/// let again = plan.execute(&mut machine)?;
+/// assert_eq!(r.get(&machine, 3, 3), 4.0);
+/// assert_eq!(first, again); // deterministic, allocation-free replay
+/// plan.release(&mut machine);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExecutionPlan {
+    strips: Vec<ResolvedStrip>,
+    halos: Vec<HaloBuffer>,
+    exchanges: Vec<ExchangeProgram>,
+    consts: Field,
+    /// Literal coefficient pages, in `spec.coeffs` order (named entries
+    /// skipped): the field plus the constant streamed through it.
+    literal_pages: Vec<(Field, f32)>,
+    /// Indices into `spec.coeffs` of the named coefficients, parallel to
+    /// `coeffs` — the rebase slots a rebind must shift.
+    named_slots: Vec<u16>,
+    /// Total coefficient slots (`spec.coeffs.len()`): rebase deltas must
+    /// cover literal slots too (always zero — their pages never move).
+    coeff_slot_count: usize,
+    result: CmArray,
+    sources: Vec<CmArray>,
+    coeffs: Vec<CmArray>,
+    useful_flops: u64,
+    call_overhead: u64,
+    dispatch: u64,
+    nodes: usize,
+    opts: ExecOptions,
+    fingerprint: u64,
+    lifetime: PlanLifetime,
+}
+
+impl ExecutionPlan {
+    /// Plans every per-call decision for `binding` under `opts`.
+    ///
+    /// Allocates the halo buffers and constant pages (from the region
+    /// `lifetime` selects), fills the constant pages, compiles one
+    /// [`ExchangeProgram`] per source, and resolves the complete strip
+    /// schedule to absolute operand addresses.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::SubgridTooSmall`] when the stencil's halo is deeper
+    /// than the per-node subgrid, or [`RuntimeError::OutOfMemory`].
+    pub fn build(
+        machine: &mut Machine,
+        binding: &StencilBinding<'_>,
+        opts: &ExecOptions,
+        lifetime: PlanLifetime,
+    ) -> Result<Self, RuntimeError> {
+        let compiled = binding.compiled();
+        let spec = compiled.spec();
+        let stencil = compiled.stencil();
+        let result = *binding.result();
+        let sub_rows = result.sub_rows();
+        let sub_cols = result.sub_cols();
+        let pad = stencil.borders().max_width() as usize;
+        let persistent = lifetime == PlanLifetime::Persistent;
+
+        let halos: Vec<HaloBuffer> = binding
+            .sources()
+            .iter()
+            .map(|_| {
+                if persistent {
+                    HaloBuffer::new_persistent(machine, sub_rows, sub_cols, pad)
+                } else {
+                    HaloBuffer::new(machine, sub_rows, sub_cols, pad)
+                }
+            })
+            .collect::<Result<_, _>>()?;
+
+        let alloc = |machine: &mut Machine, len: usize| {
+            if persistent {
+                machine.alloc_field_persistent(len)
+            } else {
+                machine.alloc_field(len)
+            }
+        };
+
+        // Constant pages: one word each of 1.0 and 0.0, plus one
+        // `sub_cols`-wide page per literal coefficient (streamed with a
+        // zero row stride).
+        let consts = alloc(machine, 2)?;
+        let mut pages: Vec<Option<(Field, f32)>> = Vec::with_capacity(spec.coeffs.len());
+        for c in &spec.coeffs {
+            match c {
+                CoeffSpec::Literal(v) => pages.push(Some((alloc(machine, sub_cols)?, *v))),
+                CoeffSpec::Named(_) => pages.push(None),
+            }
+        }
+        let ones_addr = consts.addr(0);
+        let zeros_addr = consts.addr(1);
+        for (_, mem) in machine.par_nodes_mut() {
+            mem.write(ones_addr, 1.0);
+            mem.write(zeros_addr, 0.0);
+            for &(page, value) in pages.iter().flatten() {
+                mem.fill_field(page, value);
+            }
+        }
+
+        // The halo exchange, compiled: neighbor lookups, copy addresses,
+        // fill spans, and the cycle price are all fixed by (shape, grid,
+        // boundary, primitive).
+        let need_corners = if opts.skip_corners_when_possible {
+            stencil.needs_corner_exchange()
+        } else {
+            pad > 0
+        };
+        let grid = machine.grid();
+        let exchanges: Vec<ExchangeProgram> = halos
+            .iter()
+            .map(|halo| {
+                ExchangeProgram::new(
+                    halo,
+                    grid,
+                    machine.config(),
+                    stencil.boundary(),
+                    stencil.fill(),
+                    need_corners,
+                    opts.primitive,
+                )
+            })
+            .collect();
+
+        // Coefficient address tables, indexed like `MemRef::Coeff.array`.
+        let mut named_iter = binding.coeffs().iter();
+        let mut named_slots = Vec::with_capacity(binding.coeffs().len());
+        let coeff_layouts: Vec<FieldLayout> = spec
+            .coeffs
+            .iter()
+            .zip(&pages)
+            .enumerate()
+            .map(|(i, (c, page))| match c {
+                CoeffSpec::Named(_) => {
+                    named_slots.push(i as u16);
+                    named_iter
+                        .next()
+                        .expect("coefficient count was validated")
+                        .layout()
+                }
+                CoeffSpec::Literal(_) => {
+                    let (page, _) = page.expect("literal page was allocated");
+                    FieldLayout {
+                        base: page.base(),
+                        row_stride: 0,
+                        row_offset: 0,
+                        col_offset: 0,
+                    }
+                }
+            })
+            .collect();
+
+        // The strip schedule, resolved: identical on every node (SIMD),
+        // built once in the same order the rebuild-per-call path emits,
+        // with every memory operand turned into an absolute address.
+        let halves = if opts.half_strips {
+            halfstrips(sub_rows)
+        } else {
+            full_strip(sub_rows)
+        };
+        let src_layouts: Vec<FieldLayout> = halos.iter().map(HaloBuffer::layout).collect();
+        let mut strips = Vec::new();
+        for strip in plan_strips(compiled, sub_cols) {
+            let sk = compiled
+                .widest_kernel_for(strip.width)
+                .expect("plan_strips used compiled widths");
+            debug_assert_eq!(sk.width, strip.width);
+            for half in &halves {
+                let kernel = match half.walk {
+                    Walk::North => &sk.north,
+                    Walk::South => &sk.south,
+                };
+                let ctx = StripContext {
+                    srcs: &src_layouts,
+                    res: result.layout(),
+                    coeffs: &coeff_layouts,
+                    ones_addr,
+                    zeros_addr,
+                    start_row: half.start_row as i64,
+                    lines: half.lines,
+                    col0: strip.col0 as i64,
+                };
+                strips.push(ResolvedStrip::new(kernel, &ctx));
+            }
+        }
+
+        let cfg = machine.config();
+        Ok(ExecutionPlan {
+            strips,
+            halos,
+            exchanges,
+            consts,
+            literal_pages: pages.into_iter().flatten().collect(),
+            named_slots,
+            coeff_slot_count: spec.coeffs.len(),
+            result,
+            sources: binding.sources().to_vec(),
+            coeffs: binding.coeffs().to_vec(),
+            useful_flops: stencil.useful_flops_per_point() * (result.rows() * result.cols()) as u64,
+            call_overhead: u64::from(cfg.call_overhead_cycles),
+            dispatch: u64::from(cfg.frontend_dispatch_cycles),
+            nodes: machine.node_count(),
+            opts: *opts,
+            fingerprint: compiled.fingerprint(),
+            lifetime,
+        })
+    }
+
+    /// Runs one iteration: halo exchange, pre-resolved kernel execution,
+    /// and the paper's accounting. Performs no field allocation and no
+    /// schedule construction.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Hazard`] on a pipeline hazard (a compiler bug).
+    pub fn execute(&self, machine: &mut Machine) -> Result<Measurement, RuntimeError> {
+        let mut comm = 0;
+        for ((halo, program), src) in self.halos.iter().zip(&self.exchanges).zip(&self.sources) {
+            halo.fill_interior(machine, src);
+            comm += program.run(machine);
+        }
+
+        let run = machine.run_resolved_all(&self.strips, self.opts.mode, self.opts.threads)?;
+        // One front-end microcode dispatch per half-strip, exactly as the
+        // rebuild path charges.
+        let frontend = self.call_overhead + self.dispatch * self.strips.len() as u64;
+
+        Ok(Measurement {
+            useful_flops: self.useful_flops,
+            cycles: CycleBreakdown {
+                comm,
+                compute: run.cycles,
+                frontend,
+            },
+            nodes: self.nodes,
+        })
+    }
+
+    /// Retargets the plan to different arrays of identical shape without
+    /// rebuilding anything: source swaps are free (sources are read
+    /// through the plan's own halo buffers each iteration) and
+    /// result/coefficient swaps are a single in-place rebase of the
+    /// resolved addresses.
+    ///
+    /// This is what makes ping-pong time stepping (`swap(cur, next)`) and
+    /// volume sweeps reuse one plan.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::WrongSourceCount`], [`RuntimeError::WrongCoeffCount`],
+    /// or [`RuntimeError::ShapeMismatch`] when the new arrays do not match
+    /// the plan's shapes.
+    pub fn rebind(
+        &mut self,
+        result: &CmArray,
+        sources: &[&CmArray],
+        coeffs: &[&CmArray],
+    ) -> Result<(), RuntimeError> {
+        if sources.len() != self.sources.len() {
+            return Err(RuntimeError::WrongSourceCount {
+                expected: self.sources.len(),
+                got: sources.len(),
+            });
+        }
+        if coeffs.len() != self.coeffs.len() {
+            return Err(RuntimeError::WrongCoeffCount {
+                expected: self.coeffs.len(),
+                got: coeffs.len(),
+            });
+        }
+        let check = |what: &str, arr: &CmArray| -> Result<(), RuntimeError> {
+            if !arr.same_shape(&self.result) {
+                return Err(RuntimeError::ShapeMismatch {
+                    what: format!(
+                        "{what} is {}x{} but the plan was built for {}x{}",
+                        arr.rows(),
+                        arr.cols(),
+                        self.result.rows(),
+                        self.result.cols()
+                    ),
+                });
+            }
+            Ok(())
+        };
+        check("rebind result", result)?;
+        for s in sources {
+            check("rebind source", s)?;
+        }
+        for c in coeffs {
+            check("rebind coefficient", c)?;
+        }
+
+        let result_delta = result.field().base() as i64 - self.result.field().base() as i64;
+        let mut coeff_deltas = vec![0i64; self.coeff_slot_count];
+        let mut any_coeff = false;
+        for ((&slot, old), new) in self.named_slots.iter().zip(&self.coeffs).zip(coeffs) {
+            let delta = new.field().base() as i64 - old.field().base() as i64;
+            coeff_deltas[slot as usize] = delta;
+            any_coeff |= delta != 0;
+        }
+        if result_delta != 0 || any_coeff {
+            for strip in &mut self.strips {
+                strip.rebase(result_delta, &coeff_deltas);
+            }
+        }
+
+        self.result = *result;
+        self.sources.clear();
+        self.sources.extend(sources.iter().map(|s| **s));
+        self.coeffs.clear();
+        self.coeffs.extend(coeffs.iter().map(|c| **c));
+        Ok(())
+    }
+
+    /// Returns the plan's persistent fields to the arena.
+    ///
+    /// Scoped plans skip this — their fields fall away with the caller's
+    /// [`Machine::release_to`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was built with [`PlanLifetime::Scoped`].
+    pub fn release(self, machine: &mut Machine) {
+        assert_eq!(
+            self.lifetime,
+            PlanLifetime::Persistent,
+            "scoped plans are reclaimed by release_to, not release"
+        );
+        for &(page, _) in self.literal_pages.iter().rev() {
+            machine.free_field_persistent(page);
+        }
+        machine.free_field_persistent(self.consts);
+        for halo in self.halos.into_iter().rev() {
+            halo.release(machine);
+        }
+    }
+
+    /// The [`CompiledStencil::fingerprint`] this plan was built from.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Global rows of the bound arrays.
+    pub fn rows(&self) -> usize {
+        self.result.rows()
+    }
+
+    /// Global columns of the bound arrays.
+    pub fn cols(&self) -> usize {
+        self.result.cols()
+    }
+
+    /// The execution options the plan was built under.
+    pub fn options(&self) -> &ExecOptions {
+        &self.opts
+    }
+
+    /// Where the plan's fields live.
+    pub fn lifetime(&self) -> PlanLifetime {
+        self.lifetime
+    }
+
+    /// Pre-resolved half-strip runs per iteration (front-end dispatches).
+    pub fn dispatches(&self) -> usize {
+        self.strips.len()
+    }
+
+    /// Words of node memory the plan's halo buffers and constant pages
+    /// occupy.
+    pub fn words(&self) -> usize {
+        self.halos.iter().map(HaloBuffer::words).sum::<usize>()
+            + self.consts.len()
+            + self
+                .literal_pages
+                .iter()
+                .map(|(p, _)| p.len())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convolve::convolve;
+    use cmcc_cm2::config::MachineConfig;
+    use cmcc_core::compiler::Compiler;
+    use cmcc_core::patterns::PaperPattern;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::tiny_4()).unwrap()
+    }
+
+    fn compile(m: &Machine, text: &str) -> CompiledStencil {
+        Compiler::new(m.config().clone())
+            .compile_assignment(text)
+            .unwrap()
+    }
+
+    #[test]
+    fn plan_matches_fresh_convolve_bit_for_bit() {
+        let mut m = machine();
+        let compiled = compile(&m, &PaperPattern::Cross5.fortran());
+        let x = CmArray::new(&mut m, 8, 8).unwrap();
+        x.fill_with(&mut m, |r, c| ((r * 13 + c * 7) % 11) as f32 * 0.5 - 2.0);
+        let coeffs: Vec<CmArray> = (0..5)
+            .map(|i| {
+                let a = CmArray::new(&mut m, 8, 8).unwrap();
+                a.fill(&mut m, 0.11 * (i + 1) as f32);
+                a
+            })
+            .collect();
+        let refs: Vec<&CmArray> = coeffs.iter().collect();
+        let r_fresh = CmArray::new(&mut m, 8, 8).unwrap();
+        let r_plan = CmArray::new(&mut m, 8, 8).unwrap();
+        let opts = ExecOptions::default();
+
+        let fresh = convolve(&mut m, &compiled, &r_fresh, &x, &refs, &opts).unwrap();
+
+        let binding = StencilBinding::new(&compiled, &r_plan, &[&x], &refs).unwrap();
+        let plan = ExecutionPlan::build(&mut m, &binding, &opts, PlanLifetime::Persistent).unwrap();
+        for _ in 0..3 {
+            let planned = plan.execute(&mut m).unwrap();
+            assert_eq!(planned, fresh);
+        }
+        let want = r_fresh.gather(&m);
+        let got = r_plan.gather(&m);
+        for (a, b) in want.iter().zip(&got) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        plan.release(&mut m);
+    }
+
+    #[test]
+    fn steady_state_execute_performs_no_allocations() {
+        let mut m = machine();
+        let compiled = compile(&m, "R = 0.25 * CSHIFT(X, 1, -1) + 0.75 * X");
+        let x = CmArray::new(&mut m, 8, 8).unwrap();
+        let r = CmArray::new(&mut m, 8, 8).unwrap();
+        x.fill(&mut m, 1.0);
+        let binding = StencilBinding::new(&compiled, &r, &[&x], &[]).unwrap();
+        let plan = ExecutionPlan::build(
+            &mut m,
+            &binding,
+            &ExecOptions::fast(),
+            PlanLifetime::Persistent,
+        )
+        .unwrap();
+        let allocs = m.alloc_count();
+        let mark = m.alloc_mark();
+        for _ in 0..10 {
+            plan.execute(&mut m).unwrap();
+        }
+        assert_eq!(m.alloc_count(), allocs, "execute must not allocate");
+        assert_eq!(m.alloc_mark(), mark, "execute must not move the bump mark");
+        plan.release(&mut m);
+    }
+
+    #[test]
+    fn release_returns_every_persistent_word() {
+        let mut m = machine();
+        let compiled = compile(&m, &PaperPattern::Square9.fortran());
+        let x = CmArray::new(&mut m, 8, 8).unwrap();
+        let r = CmArray::new(&mut m, 8, 8).unwrap();
+        let coeffs: Vec<CmArray> = (0..9)
+            .map(|_| CmArray::new(&mut m, 8, 8).unwrap())
+            .collect();
+        let refs: Vec<&CmArray> = coeffs.iter().collect();
+        let before = m.persistent_used();
+        let binding = StencilBinding::new(&compiled, &r, &[&x], &refs).unwrap();
+        let plan = ExecutionPlan::build(
+            &mut m,
+            &binding,
+            &ExecOptions::default(),
+            PlanLifetime::Persistent,
+        )
+        .unwrap();
+        assert!(m.persistent_used() > before);
+        plan.release(&mut m);
+        assert_eq!(m.persistent_used(), before);
+    }
+
+    #[test]
+    fn rebind_retargets_result_source_and_coeffs() {
+        let mut m = machine();
+        let compiled = compile(&m, "R = C * CSHIFT(X, 2, 1) + 0.5 * X");
+        let mk = |m: &mut Machine, seed: usize| {
+            let a = CmArray::new(m, 8, 8).unwrap();
+            a.fill_with(m, move |r, c| ((r * 5 + c * 3 + seed) % 17) as f32 * 0.25);
+            a
+        };
+        let x1 = mk(&mut m, 1);
+        let c1 = mk(&mut m, 2);
+        let x2 = mk(&mut m, 3);
+        let c2 = mk(&mut m, 4);
+        let r1 = CmArray::new(&mut m, 8, 8).unwrap();
+        let r2 = CmArray::new(&mut m, 8, 8).unwrap();
+        let opts = ExecOptions::default();
+
+        let binding = StencilBinding::new(&compiled, &r1, &[&x1], &[&c1]).unwrap();
+        let mut plan =
+            ExecutionPlan::build(&mut m, &binding, &opts, PlanLifetime::Persistent).unwrap();
+        plan.execute(&mut m).unwrap();
+        plan.rebind(&r2, &[&x2], &[&c2]).unwrap();
+        let rebound = plan.execute(&mut m).unwrap();
+
+        // A fresh convolve on the second argument set must agree exactly.
+        let r_fresh = CmArray::new(&mut m, 8, 8).unwrap();
+        let fresh = convolve(&mut m, &compiled, &r_fresh, &x2, &[&c2], &opts).unwrap();
+        assert_eq!(rebound, fresh);
+        assert_eq!(r2.gather(&m), r_fresh.gather(&m));
+
+        // And rebinding back retargets cleanly (round trip).
+        plan.rebind(&r1, &[&x1], &[&c1]).unwrap();
+        plan.execute(&mut m).unwrap();
+        let r_fresh1 = CmArray::new(&mut m, 8, 8).unwrap();
+        convolve(&mut m, &compiled, &r_fresh1, &x1, &[&c1], &opts).unwrap();
+        assert_eq!(r1.gather(&m), r_fresh1.gather(&m));
+        plan.release(&mut m);
+    }
+
+    #[test]
+    fn rebind_rejects_mismatched_shapes_and_counts() {
+        let mut m = machine();
+        let compiled = compile(&m, "R = C * X");
+        let x = CmArray::new(&mut m, 8, 8).unwrap();
+        let c = CmArray::new(&mut m, 8, 8).unwrap();
+        let r = CmArray::new(&mut m, 8, 8).unwrap();
+        let wrong = CmArray::new(&mut m, 8, 12).unwrap();
+        let binding = StencilBinding::new(&compiled, &r, &[&x], &[&c]).unwrap();
+        let mut plan = ExecutionPlan::build(
+            &mut m,
+            &binding,
+            &ExecOptions::default(),
+            PlanLifetime::Persistent,
+        )
+        .unwrap();
+        assert!(matches!(
+            plan.rebind(&wrong, &[&x], &[&c]),
+            Err(RuntimeError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            plan.rebind(&r, &[&x], &[]),
+            Err(RuntimeError::WrongCoeffCount { .. })
+        ));
+        assert!(matches!(
+            plan.rebind(&r, &[], &[&c]),
+            Err(RuntimeError::WrongSourceCount { .. })
+        ));
+        plan.release(&mut m);
+    }
+
+    #[test]
+    fn binding_validation_matches_convolve() {
+        let mut m = machine();
+        let compiled = compile(&m, "R = C1 * X + C2 * CSHIFT(X, 1, 1)");
+        let x = CmArray::new(&mut m, 8, 8).unwrap();
+        let r = CmArray::new(&mut m, 8, 8).unwrap();
+        assert!(matches!(
+            StencilBinding::new(&compiled, &r, &[&x], &[]),
+            Err(RuntimeError::WrongCoeffCount {
+                expected: 2,
+                got: 0
+            })
+        ));
+        assert!(matches!(
+            StencilBinding::new(&compiled, &r, &[], &[]),
+            Err(RuntimeError::WrongSourceCount { .. })
+        ));
+    }
+}

@@ -15,8 +15,9 @@
 //! `CSHIFT` statements, zero planes for `EOSHIFT`.
 
 use crate::array::CmArray;
-use crate::convolve::{convolve_multi, ExecOptions};
+use crate::convolve::ExecOptions;
 use crate::error::RuntimeError;
+use crate::plan::{ExecutionPlan, PlanLifetime, StencilBinding};
 use cmcc_cm2::machine::Machine;
 use cmcc_cm2::timing::Measurement;
 use cmcc_core::compiler::CompiledStencil;
@@ -110,7 +111,7 @@ impl CmVolume {
 /// # Errors
 ///
 /// [`RuntimeError::WrongSourceCount`] if `plane_offsets` does not match
-/// the kernel's source count; otherwise as [`convolve_multi`], per plane.
+/// the kernel's source count; otherwise as [`crate::convolve_multi`], per plane.
 pub fn convolve_volume(
     machine: &mut Machine,
     compiled: &CompiledStencil,
@@ -156,6 +157,10 @@ pub fn convolve_volume(
         } else {
             None
         };
+        // One plan serves the whole volume: every plane has the same
+        // shape, so plane `p` is a rebind — a pure address shift — rather
+        // than a fresh round of allocation and schedule building.
+        let mut plan: Option<ExecutionPlan> = None;
         let mut total: Option<Measurement> = None;
         for p in 0..depth {
             let sources: Vec<&CmArray> = plane_offsets
@@ -175,14 +180,22 @@ pub fn convolve_volume(
                 })
                 .collect();
             let coeff_planes: Vec<&CmArray> = coeffs.iter().map(|c| c.plane(p as usize)).collect();
-            let m = convolve_multi(
-                machine,
-                compiled,
-                result.plane(p as usize),
-                &sources,
-                &coeff_planes,
-                opts,
-            )?;
+            let result_plane = result.plane(p as usize);
+            let m = match &mut plan {
+                None => {
+                    let binding =
+                        StencilBinding::new(compiled, result_plane, &sources, &coeff_planes)?;
+                    let built =
+                        ExecutionPlan::build(machine, &binding, opts, PlanLifetime::Scoped)?;
+                    let m = built.execute(machine)?;
+                    plan = Some(built);
+                    m
+                }
+                Some(plan) => {
+                    plan.rebind(result_plane, &sources, &coeff_planes)?;
+                    plan.execute(machine)?
+                }
+            };
             total = Some(match total {
                 None => m,
                 Some(t) => t.combine(&m),

@@ -75,6 +75,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::mem::swap(&mut cur, &mut next);
     }
 
+    // The session caches one ExecutionPlan per (statement, shape,
+    // options) key, so the ping-pong buffer swap above costs a plan
+    // rebind, not a rebuild: every step after the first two was a cache
+    // hit (the timed first step and the fast steps use different
+    // options, hence two plans).
+    let stats = session.plan_cache_stats();
+    println!(
+        "plan cache: {} hits, {} misses over {steps} steps",
+        stats.hits, stats.misses
+    );
+
     let remaining = total_heat(&session, &cur);
     let center = cur.get(session.machine(), 32, 32);
     let corner = cur.get(session.machine(), 0, 0);
@@ -89,6 +100,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(remaining > 0.0);
     assert!(center > corner);
     assert!(center < 100.0);
+    assert_eq!(stats.misses, 2);
+    assert_eq!(stats.hits as usize, steps - 2);
 
     let timing = timing.expect("first step was timed");
     println!(

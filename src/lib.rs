@@ -47,7 +47,8 @@ pub use cmcc_runtime as runtime;
 pub use cmcc_cm2::{CycleBreakdown, Machine, MachineConfig, Measurement};
 pub use cmcc_core::{CompileError, CompiledStencil, Compiler, PaperPattern};
 pub use cmcc_runtime::{
-    convolve, convolve_multi, convolve_volume, CmArray, CmVolume, ExecOptions, RuntimeError,
+    convolve, convolve_multi, convolve_volume, CmArray, CmVolume, ExecOptions, ExecutionPlan,
+    PlanLifetime, RuntimeError, StencilBinding,
 };
 
 use std::error::Error;
@@ -104,7 +105,50 @@ impl From<RuntimeError> for SessionError {
     }
 }
 
+/// The plan cache key: a statement [`CompiledStencil::fingerprint`], the
+/// global array shape, and the execution options. Two calls with equal
+/// keys are guaranteed to want the same [`ExecutionPlan`] (possibly
+/// rebased onto different arrays of that shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PlanKey {
+    fingerprint: u64,
+    rows: usize,
+    cols: usize,
+    opts: ExecOptions,
+}
+
+#[derive(Debug)]
+struct CachedPlan {
+    key: PlanKey,
+    plan: ExecutionPlan,
+    last_used: u64,
+}
+
+/// Hit/miss counters for a session's plan cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Runs served by rebinding a cached plan.
+    pub hits: u64,
+    /// Runs that built (and cached) a fresh plan.
+    pub misses: u64,
+}
+
+/// Default number of distinct (statement, shape, options) plans a session
+/// keeps alive.
+const DEFAULT_PLAN_CACHE_CAPACITY: usize = 8;
+
 /// A machine plus a compiler targeting it: the convenient front door.
+///
+/// Every `run*` call is served through a **plan cache**: the first call
+/// for a given (statement fingerprint, array shape, options) builds an
+/// [`ExecutionPlan`] — halo buffers, exchange programs, pre-resolved
+/// strip schedule — and later calls replay it, rebased onto whichever
+/// arrays are passed. Results and [`Measurement`]s are bit-identical to
+/// uncached execution. The cache is bounded (least-recently-used plans
+/// are evicted and their node memory freed) and is scoped to the session,
+/// so a different machine configuration — a different `Session` — can
+/// never observe a stale plan. A shape or options change simply keys a
+/// new plan.
 ///
 /// See the crate-level example. For full control (execution options,
 /// alternative front ends, baselines) use the constituent crates
@@ -113,6 +157,10 @@ impl From<RuntimeError> for SessionError {
 pub struct Session {
     machine: Machine,
     compiler: Compiler,
+    plans: Vec<CachedPlan>,
+    plan_capacity: usize,
+    tick: u64,
+    stats: PlanCacheStats,
 }
 
 impl Session {
@@ -126,6 +174,10 @@ impl Session {
         Ok(Session {
             machine,
             compiler: Compiler::new(config),
+            plans: Vec::new(),
+            plan_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+            tick: 0,
+            stats: PlanCacheStats::default(),
         })
     }
 
@@ -217,14 +269,7 @@ impl Session {
         source: &CmArray,
         coeffs: &[&CmArray],
     ) -> Result<Measurement, SessionError> {
-        Ok(convolve(
-            &mut self.machine,
-            compiled,
-            result,
-            source,
-            coeffs,
-            &ExecOptions::default(),
-        )?)
+        self.run_with_multi(compiled, result, &[source], coeffs, &ExecOptions::default())
     }
 
     /// Runs a compiled multi-source stencil with default options.
@@ -239,17 +284,15 @@ impl Session {
         sources: &[&CmArray],
         coeffs: &[&CmArray],
     ) -> Result<Measurement, SessionError> {
-        Ok(convolve_multi(
-            &mut self.machine,
-            compiled,
-            result,
-            sources,
-            coeffs,
-            &ExecOptions::default(),
-        )?)
+        self.run_with_multi(compiled, result, sources, coeffs, &ExecOptions::default())
     }
 
     /// Runs a compiled multi-source stencil with explicit options.
+    ///
+    /// This is the cache-aware core every other `run*` method funnels
+    /// into: a hit rebinds the cached [`ExecutionPlan`] to the given
+    /// arrays and executes it (no allocation, no schedule rebuild); a
+    /// miss builds the plan, caches it, and executes.
     ///
     /// # Errors
     ///
@@ -262,14 +305,90 @@ impl Session {
         coeffs: &[&CmArray],
         opts: &ExecOptions,
     ) -> Result<Measurement, SessionError> {
-        Ok(convolve_multi(
-            &mut self.machine,
-            compiled,
-            result,
-            sources,
-            coeffs,
-            opts,
-        )?)
+        // Bind first: argument validation must not depend on the cache.
+        let binding = StencilBinding::new(compiled, result, sources, coeffs)?;
+        let key = PlanKey {
+            fingerprint: compiled.fingerprint(),
+            rows: result.rows(),
+            cols: result.cols(),
+            opts: *opts,
+        };
+        self.tick += 1;
+        if let Some(entry) = self.plans.iter_mut().find(|e| e.key == key) {
+            entry.last_used = self.tick;
+            entry.plan.rebind(result, sources, coeffs)?;
+            self.stats.hits += 1;
+            return Ok(entry.plan.execute(&mut self.machine)?);
+        }
+
+        self.stats.misses += 1;
+        let plan =
+            ExecutionPlan::build(&mut self.machine, &binding, opts, PlanLifetime::Persistent)?;
+        let measurement = plan.execute(&mut self.machine)?;
+        if self.plan_capacity == 0 {
+            plan.release(&mut self.machine);
+            return Ok(measurement);
+        }
+        if self.plans.len() >= self.plan_capacity {
+            // Evict the least-recently-used plan and return its node
+            // memory to the persistent arena.
+            if let Some(lru) = self
+                .plans
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+            {
+                let evicted = self.plans.swap_remove(lru);
+                evicted.plan.release(&mut self.machine);
+            }
+        }
+        self.plans.push(CachedPlan {
+            key,
+            plan,
+            last_used: self.tick,
+        });
+        Ok(measurement)
+    }
+
+    /// Plan-cache hit/miss counters.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.stats
+    }
+
+    /// Number of plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Changes how many plans the session keeps (evicting immediately if
+    /// the new bound is smaller). A capacity of zero disables caching for
+    /// subsequent runs.
+    pub fn set_plan_cache_capacity(&mut self, capacity: usize) {
+        self.plan_capacity = capacity;
+        while self.plans.len() > capacity {
+            if let Some(lru) = self
+                .plans
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+            {
+                let evicted = self.plans.swap_remove(lru);
+                evicted.plan.release(&mut self.machine);
+            }
+        }
+    }
+
+    /// Drops every cached plan and frees its node memory. Call after
+    /// anything a plan could have captured changes out from under the
+    /// cache — there is nothing of that kind today (machine configuration
+    /// is fixed per session, and shape or option changes key new plans),
+    /// but explicit invalidation keeps the escape hatch cheap.
+    pub fn clear_plan_cache(&mut self) {
+        for entry in self.plans.drain(..) {
+            entry.plan.release(&mut self.machine);
+        }
     }
 
     /// Runs with explicit options.
@@ -285,14 +404,7 @@ impl Session {
         coeffs: &[&CmArray],
         opts: &ExecOptions,
     ) -> Result<Measurement, SessionError> {
-        Ok(convolve(
-            &mut self.machine,
-            compiled,
-            result,
-            source,
-            coeffs,
-            opts,
-        )?)
+        self.run_with_multi(compiled, result, &[source], coeffs, opts)
     }
 }
 
