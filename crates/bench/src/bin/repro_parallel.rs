@@ -1,20 +1,23 @@
-//! Parallel-engine benchmark: serial vs threaded node execution.
+//! Parallel-engine benchmark: the node-threading scaling curve.
 //!
 //! Runs the 9-point square stencil on the simulated 16-node test board
-//! with a 128×128 per-node subgrid (a 512×512 global array), once with
-//! the serial executor (`threads = 1`) and once with one host thread
-//! per core, and checks the two are indistinguishable: bit-identical
-//! result arrays and exactly equal `Measurement`s. Wall-clock times and
-//! the speedup are written to `BENCH_parallel.json`.
+//! with a 128×128 per-node subgrid (a 512×512 global array) under the
+//! cycle-accurate scalar engine, sweeping the host thread count over
+//! {1, 2, 4, available cores}. Every thread count must be
+//! indistinguishable from the serial baseline: bit-identical result
+//! arrays and exactly equal `Measurement`s. Each point is a warmup run
+//! followed by 20 timed iterations (best-of); the full scaling curve is
+//! written to `BENCH_parallel.json`.
 //!
 //! ```sh
 //! cargo run --release -p cmcc-bench --bin repro_parallel
 //! cargo run --release -p cmcc-bench --bin repro_parallel -- --smoke
 //! ```
 //!
-//! `--smoke` runs a single timed iteration per mode (for CI). The ≥2×
-//! speedup assertion only applies on hosts with 4+ cores — on fewer
-//! cores the numbers are still recorded, but a speedup is not expected.
+//! `--smoke` drops to 2 timed iterations per point (for CI). The ≥2×
+//! speedup assertion applies to the maximum thread count only, and only
+//! on hosts with 4+ cores — on fewer cores the curve is still recorded,
+//! but a speedup is not expected.
 
 use cmcc_bench::Workload;
 use cmcc_cm2::config::MachineConfig;
@@ -24,85 +27,119 @@ use cmcc_runtime::convolve::ExecOptions;
 use std::time::Instant;
 
 const SUBGRID: (usize, usize) = (128, 128);
+const FULL_ITERS: usize = 20;
 
-/// Times `iters` runs of `w` under `opts`; returns the best wall-clock
-/// seconds per iteration, the last measurement, and the gathered result.
-fn time_mode(w: &mut Workload, opts: &ExecOptions, iters: usize) -> (f64, Measurement, Vec<f32>) {
+/// One point on the scaling curve.
+struct Point {
+    threads: usize,
+    secs_per_iter: f64,
+    measurement: Measurement,
+    result: Vec<f32>,
+}
+
+/// Times `iters` runs of `w` at `threads` host threads after one warmup
+/// run; keeps the best wall-clock seconds per iteration (least noise on
+/// a shared host) plus the measurement and gathered result for the
+/// equivalence checks.
+fn time_threads(w: &mut Workload, threads: usize, iters: usize) -> Point {
+    let opts = ExecOptions::default().with_threads(threads);
+    let mut measurement = w.run(&opts); // warmup (also the compared measurement)
     let mut best = f64::INFINITY;
-    let mut m = w.run(opts); // warmup (also the compared measurement)
     for _ in 0..iters {
         let start = Instant::now();
-        m = w.run(opts);
+        measurement = w.run(&opts);
         best = best.min(start.elapsed().as_secs_f64());
     }
-    (best, m, w.r.gather(&w.machine))
+    Point {
+        threads,
+        secs_per_iter: best,
+        measurement,
+        result: w.r.gather(&w.machine),
+    }
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let iters = if smoke { 1 } else { 3 };
+    let iters = if smoke { 2 } else { FULL_ITERS };
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let threads = ExecOptions::default().threads;
+    let mut sweep = vec![1, 2, 4, cores];
+    sweep.sort_unstable();
+    sweep.dedup();
 
     println!("Parallel per-node execution engine benchmark");
     println!(
-        "9-point square, {}x{} per node on the 16-node board (512x512 global), {cores} host core(s)\n",
+        "9-point square, {}x{} per node on the 16-node board (512x512 global), \
+         {cores} host core(s), warmup + {iters} iters per point\n",
         SUBGRID.0, SUBGRID.1
     );
 
-    // Two identically-seeded workloads, so any divergence is the
-    // executor's fault, not the data's.
-    let mut serial_w = Workload::new(
-        MachineConfig::test_board_16(),
-        PaperPattern::Square9,
-        SUBGRID,
-    );
-    let mut par_w = Workload::new(
+    let mut w = Workload::new(
         MachineConfig::test_board_16(),
         PaperPattern::Square9,
         SUBGRID,
     );
 
-    let (serial_secs, serial_m, serial_r) = time_mode(&mut serial_w, &ExecOptions::serial(), iters);
-    println!("  serial   (threads=1):  {serial_secs:.3} s/iter");
-    let (par_secs, par_m, par_r) = time_mode(
-        &mut par_w,
-        &ExecOptions::default().with_threads(threads),
-        iters,
+    let points: Vec<Point> = sweep
+        .iter()
+        .map(|&threads| {
+            let p = time_threads(&mut w, threads, iters);
+            println!("  threads={threads}: {:.3} s/iter", p.secs_per_iter);
+            p
+        })
+        .collect();
+
+    let base = &points[0];
+    assert_eq!(base.threads, 1, "curve starts at the serial baseline");
+    let bit_identical = points.iter().all(|p| {
+        p.result.len() == base.result.len()
+            && p.result
+                .iter()
+                .zip(&base.result)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    });
+    let measurement_equal = points.iter().all(|p| p.measurement == base.measurement);
+    let max_point = points.last().expect("sweep is non-empty");
+    let max_speedup = base.secs_per_iter / max_point.secs_per_iter;
+    println!(
+        "\n  speedup at threads={}: {max_speedup:.2}x; bit-identical: {bit_identical}; \
+         measurements equal: {measurement_equal}",
+        max_point.threads
     );
-    println!("  parallel (threads={threads}): {par_secs:.3} s/iter");
 
-    let bit_identical = serial_r.len() == par_r.len()
-        && serial_r
-            .iter()
-            .zip(&par_r)
-            .all(|(a, b)| a.to_bits() == b.to_bits());
-    let measurement_equal = serial_m == par_m;
-    let speedup = serial_secs / par_secs;
-    println!("\n  speedup {speedup:.2}x; bit-identical: {bit_identical}; measurements equal: {measurement_equal}");
-
+    let curve: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{ \"threads\": {}, \"secs_per_iter\": {:.6}, \"speedup\": {:.4} }}",
+                p.threads,
+                p.secs_per_iter,
+                base.secs_per_iter / p.secs_per_iter,
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"pattern\": \"{}\",\n  \"global_grid\": [512, 512],\n  \"subgrid\": [{}, {}],\n  \
-         \"host_cores\": {cores},\n  \"threads\": {threads},\n  \"iters\": {iters},\n  \
-         \"serial_secs_per_iter\": {serial_secs:.6},\n  \"parallel_secs_per_iter\": {par_secs:.6},\n  \
-         \"speedup\": {speedup:.4},\n  \"bit_identical\": {bit_identical},\n  \
+         \"host_cores\": {cores},\n  \"warmup\": 1,\n  \"iters\": {iters},\n  \
+         \"curve\": [\n{}\n  ],\n  \
+         \"max_threads_speedup\": {max_speedup:.4},\n  \"bit_identical\": {bit_identical},\n  \
          \"measurement_equal\": {measurement_equal}\n}}\n",
         PaperPattern::Square9.name(),
         SUBGRID.0,
         SUBGRID.1,
+        curve.join(",\n"),
     );
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
     println!("  wrote BENCH_parallel.json");
 
-    assert!(bit_identical, "parallel results diverge from serial");
+    assert!(bit_identical, "threaded results diverge from serial");
     assert!(
         measurement_equal,
-        "parallel Measurement differs from serial"
+        "threaded Measurement differs from serial"
     );
     if cores >= 4 {
         assert!(
-            speedup >= 2.0,
-            "expected >=2x speedup on {cores} cores, got {speedup:.2}x"
+            max_speedup >= 2.0,
+            "expected >=2x speedup on {cores} cores, got {max_speedup:.2}x"
         );
     } else {
         println!("  ({cores} core(s) < 4: speedup recorded but not asserted)");

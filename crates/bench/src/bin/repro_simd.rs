@@ -1,0 +1,139 @@
+//! Lockstep SIMD executor benchmark: scalar vs lockstep fast mode.
+//!
+//! Runs the 9-point square stencil on the simulated 16-node test board
+//! with a 128×128 per-node subgrid (a 512×512 global array) in fast
+//! functional mode, once with the node-outer scalar interpreter and once
+//! with the step-outer lockstep broadcast engine. Both use a persistent
+//! execution plan (built once, replayed), a single host thread, and
+//! identically seeded data, so the measured ratio isolates the executor:
+//! per-step dispatch amortized over all node lanes plus contiguous
+//! lane-major inner loops, exactly the paper's §4.3 broadcast of one
+//! instruction stream to every node.
+//!
+//! Results must be bit-identical and `Measurement`s exactly equal; the
+//! steady-state speedup is asserted ≥2× in full mode and written to
+//! `BENCH_simd.json` either way.
+//!
+//! ```sh
+//! cargo run --release -p cmcc-bench --bin repro_simd
+//! cargo run --release -p cmcc-bench --bin repro_simd -- --quick
+//! ```
+//!
+//! `--quick` runs 2 timed iterations per engine and checks equivalence
+//! only (for CI, where wall-clock ratios on shared runners are noise).
+
+use cmcc_bench::Workload;
+use cmcc_cm2::config::MachineConfig;
+use cmcc_cm2::timing::Measurement;
+use cmcc_core::patterns::PaperPattern;
+use cmcc_runtime::array::CmArray;
+use cmcc_runtime::convolve::ExecOptions;
+use cmcc_runtime::plan::{ExecutionPlan, PlanLifetime, StencilBinding};
+use cmcc_runtime::ExecEngine;
+use std::time::Instant;
+
+const SUBGRID: (usize, usize) = (128, 128);
+const FULL_ITERS: usize = 20;
+const WARMUP: usize = 2;
+
+/// Builds a persistent plan for `w` under `engine`, replays it
+/// `WARMUP + iters` times, and returns the best steady-state seconds per
+/// iteration, the measurement, and the gathered result.
+fn time_engine(w: &mut Workload, engine: ExecEngine, iters: usize) -> (f64, Measurement, Vec<f32>) {
+    let opts = ExecOptions::fast().with_engine(engine).with_threads(1);
+    let refs: Vec<&CmArray> = w.coeffs.iter().collect();
+    let binding =
+        StencilBinding::new(&w.compiled, &w.r, &[&w.x], &refs).expect("bench binding is valid");
+    let mark = w.machine.alloc_mark();
+    let plan = ExecutionPlan::build(&mut w.machine, &binding, &opts, PlanLifetime::Scoped)
+        .expect("bench plan builds");
+    assert_eq!(
+        plan.uses_lockstep(),
+        engine == ExecEngine::Lockstep,
+        "a clean single-source binding must lane-map iff lockstep is requested"
+    );
+    let mut m = plan.execute(&mut w.machine).expect("bench plan executes");
+    for _ in 1..WARMUP {
+        m = plan.execute(&mut w.machine).expect("bench plan executes");
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        m = plan.execute(&mut w.machine).expect("bench plan executes");
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    let result = w.r.gather(&w.machine);
+    w.machine.release_to(mark);
+    (best, m, result)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iters = if quick { 2 } else { FULL_ITERS };
+
+    println!("Lockstep SIMD executor benchmark (fast mode, 1 host thread)");
+    println!(
+        "9-point square, {}x{} per node on the 16-node board (512x512 global), \
+         warmup {WARMUP} + {iters} iters per engine\n",
+        SUBGRID.0, SUBGRID.1
+    );
+
+    // Two identically-seeded workloads, so any divergence is the
+    // executor's fault, not the data's.
+    let mut scalar_w = Workload::new(
+        MachineConfig::test_board_16(),
+        PaperPattern::Square9,
+        SUBGRID,
+    );
+    let mut lockstep_w = Workload::new(
+        MachineConfig::test_board_16(),
+        PaperPattern::Square9,
+        SUBGRID,
+    );
+
+    let (scalar_secs, scalar_m, scalar_r) = time_engine(&mut scalar_w, ExecEngine::Scalar, iters);
+    println!("  scalar:   {:.6} s/iter", scalar_secs);
+    let (lockstep_secs, lockstep_m, lockstep_r) =
+        time_engine(&mut lockstep_w, ExecEngine::Lockstep, iters);
+    println!("  lockstep: {:.6} s/iter", lockstep_secs);
+
+    let bit_identical = scalar_r.len() == lockstep_r.len()
+        && scalar_r
+            .iter()
+            .zip(&lockstep_r)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    let measurement_equal = scalar_m == lockstep_m;
+    let speedup = scalar_secs / lockstep_secs;
+    println!(
+        "\n  speedup {speedup:.2}x; bit-identical: {bit_identical}; \
+         measurements equal: {measurement_equal}"
+    );
+
+    let json = format!(
+        "{{\n  \"pattern\": \"{}\",\n  \"global_grid\": [512, 512],\n  \"subgrid\": [{}, {}],\n  \
+         \"threads\": 1,\n  \"warmup\": {WARMUP},\n  \"iters\": {iters},\n  \
+         \"scalar_secs_per_iter\": {scalar_secs:.6},\n  \
+         \"lockstep_secs_per_iter\": {lockstep_secs:.6},\n  \
+         \"speedup\": {speedup:.4},\n  \"bit_identical\": {bit_identical},\n  \
+         \"measurement_equal\": {measurement_equal}\n}}\n",
+        PaperPattern::Square9.name(),
+        SUBGRID.0,
+        SUBGRID.1,
+    );
+    std::fs::write("BENCH_simd.json", &json).expect("write BENCH_simd.json");
+    println!("  wrote BENCH_simd.json");
+
+    assert!(bit_identical, "lockstep results diverge from scalar");
+    assert!(
+        measurement_equal,
+        "lockstep Measurement differs from scalar"
+    );
+    if quick {
+        println!("  (--quick: speedup recorded but not asserted)");
+    } else {
+        assert!(
+            speedup >= 2.0,
+            "expected >=2x lockstep speedup, got {speedup:.2}x"
+        );
+    }
+}

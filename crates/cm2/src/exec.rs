@@ -20,6 +20,7 @@
 
 use crate::config::{MachineConfig, FPU_REGISTERS};
 use crate::isa::{DynamicPart, Kernel, MacAcc, MemRef, Reg};
+use crate::lane::LaneMemory;
 use crate::memory::NodeMemory;
 use std::fmt;
 
@@ -104,6 +105,23 @@ pub enum ExecMode {
     Cycle,
     /// Fast functional interpretation (no timing).
     Fast,
+}
+
+/// Which interpreter executes resolved schedules in [`ExecMode::Fast`].
+///
+/// [`ExecMode::Cycle`] always runs the scalar interpreter — the pipeline
+/// model is inherently per-node sequential. The engine choice only
+/// affects fast mode, where both engines produce bit-identical memory
+/// and counters; `Lockstep` replays the machine's own loop order
+/// (step-outer, node-inner) over node-major lane storage so each step's
+/// arithmetic is one contiguous vector sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecEngine {
+    /// Node-outer scalar interpreter (the only engine for cycle mode).
+    Scalar,
+    /// Step-outer lockstep broadcast executor over node lanes.
+    #[default]
+    Lockstep,
 }
 
 /// Cycle and operation counts for one executed half-strip.
@@ -255,14 +273,27 @@ pub fn run_strip(
     cfg: &MachineConfig,
     mode: ExecMode,
 ) -> Result<StripRun, HazardError> {
+    // One dispatch on the mode, then a monomorphized loop: the fast
+    // variant compiles with every cycle-model branch folded away.
+    match mode {
+        ExecMode::Cycle => run_strip_impl::<true>(kernel, ctx, mem, cfg),
+        ExecMode::Fast => run_strip_impl::<false>(kernel, ctx, mem, cfg),
+    }
+}
+
+fn run_strip_impl<const CYCLE: bool>(
+    kernel: &Kernel,
+    ctx: &StripContext<'_>,
+    mem: &mut NodeMemory,
+    cfg: &MachineConfig,
+) -> Result<StripRun, HazardError> {
     let mut fpu = Fpu::new();
     let mut run = StripRun::default();
-    let cycle_mode = mode == ExecMode::Cycle;
     let mut now: u64 = u64::from(cfg.halfstrip_startup_cycles);
 
     // Prologue: fill the rings for line 0.
     for part in &kernel.prologue {
-        step(
+        step::<CYCLE>(
             part,
             ctx.start_row,
             ctx,
@@ -271,7 +302,6 @@ pub fn run_strip(
             &mut run,
             &mut now,
             cfg,
-            cycle_mode,
         )?;
     }
 
@@ -279,14 +309,12 @@ pub fn run_strip(
         let row = ctx.start_row + line as i64 * i64::from(kernel.row_step);
         let pattern = &kernel.body[line % kernel.body.len()];
         for part in pattern {
-            step(
-                part, row, ctx, mem, &mut fpu, &mut run, &mut now, cfg, cycle_mode,
-            )?;
+            step::<CYCLE>(part, row, ctx, mem, &mut fpu, &mut run, &mut now, cfg)?;
         }
         now += u64::from(cfg.line_loop_overhead);
     }
 
-    if cycle_mode {
+    if CYCLE {
         // Drain the pipeline: account for any writes still in flight.
         if let Some(&(last, ..)) = fpu.pending.iter().max_by_key(|p| p.0) {
             now = now.max(last);
@@ -332,7 +360,7 @@ fn decompose(part: &DynamicPart) -> (ResolvedOp, Option<MemRef>) {
 
 #[allow(clippy::too_many_arguments)]
 #[inline]
-fn step(
+fn step<const CYCLE: bool>(
     part: &DynamicPart,
     row: i64,
     ctx: &StripContext<'_>,
@@ -341,11 +369,10 @@ fn step(
     run: &mut StripRun,
     now: &mut u64,
     cfg: &MachineConfig,
-    cycle_mode: bool,
 ) -> Result<(), HazardError> {
     let (op, mref) = decompose(part);
     let addr = mref.map_or(0, |m| resolve(m, row, ctx));
-    exec_resolved(op, addr, mem, fpu, run, now, cfg, cycle_mode)
+    exec_resolved::<CYCLE>(op, addr, mem, fpu, run, now, cfg)
 }
 
 /// Executes one operation against a concrete, already-resolved memory
@@ -353,9 +380,14 @@ fn step(
 /// (which resolves addresses per step) and [`run_resolved_strip`] (which
 /// resolves them once at plan-build time), so the two paths are
 /// bit-identical and cycle-identical by construction.
+///
+/// Monomorphized on `CYCLE`: the fast instantiation carries no pipeline
+/// state updates, no hazard checks, and no reversal bookkeeping — the
+/// compiler folds every `if CYCLE` away instead of testing a runtime
+/// flag once per dynamic part.
 #[allow(clippy::too_many_arguments)]
 #[inline]
-fn exec_resolved(
+fn exec_resolved<const CYCLE: bool>(
     op: ResolvedOp,
     addr: usize,
     mem: &mut NodeMemory,
@@ -363,9 +395,8 @@ fn exec_resolved(
     run: &mut StripRun,
     now: &mut u64,
     cfg: &MachineConfig,
-    cycle_mode: bool,
 ) -> Result<(), HazardError> {
-    if cycle_mode {
+    if CYCLE {
         fpu.commit_due(*now);
     }
     // Issue cost of this dynamic part; multiply-adds pace at the
@@ -373,13 +404,13 @@ fn exec_resolved(
     let mut advance: u64 = 1;
     match op {
         ResolvedOp::Mac { data, acc, dest } => {
-            if cycle_mode && fpu.reversal(PipeDir::ToFpu) {
+            if CYCLE && fpu.reversal(PipeDir::ToFpu) {
                 *now += u64::from(cfg.pipe_reversal_penalty);
                 run.reversals += 1;
                 fpu.commit_due(*now);
             }
             let coeff_val = mem.read(addr);
-            let data_val = if cycle_mode {
+            let data_val = if CYCLE {
                 fpu.read(data, *now)?
             } else {
                 fpu.regs[data.0 as usize]
@@ -389,7 +420,7 @@ fn exec_resolved(
             fpu.mac_count += 1;
             match acc {
                 MacAcc::Start(reg) => {
-                    let addend = if cycle_mode {
+                    let addend = if CYCLE {
                         fpu.read(reg, *now)?
                     } else {
                         fpu.regs[reg.0 as usize]
@@ -402,7 +433,7 @@ fn exec_resolved(
             }
             if let Some(dest) = dest {
                 let value = fpu.chain[thread];
-                if cycle_mode {
+                if CYCLE {
                     fpu.pending
                         .push((*now + u64::from(cfg.mac_commit_latency), dest, value));
                 } else {
@@ -413,13 +444,13 @@ fn exec_resolved(
             advance = u64::from(cfg.mac_issue_cycles);
         }
         ResolvedOp::Load { dest } => {
-            if cycle_mode && fpu.reversal(PipeDir::ToFpu) {
+            if CYCLE && fpu.reversal(PipeDir::ToFpu) {
                 *now += u64::from(cfg.pipe_reversal_penalty);
                 run.reversals += 1;
                 fpu.commit_due(*now);
             }
             let value = mem.read(addr);
-            if cycle_mode {
+            if CYCLE {
                 fpu.pending
                     .push((*now + u64::from(cfg.load_commit_latency), dest, value));
             } else {
@@ -428,12 +459,12 @@ fn exec_resolved(
             run.loads += 1;
         }
         ResolvedOp::Store { src } => {
-            if cycle_mode && fpu.reversal(PipeDir::ToMem) {
+            if CYCLE && fpu.reversal(PipeDir::ToMem) {
                 *now += u64::from(cfg.pipe_reversal_penalty);
                 run.reversals += 1;
                 fpu.commit_due(*now);
             }
-            let value = if cycle_mode {
+            let value = if CYCLE {
                 fpu.read(src, *now)?
             } else {
                 fpu.regs[src.0 as usize]
@@ -609,6 +640,66 @@ impl ResolvedStrip {
         (self.prologue.len() + body) as u64
     }
 
+    /// Translates every pre-resolved node-memory address into the lane
+    /// word space of `view`, producing a strip executable by
+    /// [`run_resolved_strip_lockstep`].
+    ///
+    /// Because each viewed range is contiguous, a node address maps to a
+    /// lane word by offsetting within the range, and the per-period
+    /// `delta` carries over unchanged — as long as every occurrence of a
+    /// part (`addr + k·delta` for all executed `k`) stays inside one
+    /// range. Returns `None` when any address falls outside the view,
+    /// when a part's address walk crosses a range boundary, or when a
+    /// store targets a range the view does not scatter back — in all of
+    /// those cases the caller must fall back to the scalar engine.
+    pub fn translate(&self, view: &crate::lane::LaneView) -> Option<ResolvedStrip> {
+        let period = self.body.len().max(1);
+        let translate_part = |part: &ResolvedPart, k_max: i64| -> Option<ResolvedPart> {
+            if part.op == ResolvedOp::Nop {
+                // No memory reference; nothing to translate.
+                return Some(*part);
+            }
+            let (lane_addr, range) = view.locate(part.addr)?;
+            if matches!(part.op, ResolvedOp::Store { .. }) && !range.writable {
+                return None;
+            }
+            // Every occurrence walks linearly from `addr`, so first and
+            // last in range implies all in range.
+            let last = part.addr as i64 + k_max * part.delta;
+            if last < range.node_base as i64 || last >= (range.node_base + range.len) as i64 {
+                return None;
+            }
+            Some(ResolvedPart {
+                addr: lane_addr,
+                ..*part
+            })
+        };
+        let prologue = self
+            .prologue
+            .iter()
+            .map(|part| translate_part(part, 0))
+            .collect::<Option<Vec<_>>>()?;
+        let body = self
+            .body
+            .iter()
+            .enumerate()
+            .map(|(p, pattern)| {
+                // Pattern `p` executes at lines p, p+period, … below
+                // `lines`; the last gets the largest address offset.
+                let occurrences = (self.lines - p).div_ceil(period) as i64;
+                pattern
+                    .iter()
+                    .map(|part| translate_part(part, occurrences - 1))
+                    .collect::<Option<Vec<_>>>()
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(ResolvedStrip {
+            prologue,
+            body,
+            lines: self.lines,
+        })
+    }
+
     /// Shifts every result-slot address by `result_delta` words and every
     /// coefficient-slot address for array `i` by `coeff_deltas[i]` —
     /// rebinding the strip to different arrays of identical shape without
@@ -655,15 +746,23 @@ pub fn run_resolved_strip(
     cfg: &MachineConfig,
     mode: ExecMode,
 ) -> Result<StripRun, HazardError> {
+    match mode {
+        ExecMode::Cycle => run_resolved_strip_impl::<true>(strip, mem, cfg),
+        ExecMode::Fast => run_resolved_strip_impl::<false>(strip, mem, cfg),
+    }
+}
+
+fn run_resolved_strip_impl<const CYCLE: bool>(
+    strip: &ResolvedStrip,
+    mem: &mut NodeMemory,
+    cfg: &MachineConfig,
+) -> Result<StripRun, HazardError> {
     let mut fpu = Fpu::new();
     let mut run = StripRun::default();
-    let cycle_mode = mode == ExecMode::Cycle;
     let mut now: u64 = u64::from(cfg.halfstrip_startup_cycles);
 
     for part in &strip.prologue {
-        exec_resolved(
-            part.op, part.addr, mem, &mut fpu, &mut run, &mut now, cfg, cycle_mode,
-        )?;
+        exec_resolved::<CYCLE>(part.op, part.addr, mem, &mut fpu, &mut run, &mut now, cfg)?;
     }
 
     let period = strip.body.len();
@@ -672,14 +771,12 @@ pub fn run_resolved_strip(
         let k = (line / period) as i64;
         for part in pattern {
             let addr = (part.addr as i64 + k * part.delta) as usize;
-            exec_resolved(
-                part.op, addr, mem, &mut fpu, &mut run, &mut now, cfg, cycle_mode,
-            )?;
+            exec_resolved::<CYCLE>(part.op, addr, mem, &mut fpu, &mut run, &mut now, cfg)?;
         }
         now += u64::from(cfg.line_loop_overhead);
     }
 
-    if cycle_mode {
+    if CYCLE {
         if let Some(&(last, ..)) = fpu.pending.iter().max_by_key(|p| p.0) {
             now = now.max(last);
         }
@@ -687,6 +784,188 @@ pub fn run_resolved_strip(
         run.cycles = now;
     }
     Ok(run)
+}
+
+/// The FPU register file of *all* lanes at once: register `r`'s value on
+/// every node, stored contiguously (`regs[r*nodes .. (r+1)*nodes]`), so a
+/// broadcast operation reads and writes whole register rows.
+struct LaneFpu {
+    /// `FPU_REGISTERS` rows of `nodes` lanes.
+    regs: Vec<f32>,
+    /// Two interleaved multiply-add threads, one row of lanes each.
+    chain: Vec<f32>,
+    /// Count of MACs issued (parity selects the thread) — identical on
+    /// every lane, so one scalar counter suffices.
+    mac_count: u64,
+    nodes: usize,
+}
+
+impl LaneFpu {
+    fn new(nodes: usize) -> Self {
+        let mut regs = vec![0.0; FPU_REGISTERS * nodes];
+        regs[Reg::ONE.0 as usize * nodes..(Reg::ONE.0 as usize + 1) * nodes].fill(1.0);
+        LaneFpu {
+            regs,
+            chain: vec![0.0; 2 * nodes],
+            mac_count: 0,
+            nodes,
+        }
+    }
+
+    #[inline]
+    fn reg_row(&self, reg: Reg) -> &[f32] {
+        &self.regs[reg.0 as usize * self.nodes..(reg.0 as usize + 1) * self.nodes]
+    }
+}
+
+/// Executes a lane-translated strip across every lane of `lanes` in
+/// lockstep: step-outer, node-inner, the CM-2's own loop order (§4.3
+/// streams each dynamic part to all FPUs at once).
+///
+/// Functional (fast-mode) semantics only — the cycle-accurate pipeline
+/// model stays on the scalar path, so there is no mode parameter and no
+/// hazard error. Per lane, each operation performs exactly the scalar
+/// fast-mode arithmetic in the same order (`chain = coeff·data + addend`
+/// then `chain += coeff·data`, separate IEEE multiply and add, never a
+/// fused contraction), so results are bit-identical to
+/// [`run_resolved_strip`] in [`ExecMode::Fast`]. The returned counters
+/// count each broadcast step once — the per-node numbers the scalar
+/// interpreter would report, since all nodes run the same stream.
+///
+/// The strip must have been produced by [`ResolvedStrip::translate`]
+/// against the view the lanes were gathered with; addresses are lane
+/// words, not node addresses.
+///
+/// # Panics
+///
+/// Panics if a lane-word address is out of the lane memory's bounds.
+pub fn run_resolved_strip_lockstep(strip: &ResolvedStrip, lanes: &mut LaneMemory) -> StripRun {
+    // Monomorphize the broadcast loops over the common lane counts (the
+    // test boards and their thread-split groups), so the per-step sweeps
+    // compile to fixed-width, bounds-check-free vector code; any other
+    // count takes the dynamic-width fallback (`N = 0`).
+    match lanes.nodes() {
+        16 => run_resolved_strip_lockstep_n::<16>(strip, lanes),
+        8 => run_resolved_strip_lockstep_n::<8>(strip, lanes),
+        4 => run_resolved_strip_lockstep_n::<4>(strip, lanes),
+        2 => run_resolved_strip_lockstep_n::<2>(strip, lanes),
+        1 => run_resolved_strip_lockstep_n::<1>(strip, lanes),
+        _ => run_resolved_strip_lockstep_n::<0>(strip, lanes),
+    }
+}
+
+/// [`run_resolved_strip_lockstep`] monomorphized for `N` lanes
+/// (`N = 0` means the lane count is only known at run time).
+fn run_resolved_strip_lockstep_n<const N: usize>(
+    strip: &ResolvedStrip,
+    lanes: &mut LaneMemory,
+) -> StripRun {
+    let mut fpu = LaneFpu::new(lanes.nodes());
+    let mut run = StripRun::default();
+
+    for part in &strip.prologue {
+        exec_lockstep::<N>(part.op, part.addr, lanes, &mut fpu, &mut run);
+    }
+
+    let period = strip.body.len();
+    for line in 0..strip.lines {
+        let pattern = &strip.body[line % period];
+        let k = (line / period) as i64;
+        for part in pattern {
+            let addr = (part.addr as i64 + k * part.delta) as usize;
+            exec_lockstep::<N>(part.op, addr, lanes, &mut fpu, &mut run);
+        }
+    }
+    run
+}
+
+/// `out[i] = x[i] * d[i] + a[i]` over one lane row, with the row width
+/// a compile-time constant when `N > 0`.
+#[inline(always)]
+fn lane_mac_start<const N: usize>(out: &mut [f32], x: &[f32], d: &[f32], a: &[f32]) {
+    if N == 0 {
+        for (((c, &x), &d), &a) in out.iter_mut().zip(x).zip(d).zip(a) {
+            *c = x * d + a;
+        }
+    } else {
+        let out: &mut [f32; N] = out.try_into().expect("lane rows are N wide");
+        let x: &[f32; N] = x.try_into().expect("lane rows are N wide");
+        let d: &[f32; N] = d.try_into().expect("lane rows are N wide");
+        let a: &[f32; N] = a.try_into().expect("lane rows are N wide");
+        for i in 0..N {
+            out[i] = x[i] * d[i] + a[i];
+        }
+    }
+}
+
+/// `out[i] += x[i] * d[i]` over one lane row, with the row width a
+/// compile-time constant when `N > 0`.
+#[inline(always)]
+fn lane_mac_chain<const N: usize>(out: &mut [f32], x: &[f32], d: &[f32]) {
+    if N == 0 {
+        for ((c, &x), &d) in out.iter_mut().zip(x).zip(d) {
+            *c += x * d;
+        }
+    } else {
+        let out: &mut [f32; N] = out.try_into().expect("lane rows are N wide");
+        let x: &[f32; N] = x.try_into().expect("lane rows are N wide");
+        let d: &[f32; N] = d.try_into().expect("lane rows are N wide");
+        for i in 0..N {
+            out[i] += x[i] * d[i];
+        }
+    }
+}
+
+/// One broadcast step: the scalar fast-mode operation applied to every
+/// lane. The per-lane loops run over contiguous equal-length rows, the
+/// shape LLVM autovectorizes.
+#[inline(always)]
+fn exec_lockstep<const N: usize>(
+    op: ResolvedOp,
+    addr: usize,
+    lanes: &mut LaneMemory,
+    fpu: &mut LaneFpu,
+    run: &mut StripRun,
+) {
+    let n = fpu.nodes;
+    match op {
+        ResolvedOp::Mac { data, acc, dest } => {
+            let thread = (fpu.mac_count % 2) as usize;
+            fpu.mac_count += 1;
+            {
+                let coeff = lanes.word(addr);
+                let data_row = &fpu.regs[data.0 as usize * n..(data.0 as usize + 1) * n];
+                let chain = &mut fpu.chain[thread * n..(thread + 1) * n];
+                match acc {
+                    MacAcc::Start(reg) => {
+                        let addend = &fpu.regs[reg.0 as usize * n..(reg.0 as usize + 1) * n];
+                        lane_mac_start::<N>(chain, coeff, data_row, addend);
+                    }
+                    MacAcc::Chain => {
+                        lane_mac_chain::<N>(chain, coeff, data_row);
+                    }
+                }
+            }
+            if let Some(dest) = dest {
+                let (regs, chain) = (&mut fpu.regs, &fpu.chain);
+                regs[dest.0 as usize * n..(dest.0 as usize + 1) * n]
+                    .copy_from_slice(&chain[thread * n..(thread + 1) * n]);
+            }
+            run.macs += 1;
+        }
+        ResolvedOp::Load { dest } => {
+            fpu.regs[dest.0 as usize * n..(dest.0 as usize + 1) * n]
+                .copy_from_slice(lanes.word(addr));
+            run.loads += 1;
+        }
+        ResolvedOp::Store { src } => {
+            lanes.word_mut(addr).copy_from_slice(fpu.reg_row(src));
+            run.stores += 1;
+        }
+        ResolvedOp::Nop => {
+            run.nops += 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1228,5 +1507,164 @@ mod tests {
         // col1 = 2*6 + 3*7 = 33.
         assert_eq!(mem.read(16 + 4), 28.0);
         assert_eq!(mem.read(16 + 5), 33.0);
+    }
+
+    use crate::lane::{LaneMemory, LaneView};
+
+    /// The lane view of `setup`'s memory map: src and coeff read-only,
+    /// the result field writable, the constant pair read-only.
+    fn setup_view() -> LaneView {
+        LaneView::new(&[
+            (0, 16, false),
+            (16, 16, true),
+            (32, 16, false),
+            (48, 2, false),
+        ])
+        .unwrap()
+    }
+
+    /// Runs `kernel`/`ctx` on `node_count` nodes with per-node data, once
+    /// through the scalar fast interpreter and once through translate +
+    /// lockstep, and asserts memories and counters match exactly.
+    fn lockstep_differential(kernel: &Kernel, ctx: &StripContext<'_>, node_count: usize) {
+        let view = setup_view();
+        let mut scalar_mems: Vec<NodeMemory> = (0..node_count)
+            .map(|n| {
+                let (mut mem, ..) = setup();
+                // Perturb each node so lanes are distinguishable.
+                for i in 0..16 {
+                    mem.write(i, mem.read(i) + n as f32 * 100.0);
+                }
+                mem
+            })
+            .collect();
+        let mut lane_mems = scalar_mems.clone();
+
+        let strip = ResolvedStrip::new(kernel, ctx);
+        let mut scalar_runs = Vec::new();
+        for mem in &mut scalar_mems {
+            scalar_runs.push(run_resolved_strip(&strip, mem, &cfg(), ExecMode::Fast).unwrap());
+        }
+
+        let lane_strip = strip
+            .translate(&view)
+            .expect("setup view covers the kernel");
+        let mut lanes = LaneMemory::new(view.words(), node_count);
+        lanes.gather(&view, &lane_mems);
+        let lock_run = run_resolved_strip_lockstep(&lane_strip, &mut lanes);
+        lanes.scatter(&view, &mut lane_mems);
+
+        for (n, (s, l)) in scalar_mems.iter().zip(&lane_mems).enumerate() {
+            assert_eq!(s, l, "node {n} memory diverged");
+        }
+        for (n, s) in scalar_runs.iter().enumerate() {
+            assert_eq!(s, &lock_run, "node {n} counters diverged");
+        }
+        assert_eq!(lock_run.cycles, 0);
+        assert_eq!(lock_run.reversals, 0);
+    }
+
+    #[test]
+    fn lockstep_matches_scalar_fast() {
+        let kernel = identity_kernel();
+        let (_, [src, res, coeff], ones, zeros) = setup();
+        let coeffs = [coeff];
+        let srcs = [src];
+        for (start_row, lines) in [(3i64, 4usize), (1, 2), (0, 1)] {
+            let ctx = StripContext {
+                srcs: &srcs,
+                res,
+                coeffs: &coeffs,
+                ones_addr: ones,
+                zeros_addr: zeros,
+                start_row,
+                lines,
+                col0: 1,
+            };
+            for nodes in [1, 2, 5] {
+                lockstep_differential(&kernel, &ctx, nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn lockstep_matches_scalar_on_multi_period_kernels() {
+        let kernel = two_period_kernel();
+        let (_, [src, res, coeff], ones, zeros) = setup();
+        let coeffs = [coeff];
+        let srcs = [src];
+        for (start_row, lines) in [(3i64, 4usize), (3, 3), (0, 1)] {
+            let ctx = StripContext {
+                srcs: &srcs,
+                res,
+                coeffs: &coeffs,
+                ones_addr: ones,
+                zeros_addr: zeros,
+                start_row,
+                lines,
+                col0: 1,
+            };
+            lockstep_differential(&kernel, &ctx, 3);
+        }
+    }
+
+    #[test]
+    fn translate_rejects_stores_outside_writable_ranges() {
+        let kernel = identity_kernel();
+        let (_, [src, res, coeff], ones, zeros) = setup();
+        let coeffs = [coeff];
+        let srcs = [src];
+        let ctx = StripContext {
+            srcs: &srcs,
+            res,
+            coeffs: &coeffs,
+            ones_addr: ones,
+            zeros_addr: zeros,
+            start_row: 3,
+            lines: 4,
+            col0: 1,
+        };
+        let strip = ResolvedStrip::new(&kernel, &ctx);
+        // Same map, result range read-only: the kernel's stores must fail.
+        let readonly = LaneView::new(&[
+            (0, 16, false),
+            (16, 16, false),
+            (32, 16, false),
+            (48, 2, false),
+        ])
+        .unwrap();
+        assert!(strip.translate(&readonly).is_none());
+        // Coefficients outside the view: loads of them must fail.
+        let partial = LaneView::new(&[(0, 16, false), (16, 16, true), (48, 2, false)]).unwrap();
+        assert!(strip.translate(&partial).is_none());
+    }
+
+    #[test]
+    fn translate_rejects_walks_that_leave_a_range() {
+        let kernel = identity_kernel();
+        let (_, [src, res, coeff], ones, zeros) = setup();
+        let coeffs = [coeff];
+        let srcs = [src];
+        let ctx = StripContext {
+            srcs: &srcs,
+            res,
+            coeffs: &coeffs,
+            ones_addr: ones,
+            zeros_addr: zeros,
+            start_row: 3,
+            lines: 4,
+            col0: 1,
+        };
+        let strip = ResolvedStrip::new(&kernel, &ctx);
+        // Truncate the source range to its last row: line 0 (row 3)
+        // resolves inside it, but the walk north exits the range.
+        let truncated = LaneView::new(&[
+            (12, 4, false),
+            (16, 16, true),
+            (32, 16, false),
+            (48, 2, false),
+        ])
+        .unwrap();
+        assert!(strip.translate(&truncated).is_none());
     }
 }

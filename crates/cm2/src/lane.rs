@@ -1,0 +1,331 @@
+//! Node-major lane storage for the lockstep SIMD executor.
+//!
+//! The CM-2 broadcast one instruction stream to every node at once
+//! (§4.3: the dynamic parts are streamed cycle by cycle to *all* FPUs).
+//! The scalar interpreter inverts that — node-outer, step-inner — and so
+//! pays instruction dispatch once per node per step. The lockstep
+//! executor restores the machine's own loop order: step-outer,
+//! node-inner. To make the node-inner sweep a contiguous vector
+//! operation, [`LaneMemory`] stores the *same word of every node side by
+//! side*: word `w` of nodes `0..n` lives at `w*n .. (w+1)*n`. One
+//! [`crate::exec::ResolvedPart`] then turns into one fused
+//! multiply-add swept over a contiguous `&mut [f32]` of node lanes —
+//! exactly the shape LLVM autovectorizes.
+//!
+//! Node memory is large and mostly untouched by any one kernel, so the
+//! lane mirror covers only the address ranges a plan actually references:
+//! a [`LaneView`] records those ranges once (halo buffers, constant
+//! pages, coefficient arrays, the result array) and provides the
+//! node-address → lane-word translation plus the gather/scatter that
+//! moves data between per-node memories and the lane mirror around a
+//! lockstep run. Only ranges marked writable are scattered back, so
+//! read-only operands (halos, coefficients) cost one copy per run, not
+//! two.
+
+use crate::memory::NodeMemory;
+
+/// One contiguous node-memory range mirrored into lane storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneRange {
+    /// First node-memory address of the range.
+    pub node_base: usize,
+    /// First lane word (index into the mirror, in words) of the range.
+    pub lane_base: usize,
+    /// Length in words.
+    pub len: usize,
+    /// Whether kernels may store into the range (only writable ranges
+    /// are scattered back to node memory after a lockstep run).
+    pub writable: bool,
+}
+
+impl LaneRange {
+    fn contains(&self, addr: usize) -> bool {
+        addr >= self.node_base && addr < self.node_base + self.len
+    }
+}
+
+/// The address map of a lockstep execution: which node-memory ranges are
+/// mirrored into lane storage, and where each lands.
+///
+/// Built once per execution plan. Ranges keep their insertion order, so
+/// rebuilding a view from same-length ranges (a plan rebind: the result
+/// array moved, its length did not) yields identical lane addresses —
+/// pre-translated strips stay valid and only the gather/scatter bases
+/// change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneView {
+    ranges: Vec<LaneRange>,
+    words: usize,
+}
+
+impl LaneView {
+    /// Builds a view over `(node_base, len, writable)` ranges, assigning
+    /// lane words in order.
+    ///
+    /// Returns `None` when any two ranges overlap in node memory (the
+    /// caller bound one array to two roles; the scalar engine handles
+    /// that aliasing, the lane mirror cannot) or when a range is empty.
+    pub fn new(ranges: &[(usize, usize, bool)]) -> Option<LaneView> {
+        let mut out = Vec::with_capacity(ranges.len());
+        let mut lane_base = 0;
+        for &(node_base, len, writable) in ranges {
+            if len == 0 {
+                return None;
+            }
+            out.push(LaneRange {
+                node_base,
+                lane_base,
+                len,
+                writable,
+            });
+            lane_base += len;
+        }
+        // Overlap check: sort by node base, adjacent ranges must not meet.
+        let mut sorted: Vec<&LaneRange> = out.iter().collect();
+        sorted.sort_by_key(|r| r.node_base);
+        for pair in sorted.windows(2) {
+            if pair[0].node_base + pair[0].len > pair[1].node_base {
+                return None;
+            }
+        }
+        Some(LaneView {
+            ranges: out,
+            words: lane_base,
+        })
+    }
+
+    /// Total lane words the view mirrors.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// The mirrored ranges, in insertion order.
+    pub fn ranges(&self) -> &[LaneRange] {
+        &self.ranges
+    }
+
+    /// The range containing node address `addr`, and the address's lane
+    /// word within the mirror. `None` when the address is outside every
+    /// range.
+    pub fn locate(&self, addr: usize) -> Option<(usize, &LaneRange)> {
+        self.ranges
+            .iter()
+            .find(|r| r.contains(addr))
+            .map(|r| (r.lane_base + (addr - r.node_base), r))
+    }
+}
+
+/// The lane mirror: every viewed word of every node, node-major.
+///
+/// Word `w`'s lanes occupy `data[w*nodes .. (w+1)*nodes]`, one entry per
+/// node, in node order. A group of host threads may each own a
+/// `LaneMemory` over a disjoint contiguous slice of the machine's nodes;
+/// lanes never interact, so the partition is invisible to results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneMemory {
+    data: Vec<f32>,
+    nodes: usize,
+}
+
+impl LaneMemory {
+    /// Allocates a zeroed mirror of `words` lane words across `nodes`
+    /// lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(words: usize, nodes: usize) -> Self {
+        assert!(nodes > 0, "lane memory needs at least one lane");
+        LaneMemory {
+            data: vec![0.0; words * nodes],
+            nodes,
+        }
+    }
+
+    /// Builds a mirror of `words × nodes` reusing `scratch`'s allocation
+    /// (resized only when the required length changed). The initial
+    /// contents are unspecified — callers must [`LaneMemory::gather`]
+    /// before running, which overwrites every viewed word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn from_scratch(mut scratch: Vec<f32>, words: usize, nodes: usize) -> Self {
+        assert!(nodes > 0, "lane memory needs at least one lane");
+        let needed = words * nodes;
+        if scratch.len() != needed {
+            scratch.clear();
+            scratch.resize(needed, 0.0);
+        }
+        LaneMemory {
+            data: scratch,
+            nodes,
+        }
+    }
+
+    /// Consumes the mirror, returning its allocation for reuse via
+    /// [`LaneMemory::from_scratch`].
+    pub fn into_scratch(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Number of node lanes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// All lanes of lane word `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    #[inline]
+    pub fn word(&self, w: usize) -> &[f32] {
+        &self.data[w * self.nodes..(w + 1) * self.nodes]
+    }
+
+    /// All lanes of lane word `w`, mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    #[inline]
+    pub fn word_mut(&mut self, w: usize) -> &mut [f32] {
+        &mut self.data[w * self.nodes..(w + 1) * self.nodes]
+    }
+
+    /// Copies every viewed range from `mems` (one per lane, in order)
+    /// into the mirror.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mems.len()` differs from the lane count or a range is
+    /// out of a node memory's bounds.
+    pub fn gather(&mut self, view: &LaneView, mems: &[NodeMemory]) {
+        assert_eq!(mems.len(), self.nodes, "one node memory per lane");
+        let nodes = self.nodes;
+        for range in view.ranges() {
+            // Word-outer, lane-inner: the mirror is written sequentially
+            // and each node memory is read as its own sequential stream —
+            // both directions the prefetcher likes. The transposed order
+            // (lane-outer) would write one cache line per element.
+            let srcs: Vec<&[f32]> = mems
+                .iter()
+                .map(|m| m.slice(range.node_base, range.len))
+                .collect();
+            let dst =
+                &mut self.data[range.lane_base * nodes..(range.lane_base + range.len) * nodes];
+            for (w, row) in dst.chunks_exact_mut(nodes).enumerate() {
+                for (slot, src) in row.iter_mut().zip(&srcs) {
+                    *slot = src[w];
+                }
+            }
+        }
+    }
+
+    /// Copies every *writable* viewed range from the mirror back into
+    /// `mems`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mems.len()` differs from the lane count or a range is
+    /// out of a node memory's bounds.
+    pub fn scatter(&self, view: &LaneView, mems: &mut [NodeMemory]) {
+        assert_eq!(mems.len(), self.nodes, "one node memory per lane");
+        let nodes = self.nodes;
+        for range in view.ranges().iter().filter(|r| r.writable) {
+            // The mirror is read sequentially; each node memory is
+            // written as its own sequential stream (see `gather`).
+            let mut dsts: Vec<&mut [f32]> = mems
+                .iter_mut()
+                .map(|m| m.slice_mut(range.node_base, range.len))
+                .collect();
+            let src = &self.data[range.lane_base * nodes..(range.lane_base + range.len) * nodes];
+            for (w, row) in src.chunks_exact(nodes).enumerate() {
+                for (&value, dst) in row.iter().zip(dsts.iter_mut()) {
+                    dst[w] = value;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_assigns_lane_words_in_order() {
+        let view = LaneView::new(&[(100, 4, false), (10, 2, true)]).unwrap();
+        assert_eq!(view.words(), 6);
+        assert_eq!(view.locate(100), Some((0, &view.ranges()[0])));
+        assert_eq!(view.locate(103).unwrap().0, 3);
+        assert_eq!(view.locate(10).unwrap().0, 4);
+        assert_eq!(view.locate(11).unwrap().0, 5);
+        assert!(view.locate(104).is_none());
+        assert!(view.locate(12).is_none());
+        assert!(view.locate(0).is_none());
+    }
+
+    #[test]
+    fn overlapping_or_empty_ranges_are_rejected() {
+        assert!(LaneView::new(&[(0, 4, false), (3, 4, false)]).is_none());
+        assert!(LaneView::new(&[(0, 4, false), (0, 4, true)]).is_none());
+        assert!(LaneView::new(&[(0, 0, false)]).is_none());
+        // Touching (adjacent) ranges are fine.
+        assert!(LaneView::new(&[(0, 4, false), (4, 4, false)]).is_some());
+    }
+
+    #[test]
+    fn gather_transposes_node_major() {
+        let view = LaneView::new(&[(2, 3, true)]).unwrap();
+        let mut mems: Vec<NodeMemory> = (0..2).map(|_| NodeMemory::new(8)).collect();
+        for (n, mem) in mems.iter_mut().enumerate() {
+            for w in 0..3 {
+                mem.write(2 + w, (10 * n + w) as f32);
+            }
+        }
+        let mut lanes = LaneMemory::new(view.words(), 2);
+        lanes.gather(&view, &mems);
+        assert_eq!(lanes.word(0), &[0.0, 10.0]);
+        assert_eq!(lanes.word(1), &[1.0, 11.0]);
+        assert_eq!(lanes.word(2), &[2.0, 12.0]);
+    }
+
+    #[test]
+    fn scatter_writes_only_writable_ranges() {
+        let view = LaneView::new(&[(0, 2, false), (4, 2, true)]).unwrap();
+        let mut mems: Vec<NodeMemory> = (0..2).map(|_| NodeMemory::new(8)).collect();
+        let mut lanes = LaneMemory::new(view.words(), 2);
+        for w in 0..4 {
+            lanes
+                .word_mut(w)
+                .copy_from_slice(&[(w) as f32, (w + 10) as f32]);
+        }
+        lanes.scatter(&view, &mut mems);
+        // Read-only range untouched…
+        assert_eq!(mems[0].read(0), 0.0);
+        assert_eq!(mems[1].read(1), 0.0);
+        // …writable range landed, lane-per-node.
+        assert_eq!(mems[0].read(4), 2.0);
+        assert_eq!(mems[1].read(4), 12.0);
+        assert_eq!(mems[0].read(5), 3.0);
+        assert_eq!(mems[1].read(5), 13.0);
+    }
+
+    #[test]
+    fn gather_scatter_round_trips() {
+        let view = LaneView::new(&[(1, 5, true)]).unwrap();
+        let mut mems: Vec<NodeMemory> = (0..3).map(|_| NodeMemory::new(8)).collect();
+        for (n, mem) in mems.iter_mut().enumerate() {
+            for w in 0..5 {
+                mem.write(1 + w, (n * 100 + w * 7) as f32);
+            }
+        }
+        let before: Vec<NodeMemory> = mems.clone();
+        let mut lanes = LaneMemory::new(view.words(), 3);
+        lanes.gather(&view, &mems);
+        lanes.scatter(&view, &mut mems);
+        assert_eq!(mems, before);
+    }
+}

@@ -30,6 +30,7 @@ pub mod config;
 pub mod exec;
 pub mod grid;
 pub mod isa;
+pub mod lane;
 pub mod machine;
 pub mod memory;
 pub mod news;
@@ -38,11 +39,12 @@ pub mod timing;
 
 pub use config::MachineConfig;
 pub use exec::{
-    ExecMode, FieldLayout, HazardError, ResolvedOp, ResolvedPart, ResolvedSlot, ResolvedStrip,
-    ScheduleStep, StripContext, StripRun,
+    ExecEngine, ExecMode, FieldLayout, HazardError, ResolvedOp, ResolvedPart, ResolvedSlot,
+    ResolvedStrip, ScheduleStep, StripContext, StripRun,
 };
 pub use grid::{Direction, NodeGrid, NodeId};
 pub use isa::{DynamicPart, Kernel, MacAcc, MemRef, Reg, StaticPart};
+pub use lane::{LaneMemory, LaneRange, LaneView};
 pub use machine::{Machine, NodeSlice};
 pub use memory::{Field, FieldAllocator, NodeMemory, OutOfMemory};
 pub use news::{corner_exchange_cycles, news_exchange_cycles, old_exchange_cycles, ExchangeShape};

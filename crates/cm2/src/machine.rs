@@ -17,11 +17,12 @@
 
 use crate::config::MachineConfig;
 use crate::exec::{
-    run_resolved_strip, run_strip, ExecMode, HazardError, ResolvedStrip, ScheduleStep,
-    StripContext, StripRun,
+    run_resolved_strip, run_resolved_strip_lockstep, run_strip, ExecMode, HazardError,
+    ResolvedStrip, ScheduleStep, StripContext, StripRun,
 };
 use crate::grid::{NodeGrid, NodeId};
 use crate::isa::Kernel;
+use crate::lane::{LaneMemory, LaneView};
 use crate::memory::{Field, FieldAllocator, NodeMemory, OutOfMemory};
 
 /// A simulated CM-2: `rows × cols` nodes, each with its own memory,
@@ -45,6 +46,10 @@ pub struct Machine {
     grid: NodeGrid,
     nodes: Vec<NodeMemory>,
     allocator: FieldAllocator,
+    /// Recycled lane-mirror allocations (one per lockstep worker group),
+    /// so steady-state lockstep execution performs no large host
+    /// allocations.
+    lane_scratch: Vec<Vec<f32>>,
 }
 
 impl Machine {
@@ -66,6 +71,7 @@ impl Machine {
             grid,
             nodes,
             allocator,
+            lane_scratch: Vec::new(),
         })
     }
 
@@ -385,6 +391,77 @@ impl Machine {
         }
         Ok(reduced.expect("machine has at least one node"))
     }
+
+    /// Executes a lane-translated strip sequence on every node through
+    /// the lockstep broadcast engine: nodes are gathered into node-major
+    /// lane storage per `view`, each step runs across all lanes at once,
+    /// and writable ranges are scattered back.
+    ///
+    /// With `threads > 1` the *lanes within each step* are split: each
+    /// worker owns a contiguous group of nodes as its own lane block and
+    /// replays the identical stream, so — unlike a reduction over
+    /// independently ordered nodes — thread count cannot affect any
+    /// arithmetic order and results are bit-identical for every value.
+    ///
+    /// The strips must come from [`ResolvedStrip::translate`] against
+    /// `view`. Fast-mode functional semantics only; counters are the
+    /// per-node values (each broadcast step counted once), matching
+    /// [`Machine::run_resolved_all`] in [`ExecMode::Fast`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a lane address is out of the view's bounds or a worker
+    /// thread panics.
+    pub fn run_resolved_lockstep_all(
+        &mut self,
+        lane_strips: &[ResolvedStrip],
+        view: &LaneView,
+        threads: usize,
+    ) -> StripRun {
+        if lane_strips.is_empty() {
+            return StripRun::default();
+        }
+        let threads = threads.clamp(1, self.nodes.len());
+        let run_group = |mems: &mut [NodeMemory], scratch: Vec<f32>| -> (StripRun, Vec<f32>) {
+            let mut lanes = LaneMemory::from_scratch(scratch, view.words(), mems.len());
+            lanes.gather(view, mems);
+            let mut total = StripRun::default();
+            for strip in lane_strips {
+                total.absorb(&run_resolved_strip_lockstep(strip, &mut lanes));
+            }
+            lanes.scatter(view, mems);
+            (total, lanes.into_scratch())
+        };
+        // Reuse the previous call's lane-mirror allocations: steady-state
+        // lockstep execution then touches no fresh pages.
+        let mut scratch = std::mem::take(&mut self.lane_scratch);
+        scratch.resize_with(threads, Vec::new);
+        let (per_group, recycled): (Vec<StripRun>, Vec<Vec<f32>>) = if threads == 1 {
+            let (run, buf) = run_group(&mut self.nodes, scratch.pop().expect("one buffer"));
+            (vec![run], vec![buf])
+        } else {
+            let run_group = &run_group;
+            let chunk = self.nodes.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .nodes
+                    .chunks_mut(chunk)
+                    .zip(scratch.drain(..))
+                    .map(|(mems, buf)| scope.spawn(move || run_group(mems, buf)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("lane worker panicked"))
+                    .unzip()
+            })
+        };
+        self.lane_scratch = recycled;
+        let first = per_group[0];
+        for other in &per_group[1..] {
+            debug_assert_eq!(&first, other, "lane groups replay identical streams");
+        }
+        first
+    }
 }
 
 /// A contiguous group of nodes handed to one worker thread.
@@ -688,6 +765,68 @@ mod tests {
         let mut m = machine();
         let runs = m.run_schedule_all(&[], ExecMode::Cycle, 8).unwrap();
         assert!(runs.is_empty());
+    }
+
+    #[test]
+    fn lockstep_engine_matches_scalar_for_all_thread_counts() {
+        use crate::exec::FieldLayout;
+        // Reference: the scalar fast engine, threads=1.
+        let run_machine = |lockstep_threads: Option<usize>| -> (Vec<Vec<f32>>, StripRun) {
+            let mut m = machine();
+            let (consts, res, kernel) = store_schedule_fixture(&mut m);
+            let ctx = StripContext {
+                srcs: &[],
+                res: FieldLayout {
+                    base: res.base(),
+                    row_stride: 1,
+                    row_offset: 0,
+                    col_offset: 0,
+                },
+                coeffs: &[],
+                ones_addr: consts.addr(0),
+                zeros_addr: consts.addr(1),
+                start_row: 3,
+                lines: 4,
+                col0: 0,
+            };
+            let strips = vec![ResolvedStrip::new(&kernel, &ctx); 3];
+            let run = match lockstep_threads {
+                None => m.run_resolved_all(&strips, ExecMode::Fast, 1).unwrap(),
+                Some(threads) => {
+                    let view = LaneView::new(&[
+                        (consts.base(), consts.len(), false),
+                        (res.base(), res.len(), true),
+                    ])
+                    .unwrap();
+                    let lane_strips: Vec<ResolvedStrip> = strips
+                        .iter()
+                        .map(|s| s.translate(&view).expect("view covers the fixture"))
+                        .collect();
+                    m.run_resolved_lockstep_all(&lane_strips, &view, threads)
+                }
+            };
+            let mems = m
+                .par_nodes_mut()
+                .map(|(_, mem)| mem.slice(0, 8).to_vec())
+                .collect();
+            (mems, run)
+        };
+        let (scalar_mems, scalar_run) = run_machine(None);
+        for threads in [1usize, 2, 3, 8] {
+            let (mems, run) = run_machine(Some(threads));
+            assert_eq!(mems, scalar_mems, "threads = {threads}");
+            assert_eq!(run, scalar_run, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn lockstep_with_no_strips_is_a_no_op() {
+        let mut m = machine();
+        let view = LaneView::new(&[(0, 4, true)]).unwrap();
+        assert_eq!(
+            m.run_resolved_lockstep_all(&[], &view, 2),
+            StripRun::default()
+        );
     }
 
     #[test]

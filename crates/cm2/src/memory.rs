@@ -366,6 +366,15 @@ impl NodeMemory {
         &self.words[addr..addr + len]
     }
 
+    /// A mutable slice view of `len` words starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice_mut(&mut self, addr: usize, len: usize) -> &mut [f32] {
+        &mut self.words[addr..addr + len]
+    }
+
     /// Copies `data` into memory starting at `addr`.
     ///
     /// # Panics

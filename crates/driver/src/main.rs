@@ -19,6 +19,10 @@
 //!                      reporting first-iteration vs steady-state time
 //!   --subgrid RxC      per-node subgrid for --run (default 64x64)
 //!   --threads N        host threads for node execution (default: all cores)
+//!   --engine E         scalar | lockstep: fast-mode interpreter for --run.
+//!                      lockstep implies fast (functional) execution — the
+//!                      cycle model needs the scalar path — so cycle counts
+//!                      are reported as 0 and only wall-clock timing applies
 //!   --full-machine     extrapolate rates to 2,048 nodes
 //!   --pictogram        draw each recognized stencil
 //!   --dump-kernel      print the widest kernel's microcode listing
@@ -26,6 +30,7 @@
 //! ```
 
 use cmcc_cm2::config::MachineConfig;
+use cmcc_cm2::exec::{ExecEngine, ExecMode};
 use cmcc_cm2::machine::Machine;
 use cmcc_core::compiler::Compiler;
 use cmcc_core::pictogram::render_stencil;
@@ -46,6 +51,7 @@ struct Options {
     iters: usize,
     subgrid: (usize, usize),
     threads: Option<usize>,
+    engine: Option<ExecEngine>,
     full_machine: bool,
     pictogram: bool,
     dump_kernel: bool,
@@ -53,7 +59,8 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: cmcc [--run] [--iters N] [--subgrid RxC] [--threads N] [--full-machine] \
+        "usage: cmcc [--run] [--iters N] [--subgrid RxC] [--threads N] \
+         [--engine scalar|lockstep] [--full-machine] \
          [--pictogram] [--dump-kernel] <file.f90 | ->"
     );
     std::process::exit(2);
@@ -66,6 +73,7 @@ fn parse_args() -> Options {
         iters: 1,
         subgrid: (64, 64),
         threads: None,
+        engine: None,
         full_machine: false,
         pictogram: false,
         dump_kernel: false,
@@ -91,6 +99,14 @@ fn parse_args() -> Options {
                 let Some(n) = args.next() else { usage() };
                 match n.parse::<usize>() {
                     Ok(n) if n > 0 => opts.threads = Some(n),
+                    _ => usage(),
+                }
+            }
+            "--engine" => {
+                let Some(e) = args.next() else { usage() };
+                match e.as_str() {
+                    "scalar" => opts.engine = Some(ExecEngine::Scalar),
+                    "lockstep" => opts.engine = Some(ExecEngine::Lockstep),
                     _ => usage(),
                 }
             }
@@ -242,10 +258,18 @@ fn run_compiled(
 
     let source_refs: Vec<&CmArray> = sources.iter().collect();
     let coeff_refs: Vec<&CmArray> = coeffs.iter().collect();
-    let exec_opts = match opts.threads {
+    let mut exec_opts = match opts.threads {
         Some(n) => ExecOptions::default().with_threads(n),
         None => ExecOptions::default(),
     };
+    if let Some(engine) = opts.engine {
+        // The lockstep engine is functional-only: the cycle-accurate
+        // pipeline model runs node by node on the scalar path.
+        exec_opts = exec_opts.with_engine(engine);
+        if engine == ExecEngine::Lockstep {
+            exec_opts.mode = ExecMode::Fast;
+        }
+    }
 
     // Compile-once/run-many: the plan (halo buffers, exchange program,
     // resolved schedule) is built on the first iteration only; later
@@ -293,21 +317,38 @@ fn run_compiled(
         .into());
     }
 
-    print!(
-        "    ran {}x{} ({}x{} per node): {} cycles, {:.1} Mflops on {} nodes",
-        rows,
-        cols,
-        opts.subgrid.0,
-        opts.subgrid.1,
-        m.cycles.total(),
-        m.mflops(cfg),
-        machine.node_count(),
-    );
-    if opts.full_machine {
+    if exec_opts.mode == ExecMode::Fast {
+        // Functional engines skip the pipeline model, so there is no
+        // cycle count to convert into a rate — report wall-clock only.
+        let engine = match exec_opts.engine {
+            ExecEngine::Scalar => "scalar",
+            ExecEngine::Lockstep => "lockstep",
+        };
         print!(
-            " -> {:.2} Gflops on 2,048 nodes",
-            m.extrapolate(2048).gflops(cfg)
+            "    ran {}x{} ({}x{} per node): functional ({engine}) on {} nodes",
+            rows,
+            cols,
+            opts.subgrid.0,
+            opts.subgrid.1,
+            machine.node_count(),
         );
+    } else {
+        print!(
+            "    ran {}x{} ({}x{} per node): {} cycles, {:.1} Mflops on {} nodes",
+            rows,
+            cols,
+            opts.subgrid.0,
+            opts.subgrid.1,
+            m.cycles.total(),
+            m.mflops(cfg),
+            machine.node_count(),
+        );
+        if opts.full_machine {
+            print!(
+                " -> {:.2} Gflops on 2,048 nodes",
+                m.extrapolate(2048).gflops(cfg)
+            );
+        }
     }
     println!(" [verified bit-exact]");
     if opts.iters > 1 {

@@ -14,7 +14,7 @@ use crate::array::CmArray;
 use crate::error::RuntimeError;
 use crate::halo::ExchangePrimitive;
 use crate::plan::{ExecutionPlan, PlanLifetime, StencilBinding};
-use cmcc_cm2::exec::ExecMode;
+use cmcc_cm2::exec::{ExecEngine, ExecMode};
 use cmcc_cm2::machine::Machine;
 use cmcc_cm2::timing::Measurement;
 use cmcc_core::compiler::CompiledStencil;
@@ -25,6 +25,12 @@ use cmcc_core::compiler::CompiledStencil;
 pub struct ExecOptions {
     /// Cycle-accurate (timed) or fast functional execution.
     pub mode: ExecMode,
+    /// Which interpreter runs fast-mode kernels: the node-outer scalar
+    /// path or the step-outer lockstep broadcast over node lanes
+    /// (bit-identical results; cycle mode always runs scalar). Plans
+    /// fall back to scalar when a binding cannot be lane-mapped (array
+    /// aliasing).
+    pub engine: ExecEngine,
     /// Process strips as two half-strips (the paper's scheme) or as one
     /// full pass (the ablation's alternative).
     pub half_strips: bool,
@@ -34,11 +40,13 @@ pub struct ExecOptions {
     /// taps ("the test is very easy and quick", §5.1). Disabled only by
     /// the corner ablation.
     pub skip_corners_when_possible: bool,
-    /// Host threads the per-node kernel execution fans out over
-    /// (clamped to `1..=node_count`; `1` is the serial path). Results and
-    /// [`Measurement`]s are bit-identical for every value — the node
-    /// reduction is deterministic — so this knob trades wall-clock time
-    /// only. Defaults to the host's available parallelism.
+    /// Host threads kernel execution fans out over (clamped to
+    /// `1..=node_count`; `1` is the serial path). The scalar engine
+    /// splits whole nodes across threads; the lockstep engine splits
+    /// lanes within each step. Results and [`Measurement`]s are
+    /// bit-identical for every value — the node reduction is
+    /// deterministic — so this knob trades wall-clock time only.
+    /// Defaults to the host's available parallelism.
     pub threads: usize,
 }
 
@@ -46,6 +54,7 @@ impl Default for ExecOptions {
     fn default() -> Self {
         ExecOptions {
             mode: ExecMode::Cycle,
+            engine: ExecEngine::default(),
             half_strips: true,
             primitive: ExchangePrimitive::News,
             skip_corners_when_possible: true,
@@ -83,6 +92,11 @@ impl ExecOptions {
     /// The same options with a pinned thread count.
     pub fn with_threads(self, threads: usize) -> Self {
         ExecOptions { threads, ..self }
+    }
+
+    /// The same options with a pinned fast-mode engine.
+    pub fn with_engine(self, engine: ExecEngine) -> Self {
+        ExecOptions { engine, ..self }
     }
 }
 

@@ -57,6 +57,7 @@ pub mod strips;
 pub mod volume;
 
 pub use array::CmArray;
+pub use cmcc_cm2::exec::ExecEngine;
 pub use convolve::{convolve, convolve_multi, ExecOptions};
 pub use error::RuntimeError;
 pub use halo::{ExchangePrimitive, ExchangeProgram, HaloBuffer};

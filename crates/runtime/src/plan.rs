@@ -33,7 +33,8 @@ use crate::convolve::ExecOptions;
 use crate::error::RuntimeError;
 use crate::halo::{ExchangeProgram, HaloBuffer};
 use crate::strips::{full_strip, halfstrips, plan_strips};
-use cmcc_cm2::exec::{FieldLayout, ResolvedStrip, StripContext};
+use cmcc_cm2::exec::{ExecEngine, ExecMode, FieldLayout, ResolvedStrip, StripContext};
+use cmcc_cm2::lane::LaneView;
 use cmcc_cm2::machine::Machine;
 use cmcc_cm2::memory::Field;
 use cmcc_cm2::timing::{CycleBreakdown, Measurement};
@@ -210,6 +211,17 @@ pub enum PlanLifetime {
 #[derive(Debug, Clone)]
 pub struct ExecutionPlan {
     strips: Vec<ResolvedStrip>,
+    /// The strip schedule translated into lane-word addresses, when the
+    /// plan runs on the lockstep engine (fast mode, no array aliasing).
+    /// Empty otherwise. Lane addresses depend only on the view's range
+    /// lengths and order — both rebind-invariant — so these never need
+    /// rebasing.
+    lane_strips: Vec<ResolvedStrip>,
+    /// The node-memory ↔ lane-word map for the lockstep engine. `None`
+    /// when the engine is scalar, the mode is cycle-accurate, or the
+    /// current binding aliases arrays (then `execute` falls back to the
+    /// scalar path). Rebind recomputes it in place.
+    lane_view: Option<LaneView>,
     halos: Vec<HaloBuffer>,
     exchanges: Vec<ExchangeProgram>,
     consts: Field,
@@ -388,13 +400,42 @@ impl ExecutionPlan {
             }
         }
 
+        // Lane mapping for the lockstep engine: mirror exactly the
+        // buffers the schedule touches, translate the schedule into lane
+        // words. Either step can fail — aliased arrays overlap, or an
+        // address walk escapes its buffer — and then the plan simply
+        // keeps the scalar path.
+        let literal_pages: Vec<(Field, f32)> = pages.into_iter().flatten().collect();
+        let mut lane_view = None;
+        let mut lane_strips = Vec::new();
+        if opts.mode == ExecMode::Fast && opts.engine == ExecEngine::Lockstep {
+            if let Some(view) = LaneView::new(&lane_ranges(
+                &halos,
+                consts,
+                &literal_pages,
+                binding.coeffs(),
+                &result,
+            )) {
+                if let Some(translated) = strips
+                    .iter()
+                    .map(|s| s.translate(&view))
+                    .collect::<Option<Vec<_>>>()
+                {
+                    lane_view = Some(view);
+                    lane_strips = translated;
+                }
+            }
+        }
+
         let cfg = machine.config();
         Ok(ExecutionPlan {
             strips,
+            lane_strips,
+            lane_view,
             halos,
             exchanges,
             consts,
-            literal_pages: pages.into_iter().flatten().collect(),
+            literal_pages,
             named_slots,
             coeff_slot_count: spec.coeffs.len(),
             result,
@@ -424,7 +465,14 @@ impl ExecutionPlan {
             comm += program.run(machine);
         }
 
-        let run = machine.run_resolved_all(&self.strips, self.opts.mode, self.opts.threads)?;
+        let run = match &self.lane_view {
+            // The lockstep engine: every node gathered into lane storage,
+            // each resolved step broadcast across all lanes at once.
+            Some(view) => {
+                machine.run_resolved_lockstep_all(&self.lane_strips, view, self.opts.threads)
+            }
+            None => machine.run_resolved_all(&self.strips, self.opts.mode, self.opts.threads)?,
+        };
         // One front-end microcode dispatch per half-strip, exactly as the
         // rebuild path charges.
         let frontend = self.call_overhead + self.dispatch * self.strips.len() as u64;
@@ -513,6 +561,34 @@ impl ExecutionPlan {
         self.sources.extend(sources.iter().map(|s| **s));
         self.coeffs.clear();
         self.coeffs.extend(coeffs.iter().map(|c| **c));
+
+        // Recompute the lane view against the new arrays. The ranges keep
+        // their order and lengths (shapes were just validated), so lane
+        // addresses are unchanged and the translated strips stay valid;
+        // only the gather/scatter bases move. A rebind can also turn the
+        // lockstep path off (the new binding aliases arrays) or back on.
+        if self.opts.mode == ExecMode::Fast && self.opts.engine == ExecEngine::Lockstep {
+            self.lane_view = None;
+            if let Some(view) = LaneView::new(&lane_ranges(
+                &self.halos,
+                self.consts,
+                &self.literal_pages,
+                &self.coeffs,
+                &self.result,
+            )) {
+                if self.lane_strips.len() == self.strips.len() {
+                    self.lane_view = Some(view);
+                } else if let Some(translated) = self
+                    .strips
+                    .iter()
+                    .map(|s| s.translate(&view))
+                    .collect::<Option<Vec<_>>>()
+                {
+                    self.lane_strips = translated;
+                    self.lane_view = Some(view);
+                }
+            }
+        }
         Ok(())
     }
 
@@ -569,6 +645,13 @@ impl ExecutionPlan {
         self.strips.len()
     }
 
+    /// Whether `execute` currently runs the lockstep broadcast engine
+    /// (fast mode, lockstep engine selected, current binding lane-mapped
+    /// without aliasing). False means the scalar fallback.
+    pub fn uses_lockstep(&self) -> bool {
+        self.lane_view.is_some()
+    }
+
     /// Words of node memory the plan's halo buffers and constant pages
     /// occupy.
     pub fn words(&self) -> usize {
@@ -580,6 +663,37 @@ impl ExecutionPlan {
                 .map(|(p, _)| p.len())
                 .sum::<usize>()
     }
+}
+
+/// The node-memory ranges a plan's schedule can touch, in the fixed
+/// order the lane view mirrors them: halo buffers, the constant pair,
+/// literal coefficient pages, named coefficient arrays (all read-only),
+/// then the result array (the one range scattered back). The order and
+/// lengths are rebind-invariant, which is what keeps lane-translated
+/// strips valid across rebinds.
+fn lane_ranges(
+    halos: &[HaloBuffer],
+    consts: Field,
+    literal_pages: &[(Field, f32)],
+    coeffs: &[CmArray],
+    result: &CmArray,
+) -> Vec<(usize, usize, bool)> {
+    let mut ranges = Vec::new();
+    for halo in halos {
+        let f = halo.field();
+        ranges.push((f.base(), f.len(), false));
+    }
+    ranges.push((consts.base(), consts.len(), false));
+    for &(page, _) in literal_pages {
+        ranges.push((page.base(), page.len(), false));
+    }
+    for c in coeffs {
+        let f = c.field();
+        ranges.push((f.base(), f.len(), false));
+    }
+    let f = result.field();
+    ranges.push((f.base(), f.len(), true));
+    ranges
 }
 
 #[cfg(test)]
@@ -750,6 +864,137 @@ mod tests {
             plan.rebind(&r, &[], &[&c]),
             Err(RuntimeError::WrongSourceCount { .. })
         ));
+        plan.release(&mut m);
+    }
+
+    #[test]
+    fn lockstep_plan_matches_scalar_plan_bit_for_bit() {
+        let mut m = machine();
+        let compiled = compile(&m, &PaperPattern::Square9.fortran());
+        let x = CmArray::new(&mut m, 8, 8).unwrap();
+        x.fill_with(&mut m, |r, c| ((r * 13 + c * 7) % 11) as f32 * 0.5 - 2.0);
+        let coeffs: Vec<CmArray> = (0..9)
+            .map(|i| {
+                let a = CmArray::new(&mut m, 8, 8).unwrap();
+                a.fill_with(&mut m, move |r, c| {
+                    ((r * 3 + c * 5 + i) % 7) as f32 * 0.125 - 0.25
+                });
+                a
+            })
+            .collect();
+        let refs: Vec<&CmArray> = coeffs.iter().collect();
+        let r_scalar = CmArray::new(&mut m, 8, 8).unwrap();
+        let r_lock = CmArray::new(&mut m, 8, 8).unwrap();
+
+        let scalar_opts = ExecOptions::fast().with_engine(ExecEngine::Scalar);
+        let b = StencilBinding::new(&compiled, &r_scalar, &[&x], &refs).unwrap();
+        let scalar_plan =
+            ExecutionPlan::build(&mut m, &b, &scalar_opts, PlanLifetime::Persistent).unwrap();
+        assert!(!scalar_plan.uses_lockstep());
+        let scalar_meas = scalar_plan.execute(&mut m).unwrap();
+
+        let lock_opts = ExecOptions::fast().with_engine(ExecEngine::Lockstep);
+        let b = StencilBinding::new(&compiled, &r_lock, &[&x], &refs).unwrap();
+        let lock_plan =
+            ExecutionPlan::build(&mut m, &b, &lock_opts, PlanLifetime::Persistent).unwrap();
+        assert!(lock_plan.uses_lockstep());
+        let lock_meas = lock_plan.execute(&mut m).unwrap();
+
+        assert_eq!(scalar_meas, lock_meas);
+        let want = r_scalar.gather(&m);
+        let got = r_lock.gather(&m);
+        for (a, b) in want.iter().zip(&got) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        scalar_plan.release(&mut m);
+        lock_plan.release(&mut m);
+    }
+
+    #[test]
+    fn aliased_binding_falls_back_to_scalar() {
+        let mut m = machine();
+        let compiled = compile(&m, "R = C * X");
+        let x = CmArray::new(&mut m, 8, 8).unwrap();
+        x.fill(&mut m, 2.0);
+        let c = CmArray::new(&mut m, 8, 8).unwrap();
+        c.fill(&mut m, 3.0);
+        let r = CmArray::new(&mut m, 8, 8).unwrap();
+        let opts = ExecOptions::fast();
+        assert_eq!(opts.engine, ExecEngine::Lockstep);
+
+        // Result aliased to the coefficient array: the lane mirror cannot
+        // represent one buffer in two roles, so the plan must fall back —
+        // and still compute the correct result through the scalar path.
+        let b = StencilBinding::new(&compiled, &c, &[&x], &[&c]).unwrap();
+        let plan = ExecutionPlan::build(&mut m, &b, &opts, PlanLifetime::Persistent).unwrap();
+        assert!(!plan.uses_lockstep());
+        plan.execute(&mut m).unwrap();
+        assert_eq!(c.get(&m, 3, 3), 6.0);
+        plan.release(&mut m);
+
+        // A clean binding keeps the lockstep engine.
+        let b = StencilBinding::new(&compiled, &r, &[&x], &[&c]).unwrap();
+        let plan = ExecutionPlan::build(&mut m, &b, &opts, PlanLifetime::Persistent).unwrap();
+        assert!(plan.uses_lockstep());
+        plan.release(&mut m);
+    }
+
+    #[test]
+    fn rebind_keeps_lockstep_matching_fresh_convolve() {
+        let mut m = machine();
+        let compiled = compile(&m, "R = C * CSHIFT(X, 2, 1) + 0.5 * X");
+        let mk = |m: &mut Machine, seed: usize| {
+            let a = CmArray::new(m, 8, 8).unwrap();
+            a.fill_with(m, move |r, c| ((r * 5 + c * 3 + seed) % 17) as f32 * 0.25);
+            a
+        };
+        let x1 = mk(&mut m, 1);
+        let c1 = mk(&mut m, 2);
+        let x2 = mk(&mut m, 3);
+        let c2 = mk(&mut m, 4);
+        let r1 = CmArray::new(&mut m, 8, 8).unwrap();
+        let r2 = CmArray::new(&mut m, 8, 8).unwrap();
+        let opts = ExecOptions::fast();
+
+        let binding = StencilBinding::new(&compiled, &r1, &[&x1], &[&c1]).unwrap();
+        let mut plan =
+            ExecutionPlan::build(&mut m, &binding, &opts, PlanLifetime::Persistent).unwrap();
+        assert!(plan.uses_lockstep());
+        plan.execute(&mut m).unwrap();
+        plan.rebind(&r2, &[&x2], &[&c2]).unwrap();
+        assert!(plan.uses_lockstep(), "rebind must keep the lane view");
+        plan.execute(&mut m).unwrap();
+
+        // Rebinding onto an aliased pair turns the engine off…
+        plan.rebind(&c1, &[&x1], &[&c1]).unwrap();
+        assert!(!plan.uses_lockstep());
+        // …and a clean rebind turns it back on.
+        plan.rebind(&r1, &[&x1], &[&c1]).unwrap();
+        assert!(plan.uses_lockstep());
+        plan.execute(&mut m).unwrap();
+
+        let r_fresh = CmArray::new(&mut m, 8, 8).unwrap();
+        convolve(
+            &mut m,
+            &compiled,
+            &r_fresh,
+            &x2,
+            &[&c2],
+            &ExecOptions::fast().with_engine(ExecEngine::Scalar),
+        )
+        .unwrap();
+        assert_eq!(r2.gather(&m), r_fresh.gather(&m));
+        let r_fresh1 = CmArray::new(&mut m, 8, 8).unwrap();
+        convolve(
+            &mut m,
+            &compiled,
+            &r_fresh1,
+            &x1,
+            &[&c1],
+            &ExecOptions::fast().with_engine(ExecEngine::Scalar),
+        )
+        .unwrap();
+        assert_eq!(r1.gather(&m), r_fresh1.gather(&m));
         plan.release(&mut m);
     }
 

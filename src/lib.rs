@@ -47,8 +47,8 @@ pub use cmcc_runtime as runtime;
 pub use cmcc_cm2::{CycleBreakdown, Machine, MachineConfig, Measurement};
 pub use cmcc_core::{CompileError, CompiledStencil, Compiler, PaperPattern};
 pub use cmcc_runtime::{
-    convolve, convolve_multi, convolve_volume, CmArray, CmVolume, ExecOptions, ExecutionPlan,
-    PlanLifetime, RuntimeError, StencilBinding,
+    convolve, convolve_multi, convolve_volume, CmArray, CmVolume, ExecEngine, ExecOptions,
+    ExecutionPlan, PlanLifetime, RuntimeError, StencilBinding,
 };
 
 use std::error::Error;

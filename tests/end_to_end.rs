@@ -154,34 +154,39 @@ fn every_option_combination_is_functionally_identical() {
             for primitive in [ExchangePrimitive::News, ExchangePrimitive::OldPerDirection] {
                 for skip in [true, false] {
                     for threads in [1usize, 8] {
-                        let opts = Opts {
-                            mode,
-                            half_strips,
-                            primitive,
-                            skip_corners_when_possible: skip,
-                            threads,
-                        };
-                        let (rows, cols) = (8usize, 8usize);
-                        let x = session.array(rows, cols).unwrap();
-                        x.fill_with(session.machine_mut(), |r, c| ((r * 3 + c) % 7) as f32);
-                        let coeffs: Vec<CmArray> = (0..9)
-                            .map(|i| {
-                                let a = session.array(rows, cols).unwrap();
-                                a.fill(session.machine_mut(), (i as f32 - 4.0) * 0.1);
-                                a
-                            })
-                            .collect();
-                        let refs: Vec<&CmArray> = coeffs.iter().collect();
-                        let r = session.array(rows, cols).unwrap();
-                        session.run_with(&compiled, &r, &x, &refs, &opts).unwrap();
-                        let bits: Vec<u32> = r
-                            .gather(session.machine())
-                            .iter()
-                            .map(|v| v.to_bits())
-                            .collect();
-                        match &baseline {
-                            None => baseline = Some(bits),
-                            Some(b) => assert_eq!(b, &bits, "options {opts:?} changed the result"),
+                        for engine in [cmcc::ExecEngine::Scalar, cmcc::ExecEngine::Lockstep] {
+                            let opts = Opts {
+                                mode,
+                                engine,
+                                half_strips,
+                                primitive,
+                                skip_corners_when_possible: skip,
+                                threads,
+                            };
+                            let (rows, cols) = (8usize, 8usize);
+                            let x = session.array(rows, cols).unwrap();
+                            x.fill_with(session.machine_mut(), |r, c| ((r * 3 + c) % 7) as f32);
+                            let coeffs: Vec<CmArray> = (0..9)
+                                .map(|i| {
+                                    let a = session.array(rows, cols).unwrap();
+                                    a.fill(session.machine_mut(), (i as f32 - 4.0) * 0.1);
+                                    a
+                                })
+                                .collect();
+                            let refs: Vec<&CmArray> = coeffs.iter().collect();
+                            let r = session.array(rows, cols).unwrap();
+                            session.run_with(&compiled, &r, &x, &refs, &opts).unwrap();
+                            let bits: Vec<u32> = r
+                                .gather(session.machine())
+                                .iter()
+                                .map(|v| v.to_bits())
+                                .collect();
+                            match &baseline {
+                                None => baseline = Some(bits),
+                                Some(b) => {
+                                    assert_eq!(b, &bits, "options {opts:?} changed the result")
+                                }
+                            }
                         }
                     }
                 }
