@@ -1,0 +1,210 @@
+//! Lane-resident steady state benchmark: persistent mirror vs
+//! gather-everything lockstep.
+//!
+//! Runs the iterated 9-point square stencil on the simulated 16-node
+//! test board with a 128×128 per-node subgrid (a 512×512 global array)
+//! in fast lockstep mode, once with the lane-resident steady state (the
+//! default: the plan's mirror persists across executes, sources are
+//! refreshed and the halo exchange runs directly on lane storage, only
+//! writable ranges are scattered back) and once with residency pinned
+//! off (every iteration gathers the full operand view and exchanges on
+//! the node domain — the prior steady state). A scalar fast run is the
+//! oracle.
+//!
+//! All three runs must produce bit-identical results and exactly equal
+//! `Measurement`s; the resident path must not allocate mirror storage
+//! after warmup. The steady-state speedup of resident over non-resident
+//! is asserted ≥1.3× in full mode and written to
+//! `BENCH_lane_resident.json` either way, together with each
+//! configuration's steady-state copy bytes per iteration.
+//!
+//! ```sh
+//! cargo run --release -p cmcc-bench --bin repro_lane_resident
+//! cargo run --release -p cmcc-bench --bin repro_lane_resident -- --quick
+//! ```
+//!
+//! `--quick` runs 2 timed iterations per configuration and checks
+//! equivalence and allocation-freedom only (for CI, where wall-clock
+//! ratios on shared runners are noise).
+
+use cmcc_bench::Workload;
+use cmcc_cm2::config::MachineConfig;
+use cmcc_cm2::timing::Measurement;
+use cmcc_core::patterns::PaperPattern;
+use cmcc_runtime::array::CmArray;
+use cmcc_runtime::convolve::ExecOptions;
+use cmcc_runtime::plan::{ExecutionPlan, PlanLifetime, StencilBinding};
+use cmcc_runtime::ExecEngine;
+use std::time::Instant;
+
+const SUBGRID: (usize, usize) = (128, 128);
+const FULL_ITERS: usize = 20;
+const WARMUP: usize = 2;
+
+/// One timed configuration: best steady-state seconds per iteration, the
+/// measurement, the gathered result, the machine-total copy bytes per
+/// steady-state iteration, and the lane-mirror allocations that happened
+/// *during the timed iterations* (must be zero everywhere).
+struct Timed {
+    secs: f64,
+    m: Measurement,
+    result: Vec<f32>,
+    copy_bytes: usize,
+    steady_mirror_allocs: u64,
+}
+
+/// Builds a plan for `w` under `opts`, replays it `WARMUP + iters`
+/// times, and reports the steady state.
+fn time_config(w: &mut Workload, opts: &ExecOptions, iters: usize, resident: bool) -> Timed {
+    let refs: Vec<&CmArray> = w.coeffs.iter().collect();
+    let binding =
+        StencilBinding::new(&w.compiled, &w.r, &[&w.x], &refs).expect("bench binding is valid");
+    let mark = w.machine.alloc_mark();
+    let mut plan = ExecutionPlan::build(&mut w.machine, &binding, opts, PlanLifetime::Scoped)
+        .expect("bench plan builds");
+    assert_eq!(
+        plan.uses_lane_resident(),
+        resident,
+        "residency must follow the requested options on a clean binding"
+    );
+    let copy_bytes = plan.steady_state_copy_words() * 4;
+    let mut m = plan.execute(&mut w.machine).expect("bench plan executes");
+    for _ in 1..WARMUP {
+        m = plan.execute(&mut w.machine).expect("bench plan executes");
+    }
+    let warm_allocs = plan.lane_mirror_allocations();
+    let node_allocs = w.machine.alloc_count();
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        m = plan.execute(&mut w.machine).expect("bench plan executes");
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    let steady_mirror_allocs = plan.lane_mirror_allocations() - warm_allocs;
+    assert_eq!(
+        w.machine.alloc_count(),
+        node_allocs,
+        "steady-state execute must not allocate node fields"
+    );
+    let result = w.r.gather(&w.machine);
+    w.machine.release_to(mark);
+    Timed {
+        secs: best,
+        m,
+        result,
+        copy_bytes,
+        steady_mirror_allocs,
+    }
+}
+
+fn workload() -> Workload {
+    Workload::new(
+        MachineConfig::test_board_16(),
+        PaperPattern::Square9,
+        SUBGRID,
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iters = if quick { 2 } else { FULL_ITERS };
+
+    println!("Lane-resident steady state benchmark (fast lockstep, 1 host thread)");
+    println!(
+        "9-point square, {}x{} per node on the 16-node board (512x512 global), \
+         warmup {WARMUP} + {iters} iters per configuration\n",
+        SUBGRID.0, SUBGRID.1
+    );
+
+    let lockstep = ExecOptions::fast()
+        .with_engine(ExecEngine::Lockstep)
+        .with_threads(1);
+    let scalar = ExecOptions::fast()
+        .with_engine(ExecEngine::Scalar)
+        .with_threads(1);
+
+    // Identically-seeded workloads per configuration, so any divergence
+    // is the steady state's fault, not the data's.
+    let resident = time_config(&mut workload(), &lockstep, iters, true);
+    println!(
+        "  lane-resident: {:.6} s/iter, {} copy bytes/iter",
+        resident.secs, resident.copy_bytes
+    );
+    let baseline = time_config(
+        &mut workload(),
+        &lockstep.with_lane_resident(false),
+        iters,
+        false,
+    );
+    println!(
+        "  gather/scatter: {:.6} s/iter, {} copy bytes/iter",
+        baseline.secs, baseline.copy_bytes
+    );
+    let oracle = time_config(
+        &mut workload(),
+        &scalar.with_lane_resident(false),
+        iters,
+        false,
+    );
+    println!("  scalar oracle:  {:.6} s/iter", oracle.secs);
+
+    let bits = |v: &[f32]| v.iter().map(|f| f.to_bits()).collect::<Vec<u32>>();
+    let bit_identical = bits(&resident.result) == bits(&oracle.result)
+        && bits(&baseline.result) == bits(&oracle.result);
+    let measurement_equal = resident.m == oracle.m && baseline.m == oracle.m;
+    let speedup = baseline.secs / resident.secs;
+    println!(
+        "\n  resident speedup over gather/scatter {speedup:.2}x; \
+         bit-identical: {bit_identical}; measurements equal: {measurement_equal}; \
+         steady-state mirror allocations: {}",
+        resident.steady_mirror_allocs
+    );
+
+    let json = format!(
+        "{{\n  \"pattern\": \"{}\",\n  \"global_grid\": [512, 512],\n  \"subgrid\": [{}, {}],\n  \
+         \"threads\": 1,\n  \"warmup\": {WARMUP},\n  \"iters\": {iters},\n  \
+         \"resident_secs_per_iter\": {:.6},\n  \
+         \"lockstep_secs_per_iter\": {:.6},\n  \
+         \"scalar_secs_per_iter\": {:.6},\n  \
+         \"resident_copy_bytes_per_iter\": {},\n  \
+         \"lockstep_copy_bytes_per_iter\": {},\n  \
+         \"speedup\": {speedup:.4},\n  \
+         \"steady_state_lane_mirror_allocs\": {},\n  \
+         \"bit_identical\": {bit_identical},\n  \
+         \"measurement_equal\": {measurement_equal}\n}}\n",
+        PaperPattern::Square9.name(),
+        SUBGRID.0,
+        SUBGRID.1,
+        resident.secs,
+        baseline.secs,
+        oracle.secs,
+        resident.copy_bytes,
+        baseline.copy_bytes,
+        resident.steady_mirror_allocs,
+    );
+    std::fs::write("BENCH_lane_resident.json", &json).expect("write BENCH_lane_resident.json");
+    println!("  wrote BENCH_lane_resident.json");
+
+    assert!(bit_identical, "engines disagree with the scalar oracle");
+    assert!(measurement_equal, "Measurements diverge across engines");
+    assert_eq!(
+        resident.steady_mirror_allocs, 0,
+        "the resident steady state reshaped its mirror"
+    );
+    assert_eq!(
+        baseline.steady_mirror_allocs, 0,
+        "the baseline steady state reshaped its mirror"
+    );
+    assert!(
+        resident.copy_bytes < baseline.copy_bytes,
+        "residency must strictly reduce steady-state copy traffic"
+    );
+    if quick {
+        println!("  (--quick: speedup recorded but not asserted)");
+    } else {
+        assert!(
+            speedup >= 1.3,
+            "expected >=1.3x lane-resident speedup, got {speedup:.2}x"
+        );
+    }
+}

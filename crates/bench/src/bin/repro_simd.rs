@@ -12,7 +12,10 @@
 //!
 //! Results must be bit-identical and `Measurement`s exactly equal; the
 //! steady-state speedup is asserted ≥2× in full mode and written to
-//! `BENCH_simd.json` either way.
+//! `BENCH_simd.json` either way. Lane residency is pinned *off* here so
+//! the ratio stays an executor comparison under equal copy traffic — the
+//! residency saving has its own benchmark, `repro_lane_resident`. Both
+//! engines' steady-state copy bytes per iteration are reported.
 //!
 //! ```sh
 //! cargo run --release -p cmcc-bench --bin repro_simd
@@ -38,20 +41,35 @@ const WARMUP: usize = 2;
 
 /// Builds a persistent plan for `w` under `engine`, replays it
 /// `WARMUP + iters` times, and returns the best steady-state seconds per
-/// iteration, the measurement, and the gathered result.
-fn time_engine(w: &mut Workload, engine: ExecEngine, iters: usize) -> (f64, Measurement, Vec<f32>) {
-    let opts = ExecOptions::fast().with_engine(engine).with_threads(1);
+/// iteration, the measurement, the gathered result, and the bytes each
+/// steady-state iteration copies (machine-total, from the plan's own
+/// accounting).
+///
+/// The lockstep plan pins `lane_resident` off: this benchmark isolates
+/// per-step dispatch amortization, so both engines pay the same
+/// per-iteration copy traffic; the residency saving is measured
+/// separately by `repro_lane_resident`.
+fn time_engine(
+    w: &mut Workload,
+    engine: ExecEngine,
+    iters: usize,
+) -> (f64, Measurement, Vec<f32>, usize) {
+    let opts = ExecOptions::fast()
+        .with_engine(engine)
+        .with_threads(1)
+        .with_lane_resident(false);
     let refs: Vec<&CmArray> = w.coeffs.iter().collect();
     let binding =
         StencilBinding::new(&w.compiled, &w.r, &[&w.x], &refs).expect("bench binding is valid");
     let mark = w.machine.alloc_mark();
-    let plan = ExecutionPlan::build(&mut w.machine, &binding, &opts, PlanLifetime::Scoped)
+    let mut plan = ExecutionPlan::build(&mut w.machine, &binding, &opts, PlanLifetime::Scoped)
         .expect("bench plan builds");
     assert_eq!(
         plan.uses_lockstep(),
         engine == ExecEngine::Lockstep,
         "a clean single-source binding must lane-map iff lockstep is requested"
     );
+    let copy_bytes = plan.steady_state_copy_words() * 4;
     let mut m = plan.execute(&mut w.machine).expect("bench plan executes");
     for _ in 1..WARMUP {
         m = plan.execute(&mut w.machine).expect("bench plan executes");
@@ -64,7 +82,7 @@ fn time_engine(w: &mut Workload, engine: ExecEngine, iters: usize) -> (f64, Meas
     }
     let result = w.r.gather(&w.machine);
     w.machine.release_to(mark);
-    (best, m, result)
+    (best, m, result, copy_bytes)
 }
 
 fn main() {
@@ -91,11 +109,12 @@ fn main() {
         SUBGRID,
     );
 
-    let (scalar_secs, scalar_m, scalar_r) = time_engine(&mut scalar_w, ExecEngine::Scalar, iters);
-    println!("  scalar:   {:.6} s/iter", scalar_secs);
-    let (lockstep_secs, lockstep_m, lockstep_r) =
+    let (scalar_secs, scalar_m, scalar_r, scalar_copy_bytes) =
+        time_engine(&mut scalar_w, ExecEngine::Scalar, iters);
+    println!("  scalar:   {scalar_secs:.6} s/iter, {scalar_copy_bytes} copy bytes/iter");
+    let (lockstep_secs, lockstep_m, lockstep_r, lockstep_copy_bytes) =
         time_engine(&mut lockstep_w, ExecEngine::Lockstep, iters);
-    println!("  lockstep: {:.6} s/iter", lockstep_secs);
+    println!("  lockstep: {lockstep_secs:.6} s/iter, {lockstep_copy_bytes} copy bytes/iter");
 
     let bit_identical = scalar_r.len() == lockstep_r.len()
         && scalar_r
@@ -114,6 +133,8 @@ fn main() {
          \"threads\": 1,\n  \"warmup\": {WARMUP},\n  \"iters\": {iters},\n  \
          \"scalar_secs_per_iter\": {scalar_secs:.6},\n  \
          \"lockstep_secs_per_iter\": {lockstep_secs:.6},\n  \
+         \"scalar_copy_bytes_per_iter\": {scalar_copy_bytes},\n  \
+         \"lockstep_copy_bytes_per_iter\": {lockstep_copy_bytes},\n  \
          \"speedup\": {speedup:.4},\n  \"bit_identical\": {bit_identical},\n  \
          \"measurement_equal\": {measurement_equal}\n}}\n",
         PaperPattern::Square9.name(),

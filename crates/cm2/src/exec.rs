@@ -648,10 +648,13 @@ impl ResolvedStrip {
     /// lane word by offsetting within the range, and the per-period
     /// `delta` carries over unchanged — as long as every occurrence of a
     /// part (`addr + k·delta` for all executed `k`) stays inside one
-    /// range. Returns `None` when any address falls outside the view,
-    /// when a part's address walk crosses a range boundary, or when a
-    /// store targets a range the view does not scatter back — in all of
-    /// those cases the caller must fall back to the scalar engine.
+    /// range. When a walk *crosses* a range seam but every occurrence
+    /// individually lands in some valid range, the strip is instead
+    /// split at the seams: the body is unrolled to one fully-resolved
+    /// pattern per line (`delta` 0), so multi-range result layouts still
+    /// lane-map. Returns `None` when any executed address falls outside
+    /// the view or a store targets a range the view does not scatter
+    /// back — then the caller must fall back to the scalar engine.
     pub fn translate(&self, view: &crate::lane::LaneView) -> Option<ResolvedStrip> {
         let period = self.body.len().max(1);
         let translate_part = |part: &ResolvedPart, k_max: i64| -> Option<ResolvedPart> {
@@ -674,22 +677,74 @@ impl ResolvedStrip {
                 ..*part
             })
         };
+        let direct = (|| {
+            let prologue = self
+                .prologue
+                .iter()
+                .map(|part| translate_part(part, 0))
+                .collect::<Option<Vec<_>>>()?;
+            let body = self
+                .body
+                .iter()
+                .enumerate()
+                .map(|(p, pattern)| {
+                    // Pattern `p` executes at lines p, p+period, … below
+                    // `lines`; the last gets the largest address offset.
+                    let occurrences = (self.lines - p).div_ceil(period) as i64;
+                    pattern
+                        .iter()
+                        .map(|part| translate_part(part, occurrences - 1))
+                        .collect::<Option<Vec<_>>>()
+                })
+                .collect::<Option<Vec<_>>>()?;
+            Some(ResolvedStrip {
+                prologue,
+                body,
+                lines: self.lines,
+            })
+        })();
+        direct.or_else(|| self.translate_unrolled(view))
+    }
+
+    /// The seam-splitting fallback for [`ResolvedStrip::translate`]:
+    /// resolve every part at every line it executes and translate each
+    /// occurrence independently, emitting one body pattern per line with
+    /// `delta` 0. Costs `lines/period`× the pattern storage, so it is
+    /// only attempted after the walk-carrying translation fails.
+    fn translate_unrolled(&self, view: &crate::lane::LaneView) -> Option<ResolvedStrip> {
+        if self.body.is_empty() {
+            return None;
+        }
+        let period = self.body.len();
+        let translate_at = |part: &ResolvedPart, k: i64| -> Option<ResolvedPart> {
+            if part.op == ResolvedOp::Nop {
+                return Some(*part);
+            }
+            let addr = part.addr as i64 + k * part.delta;
+            if addr < 0 {
+                return None;
+            }
+            let (lane_addr, range) = view.locate(addr as usize)?;
+            if matches!(part.op, ResolvedOp::Store { .. }) && !range.writable {
+                return None;
+            }
+            Some(ResolvedPart {
+                addr: lane_addr,
+                delta: 0,
+                ..*part
+            })
+        };
         let prologue = self
             .prologue
             .iter()
-            .map(|part| translate_part(part, 0))
+            .map(|part| translate_at(part, 0))
             .collect::<Option<Vec<_>>>()?;
-        let body = self
-            .body
-            .iter()
-            .enumerate()
-            .map(|(p, pattern)| {
-                // Pattern `p` executes at lines p, p+period, … below
-                // `lines`; the last gets the largest address offset.
-                let occurrences = (self.lines - p).div_ceil(period) as i64;
-                pattern
+        let body = (0..self.lines)
+            .map(|line| {
+                let k = (line / period) as i64;
+                self.body[line % period]
                     .iter()
-                    .map(|part| translate_part(part, occurrences - 1))
+                    .map(|part| translate_at(part, k))
                     .collect::<Option<Vec<_>>>()
             })
             .collect::<Option<Vec<_>>>()?;
@@ -852,6 +907,57 @@ pub fn run_resolved_strip_lockstep(strip: &ResolvedStrip, lanes: &mut LaneMemory
         1 => run_resolved_strip_lockstep_n::<1>(strip, lanes),
         _ => run_resolved_strip_lockstep_n::<0>(strip, lanes),
     }
+}
+
+/// Runs every translated strip over every lane group, one host thread
+/// per group — the fan-out step of a lane-resident execute.
+///
+/// Each group holds a disjoint contiguous chunk of the machine's nodes
+/// (see [`crate::lane::LaneMirror`]); lanes never interact, so the groups
+/// replay identical instruction streams and their [`StripRun`] counters
+/// must agree (debug-asserted). Returns the per-node counters.
+///
+/// # Panics
+///
+/// Panics if a lane-word address is out of a group's bounds, or if a
+/// worker thread panics.
+pub fn run_resolved_lockstep_groups(
+    strips: &[ResolvedStrip],
+    groups: &mut [LaneMemory],
+) -> StripRun {
+    if strips.is_empty() || groups.is_empty() {
+        return StripRun::default();
+    }
+    let run_group = |lanes: &mut LaneMemory| {
+        let mut total = StripRun::default();
+        for strip in strips {
+            total.absorb(&run_resolved_strip_lockstep(strip, lanes));
+        }
+        total
+    };
+    let per_group: Vec<StripRun> = if groups.len() == 1 {
+        vec![run_group(&mut groups[0])]
+    } else {
+        let run_group = &run_group;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .iter_mut()
+                .map(|group| scope.spawn(move || run_group(group)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("lane worker panicked"))
+                .collect()
+        })
+    };
+    let first = per_group[0];
+    for other in &per_group[1..] {
+        debug_assert_eq!(
+            &first, other,
+            "lane groups must replay identical instruction streams"
+        );
+    }
+    first
 }
 
 /// [`run_resolved_strip_lockstep`] monomorphized for `N` lanes
@@ -1666,5 +1772,116 @@ mod tests {
         ])
         .unwrap();
         assert!(strip.translate(&truncated).is_none());
+    }
+
+    #[test]
+    fn translate_splits_walks_at_range_seams() {
+        let kernel = identity_kernel();
+        let (_, [src, res, coeff], ones, zeros) = setup();
+        let coeffs = [coeff];
+        let srcs = [src];
+        let ctx = StripContext {
+            srcs: &srcs,
+            res,
+            coeffs: &coeffs,
+            ones_addr: ones,
+            zeros_addr: zeros,
+            start_row: 3,
+            lines: 4,
+            col0: 1,
+        };
+        let strip = ResolvedStrip::new(&kernel, &ctx);
+        // The result field split into two adjacent writable ranges: the
+        // store walk crosses the seam at 24, so the walk-carrying
+        // translation fails, but every individual store lands in a valid
+        // writable range — the seam-splitting fallback must lane-map it.
+        let split = LaneView::new(&[
+            (0, 16, false),
+            (16, 8, true),
+            (24, 8, true),
+            (32, 16, false),
+            (48, 2, false),
+        ])
+        .unwrap();
+        let lane_strip = strip
+            .translate(&split)
+            .expect("seam-crossing walks unroll instead of rejecting");
+
+        // Differential against the scalar fast interpreter, as in
+        // `lockstep_differential` but over the split view.
+        let node_count = 3;
+        let mut scalar_mems: Vec<NodeMemory> = (0..node_count)
+            .map(|n| {
+                let (mut mem, ..) = setup();
+                for i in 0..16 {
+                    mem.write(i, mem.read(i) + n as f32 * 100.0);
+                }
+                mem
+            })
+            .collect();
+        let mut lane_mems = scalar_mems.clone();
+        let mut scalar_runs = Vec::new();
+        for mem in &mut scalar_mems {
+            scalar_runs.push(run_resolved_strip(&strip, mem, &cfg(), ExecMode::Fast).unwrap());
+        }
+        let mut lanes = LaneMemory::new(split.words(), node_count);
+        lanes.gather(&split, &lane_mems);
+        let lock_run = run_resolved_strip_lockstep(&lane_strip, &mut lanes);
+        lanes.scatter(&split, &mut lane_mems);
+        for (n, (s, l)) in scalar_mems.iter().zip(&lane_mems).enumerate() {
+            assert_eq!(s, l, "node {n} memory diverged across the seam");
+        }
+        for s in &scalar_runs {
+            assert_eq!(s, &lock_run, "counters diverged across the seam");
+        }
+    }
+
+    #[test]
+    fn lockstep_groups_match_a_single_mirror() {
+        let kernel = identity_kernel();
+        let (_, [src, res, coeff], ones, zeros) = setup();
+        let coeffs = [coeff];
+        let srcs = [src];
+        let ctx = StripContext {
+            srcs: &srcs,
+            res,
+            coeffs: &coeffs,
+            ones_addr: ones,
+            zeros_addr: zeros,
+            start_row: 3,
+            lines: 4,
+            col0: 1,
+        };
+        let view = setup_view();
+        let strip = ResolvedStrip::new(&kernel, &ctx);
+        let lane_strips = vec![strip.translate(&view).unwrap()];
+        let mems: Vec<NodeMemory> = (0..5)
+            .map(|n| {
+                let (mut mem, ..) = setup();
+                for i in 0..16 {
+                    mem.write(i, mem.read(i) + n as f32 * 10.0);
+                }
+                mem
+            })
+            .collect();
+
+        // One group over all nodes…
+        let mut single = mems.clone();
+        let mut lanes = LaneMemory::new(view.words(), 5);
+        lanes.gather(&view, &single);
+        let run_single =
+            run_resolved_lockstep_groups(&lane_strips, std::slice::from_mut(&mut lanes));
+        lanes.scatter(&view, &mut single);
+
+        // …versus a 2-group partition (chunks of 3 and 2) fanned out.
+        let mut split = mems.clone();
+        let mut mirror = crate::lane::LaneMirror::new();
+        mirror.ensure(view.words(), 5, 2);
+        mirror.gather(&view, &split);
+        let run_split = run_resolved_lockstep_groups(&lane_strips, mirror.groups_mut());
+        mirror.scatter(&view, &mut split);
+
+        assert_eq!(run_single, run_split);
+        assert_eq!(single, split);
     }
 }

@@ -115,6 +115,29 @@ impl LaneView {
     }
 }
 
+/// A node-memory → lane-word strided rectangle copy, applied uniformly
+/// to every lane: `rows` runs of `cols` words, read from node addresses
+/// `src0 + r*src_stride` and written to lane words `dst0 + r*dst_stride`.
+///
+/// The execution plan precomputes one per source to refresh a halo
+/// buffer's interior directly in a resident mirror (the lane-domain
+/// `fill_interior`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RectCopy {
+    /// Node-memory address of the rectangle's first word.
+    pub src0: usize,
+    /// Node-memory words between consecutive source runs.
+    pub src_stride: usize,
+    /// Lane word the first run lands on.
+    pub dst0: usize,
+    /// Lane words between consecutive destination runs.
+    pub dst_stride: usize,
+    /// Number of runs.
+    pub rows: usize,
+    /// Words per run.
+    pub cols: usize,
+}
+
 /// The lane mirror: every viewed word of every node, node-major.
 ///
 /// Word `w`'s lanes occupy `data[w*nodes .. (w+1)*nodes]`, one entry per
@@ -194,6 +217,28 @@ impl LaneMemory {
         &mut self.data[w * self.nodes..(w + 1) * self.nodes]
     }
 
+    /// Lane `lane`'s value of lane word `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `lane` is out of range.
+    #[inline]
+    pub fn lane_value(&self, w: usize, lane: usize) -> f32 {
+        assert!(lane < self.nodes, "lane out of range");
+        self.data[w * self.nodes + lane]
+    }
+
+    /// Sets lane `lane`'s value of lane word `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `lane` is out of range.
+    #[inline]
+    pub fn set_lane_value(&mut self, w: usize, lane: usize, value: f32) {
+        assert!(lane < self.nodes, "lane out of range");
+        self.data[w * self.nodes + lane] = value;
+    }
+
     /// Copies every viewed range from `mems` (one per lane, in order)
     /// into the mirror.
     ///
@@ -215,6 +260,36 @@ impl LaneMemory {
                 .collect();
             let dst =
                 &mut self.data[range.lane_base * nodes..(range.lane_base + range.len) * nodes];
+            for (w, row) in dst.chunks_exact_mut(nodes).enumerate() {
+                for (slot, src) in row.iter_mut().zip(&srcs) {
+                    *slot = src[w];
+                }
+            }
+        }
+    }
+
+    /// Copies the rectangle `rect` describes from every node's memory
+    /// into the mirror.
+    ///
+    /// This is the lane-domain equivalent of a per-node strided copy: the
+    /// plan uses it to refresh a halo buffer's interior directly in the
+    /// mirror, without touching the node-side halo storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mems.len()` differs from the lane count or a run is out
+    /// of bounds on either side.
+    pub fn gather_rows(&mut self, mems: &[NodeMemory], rect: &RectCopy) {
+        assert_eq!(mems.len(), self.nodes, "one node memory per lane");
+        let nodes = self.nodes;
+        for r in 0..rect.rows {
+            // Word-outer, lane-inner, per run (see `gather`).
+            let srcs: Vec<&[f32]> = mems
+                .iter()
+                .map(|m| m.slice(rect.src0 + r * rect.src_stride, rect.cols))
+                .collect();
+            let d0 = rect.dst0 + r * rect.dst_stride;
+            let dst = &mut self.data[d0 * nodes..(d0 + rect.cols) * nodes];
             for (w, row) in dst.chunks_exact_mut(nodes).enumerate() {
                 for (slot, src) in row.iter_mut().zip(&srcs) {
                     *slot = src[w];
@@ -246,6 +321,175 @@ impl LaneMemory {
                     dst[w] = value;
                 }
             }
+        }
+    }
+}
+
+/// A persistent lane mirror of the whole machine, partitioned into one
+/// [`LaneMemory`] per host worker thread.
+///
+/// The partition is by contiguous node chunks of `ceil(nodes/threads)`,
+/// matching how the lockstep runner splits node memories across threads,
+/// so each worker owns exactly one group. Lane-domain copies and fills
+/// (the halo exchange translated onto the mirror) address *machine* node
+/// indices and cross group boundaries transparently.
+///
+/// The mirror is meant to live inside a long-lived execution plan: its
+/// buffers are recycled across executes, and [`LaneMirror::allocations`]
+/// counts every buffer (re)allocation so a steady state can be asserted
+/// allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct LaneMirror {
+    groups: Vec<LaneMemory>,
+    nodes: usize,
+    chunk: usize,
+    words: usize,
+    allocations: u64,
+}
+
+impl LaneMirror {
+    /// An empty mirror; shape it with [`LaneMirror::ensure`].
+    pub fn new() -> Self {
+        LaneMirror::default()
+    }
+
+    /// Shapes the mirror to `words` lane words across `nodes` nodes split
+    /// into `threads` contiguous groups (clamped to `1..=nodes`). A
+    /// no-op when the shape already matches; otherwise buffers are
+    /// recycled where lengths allow and the allocation counter records
+    /// every buffer that had to grow or be created. Reshaping leaves the
+    /// contents unspecified — gather before running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn ensure(&mut self, words: usize, nodes: usize, threads: usize) {
+        assert!(nodes > 0, "lane mirror needs at least one node");
+        let threads = threads.clamp(1, nodes);
+        let chunk = nodes.div_ceil(threads);
+        if self.nodes == nodes && self.chunk == chunk && self.words == words {
+            return;
+        }
+        let mut scratch: Vec<Vec<f32>> = self
+            .groups
+            .drain(..)
+            .map(LaneMemory::into_scratch)
+            .collect();
+        let mut start = 0;
+        while start < nodes {
+            let group_nodes = chunk.min(nodes - start);
+            let buf = scratch.pop().unwrap_or_default();
+            if buf.len() != words * group_nodes {
+                self.allocations += 1;
+            }
+            self.groups
+                .push(LaneMemory::from_scratch(buf, words, group_nodes));
+            start += group_nodes;
+        }
+        self.nodes = nodes;
+        self.chunk = chunk;
+        self.words = words;
+    }
+
+    /// Total machine nodes mirrored (zero before the first `ensure`).
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Buffer (re)allocations performed since the mirror was created.
+    /// Constant across steady-state reuse.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// The per-thread groups, mutably — one contiguous node chunk each,
+    /// in node order. This is what the lockstep runner fans out over.
+    pub fn groups_mut(&mut self) -> &mut [LaneMemory] {
+        &mut self.groups
+    }
+
+    #[inline]
+    fn locate_lane(&self, node: usize) -> (usize, usize) {
+        assert!(node < self.nodes, "node out of range");
+        (node / self.chunk, node % self.chunk)
+    }
+
+    /// Copies every viewed range of every node into the mirror.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mems.len()` differs from the mirrored node count.
+    pub fn gather(&mut self, view: &LaneView, mems: &[NodeMemory]) {
+        assert_eq!(mems.len(), self.nodes, "one node memory per lane");
+        let mut base = 0;
+        for group in &mut self.groups {
+            let n = group.nodes();
+            group.gather(view, &mems[base..base + n]);
+            base += n;
+        }
+    }
+
+    /// Copies every *writable* viewed range back into node memories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mems.len()` differs from the mirrored node count.
+    pub fn scatter(&self, view: &LaneView, mems: &mut [NodeMemory]) {
+        assert_eq!(mems.len(), self.nodes, "one node memory per lane");
+        let mut base = 0;
+        for group in &self.groups {
+            let n = group.nodes();
+            group.scatter(view, &mut mems[base..base + n]);
+            base += n;
+        }
+    }
+
+    /// Copies a rectangle of every node's memory into the mirror — see
+    /// [`LaneMemory::gather_rows`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mems.len()` differs from the mirrored node count or a
+    /// run is out of bounds.
+    pub fn gather_rows(&mut self, mems: &[NodeMemory], rect: &RectCopy) {
+        assert_eq!(mems.len(), self.nodes, "one node memory per lane");
+        let mut base = 0;
+        for group in &mut self.groups {
+            let n = group.nodes();
+            group.gather_rows(&mems[base..base + n], rect);
+            base += n;
+        }
+    }
+
+    /// Copies `len` lane words starting at `src` of node `from`'s lane
+    /// column into `dst..` of node `to`'s — the lane-domain form of one
+    /// halo-exchange copy. Source and destination runs must not overlap
+    /// (exchange copies read a halo interior and write the halo ring,
+    /// which are disjoint by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node index or word run is out of range.
+    pub fn copy_lane_run(&mut self, from: usize, src: usize, to: usize, dst: usize, len: usize) {
+        let (gf, lf) = self.locate_lane(from);
+        let (gt, lt) = self.locate_lane(to);
+        for k in 0..len {
+            let value = self.groups[gf].lane_value(src + k, lf);
+            self.groups[gt].set_lane_value(dst + k, lt, value);
+        }
+    }
+
+    /// Fills `len` lane words starting at `w0` of node `node`'s lane
+    /// column with `value` — the lane-domain form of one boundary
+    /// zero-fill span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node index or word run is out of range.
+    pub fn fill_lane_run(&mut self, node: usize, w0: usize, len: usize, value: f32) {
+        let (g, l) = self.locate_lane(node);
+        for k in 0..len {
+            self.groups[g].set_lane_value(w0 + k, l, value);
         }
     }
 }
@@ -311,6 +555,116 @@ mod tests {
         assert_eq!(mems[1].read(4), 12.0);
         assert_eq!(mems[0].read(5), 3.0);
         assert_eq!(mems[1].read(5), 13.0);
+    }
+
+    #[test]
+    fn mirror_partitions_nodes_into_contiguous_groups() {
+        let view = LaneView::new(&[(0, 3, true)]).unwrap();
+        let mut mems: Vec<NodeMemory> = (0..5).map(|_| NodeMemory::new(8)).collect();
+        for (n, mem) in mems.iter_mut().enumerate() {
+            for w in 0..3 {
+                mem.write(w, (100 * n + w) as f32);
+            }
+        }
+        // 5 nodes over 2 threads → chunks of 3 and 2.
+        let mut mirror = LaneMirror::new();
+        mirror.ensure(view.words(), 5, 2);
+        assert_eq!(mirror.groups_mut().len(), 2);
+        assert_eq!(mirror.groups_mut()[0].nodes(), 3);
+        assert_eq!(mirror.groups_mut()[1].nodes(), 2);
+        mirror.gather(&view, &mems);
+        assert_eq!(mirror.groups_mut()[0].word(1), &[1.0, 101.0, 201.0]);
+        assert_eq!(mirror.groups_mut()[1].word(1), &[301.0, 401.0]);
+        // Scatter lands every lane back in its own node.
+        let mut out: Vec<NodeMemory> = (0..5).map(|_| NodeMemory::new(8)).collect();
+        mirror.scatter(&view, &mut out);
+        for (n, mem) in out.iter().enumerate() {
+            for w in 0..3 {
+                assert_eq!(mem.read(w), (100 * n + w) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn mirror_reuse_performs_no_allocations() {
+        let mut mirror = LaneMirror::new();
+        mirror.ensure(6, 4, 2);
+        let after_first = mirror.allocations();
+        assert!(after_first > 0);
+        for _ in 0..10 {
+            mirror.ensure(6, 4, 2);
+        }
+        assert_eq!(
+            mirror.allocations(),
+            after_first,
+            "steady-state ensure reallocates"
+        );
+        // Reshaping to the same total lengths recycles the buffers.
+        mirror.ensure(6, 4, 2);
+        assert_eq!(mirror.allocations(), after_first);
+    }
+
+    #[test]
+    fn mirror_copies_lane_runs_across_group_boundaries() {
+        let mut mirror = LaneMirror::new();
+        mirror.ensure(4, 4, 2); // two groups of 2 nodes
+        for w in 0..4 {
+            mirror.fill_lane_run(1, w, 1, (10 + w) as f32);
+        }
+        // node 1 (group 0) → node 3 (group 1)
+        mirror.copy_lane_run(1, 1, 3, 0, 3);
+        assert_eq!(mirror.groups_mut()[1].lane_value(0, 1), 11.0);
+        assert_eq!(mirror.groups_mut()[1].lane_value(1, 1), 12.0);
+        assert_eq!(mirror.groups_mut()[1].lane_value(2, 1), 13.0);
+        // Same-group copy: node 3 → node 2.
+        mirror.copy_lane_run(3, 0, 2, 0, 2);
+        assert_eq!(mirror.groups_mut()[1].lane_value(0, 0), 11.0);
+        assert_eq!(mirror.groups_mut()[1].lane_value(1, 0), 12.0);
+        // Untouched lanes stay zero.
+        assert_eq!(mirror.groups_mut()[0].lane_value(0, 0), 0.0);
+    }
+
+    #[test]
+    fn mirror_gather_rows_mirrors_a_node_rectangle() {
+        let mut mems: Vec<NodeMemory> = (0..3).map(|_| NodeMemory::new(16)).collect();
+        for (n, mem) in mems.iter_mut().enumerate() {
+            for w in 0..16 {
+                mem.write(w, (100 * n + w) as f32);
+            }
+        }
+        let mut mirror = LaneMirror::new();
+        mirror.ensure(12, 3, 3); // one node per group
+                                 // 2 rows × 3 cols from node address 4, stride 4 → lane words 1..,
+                                 // stride 5.
+        mirror.gather_rows(
+            &mems,
+            &RectCopy {
+                src0: 4,
+                src_stride: 4,
+                dst0: 1,
+                dst_stride: 5,
+                rows: 2,
+                cols: 3,
+            },
+        );
+        for n in 0..3 {
+            assert_eq!(
+                mirror.groups_mut()[n].lane_value(1, 0),
+                (100 * n + 4) as f32
+            );
+            assert_eq!(
+                mirror.groups_mut()[n].lane_value(3, 0),
+                (100 * n + 6) as f32
+            );
+            assert_eq!(
+                mirror.groups_mut()[n].lane_value(6, 0),
+                (100 * n + 8) as f32
+            );
+            assert_eq!(
+                mirror.groups_mut()[n].lane_value(8, 0),
+                (100 * n + 10) as f32
+            );
+        }
     }
 
     #[test]

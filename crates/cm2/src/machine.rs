@@ -17,12 +17,12 @@
 
 use crate::config::MachineConfig;
 use crate::exec::{
-    run_resolved_strip, run_resolved_strip_lockstep, run_strip, ExecMode, HazardError,
+    run_resolved_lockstep_groups, run_resolved_strip, run_strip, ExecMode, HazardError,
     ResolvedStrip, ScheduleStep, StripContext, StripRun,
 };
 use crate::grid::{NodeGrid, NodeId};
 use crate::isa::Kernel;
-use crate::lane::{LaneMemory, LaneView};
+use crate::lane::{LaneMirror, LaneView};
 use crate::memory::{Field, FieldAllocator, NodeMemory, OutOfMemory};
 
 /// A simulated CM-2: `rows × cols` nodes, each with its own memory,
@@ -46,10 +46,6 @@ pub struct Machine {
     grid: NodeGrid,
     nodes: Vec<NodeMemory>,
     allocator: FieldAllocator,
-    /// Recycled lane-mirror allocations (one per lockstep worker group),
-    /// so steady-state lockstep execution performs no large host
-    /// allocations.
-    lane_scratch: Vec<Vec<f32>>,
 }
 
 impl Machine {
@@ -71,7 +67,6 @@ impl Machine {
             grid,
             nodes,
             allocator,
-            lane_scratch: Vec::new(),
         })
     }
 
@@ -408,6 +403,11 @@ impl Machine {
     /// per-node values (each broadcast step counted once), matching
     /// [`Machine::run_resolved_all`] in [`ExecMode::Fast`].
     ///
+    /// The caller provides the `mirror` and keeps it between calls: the
+    /// mirror is (re)shaped in place — a no-op when the shape is
+    /// unchanged — so steady-state replays perform **zero** lane
+    /// allocations (observable via [`LaneMirror::allocations`]).
+    ///
     /// # Panics
     ///
     /// Panics if a lane address is out of the view's bounds or a worker
@@ -417,50 +417,16 @@ impl Machine {
         lane_strips: &[ResolvedStrip],
         view: &LaneView,
         threads: usize,
+        mirror: &mut LaneMirror,
     ) -> StripRun {
         if lane_strips.is_empty() {
             return StripRun::default();
         }
-        let threads = threads.clamp(1, self.nodes.len());
-        let run_group = |mems: &mut [NodeMemory], scratch: Vec<f32>| -> (StripRun, Vec<f32>) {
-            let mut lanes = LaneMemory::from_scratch(scratch, view.words(), mems.len());
-            lanes.gather(view, mems);
-            let mut total = StripRun::default();
-            for strip in lane_strips {
-                total.absorb(&run_resolved_strip_lockstep(strip, &mut lanes));
-            }
-            lanes.scatter(view, mems);
-            (total, lanes.into_scratch())
-        };
-        // Reuse the previous call's lane-mirror allocations: steady-state
-        // lockstep execution then touches no fresh pages.
-        let mut scratch = std::mem::take(&mut self.lane_scratch);
-        scratch.resize_with(threads, Vec::new);
-        let (per_group, recycled): (Vec<StripRun>, Vec<Vec<f32>>) = if threads == 1 {
-            let (run, buf) = run_group(&mut self.nodes, scratch.pop().expect("one buffer"));
-            (vec![run], vec![buf])
-        } else {
-            let run_group = &run_group;
-            let chunk = self.nodes.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .nodes
-                    .chunks_mut(chunk)
-                    .zip(scratch.drain(..))
-                    .map(|(mems, buf)| scope.spawn(move || run_group(mems, buf)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("lane worker panicked"))
-                    .unzip()
-            })
-        };
-        self.lane_scratch = recycled;
-        let first = per_group[0];
-        for other in &per_group[1..] {
-            debug_assert_eq!(&first, other, "lane groups replay identical streams");
-        }
-        first
+        mirror.ensure(view.words(), self.nodes.len(), threads);
+        mirror.gather(view, &self.nodes);
+        let run = run_resolved_lockstep_groups(lane_strips, mirror.groups_mut());
+        mirror.scatter(view, &mut self.nodes);
+        run
     }
 }
 
@@ -802,7 +768,8 @@ mod tests {
                         .iter()
                         .map(|s| s.translate(&view).expect("view covers the fixture"))
                         .collect();
-                    m.run_resolved_lockstep_all(&lane_strips, &view, threads)
+                    let mut mirror = LaneMirror::new();
+                    m.run_resolved_lockstep_all(&lane_strips, &view, threads, &mut mirror)
                 }
             };
             let mems = m
@@ -823,9 +790,55 @@ mod tests {
     fn lockstep_with_no_strips_is_a_no_op() {
         let mut m = machine();
         let view = LaneView::new(&[(0, 4, true)]).unwrap();
+        let mut mirror = LaneMirror::new();
         assert_eq!(
-            m.run_resolved_lockstep_all(&[], &view, 2),
+            m.run_resolved_lockstep_all(&[], &view, 2, &mut mirror),
             StripRun::default()
+        );
+        assert_eq!(mirror.allocations(), 0, "no strips, no mirror shaping");
+    }
+
+    #[test]
+    fn steady_state_lockstep_reuses_the_caller_mirror() {
+        use crate::exec::FieldLayout;
+        let mut m = machine();
+        let (consts, res, kernel) = store_schedule_fixture(&mut m);
+        let ctx = StripContext {
+            srcs: &[],
+            res: FieldLayout {
+                base: res.base(),
+                row_stride: 1,
+                row_offset: 0,
+                col_offset: 0,
+            },
+            coeffs: &[],
+            ones_addr: consts.addr(0),
+            zeros_addr: consts.addr(1),
+            start_row: 3,
+            lines: 4,
+            col0: 0,
+        };
+        let strips = [ResolvedStrip::new(&kernel, &ctx)];
+        let view = LaneView::new(&[
+            (consts.base(), consts.len(), false),
+            (res.base(), res.len(), true),
+        ])
+        .unwrap();
+        let lane_strips: Vec<ResolvedStrip> = strips
+            .iter()
+            .map(|s| s.translate(&view).expect("view covers the fixture"))
+            .collect();
+        let mut mirror = LaneMirror::new();
+        m.run_resolved_lockstep_all(&lane_strips, &view, 2, &mut mirror);
+        let after_first = mirror.allocations();
+        assert!(after_first > 0, "the first run shapes the mirror");
+        for _ in 0..10 {
+            m.run_resolved_lockstep_all(&lane_strips, &view, 2, &mut mirror);
+        }
+        assert_eq!(
+            mirror.allocations(),
+            after_first,
+            "steady-state lockstep replay must not allocate lane storage"
         );
     }
 

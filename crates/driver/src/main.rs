@@ -277,7 +277,7 @@ fn run_compiled(
     let build_start = std::time::Instant::now();
     let binding = StencilBinding::new(compiled, &r, &source_refs, &coeff_refs)?;
     let mark = machine.alloc_mark();
-    let plan = ExecutionPlan::build(&mut machine, &binding, &exec_opts, PlanLifetime::Scoped)?;
+    let mut plan = ExecutionPlan::build(&mut machine, &binding, &exec_opts, PlanLifetime::Scoped)?;
     let m = plan.execute(&mut machine)?;
     let first_iter = build_start.elapsed();
     let steady_start = std::time::Instant::now();
@@ -322,6 +322,7 @@ fn run_compiled(
         // cycle count to convert into a rate — report wall-clock only.
         let engine = match exec_opts.engine {
             ExecEngine::Scalar => "scalar",
+            ExecEngine::Lockstep if plan.uses_lane_resident() => "lockstep, lane-resident",
             ExecEngine::Lockstep => "lockstep",
         };
         print!(

@@ -48,6 +48,15 @@ pub struct ExecOptions {
     /// deterministic — so this knob trades wall-clock time only.
     /// Defaults to the host's available parallelism.
     pub threads: usize,
+    /// Keep the lockstep lane mirror resident inside the plan across
+    /// executes (the default): read-only operands are gathered once, the
+    /// halo exchange runs directly on the mirror, and only writable
+    /// ranges are scattered back per iteration. `false` restores the
+    /// gather-everything/exchange-on-nodes path each execute — same
+    /// results and `Measurement`s bit for bit, more copying. Ignored by
+    /// the scalar engine and cycle mode. See DESIGN.md §12 for the
+    /// invalidation rules.
+    pub lane_resident: bool,
 }
 
 impl Default for ExecOptions {
@@ -59,6 +68,7 @@ impl Default for ExecOptions {
             primitive: ExchangePrimitive::News,
             skip_corners_when_possible: true,
             threads: default_threads(),
+            lane_resident: true,
         }
     }
 }
@@ -97,6 +107,15 @@ impl ExecOptions {
     /// The same options with a pinned fast-mode engine.
     pub fn with_engine(self, engine: ExecEngine) -> Self {
         ExecOptions { engine, ..self }
+    }
+
+    /// The same options with lane residency pinned (`false` forces the
+    /// per-execute gather/scatter + node-domain exchange baseline).
+    pub fn with_lane_resident(self, lane_resident: bool) -> Self {
+        ExecOptions {
+            lane_resident,
+            ..self
+        }
     }
 }
 
@@ -167,7 +186,7 @@ pub fn convolve_multi(
     let binding = StencilBinding::new(compiled, result, sources, coeffs)?;
     let mark = machine.alloc_mark();
     let outcome = (|| {
-        let plan = ExecutionPlan::build(machine, &binding, opts, PlanLifetime::Scoped)?;
+        let mut plan = ExecutionPlan::build(machine, &binding, opts, PlanLifetime::Scoped)?;
         plan.execute(machine)
     })();
     machine.release_to(mark);

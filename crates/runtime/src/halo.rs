@@ -425,6 +425,13 @@ impl ExchangeProgram {
         self.cycles
     }
 
+    /// Total words one run copies between nodes, summed over the whole
+    /// machine (boundary fill spans excluded) — the data-movement cost a
+    /// steady-state iteration pays for this exchange.
+    pub fn words_moved(&self) -> usize {
+        self.copies.iter().map(|c| c.len).sum()
+    }
+
     /// Executes the exchange and returns the cycles charged.
     pub fn run(&self, machine: &mut Machine) -> u64 {
         for op in &self.copies {
@@ -432,6 +439,114 @@ impl ExchangeProgram {
         }
         for &(node, addr, len) in &self.fills {
             machine.mem_mut(node).fill_range(addr, len, self.fill);
+        }
+        self.cycles
+    }
+}
+
+/// One lane-domain copy of a contiguous word run between two node lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LaneCopyOp {
+    from: usize,
+    src: usize,
+    to: usize,
+    dst: usize,
+    len: usize,
+}
+
+/// An [`ExchangeProgram`] translated onto a [`LaneMirror`]: every copy's
+/// node-memory addresses mapped through a [`LaneView`] into lane words,
+/// so the halo exchange moves words directly between lane columns of the
+/// mirror and never touches `NodeMemory`.
+///
+/// This is the communication half of the lane-resident steady state: an
+/// iterative workload keeps its operands in the mirror across time steps,
+/// and the exchange — including the skippable corner step, which is baked
+/// into the source program's copy list — runs in the same address space
+/// the kernels execute in. Cycle accounting is inherited unchanged from
+/// the source program, so `Measurement`s are identical to the node-domain
+/// path.
+///
+/// [`LaneMirror`]: cmcc_cm2::lane::LaneMirror
+/// [`LaneView`]: cmcc_cm2::lane::LaneView
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneExchangeProgram {
+    copies: Vec<LaneCopyOp>,
+    /// Global-edge fill spans `(node, lane word, len)`, written after the
+    /// copies (EOSHIFT semantics), as in [`ExchangeProgram`].
+    fills: Vec<(usize, usize, usize)>,
+    fill: f32,
+    cycles: u64,
+}
+
+impl LaneExchangeProgram {
+    /// Translates `program`'s copies and fills into the lane word space
+    /// of `view`.
+    ///
+    /// Returns `None` when any copied or filled run is not fully inside
+    /// one viewed range — then the caller must keep the node-domain
+    /// exchange. (For a plan that mirrors its halo buffers whole, every
+    /// run maps; the guard only matters for hand-built views.)
+    pub fn translate(program: &ExchangeProgram, view: &cmcc_cm2::lane::LaneView) -> Option<Self> {
+        let map_run = |addr: usize, len: usize| -> Option<usize> {
+            let (word, range) = view.locate(addr)?;
+            if addr + len > range.node_base + range.len {
+                return None;
+            }
+            Some(word)
+        };
+        let copies = program
+            .copies
+            .iter()
+            .map(|op| {
+                Some(LaneCopyOp {
+                    from: op.from.0,
+                    src: map_run(op.src, op.len)?,
+                    to: op.to.0,
+                    dst: map_run(op.dst, op.len)?,
+                    len: op.len,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let fills = program
+            .fills
+            .iter()
+            .map(|&(node, addr, len)| Some((node.0, map_run(addr, len)?, len)))
+            .collect::<Option<Vec<_>>>()?;
+        Some(LaneExchangeProgram {
+            copies,
+            fills,
+            fill: program.fill,
+            cycles: program.cycles,
+        })
+    }
+
+    /// The communication cycles one run charges (the source program's).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total words one run copies between lane columns, summed over the
+    /// whole machine — identical to the source program's
+    /// [`ExchangeProgram::words_moved`].
+    pub fn words_moved(&self) -> usize {
+        self.copies.iter().map(|c| c.len).sum()
+    }
+
+    /// Executes the exchange on the mirror and returns the cycles
+    /// charged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node index or lane word is outside the mirror — the
+    /// mirror must have been shaped for the same machine and view the
+    /// program was translated against.
+    pub fn run(&self, mirror: &mut cmcc_cm2::lane::LaneMirror) -> u64 {
+        for op in &self.copies {
+            mirror.copy_lane_run(op.from, op.src, op.to, op.dst, op.len);
+        }
+        for &(node, word, len) in &self.fills {
+            mirror.fill_lane_run(node, word, len, self.fill);
         }
         self.cycles
     }
@@ -557,6 +672,77 @@ mod tests {
             HaloBuffer::exchange_cost(&cfg, 64, 64, 0, true, ExchangePrimitive::News),
             0
         );
+    }
+
+    #[test]
+    fn lane_exchange_matches_node_exchange() {
+        use cmcc_cm2::lane::{LaneMirror, LaneView};
+        for (boundary, corners) in [
+            (Boundary::Circular, true),
+            (Boundary::Circular, false),
+            (Boundary::ZeroFill, true),
+            (Boundary::ZeroFill, false),
+        ] {
+            // Node-domain reference.
+            let (mut node_m, _, h) = setup(1);
+            let program = ExchangeProgram::new(
+                &h,
+                node_m.grid(),
+                node_m.config(),
+                boundary,
+                0.5,
+                corners,
+                ExchangePrimitive::News,
+            );
+            let node_cycles = program.run(&mut node_m);
+
+            // Lane-domain: an identical machine, with the exchange
+            // running purely on the mirror (two thread groups, so copies
+            // cross a group boundary).
+            let (mut lane_m, _, h2) = setup(1);
+            let view = LaneView::new(&[(h2.field().base(), h2.field().len(), true)]).unwrap();
+            let lane = LaneExchangeProgram::translate(&program, &view)
+                .expect("a whole-buffer view maps every run");
+            assert_eq!(lane.words_moved(), program.words_moved());
+            assert_eq!(lane.cycles(), program.cycles());
+            let mut mirror = LaneMirror::new();
+            {
+                let (_, mems) = lane_m.exec_parts_mut();
+                mirror.ensure(view.words(), mems.len(), 2);
+                mirror.gather(&view, mems);
+                assert_eq!(lane.run(&mut mirror), node_cycles);
+                mirror.scatter(&view, mems);
+            }
+            for node in node_m.grid().iter() {
+                assert_eq!(
+                    node_m.mem(node).field(h.field()),
+                    lane_m.mem(node).field(h2.field()),
+                    "halo of {node} diverged ({boundary:?}, corners={corners})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_exchange_translation_requires_whole_runs() {
+        use cmcc_cm2::lane::LaneView;
+        let (m, _, h) = setup(1);
+        let program = ExchangeProgram::new(
+            &h,
+            m.grid(),
+            m.config(),
+            Boundary::Circular,
+            0.0,
+            true,
+            ExchangePrimitive::News,
+        );
+        assert!(program.words_moved() > 0);
+        // A view that splits the halo buffer mid-run cannot host the
+        // exchange: some copy's word run crosses the seam.
+        let base = h.field().base();
+        let len = h.field().len();
+        let split = LaneView::new(&[(base, 10, true), (base + 10, len - 10, true)]).unwrap();
+        assert!(LaneExchangeProgram::translate(&program, &split).is_none());
     }
 
     #[test]

@@ -31,10 +31,12 @@
 use crate::array::CmArray;
 use crate::convolve::ExecOptions;
 use crate::error::RuntimeError;
-use crate::halo::{ExchangeProgram, HaloBuffer};
+use crate::halo::{ExchangeProgram, HaloBuffer, LaneExchangeProgram};
 use crate::strips::{full_strip, halfstrips, plan_strips};
-use cmcc_cm2::exec::{ExecEngine, ExecMode, FieldLayout, ResolvedStrip, StripContext};
-use cmcc_cm2::lane::LaneView;
+use cmcc_cm2::exec::{
+    run_resolved_lockstep_groups, ExecEngine, ExecMode, FieldLayout, ResolvedStrip, StripContext,
+};
+use cmcc_cm2::lane::{LaneMirror, LaneView, RectCopy};
 use cmcc_cm2::machine::Machine;
 use cmcc_cm2::memory::Field;
 use cmcc_cm2::timing::{CycleBreakdown, Measurement};
@@ -195,7 +197,7 @@ pub enum PlanLifetime {
 /// x.fill(&mut machine, 4.0);
 ///
 /// let binding = StencilBinding::new(&compiled, &r, &[&x], &[])?;
-/// let plan = ExecutionPlan::build(
+/// let mut plan = ExecutionPlan::build(
 ///     &mut machine,
 ///     &binding,
 ///     &ExecOptions::default(),
@@ -222,6 +224,26 @@ pub struct ExecutionPlan {
     /// current binding aliases arrays (then `execute` falls back to the
     /// scalar path). Rebind recomputes it in place.
     lane_view: Option<LaneView>,
+    /// Whether `execute` runs the lane-resident steady state: the mirror
+    /// below persists across executes, sources are refreshed and the
+    /// halo exchange runs directly on it, and only writable ranges are
+    /// scattered back. Requires a lane view, `opts.lane_resident`, and a
+    /// successful translation of every exchange and interior copy.
+    lane_resident: bool,
+    /// The plan-owned persistent lane mirror. Shaped on first execute,
+    /// recycled afterwards (zero steady-state allocations); contents are
+    /// invalidated — not freed — by rebind via `lane_primed`.
+    lane_mirror: LaneMirror,
+    /// The halo exchange translated onto the mirror, one per source.
+    /// Empty unless `lane_resident`.
+    lane_exchanges: Vec<LaneExchangeProgram>,
+    /// Per-source interior refresh on the mirror (the lane-domain
+    /// `fill_interior`). Empty unless `lane_resident`.
+    lane_interiors: Vec<RectCopy>,
+    /// Whether the mirror currently holds the bound operands. Cleared by
+    /// rebind (bases moved, contents must be re-gathered); set by the
+    /// priming gather on the next execute.
+    lane_primed: bool,
     halos: Vec<HaloBuffer>,
     exchanges: Vec<ExchangeProgram>,
     consts: Field,
@@ -427,11 +449,39 @@ impl ExecutionPlan {
             }
         }
 
+        // The lane-resident steady state: translate the exchange and the
+        // per-source interior refresh onto the mirror. Both always map
+        // when the view mirrors whole halo buffers (the only views this
+        // module builds); the fallbacks keep hand-constructed views safe.
+        let mut lane_exchanges = Vec::new();
+        let mut lane_interiors = Vec::new();
+        let mut lane_resident = false;
+        if opts.lane_resident {
+            if let Some(view) = &lane_view {
+                if let (Some(xs), Some(ins)) = (
+                    exchanges
+                        .iter()
+                        .map(|p| LaneExchangeProgram::translate(p, view))
+                        .collect::<Option<Vec<_>>>(),
+                    lane_interior_copies(view, &halos, binding.sources()),
+                ) {
+                    lane_exchanges = xs;
+                    lane_interiors = ins;
+                    lane_resident = true;
+                }
+            }
+        }
+
         let cfg = machine.config();
         Ok(ExecutionPlan {
             strips,
             lane_strips,
             lane_view,
+            lane_resident,
+            lane_mirror: LaneMirror::new(),
+            lane_exchanges,
+            lane_interiors,
+            lane_primed: false,
             halos,
             exchanges,
             consts,
@@ -453,25 +503,92 @@ impl ExecutionPlan {
 
     /// Runs one iteration: halo exchange, pre-resolved kernel execution,
     /// and the paper's accounting. Performs no field allocation and no
-    /// schedule construction.
+    /// schedule construction; the lane-resident path (lockstep engine,
+    /// the default) additionally performs no host allocation and no
+    /// `NodeMemory` traffic beyond reading the sources and writing the
+    /// result.
     ///
     /// # Errors
     ///
     /// [`RuntimeError::Hazard`] on a pipeline hazard (a compiler bug).
-    pub fn execute(&self, machine: &mut Machine) -> Result<Measurement, RuntimeError> {
+    pub fn execute(&mut self, machine: &mut Machine) -> Result<Measurement, RuntimeError> {
         let mut comm = 0;
-        for ((halo, program), src) in self.halos.iter().zip(&self.exchanges).zip(&self.sources) {
-            halo.fill_interior(machine, src);
-            comm += program.run(machine);
-        }
-
-        let run = match &self.lane_view {
-            // The lockstep engine: every node gathered into lane storage,
-            // each resolved step broadcast across all lanes at once.
-            Some(view) => {
-                machine.run_resolved_lockstep_all(&self.lane_strips, view, self.opts.threads)
+        let run = if self.lane_resident {
+            // Lane-resident steady state: operands live in the plan's
+            // mirror between executes. Read-only ranges were gathered
+            // when the mirror was primed; sources are re-read from node
+            // memory every iteration (ping-pong rebinding swaps them,
+            // and the previous scatter may have written one), the halo
+            // exchange moves words between lane columns, and only
+            // writable ranges are scattered back.
+            let view = self
+                .lane_view
+                .as_ref()
+                .expect("resident plans are lane-mapped");
+            self.lane_mirror
+                .ensure(view.words(), self.nodes, self.opts.threads);
+            let (_, mems) = machine.exec_parts_mut();
+            if !self.lane_primed {
+                self.lane_mirror.gather(view, mems);
+                self.lane_primed = true;
             }
-            None => machine.run_resolved_all(&self.strips, self.opts.mode, self.opts.threads)?,
+            for (interior, exchange) in self.lane_interiors.iter().zip(&self.lane_exchanges) {
+                self.lane_mirror.gather_rows(mems, interior);
+                comm += exchange.run(&mut self.lane_mirror);
+            }
+            let run =
+                run_resolved_lockstep_groups(&self.lane_strips, self.lane_mirror.groups_mut());
+            // In debug builds, prove the scatter honors the view's
+            // read-only ranges (node 0 stands in for all — SIMD).
+            #[cfg(debug_assertions)]
+            let before: Vec<u32> = view
+                .ranges()
+                .iter()
+                .filter(|r| !r.writable)
+                .flat_map(|r| {
+                    mems[0]
+                        .slice(r.node_base, r.len)
+                        .iter()
+                        .map(|v| v.to_bits())
+                })
+                .collect();
+            self.lane_mirror.scatter(view, mems);
+            #[cfg(debug_assertions)]
+            {
+                let after: Vec<u32> = view
+                    .ranges()
+                    .iter()
+                    .filter(|r| !r.writable)
+                    .flat_map(|r| {
+                        mems[0]
+                            .slice(r.node_base, r.len)
+                            .iter()
+                            .map(|v| v.to_bits())
+                    })
+                    .collect();
+                debug_assert_eq!(before, after, "scatter touched a read-only range");
+            }
+            run
+        } else {
+            for ((halo, program), src) in self.halos.iter().zip(&self.exchanges).zip(&self.sources)
+            {
+                halo.fill_interior(machine, src);
+                comm += program.run(machine);
+            }
+            match &self.lane_view {
+                // The lockstep engine without residency: every node
+                // gathered into lane storage per execute, each resolved
+                // step broadcast across all lanes at once.
+                Some(view) => machine.run_resolved_lockstep_all(
+                    &self.lane_strips,
+                    view,
+                    self.opts.threads,
+                    &mut self.lane_mirror,
+                ),
+                None => {
+                    machine.run_resolved_all(&self.strips, self.opts.mode, self.opts.threads)?
+                }
+            }
         };
         // One front-end microcode dispatch per half-strip, exactly as the
         // rebuild path charges.
@@ -589,6 +706,34 @@ impl ExecutionPlan {
                 }
             }
         }
+
+        // Invalidate the resident mirror: lane *addresses* survive a
+        // rebind (range lengths and order are unchanged), but the
+        // mirror's *contents* were gathered from the old arrays, so the
+        // next execute must re-prime. The mirror's buffers are kept —
+        // re-priming allocates nothing. Interior copies read the new
+        // source bases; the exchange programs depend only on the halo
+        // buffers, which never move, but retranslating is cheap and
+        // keeps one code path.
+        self.lane_primed = false;
+        self.lane_resident = false;
+        self.lane_exchanges.clear();
+        self.lane_interiors.clear();
+        if self.opts.lane_resident {
+            if let Some(view) = &self.lane_view {
+                if let (Some(xs), Some(ins)) = (
+                    self.exchanges
+                        .iter()
+                        .map(|p| LaneExchangeProgram::translate(p, view))
+                        .collect::<Option<Vec<_>>>(),
+                    lane_interior_copies(view, &self.halos, &self.sources),
+                ) {
+                    self.lane_exchanges = xs;
+                    self.lane_interiors = ins;
+                    self.lane_resident = true;
+                }
+            }
+        }
         Ok(())
     }
 
@@ -652,6 +797,61 @@ impl ExecutionPlan {
         self.lane_view.is_some()
     }
 
+    /// Whether `execute` currently runs the lane-resident steady state:
+    /// the mirror persists across executes, sources and the halo exchange
+    /// are applied directly to lane storage, and only writable ranges are
+    /// scattered back. False means per-execute gather/scatter (or the
+    /// scalar fallback when [`Self::uses_lockstep`] is also false).
+    pub fn uses_lane_resident(&self) -> bool {
+        self.lane_resident
+    }
+
+    /// Lane-mirror buffer allocations performed so far. Steady state
+    /// (repeated `execute` without rebinding a different shape) must not
+    /// move this counter; benches and tests assert on the delta.
+    pub fn lane_mirror_allocations(&self) -> u64 {
+        self.lane_mirror.allocations()
+    }
+
+    /// Machine-total words copied per steady-state `execute` under the
+    /// current engine: interior source refresh + halo-exchange moves,
+    /// plus — on the lockstep engine — the mirror traffic (full
+    /// gather/scatter when not lane-resident; writable-only scatter when
+    /// resident). Computed from the plan's structure, so it cannot drift
+    /// from what `execute` actually does. Fill words (border zeroing)
+    /// are excluded: they are stores, not copies.
+    pub fn steady_state_copy_words(&self) -> usize {
+        let interior: usize = self
+            .sources
+            .iter()
+            .map(|s| s.sub_rows() * s.sub_cols())
+            .sum::<usize>()
+            * self.nodes;
+        let exchange: usize = self
+            .exchanges
+            .iter()
+            .map(ExchangeProgram::words_moved)
+            .sum();
+        let mirror = match &self.lane_view {
+            Some(view) => {
+                let scatter = view
+                    .ranges()
+                    .iter()
+                    .filter(|r| r.writable)
+                    .map(|r| r.len)
+                    .sum::<usize>()
+                    * self.nodes;
+                if self.lane_resident {
+                    scatter
+                } else {
+                    view.words() * self.nodes + scatter
+                }
+            }
+            None => 0,
+        };
+        interior + exchange + mirror
+    }
+
     /// Words of node memory the plan's halo buffers and constant pages
     /// occupy.
     pub fn words(&self) -> usize {
@@ -696,6 +896,40 @@ fn lane_ranges(
     ranges
 }
 
+/// Translates each source's interior refresh onto the lane mirror: one
+/// [`RectCopy`] per source rewrites the mirror rows holding its halo
+/// buffer's interior from the (mirror-external) source array every
+/// iteration — the lane-resident `fill_interior`. Returns `None` when
+/// any halo buffer is not wholly inside one viewed range (then the plan
+/// keeps the gather/scatter steady state).
+fn lane_interior_copies(
+    view: &LaneView,
+    halos: &[HaloBuffer],
+    sources: &[CmArray],
+) -> Option<Vec<RectCopy>> {
+    halos
+        .iter()
+        .zip(sources)
+        .map(|(halo, src)| {
+            let hl = halo.layout();
+            let sl = src.layout();
+            let f = halo.field();
+            let (lane0, range) = view.locate(f.base())?;
+            if f.base() + f.len() > range.node_base + range.len {
+                return None;
+            }
+            Some(RectCopy {
+                src0: sl.addr(0, 0),
+                src_stride: sl.row_stride,
+                dst0: lane0 + (hl.addr(0, 0) - f.base()),
+                dst_stride: hl.row_stride,
+                rows: src.sub_rows(),
+                cols: src.sub_cols(),
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -735,7 +969,8 @@ mod tests {
         let fresh = convolve(&mut m, &compiled, &r_fresh, &x, &refs, &opts).unwrap();
 
         let binding = StencilBinding::new(&compiled, &r_plan, &[&x], &refs).unwrap();
-        let plan = ExecutionPlan::build(&mut m, &binding, &opts, PlanLifetime::Persistent).unwrap();
+        let mut plan =
+            ExecutionPlan::build(&mut m, &binding, &opts, PlanLifetime::Persistent).unwrap();
         for _ in 0..3 {
             let planned = plan.execute(&mut m).unwrap();
             assert_eq!(planned, fresh);
@@ -756,7 +991,7 @@ mod tests {
         let r = CmArray::new(&mut m, 8, 8).unwrap();
         x.fill(&mut m, 1.0);
         let binding = StencilBinding::new(&compiled, &r, &[&x], &[]).unwrap();
-        let plan = ExecutionPlan::build(
+        let mut plan = ExecutionPlan::build(
             &mut m,
             &binding,
             &ExecOptions::fast(),
@@ -770,6 +1005,64 @@ mod tests {
         }
         assert_eq!(m.alloc_count(), allocs, "execute must not allocate");
         assert_eq!(m.alloc_mark(), mark, "execute must not move the bump mark");
+        plan.release(&mut m);
+    }
+
+    #[test]
+    fn steady_state_execute_reuses_the_lane_mirror() {
+        let mut m = machine();
+        let compiled = compile(&m, &PaperPattern::Square9.fortran());
+        let x = CmArray::new(&mut m, 8, 8).unwrap();
+        x.fill_with(&mut m, |r, c| ((r * 7 + c) % 13) as f32 * 0.5);
+        let coeffs: Vec<CmArray> = (0..9)
+            .map(|i| {
+                let a = CmArray::new(&mut m, 8, 8).unwrap();
+                a.fill(&mut m, (i as f32 - 4.0) * 0.125);
+                a
+            })
+            .collect();
+        let refs: Vec<&CmArray> = coeffs.iter().collect();
+        let r = CmArray::new(&mut m, 8, 8).unwrap();
+        let binding = StencilBinding::new(&compiled, &r, &[&x], &refs).unwrap();
+        let mut plan = ExecutionPlan::build(
+            &mut m,
+            &binding,
+            &ExecOptions::fast(),
+            PlanLifetime::Persistent,
+        )
+        .unwrap();
+        assert!(plan.uses_lane_resident(), "a clean binding stays resident");
+
+        // The first execute shapes the mirror; every later one recycles it.
+        let first = plan.execute(&mut m).unwrap();
+        let mirror_allocs = plan.lane_mirror_allocations();
+        assert!(mirror_allocs > 0, "the priming execute shapes the mirror");
+        let node_allocs = m.alloc_count();
+        for _ in 0..10 {
+            let again = plan.execute(&mut m).unwrap();
+            assert_eq!(again, first);
+        }
+        assert_eq!(
+            plan.lane_mirror_allocations(),
+            mirror_allocs,
+            "steady state must not grow or reshape the lane mirror"
+        );
+        assert_eq!(m.alloc_count(), node_allocs, "execute must not allocate");
+
+        // Resident steady state skips the full gather, so it copies
+        // strictly fewer words than the same plan without residency.
+        let binding2 = StencilBinding::new(&compiled, &r, &[&x], &refs).unwrap();
+        let mut baseline = ExecutionPlan::build(
+            &mut m,
+            &binding2,
+            &ExecOptions::fast().with_lane_resident(false),
+            PlanLifetime::Persistent,
+        )
+        .unwrap();
+        assert!(!baseline.uses_lane_resident());
+        assert_eq!(baseline.execute(&mut m).unwrap(), first);
+        assert!(plan.steady_state_copy_words() < baseline.steady_state_copy_words());
+        baseline.release(&mut m);
         plan.release(&mut m);
     }
 
@@ -888,14 +1181,14 @@ mod tests {
 
         let scalar_opts = ExecOptions::fast().with_engine(ExecEngine::Scalar);
         let b = StencilBinding::new(&compiled, &r_scalar, &[&x], &refs).unwrap();
-        let scalar_plan =
+        let mut scalar_plan =
             ExecutionPlan::build(&mut m, &b, &scalar_opts, PlanLifetime::Persistent).unwrap();
         assert!(!scalar_plan.uses_lockstep());
         let scalar_meas = scalar_plan.execute(&mut m).unwrap();
 
         let lock_opts = ExecOptions::fast().with_engine(ExecEngine::Lockstep);
         let b = StencilBinding::new(&compiled, &r_lock, &[&x], &refs).unwrap();
-        let lock_plan =
+        let mut lock_plan =
             ExecutionPlan::build(&mut m, &b, &lock_opts, PlanLifetime::Persistent).unwrap();
         assert!(lock_plan.uses_lockstep());
         let lock_meas = lock_plan.execute(&mut m).unwrap();
@@ -926,7 +1219,7 @@ mod tests {
         // represent one buffer in two roles, so the plan must fall back —
         // and still compute the correct result through the scalar path.
         let b = StencilBinding::new(&compiled, &c, &[&x], &[&c]).unwrap();
-        let plan = ExecutionPlan::build(&mut m, &b, &opts, PlanLifetime::Persistent).unwrap();
+        let mut plan = ExecutionPlan::build(&mut m, &b, &opts, PlanLifetime::Persistent).unwrap();
         assert!(!plan.uses_lockstep());
         plan.execute(&mut m).unwrap();
         assert_eq!(c.get(&m, 3, 3), 6.0);

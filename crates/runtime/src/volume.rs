@@ -185,7 +185,7 @@ pub fn convolve_volume(
                 None => {
                     let binding =
                         StencilBinding::new(compiled, result_plane, &sources, &coeff_planes)?;
-                    let built =
+                    let mut built =
                         ExecutionPlan::build(machine, &binding, opts, PlanLifetime::Scoped)?;
                     let m = built.execute(machine)?;
                     plan = Some(built);

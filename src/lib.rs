@@ -322,7 +322,7 @@ impl Session {
         }
 
         self.stats.misses += 1;
-        let plan =
+        let mut plan =
             ExecutionPlan::build(&mut self.machine, &binding, opts, PlanLifetime::Persistent)?;
         let measurement = plan.execute(&mut self.machine)?;
         if self.plan_capacity == 0 {

@@ -193,6 +193,142 @@ fn lockstep_plan_reuse_and_rebind_stay_exact() {
     assert_eq!(bits(&got2), bits(&want2), "rebound binding diverges");
 }
 
+/// Exchange-on-lane vs exchange-on-node, per paper pattern: the resident
+/// steady state (halo exchange applied directly to the plan's lane
+/// mirror) must be indistinguishable — results and `Measurement`s — from
+/// the gather-everything baseline it replaced, and both from the scalar
+/// oracle.
+#[test]
+fn lane_exchange_matches_node_exchange_for_every_paper_pattern() {
+    for pattern in PaperPattern::ALL {
+        let (scalar_m, scalar_bits) = run_case(pattern, 16, 24, &scalar_fast());
+        let (node_m, node_bits) =
+            run_case(pattern, 16, 24, &lockstep_fast().with_lane_resident(false));
+        let (lane_m, lane_bits) = run_case(pattern, 16, 24, &lockstep_fast());
+        assert_eq!(
+            scalar_bits,
+            node_bits,
+            "{}: node-exchange results diverge",
+            pattern.name()
+        );
+        assert_eq!(
+            scalar_bits,
+            lane_bits,
+            "{}: lane-exchange results diverge",
+            pattern.name()
+        );
+        assert_eq!(
+            scalar_m,
+            node_m,
+            "{}: node-exchange measurement",
+            pattern.name()
+        );
+        assert_eq!(
+            scalar_m,
+            lane_m,
+            "{}: lane-exchange measurement",
+            pattern.name()
+        );
+    }
+}
+
+/// The corner-skip path on the lane domain: a cross stencil (no diagonal
+/// taps) skips the second exchange step, leaving the mirror's corner
+/// words stale — which must be unobservable because no kernel reads
+/// them. Covered with the skip both allowed and ablated, on edge shapes
+/// whose uneven strips stress the seams, against both the node-exchange
+/// baseline and the scalar oracle.
+#[test]
+fn lane_corner_skip_and_edge_shapes_stay_exact() {
+    for pattern in [PaperPattern::Cross5, PaperPattern::Square9] {
+        for skip in [true, false] {
+            for (rows, cols) in [(16, 30), (8, 14), (10, 10)] {
+                let mut scalar = scalar_fast();
+                scalar.skip_corners_when_possible = skip;
+                let mut node = lockstep_fast().with_lane_resident(false);
+                node.skip_corners_when_possible = skip;
+                let mut lane = lockstep_fast();
+                lane.skip_corners_when_possible = skip;
+                let (scalar_m, scalar_bits) = run_case(pattern, rows, cols, &scalar);
+                let (node_m, node_bits) = run_case(pattern, rows, cols, &node);
+                let (lane_m, lane_bits) = run_case(pattern, rows, cols, &lane);
+                assert_eq!(
+                    scalar_bits,
+                    node_bits,
+                    "{} at {rows}x{cols} skip={skip}: node-exchange diverges",
+                    pattern.name()
+                );
+                assert_eq!(
+                    scalar_bits,
+                    lane_bits,
+                    "{} at {rows}x{cols} skip={skip}: lane-exchange diverges",
+                    pattern.name()
+                );
+                assert_eq!(scalar_m, node_m);
+                assert_eq!(scalar_m, lane_m);
+            }
+        }
+    }
+}
+
+/// Iterated time-stepping on a resident plan: ping-pong rebinds swap the
+/// roles of two arrays every step, which must re-prime the mirror (the
+/// sources moved) while staying bit-identical to a scalar run of the
+/// same sequence.
+#[test]
+fn resident_ping_pong_iteration_matches_scalar() {
+    let cfg = MachineConfig::tiny_4();
+    let compiler = Compiler::new(cfg.clone());
+    let compiled = compiler
+        .compile_assignment(&PaperPattern::Square9.fortran())
+        .expect("paper patterns compile");
+    let named = compiled
+        .spec()
+        .coeffs
+        .iter()
+        .filter(|c| matches!(c, CoeffSpec::Named(_)))
+        .count();
+    let (rows, cols) = (12, 16);
+    let steps = 6;
+
+    let run = |opts: &ExecOptions| -> Vec<u32> {
+        let mut machine = Machine::new(cfg.clone()).expect("tiny_4 is valid");
+        let a = CmArray::new(&mut machine, rows, cols).unwrap();
+        let b = CmArray::new(&mut machine, rows, cols).unwrap();
+        a.fill_with(&mut machine, |r, c| ((r * 19 + c * 5) % 23) as f32 * 0.125);
+        b.fill(&mut machine, 0.0);
+        let coeffs: Vec<CmArray> = (0..named)
+            .map(|s| {
+                let c = CmArray::new(&mut machine, rows, cols).unwrap();
+                c.fill_with(&mut machine, move |r, col| {
+                    ((r * 3 + col * 7 + s * 11) % 9) as f32 * 0.0625
+                });
+                c
+            })
+            .collect();
+        let refs: Vec<&CmArray> = coeffs.iter().collect();
+        let binding = StencilBinding::new(&compiled, &b, &[&a], &refs).unwrap();
+        let mut plan =
+            ExecutionPlan::build(&mut machine, &binding, opts, PlanLifetime::Scoped).unwrap();
+        for step in 0..steps {
+            plan.execute(&mut machine).unwrap();
+            let (from, to) = if step % 2 == 0 { (&b, &a) } else { (&a, &b) };
+            plan.rebind(to, &[from], &refs).unwrap();
+        }
+        let last = if steps % 2 == 0 { &a } else { &b };
+        last.gather(&machine).iter().map(|v| v.to_bits()).collect()
+    };
+
+    let scalar = run(&scalar_fast());
+    let resident = run(&lockstep_fast());
+    let node_exchange = run(&lockstep_fast().with_lane_resident(false));
+    assert_eq!(scalar, resident, "resident ping-pong diverges from scalar");
+    assert_eq!(
+        scalar, node_exchange,
+        "baseline ping-pong diverges from scalar"
+    );
+}
+
 /// Binding the result array as the source aliases two lane roles; the
 /// plan must fall back to the scalar engine and still match a scalar run
 /// of the same aliased call.

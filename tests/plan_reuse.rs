@@ -105,7 +105,7 @@ fn plan_reuse_is_bit_identical_to_fresh_convolve() {
 
                 let binding =
                     StencilBinding::new(&case.compiled, &case.r, &[&case.x], &refs).unwrap();
-                let plan = ExecutionPlan::build(
+                let mut plan = ExecutionPlan::build(
                     &mut case.machine,
                     &binding,
                     &opts,
