@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validate the stability of the `cmcc --profile=json` schema.
+
+Reads driver output on stdin, finds the single-line JSON profile object
+(the line opening with ``{"schema":"cmcc-profile-v1"``), and checks every
+documented key of the cmcc-profile-v1 schema (DESIGN.md §13) is present
+with a sane type. Exits non-zero with a diagnostic on any missing or
+mistyped field, so CI fails when the schema drifts without a version
+bump.
+
+Usage:
+    cmcc --run --iters 3 --profile=json five.f90 | python3 ci/check_profile_schema.py
+"""
+
+import json
+import numbers
+import sys
+
+SCHEMA = "cmcc-profile-v1"
+
+# (dotted path, expected type) for every key the schema promises.
+EXPECTED = [
+    ("schema", str),
+    ("statement", numbers.Integral),
+    ("engine", str),
+    ("mode", str),
+    ("nodes", numbers.Integral),
+    ("iters", numbers.Integral),
+    ("measurement.useful_flops", numbers.Integral),
+    ("measurement.cycles.comm", numbers.Integral),
+    ("measurement.cycles.compute", numbers.Integral),
+    ("measurement.cycles.frontend", numbers.Integral),
+    ("measurement.cycles.total", numbers.Integral),
+    ("measurement.nodes", numbers.Integral),
+    ("derived.effective_gflops", numbers.Real),
+    ("derived.model_fraction", numbers.Real),
+    ("derived.wall_gflops", numbers.Real),
+    ("derived.bytes_per_iter_observed", numbers.Real),
+    ("derived.bytes_per_iter_predicted", numbers.Real),
+    ("plan_cache.hits", numbers.Integral),
+    ("plan_cache.misses", numbers.Integral),
+    ("plan_cache.evictions", numbers.Integral),
+    ("plan_cache.capacity", numbers.Integral),
+    ("report.enabled", bool),
+    ("report.compile.recognize_ns", numbers.Integral),
+    ("report.compile.recognize_calls", numbers.Integral),
+    ("report.compile.multistencil_ns", numbers.Integral),
+    ("report.compile.multistencil_calls", numbers.Integral),
+    ("report.compile.regalloc_ns", numbers.Integral),
+    ("report.compile.regalloc_calls", numbers.Integral),
+    ("report.compile.unroll_ns", numbers.Integral),
+    ("report.compile.unroll_calls", numbers.Integral),
+    ("report.plan.build_ns", numbers.Integral),
+    ("report.plan.builds", numbers.Integral),
+    ("report.plan.rebind_ns", numbers.Integral),
+    ("report.plan.rebinds", numbers.Integral),
+    ("report.plan.cache_hits", numbers.Integral),
+    ("report.plan.cache_misses", numbers.Integral),
+    ("report.plan.cache_evictions", numbers.Integral),
+    ("report.exchange.edge_words", numbers.Integral),
+    ("report.exchange.corner_words", numbers.Integral),
+    ("report.exchange.interior_words", numbers.Integral),
+    ("report.exchange.gather_words", numbers.Integral),
+    ("report.exchange.scatter_words", numbers.Integral),
+    ("report.strips.width8", numbers.Integral),
+    ("report.strips.width4", numbers.Integral),
+    ("report.strips.width2", numbers.Integral),
+    ("report.strips.width1", numbers.Integral),
+    ("report.exec.execute_ns", numbers.Integral),
+    ("report.exec.executes", numbers.Integral),
+    ("report.exec.scalar_runs", numbers.Integral),
+    ("report.exec.lockstep_runs", numbers.Integral),
+    ("report.exec.lane_resident_runs", numbers.Integral),
+    ("report.exec.scalar_steps", numbers.Integral),
+    ("report.exec.lockstep_steps", numbers.Integral),
+    ("report.exec.mirror_allocations", numbers.Integral),
+    ("report.exec.useful_flops", numbers.Integral),
+    ("report.exec.total_flops", numbers.Integral),
+]
+
+
+def lookup(obj, path):
+    for part in path.split("."):
+        if not isinstance(obj, dict) or part not in obj:
+            return None, False
+        obj = obj[part]
+    return obj, True
+
+
+def main():
+    profiles = []
+    for line in sys.stdin:
+        line = line.strip()
+        if line.startswith('{"schema":"%s"' % SCHEMA):
+            profiles.append(json.loads(line))
+    if not profiles:
+        sys.exit("no %s line found on stdin" % SCHEMA)
+
+    errors = []
+    for i, profile in enumerate(profiles):
+        for path, kind in EXPECTED:
+            value, found = lookup(profile, path)
+            if not found:
+                errors.append("profile %d: missing key %s" % (i, path))
+            elif kind is not bool and isinstance(value, bool):
+                # bool is an int subclass; only report.enabled may be one.
+                errors.append("profile %d: %s is a bool, expected %s" % (i, path, kind))
+            elif not isinstance(value, kind):
+                errors.append(
+                    "profile %d: %s has type %s, expected %s"
+                    % (i, path, type(value).__name__, kind)
+                )
+        if profile.get("schema") != SCHEMA:
+            errors.append("profile %d: schema key mismatch" % i)
+
+    if errors:
+        sys.exit("\n".join(errors))
+    print("ok: %d profile(s) match %s" % (len(profiles), SCHEMA))
+
+
+if __name__ == "__main__":
+    main()

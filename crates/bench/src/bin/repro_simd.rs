@@ -17,6 +17,12 @@
 //! residency saving has its own benchmark, `repro_lane_resident`. Both
 //! engines' steady-state copy bytes per iteration are reported.
 //!
+//! A third pass re-times the lockstep engine with `cmcc_obs` profiling
+//! *enabled* and asserts the overhead stays under 2% in full mode. The
+//! first two passes run with profiling disabled, so the asserted on/off
+//! delta also bounds the cost of the disabled instrumentation path
+//! (branch-on-a-relaxed-atomic) that every build now carries.
+//!
 //! ```sh
 //! cargo run --release -p cmcc-bench --bin repro_simd
 //! cargo run --release -p cmcc-bench --bin repro_simd -- --quick
@@ -116,6 +122,34 @@ fn main() {
         time_engine(&mut lockstep_w, ExecEngine::Lockstep, iters);
     println!("  lockstep: {lockstep_secs:.6} s/iter, {lockstep_copy_bytes} copy bytes/iter");
 
+    // Third pass: identical lockstep workload with profiling counters
+    // live, to measure the telemetry overhead.
+    let mut profiled_w = Workload::new(
+        MachineConfig::test_board_16(),
+        PaperPattern::Square9,
+        SUBGRID,
+    );
+    cmcc_obs::set_enabled(true);
+    let (profiled_secs, profiled_m, profiled_r, _) =
+        time_engine(&mut profiled_w, ExecEngine::Lockstep, iters);
+    cmcc_obs::set_enabled(false);
+    let profile_overhead = profiled_secs / lockstep_secs - 1.0;
+    println!(
+        "  lockstep (profiled): {profiled_secs:.6} s/iter ({:+.2}% overhead)",
+        profile_overhead * 100.0
+    );
+    assert_eq!(
+        profiled_m, lockstep_m,
+        "profiling must not change the Measurement"
+    );
+    assert!(
+        profiled_r
+            .iter()
+            .zip(&lockstep_r)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "profiling must not change results"
+    );
+
     let bit_identical = scalar_r.len() == lockstep_r.len()
         && scalar_r
             .iter()
@@ -135,6 +169,8 @@ fn main() {
          \"lockstep_secs_per_iter\": {lockstep_secs:.6},\n  \
          \"scalar_copy_bytes_per_iter\": {scalar_copy_bytes},\n  \
          \"lockstep_copy_bytes_per_iter\": {lockstep_copy_bytes},\n  \
+         \"profiled_secs_per_iter\": {profiled_secs:.6},\n  \
+         \"profiling_overhead\": {profile_overhead:.4},\n  \
          \"speedup\": {speedup:.4},\n  \"bit_identical\": {bit_identical},\n  \
          \"measurement_equal\": {measurement_equal}\n}}\n",
         PaperPattern::Square9.name(),
@@ -150,11 +186,16 @@ fn main() {
         "lockstep Measurement differs from scalar"
     );
     if quick {
-        println!("  (--quick: speedup recorded but not asserted)");
+        println!("  (--quick: speedup and overhead recorded but not asserted)");
     } else {
         assert!(
             speedup >= 2.0,
             "expected >=2x lockstep speedup, got {speedup:.2}x"
+        );
+        assert!(
+            profile_overhead < 0.02,
+            "profiling overhead {:.2}% exceeds the 2% budget",
+            profile_overhead * 100.0
         );
     }
 }

@@ -928,6 +928,10 @@ pub fn run_resolved_lockstep_groups(
     if strips.is_empty() || groups.is_empty() {
         return StripRun::default();
     }
+    cmcc_obs::add(
+        cmcc_obs::Counter::LockstepSteps,
+        strips.iter().map(|s| s.steps()).sum(),
+    );
     let run_group = |lanes: &mut LaneMemory| {
         let mut total = StripRun::default();
         for strip in strips {

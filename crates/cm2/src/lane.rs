@@ -345,6 +345,10 @@ pub struct LaneMirror {
     chunk: usize,
     words: usize,
     allocations: u64,
+    gathered_words: u64,
+    row_gathered_words: u64,
+    scattered_words: u64,
+    lane_copied_words: u64,
 }
 
 impl LaneMirror {
@@ -402,6 +406,31 @@ impl LaneMirror {
         self.allocations
     }
 
+    /// Machine-total words copied into the mirror by full-view gathers
+    /// since the mirror was created. Monotonic; callers difference it
+    /// around a run to attribute traffic.
+    pub fn gathered_words(&self) -> u64 {
+        self.gathered_words
+    }
+
+    /// Machine-total words copied into the mirror by rectangle gathers
+    /// ([`LaneMirror::gather_rows`] — the lane-domain interior refresh).
+    pub fn row_gathered_words(&self) -> u64 {
+        self.row_gathered_words
+    }
+
+    /// Machine-total words scattered back to node memories (writable
+    /// ranges only).
+    pub fn scattered_words(&self) -> u64 {
+        self.scattered_words
+    }
+
+    /// Words moved between lane columns by [`LaneMirror::copy_lane_run`]
+    /// (the lane-domain halo exchange).
+    pub fn lane_copied_words(&self) -> u64 {
+        self.lane_copied_words
+    }
+
     /// The per-thread groups, mutably — one contiguous node chunk each,
     /// in node order. This is what the lockstep runner fans out over.
     pub fn groups_mut(&mut self) -> &mut [LaneMemory] {
@@ -427,6 +456,7 @@ impl LaneMirror {
             group.gather(view, &mems[base..base + n]);
             base += n;
         }
+        self.gathered_words += (view.words() * self.nodes) as u64;
     }
 
     /// Copies every *writable* viewed range back into node memories.
@@ -434,7 +464,7 @@ impl LaneMirror {
     /// # Panics
     ///
     /// Panics if `mems.len()` differs from the mirrored node count.
-    pub fn scatter(&self, view: &LaneView, mems: &mut [NodeMemory]) {
+    pub fn scatter(&mut self, view: &LaneView, mems: &mut [NodeMemory]) {
         assert_eq!(mems.len(), self.nodes, "one node memory per lane");
         let mut base = 0;
         for group in &self.groups {
@@ -442,6 +472,13 @@ impl LaneMirror {
             group.scatter(view, &mut mems[base..base + n]);
             base += n;
         }
+        let writable: usize = view
+            .ranges()
+            .iter()
+            .filter(|r| r.writable)
+            .map(|r| r.len)
+            .sum();
+        self.scattered_words += (writable * self.nodes) as u64;
     }
 
     /// Copies a rectangle of every node's memory into the mirror — see
@@ -459,6 +496,26 @@ impl LaneMirror {
             group.gather_rows(&mems[base..base + n], rect);
             base += n;
         }
+        self.row_gathered_words += (rect.rows * rect.cols * self.nodes) as u64;
+    }
+
+    /// Like [`LaneMirror::gather_rows`], but counts the words as
+    /// (partial) gather traffic — used to re-prime individual read-only
+    /// ranges after a rebind instead of re-gathering the whole view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mems.len()` differs from the mirrored node count or a
+    /// run is out of bounds.
+    pub fn gather_rect(&mut self, mems: &[NodeMemory], rect: &RectCopy) {
+        assert_eq!(mems.len(), self.nodes, "one node memory per lane");
+        let mut base = 0;
+        for group in &mut self.groups {
+            let n = group.nodes();
+            group.gather_rows(&mems[base..base + n], rect);
+            base += n;
+        }
+        self.gathered_words += (rect.rows * rect.cols * self.nodes) as u64;
     }
 
     /// Copies `len` lane words starting at `src` of node `from`'s lane
@@ -477,6 +534,7 @@ impl LaneMirror {
             let value = self.groups[gf].lane_value(src + k, lf);
             self.groups[gt].set_lane_value(dst + k, lt, value);
         }
+        self.lane_copied_words += len as u64;
     }
 
     /// Fills `len` lane words starting at `w0` of node `node`'s lane

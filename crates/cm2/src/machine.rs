@@ -345,6 +345,10 @@ impl Machine {
         if strips.is_empty() {
             return Ok(StripRun::default());
         }
+        cmcc_obs::add(
+            cmcc_obs::Counter::ScalarSteps,
+            strips.iter().map(|s| s.steps()).sum(),
+        );
         let threads = threads.clamp(1, self.nodes.len());
         let config = &self.config;
         let run_node = |mem: &mut NodeMemory| -> Result<StripRun, HazardError> {

@@ -79,6 +79,11 @@ pub struct ProgramUnit {
     pub directive: Option<String>,
     /// What happened.
     pub outcome: UnitOutcome,
+    /// Telemetry recorded while compiling this unit (recognize,
+    /// multistencil, regalloc, and unroll spans); empty when profiling
+    /// is disabled. Callers merge this into a run's report so per-run
+    /// profiles can attribute compile time to the right statement.
+    pub telemetry: cmcc_obs::RunReport,
 }
 
 /// Compiles a whole program unit: every statement is a candidate; flagged
@@ -115,6 +120,13 @@ pub fn compile_program(compiler: &Compiler, source: &str) -> Result<Vec<ProgramU
 }
 
 fn compile_unit(compiler: &Compiler, source: &str, unit: &DirectedStmt) -> ProgramUnit {
+    let before = cmcc_obs::snapshot();
+    let mut out = compile_unit_outcome(compiler, source, unit);
+    out.telemetry = cmcc_obs::snapshot().delta(&before);
+    out
+}
+
+fn compile_unit_outcome(compiler: &Compiler, source: &str, unit: &DirectedStmt) -> ProgramUnit {
     let statement = unit.stmt.to_string();
     let directive = unit.directive.as_ref().map(|d| d.value.clone());
 
@@ -129,6 +141,7 @@ fn compile_unit(compiler: &Compiler, source: &str, unit: &DirectedStmt) -> Progr
                 return ProgramUnit {
                     statement,
                     directive,
+                    telemetry: cmcc_obs::RunReport::default(),
                     outcome: UnitOutcome::Flagged(Warning {
                         message: format!("unknown directive `!CMF$ {}`", d.value),
                         rendered: ParseError::new(
@@ -153,6 +166,7 @@ fn compile_unit(compiler: &Compiler, source: &str, unit: &DirectedStmt) -> Progr
                 return ProgramUnit {
                     statement,
                     directive,
+                    telemetry: cmcc_obs::RunReport::default(),
                     outcome: UnitOutcome::Stencil(Box::new(compiled)),
                 }
             }
@@ -180,12 +194,14 @@ fn compile_unit(compiler: &Compiler, source: &str, unit: &DirectedStmt) -> Progr
         ProgramUnit {
             statement,
             directive,
+            telemetry: cmcc_obs::RunReport::default(),
             outcome: UnitOutcome::Flagged(Warning { message, rendered }),
         }
     } else {
         ProgramUnit {
             statement,
             directive,
+            telemetry: cmcc_obs::RunReport::default(),
             outcome: UnitOutcome::Generic {
                 reason: failure.to_string(),
             },

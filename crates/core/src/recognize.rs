@@ -124,6 +124,7 @@ impl std::error::Error for RecognizeError {}
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn recognize(stmt: &Assign) -> Result<StencilSpec, RecognizeError> {
+    let _span = cmcc_obs::span(cmcc_obs::Phase::Recognize);
     Recognizer {
         multi: false,
         ..Recognizer::default()
@@ -159,6 +160,7 @@ pub fn recognize(stmt: &Assign) -> Result<StencilSpec, RecognizeError> {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn recognize_extended(stmt: &Assign) -> Result<StencilSpec, RecognizeError> {
+    let _span = cmcc_obs::span(cmcc_obs::Phase::Recognize);
     Recognizer {
         multi: true,
         ..Recognizer::default()

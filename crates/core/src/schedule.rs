@@ -95,13 +95,21 @@ pub fn emit_kernel_with(
     if stencil.taps().is_empty() {
         return emit_bias_only(stencil, width, walk, cfg);
     }
-    let ms = Multistencil::new(stencil, width);
+    let ms = {
+        let _span = cmcc_obs::span(cmcc_obs::Phase::Multistencil);
+        Multistencil::new(stencil, width)
+    };
     let reserved = 1 + usize::from(stencil.needs_one_register());
     let budget = FPU_REGISTERS - reserved;
-    let plan = plan_rings(&ms, budget, max_unroll)?;
-    let regs = RegisterFile::assign(&plan, stencil.needs_one_register())
-        .expect("ring plan was budgeted to fit the register file");
+    let (plan, regs) = {
+        let _span = cmcc_obs::span(cmcc_obs::Phase::Regalloc);
+        let plan = plan_rings(&ms, budget, max_unroll)?;
+        let regs = RegisterFile::assign(&plan, stencil.needs_one_register())
+            .expect("ring plan was budgeted to fit the register file");
+        (plan, regs)
+    };
 
+    let unroll_span = cmcc_obs::span(cmcc_obs::Phase::Unroll);
     let emitter = Emitter {
         stencil,
         width,
@@ -112,6 +120,7 @@ pub fn emit_kernel_with(
     };
     let body: Vec<Vec<DynamicPart>> = (0..plan.unroll()).map(|l| emitter.line(l)).collect();
     let prologue = emitter.prologue();
+    drop(unroll_span);
 
     let kernel = Kernel {
         static_part: StaticPart::ChainedMac,

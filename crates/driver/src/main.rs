@@ -23,15 +23,23 @@
 //!                      lockstep implies fast (functional) execution — the
 //!                      cycle model needs the scalar path — so cycle counts
 //!                      are reported as 0 and only wall-clock timing applies
+//!   --profile[=json]   enable telemetry and print a per-statement profile
+//!                      after each --run: a human-readable table, or one
+//!                      schema-stable JSON line (`cmcc-profile-v1`) with
+//!                      derived rates and bytes/iteration against the
+//!                      analytic steady-state prediction. The CMCC_PROFILE
+//!                      environment variable enables the counters alone
 //!   --full-machine     extrapolate rates to 2,048 nodes
 //!   --pictogram        draw each recognized stencil
 //!   --dump-kernel      print the widest kernel's microcode listing
 //!   -h, --help         this text
 //! ```
 
+use cmcc::{PlanCacheStats, Session};
 use cmcc_cm2::config::MachineConfig;
 use cmcc_cm2::exec::{ExecEngine, ExecMode};
 use cmcc_cm2::machine::Machine;
+use cmcc_cm2::timing::Measurement;
 use cmcc_core::compiler::Compiler;
 use cmcc_core::pictogram::render_stencil;
 use cmcc_core::program::{compile_program, UnitOutcome};
@@ -39,11 +47,19 @@ use cmcc_core::recognize::CoeffSpec;
 use cmcc_core::unparse::unparse_spec;
 use cmcc_runtime::array::CmArray;
 use cmcc_runtime::convolve::ExecOptions;
-use cmcc_runtime::plan::{ExecutionPlan, PlanLifetime, StencilBinding};
 use cmcc_runtime::reference::{reference_convolve_multi, CoeffValue};
 use cmcc_testkit::Rng;
 use std::io::Read;
 use std::process::ExitCode;
+
+/// What `--profile` prints after each `--run`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ProfileMode {
+    /// Human-readable counter table plus derived rates.
+    Table,
+    /// One schema-stable JSON line per statement (`cmcc-profile-v1`).
+    Json,
+}
 
 struct Options {
     path: String,
@@ -52,6 +68,7 @@ struct Options {
     subgrid: (usize, usize),
     threads: Option<usize>,
     engine: Option<ExecEngine>,
+    profile: Option<ProfileMode>,
     full_machine: bool,
     pictogram: bool,
     dump_kernel: bool,
@@ -60,7 +77,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: cmcc [--run] [--iters N] [--subgrid RxC] [--threads N] \
-         [--engine scalar|lockstep] [--full-machine] \
+         [--engine scalar|lockstep] [--profile[=json]] [--full-machine] \
          [--pictogram] [--dump-kernel] <file.f90 | ->"
     );
     std::process::exit(2);
@@ -74,6 +91,7 @@ fn parse_args() -> Options {
         subgrid: (64, 64),
         threads: None,
         engine: None,
+        profile: None,
         full_machine: false,
         pictogram: false,
         dump_kernel: false,
@@ -85,6 +103,9 @@ fn parse_args() -> Options {
             "--full-machine" => opts.full_machine = true,
             "--pictogram" => opts.pictogram = true,
             "--dump-kernel" => opts.dump_kernel = true,
+            "--profile" => opts.profile = Some(ProfileMode::Table),
+            "--profile=json" => opts.profile = Some(ProfileMode::Json),
+            "--profile=table" => opts.profile = Some(ProfileMode::Table),
             "--subgrid" => {
                 let Some(spec) = args.next() else { usage() };
                 let Some((r, c)) = spec.split_once('x') else {
@@ -133,6 +154,11 @@ fn parse_args() -> Options {
 
 fn main() -> ExitCode {
     let opts = parse_args();
+    if opts.profile.is_some() {
+        // `--profile` implies counting; CMCC_PROFILE=1 alone also enables
+        // the counters (latched inside cmcc_obs on first use).
+        cmcc_obs::set_enabled(true);
+    }
     let source = if opts.path == "-" {
         let mut buf = String::new();
         if std::io::stdin().read_to_string(&mut buf).is_err() {
@@ -162,6 +188,7 @@ fn main() -> ExitCode {
 
     let mut warnings = 0;
     let mut compiled_count = 0;
+    let mut cache_totals = PlanCacheStats::default();
     for (i, unit) in units.iter().enumerate() {
         println!("--- statement {} ---", i + 1);
         println!("  {}", unit.statement);
@@ -195,9 +222,17 @@ fn main() -> ExitCode {
                     }
                 }
                 if opts.run {
-                    if let Err(e) = run_compiled(compiled, &cfg, &opts) {
-                        eprintln!("  RUN FAILED: {e}");
-                        return ExitCode::FAILURE;
+                    match run_compiled(i + 1, compiled, &unit.telemetry, &cfg, &opts) {
+                        Ok(stats) => {
+                            cache_totals.hits += stats.hits;
+                            cache_totals.misses += stats.misses;
+                            cache_totals.evictions += stats.evictions;
+                            cache_totals.capacity = stats.capacity;
+                        }
+                        Err(e) => {
+                            eprintln!("  RUN FAILED: {e}");
+                            return ExitCode::FAILURE;
+                        }
                     }
                 }
             }
@@ -213,10 +248,17 @@ fn main() -> ExitCode {
             }
         }
     }
-    println!(
+    print!(
         "\n{} statements: {compiled_count} compiled, {warnings} warnings",
         units.len()
     );
+    if opts.run {
+        print!(
+            ", plan cache: {} hits / {} misses / {} evictions (capacity {})",
+            cache_totals.hits, cache_totals.misses, cache_totals.evictions, cache_totals.capacity
+        );
+    }
+    println!();
     if warnings > 0 {
         ExitCode::from(1)
     } else {
@@ -224,16 +266,21 @@ fn main() -> ExitCode {
     }
 }
 
-/// Executes one compiled stencil on random data, checks it against the
-/// reference evaluator, and prints the measured rate.
+/// Executes one compiled stencil on random data through a [`Session`]
+/// (so every iteration exercises the plan cache), checks it against the
+/// reference evaluator, prints the measured rate, and — under
+/// `--profile` — the telemetry that run recorded. Returns the session's
+/// plan-cache statistics for the driver's summary line.
 fn run_compiled(
+    statement: usize,
     compiled: &cmcc_core::compiler::CompiledStencil,
+    compile_report: &cmcc_obs::RunReport,
     cfg: &MachineConfig,
     opts: &Options,
-) -> Result<(), Box<dyn std::error::Error>> {
-    let mut machine = Machine::new(cfg.clone())?;
-    let rows = opts.subgrid.0 * machine.grid().rows();
-    let cols = opts.subgrid.1 * machine.grid().cols();
+) -> Result<PlanCacheStats, Box<dyn std::error::Error>> {
+    let mut session = Session::with_config(cfg.clone())?;
+    let rows = opts.subgrid.0 * session.machine().grid().rows();
+    let cols = opts.subgrid.1 * session.machine().grid().cols();
     let mut rng = Rng::new(0xCC);
     let spec = compiled.spec();
 
@@ -244,7 +291,7 @@ fn run_compiled(
         Ok(a)
     };
     let sources: Vec<CmArray> = (0..spec.sources.len().max(1))
-        .map(|_| fill(&mut machine))
+        .map(|_| fill(session.machine_mut()))
         .collect::<Result<_, _>>()?;
     let named = spec
         .coeffs
@@ -252,9 +299,9 @@ fn run_compiled(
         .filter(|c| matches!(c, CoeffSpec::Named(_)))
         .count();
     let coeffs: Vec<CmArray> = (0..named)
-        .map(|_| fill(&mut machine))
+        .map(|_| fill(session.machine_mut()))
         .collect::<Result<_, _>>()?;
-    let r = CmArray::new(&mut machine, rows, cols)?;
+    let r = CmArray::new(session.machine_mut(), rows, cols)?;
 
     let source_refs: Vec<&CmArray> = sources.iter().collect();
     let coeff_refs: Vec<&CmArray> = coeffs.iter().collect();
@@ -271,29 +318,30 @@ fn run_compiled(
         }
     }
 
-    // Compile-once/run-many: the plan (halo buffers, exchange program,
-    // resolved schedule) is built on the first iteration only; later
-    // iterations replay it.
+    // Compile-once/run-many through the plan cache: the first call
+    // misses and builds the plan (halo buffers, exchange program,
+    // resolved schedule); later iterations hit and replay it.
+    let full_before = cmcc_obs::snapshot();
     let build_start = std::time::Instant::now();
-    let binding = StencilBinding::new(compiled, &r, &source_refs, &coeff_refs)?;
-    let mark = machine.alloc_mark();
-    let mut plan = ExecutionPlan::build(&mut machine, &binding, &exec_opts, PlanLifetime::Scoped)?;
-    let m = plan.execute(&mut machine)?;
+    let m = session.run_with_multi(compiled, &r, &source_refs, &coeff_refs, &exec_opts)?;
     let first_iter = build_start.elapsed();
+    let steady_before = cmcc_obs::snapshot();
     let steady_start = std::time::Instant::now();
     for _ in 1..opts.iters {
-        let again = plan.execute(&mut machine)?;
+        let again = session.run_with_multi(compiled, &r, &source_refs, &coeff_refs, &exec_opts)?;
         if again != m {
             return Err("iterations disagree on a fixed input (nondeterminism?)".into());
         }
     }
     let steady_total = steady_start.elapsed();
-    machine.release_to(mark);
+    let steady_report = cmcc_obs::snapshot().delta(&steady_before);
+    let full_report = cmcc_obs::snapshot().delta(&full_before);
 
     // Verify against the golden model.
-    let source_hosts: Vec<Vec<f32>> = sources.iter().map(|a| a.gather(&machine)).collect();
+    let machine = session.machine();
+    let source_hosts: Vec<Vec<f32>> = sources.iter().map(|a| a.gather(machine)).collect();
     let source_slices: Vec<&[f32]> = source_hosts.iter().map(Vec::as_slice).collect();
-    let coeff_hosts: Vec<Vec<f32>> = coeffs.iter().map(|a| a.gather(&machine)).collect();
+    let coeff_hosts: Vec<Vec<f32>> = coeffs.iter().map(|a| a.gather(machine)).collect();
     let mut host_iter = coeff_hosts.iter();
     let values: Vec<CoeffValue<'_>> = spec
         .coeffs
@@ -304,7 +352,7 @@ fn run_compiled(
         })
         .collect();
     let want = reference_convolve_multi(compiled.stencil(), rows, cols, &source_slices, &values);
-    let got = r.gather(&machine);
+    let got = r.gather(machine);
     let exact = got
         .iter()
         .zip(&want)
@@ -317,12 +365,13 @@ fn run_compiled(
         .into());
     }
 
+    let lane_resident = session.last_plan().is_some_and(|p| p.uses_lane_resident());
     if exec_opts.mode == ExecMode::Fast {
         // Functional engines skip the pipeline model, so there is no
         // cycle count to convert into a rate — report wall-clock only.
         let engine = match exec_opts.engine {
             ExecEngine::Scalar => "scalar",
-            ExecEngine::Lockstep if plan.uses_lane_resident() => "lockstep, lane-resident",
+            ExecEngine::Lockstep if lane_resident => "lockstep, lane-resident",
             ExecEngine::Lockstep => "lockstep",
         };
         print!(
@@ -361,5 +410,199 @@ fn run_compiled(
             steady_per_iter.as_secs_f64() * 1e3,
         );
     }
-    Ok(())
+
+    if let Some(mode) = opts.profile {
+        // The statement's compile spans were recorded before this run
+        // started; merge them in so the profile covers compile + run.
+        let full_report = full_report.merge(compile_report);
+        // Label the path the plan actually executed — cycle mode always
+        // runs the scalar pipeline model regardless of the engine option.
+        let engine = session.last_plan().map_or("scalar", |p| {
+            if p.uses_lane_resident() {
+                "lockstep-lane-resident"
+            } else if p.uses_lockstep() {
+                "lockstep"
+            } else {
+                "scalar"
+            }
+        });
+        let profile = Profile {
+            statement,
+            engine,
+            mode: match exec_opts.mode {
+                ExecMode::Cycle => "cycle",
+                ExecMode::Fast => "fast",
+            },
+            nodes: machine.node_count(),
+            iters: opts.iters,
+            m,
+            derived: derive_metrics(
+                cfg,
+                &m,
+                &exec_opts,
+                &session,
+                opts.iters,
+                first_iter,
+                steady_total,
+                &steady_report,
+                &full_report,
+            ),
+            stats: session.plan_cache_stats(),
+            report: full_report,
+        };
+        match mode {
+            ProfileMode::Table => profile.print_table(),
+            ProfileMode::Json => println!("{}", profile.to_json()),
+        }
+    }
+    Ok(session.plan_cache_stats())
+}
+
+/// Rates and traffic derived from one profiled run.
+struct Derived {
+    /// Sustained Gflops under the WTL3164 cycle model (0 in fast mode —
+    /// the pipeline model did not run).
+    effective_gflops: f64,
+    /// Achieved fraction of the cycle model's peak (2 flops/cycle/node);
+    /// 0 in fast mode.
+    model_fraction: f64,
+    /// Useful flops over host wall-clock per steady iteration.
+    wall_gflops: f64,
+    /// Observed bytes copied per steady-state iteration (counter delta
+    /// over the steady iterations; the whole run when `--iters 1`).
+    bytes_per_iter_observed: f64,
+    /// The plan's analytic `steady_state_copy_words` prediction, in bytes.
+    bytes_per_iter_predicted: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn derive_metrics(
+    cfg: &MachineConfig,
+    m: &Measurement,
+    exec_opts: &ExecOptions,
+    session: &Session,
+    iters: usize,
+    first_iter: std::time::Duration,
+    steady_total: std::time::Duration,
+    steady_report: &cmcc_obs::RunReport,
+    full_report: &cmcc_obs::RunReport,
+) -> Derived {
+    let cycle_mode = exec_opts.mode == ExecMode::Cycle;
+    let effective_gflops = if cycle_mode { m.gflops(cfg) } else { 0.0 };
+    let model_fraction = if cycle_mode && m.cycles.total() > 0 {
+        m.useful_flops as f64 / (2.0 * m.cycles.total() as f64 * m.nodes as f64)
+    } else {
+        0.0
+    };
+    let per_iter_secs = if iters > 1 {
+        steady_total.as_secs_f64() / (iters - 1) as f64
+    } else {
+        first_iter.as_secs_f64()
+    };
+    let wall_gflops = if per_iter_secs > 0.0 {
+        m.useful_flops as f64 / per_iter_secs / 1.0e9
+    } else {
+        0.0
+    };
+    const WORD_BYTES: f64 = 4.0;
+    let bytes_per_iter_observed = if iters > 1 {
+        steady_report.copy_words() as f64 * WORD_BYTES / (iters - 1) as f64
+    } else {
+        full_report.copy_words() as f64 * WORD_BYTES
+    };
+    let bytes_per_iter_predicted = session
+        .last_plan()
+        .map_or(0.0, |p| p.steady_state_copy_words() as f64 * WORD_BYTES);
+    Derived {
+        effective_gflops,
+        model_fraction,
+        wall_gflops,
+        bytes_per_iter_observed,
+        bytes_per_iter_predicted,
+    }
+}
+
+/// Everything `--profile` prints for one statement.
+struct Profile {
+    statement: usize,
+    engine: &'static str,
+    mode: &'static str,
+    nodes: usize,
+    iters: usize,
+    m: Measurement,
+    derived: Derived,
+    stats: PlanCacheStats,
+    report: cmcc_obs::RunReport,
+}
+
+/// Formats an `f64` as a JSON number (non-finite values become 0).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "0.000000".to_owned()
+    }
+}
+
+impl Profile {
+    fn print_table(&self) {
+        println!(
+            "    profile (statement {}, {} engine, {} mode):",
+            self.statement, self.engine, self.mode
+        );
+        println!(
+            "      effective {:.3} Gflops (model fraction {:.3}), wall-clock {:.3} Gflops",
+            self.derived.effective_gflops, self.derived.model_fraction, self.derived.wall_gflops,
+        );
+        println!(
+            "      copy traffic {:.0} bytes/iter observed vs {:.0} predicted (steady_state_copy_words)",
+            self.derived.bytes_per_iter_observed, self.derived.bytes_per_iter_predicted,
+        );
+        println!(
+            "      plan cache: {} hits / {} misses / {} evictions (capacity {})",
+            self.stats.hits, self.stats.misses, self.stats.evictions, self.stats.capacity,
+        );
+        for line in self.report.render_table().lines() {
+            println!("      {line}");
+        }
+    }
+
+    /// One compact JSON line. The key set is the `cmcc-profile-v1`
+    /// schema: CI validates it, so additions must bump the version.
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"schema\":\"cmcc-profile-v1\",\"statement\":{},",
+                "\"engine\":\"{}\",\"mode\":\"{}\",\"nodes\":{},\"iters\":{},",
+                "\"measurement\":{{\"useful_flops\":{},\"cycles\":{{\"comm\":{},",
+                "\"compute\":{},\"frontend\":{},\"total\":{}}},\"nodes\":{}}},",
+                "\"derived\":{{\"effective_gflops\":{},\"model_fraction\":{},",
+                "\"wall_gflops\":{},\"bytes_per_iter_observed\":{},",
+                "\"bytes_per_iter_predicted\":{}}},",
+                "\"plan_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},",
+                "\"capacity\":{}}},\"report\":{}}}"
+            ),
+            self.statement,
+            self.engine,
+            self.mode,
+            self.nodes,
+            self.iters,
+            self.m.useful_flops,
+            self.m.cycles.comm,
+            self.m.cycles.compute,
+            self.m.cycles.frontend,
+            self.m.cycles.total(),
+            self.m.nodes,
+            json_f64(self.derived.effective_gflops),
+            json_f64(self.derived.model_fraction),
+            json_f64(self.derived.wall_gflops),
+            json_f64(self.derived.bytes_per_iter_observed),
+            json_f64(self.derived.bytes_per_iter_predicted),
+            self.stats.hits,
+            self.stats.misses,
+            self.stats.evictions,
+            self.stats.capacity,
+            self.report.to_json(),
+        )
+    }
 }

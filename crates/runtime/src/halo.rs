@@ -154,7 +154,7 @@ impl HaloBuffer {
     ///
     /// SIMD addressing makes the copy plan node-independent, so the
     /// addresses are computed once and replayed on every node.
-    pub fn fill_interior(&self, machine: &mut Machine, src: &CmArray) {
+    pub fn fill_interior(&self, machine: &mut Machine, src: &CmArray) -> usize {
         assert_eq!(src.sub_rows(), self.sub_rows);
         assert_eq!(src.sub_cols(), self.sub_cols);
         let src_layout = src.layout();
@@ -163,11 +163,16 @@ impl HaloBuffer {
         let dst0 = self.addr(self.pad, self.pad);
         let dst_stride = self.sub_cols + 2 * self.pad;
         let (rows, cols) = (self.sub_rows, self.sub_cols);
+        let mut nodes = 0;
         for (_, mem) in machine.par_nodes_mut() {
             for lr in 0..rows {
                 mem.copy_within(src0 + lr * src_stride, dst0 + lr * dst_stride, cols);
             }
+            nodes += 1;
         }
+        let words = rows * cols * nodes;
+        cmcc_obs::add(cmcc_obs::Counter::InteriorRefreshWords, words as u64);
+        words
     }
 
     /// Performs the halo exchange and returns the communication cycles
@@ -276,6 +281,10 @@ pub struct ExchangeProgram {
     fills: Vec<(NodeId, usize, usize)>,
     fill: f32,
     cycles: u64,
+    /// Machine-total words moved by the NEWS edge step (the prefix of
+    /// `copies` built before the corner step) — `words_moved()` minus
+    /// this is the corner traffic.
+    edge_words: usize,
 }
 
 impl ExchangeProgram {
@@ -294,6 +303,7 @@ impl ExchangeProgram {
         let mut copies = Vec::new();
         let mut fills = Vec::new();
         let mut cycles = 0;
+        let mut edge_words = 0;
         if p > 0 {
             // Step one: edge sections from the four NEWS neighbors.
             for node in grid.iter() {
@@ -348,6 +358,7 @@ impl ExchangeProgram {
                 ExchangePrimitive::News => news_exchange_cycles(cfg, shape),
                 ExchangePrimitive::OldPerDirection => old_exchange_cycles(cfg, shape),
             };
+            edge_words = copies.iter().map(|c| c.len).sum();
 
             // Step two: corner sections from the four diagonal neighbors.
             if need_corners {
@@ -417,6 +428,7 @@ impl ExchangeProgram {
             fills,
             fill,
             cycles,
+            edge_words,
         }
     }
 
@@ -432,8 +444,24 @@ impl ExchangeProgram {
         self.copies.iter().map(|c| c.len).sum()
     }
 
+    /// Machine-total words the NEWS edge step of one run copies.
+    pub fn edge_words(&self) -> usize {
+        self.edge_words
+    }
+
+    /// Machine-total words the diagonal corner step of one run copies
+    /// (zero when corners are skipped).
+    pub fn corner_words(&self) -> usize {
+        self.words_moved() - self.edge_words
+    }
+
     /// Executes the exchange and returns the cycles charged.
     pub fn run(&self, machine: &mut Machine) -> u64 {
+        cmcc_obs::add(cmcc_obs::Counter::ExchangeEdgeWords, self.edge_words as u64);
+        cmcc_obs::add(
+            cmcc_obs::Counter::ExchangeCornerWords,
+            self.corner_words() as u64,
+        );
         for op in &self.copies {
             machine.copy_region(op.from, op.src, op.to, op.dst, op.len);
         }
@@ -477,6 +505,8 @@ pub struct LaneExchangeProgram {
     fills: Vec<(usize, usize, usize)>,
     fill: f32,
     cycles: u64,
+    /// Edge-step words, inherited verbatim from the source program.
+    edge_words: usize,
 }
 
 impl LaneExchangeProgram {
@@ -518,6 +548,7 @@ impl LaneExchangeProgram {
             fills,
             fill: program.fill,
             cycles: program.cycles,
+            edge_words: program.edge_words,
         })
     }
 
@@ -533,6 +564,17 @@ impl LaneExchangeProgram {
         self.copies.iter().map(|c| c.len).sum()
     }
 
+    /// Machine-total words the NEWS edge step of one run copies.
+    pub fn edge_words(&self) -> usize {
+        self.edge_words
+    }
+
+    /// Machine-total words the diagonal corner step of one run copies
+    /// (zero when corners are skipped).
+    pub fn corner_words(&self) -> usize {
+        self.words_moved() - self.edge_words
+    }
+
     /// Executes the exchange on the mirror and returns the cycles
     /// charged.
     ///
@@ -542,6 +584,11 @@ impl LaneExchangeProgram {
     /// mirror must have been shaped for the same machine and view the
     /// program was translated against.
     pub fn run(&self, mirror: &mut cmcc_cm2::lane::LaneMirror) -> u64 {
+        cmcc_obs::add(cmcc_obs::Counter::ExchangeEdgeWords, self.edge_words as u64);
+        cmcc_obs::add(
+            cmcc_obs::Counter::ExchangeCornerWords,
+            self.corner_words() as u64,
+        );
         for op in &self.copies {
             mirror.copy_lane_run(op.from, op.src, op.to, op.dst, op.len);
         }

@@ -42,6 +42,7 @@ pub use cmcc_baseline as baseline;
 pub use cmcc_cm2 as cm2;
 pub use cmcc_core as core;
 pub use cmcc_front as front;
+pub use cmcc_obs as obs;
 pub use cmcc_runtime as runtime;
 
 pub use cmcc_cm2::{CycleBreakdown, Machine, MachineConfig, Measurement};
@@ -131,6 +132,11 @@ pub struct PlanCacheStats {
     pub hits: u64,
     /// Runs that built (and cached) a fresh plan.
     pub misses: u64,
+    /// Cached plans released to make room (LRU) — by a capacity overflow
+    /// or an explicit [`Session::set_plan_cache_capacity`] shrink.
+    pub evictions: u64,
+    /// The cache's current plan capacity.
+    pub capacity: usize,
 }
 
 /// Default number of distinct (statement, shape, options) plans a session
@@ -161,6 +167,11 @@ pub struct Session {
     plan_capacity: usize,
     tick: u64,
     stats: PlanCacheStats,
+    /// Telemetry delta of the most recent `run*` call (empty when
+    /// profiling is disabled — see [`cmcc_obs::set_enabled`]).
+    last_report: cmcc_obs::RunReport,
+    /// Cache key of the most recent `run*` call, for [`Session::last_plan`].
+    last_key: Option<PlanKey>,
 }
 
 impl Session {
@@ -178,6 +189,8 @@ impl Session {
             plan_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
             tick: 0,
             stats: PlanCacheStats::default(),
+            last_report: cmcc_obs::RunReport::default(),
+            last_key: None,
         })
     }
 
@@ -314,19 +327,27 @@ impl Session {
             opts: *opts,
         };
         self.tick += 1;
+        let before = cmcc_obs::snapshot();
+        self.last_key = Some(key);
         if let Some(entry) = self.plans.iter_mut().find(|e| e.key == key) {
             entry.last_used = self.tick;
             entry.plan.rebind(result, sources, coeffs)?;
             self.stats.hits += 1;
-            return Ok(entry.plan.execute(&mut self.machine)?);
+            cmcc_obs::add(cmcc_obs::Counter::PlanCacheHits, 1);
+            let measurement = entry.plan.execute(&mut self.machine)?;
+            self.last_report = cmcc_obs::snapshot().delta(&before);
+            return Ok(measurement);
         }
 
         self.stats.misses += 1;
+        cmcc_obs::add(cmcc_obs::Counter::PlanCacheMisses, 1);
         let mut plan =
             ExecutionPlan::build(&mut self.machine, &binding, opts, PlanLifetime::Persistent)?;
         let measurement = plan.execute(&mut self.machine)?;
+        self.last_report = cmcc_obs::snapshot().delta(&before);
         if self.plan_capacity == 0 {
             plan.release(&mut self.machine);
+            self.last_key = None;
             return Ok(measurement);
         }
         if self.plans.len() >= self.plan_capacity {
@@ -341,6 +362,8 @@ impl Session {
             {
                 let evicted = self.plans.swap_remove(lru);
                 evicted.plan.release(&mut self.machine);
+                self.stats.evictions += 1;
+                cmcc_obs::add(cmcc_obs::Counter::PlanCacheEvictions, 1);
             }
         }
         self.plans.push(CachedPlan {
@@ -351,9 +374,28 @@ impl Session {
         Ok(measurement)
     }
 
-    /// Plan-cache hit/miss counters.
+    /// Plan-cache hit/miss/eviction counters, plus the current capacity.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
-        self.stats
+        PlanCacheStats {
+            capacity: self.plan_capacity,
+            ..self.stats
+        }
+    }
+
+    /// Telemetry recorded by the most recent `run*` call: the global
+    /// [`cmcc_obs`] counter and span deltas bracketing that call. Empty
+    /// when profiling was disabled (the counters never moved) or before
+    /// the first run.
+    pub fn last_report(&self) -> cmcc_obs::RunReport {
+        self.last_report
+    }
+
+    /// The cached [`ExecutionPlan`] the most recent `run*` call used,
+    /// when it is still in the cache — for inspecting analytic plan
+    /// properties like [`ExecutionPlan::steady_state_copy_words`].
+    pub fn last_plan(&self) -> Option<&ExecutionPlan> {
+        let key = self.last_key?;
+        self.plans.iter().find(|e| e.key == key).map(|e| &e.plan)
     }
 
     /// Number of plans currently cached.
@@ -376,6 +418,8 @@ impl Session {
             {
                 let evicted = self.plans.swap_remove(lru);
                 evicted.plan.release(&mut self.machine);
+                self.stats.evictions += 1;
+                cmcc_obs::add(cmcc_obs::Counter::PlanCacheEvictions, 1);
             }
         }
     }
