@@ -8,8 +8,14 @@ with a sane type. Exits non-zero with a diagnostic on any missing or
 mistyped field, so CI fails when the schema drifts without a version
 bump.
 
+With ``--bench-parallel FILE`` it instead validates the schema of the
+``repro_parallel`` bench output (``BENCH_parallel.json``), including the
+``oversubscribed`` flag that marks single-core curves as non-scaling
+measurements.
+
 Usage:
     cmcc --run --iters 3 --profile=json five.f90 | python3 ci/check_profile_schema.py
+    python3 ci/check_profile_schema.py --bench-parallel BENCH_parallel.json
 """
 
 import json
@@ -73,6 +79,8 @@ EXPECTED = [
     ("report.exec.lane_resident_runs", numbers.Integral),
     ("report.exec.scalar_steps", numbers.Integral),
     ("report.exec.lockstep_steps", numbers.Integral),
+    ("report.exec.kernelized_steps", numbers.Integral),
+    ("report.exec.interpreted_steps", numbers.Integral),
     ("report.exec.mirror_allocations", numbers.Integral),
     ("report.exec.useful_flops", numbers.Integral),
     ("report.exec.total_flops", numbers.Integral),
@@ -87,7 +95,60 @@ def lookup(obj, path):
     return obj, True
 
 
+# (dotted path, expected type) for every key BENCH_parallel.json promises.
+BENCH_PARALLEL_EXPECTED = [
+    ("pattern", str),
+    ("global_grid", list),
+    ("subgrid", list),
+    ("host_cores", numbers.Integral),
+    ("oversubscribed", bool),
+    ("warmup", numbers.Integral),
+    ("iters", numbers.Integral),
+    ("curve", list),
+    ("max_threads_speedup", numbers.Real),
+    ("bit_identical", bool),
+    ("measurement_equal", bool),
+]
+
+
+def check_bench_parallel(path):
+    with open(path) as f:
+        bench = json.load(f)
+    errors = []
+    for key, kind in BENCH_PARALLEL_EXPECTED:
+        value, found = lookup(bench, key)
+        if not found:
+            errors.append("%s: missing key %s" % (path, key))
+        elif kind is not bool and isinstance(value, bool):
+            errors.append("%s: %s is a bool, expected %s" % (path, key, kind))
+        elif not isinstance(value, kind):
+            errors.append(
+                "%s: %s has type %s, expected %s"
+                % (path, key, type(value).__name__, kind)
+            )
+    for i, point in enumerate(bench.get("curve", [])):
+        for key, kind in [
+            ("threads", numbers.Integral),
+            ("secs_per_iter", numbers.Real),
+            ("speedup", numbers.Real),
+        ]:
+            value, found = lookup(point, key)
+            if not found or not isinstance(value, kind):
+                errors.append("%s: curve[%d].%s missing or mistyped" % (path, i, key))
+    if bench.get("oversubscribed") and bench.get("host_cores", 0) > 1:
+        errors.append("%s: oversubscribed set on a multi-core host" % path)
+    if errors:
+        sys.exit("\n".join(errors))
+    print("ok: %s matches the repro_parallel bench schema" % path)
+
+
 def main():
+    if len(sys.argv) >= 2 and sys.argv[1] == "--bench-parallel":
+        if len(sys.argv) != 3:
+            sys.exit("usage: check_profile_schema.py --bench-parallel FILE")
+        check_bench_parallel(sys.argv[2])
+        return
+
     profiles = []
     for line in sys.stdin:
         line = line.strip()

@@ -117,9 +117,17 @@ fn main() {
             )
         })
         .collect();
+    // A single-core host oversubscribes every multi-thread point: the
+    // curve then measures scheduler churn, not scaling, so the JSON
+    // carries an explicit flag instead of a misleading slowdown.
+    let oversubscribed = cores == 1;
+    if oversubscribed {
+        println!("  (1 host core: curve marked oversubscribed, not a scaling measurement)");
+    }
     let json = format!(
         "{{\n  \"pattern\": \"{}\",\n  \"global_grid\": [512, 512],\n  \"subgrid\": [{}, {}],\n  \
-         \"host_cores\": {cores},\n  \"warmup\": 1,\n  \"iters\": {iters},\n  \
+         \"host_cores\": {cores},\n  \"oversubscribed\": {oversubscribed},\n  \
+         \"warmup\": 1,\n  \"iters\": {iters},\n  \
          \"curve\": [\n{}\n  ],\n  \
          \"max_threads_speedup\": {max_speedup:.4},\n  \"bit_identical\": {bit_identical},\n  \
          \"measurement_equal\": {measurement_equal}\n}}\n",

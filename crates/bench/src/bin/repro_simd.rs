@@ -1,4 +1,5 @@
-//! Lockstep SIMD executor benchmark: scalar vs lockstep fast mode.
+//! Lockstep SIMD executor benchmark: scalar vs lockstep fast mode,
+//! plus the kernel tier vs the interpreted lockstep baseline.
 //!
 //! Runs the 9-point square stencil on the simulated 16-node test board
 //! with a 128×128 per-node subgrid (a 512×512 global array) in fast
@@ -16,6 +17,16 @@
 //! the ratio stays an executor comparison under equal copy traffic — the
 //! residency saving has its own benchmark, `repro_lane_resident`. Both
 //! engines' steady-state copy bytes per iteration are reported.
+//!
+//! A second ratio isolates plan-time kernel generation: the lockstep
+//! plan is replayed twice on *lane-resident* plans — residency strips
+//! the gather/scatter floor both non-resident passes share — once with
+//! the kernel tier live and once with it toggled off
+//! (`ExecutionPlan::set_kernel_tier`), timing the monomorphized kernels
+//! against the per-step interpreter. Full mode asserts the kernels win
+//! by ≥2×, and the profiled pass asserts `interpreted_steps == 0` — on
+//! this workload every strip must classify into the family, which is
+//! also the CI smoke gate (it runs under `--quick` too).
 //!
 //! A third pass re-times the lockstep engine with `cmcc_obs` profiling
 //! *enabled* and asserts the overhead stays under 2% in full mode. The
@@ -59,11 +70,13 @@ fn time_engine(
     w: &mut Workload,
     engine: ExecEngine,
     iters: usize,
+    kernel_tier: bool,
+    resident: bool,
 ) -> (f64, Measurement, Vec<f32>, usize) {
     let opts = ExecOptions::fast()
         .with_engine(engine)
         .with_threads(1)
-        .with_lane_resident(false);
+        .with_lane_resident(resident);
     let refs: Vec<&CmArray> = w.coeffs.iter().collect();
     let binding =
         StencilBinding::new(&w.compiled, &w.r, &[&w.x], &refs).expect("bench binding is valid");
@@ -75,6 +88,13 @@ fn time_engine(
         engine == ExecEngine::Lockstep,
         "a clean single-source binding must lane-map iff lockstep is requested"
     );
+    plan.set_kernel_tier(kernel_tier);
+    if engine == ExecEngine::Lockstep && kernel_tier {
+        assert!(
+            plan.kernelized_strips() > 0,
+            "the 9-point workload must compile against the kernel family"
+        );
+    }
     let copy_bytes = plan.steady_state_copy_words() * 4;
     let mut m = plan.execute(&mut w.machine).expect("bench plan executes");
     for _ in 1..WARMUP {
@@ -116,23 +136,76 @@ fn main() {
     );
 
     let (scalar_secs, scalar_m, scalar_r, scalar_copy_bytes) =
-        time_engine(&mut scalar_w, ExecEngine::Scalar, iters);
+        time_engine(&mut scalar_w, ExecEngine::Scalar, iters, true, false);
     println!("  scalar:   {scalar_secs:.6} s/iter, {scalar_copy_bytes} copy bytes/iter");
     let (lockstep_secs, lockstep_m, lockstep_r, lockstep_copy_bytes) =
-        time_engine(&mut lockstep_w, ExecEngine::Lockstep, iters);
+        time_engine(&mut lockstep_w, ExecEngine::Lockstep, iters, true, false);
     println!("  lockstep: {lockstep_secs:.6} s/iter, {lockstep_copy_bytes} copy bytes/iter");
 
+    // Kernel tier vs interpreted lockstep, both on lane-resident plans:
+    // residency strips the per-iteration gather/scatter floor the
+    // non-resident passes above share, so this ratio isolates the step
+    // engine itself — the thing plan-time kernel generation changes.
+    let mut resident_w = Workload::new(
+        MachineConfig::test_board_16(),
+        PaperPattern::Square9,
+        SUBGRID,
+    );
+    let (resident_secs, resident_m, resident_r, _) =
+        time_engine(&mut resident_w, ExecEngine::Lockstep, iters, true, true);
+    println!("  lockstep (resident, kernelized):  {resident_secs:.6} s/iter");
+    let mut interp_w = Workload::new(
+        MachineConfig::test_board_16(),
+        PaperPattern::Square9,
+        SUBGRID,
+    );
+    let (interp_secs, interp_m, interp_r, _) =
+        time_engine(&mut interp_w, ExecEngine::Lockstep, iters, false, true);
+    println!("  lockstep (resident, interpreted): {interp_secs:.6} s/iter");
+    assert_eq!(
+        interp_m, lockstep_m,
+        "the kernel tier must not change the Measurement"
+    );
+    assert_eq!(
+        resident_m, lockstep_m,
+        "lane residency must not change the Measurement"
+    );
+    for (label, r) in [("kernel tier", &interp_r), ("lane residency", &resident_r)] {
+        assert!(
+            r.iter()
+                .zip(&lockstep_r)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "the {label} must not change results"
+        );
+    }
+
     // Third pass: identical lockstep workload with profiling counters
-    // live, to measure the telemetry overhead.
+    // live, to measure the telemetry overhead — and to gate kernel
+    // coverage: on the 9-point workload no lockstep step may fall back
+    // to the interpreter.
     let mut profiled_w = Workload::new(
         MachineConfig::test_board_16(),
         PaperPattern::Square9,
         SUBGRID,
     );
     cmcc_obs::set_enabled(true);
+    let counters_before = cmcc_obs::snapshot();
     let (profiled_secs, profiled_m, profiled_r, _) =
-        time_engine(&mut profiled_w, ExecEngine::Lockstep, iters);
+        time_engine(&mut profiled_w, ExecEngine::Lockstep, iters, true, false);
+    let counters_after = cmcc_obs::snapshot();
     cmcc_obs::set_enabled(false);
+    let kernelized_steps = counters_after.get(cmcc_obs::Counter::KernelizedSteps)
+        - counters_before.get(cmcc_obs::Counter::KernelizedSteps);
+    let interpreted_steps = counters_after.get(cmcc_obs::Counter::InterpretedSteps)
+        - counters_before.get(cmcc_obs::Counter::InterpretedSteps);
+    assert!(
+        kernelized_steps > 0,
+        "the profiled lockstep pass must run kernelized steps"
+    );
+    assert_eq!(
+        interpreted_steps, 0,
+        "no lockstep step may fall back to the interpreter on the 9-point workload"
+    );
     let profile_overhead = profiled_secs / lockstep_secs - 1.0;
     println!(
         "  lockstep (profiled): {profiled_secs:.6} s/iter ({:+.2}% overhead)",
@@ -157,21 +230,30 @@ fn main() {
             .all(|(a, b)| a.to_bits() == b.to_bits());
     let measurement_equal = scalar_m == lockstep_m;
     let speedup = scalar_secs / lockstep_secs;
+    let kernel_speedup = interp_secs / resident_secs;
     println!(
-        "\n  speedup {speedup:.2}x; bit-identical: {bit_identical}; \
-         measurements equal: {measurement_equal}"
+        "\n  speedup {speedup:.2}x (kernels over interpreted lockstep: {kernel_speedup:.2}x); \
+         bit-identical: {bit_identical}; measurements equal: {measurement_equal}"
     );
 
+    // The profiled pass executes the plan WARMUP + iters times; the JSON
+    // records the per-execution step count so it is iteration-invariant.
+    let kernelized_steps_per_run = kernelized_steps / (WARMUP + iters) as u64;
     let json = format!(
         "{{\n  \"pattern\": \"{}\",\n  \"global_grid\": [512, 512],\n  \"subgrid\": [{}, {}],\n  \
          \"threads\": 1,\n  \"warmup\": {WARMUP},\n  \"iters\": {iters},\n  \
          \"scalar_secs_per_iter\": {scalar_secs:.6},\n  \
          \"lockstep_secs_per_iter\": {lockstep_secs:.6},\n  \
+         \"lockstep_resident_secs_per_iter\": {resident_secs:.6},\n  \
+         \"lockstep_resident_interpreted_secs_per_iter\": {interp_secs:.6},\n  \
          \"scalar_copy_bytes_per_iter\": {scalar_copy_bytes},\n  \
          \"lockstep_copy_bytes_per_iter\": {lockstep_copy_bytes},\n  \
          \"profiled_secs_per_iter\": {profiled_secs:.6},\n  \
          \"profiling_overhead\": {profile_overhead:.4},\n  \
-         \"speedup\": {speedup:.4},\n  \"bit_identical\": {bit_identical},\n  \
+         \"kernelized_steps_per_run\": {kernelized_steps_per_run},\n  \
+         \"interpreted_steps_per_run\": {interpreted_steps},\n  \
+         \"speedup\": {speedup:.4},\n  \"kernel_speedup\": {kernel_speedup:.4},\n  \
+         \"bit_identical\": {bit_identical},\n  \
          \"measurement_equal\": {measurement_equal}\n}}\n",
         PaperPattern::Square9.name(),
         SUBGRID.0,
@@ -191,6 +273,10 @@ fn main() {
         assert!(
             speedup >= 2.0,
             "expected >=2x lockstep speedup, got {speedup:.2}x"
+        );
+        assert!(
+            kernel_speedup >= 2.0,
+            "expected >=2x kernel-tier speedup over interpreted lockstep, got {kernel_speedup:.2}x"
         );
         assert!(
             profile_overhead < 0.02,

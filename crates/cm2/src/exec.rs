@@ -640,6 +640,17 @@ impl ResolvedStrip {
         (self.prologue.len() + body) as u64
     }
 
+    /// The prologue parts, for the kernel-tier classifier.
+    pub(crate) fn prologue_parts(&self) -> &[ResolvedPart] {
+        &self.prologue
+    }
+
+    /// The stored body patterns (one per period line), for the
+    /// kernel-tier classifier.
+    pub(crate) fn body_patterns(&self) -> &[Vec<ResolvedPart>] {
+        &self.body
+    }
+
     /// Translates every pre-resolved node-memory address into the lane
     /// word space of `view`, producing a strip executable by
     /// [`run_resolved_strip_lockstep`].
@@ -844,19 +855,19 @@ fn run_resolved_strip_impl<const CYCLE: bool>(
 /// The FPU register file of *all* lanes at once: register `r`'s value on
 /// every node, stored contiguously (`regs[r*nodes .. (r+1)*nodes]`), so a
 /// broadcast operation reads and writes whole register rows.
-struct LaneFpu {
+pub(crate) struct LaneFpu {
     /// `FPU_REGISTERS` rows of `nodes` lanes.
-    regs: Vec<f32>,
+    pub(crate) regs: Vec<f32>,
     /// Two interleaved multiply-add threads, one row of lanes each.
     chain: Vec<f32>,
     /// Count of MACs issued (parity selects the thread) — identical on
     /// every lane, so one scalar counter suffices.
     mac_count: u64,
-    nodes: usize,
+    pub(crate) nodes: usize,
 }
 
 impl LaneFpu {
-    fn new(nodes: usize) -> Self {
+    pub(crate) fn new(nodes: usize) -> Self {
         let mut regs = vec![0.0; FPU_REGISTERS * nodes];
         regs[Reg::ONE.0 as usize * nodes..(Reg::ONE.0 as usize + 1) * nodes].fill(1.0);
         LaneFpu {
@@ -925,43 +936,14 @@ pub fn run_resolved_lockstep_groups(
     strips: &[ResolvedStrip],
     groups: &mut [LaneMemory],
 ) -> StripRun {
-    if strips.is_empty() || groups.is_empty() {
-        return StripRun::default();
-    }
-    cmcc_obs::add(
-        cmcc_obs::Counter::LockstepSteps,
-        strips.iter().map(|s| s.steps()).sum(),
-    );
-    let run_group = |lanes: &mut LaneMemory| {
-        let mut total = StripRun::default();
-        for strip in strips {
-            total.absorb(&run_resolved_strip_lockstep(strip, lanes));
-        }
-        total
-    };
-    let per_group: Vec<StripRun> = if groups.len() == 1 {
-        vec![run_group(&mut groups[0])]
-    } else {
-        let run_group = &run_group;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = groups
-                .iter_mut()
-                .map(|group| scope.spawn(move || run_group(group)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("lane worker panicked"))
-                .collect()
-        })
-    };
-    let first = per_group[0];
-    for other in &per_group[1..] {
-        debug_assert_eq!(
-            &first, other,
-            "lane groups must replay identical instruction streams"
-        );
-    }
-    first
+    // Interpreter-only entry point: every step counts as interpreted
+    // and the scratch coefficient-stream cache stays empty.
+    crate::kernels::run_lockstep_groups_kernelized(
+        strips,
+        &[],
+        &mut crate::kernels::CoeffStreams::new(),
+        groups,
+    )
 }
 
 /// [`run_resolved_strip_lockstep`] monomorphized for `N` lanes
@@ -1030,7 +1012,7 @@ fn lane_mac_chain<const N: usize>(out: &mut [f32], x: &[f32], d: &[f32]) {
 /// lane. The per-lane loops run over contiguous equal-length rows, the
 /// shape LLVM autovectorizes.
 #[inline(always)]
-fn exec_lockstep<const N: usize>(
+pub(crate) fn exec_lockstep<const N: usize>(
     op: ResolvedOp,
     addr: usize,
     lanes: &mut LaneMemory,
@@ -1716,6 +1698,83 @@ mod tests {
             };
             lockstep_differential(&kernel, &ctx, 3);
         }
+    }
+
+    /// The kernel-tier dispatcher splits `lockstep_steps` into
+    /// `kernelized_steps` / `interpreted_steps` exactly along the
+    /// compiled-vs-fallback boundary, and both paths stay bit-identical.
+    #[test]
+    fn kernel_tier_dispatch_splits_step_counters() {
+        use crate::kernels::{CoeffStreams, StripKernels, OBS_TEST_LOCK};
+        use cmcc_obs::Counter;
+
+        let _guard = OBS_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let was_on = cmcc_obs::enabled();
+        cmcc_obs::set_enabled(true);
+
+        let kernel = identity_kernel();
+        let (_, [src, res, coeff], ones, zeros) = setup();
+        let coeffs = [coeff];
+        let srcs = [src];
+        let ctx = StripContext {
+            srcs: &srcs,
+            res,
+            coeffs: &coeffs,
+            ones_addr: ones,
+            zeros_addr: zeros,
+            start_row: 3,
+            lines: 4,
+            col0: 1,
+        };
+        let view = setup_view();
+        let strip = ResolvedStrip::new(&kernel, &ctx);
+        let lane_strip = strip
+            .translate(&view)
+            .expect("setup view covers the kernel");
+        let compiled =
+            StripKernels::compile(&lane_strip).expect("identity kernel has a classifiable burst");
+        let steps = lane_strip.steps();
+        let node_count = 3;
+
+        let node_mems: Vec<NodeMemory> = (0..node_count)
+            .map(|n| {
+                let (mut mem, ..) = setup();
+                for i in 0..16 {
+                    mem.write(i, mem.read(i) + n as f32 * 100.0);
+                }
+                mem
+            })
+            .collect();
+
+        let strips = std::slice::from_ref(&lane_strip);
+        let run_with = |kernels: &[Option<StripKernels>]| {
+            let mut mems = node_mems.clone();
+            let mut lanes = LaneMemory::new(view.words(), node_count);
+            lanes.gather(&view, &mems);
+            let before = cmcc_obs::snapshot();
+            let run = crate::kernels::run_lockstep_groups_kernelized(
+                strips,
+                kernels,
+                &mut CoeffStreams::new(),
+                std::slice::from_mut(&mut lanes),
+            );
+            let delta = cmcc_obs::snapshot().delta(&before);
+            lanes.scatter(&view, &mut mems);
+            (mems, run, delta)
+        };
+
+        let (kern_mems, kern_run, kern_delta) = run_with(&[Some(compiled)]);
+        let (int_mems, int_run, int_delta) = run_with(&[None]);
+        cmcc_obs::set_enabled(was_on);
+
+        assert_eq!(kern_mems, int_mems, "kernel tier diverged from fallback");
+        assert_eq!(kern_run, int_run);
+        assert_eq!(kern_delta.get(Counter::KernelizedSteps), steps);
+        assert_eq!(kern_delta.get(Counter::InterpretedSteps), 0);
+        assert_eq!(int_delta.get(Counter::KernelizedSteps), 0);
+        assert_eq!(int_delta.get(Counter::InterpretedSteps), steps);
+        assert_eq!(kern_delta.get(Counter::LockstepSteps), steps);
+        assert_eq!(int_delta.get(Counter::LockstepSteps), steps);
     }
 
     #[test]

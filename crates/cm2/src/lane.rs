@@ -217,6 +217,29 @@ impl LaneMemory {
         &mut self.data[w * self.nodes..(w + 1) * self.nodes]
     }
 
+    /// The `count` floats at pre-resolved flat offset `off` of the
+    /// backing store — the kernel tier's addressing mode, where
+    /// `word * nodes` products are computed once per strip instead of
+    /// once per access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    #[inline]
+    pub(crate) fn flat(&self, off: usize, count: usize) -> &[f32] {
+        &self.data[off..off + count]
+    }
+
+    /// [`Self::flat`], mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    #[inline]
+    pub(crate) fn flat_mut(&mut self, off: usize, count: usize) -> &mut [f32] {
+        &mut self.data[off..off + count]
+    }
+
     /// Lane `lane`'s value of lane word `w`.
     ///
     /// # Panics
@@ -237,6 +260,51 @@ impl LaneMemory {
     pub fn set_lane_value(&mut self, w: usize, lane: usize, value: f32) {
         assert!(lane < self.nodes, "lane out of range");
         self.data[w * self.nodes + lane] = value;
+    }
+
+    /// `count` consecutive lanes of lane word `w`, starting at `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane run leaves the word row or `w` is out of range.
+    #[inline]
+    pub fn lanes(&self, w: usize, lane: usize, count: usize) -> &[f32] {
+        assert!(lane + count <= self.nodes, "lane run out of range");
+        &self.data[w * self.nodes + lane..w * self.nodes + lane + count]
+    }
+
+    /// `count` consecutive lanes of lane word `w`, mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane run leaves the word row or `w` is out of range.
+    #[inline]
+    pub fn lanes_mut(&mut self, w: usize, lane: usize, count: usize) -> &mut [f32] {
+        assert!(lane + count <= self.nodes, "lane run out of range");
+        &mut self.data[w * self.nodes + lane..w * self.nodes + lane + count]
+    }
+
+    /// Copies `count` consecutive lanes of word `src_w` (from
+    /// `src_lane`) onto word `dst_w` (from `dst_lane`) within this
+    /// memory — one `memmove`, overlap-safe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either lane run leaves its word row.
+    #[inline]
+    pub fn copy_lanes_within(
+        &mut self,
+        src_w: usize,
+        src_lane: usize,
+        dst_w: usize,
+        dst_lane: usize,
+        count: usize,
+    ) {
+        assert!(src_lane + count <= self.nodes, "lane run out of range");
+        assert!(dst_lane + count <= self.nodes, "lane run out of range");
+        let s = src_w * self.nodes + src_lane;
+        let d = dst_w * self.nodes + dst_lane;
+        self.data.copy_within(s..s + count, d);
     }
 
     /// Copies every viewed range from `mems` (one per lane, in order)
@@ -537,6 +605,58 @@ impl LaneMirror {
         self.lane_copied_words += len as u64;
     }
 
+    /// The vectorized form of `count` consecutive [`Self::copy_lane_run`]
+    /// calls — node `from0 + i` to node `to0 + i` for `i < count`, all
+    /// with the same word runs: per lane word, whole lane sub-slices move
+    /// as single slice copies instead of `count × len` scalar transfers.
+    /// Segments at thread-group boundaries on either side.
+    ///
+    /// The source and destination word runs must not overlap (halo
+    /// exchange programs copy between disjoint buffers by construction);
+    /// the *lane* runs may — within one group `copy_within` handles it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node index or word run is out of range.
+    pub fn copy_lane_span(
+        &mut self,
+        from0: usize,
+        to0: usize,
+        count: usize,
+        src: usize,
+        dst: usize,
+        len: usize,
+    ) {
+        let mut done = 0;
+        while done < count {
+            let (gf, lf) = self.locate_lane(from0 + done);
+            let (gt, lt) = self.locate_lane(to0 + done);
+            let seg = (count - done)
+                .min(self.groups[gf].nodes() - lf)
+                .min(self.groups[gt].nodes() - lt);
+            if gf == gt {
+                let group = &mut self.groups[gf];
+                for w in 0..len {
+                    group.copy_lanes_within(src + w, lf, dst + w, lt, seg);
+                }
+            } else {
+                let (lo, hi) = self.groups.split_at_mut(gf.max(gt));
+                let (src_g, dst_g) = if gf < gt {
+                    (&lo[gf], &mut hi[0])
+                } else {
+                    (&hi[0], &mut lo[gt])
+                };
+                for w in 0..len {
+                    dst_g
+                        .lanes_mut(dst + w, lt, seg)
+                        .copy_from_slice(src_g.lanes(src + w, lf, seg));
+                }
+            }
+            done += seg;
+        }
+        self.lane_copied_words += (count * len) as u64;
+    }
+
     /// Fills `len` lane words starting at `w0` of node `node`'s lane
     /// column with `value` — the lane-domain form of one boundary
     /// zero-fill span.
@@ -680,6 +800,57 @@ mod tests {
         assert_eq!(mirror.groups_mut()[1].lane_value(1, 0), 12.0);
         // Untouched lanes stay zero.
         assert_eq!(mirror.groups_mut()[0].lane_value(0, 0), 0.0);
+    }
+
+    /// `copy_lane_span` must equal `count` scalar `copy_lane_run`s for
+    /// every segmentation the group layout can force: spans fully inside
+    /// one group (including overlapping source/destination lane runs,
+    /// the `copy_within` path), spans crossing a group boundary on one
+    /// side only, and spans that segment at different points on the two
+    /// sides because source and destination straddle the boundary at
+    /// different offsets.
+    #[test]
+    fn span_copy_segments_exactly_like_scalar_runs() {
+        // 7 nodes over 3 threads → groups of 3, 2, 2: boundaries at
+        // nodes 3 and 5.
+        let (words, nodes, threads, len) = (6, 7, 3, 2);
+        let fresh = || {
+            let mut mirror = LaneMirror::new();
+            mirror.ensure(words, nodes, threads);
+            for node in 0..nodes {
+                for w in 0..words {
+                    mirror.fill_lane_run(node, w, 1, (node * 100 + w * 7) as f32);
+                }
+            }
+            mirror
+        };
+        // (from0, to0, count): same-group overlap, boundary-crossing,
+        // asymmetric straddle (source crosses at node 3 while the
+        // destination crosses at node 5), and a whole-machine sweep.
+        let cases = [(0, 1, 2), (1, 4, 3), (2, 4, 3), (0, 0, 7), (5, 1, 2)];
+        for (from0, to0, count) in cases {
+            let mut spanned = fresh();
+            spanned.copy_lane_span(from0, to0, count, 1, 4, len);
+            let mut scalar = fresh();
+            for i in 0..count {
+                scalar.copy_lane_run(from0 + i, 1, to0 + i, 4, len);
+            }
+            assert_eq!(
+                spanned.lane_copied_words(),
+                scalar.lane_copied_words(),
+                "span ({from0},{to0},{count}): word accounting diverged"
+            );
+            for node in 0..nodes {
+                for w in 0..words {
+                    let (g, l) = spanned.locate_lane(node);
+                    assert_eq!(
+                        spanned.groups_mut()[g].lane_value(w, l),
+                        scalar.groups_mut()[g].lane_value(w, l),
+                        "span ({from0},{to0},{count}): node {node} word {w}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod config;
 pub mod exec;
 pub mod grid;
 pub mod isa;
+pub mod kernels;
 pub mod lane;
 pub mod machine;
 pub mod memory;
@@ -44,6 +45,7 @@ pub use exec::{
 };
 pub use grid::{Direction, NodeGrid, NodeId};
 pub use isa::{DynamicPart, Kernel, MacAcc, MemRef, Reg, StaticPart};
+pub use kernels::{run_lockstep_groups_kernelized, CoeffStreams, StripKernels, KERNEL_VARIANTS};
 pub use lane::{LaneMemory, LaneRange, LaneView};
 pub use machine::{Machine, NodeSlice};
 pub use memory::{Field, FieldAllocator, NodeMemory, OutOfMemory};

@@ -22,6 +22,7 @@ use crate::exec::{
 };
 use crate::grid::{NodeGrid, NodeId};
 use crate::isa::Kernel;
+use crate::kernels::{run_lockstep_groups_kernelized, CoeffStreams, StripKernels};
 use crate::lane::{LaneMirror, LaneView};
 use crate::memory::{Field, FieldAllocator, NodeMemory, OutOfMemory};
 
@@ -46,6 +47,11 @@ pub struct Machine {
     grid: NodeGrid,
     nodes: Vec<NodeMemory>,
     allocator: FieldAllocator,
+    /// Generation counter bumped by every host-initiated write to node
+    /// memory (array scatter/fill). Resident execution plans compare it
+    /// against the generation they last synchronized their lane mirror
+    /// at, so a host write between executes invalidates the snapshot.
+    host_writes: u64,
 }
 
 impl Machine {
@@ -67,7 +73,23 @@ impl Machine {
             grid,
             nodes,
             allocator,
+            host_writes: 0,
         })
+    }
+
+    /// Records one host-initiated write to node memory. Called by the
+    /// host-side array API (scatter/fill); engine-internal stores (halo
+    /// copies, mirror scatter) do not count — they are part of plan
+    /// execution, not external mutation.
+    pub fn note_host_write(&mut self) {
+        self.host_writes += 1;
+    }
+
+    /// The host-write generation (see [`Machine::note_host_write`]).
+    /// Two equal readings bracket a span with no external mutation of
+    /// node memory.
+    pub fn host_writes(&self) -> u64 {
+        self.host_writes
     }
 
     /// The machine configuration.
@@ -429,6 +451,39 @@ impl Machine {
         mirror.ensure(view.words(), self.nodes.len(), threads);
         mirror.gather(view, &self.nodes);
         let run = run_resolved_lockstep_groups(lane_strips, mirror.groups_mut());
+        mirror.scatter(view, &mut self.nodes);
+        run
+    }
+
+    /// [`Machine::run_resolved_lockstep_all`] with the kernel tier:
+    /// `kernels[i]`, when present, replaces interpretation of
+    /// `lane_strips[i]` with its compiled form (pass `&[]` to run fully
+    /// interpreted). `streams` caches the packed coefficient streams
+    /// across executes — the caller invalidates it when a coefficient
+    /// binding or node memory changes. Results are bit-identical either
+    /// way; only the `kernelized_steps` / `interpreted_steps` telemetry
+    /// split differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a lane address is out of the view's bounds or a worker
+    /// thread panics.
+    pub fn run_resolved_lockstep_all_kernelized(
+        &mut self,
+        lane_strips: &[ResolvedStrip],
+        kernels: &[Option<StripKernels>],
+        streams: &mut CoeffStreams,
+        view: &LaneView,
+        threads: usize,
+        mirror: &mut LaneMirror,
+    ) -> StripRun {
+        if lane_strips.is_empty() {
+            return StripRun::default();
+        }
+        mirror.ensure(view.words(), self.nodes.len(), threads);
+        mirror.gather(view, &self.nodes);
+        let run =
+            run_lockstep_groups_kernelized(lane_strips, kernels, streams, mirror.groups_mut());
         mirror.scatter(view, &mut self.nodes);
         run
     }

@@ -322,6 +322,7 @@ fn run_compiled(
     // misses and builds the plan (halo buffers, exchange program,
     // resolved schedule); later iterations hit and replay it.
     let full_before = cmcc_obs::snapshot();
+    let hits_before = cmcc_obs::kernel_hits();
     let build_start = std::time::Instant::now();
     let m = session.run_with_multi(compiled, &r, &source_refs, &coeff_refs, &exec_opts)?;
     let first_iter = build_start.elapsed();
@@ -448,6 +449,7 @@ fn run_compiled(
                 &full_report,
             ),
             stats: session.plan_cache_stats(),
+            kernel_mix: kernel_mix_since(&hits_before),
             report: full_report,
         };
         match mode {
@@ -532,7 +534,23 @@ struct Profile {
     m: Measurement,
     derived: Derived,
     stats: PlanCacheStats,
+    /// Kernel variants this statement's run dispatched, as
+    /// `(name, hits)` — the per-variant split behind the report's
+    /// `kernelized_steps`. Table output only; the JSON schema keys the
+    /// aggregate split.
+    kernel_mix: Vec<(String, u64)>,
     report: cmcc_obs::RunReport,
+}
+
+/// The kernel-variant hits recorded since `before`, as named deltas.
+fn kernel_mix_since(before: &[u64; cmcc_obs::KERNEL_VARIANT_CAP]) -> Vec<(String, u64)> {
+    cmcc_obs::kernel_hits()
+        .iter()
+        .zip(before)
+        .enumerate()
+        .filter(|&(id, (&now, &was))| now > was && id < cmcc_cm2::kernels::KERNEL_VARIANTS)
+        .map(|(id, (&now, &was))| (cmcc_cm2::kernels::variant_name(id), now - was))
+        .collect()
 }
 
 /// Formats an `f64` as a JSON number (non-finite values become 0).
@@ -562,6 +580,16 @@ impl Profile {
             "      plan cache: {} hits / {} misses / {} evictions (capacity {})",
             self.stats.hits, self.stats.misses, self.stats.evictions, self.stats.capacity,
         );
+        if self.kernel_mix.is_empty() {
+            println!("      kernel mix: (none — interpreted lockstep or scalar path)");
+        } else {
+            let mix: Vec<String> = self
+                .kernel_mix
+                .iter()
+                .map(|(name, hits)| format!("{name}:{hits}"))
+                .collect();
+            println!("      kernel mix: {}", mix.join(" "));
+        }
         for line in self.report.render_table().lines() {
             println!("      {line}");
         }

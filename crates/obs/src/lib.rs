@@ -93,6 +93,15 @@ pub enum Counter {
     /// Resolved kernel steps broadcast by the lockstep engine (each step
     /// counted once, as the hardware would dispatch it).
     LockstepSteps,
+    /// Lockstep steps served by the monomorphized kernel tier (strips
+    /// whose MAC bursts matched a pregenerated kernel variant). A subset
+    /// of [`Counter::LockstepSteps`].
+    KernelizedSteps,
+    /// Lockstep steps that fell back to per-step interpretation (strips
+    /// the kernel classifier rejected, or the kernel tier disabled). The
+    /// complement of [`Counter::KernelizedSteps`] within
+    /// [`Counter::LockstepSteps`].
+    InterpretedSteps,
     /// Lane-mirror buffer (re)allocations. Zero across a steady state.
     MirrorAllocations,
     /// Useful floating-point operations (the paper's numerator: interior
@@ -129,6 +138,8 @@ impl Counter {
         Counter::LaneResidentRuns,
         Counter::ScalarSteps,
         Counter::LockstepSteps,
+        Counter::KernelizedSteps,
+        Counter::InterpretedSteps,
         Counter::MirrorAllocations,
         Counter::UsefulFlops,
         Counter::TotalFlops,
@@ -156,6 +167,8 @@ impl Counter {
             Counter::LaneResidentRuns => "lane_resident_runs",
             Counter::ScalarSteps => "scalar_steps",
             Counter::LockstepSteps => "lockstep_steps",
+            Counter::KernelizedSteps => "kernelized_steps",
+            Counter::InterpretedSteps => "interpreted_steps",
             Counter::MirrorAllocations => "mirror_allocations",
             Counter::UsefulFlops => "useful_flops",
             Counter::TotalFlops => "total_flops",
@@ -290,6 +303,41 @@ pub fn reset() {
         n.store(0, Ordering::Relaxed);
         c.store(0, Ordering::Relaxed);
     }
+    for h in &KERNEL_HITS {
+        h.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Capacity of the kernel-variant hit table. Producers (the lockstep
+/// kernel tier in `cmcc-cm2`) own the variant-id space and its naming;
+/// this crate only stores the counts, so the table stays generic.
+pub const KERNEL_VARIANT_CAP: usize = 64;
+
+static KERNEL_HITS: [AtomicU64; KERNEL_VARIANT_CAP] =
+    [const { AtomicU64::new(0) }; KERNEL_VARIANT_CAP];
+
+/// Records one dispatch of kernel variant `id`. Out-of-range ids (at or
+/// above [`KERNEL_VARIANT_CAP`]) are dropped rather than panicking so a
+/// grown family degrades to missing telemetry, not a crash.
+#[inline]
+pub fn kernel_hit(id: usize) {
+    if enabled() {
+        if let Some(slot) = KERNEL_HITS.get(id) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A snapshot of the kernel-variant hit table. Per-variant hits are
+/// deliberately not part of [`RunReport`] (the profile JSON schema keys
+/// only the `kernelized_steps` / `interpreted_steps` split); callers that
+/// want a mix bracket two of these snapshots and subtract.
+pub fn kernel_hits() -> [u64; KERNEL_VARIANT_CAP] {
+    let mut out = [0u64; KERNEL_VARIANT_CAP];
+    for (o, h) in out.iter_mut().zip(&KERNEL_HITS) {
+        *o = h.load(Ordering::Relaxed);
+    }
+    out
 }
 
 /// An immutable snapshot of every counter and span accumulator.
@@ -468,7 +516,8 @@ impl RunReport {
             s,
             ",\"exec\":{{\"execute_ns\":{},\"executes\":{},\"scalar_runs\":{},\
              \"lockstep_runs\":{},\"lane_resident_runs\":{},\"scalar_steps\":{},\
-             \"lockstep_steps\":{},\"mirror_allocations\":{},\"useful_flops\":{},\
+             \"lockstep_steps\":{},\"kernelized_steps\":{},\"interpreted_steps\":{},\
+             \"mirror_allocations\":{},\"useful_flops\":{},\
              \"total_flops\":{}}}}}",
             self.phase_nanos(Phase::Execute),
             self.phase_calls(Phase::Execute),
@@ -477,6 +526,8 @@ impl RunReport {
             c(Counter::LaneResidentRuns),
             c(Counter::ScalarSteps),
             c(Counter::LockstepSteps),
+            c(Counter::KernelizedSteps),
+            c(Counter::InterpretedSteps),
             c(Counter::MirrorAllocations),
             c(Counter::UsefulFlops),
             c(Counter::TotalFlops),
@@ -542,7 +593,8 @@ impl RunReport {
         writeln!(
             s,
             "  exec: {} executes ({:.3} ms) — {} scalar / {} lockstep / {} lane-resident; \
-             steps {} scalar + {} lockstep; {} mirror allocations",
+             steps {} scalar + {} lockstep ({} kernelized, {} interpreted); \
+             {} mirror allocations",
             self.phase_calls(Phase::Execute),
             ms(self.phase_nanos(Phase::Execute)),
             self.get(Counter::ScalarRuns),
@@ -550,6 +602,8 @@ impl RunReport {
             self.get(Counter::LaneResidentRuns),
             self.get(Counter::ScalarSteps),
             self.get(Counter::LockstepSteps),
+            self.get(Counter::KernelizedSteps),
+            self.get(Counter::InterpretedSteps),
             self.get(Counter::MirrorAllocations),
         )
         .unwrap();
@@ -656,6 +710,8 @@ mod tests {
             "\"lane_resident_runs\":",
             "\"scalar_steps\":",
             "\"lockstep_steps\":",
+            "\"kernelized_steps\":",
+            "\"interpreted_steps\":",
             "\"mirror_allocations\":",
             "\"useful_flops\":42",
             "\"total_flops\":",
@@ -681,6 +737,26 @@ mod tests {
         phases.sort_unstable();
         phases.dedup();
         assert_eq!(phases.len(), PHASE_COUNT);
+    }
+
+    #[test]
+    fn kernel_hits_record_reset_and_gate() {
+        let _guard = LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        kernel_hit(3);
+        kernel_hit(3);
+        kernel_hit(KERNEL_VARIANT_CAP - 1);
+        kernel_hit(KERNEL_VARIANT_CAP); // out of range: dropped, no panic
+        let hits = kernel_hits();
+        assert_eq!(hits[3], 2);
+        assert_eq!(hits[KERNEL_VARIANT_CAP - 1], 1);
+        assert_eq!(hits.iter().sum::<u64>(), 3);
+        reset();
+        assert_eq!(kernel_hits().iter().sum::<u64>(), 0);
+        set_enabled(false);
+        kernel_hit(3);
+        assert_eq!(kernel_hits()[3], 0, "disabled telemetry must not record");
     }
 
     #[test]

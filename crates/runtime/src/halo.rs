@@ -472,12 +472,20 @@ impl ExchangeProgram {
     }
 }
 
-/// One lane-domain copy of a contiguous word run between two node lanes.
+/// A batch of lane-domain copies of one contiguous word run: node
+/// `from0 + i` to node `to0 + i` for every `i < count`, all sharing the
+/// same source and destination word runs.
+///
+/// Halo exchanges emit the same word run for every node along an edge,
+/// with source and destination lanes each advancing by one node — so
+/// translate-time coalescing turns per-node scalar copies into whole
+/// lane sub-slice moves ([`cmcc_cm2::lane::LaneMirror::copy_lane_span`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct LaneCopyOp {
-    from: usize,
+struct LaneSpanCopy {
+    from0: usize,
+    to0: usize,
+    count: usize,
     src: usize,
-    to: usize,
     dst: usize,
     len: usize,
 }
@@ -499,7 +507,7 @@ struct LaneCopyOp {
 /// [`LaneView`]: cmcc_cm2::lane::LaneView
 #[derive(Debug, Clone, PartialEq)]
 pub struct LaneExchangeProgram {
-    copies: Vec<LaneCopyOp>,
+    copies: Vec<LaneSpanCopy>,
     /// Global-edge fill spans `(node, lane word, len)`, written after the
     /// copies (EOSHIFT semantics), as in [`ExchangeProgram`].
     fills: Vec<(usize, usize, usize)>,
@@ -525,19 +533,44 @@ impl LaneExchangeProgram {
             }
             Some(word)
         };
-        let copies = program
-            .copies
-            .iter()
-            .map(|op| {
-                Some(LaneCopyOp {
-                    from: op.from.0,
-                    src: map_run(op.src, op.len)?,
-                    to: op.to.0,
-                    dst: map_run(op.dst, op.len)?,
-                    len: op.len,
-                })
-            })
-            .collect::<Option<Vec<_>>>()?;
+        // Exchange copies commute: every source run is interior words
+        // (never written by the exchange) and every destination run is
+        // a halo word written exactly once, so the copy list can be
+        // reordered freely. The source program walks nodes in the outer
+        // loop; regrouping by word run first lines up the adjacent-node
+        // copies of one edge direction so the coalescing pass below can
+        // batch them into spans.
+        let mut mapped = Vec::with_capacity(program.copies.len());
+        for op in &program.copies {
+            let src = map_run(op.src, op.len)?;
+            let dst = map_run(op.dst, op.len)?;
+            mapped.push((src, dst, op));
+        }
+        mapped.sort_by_key(|&(src, dst, op)| (src, dst, op.len, op.from.0));
+        let mut copies: Vec<LaneSpanCopy> = Vec::new();
+        for (src, dst, op) in mapped {
+            // Coalesce with the previous batch when the word runs match
+            // and both lanes advance by exactly one node.
+            if let Some(last) = copies.last_mut() {
+                if last.src == src
+                    && last.dst == dst
+                    && last.len == op.len
+                    && op.from.0 == last.from0 + last.count
+                    && op.to.0 == last.to0 + last.count
+                {
+                    last.count += 1;
+                    continue;
+                }
+            }
+            copies.push(LaneSpanCopy {
+                from0: op.from.0,
+                to0: op.to.0,
+                count: 1,
+                src,
+                dst,
+                len: op.len,
+            });
+        }
         let fills = program
             .fills
             .iter()
@@ -561,7 +594,15 @@ impl LaneExchangeProgram {
     /// whole machine — identical to the source program's
     /// [`ExchangeProgram::words_moved`].
     pub fn words_moved(&self) -> usize {
-        self.copies.iter().map(|c| c.len).sum()
+        self.copies.iter().map(|c| c.count * c.len).sum()
+    }
+
+    /// Number of batched span copies one run issues (each moving
+    /// `count × len` words); always at most the source program's copy
+    /// count, and strictly fewer whenever coalescing found a run of
+    /// adjacent nodes.
+    pub fn span_count(&self) -> usize {
+        self.copies.len()
     }
 
     /// Machine-total words the NEWS edge step of one run copies.
@@ -590,7 +631,7 @@ impl LaneExchangeProgram {
             self.corner_words() as u64,
         );
         for op in &self.copies {
-            mirror.copy_lane_run(op.from, op.src, op.to, op.dst, op.len);
+            mirror.copy_lane_span(op.from0, op.to0, op.count, op.src, op.dst, op.len);
         }
         for &(node, word, len) in &self.fills {
             mirror.fill_lane_run(node, word, len, self.fill);
@@ -752,6 +793,15 @@ mod tests {
                 .expect("a whole-buffer view maps every run");
             assert_eq!(lane.words_moved(), program.words_moved());
             assert_eq!(lane.cycles(), program.cycles());
+            // Translate-time coalescing must have batched adjacent-node
+            // copies: the edge steps walk whole board rows/columns, so
+            // strictly fewer spans than source copies.
+            assert!(
+                lane.span_count() < program.copies.len(),
+                "no spans coalesced: {} spans from {} copies",
+                lane.span_count(),
+                program.copies.len()
+            );
             let mut mirror = LaneMirror::new();
             {
                 let (_, mems) = lane_m.exec_parts_mut();

@@ -1,0 +1,476 @@
+//! Differential suite for the plan-time kernel tier: the monomorphized
+//! burst kernels selected at plan build must be *indistinguishable* from
+//! the per-part lockstep interpreter they replace — bit-identical result
+//! arrays and exactly equal [`Measurement`]s — across every paper
+//! pattern, edge and remainder subgrid shapes, every width class
+//! (16-wide, 8-wide, dynamic span), rebind ping-pong, and arbitrary
+//! random stencils.
+//!
+//! The scalar fast run is the oracle; the kernel-tier toggle
+//! ([`ExecutionPlan::set_kernel_tier`]) isolates exactly one variable —
+//! compiled bursts versus interpreted parts over the *same* resolved
+//! schedule — so any divergence is a kernel bug, not a scheduling
+//! difference. The telemetry tests additionally pin *which* path ran:
+//! paper patterns must execute fully kernelized (`interpreted_steps`
+//! stays zero), and disabling the tier must move every step to the
+//! interpreter side of the split.
+
+use std::sync::Mutex;
+
+use cmcc::cm2::{Machine, MachineConfig};
+use cmcc::core::recognize::CoeffSpec;
+use cmcc::core::stencil::{Boundary, Stencil, Tap};
+use cmcc::core::{CompileError, Compiler};
+use cmcc::obs::{self, Counter};
+use cmcc::runtime::{
+    CmArray, ExecOptions, ExecutionPlan, PlanLifetime, RuntimeError, StencilBinding,
+};
+use cmcc::{ExecEngine, Measurement, PaperPattern};
+use cmcc_testkit::{property, Rng};
+
+/// Serializes tests that flip or read the process-global telemetry.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn scalar_fast() -> ExecOptions {
+    ExecOptions::fast()
+        .with_engine(ExecEngine::Scalar)
+        .with_threads(1)
+}
+
+fn lockstep_fast() -> ExecOptions {
+    ExecOptions::fast()
+        .with_engine(ExecEngine::Lockstep)
+        .with_threads(1)
+}
+
+/// Builds machine + deterministically filled arrays for `pattern` at
+/// global `rows × cols` on `cfg`, builds a plan under `opts`, pins the
+/// kernel tier to `kernel_tier`, and runs one convolution.
+fn run_plan_case(
+    pattern: PaperPattern,
+    rows: usize,
+    cols: usize,
+    cfg: &MachineConfig,
+    opts: &ExecOptions,
+    kernel_tier: bool,
+) -> (Measurement, Vec<u32>) {
+    let compiler = Compiler::new(cfg.clone());
+    let compiled = compiler
+        .compile_assignment(&pattern.fortran())
+        .expect("paper patterns compile");
+    let mut machine = Machine::new(cfg.clone()).expect("config is valid");
+    let x = CmArray::new(&mut machine, rows, cols).unwrap();
+    x.fill_with(&mut machine, |r, c| {
+        ((r * 31 + c * 7) % 41) as f32 * 0.125 - 2.5
+    });
+    let named = compiled
+        .spec()
+        .coeffs
+        .iter()
+        .filter(|c| matches!(c, CoeffSpec::Named(_)))
+        .count();
+    let coeffs: Vec<CmArray> = (0..named)
+        .map(|a| {
+            let arr = CmArray::new(&mut machine, rows, cols).unwrap();
+            arr.fill_with(&mut machine, move |r, c| {
+                ((r * 5 + c * 11 + a * 3) % 13) as f32 * 0.0625 - 0.375
+            });
+            arr
+        })
+        .collect();
+    let refs: Vec<&CmArray> = coeffs.iter().collect();
+    let r = CmArray::new(&mut machine, rows, cols).unwrap();
+    let binding = StencilBinding::new(&compiled, &r, &[&x], &refs).unwrap();
+    let mut plan = ExecutionPlan::build(&mut machine, &binding, opts, PlanLifetime::Scoped)
+        .expect("paper patterns plan");
+    plan.set_kernel_tier(kernel_tier);
+    let m = plan.execute(&mut machine).expect("paper patterns run");
+    let bits = r.gather(&machine).iter().map(|v| v.to_bits()).collect();
+    (m, bits)
+}
+
+/// Every paper pattern on a strip-width-mixing shape: kernel tier on,
+/// kernel tier off, and the scalar oracle must be indistinguishable.
+#[test]
+fn kernel_tier_matches_interpreter_for_every_paper_pattern() {
+    let cfg = MachineConfig::tiny_4();
+    for pattern in PaperPattern::ALL {
+        let (scalar_m, scalar_bits) = run_plan_case(pattern, 16, 24, &cfg, &scalar_fast(), true);
+        let (kern_m, kern_bits) = run_plan_case(pattern, 16, 24, &cfg, &lockstep_fast(), true);
+        let (int_m, int_bits) = run_plan_case(pattern, 16, 24, &cfg, &lockstep_fast(), false);
+        assert_eq!(
+            scalar_bits,
+            kern_bits,
+            "{}: kernel tier diverges from scalar",
+            pattern.name()
+        );
+        assert_eq!(
+            scalar_bits,
+            int_bits,
+            "{}: interpreted lockstep diverges from scalar",
+            pattern.name()
+        );
+        assert_eq!(scalar_m, kern_m, "{}: kernel measurement", pattern.name());
+        assert_eq!(scalar_m, int_m, "{}: interp measurement", pattern.name());
+    }
+}
+
+/// Thread splits on the 16-node board change the lane-group node counts
+/// and with them the width class each kernel dispatches to: 1 thread →
+/// one 16-lane group (`w16`), 2 threads → 8-lane groups (`w8`), 3
+/// threads → ≤6-lane groups (the dynamic span path). Every class must
+/// stay bit-identical to the interpreter and the scalar oracle.
+#[test]
+fn kernel_tier_exact_across_width_classes() {
+    let cfg = MachineConfig::test_board_16();
+    for pattern in [PaperPattern::Square9, PaperPattern::Diamond13] {
+        let (scalar_m, scalar_bits) = run_plan_case(pattern, 32, 48, &cfg, &scalar_fast(), true);
+        for threads in [1, 2, 3] {
+            let opts = lockstep_fast().with_threads(threads);
+            let (kern_m, kern_bits) = run_plan_case(pattern, 32, 48, &cfg, &opts, true);
+            let (int_m, int_bits) = run_plan_case(pattern, 32, 48, &cfg, &opts, false);
+            assert_eq!(
+                scalar_bits,
+                kern_bits,
+                "{} at {threads} threads: kernel tier diverges",
+                pattern.name()
+            );
+            assert_eq!(
+                kern_bits,
+                int_bits,
+                "{} at {threads} threads: tier toggle changes results",
+                pattern.name()
+            );
+            assert_eq!(scalar_m, kern_m);
+            assert_eq!(scalar_m, int_m);
+        }
+    }
+}
+
+/// Edge and remainder subgrid shapes: odd, prime, and
+/// barely-wider-than-the-halo column counts change which strip widths
+/// the shaver emits, and uneven half-strip splits exercise the chunk
+/// remainders inside each burst. The tier toggle must be unobservable
+/// on every shape.
+#[test]
+fn kernel_tier_edge_and_remainder_shapes_stay_exact() {
+    let cfg = MachineConfig::tiny_4();
+    // Per-node subgrids of 15, 7, 9, 8, and 5 columns on the 2×2 board.
+    let shapes = [(16, 30), (8, 14), (12, 18), (8, 16), (10, 10)];
+    for pattern in [PaperPattern::Cross5, PaperPattern::Square9] {
+        for (rows, cols) in shapes {
+            let (scalar_m, scalar_bits) =
+                run_plan_case(pattern, rows, cols, &cfg, &scalar_fast(), true);
+            let (kern_m, kern_bits) =
+                run_plan_case(pattern, rows, cols, &cfg, &lockstep_fast(), true);
+            let (int_m, int_bits) =
+                run_plan_case(pattern, rows, cols, &cfg, &lockstep_fast(), false);
+            assert_eq!(
+                scalar_bits,
+                kern_bits,
+                "{} at {rows}x{cols}: kernel tier diverges",
+                pattern.name()
+            );
+            assert_eq!(
+                kern_bits,
+                int_bits,
+                "{} at {rows}x{cols}: tier toggle changes results",
+                pattern.name()
+            );
+            assert_eq!(scalar_m, kern_m);
+            assert_eq!(scalar_m, int_m);
+        }
+    }
+}
+
+/// Iterated ping-pong rebinding on a resident plan with the kernel tier
+/// on: every step swaps result and source (re-priming the mirror while
+/// the cached coefficient streams survive), and the whole sequence must
+/// stay bit-identical to scalar and to the tier-off interpreter.
+#[test]
+fn kernel_tier_ping_pong_rebind_stays_exact() {
+    let cfg = MachineConfig::tiny_4();
+    let compiler = Compiler::new(cfg.clone());
+    let compiled = compiler
+        .compile_assignment(&PaperPattern::Square9.fortran())
+        .expect("paper patterns compile");
+    let named = compiled
+        .spec()
+        .coeffs
+        .iter()
+        .filter(|c| matches!(c, CoeffSpec::Named(_)))
+        .count();
+    let (rows, cols) = (12, 16);
+    let steps = 6;
+
+    let run = |opts: &ExecOptions, kernel_tier: bool| -> Vec<u32> {
+        let mut machine = Machine::new(cfg.clone()).expect("tiny_4 is valid");
+        let a = CmArray::new(&mut machine, rows, cols).unwrap();
+        let b = CmArray::new(&mut machine, rows, cols).unwrap();
+        a.fill_with(&mut machine, |r, c| ((r * 19 + c * 5) % 23) as f32 * 0.125);
+        b.fill(&mut machine, 0.0);
+        let coeffs: Vec<CmArray> = (0..named)
+            .map(|s| {
+                let c = CmArray::new(&mut machine, rows, cols).unwrap();
+                c.fill_with(&mut machine, move |r, col| {
+                    ((r * 3 + col * 7 + s * 11) % 9) as f32 * 0.0625
+                });
+                c
+            })
+            .collect();
+        let refs: Vec<&CmArray> = coeffs.iter().collect();
+        let binding = StencilBinding::new(&compiled, &b, &[&a], &refs).unwrap();
+        let mut plan =
+            ExecutionPlan::build(&mut machine, &binding, opts, PlanLifetime::Scoped).unwrap();
+        plan.set_kernel_tier(kernel_tier);
+        for step in 0..steps {
+            plan.execute(&mut machine).unwrap();
+            let (from, to) = if step % 2 == 0 { (&b, &a) } else { (&a, &b) };
+            plan.rebind(to, &[from], &refs).unwrap();
+        }
+        let last = if steps % 2 == 0 { &a } else { &b };
+        last.gather(&machine).iter().map(|v| v.to_bits()).collect()
+    };
+
+    let scalar = run(&scalar_fast(), true);
+    let kernel = run(&lockstep_fast(), true);
+    let interp = run(&lockstep_fast(), false);
+    assert_eq!(scalar, kernel, "kernelized ping-pong diverges from scalar");
+    assert_eq!(scalar, interp, "interpreted ping-pong diverges from scalar");
+}
+
+/// Every paper pattern runs *fully* kernelized on the lockstep engine:
+/// the strip classifier accepts every scheduled kernel, so a
+/// steady-state execute records only `kernelized_steps` — and flipping
+/// the tier off moves exactly the same step count to the interpreter
+/// side of the split.
+#[test]
+fn paper_patterns_run_fully_kernelized() {
+    let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let was_on = obs::enabled();
+    obs::set_enabled(true);
+
+    let cfg = MachineConfig::tiny_4();
+    for pattern in PaperPattern::ALL {
+        let compiler = Compiler::new(cfg.clone());
+        let compiled = compiler
+            .compile_assignment(&pattern.fortran())
+            .expect("paper patterns compile");
+        let mut machine = Machine::new(cfg.clone()).expect("tiny_4 is valid");
+        let x = CmArray::new(&mut machine, 16, 24).unwrap();
+        x.fill_with(&mut machine, |r, c| ((r * 13 + c) % 17) as f32 * 0.25);
+        let named = compiled
+            .spec()
+            .coeffs
+            .iter()
+            .filter(|c| matches!(c, CoeffSpec::Named(_)))
+            .count();
+        let coeffs: Vec<CmArray> = (0..named)
+            .map(|a| {
+                let arr = CmArray::new(&mut machine, 16, 24).unwrap();
+                arr.fill(&mut machine, 0.125 * (a + 1) as f32);
+                arr
+            })
+            .collect();
+        let refs: Vec<&CmArray> = coeffs.iter().collect();
+        let r = CmArray::new(&mut machine, 16, 24).unwrap();
+        let binding = StencilBinding::new(&compiled, &r, &[&x], &refs).unwrap();
+        let mut plan = ExecutionPlan::build(
+            &mut machine,
+            &binding,
+            &lockstep_fast(),
+            PlanLifetime::Scoped,
+        )
+        .unwrap();
+        assert!(plan.uses_lockstep(), "{}: lane-maps", pattern.name());
+
+        let before = obs::snapshot();
+        plan.execute(&mut machine).unwrap();
+        let kern = obs::snapshot().delta(&before);
+        let kernelized = kern.get(Counter::KernelizedSteps);
+        assert!(
+            kernelized > 0,
+            "{}: no kernelized steps recorded",
+            pattern.name()
+        );
+        assert_eq!(
+            kern.get(Counter::InterpretedSteps),
+            0,
+            "{}: classifier rejected a paper-pattern strip",
+            pattern.name()
+        );
+        assert_eq!(kern.get(Counter::LockstepSteps), kernelized);
+
+        plan.set_kernel_tier(false);
+        let before = obs::snapshot();
+        plan.execute(&mut machine).unwrap();
+        let interp = obs::snapshot().delta(&before);
+        assert_eq!(
+            interp.get(Counter::KernelizedSteps),
+            0,
+            "{}: tier off still kernelized",
+            pattern.name()
+        );
+        assert_eq!(
+            interp.get(Counter::InterpretedSteps),
+            kernelized,
+            "{}: tier toggle changed the step count",
+            pattern.name()
+        );
+    }
+    obs::set_enabled(was_on);
+}
+
+/// An arbitrary stencil in the compiler's domain: 1..=9 taps with
+/// offsets up to ±2 (duplicates legal), array or unit coefficients,
+/// optional bias, either boundary — wide enough to force seam-crossing
+/// walks, dummy-padded bursts, and (for shapes the classifier cannot
+/// prove safe) the interpreter fallback.
+fn gen_stencil(rng: &mut Rng) -> (Stencil, usize) {
+    let n_taps = rng.usize_in(1, 9);
+    let mut taps = Vec::new();
+    let mut n_coeffs = 0;
+    for _ in 0..n_taps {
+        let dr = rng.i32_in(-2, 2);
+        let dc = rng.i32_in(-2, 2);
+        if rng.bool() {
+            taps.push(Tap::unit(dr, dc));
+        } else {
+            taps.push(Tap::new(dr, dc, n_coeffs));
+            n_coeffs += 1;
+        }
+    }
+    let bias_terms = if rng.bool() {
+        n_coeffs += 1;
+        vec![n_coeffs - 1]
+    } else {
+        Vec::new()
+    };
+    let boundary = if rng.bool() {
+        Boundary::Circular
+    } else {
+        Boundary::ZeroFill
+    };
+    let stencil =
+        Stencil::new(taps, bias_terms, boundary, n_coeffs).expect("nonempty by construction");
+    (stencil, n_coeffs)
+}
+
+/// Randomized sweep: arbitrary stencils on random shapes and thread
+/// counts, run three ways — scalar, kernel tier on, kernel tier off.
+/// Whatever mix of kernels and fallbacks the classifier picks, results
+/// and measurements must be indistinguishable.
+#[test]
+fn property_kernel_tier_is_indistinguishable() {
+    property("kernel tier differential", 12, |rng: &mut Rng| {
+        let (stencil, n_coeffs) = gen_stencil(rng);
+        let source = cmcc::core::unparse::unparse_stencil(&stencil);
+        let rows = 2 * rng.usize_in(5, 12);
+        let cols = 2 * rng.usize_in(5, 12);
+        let threads = rng.usize_in(1, 4);
+        let seed = rng.u64_below(1000);
+        let cfg = MachineConfig::tiny_4();
+        let compiler = Compiler::new(cfg.clone());
+        let compiled = match compiler.compile_assignment(&source) {
+            Ok(c) => c,
+            // Register exhaustion is a legal outcome for big footprints.
+            Err(CompileError::NoFeasibleWidth { .. }) => return,
+            Err(e) => panic!("unexpected compile error on `{source}`: {e}"),
+        };
+        let mix = |i: usize, s: u64| -> f32 {
+            let h = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(s);
+            ((h >> 32) as i32 % 1000) as f32 * 0.01
+        };
+        let run = |opts: &ExecOptions, kernel_tier: bool| -> Option<(Measurement, Vec<u32>)> {
+            let mut machine = Machine::new(cfg.clone()).expect("tiny_4 is valid");
+            let x = CmArray::new(&mut machine, rows, cols).unwrap();
+            let data: Vec<f32> = (0..rows * cols).map(|i| mix(i, seed)).collect();
+            x.scatter(&mut machine, &data);
+            let coeffs: Vec<CmArray> = (0..n_coeffs)
+                .map(|a| {
+                    let arr = CmArray::new(&mut machine, rows, cols).unwrap();
+                    let data: Vec<f32> = (0..rows * cols)
+                        .map(|i| mix(i + a * 7919, seed ^ 0xABCD))
+                        .collect();
+                    arr.scatter(&mut machine, &data);
+                    arr
+                })
+                .collect();
+            let refs: Vec<&CmArray> = coeffs.iter().collect();
+            let r = CmArray::new(&mut machine, rows, cols).unwrap();
+            let binding = StencilBinding::new(&compiled, &r, &[&x], &refs).unwrap();
+            let mut plan =
+                match ExecutionPlan::build(&mut machine, &binding, opts, PlanLifetime::Scoped) {
+                    Ok(p) => p,
+                    // Halo deeper than the subgrid is a legal refusal.
+                    Err(RuntimeError::SubgridTooSmall { .. }) => return None,
+                    Err(e) => panic!("plan error on `{source}`: {e}"),
+                };
+            plan.set_kernel_tier(kernel_tier);
+            let m = plan.execute(&mut machine).expect("plan executes");
+            Some((m, r.gather(&machine).iter().map(|v| v.to_bits()).collect()))
+        };
+        let Some((scalar_m, scalar_bits)) = run(&scalar_fast(), true) else {
+            return;
+        };
+        let lockstep = lockstep_fast().with_threads(threads);
+        let (kern_m, kern_bits) = run(&lockstep, true).expect("same shape plans");
+        let (int_m, int_bits) = run(&lockstep, false).expect("same shape plans");
+        assert_eq!(
+            scalar_bits, kern_bits,
+            "`{source}` at {rows}x{cols}, {threads} threads: kernel tier diverges"
+        );
+        assert_eq!(
+            kern_bits, int_bits,
+            "`{source}` at {rows}x{cols}, {threads} threads: tier toggle changes results"
+        );
+        assert_eq!(scalar_m, kern_m, "`{source}`: kernel measurement diverges");
+        assert_eq!(scalar_m, int_m, "`{source}`: interp measurement diverges");
+    });
+}
+
+/// A binding whose result aliases a coefficient array cannot lane-map,
+/// so the kernel tier never sees it: the plan falls back to the scalar
+/// engine and records no lockstep steps at all — the fallback is
+/// *before* the kernelized / interpreted split, not a miscount inside
+/// it.
+#[test]
+fn aliased_fallback_records_no_lockstep_steps() {
+    let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let was_on = obs::enabled();
+    obs::set_enabled(true);
+
+    let cfg = MachineConfig::tiny_4();
+    let compiler = Compiler::new(cfg.clone());
+    let compiled = compiler
+        .compile_assignment("R = C * X")
+        .expect("single-tap stencil compiles");
+    let mut machine = Machine::new(cfg).expect("tiny_4 is valid");
+    let x = CmArray::new(&mut machine, 8, 12).unwrap();
+    x.fill_with(&mut machine, |r, c| (r * 3 + c) as f32 * 0.5 - 6.0);
+    let c = CmArray::new(&mut machine, 8, 12).unwrap();
+    c.fill(&mut machine, 3.0);
+
+    // Result aliased to the coefficient array: the lane mirror cannot
+    // represent one buffer in two roles.
+    let binding = StencilBinding::new(&compiled, &c, &[&x], &[&c]).unwrap();
+    let mut plan = ExecutionPlan::build(
+        &mut machine,
+        &binding,
+        &lockstep_fast(),
+        PlanLifetime::Scoped,
+    )
+    .unwrap();
+    assert!(!plan.uses_lockstep(), "aliased binding must fall back");
+
+    let before = obs::snapshot();
+    plan.execute(&mut machine).expect("aliased plan runs");
+    let delta = obs::snapshot().delta(&before);
+    obs::set_enabled(was_on);
+
+    assert_eq!(delta.get(Counter::KernelizedSteps), 0);
+    assert_eq!(delta.get(Counter::InterpretedSteps), 0);
+    assert_eq!(delta.get(Counter::LockstepSteps), 0);
+}
