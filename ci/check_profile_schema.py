@@ -2,11 +2,16 @@
 """Validate the stability of the `cmcc --profile=json` schema.
 
 Reads driver output on stdin, finds the single-line JSON profile object
-(the line opening with ``{"schema":"cmcc-profile-v1"``), and checks every
-documented key of the cmcc-profile-v1 schema (DESIGN.md §13) is present
+(the line opening with ``{"schema":"cmcc-profile-v2"``), and checks every
+documented key of the cmcc-profile-v2 schema (DESIGN.md §13) is present
 with a sane type. Exits non-zero with a diagnostic on any missing or
 mistyped field, so CI fails when the schema drifts without a version
 bump.
+
+With ``--serve`` it instead validates the ``cmcc --serve --profile=json``
+output: the single ``cmcc-serve-v1`` line with per-tenant stats, the
+sharded plan-cache aggregate, and the build-once flag (which must be
+true — one build per distinct plan however many tenants race).
 
 With ``--bench-parallel FILE`` it instead validates the schema of the
 ``repro_parallel`` bench output (``BENCH_parallel.json``), including the
@@ -15,6 +20,7 @@ measurements.
 
 Usage:
     cmcc --run --iters 3 --profile=json five.f90 | python3 ci/check_profile_schema.py
+    cmcc --serve --profile=json - < batch.txt | python3 ci/check_profile_schema.py --serve
     python3 ci/check_profile_schema.py --bench-parallel BENCH_parallel.json
 """
 
@@ -22,7 +28,8 @@ import json
 import numbers
 import sys
 
-SCHEMA = "cmcc-profile-v1"
+SCHEMA = "cmcc-profile-v2"
+SERVE_SCHEMA = "cmcc-serve-v1"
 
 # (dotted path, expected type) for every key the schema promises.
 EXPECTED = [
@@ -47,6 +54,9 @@ EXPECTED = [
     ("plan_cache.misses", numbers.Integral),
     ("plan_cache.evictions", numbers.Integral),
     ("plan_cache.capacity", numbers.Integral),
+    ("plan_cache.shards", list),
+    ("plan_cache.shard_evictions", list),
+    ("plan_cache.shared_in_flight", numbers.Integral),
     ("report.enabled", bool),
     ("report.compile.recognize_ns", numbers.Integral),
     ("report.compile.recognize_calls", numbers.Integral),
@@ -142,7 +152,94 @@ def check_bench_parallel(path):
     print("ok: %s matches the repro_parallel bench schema" % path)
 
 
+# (dotted path, expected type) for the aggregate half of cmcc-serve-v1.
+SERVE_EXPECTED = [
+    ("schema", str),
+    ("workers", numbers.Integral),
+    ("statements", numbers.Integral),
+    ("iters", numbers.Integral),
+    ("build_once", bool),
+    ("tenants", list),
+    ("plan_cache.hits", numbers.Integral),
+    ("plan_cache.misses", numbers.Integral),
+    ("plan_cache.evictions", numbers.Integral),
+    ("plan_cache.capacity", numbers.Integral),
+    ("plan_cache.shards", list),
+    ("plan_cache.shard_evictions", list),
+    ("plan_cache.shared_in_flight", numbers.Integral),
+]
+
+# (dotted path, expected type) for each element of ``tenants``.
+SERVE_TENANT_EXPECTED = [
+    ("tenant", numbers.Integral),
+    ("statements", numbers.Integral),
+    ("runs", numbers.Integral),
+    ("plan_builds", numbers.Integral),
+    ("cache_hits", numbers.Integral),
+    ("cache_misses", numbers.Integral),
+    ("kernelized_steps", numbers.Integral),
+    ("interpreted_steps", numbers.Integral),
+    ("scalar_steps", numbers.Integral),
+    ("errors", numbers.Integral),
+]
+
+
+def check_serve():
+    batch = None
+    for line in sys.stdin:
+        line = line.strip()
+        if line.startswith('{"schema":"%s"' % SERVE_SCHEMA):
+            batch = json.loads(line)
+    if batch is None:
+        sys.exit("no %s line found on stdin" % SERVE_SCHEMA)
+
+    errors = []
+    for path, kind in SERVE_EXPECTED:
+        value, found = lookup(batch, path)
+        if not found:
+            errors.append("serve: missing key %s" % path)
+        elif kind is not bool and isinstance(value, bool):
+            errors.append("serve: %s is a bool, expected %s" % (path, kind))
+        elif not isinstance(value, kind):
+            errors.append(
+                "serve: %s has type %s, expected %s"
+                % (path, type(value).__name__, kind)
+            )
+    tenants = batch.get("tenants", [])
+    if len(tenants) != batch.get("workers"):
+        errors.append("serve: tenants length != workers")
+    for i, tenant in enumerate(tenants):
+        for path, kind in SERVE_TENANT_EXPECTED:
+            value, found = lookup(tenant, path)
+            if not found or isinstance(value, bool) or not isinstance(value, kind):
+                errors.append("serve: tenants[%d].%s missing or mistyped" % (i, path))
+        if tenant.get("errors", 0):
+            errors.append("serve: tenants[%d] reported errors" % i)
+    if batch.get("build_once") is not True:
+        errors.append("serve: build-once violated (builds != misses)")
+    builds = sum(t.get("plan_builds", 0) for t in tenants)
+    misses, _ = lookup(batch, "plan_cache.misses")
+    if builds != misses:
+        errors.append(
+            "serve: tenant plan_builds sum %s != cache misses %s" % (builds, misses)
+        )
+    for key in ("plan_cache.shards", "plan_cache.shard_evictions"):
+        value, found = lookup(batch, key)
+        if found and isinstance(value, list):
+            if not all(isinstance(v, numbers.Integral) for v in value):
+                errors.append("serve: %s has non-integer entries" % key)
+    if errors:
+        sys.exit("\n".join(errors))
+    print(
+        "ok: serve batch matches %s (%d tenants, build-once held)"
+        % (SERVE_SCHEMA, len(tenants))
+    )
+
+
 def main():
+    if len(sys.argv) >= 2 and sys.argv[1] == "--serve":
+        check_serve()
+        return
     if len(sys.argv) >= 2 and sys.argv[1] == "--bench-parallel":
         if len(sys.argv) != 3:
             sys.exit("usage: check_profile_schema.py --bench-parallel FILE")

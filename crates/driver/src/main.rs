@@ -14,6 +14,14 @@
 //!
 //! OPTIONS:
 //!   --run              execute each compiled stencil (verify + time)
+//!   --serve            stencil-as-a-service batch mode: read one
+//!                      assignment statement per line, execute the whole
+//!                      batch concurrently on a pool of tenant threads
+//!                      sharing one machine and one plan cache, and print
+//!                      per-tenant stats (plan builds, cache hits, kernel
+//!                      mix) plus aggregate cache/shard occupancy. With
+//!                      --profile=json, emits one `cmcc-serve-v1` line
+//!   --workers N        tenant threads for --serve (default 4)
 //!   --iters N          iterations per stencil for --run (default 1);
 //!                      the execution plan is built once and replayed,
 //!                      reporting first-iteration vs steady-state time
@@ -25,7 +33,7 @@
 //!                      are reported as 0 and only wall-clock timing applies
 //!   --profile[=json]   enable telemetry and print a per-statement profile
 //!                      after each --run: a human-readable table, or one
-//!                      schema-stable JSON line (`cmcc-profile-v1`) with
+//!                      schema-stable JSON line (`cmcc-profile-v2`) with
 //!                      derived rates and bytes/iteration against the
 //!                      analytic steady-state prediction. The CMCC_PROFILE
 //!                      environment variable enables the counters alone
@@ -57,13 +65,15 @@ use std::process::ExitCode;
 enum ProfileMode {
     /// Human-readable counter table plus derived rates.
     Table,
-    /// One schema-stable JSON line per statement (`cmcc-profile-v1`).
+    /// One schema-stable JSON line per statement (`cmcc-profile-v2`).
     Json,
 }
 
 struct Options {
     path: String,
     run: bool,
+    serve: bool,
+    workers: usize,
     iters: usize,
     subgrid: (usize, usize),
     threads: Option<usize>,
@@ -76,8 +86,8 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: cmcc [--run] [--iters N] [--subgrid RxC] [--threads N] \
-         [--engine scalar|lockstep] [--profile[=json]] [--full-machine] \
+        "usage: cmcc [--run] [--serve] [--workers N] [--iters N] [--subgrid RxC] \
+         [--threads N] [--engine scalar|lockstep] [--profile[=json]] [--full-machine] \
          [--pictogram] [--dump-kernel] <file.f90 | ->"
     );
     std::process::exit(2);
@@ -87,6 +97,8 @@ fn parse_args() -> Options {
     let mut opts = Options {
         path: String::new(),
         run: false,
+        serve: false,
+        workers: 4,
         iters: 1,
         subgrid: (64, 64),
         threads: None,
@@ -100,6 +112,14 @@ fn parse_args() -> Options {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--run" => opts.run = true,
+            "--serve" => opts.serve = true,
+            "--workers" => {
+                let Some(n) = args.next() else { usage() };
+                match n.parse::<usize>() {
+                    Ok(n) if n > 0 => opts.workers = n,
+                    _ => usage(),
+                }
+            }
             "--full-machine" => opts.full_machine = true,
             "--pictogram" => opts.pictogram = true,
             "--dump-kernel" => opts.dump_kernel = true,
@@ -177,6 +197,17 @@ fn main() -> ExitCode {
     };
 
     let cfg = MachineConfig::test_board_16();
+    if opts.serve {
+        // Serve mode always counts: per-tenant stats are obs deltas.
+        cmcc_obs::set_enabled(true);
+        return match serve_batch(&source, &cfg, &opts) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("cmcc: serve failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let compiler = Compiler::new(cfg.clone());
     let units = match compile_program(&compiler, &source) {
         Ok(units) => units,
@@ -291,7 +322,7 @@ fn run_compiled(
         Ok(a)
     };
     let sources: Vec<CmArray> = (0..spec.sources.len().max(1))
-        .map(|_| fill(session.machine_mut()))
+        .map(|_| fill(&mut session.machine_mut()))
         .collect::<Result<_, _>>()?;
     let named = spec
         .coeffs
@@ -299,9 +330,9 @@ fn run_compiled(
         .filter(|c| matches!(c, CoeffSpec::Named(_)))
         .count();
     let coeffs: Vec<CmArray> = (0..named)
-        .map(|_| fill(session.machine_mut()))
+        .map(|_| fill(&mut session.machine_mut()))
         .collect::<Result<_, _>>()?;
-    let r = CmArray::new(session.machine_mut(), rows, cols)?;
+    let r = CmArray::new(&mut session.machine_mut(), rows, cols)?;
 
     let source_refs: Vec<&CmArray> = sources.iter().collect();
     let coeff_refs: Vec<&CmArray> = coeffs.iter().collect();
@@ -340,9 +371,9 @@ fn run_compiled(
 
     // Verify against the golden model.
     let machine = session.machine();
-    let source_hosts: Vec<Vec<f32>> = sources.iter().map(|a| a.gather(machine)).collect();
+    let source_hosts: Vec<Vec<f32>> = sources.iter().map(|a| a.gather(&machine)).collect();
     let source_slices: Vec<&[f32]> = source_hosts.iter().map(Vec::as_slice).collect();
-    let coeff_hosts: Vec<Vec<f32>> = coeffs.iter().map(|a| a.gather(machine)).collect();
+    let coeff_hosts: Vec<Vec<f32>> = coeffs.iter().map(|a| a.gather(&machine)).collect();
     let mut host_iter = coeff_hosts.iter();
     let values: Vec<CoeffValue<'_>> = spec
         .coeffs
@@ -353,7 +384,7 @@ fn run_compiled(
         })
         .collect();
     let want = reference_convolve_multi(compiled.stencil(), rows, cols, &source_slices, &values);
-    let got = r.gather(machine);
+    let got = r.gather(&machine);
     let exact = got
         .iter()
         .zip(&want)
@@ -595,12 +626,26 @@ impl Profile {
         }
     }
 
-    /// One compact JSON line. The key set is the `cmcc-profile-v1`
-    /// schema: CI validates it, so additions must bump the version.
+    /// One compact JSON line. The key set is the `cmcc-profile-v2`
+    /// schema (v1 plus the sharded-cache fields: `shards`,
+    /// `shard_evictions`, `shared_in_flight`): CI validates it, so
+    /// additions must bump the version.
     fn to_json(&self) -> String {
+        let shards: Vec<String> = self
+            .stats
+            .shard_occupancy
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
+        let shard_evictions: Vec<String> = self
+            .stats
+            .shard_evictions
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
         format!(
             concat!(
-                "{{\"schema\":\"cmcc-profile-v1\",\"statement\":{},",
+                "{{\"schema\":\"cmcc-profile-v2\",\"statement\":{},",
                 "\"engine\":\"{}\",\"mode\":\"{}\",\"nodes\":{},\"iters\":{},",
                 "\"measurement\":{{\"useful_flops\":{},\"cycles\":{{\"comm\":{},",
                 "\"compute\":{},\"frontend\":{},\"total\":{}}},\"nodes\":{}}},",
@@ -608,7 +653,8 @@ impl Profile {
                 "\"wall_gflops\":{},\"bytes_per_iter_observed\":{},",
                 "\"bytes_per_iter_predicted\":{}}},",
                 "\"plan_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},",
-                "\"capacity\":{}}},\"report\":{}}}"
+                "\"capacity\":{},\"shards\":[{}],\"shard_evictions\":[{}],",
+                "\"shared_in_flight\":{}}},\"report\":{}}}"
             ),
             self.statement,
             self.engine,
@@ -630,7 +676,298 @@ impl Profile {
             self.stats.misses,
             self.stats.evictions,
             self.stats.capacity,
+            shards.join(","),
+            shard_evictions.join(","),
+            self.stats.shared_in_flight,
             self.report.to_json(),
         )
     }
+}
+
+/// One tenant thread's share of a `--serve` batch.
+struct TenantStats {
+    tenant: usize,
+    statements: usize,
+    runs: u64,
+    plan_builds: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    kernelized_steps: u64,
+    interpreted_steps: u64,
+    scalar_steps: u64,
+    errors: Vec<String>,
+}
+
+/// Executes one served statement through a tenant's session handle:
+/// compile, allocate and fill deterministic inputs, run `--iters` times
+/// through the shared plan cache, and verify bit-exactly against the
+/// reference evaluator.
+fn serve_one(
+    session: &mut Session,
+    tenant: usize,
+    index: usize,
+    statement: &str,
+    exec_opts: &ExecOptions,
+    opts: &Options,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let compiled = session.compile(statement)?;
+    let spec = compiled.spec();
+    let rows = opts.subgrid.0 * session.machine().grid().rows();
+    let cols = opts.subgrid.1 * session.machine().grid().cols();
+    let mut rng = Rng::new(0xCC ^ ((tenant as u64) << 32) ^ index as u64);
+    let mut fill = |machine: &mut Machine| -> Result<CmArray, Box<dyn std::error::Error>> {
+        let a = CmArray::new(machine, rows, cols)?;
+        let data: Vec<f32> = (0..rows * cols).map(|_| rng.f32_in(-1.0, 1.0)).collect();
+        a.scatter(machine, &data);
+        Ok(a)
+    };
+    let sources: Vec<CmArray> = (0..spec.sources.len().max(1))
+        .map(|_| fill(&mut session.machine_mut()))
+        .collect::<Result<_, _>>()?;
+    let named = spec
+        .coeffs
+        .iter()
+        .filter(|c| matches!(c, CoeffSpec::Named(_)))
+        .count();
+    let coeffs: Vec<CmArray> = (0..named)
+        .map(|_| fill(&mut session.machine_mut()))
+        .collect::<Result<_, _>>()?;
+    let r = CmArray::new(&mut session.machine_mut(), rows, cols)?;
+    let source_refs: Vec<&CmArray> = sources.iter().collect();
+    let coeff_refs: Vec<&CmArray> = coeffs.iter().collect();
+
+    let m = session.run_with_multi(&compiled, &r, &source_refs, &coeff_refs, exec_opts)?;
+    for _ in 1..opts.iters {
+        let again = session.run_with_multi(&compiled, &r, &source_refs, &coeff_refs, exec_opts)?;
+        if again != m {
+            return Err("iterations disagree on a fixed input (nondeterminism?)".into());
+        }
+    }
+
+    let (got, source_hosts, coeff_hosts) = {
+        let machine = session.machine();
+        let source_hosts: Vec<Vec<f32>> = sources.iter().map(|a| a.gather(&machine)).collect();
+        let coeff_hosts: Vec<Vec<f32>> = coeffs.iter().map(|a| a.gather(&machine)).collect();
+        (r.gather(&machine), source_hosts, coeff_hosts)
+    };
+    let source_slices: Vec<&[f32]> = source_hosts.iter().map(Vec::as_slice).collect();
+    let mut host_iter = coeff_hosts.iter();
+    let values: Vec<CoeffValue<'_>> = spec
+        .coeffs
+        .iter()
+        .map(|c| match c {
+            CoeffSpec::Named(_) => CoeffValue::Array(host_iter.next().expect("counted")),
+            CoeffSpec::Literal(v) => CoeffValue::Literal(*v),
+        })
+        .collect();
+    let want = reference_convolve_multi(compiled.stencil(), rows, cols, &source_slices, &values);
+    let exact = got
+        .iter()
+        .zip(&want)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    if !exact {
+        return Err(format!(
+            "results diverge from the reference evaluator for `{}`",
+            unparse_spec(spec)
+        )
+        .into());
+    }
+    Ok(())
+}
+
+/// One tenant's full pass over the batch. Execution runs with one host
+/// thread so every counter the run records lands on this tenant's
+/// thread-local obs shard — `thread_snapshot` deltas then attribute
+/// plan builds, cache hits, and kernel steps to the tenant exactly.
+fn serve_tenant(
+    tenant: usize,
+    mut session: Session,
+    statements: &[String],
+    opts: &Options,
+) -> TenantStats {
+    use cmcc_obs::Counter;
+    let exec_opts = ExecOptions::default().with_threads(1);
+    let before = cmcc_obs::thread_snapshot();
+    let mut stats = TenantStats {
+        tenant,
+        statements: 0,
+        runs: 0,
+        plan_builds: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        kernelized_steps: 0,
+        interpreted_steps: 0,
+        scalar_steps: 0,
+        errors: Vec::new(),
+    };
+    for (i, stmt) in statements.iter().enumerate() {
+        match serve_one(&mut session, tenant, i, stmt, &exec_opts, opts) {
+            Ok(()) => {
+                stats.statements += 1;
+                stats.runs += opts.iters as u64;
+            }
+            Err(e) => stats.errors.push(format!("statement {}: {e}", i + 1)),
+        }
+    }
+    let report = cmcc_obs::thread_snapshot().delta(&before);
+    stats.plan_builds = report.get(Counter::PlanBuilds);
+    stats.cache_hits = report.get(Counter::PlanCacheHits);
+    stats.cache_misses = report.get(Counter::PlanCacheMisses);
+    stats.kernelized_steps = report.get(Counter::KernelizedSteps);
+    stats.interpreted_steps = report.get(Counter::InterpretedSteps);
+    stats.scalar_steps = report.get(Counter::ScalarSteps);
+    stats
+}
+
+/// `--serve`: stencil-as-a-service over a statement batch. Every tenant
+/// thread clones one session handle and runs the whole batch, so tenants
+/// race on a cold cache for the same plans — the per-fingerprint build
+/// lock must make total plan builds equal cache misses (exactly one
+/// build per distinct plan), and the driver fails the run if it does not.
+fn serve_batch(
+    source: &str,
+    cfg: &MachineConfig,
+    opts: &Options,
+) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let statements: Vec<String> = source
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('!'))
+        .map(String::from)
+        .collect();
+    if statements.is_empty() {
+        return Err("no statements to serve".into());
+    }
+    let session = Session::with_config(cfg.clone())?;
+    let tenants: Vec<TenantStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.workers)
+            .map(|w| {
+                let handle = session.clone();
+                let statements = &statements;
+                scope.spawn(move || serve_tenant(w, handle, statements, opts))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("tenant thread panicked"))
+            .collect()
+    });
+
+    let cache = session.plan_cache_stats();
+    let total_builds: u64 = tenants.iter().map(|t| t.plan_builds).sum();
+    let build_once = total_builds == cache.misses;
+    let mut failed = !build_once;
+
+    println!(
+        "serve: {} tenants x {} statements x {} iters ({}x{} per node, {} nodes)",
+        opts.workers,
+        statements.len(),
+        opts.iters,
+        opts.subgrid.0,
+        opts.subgrid.1,
+        session.machine().node_count(),
+    );
+    for t in &tenants {
+        println!(
+            "  tenant {}: {} statements, {} runs, plan_builds={}, cache_hits={}, \
+             kernel mix: kernelized={} interpreted={} scalar={}",
+            t.tenant,
+            t.statements,
+            t.runs,
+            t.plan_builds,
+            t.cache_hits,
+            t.kernelized_steps,
+            t.interpreted_steps,
+            t.scalar_steps,
+        );
+        for e in &t.errors {
+            failed = true;
+            eprintln!("  tenant {}: SERVE FAILED: {e}", t.tenant);
+        }
+    }
+    let occupancy: Vec<String> = cache
+        .shard_occupancy
+        .iter()
+        .map(|n| n.to_string())
+        .collect();
+    let shard_ev: Vec<String> = cache
+        .shard_evictions
+        .iter()
+        .map(|n| n.to_string())
+        .collect();
+    println!(
+        "serve totals: plan cache {} hits / {} misses / {} evictions (capacity {}), \
+         build-once {}",
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        cache.capacity,
+        if build_once {
+            "OK (builds == misses)".to_owned()
+        } else {
+            format!(
+                "VIOLATED ({total_builds} builds != {} misses)",
+                cache.misses
+            )
+        },
+    );
+    println!(
+        "  shards: occupancy [{}] evictions [{}] shared_in_flight={}",
+        occupancy.join(" "),
+        shard_ev.join(" "),
+        cache.shared_in_flight,
+    );
+
+    if opts.profile == Some(ProfileMode::Json) {
+        let tenant_json: Vec<String> = tenants
+            .iter()
+            .map(|t| {
+                format!(
+                    concat!(
+                        "{{\"tenant\":{},\"statements\":{},\"runs\":{},",
+                        "\"plan_builds\":{},\"cache_hits\":{},\"cache_misses\":{},",
+                        "\"kernelized_steps\":{},\"interpreted_steps\":{},",
+                        "\"scalar_steps\":{},\"errors\":{}}}"
+                    ),
+                    t.tenant,
+                    t.statements,
+                    t.runs,
+                    t.plan_builds,
+                    t.cache_hits,
+                    t.cache_misses,
+                    t.kernelized_steps,
+                    t.interpreted_steps,
+                    t.scalar_steps,
+                    t.errors.len(),
+                )
+            })
+            .collect();
+        println!(
+            concat!(
+                "{{\"schema\":\"cmcc-serve-v1\",\"workers\":{},\"statements\":{},",
+                "\"iters\":{},\"build_once\":{},\"tenants\":[{}],",
+                "\"plan_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},",
+                "\"capacity\":{},\"shards\":[{}],\"shard_evictions\":[{}],",
+                "\"shared_in_flight\":{}}}}}"
+            ),
+            opts.workers,
+            statements.len(),
+            opts.iters,
+            build_once,
+            tenant_json.join(","),
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.capacity,
+            occupancy.join(","),
+            shard_ev.join(","),
+            cache.shared_in_flight,
+        );
+    }
+
+    Ok(if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }

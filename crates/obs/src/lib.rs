@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Every counter the telemetry layer tracks, in schema order.
@@ -227,9 +228,105 @@ impl Phase {
 
 /// 0 = undecided (consult `CMCC_PROFILE` on first use), 1 = off, 2 = on.
 static ENABLED: AtomicU8 = AtomicU8::new(0);
-static COUNTERS: [AtomicU64; COUNTER_COUNT] = [const { AtomicU64::new(0) }; COUNTER_COUNT];
-static PHASE_NANOS: [AtomicU64; PHASE_COUNT] = [const { AtomicU64::new(0) }; PHASE_COUNT];
-static PHASE_CALLS: [AtomicU64; PHASE_COUNT] = [const { AtomicU64::new(0) }; PHASE_COUNT];
+
+/// One thread's private slice of the telemetry state.
+///
+/// Every recording site writes to its own thread's shard, so concurrent
+/// executes never contend on a shared cache line; readers aggregate
+/// lazily at snapshot time. The slots stay atomics (relaxed) because
+/// snapshotting threads read them while the owner writes — no ordering
+/// is needed, only tear-free loads.
+#[derive(Debug)]
+struct ObsShard {
+    counters: [AtomicU64; COUNTER_COUNT],
+    phase_nanos: [AtomicU64; PHASE_COUNT],
+    phase_calls: [AtomicU64; PHASE_COUNT],
+    kernel_hits: [AtomicU64; KERNEL_VARIANT_CAP],
+}
+
+impl ObsShard {
+    const fn new() -> Self {
+        ObsShard {
+            counters: [const { AtomicU64::new(0) }; COUNTER_COUNT],
+            phase_nanos: [const { AtomicU64::new(0) }; PHASE_COUNT],
+            phase_calls: [const { AtomicU64::new(0) }; PHASE_COUNT],
+            kernel_hits: [const { AtomicU64::new(0) }; KERNEL_VARIANT_CAP],
+        }
+    }
+
+    fn zero(&self) {
+        for slot in self
+            .counters
+            .iter()
+            .chain(&self.phase_nanos)
+            .chain(&self.phase_calls)
+            .chain(&self.kernel_hits)
+        {
+            slot.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Counts retired by threads that have exited: their shards fold in here
+/// (under the registry lock) so process totals stay exact while the
+/// registry stays bounded by the number of *live* recording threads.
+static RETIRED: ObsShard = ObsShard::new();
+
+/// Every live thread's shard, for lazy aggregation. Locked only on
+/// thread birth/death, snapshot, and reset — never on the record path.
+static REGISTRY: Mutex<Vec<Arc<ObsShard>>> = Mutex::new(Vec::new());
+
+fn registry() -> std::sync::MutexGuard<'static, Vec<Arc<ObsShard>>> {
+    REGISTRY.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Folds `src` into `dst` slot by slot (relaxed; caller holds the
+/// registry lock when exactness matters).
+fn fold_into(dst: &ObsShard, src: &ObsShard) {
+    for (d, s) in dst
+        .counters
+        .iter()
+        .zip(&src.counters)
+        .chain(dst.phase_nanos.iter().zip(&src.phase_nanos))
+        .chain(dst.phase_calls.iter().zip(&src.phase_calls))
+        .chain(dst.kernel_hits.iter().zip(&src.kernel_hits))
+    {
+        d.fetch_add(s.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+/// Owns a thread's registration; dropping it (thread exit) folds the
+/// shard into [`RETIRED`] and unregisters it under the registry lock, so
+/// a concurrent [`snapshot`] sees each count exactly once.
+struct ShardGuard(Arc<ObsShard>);
+
+impl Drop for ShardGuard {
+    fn drop(&mut self) {
+        let mut reg = registry();
+        fold_into(&RETIRED, &self.0);
+        reg.retain(|s| !Arc::ptr_eq(s, &self.0));
+    }
+}
+
+thread_local! {
+    static SHARD: ShardGuard = {
+        let shard = Arc::new(ObsShard::new());
+        registry().push(Arc::clone(&shard));
+        ShardGuard(shard)
+    };
+}
+
+/// Runs `f` against the calling thread's shard. During thread teardown
+/// (the TLS slot already destroyed) the write goes straight to the
+/// retired accumulator instead of being lost.
+#[inline]
+fn with_shard<F: FnOnce(&ObsShard)>(f: F) {
+    let mut f = Some(f);
+    let _ = SHARD.try_with(|guard| (f.take().expect("with_shard runs once"))(&guard.0));
+    if let Some(f) = f {
+        f(&RETIRED);
+    }
+}
 
 /// Whether telemetry is currently recording.
 ///
@@ -257,11 +354,14 @@ pub fn set_enabled(on: bool) {
 }
 
 /// Adds `n` to a counter. One relaxed load and an early return when
-/// telemetry is disabled.
+/// telemetry is disabled; when enabled, the write lands on the calling
+/// thread's private shard (no cross-thread contention).
 #[inline]
 pub fn add(counter: Counter, n: u64) {
     if enabled() {
-        COUNTERS[counter as usize].fetch_add(n, Ordering::Relaxed);
+        with_shard(|s| {
+            s.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+        });
     }
 }
 
@@ -279,8 +379,10 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(start) = self.start {
             let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            PHASE_NANOS[self.phase as usize].fetch_add(nanos, Ordering::Relaxed);
-            PHASE_CALLS[self.phase as usize].fetch_add(1, Ordering::Relaxed);
+            with_shard(|s| {
+                s.phase_nanos[self.phase as usize].fetch_add(nanos, Ordering::Relaxed);
+                s.phase_calls[self.phase as usize].fetch_add(1, Ordering::Relaxed);
+            });
         }
     }
 }
@@ -294,17 +396,13 @@ pub fn span(phase: Phase) -> Span {
     }
 }
 
-/// Zeroes every counter and span accumulator (the enable state is kept).
+/// Zeroes every counter and span accumulator — the retired accumulator
+/// and every live thread's shard (the enable state is kept).
 pub fn reset() {
-    for c in &COUNTERS {
-        c.store(0, Ordering::Relaxed);
-    }
-    for (n, c) in PHASE_NANOS.iter().zip(&PHASE_CALLS) {
-        n.store(0, Ordering::Relaxed);
-        c.store(0, Ordering::Relaxed);
-    }
-    for h in &KERNEL_HITS {
-        h.store(0, Ordering::Relaxed);
+    let reg = registry();
+    RETIRED.zero();
+    for shard in reg.iter() {
+        shard.zero();
     }
 }
 
@@ -313,29 +411,30 @@ pub fn reset() {
 /// this crate only stores the counts, so the table stays generic.
 pub const KERNEL_VARIANT_CAP: usize = 64;
 
-static KERNEL_HITS: [AtomicU64; KERNEL_VARIANT_CAP] =
-    [const { AtomicU64::new(0) }; KERNEL_VARIANT_CAP];
-
 /// Records one dispatch of kernel variant `id`. Out-of-range ids (at or
 /// above [`KERNEL_VARIANT_CAP`]) are dropped rather than panicking so a
 /// grown family degrades to missing telemetry, not a crash.
 #[inline]
 pub fn kernel_hit(id: usize) {
-    if enabled() {
-        if let Some(slot) = KERNEL_HITS.get(id) {
-            slot.fetch_add(1, Ordering::Relaxed);
-        }
+    if enabled() && id < KERNEL_VARIANT_CAP {
+        with_shard(|s| {
+            s.kernel_hits[id].fetch_add(1, Ordering::Relaxed);
+        });
     }
 }
 
-/// A snapshot of the kernel-variant hit table. Per-variant hits are
-/// deliberately not part of [`RunReport`] (the profile JSON schema keys
-/// only the `kernelized_steps` / `interpreted_steps` split); callers that
-/// want a mix bracket two of these snapshots and subtract.
+/// A snapshot of the kernel-variant hit table, aggregated across all
+/// thread shards. Per-variant hits are deliberately not part of
+/// [`RunReport`] (the profile JSON schema keys only the
+/// `kernelized_steps` / `interpreted_steps` split); callers that want a
+/// mix bracket two of these snapshots and subtract.
 pub fn kernel_hits() -> [u64; KERNEL_VARIANT_CAP] {
     let mut out = [0u64; KERNEL_VARIANT_CAP];
-    for (o, h) in out.iter_mut().zip(&KERNEL_HITS) {
-        *o = h.load(Ordering::Relaxed);
+    let reg = registry();
+    for shard in std::iter::once(&RETIRED).chain(reg.iter().map(Arc::as_ref)) {
+        for (o, h) in out.iter_mut().zip(&shard.kernel_hits) {
+            *o += h.load(Ordering::Relaxed);
+        }
     }
     out
 }
@@ -354,21 +453,50 @@ pub struct RunReport {
     phase_calls: [u64; PHASE_COUNT],
 }
 
-/// Takes a snapshot of the current telemetry state.
+fn accumulate(report: &mut RunReport, shard: &ObsShard) {
+    for (slot, c) in report.counters.iter_mut().zip(&shard.counters) {
+        *slot = slot.saturating_add(c.load(Ordering::Relaxed));
+    }
+    for (slot, n) in report.phase_nanos.iter_mut().zip(&shard.phase_nanos) {
+        *slot = slot.saturating_add(n.load(Ordering::Relaxed));
+    }
+    for (slot, n) in report.phase_calls.iter_mut().zip(&shard.phase_calls) {
+        *slot = slot.saturating_add(n.load(Ordering::Relaxed));
+    }
+}
+
+/// Takes a process-wide snapshot of the current telemetry state: the
+/// lazy aggregation of every live thread's shard plus the retired
+/// accumulator, under the registry lock (so a thread retiring mid-read
+/// is counted exactly once).
 pub fn snapshot() -> RunReport {
     let mut report = RunReport {
         enabled: enabled(),
         ..RunReport::default()
     };
-    for (slot, c) in report.counters.iter_mut().zip(&COUNTERS) {
-        *slot = c.load(Ordering::Relaxed);
+    let reg = registry();
+    accumulate(&mut report, &RETIRED);
+    for shard in reg.iter() {
+        accumulate(&mut report, shard);
     }
-    for (slot, n) in report.phase_nanos.iter_mut().zip(&PHASE_NANOS) {
-        *slot = n.load(Ordering::Relaxed);
-    }
-    for (slot, n) in report.phase_calls.iter_mut().zip(&PHASE_CALLS) {
-        *slot = n.load(Ordering::Relaxed);
-    }
+    report
+}
+
+/// Takes a snapshot of only the *calling thread's* shard — what this
+/// thread recorded since it first recorded (or since the last [`reset`]).
+///
+/// This is the per-tenant attribution primitive behind the driver's
+/// `--serve` stats: a worker brackets its own work with two of these and
+/// subtracts, unpolluted by concurrent tenants. Counts recorded by
+/// worker pools the runtime spawns internally land on *their* threads,
+/// not this one, so per-tenant attribution expects single-threaded
+/// execution options.
+pub fn thread_snapshot() -> RunReport {
+    let mut report = RunReport {
+        enabled: enabled(),
+        ..RunReport::default()
+    };
+    let _ = SHARD.try_with(|guard| accumulate(&mut report, &guard.0));
     report
 }
 
@@ -664,6 +792,40 @@ mod tests {
         assert_eq!(delta.get(Counter::ExchangeEdgeWords), 1);
         assert_eq!(delta.phase_calls(Phase::PlanBuild), 0);
         assert!(!end.is_empty());
+        set_enabled(false);
+    }
+
+    #[test]
+    fn thread_shards_aggregate_exactly_and_attribute_locally() {
+        let _guard = LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        add(Counter::ScalarRuns, 1);
+        let workers = 4;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|i| {
+                    scope.spawn(move || {
+                        add(Counter::ScalarRuns, 10 + i);
+                        kernel_hit(2);
+                        // A thread sees exactly its own work.
+                        thread_snapshot().get(Counter::ScalarRuns)
+                    })
+                })
+                .collect();
+            for (i, h) in handles.into_iter().enumerate() {
+                assert_eq!(h.join().unwrap(), 10 + i as u64);
+            }
+        });
+        // Worker threads have exited: their shards retired into the
+        // accumulator, and the process totals are exact.
+        let report = snapshot();
+        assert_eq!(report.get(Counter::ScalarRuns), 1 + 10 + 11 + 12 + 13);
+        assert_eq!(kernel_hits()[2], workers);
+        // The main thread's view excludes the workers' counts.
+        assert_eq!(thread_snapshot().get(Counter::ScalarRuns), 1);
+        reset();
+        assert!(snapshot().is_empty());
         set_enabled(false);
     }
 

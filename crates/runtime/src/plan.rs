@@ -42,6 +42,7 @@ use cmcc_cm2::timing::{CycleBreakdown, Measurement};
 use cmcc_core::compiler::CompiledStencil;
 use cmcc_core::recognize::CoeffSpec;
 use cmcc_core::regalloc::Walk;
+use std::sync::Arc;
 
 /// A compiled stencil bound to concrete distributed arrays, with all
 /// shape and count validation done up front (the front end's job on the
@@ -171,60 +172,87 @@ pub enum PlanLifetime {
     Persistent,
 }
 
-/// Everything a stencil call decides ahead of its first iteration:
-/// halo buffers, compiled exchange programs, constant/literal pages, and
-/// the fully address-resolved strip schedule.
+/// The immutable half of an execution plan: everything plan-build
+/// computes that does **not** depend on which concrete arrays a tenant
+/// binds — the resolved strip schedule (against the build-time binding,
+/// the rebase baseline), the lane translation and kernel classification,
+/// the compiled halo-exchange programs, and the plan-owned node-memory
+/// fields (halo buffers, constant and literal pages).
 ///
-/// Build once with [`ExecutionPlan::build`], run any number of times with
-/// [`ExecutionPlan::execute`], retarget to other same-shape arrays with
-/// [`ExecutionPlan::rebind`]. A steady-state execute performs **zero**
-/// field allocations (observable via [`Machine::alloc_count`]) and zero
-/// schedule rebuilds.
-///
-/// # Examples
-///
-/// ```
-/// use cmcc_cm2::{Machine, MachineConfig};
-/// use cmcc_core::Compiler;
-/// use cmcc_runtime::{CmArray, ExecOptions, ExecutionPlan, PlanLifetime, StencilBinding};
-///
-/// let mut machine = Machine::new(MachineConfig::tiny_4())?;
-/// let compiled = Compiler::new(machine.config().clone())
-///     .compile_assignment("R = 0.25 * CSHIFT(X, 1, -1) + 0.75 * X")?;
-/// let x = CmArray::new(&mut machine, 8, 8)?;
-/// let r = CmArray::new(&mut machine, 8, 8)?;
-/// x.fill(&mut machine, 4.0);
-///
-/// let binding = StencilBinding::new(&compiled, &r, &[&x], &[])?;
-/// let mut plan = ExecutionPlan::build(
-///     &mut machine,
-///     &binding,
-///     &ExecOptions::default(),
-///     PlanLifetime::Persistent,
-/// )?;
-/// let first = plan.execute(&mut machine)?;
-/// let again = plan.execute(&mut machine)?;
-/// assert_eq!(r.get(&machine, 3, 3), 4.0);
-/// assert_eq!(first, again); // deterministic, allocation-free replay
-/// plan.release(&mut machine);
-/// # Ok::<(), Box<dyn std::error::Error>>(())
-/// ```
-#[derive(Debug, Clone)]
-pub struct ExecutionPlan {
+/// A `CompiledPlan` is shared between any number of [`PlanInstance`]s
+/// through an [`Arc`]: the session plan cache hands every tenant the same
+/// artifact, and evicting it from the cache cannot invalidate in-flight
+/// instances — the `Arc` keeps it alive until the last instance drops.
+/// Its node-memory fields are returned to the persistent arena by
+/// [`CompiledPlan::release`] once ownership is unique.
+#[derive(Debug)]
+pub struct CompiledPlan {
+    /// The strip schedule resolved against the build-time binding — the
+    /// baseline instances rebase from (never mutated).
     strips: Vec<ResolvedStrip>,
     /// The strip schedule translated into lane-word addresses, when the
-    /// plan runs on the lockstep engine (fast mode, no array aliasing).
-    /// Empty otherwise. Lane addresses depend only on the view's range
-    /// lengths and order — both rebind-invariant — so these never need
-    /// rebasing.
+    /// build binding ran on the lockstep engine (fast mode, no array
+    /// aliasing). Empty otherwise. Lane addresses depend only on the
+    /// view's range lengths and order — both rebind-invariant — so every
+    /// instance over same-shape arrays shares this translation verbatim.
     lane_strips: Vec<ResolvedStrip>,
     /// The kernel tier: each lane strip's compiled monomorphized form,
     /// parallel to `lane_strips` (`None` where the classifier fell back
-    /// to the interpreter). Compiled at build, recompiled only when a
-    /// rebind retranslates the strips; lane addresses are
-    /// rebind-invariant, so a kept translation keeps its kernels too.
+    /// to the interpreter).
     lane_kernels: Vec<Option<StripKernels>>,
-    /// Whether `execute` dispatches through `lane_kernels`. On by
+    halos: Vec<HaloBuffer>,
+    exchanges: Vec<ExchangeProgram>,
+    consts: Field,
+    /// Literal coefficient pages, in `spec.coeffs` order (named entries
+    /// skipped): the field plus the constant streamed through it.
+    literal_pages: Vec<(Field, f32)>,
+    /// Indices into `spec.coeffs` of the named coefficients, parallel to
+    /// `coeffs` — the rebase slots an instance binding must shift.
+    named_slots: Vec<u16>,
+    /// Total coefficient slots (`spec.coeffs.len()`): rebase deltas must
+    /// cover literal slots too (always zero — their pages never move).
+    coeff_slot_count: usize,
+    /// The build-time binding: the baseline `strips` were resolved
+    /// against, from which instance bindings compute rebase deltas.
+    result: CmArray,
+    sources: Vec<CmArray>,
+    coeffs: Vec<CmArray>,
+    useful_flops: u64,
+    call_overhead: u64,
+    dispatch: u64,
+    nodes: usize,
+    opts: ExecOptions,
+    fingerprint: u64,
+    lifetime: PlanLifetime,
+    /// Resolved half-strips per kernel width (index 0 → width 8, then
+    /// 4, 2, 1) — the paper's strip-mine distribution, replayed verbatim
+    /// by every execute and reported through `cmcc_obs`.
+    strip_widths: [u64; 4],
+}
+
+/// The mutable half of an execution plan: one tenant's binding and
+/// execution state over a shared [`CompiledPlan`] — the rebased strip
+/// schedule, the lane view over the tenant's arrays, the persistent lane
+/// mirror with its primed/stale flags, and the packed coefficient
+/// streams.
+///
+/// Instances are cheap to create (no machine allocation — they reuse the
+/// compiled plan's halo buffers and pages) and fully independent: two
+/// instances over the same `CompiledPlan` can be rebound and executed
+/// without observing each other, as long as machine access is serialized
+/// by the caller (the session's machine lock).
+#[derive(Debug, Clone)]
+pub struct PlanInstance {
+    /// The shared schedule rebased onto this instance's binding.
+    strips: Vec<ResolvedStrip>,
+    /// A private lane translation (strips plus kernel classifications),
+    /// used only when the shared plan has none to offer — it was built
+    /// from an aliased binding (empty `lane_strips`) and this instance's
+    /// binding is clean. `None` means the instance runs the shared
+    /// translation; lane addresses are rebind-invariant, so that is the
+    /// common case.
+    lane_strips_override: Option<(Vec<ResolvedStrip>, Vec<Option<StripKernels>>)>,
+    /// Whether `execute` dispatches through the compiled kernels. On by
     /// default; [`ExecutionPlan::set_kernel_tier`] turns it off after
     /// build (for interpreted-baseline benchmarking) without touching
     /// the plan-cache key.
@@ -240,9 +268,11 @@ pub struct ExecutionPlan {
     /// scattered back. Requires a lane view, `opts.lane_resident`, and a
     /// successful translation of every exchange and interior copy.
     lane_resident: bool,
-    /// The plan-owned persistent lane mirror. Shaped on first execute,
-    /// recycled afterwards (zero steady-state allocations); contents are
-    /// invalidated — not freed — by rebind via `lane_primed`.
+    /// The instance-owned persistent lane mirror. Shaped on first
+    /// execute, recycled afterwards (zero steady-state allocations);
+    /// contents are invalidated — not freed — by rebind via
+    /// `lane_primed`. Poolable across instances via
+    /// [`ExecutionPlan::take_mirror`] / [`ExecutionPlan::install_mirror`].
     lane_mirror: LaneMirror,
     /// The halo exchange translated onto the mirror, one per source.
     /// Empty unless `lane_resident`.
@@ -281,41 +311,75 @@ pub struct ExecutionPlan {
     /// when strips are retranslated, and when the host writes node
     /// memory; result/source-only rebinds keep it.
     lane_streams: CoeffStreams,
-    halos: Vec<HaloBuffer>,
-    exchanges: Vec<ExchangeProgram>,
-    consts: Field,
-    /// Literal coefficient pages, in `spec.coeffs` order (named entries
-    /// skipped): the field plus the constant streamed through it.
-    literal_pages: Vec<(Field, f32)>,
-    /// Indices into `spec.coeffs` of the named coefficients, parallel to
-    /// `coeffs` — the rebase slots a rebind must shift.
-    named_slots: Vec<u16>,
-    /// Total coefficient slots (`spec.coeffs.len()`): rebase deltas must
-    /// cover literal slots too (always zero — their pages never move).
-    coeff_slot_count: usize,
     result: CmArray,
     sources: Vec<CmArray>,
     coeffs: Vec<CmArray>,
-    useful_flops: u64,
-    call_overhead: u64,
-    dispatch: u64,
-    nodes: usize,
-    opts: ExecOptions,
-    fingerprint: u64,
-    lifetime: PlanLifetime,
-    /// Resolved half-strips per kernel width (index 0 → width 8, then
-    /// 4, 2, 1) — the paper's strip-mine distribution, replayed verbatim
-    /// by every execute and reported through `cmcc_obs`.
-    strip_widths: [u64; 4],
 }
 
-impl ExecutionPlan {
-    /// Plans every per-call decision for `binding` under `opts`.
+/// Everything a stencil call decides ahead of its first iteration:
+/// halo buffers, compiled exchange programs, constant/literal pages, and
+/// the fully address-resolved strip schedule.
+///
+/// Internally an `ExecutionPlan` is a shared immutable [`CompiledPlan`]
+/// (held through an [`Arc`], so cloned plans and concurrent tenants share
+/// one compiled artifact) plus a private mutable [`PlanInstance`] (this
+/// plan's binding, lane mirror, and primed/stale state).
+///
+/// Build once with [`ExecutionPlan::build`], run any number of times with
+/// [`ExecutionPlan::execute`], retarget to other same-shape arrays with
+/// [`ExecutionPlan::rebind`], or attach a fresh instance to an existing
+/// artifact with [`ExecutionPlan::from_shared`]. A steady-state execute
+/// performs **zero** field allocations (observable via
+/// [`Machine::alloc_count`]) and zero schedule rebuilds.
+///
+/// # Examples
+///
+/// ```
+/// use cmcc_cm2::{Machine, MachineConfig};
+/// use cmcc_core::Compiler;
+/// use cmcc_runtime::{CmArray, ExecOptions, ExecutionPlan, PlanLifetime, StencilBinding};
+///
+/// let mut machine = Machine::new(MachineConfig::tiny_4())?;
+/// let compiled = Compiler::new(machine.config().clone())
+///     .compile_assignment("R = 0.25 * CSHIFT(X, 1, -1) + 0.75 * X")?;
+/// let x = CmArray::new(&mut machine, 8, 8)?;
+/// let r = CmArray::new(&mut machine, 8, 8)?;
+/// x.fill(&mut machine, 4.0);
+///
+/// let binding = StencilBinding::new(&compiled, &r, &[&x], &[])?;
+/// let mut plan = ExecutionPlan::build(
+///     &mut machine,
+///     &binding,
+///     &ExecOptions::default(),
+///     PlanLifetime::Persistent,
+/// )?;
+/// let first = plan.execute(&mut machine)?;
+/// let again = plan.execute(&mut machine)?;
+/// assert_eq!(r.get(&machine, 3, 3), 4.0);
+/// assert_eq!(first, again); // deterministic, allocation-free replay
+/// plan.release(&mut machine);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExecutionPlan {
+    shared: Arc<CompiledPlan>,
+    inst: PlanInstance,
+}
+
+impl CompiledPlan {
+    /// Plans every *shared* per-call decision for `binding` under `opts`.
     ///
     /// Allocates the halo buffers and constant pages (from the region
     /// `lifetime` selects), fills the constant pages, compiles one
-    /// [`ExchangeProgram`] per source, and resolves the complete strip
-    /// schedule to absolute operand addresses.
+    /// [`ExchangeProgram`] per source, resolves the complete strip
+    /// schedule to absolute operand addresses, translates it onto the
+    /// lane domain, and classifies every lane strip against the kernel
+    /// family. The result is immutable: tenants attach to it with
+    /// [`ExecutionPlan::from_shared`], which rebases onto their arrays
+    /// without touching the artifact.
+    ///
+    /// Counts one `PlanBuilds` — the exactly-once build assertion
+    /// concurrent sessions rely on.
     ///
     /// # Errors
     ///
@@ -473,9 +537,13 @@ impl ExecutionPlan {
         // buffers the schedule touches, translate the schedule into lane
         // words. Either step can fail — aliased arrays overlap, or an
         // address walk escapes its buffer — and then the plan simply
-        // keeps the scalar path.
+        // keeps the scalar path. Only the translation is kept: lane
+        // addresses depend on range lengths and order alone, both
+        // binding-invariant, so the artifact shares it with every
+        // instance; the view itself (gather/scatter bases) and the
+        // resident exchange/interior programs are per-binding and are
+        // recomputed by [`PlanInstance::for_binding`].
         let literal_pages: Vec<(Field, f32)> = pages.into_iter().flatten().collect();
-        let mut lane_view = None;
         let mut lane_strips = Vec::new();
         if opts.mode == ExecMode::Fast && opts.engine == ExecEngine::Lockstep {
             if let Some(view) = LaneView::new(&lane_ranges(
@@ -490,31 +558,7 @@ impl ExecutionPlan {
                     .map(|s| s.translate(&view))
                     .collect::<Option<Vec<_>>>()
                 {
-                    lane_view = Some(view);
                     lane_strips = translated;
-                }
-            }
-        }
-
-        // The lane-resident steady state: translate the exchange and the
-        // per-source interior refresh onto the mirror. Both always map
-        // when the view mirrors whole halo buffers (the only views this
-        // module builds); the fallbacks keep hand-constructed views safe.
-        let mut lane_exchanges = Vec::new();
-        let mut lane_interiors = Vec::new();
-        let mut lane_resident = false;
-        if opts.lane_resident {
-            if let Some(view) = &lane_view {
-                if let (Some(xs), Some(ins)) = (
-                    exchanges
-                        .iter()
-                        .map(|p| LaneExchangeProgram::translate(p, view))
-                        .collect::<Option<Vec<_>>>(),
-                    lane_interior_copies(view, &halos, binding.sources()),
-                ) {
-                    lane_exchanges = xs;
-                    lane_interiors = ins;
-                    lane_resident = true;
                 }
             }
         }
@@ -526,22 +570,10 @@ impl ExecutionPlan {
             lane_strips.iter().map(StripKernels::compile).collect();
 
         let cfg = machine.config();
-        Ok(ExecutionPlan {
+        Ok(CompiledPlan {
             strips,
             lane_strips,
             lane_kernels,
-            kernel_tier: true,
-            lane_view,
-            lane_resident,
-            lane_mirror: LaneMirror::new(),
-            lane_exchanges,
-            lane_interiors,
-            lane_primed: false,
-            lane_stale: false,
-            lane_reprime: Vec::new(),
-            lane_halos_current: false,
-            lane_synced_writes: 0,
-            lane_streams: CoeffStreams::new(),
             halos,
             exchanges,
             consts,
@@ -562,19 +594,232 @@ impl ExecutionPlan {
         })
     }
 
-    /// Runs one iteration: halo exchange, pre-resolved kernel execution,
-    /// and the paper's accounting. Performs no field allocation and no
-    /// schedule construction; the lane-resident path (lockstep engine,
-    /// the default) additionally performs no host allocation and — once
-    /// the source fixed point is established — no `NodeMemory` traffic
-    /// beyond writing the result. Host writes to bound arrays between
-    /// executes are detected via [`Machine::host_writes`] and re-read
-    /// automatically.
+    /// Validates that a candidate binding can attach to this artifact:
+    /// argument counts equal the build binding's, and every array has
+    /// the compiled shape. `what` prefixes error messages ("rebind",
+    /// "bound").
+    fn validate_binding(
+        &self,
+        what: &str,
+        result: &CmArray,
+        sources: &[&CmArray],
+        coeffs: &[&CmArray],
+    ) -> Result<(), RuntimeError> {
+        if sources.len() != self.sources.len() {
+            return Err(RuntimeError::WrongSourceCount {
+                expected: self.sources.len(),
+                got: sources.len(),
+            });
+        }
+        if coeffs.len() != self.coeffs.len() {
+            return Err(RuntimeError::WrongCoeffCount {
+                expected: self.coeffs.len(),
+                got: coeffs.len(),
+            });
+        }
+        let check = |kind: &str, arr: &CmArray| -> Result<(), RuntimeError> {
+            if !arr.same_shape(&self.result) {
+                return Err(RuntimeError::ShapeMismatch {
+                    what: format!(
+                        "{what} {kind} is {}x{} but the plan was built for {}x{}",
+                        arr.rows(),
+                        arr.cols(),
+                        self.result.rows(),
+                        self.result.cols()
+                    ),
+                });
+            }
+            Ok(())
+        };
+        check("result", result)?;
+        for s in sources {
+            check("source", s)?;
+        }
+        for c in coeffs {
+            check("coefficient", c)?;
+        }
+        Ok(())
+    }
+
+    /// The [`CompiledStencil::fingerprint`] this artifact was built from.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Global rows of the compiled shape.
+    pub fn rows(&self) -> usize {
+        self.result.rows()
+    }
+
+    /// Global columns of the compiled shape.
+    pub fn cols(&self) -> usize {
+        self.result.cols()
+    }
+
+    /// The execution options the artifact was built under.
+    pub fn options(&self) -> &ExecOptions {
+        &self.opts
+    }
+
+    /// Where the artifact's node-memory fields live.
+    pub fn lifetime(&self) -> PlanLifetime {
+        self.lifetime
+    }
+
+    /// Words of node memory the artifact's halo buffers and constant
+    /// pages occupy.
+    pub fn words(&self) -> usize {
+        self.halos.iter().map(HaloBuffer::words).sum::<usize>()
+            + self.consts.len()
+            + self
+                .literal_pages
+                .iter()
+                .map(|(p, _)| p.len())
+                .sum::<usize>()
+    }
+
+    /// Returns the artifact's persistent fields to the arena. The caller
+    /// must hold the *only* reference (the session sweeps retired plans
+    /// through [`Arc::try_unwrap`] before calling this), because
+    /// instances read the halo buffers and pages on every execute.
     ///
-    /// # Errors
+    /// # Panics
     ///
-    /// [`RuntimeError::Hazard`] on a pipeline hazard (a compiler bug).
-    pub fn execute(&mut self, machine: &mut Machine) -> Result<Measurement, RuntimeError> {
+    /// Panics if the artifact was built with [`PlanLifetime::Scoped`] —
+    /// scoped fields fall away with the caller's [`Machine::release_to`].
+    pub fn release(self, machine: &mut Machine) {
+        assert_eq!(
+            self.lifetime,
+            PlanLifetime::Persistent,
+            "scoped plans are reclaimed by release_to, not release"
+        );
+        for &(page, _) in self.literal_pages.iter().rev() {
+            machine.free_field_persistent(page);
+        }
+        machine.free_field_persistent(self.consts);
+        for halo in self.halos.into_iter().rev() {
+            halo.release(machine);
+        }
+    }
+}
+
+impl PlanInstance {
+    /// Creates the per-tenant state for `cp` bound to the given arrays:
+    /// rebases the shared schedule onto this binding, recomputes the
+    /// lane view over these arrays, and retranslates the resident
+    /// exchange/interior programs. Performs no machine allocation.
+    ///
+    /// `populate_reprime` selects whether the partial re-prime rectangle
+    /// list is computed up front (instances attached to an existing
+    /// artifact) or left empty exactly as a fresh build leaves it (the
+    /// build path — the first execute primes the whole mirror, and a
+    /// rebind populates the list).
+    fn for_binding(
+        cp: &CompiledPlan,
+        result: &CmArray,
+        sources: &[CmArray],
+        coeffs: &[CmArray],
+        populate_reprime: bool,
+    ) -> Self {
+        // Rebase the shared schedule onto this binding. Same-shape
+        // arrays differ only in their base addresses, so the deltas
+        // against the build binding are all a rebind would apply.
+        let result_delta = result.field().base() as i64 - cp.result.field().base() as i64;
+        let mut coeff_deltas = vec![0i64; cp.coeff_slot_count];
+        let mut any_coeff = false;
+        for ((&slot, old), new) in cp.named_slots.iter().zip(&cp.coeffs).zip(coeffs) {
+            let delta = new.field().base() as i64 - old.field().base() as i64;
+            coeff_deltas[slot as usize] = delta;
+            any_coeff |= delta != 0;
+        }
+        let mut strips = cp.strips.clone();
+        if result_delta != 0 || any_coeff {
+            for strip in &mut strips {
+                strip.rebase(result_delta, &coeff_deltas);
+            }
+        }
+
+        // The lane view is per-binding (gather/scatter bases move with
+        // the arrays), but lane *addresses* depend only on range lengths
+        // and order, so the shared translation is reused whenever the
+        // artifact has one. A private translation is built only when the
+        // artifact was compiled from an aliased binding (no shared lane
+        // strips) and this binding is clean.
+        let mut lane_view = None;
+        let mut lane_strips_override = None;
+        if cp.opts.mode == ExecMode::Fast && cp.opts.engine == ExecEngine::Lockstep {
+            if let Some(view) = LaneView::new(&lane_ranges(
+                &cp.halos,
+                cp.consts,
+                &cp.literal_pages,
+                coeffs,
+                result,
+            )) {
+                if cp.lane_strips.len() == strips.len() {
+                    lane_view = Some(view);
+                } else if let Some(translated) = strips
+                    .iter()
+                    .map(|s| s.translate(&view))
+                    .collect::<Option<Vec<_>>>()
+                {
+                    let kernels = translated.iter().map(StripKernels::compile).collect();
+                    lane_strips_override = Some((translated, kernels));
+                    lane_view = Some(view);
+                }
+            }
+        }
+
+        let mut lane_exchanges = Vec::new();
+        let mut lane_interiors = Vec::new();
+        let mut lane_resident = false;
+        let mut lane_reprime = Vec::new();
+        if cp.opts.lane_resident {
+            if let Some(view) = &lane_view {
+                if let (Some(xs), Some(ins)) = (
+                    cp.exchanges
+                        .iter()
+                        .map(|p| LaneExchangeProgram::translate(p, view))
+                        .collect::<Option<Vec<_>>>(),
+                    lane_interior_copies(view, &cp.halos, sources),
+                ) {
+                    lane_exchanges = xs;
+                    lane_interiors = ins;
+                    lane_resident = true;
+                    if populate_reprime {
+                        lane_reprime = reprime_copies(view, cp.halos.len());
+                    }
+                }
+            }
+        }
+
+        PlanInstance {
+            strips,
+            lane_strips_override,
+            kernel_tier: true,
+            lane_view,
+            lane_resident,
+            lane_mirror: LaneMirror::new(),
+            lane_exchanges,
+            lane_interiors,
+            lane_primed: false,
+            lane_stale: false,
+            lane_reprime,
+            lane_halos_current: false,
+            lane_synced_writes: 0,
+            lane_streams: CoeffStreams::new(),
+            result: *result,
+            sources: sources.to_vec(),
+            coeffs: coeffs.to_vec(),
+        }
+    }
+
+    /// Runs one iteration over the shared artifact `cp`. See
+    /// [`ExecutionPlan::execute`].
+    fn execute(
+        &mut self,
+        cp: &CompiledPlan,
+        machine: &mut Machine,
+    ) -> Result<Measurement, RuntimeError> {
         let _span = cmcc_obs::span(cmcc_obs::Phase::Execute);
         // Whether this execute is a steady-state iteration (no priming
         // or re-priming gather): the analytic `steady_state_copy_words`
@@ -598,6 +843,14 @@ impl ExecutionPlan {
         let mut interior_words = 0usize;
         let mut exchange_words = 0usize;
         let mut comm = 0;
+        // The effective lane schedule: the instance's private
+        // translation when the shared artifact has none (it was built
+        // from an aliased binding and this binding is clean), else the
+        // shared one.
+        let (lane_strips, lane_kernels) = match &self.lane_strips_override {
+            Some((s, k)) => (s.as_slice(), k.as_slice()),
+            None => (cp.lane_strips.as_slice(), cp.lane_kernels.as_slice()),
+        };
         let run = if self.lane_resident {
             // Lane-resident steady state: operands live in the plan's
             // mirror between executes. Read-only ranges were gathered
@@ -614,7 +867,7 @@ impl ExecutionPlan {
                 .as_ref()
                 .expect("resident plans are lane-mapped");
             self.lane_mirror
-                .ensure(view.words(), self.nodes, self.opts.threads);
+                .ensure(view.words(), cp.nodes, cp.opts.threads);
             let (_, mems) = machine.exec_parts_mut();
             if !self.lane_primed {
                 self.lane_mirror.gather(view, mems);
@@ -643,13 +896,10 @@ impl ExecutionPlan {
                 }
             }
             self.lane_halos_current = true;
-            let kernels: &[Option<StripKernels>] = if self.kernel_tier {
-                &self.lane_kernels
-            } else {
-                &[]
-            };
+            let kernels: &[Option<StripKernels>] =
+                if self.kernel_tier { lane_kernels } else { &[] };
             let run = run_lockstep_groups_kernelized(
-                &self.lane_strips,
+                lane_strips,
                 kernels,
                 &mut self.lane_streams,
                 self.lane_mirror.groups_mut(),
@@ -686,8 +936,7 @@ impl ExecutionPlan {
             }
             run
         } else {
-            for ((halo, program), src) in self.halos.iter().zip(&self.exchanges).zip(&self.sources)
-            {
+            for ((halo, program), src) in cp.halos.iter().zip(&cp.exchanges).zip(&self.sources) {
                 interior_words += halo.fill_interior(machine, src);
                 exchange_words += program.words_moved();
                 comm += program.run(machine);
@@ -697,20 +946,14 @@ impl ExecutionPlan {
                 // gathered into lane storage per execute, each resolved
                 // step broadcast across all lanes at once.
                 Some(view) => machine.run_resolved_lockstep_all_kernelized(
-                    &self.lane_strips,
-                    if self.kernel_tier {
-                        &self.lane_kernels
-                    } else {
-                        &[]
-                    },
+                    lane_strips,
+                    if self.kernel_tier { lane_kernels } else { &[] },
                     &mut self.lane_streams,
                     view,
-                    self.opts.threads,
+                    cp.opts.threads,
                     &mut self.lane_mirror,
                 ),
-                None => {
-                    machine.run_resolved_all(&self.strips, self.opts.mode, self.opts.threads)?
-                }
+                None => machine.run_resolved_all(&self.strips, cp.opts.mode, cp.opts.threads)?,
             }
         };
         let d = MirrorWords::of(&self.lane_mirror).minus(&mirror_base);
@@ -724,16 +967,16 @@ impl ExecutionPlan {
             },
             1,
         );
-        cmcc_obs::add(cmcc_obs::Counter::UsefulFlops, self.useful_flops);
+        cmcc_obs::add(cmcc_obs::Counter::UsefulFlops, cp.useful_flops);
         cmcc_obs::add(
             cmcc_obs::Counter::TotalFlops,
-            2 * run.macs * self.nodes as u64,
+            2 * run.macs * cp.nodes as u64,
         );
         cmcc_obs::add(cmcc_obs::Counter::GatherWords, d.gathered);
         cmcc_obs::add(cmcc_obs::Counter::ScatterWords, d.scattered);
         cmcc_obs::add(cmcc_obs::Counter::InteriorRefreshWords, d.row_gathered);
         cmcc_obs::add(cmcc_obs::Counter::MirrorAllocations, d.allocations);
-        for (slot, &n) in self.strip_widths.iter().enumerate() {
+        for (slot, &n) in cp.strip_widths.iter().enumerate() {
             cmcc_obs::add(WIDTH_COUNTERS[slot], n);
         }
 
@@ -747,7 +990,7 @@ impl ExecutionPlan {
                 + d.scattered;
             assert_eq!(
                 observed,
-                self.steady_state_copy_words() as u64,
+                self.steady_copy_words(cp) as u64,
                 "steady-state copy words diverged from the analytic prediction"
             );
             if self.lane_resident {
@@ -760,79 +1003,36 @@ impl ExecutionPlan {
 
         // One front-end microcode dispatch per half-strip, exactly as the
         // rebuild path charges.
-        let frontend = self.call_overhead + self.dispatch * self.strips.len() as u64;
+        let frontend = cp.call_overhead + cp.dispatch * self.strips.len() as u64;
 
         Ok(Measurement {
-            useful_flops: self.useful_flops,
+            useful_flops: cp.useful_flops,
             cycles: CycleBreakdown {
                 comm,
                 compute: run.cycles,
                 frontend,
             },
-            nodes: self.nodes,
+            nodes: cp.nodes,
         })
     }
 
-    /// Retargets the plan to different arrays of identical shape without
-    /// rebuilding anything: source swaps are free (sources are read
-    /// through the plan's own halo buffers each iteration) and
-    /// result/coefficient swaps are a single in-place rebase of the
-    /// resolved addresses.
-    ///
-    /// This is what makes ping-pong time stepping (`swap(cur, next)`) and
-    /// volume sweeps reuse one plan.
-    ///
-    /// # Errors
-    ///
-    /// [`RuntimeError::WrongSourceCount`], [`RuntimeError::WrongCoeffCount`],
-    /// or [`RuntimeError::ShapeMismatch`] when the new arrays do not match
-    /// the plan's shapes.
-    pub fn rebind(
+    /// Retargets the instance to different arrays of identical shape
+    /// over the shared artifact `cp`. See [`ExecutionPlan::rebind`].
+    fn rebind(
         &mut self,
+        cp: &CompiledPlan,
         result: &CmArray,
         sources: &[&CmArray],
         coeffs: &[&CmArray],
     ) -> Result<(), RuntimeError> {
         let _span = cmcc_obs::span(cmcc_obs::Phase::PlanRebind);
         cmcc_obs::add(cmcc_obs::Counter::PlanRebinds, 1);
-        if sources.len() != self.sources.len() {
-            return Err(RuntimeError::WrongSourceCount {
-                expected: self.sources.len(),
-                got: sources.len(),
-            });
-        }
-        if coeffs.len() != self.coeffs.len() {
-            return Err(RuntimeError::WrongCoeffCount {
-                expected: self.coeffs.len(),
-                got: coeffs.len(),
-            });
-        }
-        let check = |what: &str, arr: &CmArray| -> Result<(), RuntimeError> {
-            if !arr.same_shape(&self.result) {
-                return Err(RuntimeError::ShapeMismatch {
-                    what: format!(
-                        "{what} is {}x{} but the plan was built for {}x{}",
-                        arr.rows(),
-                        arr.cols(),
-                        self.result.rows(),
-                        self.result.cols()
-                    ),
-                });
-            }
-            Ok(())
-        };
-        check("rebind result", result)?;
-        for s in sources {
-            check("rebind source", s)?;
-        }
-        for c in coeffs {
-            check("rebind coefficient", c)?;
-        }
+        cp.validate_binding("rebind", result, sources, coeffs)?;
 
         let result_delta = result.field().base() as i64 - self.result.field().base() as i64;
-        let mut coeff_deltas = vec![0i64; self.coeff_slot_count];
+        let mut coeff_deltas = vec![0i64; cp.coeff_slot_count];
         let mut any_coeff = false;
-        for ((&slot, old), new) in self.named_slots.iter().zip(&self.coeffs).zip(coeffs) {
+        for ((&slot, old), new) in cp.named_slots.iter().zip(&self.coeffs).zip(coeffs) {
             let delta = new.field().base() as i64 - old.field().base() as i64;
             coeff_deltas[slot as usize] = delta;
             any_coeff |= delta != 0;
@@ -873,16 +1073,20 @@ impl ExecutionPlan {
         // addresses are unchanged and the translated strips stay valid;
         // only the gather/scatter bases move. A rebind can also turn the
         // lockstep path off (the new binding aliases arrays) or back on.
-        if self.opts.mode == ExecMode::Fast && self.opts.engine == ExecEngine::Lockstep {
+        if cp.opts.mode == ExecMode::Fast && cp.opts.engine == ExecEngine::Lockstep {
             self.lane_view = None;
             if let Some(view) = LaneView::new(&lane_ranges(
-                &self.halos,
-                self.consts,
-                &self.literal_pages,
+                &cp.halos,
+                cp.consts,
+                &cp.literal_pages,
                 &self.coeffs,
                 &self.result,
             )) {
-                if self.lane_strips.len() == self.strips.len() {
+                let lane_len = self
+                    .lane_strips_override
+                    .as_ref()
+                    .map_or(cp.lane_strips.len(), |(s, _)| s.len());
+                if lane_len == self.strips.len() {
                     // Lane addresses are rebind-invariant, so the kept
                     // translation keeps its compiled kernels too.
                     self.lane_view = Some(view);
@@ -892,8 +1096,8 @@ impl ExecutionPlan {
                     .map(|s| s.translate(&view))
                     .collect::<Option<Vec<_>>>()
                 {
-                    self.lane_kernels = translated.iter().map(StripKernels::compile).collect();
-                    self.lane_strips = translated;
+                    let kernels = translated.iter().map(StripKernels::compile).collect();
+                    self.lane_strips_override = Some((translated, kernels));
                     self.lane_streams.invalidate();
                     self.lane_view = Some(view);
                 }
@@ -918,83 +1122,248 @@ impl ExecutionPlan {
         self.lane_exchanges.clear();
         self.lane_interiors.clear();
         self.lane_reprime.clear();
-        if self.opts.lane_resident {
+        if cp.opts.lane_resident {
             if let Some(view) = &self.lane_view {
                 if let (Some(xs), Some(ins)) = (
-                    self.exchanges
+                    cp.exchanges
                         .iter()
                         .map(|p| LaneExchangeProgram::translate(p, view))
                         .collect::<Option<Vec<_>>>(),
-                    lane_interior_copies(view, &self.halos, &self.sources),
+                    lane_interior_copies(view, &cp.halos, &self.sources),
                 ) {
                     self.lane_exchanges = xs;
                     self.lane_interiors = ins;
                     self.lane_resident = true;
-                    self.lane_reprime = reprime_copies(view, self.halos.len());
+                    self.lane_reprime = reprime_copies(view, cp.halos.len());
                 }
             }
         }
         Ok(())
     }
 
-    /// Returns the plan's persistent fields to the arena.
+    /// Machine-total words copied per steady-state `execute` — the body
+    /// behind [`ExecutionPlan::steady_state_copy_words`].
+    fn steady_copy_words(&self, cp: &CompiledPlan) -> usize {
+        let scatter = |view: &LaneView| {
+            view.ranges()
+                .iter()
+                .filter(|r| r.writable)
+                .map(|r| r.len)
+                .sum::<usize>()
+                * cp.nodes
+        };
+        if self.lane_resident {
+            let view = self.lane_view.as_ref().expect("resident plans are mapped");
+            return scatter(view);
+        }
+        let interior: usize = self
+            .sources
+            .iter()
+            .map(|s| s.sub_rows() * s.sub_cols())
+            .sum::<usize>()
+            * cp.nodes;
+        let exchange: usize = cp.exchanges.iter().map(ExchangeProgram::words_moved).sum();
+        let mirror = match &self.lane_view {
+            Some(view) => view.words() * cp.nodes + scatter(view),
+            None => 0,
+        };
+        interior + exchange + mirror
+    }
+}
+
+impl ExecutionPlan {
+    /// Plans every per-call decision for `binding` under `opts`.
+    ///
+    /// Builds the shared [`CompiledPlan`] (halo buffers, constant pages,
+    /// exchange programs, the resolved and lane-translated strip
+    /// schedule) and attaches the binding's own [`PlanInstance`] to it.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::SubgridTooSmall`] when the stencil's halo is deeper
+    /// than the per-node subgrid, or [`RuntimeError::OutOfMemory`].
+    pub fn build(
+        machine: &mut Machine,
+        binding: &StencilBinding<'_>,
+        opts: &ExecOptions,
+        lifetime: PlanLifetime,
+    ) -> Result<Self, RuntimeError> {
+        let shared = CompiledPlan::build(machine, binding, opts, lifetime)?;
+        let inst = PlanInstance::for_binding(
+            &shared,
+            binding.result(),
+            binding.sources(),
+            binding.coeffs(),
+            false,
+        );
+        Ok(ExecutionPlan {
+            shared: Arc::new(shared),
+            inst,
+        })
+    }
+
+    /// Attaches a fresh per-tenant instance to an existing shared
+    /// artifact — the multi-tenant fast path: no machine access, no
+    /// field allocation, no strip resolution, just a rebase of the
+    /// shared schedule onto this binding's arrays.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ShapeMismatch`] when the binding's compiled
+    /// stencil fingerprint or array shapes do not match the artifact;
+    /// [`RuntimeError::WrongSourceCount`] / [`RuntimeError::WrongCoeffCount`]
+    /// on argument-count mismatches.
+    pub fn from_shared(
+        shared: &Arc<CompiledPlan>,
+        binding: &StencilBinding<'_>,
+    ) -> Result<Self, RuntimeError> {
+        if binding.compiled().fingerprint() != shared.fingerprint {
+            return Err(RuntimeError::ShapeMismatch {
+                what: format!(
+                    "compiled stencil fingerprint {:#018x} does not match the shared plan's {:#018x}",
+                    binding.compiled().fingerprint(),
+                    shared.fingerprint
+                ),
+            });
+        }
+        let srcs: Vec<&CmArray> = binding.sources().iter().collect();
+        let cfs: Vec<&CmArray> = binding.coeffs().iter().collect();
+        shared.validate_binding("bound", binding.result(), &srcs, &cfs)?;
+        let inst = PlanInstance::for_binding(
+            shared,
+            binding.result(),
+            binding.sources(),
+            binding.coeffs(),
+            true,
+        );
+        Ok(ExecutionPlan {
+            shared: Arc::clone(shared),
+            inst,
+        })
+    }
+
+    /// The shared compiled artifact this plan executes. Cloning the
+    /// returned [`Arc`] keeps the artifact (and its node-memory fields)
+    /// alive independently of cache eviction.
+    pub fn shared(&self) -> &Arc<CompiledPlan> {
+        &self.shared
+    }
+
+    /// Runs one iteration: halo exchange, pre-resolved kernel execution,
+    /// and the paper's accounting. Performs no field allocation and no
+    /// schedule construction; the lane-resident path (lockstep engine,
+    /// the default) additionally performs no host allocation and — once
+    /// the source fixed point is established — no `NodeMemory` traffic
+    /// beyond writing the result. Host writes to bound arrays between
+    /// executes are detected via [`Machine::host_writes`] and re-read
+    /// automatically.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Hazard`] on a pipeline hazard (a compiler bug).
+    pub fn execute(&mut self, machine: &mut Machine) -> Result<Measurement, RuntimeError> {
+        self.inst.execute(&self.shared, machine)
+    }
+
+    /// Retargets the plan to different arrays of identical shape without
+    /// rebuilding anything: source swaps are free (sources are read
+    /// through the plan's own halo buffers each iteration) and
+    /// result/coefficient swaps are a single in-place rebase of the
+    /// resolved addresses.
+    ///
+    /// This is what makes ping-pong time stepping (`swap(cur, next)`) and
+    /// volume sweeps reuse one plan.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::WrongSourceCount`], [`RuntimeError::WrongCoeffCount`],
+    /// or [`RuntimeError::ShapeMismatch`] when the new arrays do not match
+    /// the plan's shapes.
+    pub fn rebind(
+        &mut self,
+        result: &CmArray,
+        sources: &[&CmArray],
+        coeffs: &[&CmArray],
+    ) -> Result<(), RuntimeError> {
+        self.inst.rebind(&self.shared, result, sources, coeffs)
+    }
+
+    /// Returns the plan's persistent fields to the arena — if this was
+    /// the artifact's last instance. While other instances (or the plan
+    /// cache) still hold the shared artifact, the fields stay live and
+    /// this is a no-op beyond dropping the instance.
     ///
     /// Scoped plans skip this — their fields fall away with the caller's
     /// [`Machine::release_to`].
     ///
     /// # Panics
     ///
-    /// Panics if the plan was built with [`PlanLifetime::Scoped`].
+    /// Panics if the plan was built with [`PlanLifetime::Scoped`] and
+    /// this was the last reference to the artifact.
     pub fn release(self, machine: &mut Machine) {
-        assert_eq!(
-            self.lifetime,
-            PlanLifetime::Persistent,
-            "scoped plans are reclaimed by release_to, not release"
-        );
-        for &(page, _) in self.literal_pages.iter().rev() {
-            machine.free_field_persistent(page);
+        let ExecutionPlan { shared, inst } = self;
+        drop(inst);
+        if let Ok(cp) = Arc::try_unwrap(shared) {
+            cp.release(machine);
         }
-        machine.free_field_persistent(self.consts);
-        for halo in self.halos.into_iter().rev() {
-            halo.release(machine);
-        }
+    }
+
+    /// Detaches the instance's lane mirror, for pooling across tenants.
+    /// The plan falls back to an unprimed (but still valid) state: its
+    /// next execute re-shapes whatever mirror it holds and primes it.
+    pub fn take_mirror(&mut self) -> LaneMirror {
+        self.inst.lane_primed = false;
+        self.inst.lane_stale = false;
+        self.inst.lane_halos_current = false;
+        std::mem::take(&mut self.inst.lane_mirror)
+    }
+
+    /// Installs a (possibly recycled) lane mirror into the instance.
+    /// The mirror's buffers are reused when shapes match — this is how
+    /// the session mirror pool keeps steady-state allocations at zero
+    /// across tenants; contents are treated as garbage and re-primed.
+    pub fn install_mirror(&mut self, mirror: LaneMirror) {
+        self.inst.lane_mirror = mirror;
+        self.inst.lane_primed = false;
+        self.inst.lane_stale = false;
+        self.inst.lane_halos_current = false;
     }
 
     /// The [`CompiledStencil::fingerprint`] this plan was built from.
     pub fn fingerprint(&self) -> u64 {
-        self.fingerprint
+        self.shared.fingerprint
     }
 
     /// Global rows of the bound arrays.
     pub fn rows(&self) -> usize {
-        self.result.rows()
+        self.inst.result.rows()
     }
 
     /// Global columns of the bound arrays.
     pub fn cols(&self) -> usize {
-        self.result.cols()
+        self.inst.result.cols()
     }
 
     /// The execution options the plan was built under.
     pub fn options(&self) -> &ExecOptions {
-        &self.opts
+        &self.shared.opts
     }
 
     /// Where the plan's fields live.
     pub fn lifetime(&self) -> PlanLifetime {
-        self.lifetime
+        self.shared.lifetime
     }
 
     /// Pre-resolved half-strip runs per iteration (front-end dispatches).
     pub fn dispatches(&self) -> usize {
-        self.strips.len()
+        self.inst.strips.len()
     }
 
     /// Whether `execute` currently runs the lockstep broadcast engine
     /// (fast mode, lockstep engine selected, current binding lane-mapped
     /// without aliasing). False means the scalar fallback.
     pub fn uses_lockstep(&self) -> bool {
-        self.lane_view.is_some()
+        self.inst.lane_view.is_some()
     }
 
     /// Whether `execute` currently runs the lane-resident steady state:
@@ -1003,7 +1372,7 @@ impl ExecutionPlan {
     /// scattered back. False means per-execute gather/scatter (or the
     /// scalar fallback when [`Self::uses_lockstep`] is also false).
     pub fn uses_lane_resident(&self) -> bool {
-        self.lane_resident
+        self.inst.lane_resident
     }
 
     /// Turns the kernel tier on or off for subsequent executes. On by
@@ -1012,24 +1381,27 @@ impl ExecutionPlan {
     /// enter the plan-cache key; its one real use is timing the
     /// interpreted lockstep baseline (`repro_simd`).
     pub fn set_kernel_tier(&mut self, on: bool) {
-        self.kernel_tier = on;
+        self.inst.kernel_tier = on;
     }
 
     /// How many of the plan's lane strips compiled against the kernel
     /// family (the rest run interpreted). Zero when the plan is not
     /// lane-mapped or the tier is off.
     pub fn kernelized_strips(&self) -> usize {
-        if !self.kernel_tier {
+        if !self.inst.kernel_tier {
             return 0;
         }
-        self.lane_kernels.iter().flatten().count()
+        match &self.inst.lane_strips_override {
+            Some((_, kernels)) => kernels.iter().flatten().count(),
+            None => self.shared.lane_kernels.iter().flatten().count(),
+        }
     }
 
     /// Lane-mirror buffer allocations performed so far. Steady state
     /// (repeated `execute` without rebinding a different shape) must not
     /// move this counter; benches and tests assert on the delta.
     pub fn lane_mirror_allocations(&self) -> u64 {
-        self.lane_mirror.allocations()
+        self.inst.lane_mirror.allocations()
     }
 
     /// Machine-total words copied per steady-state `execute` under the
@@ -1044,46 +1416,13 @@ impl ExecutionPlan {
     /// cannot drift from what `execute` actually does. Fill words
     /// (border zeroing) are excluded: they are stores, not copies.
     pub fn steady_state_copy_words(&self) -> usize {
-        let scatter = |view: &LaneView| {
-            view.ranges()
-                .iter()
-                .filter(|r| r.writable)
-                .map(|r| r.len)
-                .sum::<usize>()
-                * self.nodes
-        };
-        if self.lane_resident {
-            let view = self.lane_view.as_ref().expect("resident plans are mapped");
-            return scatter(view);
-        }
-        let interior: usize = self
-            .sources
-            .iter()
-            .map(|s| s.sub_rows() * s.sub_cols())
-            .sum::<usize>()
-            * self.nodes;
-        let exchange: usize = self
-            .exchanges
-            .iter()
-            .map(ExchangeProgram::words_moved)
-            .sum();
-        let mirror = match &self.lane_view {
-            Some(view) => view.words() * self.nodes + scatter(view),
-            None => 0,
-        };
-        interior + exchange + mirror
+        self.inst.steady_copy_words(&self.shared)
     }
 
     /// Words of node memory the plan's halo buffers and constant pages
     /// occupy.
     pub fn words(&self) -> usize {
-        self.halos.iter().map(HaloBuffer::words).sum::<usize>()
-            + self.consts.len()
-            + self
-                .literal_pages
-                .iter()
-                .map(|(p, _)| p.len())
-                .sum::<usize>()
+        self.shared.words()
     }
 }
 

@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t_next = session.array(rows, cols)?;
 
     // A hot square plate in the middle of a cold domain.
-    t.fill_with(session.machine_mut(), |r, c| {
+    t.fill_with(&mut session.machine_mut(), |r, c| {
         if (24..40).contains(&r) && (24..40).contains(&c) {
             100.0
         } else {
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
 
     let total_heat = |session: &Session, a: &CmArray| -> f64 {
-        a.gather(session.machine())
+        a.gather(&session.machine())
             .iter()
             .map(|&v| f64::from(v))
             .sum()
@@ -87,8 +87,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let remaining = total_heat(&session, &cur);
-    let center = cur.get(session.machine(), 32, 32);
-    let corner = cur.get(session.machine(), 0, 0);
+    let center = cur.get(&session.machine(), 32, 32);
+    let corner = cur.get(&session.machine(), 0, 0);
     println!(
         "after {steps} steps: heat {remaining:.1} ({:.1}% lost through the cold walls)",
         100.0 * (initial - remaining) / initial

@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let blurred = session.array(rows, cols)?;
 
     // A synthetic test card: a bright ring plus a diagonal stripe.
-    img.fill_with(session.machine_mut(), |r, c| {
+    img.fill_with(&mut session.machine_mut(), |r, c| {
         let dr = r as f32 - 32.0;
         let dc = c as f32 - 32.0;
         let radius = (dr * dr + dc * dc).sqrt();
@@ -70,7 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (ring + stripe).min(1.0)
     });
 
-    render("input", &img.gather(session.machine()), rows, cols);
+    render("input", &img.gather(&session.machine()), rows, cols);
 
     // Blur three times to make the smoothing obvious.
     let mut measurement = session.run(&compiled, &blurred, &img, &[])?;
@@ -79,13 +79,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         measurement = measurement.combine(&session.run(&compiled, &blurred, &img, &[])?);
     }
 
-    let out = blurred.gather(session.machine());
+    let out = blurred.gather(&session.machine());
     render("after 5 blur passes", &out, rows, cols);
 
     // Blurring is an averaging filter with unit weight sum: total
     // brightness is conserved under the circular boundary.
     let sum_in: f64 = img
-        .gather(session.machine())
+        .gather(&session.machine())
         .iter()
         .map(|&v| f64::from(v))
         .sum();

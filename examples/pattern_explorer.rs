@@ -60,11 +60,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Measure one iteration at the paper's largest subgrid.
         let (rows, cols) = (4 * 256, 4 * 256);
         let x = session.array(rows, cols)?;
-        x.fill_with(session.machine_mut(), |r, c| ((r ^ c) % 17) as f32 * 0.1);
+        x.fill_with(&mut session.machine_mut(), |r, c| {
+            ((r ^ c) % 17) as f32 * 0.1
+        });
         let coeffs: Vec<CmArray> = (0..compiled.spec().coeffs.len())
             .map(|i| {
                 let a = session.array(rows, cols).unwrap();
-                a.fill(session.machine_mut(), 0.03 * (i + 1) as f32);
+                a.fill(&mut session.machine_mut(), 0.03 * (i + 1) as f32);
                 a
             })
             .collect();

@@ -53,13 +53,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (rows, cols) = (256usize, 256usize);
     let x = session.array(rows, cols)?;
     let r = session.array(rows, cols)?;
-    x.fill_with(session.machine_mut(), |r, c| {
+    x.fill_with(&mut session.machine_mut(), |r, c| {
         ((r * 37 + c * 11) % 101) as f32 * 0.01
     });
     let coeffs: Vec<CmArray> = (0..5)
         .map(|i| {
             let a = session.array(rows, cols).unwrap();
-            a.fill(session.machine_mut(), [0.05, 0.1, 0.6, 0.1, 0.05][i]);
+            a.fill(&mut session.machine_mut(), [0.05, 0.1, 0.6, 0.1, 0.05][i]);
             a
         })
         .collect();
@@ -68,11 +68,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let measurement = session.run(&compiled, &r, &x, &coeff_refs)?;
 
     // Validate against the host-side golden model, bit for bit.
-    let x_host = x.gather(session.machine());
-    let coeff_host: Vec<Vec<f32>> = coeffs.iter().map(|c| c.gather(session.machine())).collect();
+    let x_host = x.gather(&session.machine());
+    let coeff_host: Vec<Vec<f32>> = coeffs
+        .iter()
+        .map(|c| c.gather(&session.machine()))
+        .collect();
     let values: Vec<CoeffValue<'_>> = coeff_host.iter().map(|c| CoeffValue::Array(c)).collect();
     let expected = reference_convolve(compiled.stencil(), rows, cols, &x_host, &values);
-    let got = r.gather(session.machine());
+    let got = r.gather(&session.machine());
     assert_eq!(got.len(), expected.len());
     let exact = got
         .iter()

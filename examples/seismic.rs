@@ -42,13 +42,13 @@ fn step_v1(
     };
     let mut total = session.run_with(compiled, r, p, coeffs, &opts)?;
     total = total.combine(&elementwise_multiply_add(
-        session.machine_mut(),
+        &mut session.machine_mut(),
         r,
         c10,
         p2,
     )?);
-    total = total.combine(&elementwise_copy(session.machine_mut(), p2, p)?);
-    total = total.combine(&elementwise_copy(session.machine_mut(), p, r)?);
+    total = total.combine(&elementwise_copy(&mut session.machine_mut(), p2, p)?);
+    total = total.combine(&elementwise_copy(&mut session.machine_mut(), p, r)?);
     Ok(total)
 }
 
@@ -79,12 +79,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let p2 = session.array(rows, cols)?;
     let r = session.array(rows, cols)?;
     // An initial Gaussian-ish pulse at the center.
-    p.fill_with(session.machine_mut(), |i, j| {
+    p.fill_with(&mut session.machine_mut(), |i, j| {
         let dr = i as f32 - rows as f32 / 2.0;
         let dc = j as f32 - cols as f32 / 2.0;
         (-(dr * dr + dc * dc) / 64.0).exp()
     });
-    p2.fill(session.machine_mut(), 0.0);
+    p2.fill(&mut session.machine_mut(), 0.0);
 
     // Finite-difference coefficients of a 4th-order laplacian-style
     // update (velocity folded in), plus the tenth term's -1 from two
@@ -104,13 +104,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|&w| {
             let a = session.array(rows, cols).unwrap();
-            a.fill(session.machine_mut(), w * 0.2);
+            a.fill(&mut session.machine_mut(), w * 0.2);
             a
         })
         .collect();
     let coeff_refs: Vec<&CmArray> = coeffs.iter().collect();
     let c10 = session.array(rows, cols)?;
-    c10.fill(session.machine_mut(), -1.0);
+    c10.fill(&mut session.machine_mut(), -1.0);
 
     // ---- Variant 1: copies each step. Time one step cycle-accurately,
     // then scale (the machine is synchronous; every step costs the same).
@@ -139,19 +139,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             false,
         )?;
     }
-    let v1_field = p.gather(session.machine());
+    let v1_field = p.gather(&session.machine());
     let energy: f32 = v1_field.iter().map(|v| v * v).sum();
     println!("v1 after {steps} steps: wavefield energy {energy:.4}");
 
     // ---- Variant 2: unrolled by three, roles rotate, no copies.
     // Reset the wavefield.
-    p.fill_with(session.machine_mut(), |i, j| {
+    p.fill_with(&mut session.machine_mut(), |i, j| {
         let dr = i as f32 - rows as f32 / 2.0;
         let dc = j as f32 - cols as f32 / 2.0;
         (-(dr * dr + dc * dc) / 64.0).exp()
     });
-    p2.fill(session.machine_mut(), 0.0);
-    r.fill(session.machine_mut(), 0.0);
+    p2.fill(&mut session.machine_mut(), 0.0);
+    r.fill(&mut session.machine_mut(), 0.0);
 
     // One unrolled iteration = three time steps over the rotating triple
     // (p, p2, r). Time the first step; the other two cost the same.
@@ -166,7 +166,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         let mut m = session.run_with(&compiled, next, cur, &coeff_refs, &opts)?;
         m = m.combine(&elementwise_multiply_add(
-            session.machine_mut(),
+            &mut session.machine_mut(),
             next,
             &c10,
             two_ago,
@@ -179,7 +179,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         bufs = [next, cur, two_ago];
     }
     let per_step_v2 = per_step_v2.expect("at least one step ran");
-    let v2_field = bufs[0].gather(session.machine());
+    let v2_field = bufs[0].gather(&session.machine());
     let energy2: f32 = v2_field.iter().map(|v| v * v).sum();
     println!("v2 after {steps} steps: wavefield energy {energy2:.4}");
 
@@ -202,13 +202,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .compile_assignment_extended(&fused_statement)
         .expect("fused ten-term statement compiles");
     // Reset and rerun the rotating loop with the fused kernel.
-    p.fill_with(session.machine_mut(), |i, j| {
+    p.fill_with(&mut session.machine_mut(), |i, j| {
         let dr = i as f32 - rows as f32 / 2.0;
         let dc = j as f32 - cols as f32 / 2.0;
         (-(dr * dr + dc * dc) / 64.0).exp()
     });
-    p2.fill(session.machine_mut(), 0.0);
-    r.fill(session.machine_mut(), 0.0);
+    p2.fill(&mut session.machine_mut(), 0.0);
+    r.fill(&mut session.machine_mut(), 0.0);
     let mut coeffs10: Vec<&CmArray> = coeff_refs.clone();
     coeffs10.push(&c10);
     let mut bufs = [&p, &p2, &r];
@@ -227,7 +227,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         bufs = [next, cur, two_ago];
     }
     let per_step_v3 = per_step_v3.expect("at least one step ran");
-    let v3_field = bufs[0].gather(session.machine());
+    let v3_field = bufs[0].gather(&session.machine());
     let identical3 = v2_field
         .iter()
         .zip(&v3_field)

@@ -48,9 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(compiled.spec().sources, vec!["PDOWN", "P", "PUP", "P2"]);
 
     let (depth, rows, cols) = (8usize, 64, 64);
-    let p = CmVolume::new(session.machine_mut(), depth, rows, cols)?;
-    let p2 = CmVolume::new(session.machine_mut(), depth, rows, cols)?;
-    let r = CmVolume::new(session.machine_mut(), depth, rows, cols)?;
+    let p = CmVolume::new(&mut session.machine_mut(), depth, rows, cols)?;
+    let p2 = CmVolume::new(&mut session.machine_mut(), depth, rows, cols)?;
+    let r = CmVolume::new(&mut session.machine_mut(), depth, rows, cols)?;
 
     // A point source in the middle of the volume.
     let init = |vol: &CmVolume, machine: &mut Machine| {
@@ -61,8 +61,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (-(dp * dp + dr * dr + dc * dc) / 8.0).exp()
         });
     };
-    init(&p, session.machine_mut());
-    p2.fill_with(session.machine_mut(), |_, _, _| 0.0);
+    init(&p, &mut session.machine_mut());
+    p2.fill_with(&mut session.machine_mut(), |_, _, _| 0.0);
 
     // Source order in the statement: PDOWN, P, PUP, P2. The first three
     // are planes of the current wavefield at depth offsets -1, 0, +1; P2
@@ -111,7 +111,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cur = std::mem::replace(&mut next, recycled);
     }
 
-    let field = cur.gather(session.machine());
+    let field = cur.gather(&session.machine());
     let energy: f64 = field.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
     let peak = field.iter().fold(0.0f32, |a, &b| a.max(b.abs()));
     println!("after {steps} steps: energy {energy:.3}, peak |amplitude| {peak:.4}");

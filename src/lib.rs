@@ -28,12 +28,24 @@
 //! )?;
 //! let x = session.array(8, 8)?;
 //! let r = session.array(8, 8)?;
-//! x.fill_with(session.machine_mut(), |row, _| row as f32);
+//! x.fill_with(&mut session.machine_mut(), |row, _| row as f32);
 //! let measurement = session.run(&blur, &r, &x, &[])?;
-//! assert_eq!(r.get(session.machine(), 4, 0), 4.0);
+//! assert_eq!(r.get(&session.machine(), 4, 0), 4.0);
 //! println!("{:.1} Mflops", measurement.mflops(session.config()));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Concurrency
+//!
+//! A [`Session`] is a cheap clonable handle over shared state: the
+//! machine (behind a read-write lock), the compiler, a sharded plan
+//! cache of immutable [`CompiledPlan`] artifacts, and a lane-mirror
+//! pool. Clone the session once per thread and run concurrently — the
+//! first tenant to request a given (statement, shape, options) builds
+//! its plan exactly once (a per-entry build lock serializes racing
+//! tenants onto the same artifact), and every handle keeps its own
+//! mutable [`runtime::PlanInstance`] state, so tenants never observe
+//! each other's bindings.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -48,12 +60,16 @@ pub use cmcc_runtime as runtime;
 pub use cmcc_cm2::{CycleBreakdown, Machine, MachineConfig, Measurement};
 pub use cmcc_core::{CompileError, CompiledStencil, Compiler, PaperPattern};
 pub use cmcc_runtime::{
-    convolve, convolve_multi, convolve_volume, CmArray, CmVolume, ExecEngine, ExecOptions,
-    ExecutionPlan, PlanLifetime, RuntimeError, StencilBinding,
+    convolve, convolve_multi, convolve_volume, CmArray, CmVolume, CompiledPlan, ExecEngine,
+    ExecOptions, ExecutionPlan, PlanLifetime, RuntimeError, StencilBinding,
 };
 
+use cmcc_cm2::lane::MirrorPool;
 use std::error::Error;
 use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Everything needed for typical use, in one import.
 pub mod prelude {
@@ -108,8 +124,8 @@ impl From<RuntimeError> for SessionError {
 
 /// The plan cache key: a statement [`CompiledStencil::fingerprint`], the
 /// global array shape, and the execution options. Two calls with equal
-/// keys are guaranteed to want the same [`ExecutionPlan`] (possibly
-/// rebased onto different arrays of that shape).
+/// keys are guaranteed to want the same [`CompiledPlan`] (possibly
+/// instantiated over different arrays of that shape).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct PlanKey {
     fingerprint: u64,
@@ -118,60 +134,349 @@ struct PlanKey {
     opts: ExecOptions,
 }
 
+/// Number of shards in the concurrent plan cache. Lookups hash the
+/// plan key (statement fingerprint, shape, options) to a shard, so
+/// tenants working on distinct stencils rarely touch the same lock.
+pub const PLAN_CACHE_SHARDS: usize = 8;
+
+/// One cache entry's build-once cell. The slot is created *before* the
+/// plan exists: the first tenant to lock `plan` and find `None` builds
+/// the artifact while racing tenants block on the same mutex and wake to
+/// a populated slot — the per-fingerprint build lock that makes "built
+/// exactly once" a structural guarantee rather than a race outcome.
 #[derive(Debug)]
-struct CachedPlan {
-    key: PlanKey,
-    plan: ExecutionPlan,
-    last_used: u64,
+struct PlanSlot {
+    plan: Mutex<Option<Arc<CompiledPlan>>>,
+    /// Global LRU tick of the last lookup (monotonic, cache-wide).
+    last_used: AtomicU64,
 }
 
-/// Hit/miss counters for a session's plan cache.
+#[derive(Debug)]
+struct CacheEntry {
+    key: PlanKey,
+    slot: Arc<PlanSlot>,
+}
+
+/// The sharded concurrent plan cache: [`PLAN_CACHE_SHARDS`] independent
+/// `RwLock`ed entry lists plus global (atomic) accounting. The capacity
+/// bound and LRU order are global across shards — eviction scans every
+/// shard — so the cache behaves like one LRU map that merely avoids a
+/// single lock on the lookup path.
+#[derive(Debug)]
+struct PlanCache {
+    shards: [RwLock<Vec<CacheEntry>>; PLAN_CACHE_SHARDS],
+    capacity: AtomicUsize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    shard_evictions: [AtomicU64; PLAN_CACHE_SHARDS],
+    /// Evicted artifacts still referenced by in-flight instances. The
+    /// `Arc` keeps the artifact (and its node-memory fields) alive;
+    /// sweeps reclaim each one when its last instance drops.
+    retired: Mutex<Vec<Arc<CompiledPlan>>>,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> Self {
+        PlanCache {
+            shards: std::array::from_fn(|_| RwLock::new(Vec::new())),
+            capacity: AtomicUsize::new(capacity),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            shard_evictions: std::array::from_fn(|_| AtomicU64::new(0)),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn shard_index(key: &PlanKey) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % PLAN_CACHE_SHARDS
+    }
+
+    fn retire(&self, cp: Arc<CompiledPlan>) {
+        self.retired
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(cp);
+    }
+}
+
+/// Hit/miss counters plus occupancy for a session's plan cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PlanCacheStats {
-    /// Runs served by rebinding a cached plan.
+    /// Runs served from an already-built shared plan (including tenants
+    /// that waited on a racing builder).
     pub hits: u64,
-    /// Runs that built (and cached) a fresh plan.
+    /// Runs that built (and cached) a fresh plan — one per distinct
+    /// artifact, however many tenants raced for it.
     pub misses: u64,
-    /// Cached plans released to make room (LRU) — by a capacity overflow
-    /// or an explicit [`Session::set_plan_cache_capacity`] shrink.
+    /// Cached plans evicted (LRU bound or capacity shrink), summed over
+    /// shards.
     pub evictions: u64,
-    /// The cache's current plan capacity.
+    /// The cache's current plan capacity (global, across all shards).
     pub capacity: usize,
+    /// Plans currently cached, per shard.
+    pub shard_occupancy: [usize; PLAN_CACHE_SHARDS],
+    /// Evictions performed, per shard. Sums to `evictions`.
+    pub shard_evictions: [u64; PLAN_CACHE_SHARDS],
+    /// Shared artifacts currently held beyond the cache itself: cached
+    /// plans with at least one live tenant instance, plus evicted plans
+    /// kept alive by in-flight instances awaiting their final sweep.
+    pub shared_in_flight: usize,
 }
 
 /// Default number of distinct (statement, shape, options) plans a session
 /// keeps alive.
 const DEFAULT_PLAN_CACHE_CAPACITY: usize = 8;
 
+/// How many retired lane mirrors the session pool holds for recycling
+/// across tenant instances.
+const MIRROR_POOL_CAPACITY: usize = 32;
+
+/// The state every [`Session`] handle shares: the machine behind a
+/// read-write lock, the compiler, the sharded plan cache, and the
+/// lane-mirror pool.
+#[derive(Debug)]
+struct SessionShared {
+    machine: RwLock<Machine>,
+    compiler: Compiler,
+    config: MachineConfig,
+    cache: PlanCache,
+    mirrors: MirrorPool,
+}
+
+/// A shared read guard over the session's [`Machine`]. Dereferences to
+/// [`Machine`]; any number of handles may read concurrently.
+#[derive(Debug)]
+pub struct MachineGuard<'a> {
+    inner: RwLockReadGuard<'a, Machine>,
+}
+
+impl Deref for MachineGuard<'_> {
+    type Target = Machine;
+    fn deref(&self) -> &Machine {
+        &self.inner
+    }
+}
+
+/// An exclusive write guard over the session's [`Machine`].
+/// Dereferences mutably to [`Machine`].
+#[derive(Debug)]
+pub struct MachineGuardMut<'a> {
+    inner: RwLockWriteGuard<'a, Machine>,
+}
+
+impl Deref for MachineGuardMut<'_> {
+    type Target = Machine;
+    fn deref(&self) -> &Machine {
+        &self.inner
+    }
+}
+
+impl DerefMut for MachineGuardMut<'_> {
+    fn deref_mut(&mut self) -> &mut Machine {
+        &mut self.inner
+    }
+}
+
+impl SessionShared {
+    fn machine_read(&self) -> MachineGuard<'_> {
+        MachineGuard {
+            inner: self.machine.read().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    fn machine_write(&self) -> MachineGuardMut<'_> {
+        MachineGuardMut {
+            inner: self.machine.write().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    /// The cache-aware lookup: returns the shared artifact for `key`,
+    /// building it exactly once across all handles and threads.
+    ///
+    /// Lock order (must never be violated elsewhere): shard lock →
+    /// slot build lock → machine write lock. The machine lock is always
+    /// innermost, and eviction only ever *try*-locks slots.
+    fn lookup_or_build(
+        &self,
+        binding: &StencilBinding<'_>,
+        key: PlanKey,
+        opts: &ExecOptions,
+    ) -> Result<Arc<CompiledPlan>, SessionError> {
+        let cache = &self.cache;
+        let shard = &cache.shards[PlanCache::shard_index(&key)];
+        // Fast path: find the entry under the shard read lock.
+        let found = {
+            let guard = shard.read().unwrap_or_else(|e| e.into_inner());
+            guard
+                .iter()
+                .find(|e| e.key == key)
+                .map(|e| Arc::clone(&e.slot))
+        };
+        let slot = match found {
+            Some(slot) => slot,
+            None => {
+                let mut guard = shard.write().unwrap_or_else(|e| e.into_inner());
+                match guard.iter().find(|e| e.key == key) {
+                    Some(e) => Arc::clone(&e.slot),
+                    None => {
+                        let slot = Arc::new(PlanSlot {
+                            plan: Mutex::new(None),
+                            last_used: AtomicU64::new(0),
+                        });
+                        guard.push(CacheEntry {
+                            key,
+                            slot: Arc::clone(&slot),
+                        });
+                        slot
+                    }
+                }
+            }
+        };
+        slot.last_used.store(
+            cache.tick.fetch_add(1, Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+
+        // The build-once lock: whoever finds the slot empty builds;
+        // racing tenants block here and wake to the populated slot.
+        let mut plan_guard = slot.plan.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(cp) = plan_guard.as_ref() {
+            cache.hits.fetch_add(1, Ordering::Relaxed);
+            cmcc_obs::add(cmcc_obs::Counter::PlanCacheHits, 1);
+            return Ok(Arc::clone(cp));
+        }
+        cache.misses.fetch_add(1, Ordering::Relaxed);
+        cmcc_obs::add(cmcc_obs::Counter::PlanCacheMisses, 1);
+        let built = {
+            let mut machine = self.machine_write();
+            CompiledPlan::build(&mut machine, binding, opts, PlanLifetime::Persistent)
+        };
+        match built {
+            Ok(cp) => {
+                let cp = Arc::new(cp);
+                *plan_guard = Some(Arc::clone(&cp));
+                Ok(cp)
+            }
+            Err(e) => {
+                // Unpublish the empty entry so the next tenant retries
+                // as a builder instead of adopting a dead slot.
+                drop(plan_guard);
+                let mut guard = shard.write().unwrap_or_else(|e2| e2.into_inner());
+                guard.retain(|entry| !(entry.key == key && Arc::ptr_eq(&entry.slot, &slot)));
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Frees every retired artifact whose last instance has dropped.
+    /// Drains the retired list *before* touching the machine lock, so
+    /// the machine lock stays innermost.
+    fn sweep_retired(&self) {
+        let drained: Vec<Arc<CompiledPlan>> = {
+            let mut retired = self.cache.retired.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *retired)
+        };
+        if drained.is_empty() {
+            return;
+        }
+        let mut still_shared = Vec::new();
+        let mut free = Vec::new();
+        for arc in drained {
+            match Arc::try_unwrap(arc) {
+                Ok(cp) => free.push(cp),
+                Err(arc) => still_shared.push(arc),
+            }
+        }
+        if !free.is_empty() {
+            let mut machine = self.machine_write();
+            for cp in free {
+                cp.release(&mut machine);
+            }
+        }
+        if !still_shared.is_empty() {
+            self.cache
+                .retired
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .extend(still_shared);
+        }
+    }
+}
+
+/// One handle-local tenant instance over a shared artifact.
+#[derive(Debug)]
+struct LocalPlan {
+    key: PlanKey,
+    plan: ExecutionPlan,
+    last_used: u64,
+}
+
 /// A machine plus a compiler targeting it: the convenient front door.
 ///
 /// Every `run*` call is served through a **plan cache**: the first call
-/// for a given (statement fingerprint, array shape, options) builds an
-/// [`ExecutionPlan`] — halo buffers, exchange programs, pre-resolved
-/// strip schedule — and later calls replay it, rebased onto whichever
-/// arrays are passed. Results and [`Measurement`]s are bit-identical to
+/// for a given (statement fingerprint, array shape, options) builds a
+/// shared [`CompiledPlan`] — halo buffers, exchange programs,
+/// pre-resolved strip schedule — and later calls replay it through a
+/// handle-local [`runtime::PlanInstance`], rebased onto whichever arrays
+/// are passed. Results and [`Measurement`]s are bit-identical to
 /// uncached execution. The cache is bounded (least-recently-used plans
-/// are evicted and their node memory freed) and is scoped to the session,
-/// so a different machine configuration — a different `Session` — can
-/// never observe a stale plan. A shape or options change simply keys a
-/// new plan.
+/// are evicted and their node memory freed once their last in-flight
+/// instance retires) and is scoped to the session's shared state, so a
+/// different machine configuration — a session created fresh — can never
+/// observe a stale plan. A shape or options change simply keys a new
+/// plan.
+///
+/// `Session` is a **cheap clonable handle**: clones share the machine,
+/// compiler, plan cache, cache statistics, and mirror pool, while each
+/// clone keeps its own plan instances and per-handle report. Clone one
+/// session per thread for concurrent multi-tenant execution; a plan is
+/// built exactly once no matter how many tenants race for it.
 ///
 /// See the crate-level example. For full control (execution options,
 /// alternative front ends, baselines) use the constituent crates
 /// directly.
 #[derive(Debug)]
 pub struct Session {
-    machine: Machine,
-    compiler: Compiler,
-    plans: Vec<CachedPlan>,
-    plan_capacity: usize,
-    tick: u64,
-    stats: PlanCacheStats,
+    shared: Arc<SessionShared>,
+    /// This handle's tenant instances over shared artifacts.
+    plans: Vec<LocalPlan>,
+    local_tick: u64,
     /// Telemetry delta of the most recent `run*` call (empty when
     /// profiling is disabled — see [`cmcc_obs::set_enabled`]).
     last_report: cmcc_obs::RunReport,
     /// Cache key of the most recent `run*` call, for [`Session::last_plan`].
     last_key: Option<PlanKey>,
+}
+
+impl Clone for Session {
+    /// Clones the handle: the machine, compiler, plan cache, and mirror
+    /// pool are shared; plan instances and per-handle state start empty.
+    fn clone(&self) -> Self {
+        Session {
+            shared: Arc::clone(&self.shared),
+            plans: Vec::new(),
+            local_tick: 0,
+            last_report: cmcc_obs::RunReport::default(),
+            last_key: None,
+        }
+    }
+}
+
+impl Drop for Session {
+    /// Retires this handle's instances, recycling their lane mirrors
+    /// into the shared pool for future tenants.
+    fn drop(&mut self) {
+        for mut entry in self.plans.drain(..) {
+            self.shared.mirrors.put(entry.plan.take_mirror());
+        }
+    }
 }
 
 impl Session {
@@ -183,12 +488,15 @@ impl Session {
     pub fn with_config(config: MachineConfig) -> Result<Self, SessionError> {
         let machine = Machine::new(config.clone()).map_err(SessionError::Machine)?;
         Ok(Session {
-            machine,
-            compiler: Compiler::new(config),
+            shared: Arc::new(SessionShared {
+                machine: RwLock::new(machine),
+                compiler: Compiler::new(config.clone()),
+                config,
+                cache: PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY),
+                mirrors: MirrorPool::new(MIRROR_POOL_CAPACITY),
+            }),
             plans: Vec::new(),
-            plan_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
-            tick: 0,
-            stats: PlanCacheStats::default(),
+            local_tick: 0,
             last_report: cmcc_obs::RunReport::default(),
             last_key: None,
         })
@@ -221,24 +529,29 @@ impl Session {
         Self::with_config(MachineConfig::tiny_4())
     }
 
-    /// The machine.
-    pub fn machine(&self) -> &Machine {
-        &self.machine
+    /// The machine, behind a shared read guard. Hold it across several
+    /// reads in one expression (`r.get(&session.machine(), 1, 1)`); it
+    /// unlocks when the guard drops. Taking [`Session::machine_mut`] on
+    /// the *same handle* while a guard from this method is live would
+    /// deadlock — the `&mut self` receiver there makes that a
+    /// compile-time error instead.
+    pub fn machine(&self) -> MachineGuard<'_> {
+        self.shared.machine_read()
     }
 
-    /// The machine, mutably.
-    pub fn machine_mut(&mut self) -> &mut Machine {
-        &mut self.machine
+    /// The machine, behind an exclusive write guard.
+    pub fn machine_mut(&mut self) -> MachineGuardMut<'_> {
+        self.shared.machine_write()
     }
 
     /// The machine configuration.
     pub fn config(&self) -> &MachineConfig {
-        self.machine.config()
+        &self.shared.config
     }
 
     /// The compiler.
     pub fn compiler(&self) -> &Compiler {
-        &self.compiler
+        &self.shared.compiler
     }
 
     /// Compiles a Fortran array assignment statement.
@@ -247,7 +560,7 @@ impl Session {
     ///
     /// Any [`CompileError`].
     pub fn compile(&self, statement: &str) -> Result<CompiledStencil, SessionError> {
-        Ok(self.compiler.compile_assignment(statement)?)
+        Ok(self.shared.compiler.compile_assignment(statement)?)
     }
 
     /// Compiles a statement under the multi-source extension (several
@@ -258,7 +571,10 @@ impl Session {
     ///
     /// Any [`CompileError`].
     pub fn compile_extended(&self, statement: &str) -> Result<CompiledStencil, SessionError> {
-        Ok(self.compiler.compile_assignment_extended(statement)?)
+        Ok(self
+            .shared
+            .compiler
+            .compile_assignment_extended(statement)?)
     }
 
     /// Allocates a distributed array.
@@ -267,7 +583,7 @@ impl Session {
     ///
     /// Shape or memory errors from the run-time library.
     pub fn array(&mut self, rows: usize, cols: usize) -> Result<CmArray, SessionError> {
-        Ok(CmArray::new(&mut self.machine, rows, cols)?)
+        Ok(CmArray::new(&mut self.machine_mut(), rows, cols)?)
     }
 
     /// Runs a compiled stencil with default options (cycle-accurate).
@@ -303,9 +619,11 @@ impl Session {
     /// Runs a compiled multi-source stencil with explicit options.
     ///
     /// This is the cache-aware core every other `run*` method funnels
-    /// into: a hit rebinds the cached [`ExecutionPlan`] to the given
-    /// arrays and executes it (no allocation, no schedule rebuild); a
-    /// miss builds the plan, caches it, and executes.
+    /// into: the shared artifact is looked up (or built, exactly once
+    /// across all handles) in the sharded cache, this handle's instance
+    /// over it is rebound to the given arrays, and the instance executes
+    /// under the machine write lock (no allocation, no schedule rebuild
+    /// on the steady path).
     ///
     /// # Errors
     ///
@@ -326,113 +644,263 @@ impl Session {
             cols: result.cols(),
             opts: *opts,
         };
-        self.tick += 1;
+        let shared = Arc::clone(&self.shared);
         let before = cmcc_obs::snapshot();
         self.last_key = Some(key);
-        if let Some(entry) = self.plans.iter_mut().find(|e| e.key == key) {
-            entry.last_used = self.tick;
-            entry.plan.rebind(result, sources, coeffs)?;
-            self.stats.hits += 1;
-            cmcc_obs::add(cmcc_obs::Counter::PlanCacheHits, 1);
-            let measurement = entry.plan.execute(&mut self.machine)?;
-            self.last_report = cmcc_obs::snapshot().delta(&before);
-            return Ok(measurement);
-        }
 
-        self.stats.misses += 1;
-        cmcc_obs::add(cmcc_obs::Counter::PlanCacheMisses, 1);
-        let mut plan =
-            ExecutionPlan::build(&mut self.machine, &binding, opts, PlanLifetime::Persistent)?;
-        let measurement = plan.execute(&mut self.machine)?;
-        self.last_report = cmcc_obs::snapshot().delta(&before);
-        if self.plan_capacity == 0 {
-            plan.release(&mut self.machine);
+        if shared.cache.capacity.load(Ordering::Relaxed) == 0 {
+            // Caching disabled: build, run, and free in one breath.
+            shared.cache.misses.fetch_add(1, Ordering::Relaxed);
+            cmcc_obs::add(cmcc_obs::Counter::PlanCacheMisses, 1);
+            let measurement = {
+                let mut machine = shared.machine_write();
+                let mut plan =
+                    ExecutionPlan::build(&mut machine, &binding, opts, PlanLifetime::Persistent)?;
+                let measurement = plan.execute(&mut machine)?;
+                plan.release(&mut machine);
+                measurement
+            };
+            self.last_report = cmcc_obs::snapshot().delta(&before);
             self.last_key = None;
             return Ok(measurement);
         }
-        if self.plans.len() >= self.plan_capacity {
-            // Evict the least-recently-used plan and return its node
-            // memory to the persistent arena.
-            if let Some(lru) = self
+
+        let cp = shared.lookup_or_build(&binding, key, opts)?;
+
+        // This handle's instance over the artifact: reuse it when it
+        // still tracks the cached artifact, replace it when the cache
+        // entry was evicted and rebuilt behind our back.
+        self.local_tick += 1;
+        let existing = self.plans.iter().position(|e| e.key == key);
+        let idx = match existing {
+            Some(i) if Arc::ptr_eq(self.plans[i].plan.shared(), &cp) => i,
+            other => {
+                if let Some(i) = other {
+                    let mut stale = self.plans.swap_remove(i);
+                    shared.mirrors.put(stale.plan.take_mirror());
+                }
+                let mut plan = ExecutionPlan::from_shared(&cp, &binding)?;
+                plan.install_mirror(shared.mirrors.take());
+                self.plans.push(LocalPlan {
+                    key,
+                    plan,
+                    last_used: 0,
+                });
+                self.plans.len() - 1
+            }
+        };
+        self.plans[idx].last_used = self.local_tick;
+        self.plans[idx].plan.rebind(result, sources, coeffs)?;
+        let measurement = {
+            let mut machine = shared.machine_write();
+            self.plans[idx].plan.execute(&mut machine)?
+        };
+        self.last_report = cmcc_obs::snapshot().delta(&before);
+
+        self.evict_over_capacity();
+        self.trim_local_instances();
+        shared.sweep_retired();
+        Ok(measurement)
+    }
+
+    /// Evicts global-LRU cache entries until the cache fits its
+    /// capacity. Entries mid-build (slot lock held by a builder) are
+    /// skipped — they are by definition the most recently wanted.
+    /// Evicted artifacts move to the retired list; their node memory is
+    /// reclaimed by the next sweep once the last instance drops.
+    fn evict_over_capacity(&mut self) {
+        let shared = Arc::clone(&self.shared);
+        let cache = &shared.cache;
+        let capacity = cache.capacity.load(Ordering::Relaxed);
+        let mut entries: Vec<(u64, usize, PlanKey)> = Vec::new();
+        for (si, shard) in cache.shards.iter().enumerate() {
+            let guard = shard.read().unwrap_or_else(|e| e.into_inner());
+            for e in guard.iter() {
+                entries.push((e.slot.last_used.load(Ordering::Relaxed), si, e.key));
+            }
+        }
+        if entries.len() <= capacity {
+            return;
+        }
+        entries.sort_unstable_by_key(|&(tick, _, _)| tick);
+        let mut to_evict = entries.len() - capacity;
+        for &(_, si, key) in entries.iter() {
+            if to_evict == 0 {
+                break;
+            }
+            let removed = {
+                let mut guard = cache.shards[si].write().unwrap_or_else(|e| e.into_inner());
+                match guard.iter().position(|e| e.key == key) {
+                    Some(pos) => {
+                        // Skip entries a builder currently holds.
+                        let ready = guard[pos]
+                            .slot
+                            .plan
+                            .try_lock()
+                            .map(|g| g.is_some())
+                            .unwrap_or(false);
+                        if ready {
+                            Some(guard.swap_remove(pos).slot)
+                        } else {
+                            None
+                        }
+                    }
+                    None => None,
+                }
+            };
+            if let Some(slot) = removed {
+                to_evict -= 1;
+                cache.evictions.fetch_add(1, Ordering::Relaxed);
+                cache.shard_evictions[si].fetch_add(1, Ordering::Relaxed);
+                cmcc_obs::add(cmcc_obs::Counter::PlanCacheEvictions, 1);
+                // Our own instance over the evicted artifact is dead
+                // weight now — retire it so the sweep can free the
+                // artifact as soon as every other handle's has gone.
+                self.drop_local_instance(&key);
+                if let Some(cp) = slot.plan.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                    cache.retire(cp);
+                }
+            }
+        }
+    }
+
+    fn drop_local_instance(&mut self, key: &PlanKey) {
+        if let Some(i) = self.plans.iter().position(|e| e.key == *key) {
+            let mut old = self.plans.swap_remove(i);
+            self.shared.mirrors.put(old.plan.take_mirror());
+        }
+    }
+
+    /// Bounds this handle's instance list by the cache capacity,
+    /// retiring least-recently-used instances (their mirrors recycle
+    /// through the pool).
+    fn trim_local_instances(&mut self) {
+        let cap = self.shared.cache.capacity.load(Ordering::Relaxed).max(1);
+        while self.plans.len() > cap {
+            let Some(i) = self
                 .plans
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(i, _)| i)
-            {
-                let evicted = self.plans.swap_remove(lru);
-                evicted.plan.release(&mut self.machine);
-                self.stats.evictions += 1;
-                cmcc_obs::add(cmcc_obs::Counter::PlanCacheEvictions, 1);
+            else {
+                break;
+            };
+            let mut old = self.plans.swap_remove(i);
+            self.shared.mirrors.put(old.plan.take_mirror());
+        }
+    }
+
+    /// Plan-cache hit/miss/eviction counters, capacity, per-shard
+    /// occupancy and evictions, and the in-flight shared-plan count.
+    /// Shared across handle clones (one cache, one set of numbers).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        let cache = &self.shared.cache;
+        let mut stats = PlanCacheStats {
+            hits: cache.hits.load(Ordering::Relaxed),
+            misses: cache.misses.load(Ordering::Relaxed),
+            evictions: cache.evictions.load(Ordering::Relaxed),
+            capacity: cache.capacity.load(Ordering::Relaxed),
+            ..PlanCacheStats::default()
+        };
+        for (i, shard) in cache.shards.iter().enumerate() {
+            stats.shard_evictions[i] = cache.shard_evictions[i].load(Ordering::Relaxed);
+            let guard = shard.read().unwrap_or_else(|e| e.into_inner());
+            stats.shard_occupancy[i] = guard.len();
+            for e in guard.iter() {
+                if let Ok(slot) = e.slot.plan.try_lock() {
+                    if let Some(cp) = slot.as_ref() {
+                        if Arc::strong_count(cp) > 1 {
+                            stats.shared_in_flight += 1;
+                        }
+                    }
+                }
             }
         }
-        self.plans.push(CachedPlan {
-            key,
-            plan,
-            last_used: self.tick,
-        });
-        Ok(measurement)
+        stats.shared_in_flight += self
+            .shared
+            .cache
+            .retired
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len();
+        stats
     }
 
-    /// Plan-cache hit/miss/eviction counters, plus the current capacity.
-    pub fn plan_cache_stats(&self) -> PlanCacheStats {
-        PlanCacheStats {
-            capacity: self.plan_capacity,
-            ..self.stats
-        }
-    }
-
-    /// Telemetry recorded by the most recent `run*` call: the global
-    /// [`cmcc_obs`] counter and span deltas bracketing that call. Empty
-    /// when profiling was disabled (the counters never moved) or before
-    /// the first run.
+    /// Telemetry recorded by the most recent `run*` call on *this
+    /// handle*: the global [`cmcc_obs`] counter and span deltas
+    /// bracketing that call. Empty when profiling was disabled (the
+    /// counters never moved) or before the first run. Under concurrent
+    /// tenants the bracket can include other threads' work — per-tenant
+    /// attribution uses [`cmcc_obs::thread_snapshot`] instead.
     pub fn last_report(&self) -> cmcc_obs::RunReport {
         self.last_report
     }
 
-    /// The cached [`ExecutionPlan`] the most recent `run*` call used,
-    /// when it is still in the cache — for inspecting analytic plan
+    /// The plan instance the most recent `run*` call on this handle
+    /// used, when it is still held — for inspecting analytic plan
     /// properties like [`ExecutionPlan::steady_state_copy_words`].
     pub fn last_plan(&self) -> Option<&ExecutionPlan> {
         let key = self.last_key?;
         self.plans.iter().find(|e| e.key == key).map(|e| &e.plan)
     }
 
-    /// Number of plans currently cached.
+    /// Number of plans currently cached, across all shards.
     pub fn cached_plans(&self) -> usize {
-        self.plans.len()
+        self.shared
+            .cache
+            .shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
     }
 
-    /// Changes how many plans the session keeps (evicting immediately if
-    /// the new bound is smaller). A capacity of zero disables caching for
-    /// subsequent runs.
+    /// Changes how many plans the cache keeps globally (evicting
+    /// immediately if the new bound is smaller — eviction accounting,
+    /// including the per-shard counters, reflects the shrink). A
+    /// capacity of zero disables caching for subsequent runs. Shared
+    /// across handle clones.
     pub fn set_plan_cache_capacity(&mut self, capacity: usize) {
-        self.plan_capacity = capacity;
-        while self.plans.len() > capacity {
-            if let Some(lru) = self
-                .plans
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(i, _)| i)
-            {
-                let evicted = self.plans.swap_remove(lru);
-                evicted.plan.release(&mut self.machine);
-                self.stats.evictions += 1;
-                cmcc_obs::add(cmcc_obs::Counter::PlanCacheEvictions, 1);
+        self.shared
+            .cache
+            .capacity
+            .store(capacity, Ordering::Relaxed);
+        self.evict_over_capacity();
+        self.trim_local_instances();
+        self.shared.sweep_retired();
+    }
+
+    /// Drops every cached plan and frees its node memory (for artifacts
+    /// other handles still execute, the memory follows when their last
+    /// instance retires). Call after anything a plan could have captured
+    /// changes out from under the cache — there is nothing of that kind
+    /// today (machine configuration is fixed per session, and shape or
+    /// option changes key new plans), but explicit invalidation keeps
+    /// the escape hatch cheap.
+    pub fn clear_plan_cache(&mut self) {
+        for mut entry in self.plans.drain(..) {
+            self.shared.mirrors.put(entry.plan.take_mirror());
+        }
+        self.last_key = None;
+        let cache = &self.shared.cache;
+        for shard in &cache.shards {
+            let drained: Vec<CacheEntry> = {
+                let mut guard = shard.write().unwrap_or_else(|e| e.into_inner());
+                guard.drain(..).collect()
+            };
+            for entry in drained {
+                if let Some(cp) = entry
+                    .slot
+                    .plan
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                {
+                    cache.retire(cp);
+                }
             }
         }
-    }
-
-    /// Drops every cached plan and frees its node memory. Call after
-    /// anything a plan could have captured changes out from under the
-    /// cache — there is nothing of that kind today (machine configuration
-    /// is fixed per session, and shape or option changes key new plans),
-    /// but explicit invalidation keeps the escape hatch cheap.
-    pub fn clear_plan_cache(&mut self) {
-        for entry in self.plans.drain(..) {
-            entry.plan.release(&mut self.machine);
-        }
+        self.shared.sweep_retired();
     }
 
     /// Runs with explicit options.
@@ -462,9 +930,9 @@ mod tests {
         let c = s.compile("R = 0.5 * X + 0.5 * CSHIFT(X, 2, 1)").unwrap();
         let x = s.array(4, 4).unwrap();
         let r = s.array(4, 4).unwrap();
-        x.fill(s.machine_mut(), 2.0);
+        x.fill(&mut s.machine_mut(), 2.0);
         let m = s.run(&c, &r, &x, &[]).unwrap();
-        assert_eq!(r.get(s.machine(), 1, 1), 2.0);
+        assert_eq!(r.get(&s.machine(), 1, 1), 2.0);
         assert!(m.cycles.total() > 0);
     }
 
@@ -474,5 +942,29 @@ mod tests {
         let err = s.compile("R = X - Y").unwrap_err();
         assert!(err.to_string().contains("subtraction") || err.to_string().contains("stencil"));
         assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn cloned_handles_share_cache_and_machine() {
+        let mut a = Session::tiny().unwrap();
+        let c = a.compile("R = 0.5 * X + 0.5 * CSHIFT(X, 2, 1)").unwrap();
+        let x = a.array(4, 4).unwrap();
+        let r = a.array(4, 4).unwrap();
+        x.fill(&mut a.machine_mut(), 3.0);
+        a.run(&c, &r, &x, &[]).unwrap();
+        assert_eq!(a.plan_cache_stats().misses, 1);
+
+        // The clone sees the artifact the original built: no new build.
+        let mut b = a.clone();
+        b.run(&c, &r, &x, &[]).unwrap();
+        let stats = b.plan_cache_stats();
+        assert_eq!(stats.misses, 1, "clone rebuilt a cached plan");
+        assert_eq!(stats.hits, 1);
+        assert_eq!(r.get(&b.machine(), 1, 1), 3.0);
+        assert!(stats.shared_in_flight >= 1);
+        assert_eq!(
+            stats.shard_occupancy.iter().sum::<usize>(),
+            a.cached_plans()
+        );
     }
 }

@@ -14,14 +14,14 @@ use cmcc::ExecOptions as Opts;
 fn run_and_verify(session: &mut Session, compiled: &CompiledStencil, opts: &Opts) -> Measurement {
     let (rows, cols) = (12usize, 16usize);
     let x = session.array(rows, cols).unwrap();
-    x.fill_with(session.machine_mut(), |r, c| {
+    x.fill_with(&mut session.machine_mut(), |r, c| {
         ((r * 29 + c * 13) % 19) as f32 * 0.21 - 1.7
     });
     let mut arrays = Vec::new();
     for (i, c) in compiled.spec().coeffs.iter().enumerate() {
         if matches!(c, CoeffSpec::Named(_)) {
             let a = session.array(rows, cols).unwrap();
-            a.fill_with(session.machine_mut(), move |r, c| {
+            a.fill_with(&mut session.machine_mut(), move |r, c| {
                 ((r * 5 + c * 3 + i * 7) % 9) as f32 * 0.4 - 1.1
             });
             arrays.push(a);
@@ -31,8 +31,11 @@ fn run_and_verify(session: &mut Session, compiled: &CompiledStencil, opts: &Opts
     let refs: Vec<&CmArray> = arrays.iter().collect();
     let measurement = session.run_with(compiled, &r, &x, &refs, opts).unwrap();
 
-    let x_host = x.gather(session.machine());
-    let hosts: Vec<Vec<f32>> = arrays.iter().map(|a| a.gather(session.machine())).collect();
+    let x_host = x.gather(&session.machine());
+    let hosts: Vec<Vec<f32>> = arrays
+        .iter()
+        .map(|a| a.gather(&session.machine()))
+        .collect();
     let mut it = hosts.iter();
     let values: Vec<CoeffValue<'_>> = compiled
         .spec()
@@ -44,7 +47,7 @@ fn run_and_verify(session: &mut Session, compiled: &CompiledStencil, opts: &Opts
         })
         .collect();
     let want = reference_convolve(compiled.stencil(), rows, cols, &x_host, &values);
-    let got = r.gather(session.machine());
+    let got = r.gather(&session.machine());
     for (i, (g, w)) in got.iter().zip(&want).enumerate() {
         assert_eq!(
             g.to_bits(),
@@ -131,14 +134,14 @@ fn three_front_ends_agree() {
     {
         let mut session = Session::tiny().unwrap();
         let x = session.array(8, 8).unwrap();
-        x.fill_with(session.machine_mut(), |r, c| (r * 8 + c) as f32 * 0.3);
+        x.fill_with(&mut session.machine_mut(), |r, c| (r * 8 + c) as f32 * 0.3);
         let c1 = session.array(8, 8).unwrap();
-        c1.fill(session.machine_mut(), 0.7);
+        c1.fill(&mut session.machine_mut(), 0.7);
         let c2 = session.array(8, 8).unwrap();
-        c2.fill(session.machine_mut(), -0.4);
+        c2.fill(&mut session.machine_mut(), -0.4);
         let r = session.array(8, 8).unwrap();
         session.run(&compiled, &r, &x, &[&c1, &c2]).unwrap();
-        outputs.push((i, r.gather(session.machine())));
+        outputs.push((i, r.gather(&session.machine())));
     }
     assert_eq!(outputs[0].1, outputs[1].1);
     assert_eq!(outputs[1].1, outputs[2].1);
@@ -171,11 +174,13 @@ fn every_option_combination_is_functionally_identical() {
                             };
                             let (rows, cols) = (8usize, 8usize);
                             let x = session.array(rows, cols).unwrap();
-                            x.fill_with(session.machine_mut(), |r, c| ((r * 3 + c) % 7) as f32);
+                            x.fill_with(&mut session.machine_mut(), |r, c| {
+                                ((r * 3 + c) % 7) as f32
+                            });
                             let coeffs: Vec<CmArray> = (0..9)
                                 .map(|i| {
                                     let a = session.array(rows, cols).unwrap();
-                                    a.fill(session.machine_mut(), (i as f32 - 4.0) * 0.1);
+                                    a.fill(&mut session.machine_mut(), (i as f32 - 4.0) * 0.1);
                                     a
                                 })
                                 .collect();
@@ -183,7 +188,7 @@ fn every_option_combination_is_functionally_identical() {
                             let r = session.array(rows, cols).unwrap();
                             session.run_with(&compiled, &r, &x, &refs, &opts).unwrap();
                             let bits: Vec<u32> = r
-                                .gather(session.machine())
+                                .gather(&session.machine())
                                 .iter()
                                 .map(|v| v.to_bits())
                                 .collect();
@@ -212,8 +217,10 @@ fn iterated_application_stays_exact() {
     let (rows, cols) = (8usize, 12usize);
     let x = session.array(rows, cols).unwrap();
     let r = session.array(rows, cols).unwrap();
-    x.fill_with(session.machine_mut(), |i, j| ((i * j) % 13) as f32 - 6.0);
-    let mut host = x.gather(session.machine());
+    x.fill_with(&mut session.machine_mut(), |i, j| {
+        ((i * j) % 13) as f32 - 6.0
+    });
+    let mut host = x.gather(&session.machine());
 
     let mut cur = x;
     let mut next = r;
@@ -230,7 +237,7 @@ fn iterated_application_stays_exact() {
             &[CoeffValue::Literal(0.2), CoeffValue::Literal(0.55)],
         );
     }
-    let got = cur.gather(session.machine());
+    let got = cur.gather(&session.machine());
     for (g, w) in got.iter().zip(&host) {
         assert_eq!(g.to_bits(), w.to_bits());
     }
@@ -243,19 +250,21 @@ fn eoshift_and_cshift_differ_only_at_global_edges() {
     let zerofill = session.compile("R = 1.0 * EOSHIFT(X, 1, -1)").unwrap();
     let (rows, cols) = (8usize, 8usize);
     let x = session.array(rows, cols).unwrap();
-    x.fill_with(session.machine_mut(), |r, c| (r * cols + c) as f32 + 1.0);
+    x.fill_with(&mut session.machine_mut(), |r, c| {
+        (r * cols + c) as f32 + 1.0
+    });
     let rc = session.array(rows, cols).unwrap();
     let rz = session.array(rows, cols).unwrap();
     session.run(&circular, &rc, &x, &[]).unwrap();
     session.run(&zerofill, &rz, &x, &[]).unwrap();
-    let hc = rc.gather(session.machine());
-    let hz = rz.gather(session.machine());
+    let hc = rc.gather(&session.machine());
+    let hz = rz.gather(&session.machine());
     for r in 0..rows {
         for c in 0..cols {
             let i = r * cols + c;
             if r == 0 {
                 assert_eq!(hz[i], 0.0, "zero-fill at the top edge");
-                assert_eq!(hc[i], x.get(session.machine(), rows - 1, c), "wraparound");
+                assert_eq!(hc[i], x.get(&session.machine(), rows - 1, c), "wraparound");
             } else {
                 assert_eq!(hc[i].to_bits(), hz[i].to_bits(), "interior agrees");
             }
@@ -271,11 +280,11 @@ fn awkward_shapes_run_correctly() {
     let compiled = session.compile(&PaperPattern::Cross5.fortran()).unwrap();
     for (rows, cols) in [(2usize, 42usize), (6, 26), (14, 10), (2, 2)] {
         let x = session.array(rows, cols).unwrap();
-        x.fill_with(session.machine_mut(), |r, c| ((r + 2 * c) % 5) as f32);
+        x.fill_with(&mut session.machine_mut(), |r, c| ((r + 2 * c) % 5) as f32);
         let coeffs: Vec<CmArray> = (0..5)
             .map(|i| {
                 let a = session.array(rows, cols).unwrap();
-                a.fill(session.machine_mut(), 0.2 * (i + 1) as f32);
+                a.fill(&mut session.machine_mut(), 0.2 * (i + 1) as f32);
                 a
             })
             .collect();
@@ -283,11 +292,14 @@ fn awkward_shapes_run_correctly() {
         let r = session.array(rows, cols).unwrap();
         session.run(&compiled, &r, &x, &refs).unwrap();
 
-        let x_host = x.gather(session.machine());
-        let hosts: Vec<Vec<f32>> = coeffs.iter().map(|a| a.gather(session.machine())).collect();
+        let x_host = x.gather(&session.machine());
+        let hosts: Vec<Vec<f32>> = coeffs
+            .iter()
+            .map(|a| a.gather(&session.machine()))
+            .collect();
         let values: Vec<CoeffValue<'_>> = hosts.iter().map(|h| CoeffValue::Array(h)).collect();
         let want = reference_convolve(compiled.stencil(), rows, cols, &x_host, &values);
-        let got = r.gather(session.machine());
+        let got = r.gather(&session.machine());
         for (g, w) in got.iter().zip(&want) {
             assert_eq!(g.to_bits(), w.to_bits(), "{rows}x{cols}");
         }

@@ -58,16 +58,16 @@ fn fused_execution_matches_reference_bit_for_bit() {
 
     let p = session.array(rows, cols).unwrap();
     let p2 = session.array(rows, cols).unwrap();
-    p.fill_with(session.machine_mut(), |r, c| {
+    p.fill_with(&mut session.machine_mut(), |r, c| {
         ((r * 31 + c * 7) % 17) as f32 * 0.3 - 2.0
     });
-    p2.fill_with(session.machine_mut(), |r, c| {
+    p2.fill_with(&mut session.machine_mut(), |r, c| {
         ((r * 5 + c * 11) % 13) as f32 * 0.25 - 1.5
     });
     let coeffs: Vec<CmArray> = (0..10)
         .map(|i| {
             let a = session.array(rows, cols).unwrap();
-            a.fill_with(session.machine_mut(), move |r, c| {
+            a.fill_with(&mut session.machine_mut(), move |r, c| {
                 ((r + 2 * c + 3 * i) % 7) as f32 * 0.2 - 0.6
             });
             a
@@ -80,9 +80,12 @@ fn fused_execution_matches_reference_bit_for_bit() {
         .run_multi(&compiled, &r, &[&p, &p2], &coeff_refs)
         .unwrap();
 
-    let p_host = p.gather(session.machine());
-    let p2_host = p2.gather(session.machine());
-    let coeff_host: Vec<Vec<f32>> = coeffs.iter().map(|a| a.gather(session.machine())).collect();
+    let p_host = p.gather(&session.machine());
+    let p2_host = p2.gather(&session.machine());
+    let coeff_host: Vec<Vec<f32>> = coeffs
+        .iter()
+        .map(|a| a.gather(&session.machine()))
+        .collect();
     let values: Vec<CoeffValue<'_>> = coeff_host.iter().map(|h| CoeffValue::Array(h)).collect();
     let want = reference_convolve_multi(
         compiled.stencil(),
@@ -91,7 +94,7 @@ fn fused_execution_matches_reference_bit_for_bit() {
         &[&p_host, &p2_host],
         &values,
     );
-    let got = r.gather(session.machine());
+    let got = r.gather(&session.machine());
     for (i, (g, w)) in got.iter().zip(&want).enumerate() {
         assert_eq!(
             g.to_bits(),
@@ -126,16 +129,16 @@ fn three_sources_with_mixed_coefficients() {
     let arrays: Vec<CmArray> = (0..3)
         .map(|i| {
             let a = session.array(rows, cols).unwrap();
-            a.fill_with(session.machine_mut(), move |r, c| {
+            a.fill_with(&mut session.machine_mut(), move |r, c| {
                 (r * 8 + c + i * 100) as f32 * 0.01
             });
             a
         })
         .collect();
     let k = session.array(rows, cols).unwrap();
-    k.fill(session.machine_mut(), -0.75);
+    k.fill(&mut session.machine_mut(), -0.75);
     let bias = session.array(rows, cols).unwrap();
-    bias.fill(session.machine_mut(), 10.0);
+    bias.fill(&mut session.machine_mut(), 10.0);
     let out = session.array(rows, cols).unwrap();
 
     let sources: Vec<&CmArray> = arrays.iter().collect();
@@ -143,10 +146,13 @@ fn three_sources_with_mixed_coefficients() {
         .run_multi(&compiled, &out, &sources, &[&k, &bias])
         .unwrap();
 
-    let hosts: Vec<Vec<f32>> = arrays.iter().map(|a| a.gather(session.machine())).collect();
+    let hosts: Vec<Vec<f32>> = arrays
+        .iter()
+        .map(|a| a.gather(&session.machine()))
+        .collect();
     let host_refs: Vec<&[f32]> = hosts.iter().map(Vec::as_slice).collect();
-    let k_host = k.gather(session.machine());
-    let bias_host = bias.gather(session.machine());
+    let k_host = k.gather(&session.machine());
+    let bias_host = bias.gather(&session.machine());
     // Coefficient list order: literals 0.5, 0.25 interleave with names
     // K, BIAS per first appearance.
     let values: Vec<CoeffValue<'_>> = spec
@@ -159,7 +165,7 @@ fn three_sources_with_mixed_coefficients() {
         })
         .collect();
     let want = reference_convolve_multi(compiled.stencil(), rows, cols, &host_refs, &values);
-    let got = out.gather(session.machine());
+    let got = out.gather(&session.machine());
     for (g, w) in got.iter().zip(&want) {
         assert_eq!(g.to_bits(), w.to_bits());
     }
@@ -215,7 +221,7 @@ fn fused_kernel_beats_separate_passes_in_cycles() {
     let fused_m = session.run_multi(&fused, &r, &[&p, &p2], &refs10).unwrap();
     let star_m = session.run(&star, &r, &p, &refs9).unwrap();
     let tenth =
-        cmcc::baseline::elementwise_multiply_add(session.machine_mut(), &r, &coeffs[9], &p2)
+        cmcc::baseline::elementwise_multiply_add(&mut session.machine_mut(), &r, &coeffs[9], &p2)
             .unwrap();
     let separate = star_m.combine(&tenth);
 

@@ -31,7 +31,9 @@ fn run_five_point(opts: &ExecOptions) -> obs::RunReport {
     let c = s.compile(&PaperPattern::Cross5.fortran()).unwrap();
     let x = s.array(8, 8).unwrap();
     let r = s.array(8, 8).unwrap();
-    x.fill_with(s.machine_mut(), |row, col| ((row * 5 + col) % 7) as f32);
+    x.fill_with(&mut s.machine_mut(), |row, col| {
+        ((row * 5 + col) % 7) as f32
+    });
     let named = c
         .spec()
         .coeffs
@@ -40,7 +42,7 @@ fn run_five_point(opts: &ExecOptions) -> obs::RunReport {
         .count();
     let coeffs: Vec<CmArray> = (0..named).map(|_| s.array(8, 8).unwrap()).collect();
     for (i, a) in coeffs.iter().enumerate() {
-        a.fill(s.machine_mut(), 0.125 * (i + 1) as f32);
+        a.fill(&mut s.machine_mut(), 0.125 * (i + 1) as f32);
     }
     let refs: Vec<&CmArray> = coeffs.iter().collect();
     // Three runs: build, then two rebound replays, so the report below
@@ -123,7 +125,7 @@ fn rebind_preserves_counter_continuity() {
     let c = s.compile("R = 0.25 * CSHIFT(X, 1, -1) + 0.75 * X").unwrap();
     let x = s.array(8, 8).unwrap();
     let r = s.array(8, 8).unwrap();
-    x.fill(s.machine_mut(), 2.0);
+    x.fill(&mut s.machine_mut(), 2.0);
 
     s.run(&c, &r, &x, &[]).unwrap();
     let first = s.last_report();

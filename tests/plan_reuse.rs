@@ -241,7 +241,7 @@ fn session_cache_hits_and_shape_changes_miss() {
     let c = s.compile("R = 0.25 * CSHIFT(X, 1, -1) + 0.75 * X").unwrap();
     let x8 = s.array(8, 8).unwrap();
     let r8 = s.array(8, 8).unwrap();
-    x8.fill(s.machine_mut(), 2.0);
+    x8.fill(&mut s.machine_mut(), 2.0);
 
     let first = s.run(&c, &r8, &x8, &[]).unwrap();
     assert_eq!(s.plan_cache_stats().misses, 1);
@@ -251,12 +251,12 @@ fn session_cache_hits_and_shape_changes_miss() {
         assert_eq!(again, first, "cached run must match the first run");
     }
     assert_eq!(s.plan_cache_stats().hits, 4);
-    assert_eq!(r8.get(s.machine(), 3, 3), 2.0);
+    assert_eq!(r8.get(&s.machine(), 3, 3), 2.0);
 
     // New shape → new key → miss; old plan still cached.
     let x16 = s.array(16, 8).unwrap();
     let r16 = s.array(16, 8).unwrap();
-    x16.fill(s.machine_mut(), 2.0);
+    x16.fill(&mut s.machine_mut(), 2.0);
     s.run(&c, &r16, &x16, &[]).unwrap();
     assert_eq!(s.plan_cache_stats().misses, 2);
     assert_eq!(s.cached_plans(), 2);
@@ -286,12 +286,16 @@ fn eoshift_fill_value_change_misses_the_cache() {
 
     let x = s.array(8, 8).unwrap();
     let r = s.array(8, 8).unwrap();
-    x.fill(s.machine_mut(), 0.0);
+    x.fill(&mut s.machine_mut(), 0.0);
 
     s.run(&hot, &r, &x, &[]).unwrap();
-    assert_eq!(r.get(s.machine(), 0, 3), 50.0, "hot wall blends toward 100");
+    assert_eq!(
+        r.get(&s.machine(), 0, 3),
+        50.0,
+        "hot wall blends toward 100"
+    );
     s.run(&cold, &r, &x, &[]).unwrap();
-    assert_eq!(r.get(s.machine(), 0, 3), 0.0, "cold wall stays at zero");
+    assert_eq!(r.get(&s.machine(), 0, 3), 0.0, "cold wall stays at zero");
     assert_eq!(
         s.plan_cache_stats().misses,
         2,
@@ -301,7 +305,7 @@ fn eoshift_fill_value_change_misses_the_cache() {
     // Re-running the hot variant hits its still-cached plan and restores
     // the hot answer.
     s.run(&hot, &r, &x, &[]).unwrap();
-    assert_eq!(r.get(s.machine(), 0, 3), 50.0);
+    assert_eq!(r.get(&s.machine(), 0, 3), 50.0);
     assert_eq!(s.plan_cache_stats().hits, 1);
 }
 
@@ -317,15 +321,15 @@ fn sessions_have_independent_caches() {
 
     let (xt, rt) = (tiny.array(8, 8).unwrap(), tiny.array(8, 8).unwrap());
     let (xb, rb) = (board.array(8, 8).unwrap(), board.array(8, 8).unwrap());
-    xt.fill(tiny.machine_mut(), 3.0);
-    xb.fill(board.machine_mut(), 3.0);
+    xt.fill(&mut tiny.machine_mut(), 3.0);
+    xb.fill(&mut board.machine_mut(), 3.0);
 
     tiny.run(&ct, &rt, &xt, &[]).unwrap();
     board.run(&cb, &rb, &xb, &[]).unwrap();
     assert_eq!(tiny.plan_cache_stats().misses, 1);
     assert_eq!(board.plan_cache_stats().misses, 1);
-    assert_eq!(rt.get(tiny.machine(), 1, 1), 3.0);
-    assert_eq!(rb.get(board.machine(), 1, 1), 3.0);
+    assert_eq!(rt.get(&tiny.machine(), 1, 1), 3.0);
+    assert_eq!(rb.get(&board.machine(), 1, 1), 3.0);
 
     tiny.clear_plan_cache();
     assert_eq!(tiny.cached_plans(), 0);
