@@ -2,8 +2,8 @@
 """Validate the stability of the `cmcc --profile=json` schema.
 
 Reads driver output on stdin, finds the single-line JSON profile object
-(the line opening with ``{"schema":"cmcc-profile-v2"``), and checks every
-documented key of the cmcc-profile-v2 schema (DESIGN.md §13) is present
+(the line opening with ``{"schema":"cmcc-profile-v3"``), and checks every
+documented key of the cmcc-profile-v3 schema (DESIGN.md §13) is present
 with a sane type. Exits non-zero with a diagnostic on any missing or
 mistyped field, so CI fails when the schema drifts without a version
 bump.
@@ -18,17 +18,24 @@ With ``--bench-parallel FILE`` it instead validates the schema of the
 ``oversubscribed`` flag that marks single-core curves as non-scaling
 measurements.
 
+With ``--bench-temporal FILE`` it instead validates the schema of the
+``repro_temporal`` bench output (``BENCH_temporal.json``) and re-checks
+its recorded correctness gates: every depth bit-identical to the
+iterated scalar oracle, halo exchanges reduced by exactly the fused
+depth, and observed copy words equal to the analytic prediction.
+
 Usage:
     cmcc --run --iters 3 --profile=json five.f90 | python3 ci/check_profile_schema.py
     cmcc --serve --profile=json - < batch.txt | python3 ci/check_profile_schema.py --serve
     python3 ci/check_profile_schema.py --bench-parallel BENCH_parallel.json
+    python3 ci/check_profile_schema.py --bench-temporal BENCH_temporal.json
 """
 
 import json
 import numbers
 import sys
 
-SCHEMA = "cmcc-profile-v2"
+SCHEMA = "cmcc-profile-v3"
 SERVE_SCHEMA = "cmcc-serve-v1"
 
 # (dotted path, expected type) for every key the schema promises.
@@ -48,8 +55,11 @@ EXPECTED = [
     ("derived.effective_gflops", numbers.Real),
     ("derived.model_fraction", numbers.Real),
     ("derived.wall_gflops", numbers.Real),
+    ("derived.cpu_gflops", numbers.Real),
+    ("derived.temporal_depth", numbers.Integral),
     ("derived.bytes_per_iter_observed", numbers.Real),
     ("derived.bytes_per_iter_predicted", numbers.Real),
+    ("derived.bytes_per_step_amortized", numbers.Real),
     ("plan_cache.hits", numbers.Integral),
     ("plan_cache.misses", numbers.Integral),
     ("plan_cache.evictions", numbers.Integral),
@@ -84,6 +94,11 @@ EXPECTED = [
     ("report.strips.width1", numbers.Integral),
     ("report.exec.execute_ns", numbers.Integral),
     ("report.exec.executes", numbers.Integral),
+    ("report.exec.execute_workers_ns", numbers.Integral),
+    ("report.exec.execute_workers_calls", numbers.Integral),
+    ("report.exec.halo_exchanges", numbers.Integral),
+    ("report.exec.fused_steps", numbers.Integral),
+    ("report.exec.temporal_fallbacks", numbers.Integral),
     ("report.exec.scalar_runs", numbers.Integral),
     ("report.exec.lockstep_runs", numbers.Integral),
     ("report.exec.lane_resident_runs", numbers.Integral),
@@ -150,6 +165,77 @@ def check_bench_parallel(path):
     if errors:
         sys.exit("\n".join(errors))
     print("ok: %s matches the repro_parallel bench schema" % path)
+
+
+# (dotted path, expected type) for every key BENCH_temporal.json promises.
+BENCH_TEMPORAL_EXPECTED = [
+    ("workload", str),
+    ("global_grid", list),
+    ("subgrid", list),
+    ("threads", numbers.Integral),
+    ("steps", numbers.Integral),
+    ("interleave_rounds", numbers.Integral),
+    ("scalar_secs", numbers.Real),
+    ("depths", list),
+    ("speedup_at_depth_4", numbers.Real),
+    ("bit_identical", bool),
+    ("copy_model_exact", bool),
+    ("exchange_reduction_exact", bool),
+]
+
+# (dotted path, expected type) for each element of ``depths``.
+BENCH_TEMPORAL_DEPTH_EXPECTED = [
+    ("depth", numbers.Integral),
+    ("min_cycle_us", numbers.Real),
+    ("speedup", numbers.Real),
+    ("loop_secs", numbers.Real),
+    ("timed_steps", numbers.Integral),
+    ("halo_exchanges", numbers.Integral),
+    ("copy_words_observed", numbers.Integral),
+    ("copy_words_predicted", numbers.Integral),
+    ("bit_identical", bool),
+]
+
+
+def check_bench_temporal(path):
+    with open(path) as f:
+        bench = json.load(f)
+    errors = []
+    for key, kind in BENCH_TEMPORAL_EXPECTED:
+        value, found = lookup(bench, key)
+        if not found:
+            errors.append("%s: missing key %s" % (path, key))
+        elif kind is not bool and isinstance(value, bool):
+            errors.append("%s: %s is a bool, expected %s" % (path, key, kind))
+        elif not isinstance(value, kind):
+            errors.append(
+                "%s: %s has type %s, expected %s"
+                % (path, key, type(value).__name__, kind)
+            )
+    for i, point in enumerate(bench.get("depths", [])):
+        for key, kind in BENCH_TEMPORAL_DEPTH_EXPECTED:
+            value, found = lookup(point, key)
+            if not found:
+                errors.append("%s: depths[%d].%s missing" % (path, i, key))
+            elif (kind is bool) != isinstance(value, bool) or not isinstance(
+                value, kind
+            ):
+                errors.append("%s: depths[%d].%s mistyped" % (path, i, key))
+        if point.get("copy_words_observed") != point.get("copy_words_predicted"):
+            errors.append(
+                "%s: depths[%d] observed copy words diverge from the model" % (path, i)
+            )
+    # The bench asserts these before writing the file; re-check so a
+    # stale or hand-edited artifact cannot pass CI.
+    for gate in ("bit_identical", "copy_model_exact", "exchange_reduction_exact"):
+        if bench.get(gate) is not True:
+            errors.append("%s: correctness gate %s is not true" % (path, gate))
+    if errors:
+        sys.exit("\n".join(errors))
+    print(
+        "ok: %s matches the repro_temporal bench schema (%d depths, gates held)"
+        % (path, len(bench.get("depths", [])))
+    )
 
 
 # (dotted path, expected type) for the aggregate half of cmcc-serve-v1.
@@ -244,6 +330,11 @@ def main():
         if len(sys.argv) != 3:
             sys.exit("usage: check_profile_schema.py --bench-parallel FILE")
         check_bench_parallel(sys.argv[2])
+        return
+    if len(sys.argv) >= 2 and sys.argv[1] == "--bench-temporal":
+        if len(sys.argv) != 3:
+            sys.exit("usage: check_profile_schema.py --bench-temporal FILE")
+        check_bench_temporal(sys.argv[2])
         return
 
     profiles = []

@@ -793,6 +793,32 @@ impl ResolvedStrip {
             pattern.iter_mut().for_each(&shift);
         }
     }
+
+    /// Retags result and/or coefficient slots as [`ResolvedSlot::Fixed`],
+    /// pinning those addresses across [`ResolvedStrip::rebase`].
+    ///
+    /// Temporal tiling uses this for strips that target plan-owned
+    /// buffers rather than the caller's arrays: intermediate fused steps
+    /// write lane-private scratch (freeze the result), and every fused
+    /// step reads named coefficients through plan-owned halo pages
+    /// (freeze the coefficients) — neither address may move when the
+    /// plan is rebound.
+    pub fn freeze_slots(&mut self, freeze_result: bool, freeze_coeffs: bool) {
+        let freeze = |part: &mut ResolvedPart| {
+            let hit = match part.slot {
+                ResolvedSlot::Result => freeze_result,
+                ResolvedSlot::Coeff(_) => freeze_coeffs,
+                ResolvedSlot::Fixed => false,
+            };
+            if hit {
+                part.slot = ResolvedSlot::Fixed;
+            }
+        };
+        self.prologue.iter_mut().for_each(&freeze);
+        for pattern in &mut self.body {
+            pattern.iter_mut().for_each(&freeze);
+        }
+    }
 }
 
 /// Executes a pre-resolved half-strip against one node's memory.

@@ -897,6 +897,7 @@ pub fn run_lockstep_groups_kernelized(
         total
     };
     let per_group: Vec<StripRun> = if groups.len() == 1 {
+        let _cpu = cmcc_obs::span(cmcc_obs::Phase::ExecuteWorkers);
         vec![run_group(0, &mut groups[0])]
     } else {
         let run_group = &run_group;
@@ -904,7 +905,12 @@ pub fn run_lockstep_groups_kernelized(
             let handles: Vec<_> = groups
                 .iter_mut()
                 .enumerate()
-                .map(|(g, group)| scope.spawn(move || run_group(g, group)))
+                .map(|(g, group)| {
+                    scope.spawn(move || {
+                        let _cpu = cmcc_obs::span(cmcc_obs::Phase::ExecuteWorkers);
+                        run_group(g, group)
+                    })
+                })
                 .collect();
             handles
                 .into_iter()

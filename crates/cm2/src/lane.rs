@@ -36,6 +36,11 @@ pub struct LaneRange {
     /// Whether kernels may store into the range (only writable ranges
     /// are scattered back to node memory after a lockstep run).
     pub writable: bool,
+    /// Whether the range is lane-private scratch: kernels may store into
+    /// it (when also `writable`), but it has no node-memory image — it is
+    /// skipped by both gather and scatter. Temporal tiling parks the
+    /// intermediate fused-step states here.
+    pub private: bool,
 }
 
 impl LaneRange {
@@ -66,9 +71,24 @@ impl LaneView {
     /// caller bound one array to two roles; the scalar engine handles
     /// that aliasing, the lane mirror cannot) or when a range is empty.
     pub fn new(ranges: &[(usize, usize, bool)]) -> Option<LaneView> {
+        let with_private: Vec<(usize, usize, bool, bool)> = ranges
+            .iter()
+            .map(|&(base, len, writable)| (base, len, writable, false))
+            .collect();
+        Self::new_with_private(&with_private)
+    }
+
+    /// [`LaneView::new`] over `(node_base, len, writable, private)`
+    /// ranges. Private ranges reserve lane words like any other but are
+    /// excluded from gather and scatter — lane-resident scratch with no
+    /// node-memory image. Their `node_base` must still be a real,
+    /// non-overlapping node allocation so `locate` stays unambiguous
+    /// (temporal plans back scratch with persistent node fields, which
+    /// the node-domain fallback path then uses directly).
+    pub fn new_with_private(ranges: &[(usize, usize, bool, bool)]) -> Option<LaneView> {
         let mut out = Vec::with_capacity(ranges.len());
         let mut lane_base = 0;
-        for &(node_base, len, writable) in ranges {
+        for &(node_base, len, writable, private) in ranges {
             if len == 0 {
                 return None;
             }
@@ -77,6 +97,7 @@ impl LaneView {
                 lane_base,
                 len,
                 writable,
+                private,
             });
             lane_base += len;
         }
@@ -97,6 +118,26 @@ impl LaneView {
     /// Total lane words the view mirrors.
     pub fn words(&self) -> usize {
         self.words
+    }
+
+    /// Lane words a full [`LaneMemory::gather`] copies per node (every
+    /// non-private range).
+    pub fn gather_words(&self) -> usize {
+        self.ranges
+            .iter()
+            .filter(|r| !r.private)
+            .map(|r| r.len)
+            .sum()
+    }
+
+    /// Lane words a [`LaneMemory::scatter`] copies back per node
+    /// (writable, non-private ranges).
+    pub fn scatter_words(&self) -> usize {
+        self.ranges
+            .iter()
+            .filter(|r| r.writable && !r.private)
+            .map(|r| r.len)
+            .sum()
     }
 
     /// The mirrored ranges, in insertion order.
@@ -307,8 +348,9 @@ impl LaneMemory {
         self.data.copy_within(s..s + count, d);
     }
 
-    /// Copies every viewed range from `mems` (one per lane, in order)
-    /// into the mirror.
+    /// Copies every non-private viewed range from `mems` (one per lane,
+    /// in order) into the mirror. Private ranges are lane-resident
+    /// scratch with no node image — their contents are left as-is.
     ///
     /// # Panics
     ///
@@ -317,7 +359,7 @@ impl LaneMemory {
     pub fn gather(&mut self, view: &LaneView, mems: &[NodeMemory]) {
         assert_eq!(mems.len(), self.nodes, "one node memory per lane");
         let nodes = self.nodes;
-        for range in view.ranges() {
+        for range in view.ranges().iter().filter(|r| !r.private) {
             // Word-outer, lane-inner: the mirror is written sequentially
             // and each node memory is read as its own sequential stream —
             // both directions the prefetcher likes. The transposed order
@@ -366,8 +408,8 @@ impl LaneMemory {
         }
     }
 
-    /// Copies every *writable* viewed range from the mirror back into
-    /// `mems`.
+    /// Copies every *writable*, non-private viewed range from the mirror
+    /// back into `mems`.
     ///
     /// # Panics
     ///
@@ -376,7 +418,7 @@ impl LaneMemory {
     pub fn scatter(&self, view: &LaneView, mems: &mut [NodeMemory]) {
         assert_eq!(mems.len(), self.nodes, "one node memory per lane");
         let nodes = self.nodes;
-        for range in view.ranges().iter().filter(|r| r.writable) {
+        for range in view.ranges().iter().filter(|r| r.writable && !r.private) {
             // The mirror is read sequentially; each node memory is
             // written as its own sequential stream (see `gather`).
             let mut dsts: Vec<&mut [f32]> = mems
@@ -418,6 +460,12 @@ pub struct LaneMirror {
     scattered_words: u64,
     lane_copied_words: u64,
 }
+
+/// Machine-total words below which mirror copies stay on the calling
+/// thread: spawn/join overhead beats the memory bandwidth win for small
+/// transfers, and every group already runs serially when the mirror has
+/// a single group.
+const PAR_COPY_THRESHOLD: usize = 1 << 15;
 
 impl LaneMirror {
     /// An empty mirror; shape it with [`LaneMirror::ensure`].
@@ -511,46 +559,84 @@ impl LaneMirror {
         (node / self.chunk, node % self.chunk)
     }
 
-    /// Copies every viewed range of every node into the mirror.
+    /// Runs `op(group, its node slice)` for every group — on the calling
+    /// thread for small transfers, fanned across one host thread per
+    /// group when `moved` machine-total words make it worthwhile. Groups
+    /// own disjoint contiguous node chunks, so the fan-out is borrow-safe
+    /// and (lanes never interacting) bit-deterministic.
+    fn for_each_group(
+        groups: &mut [LaneMemory],
+        mems: &[NodeMemory],
+        moved: usize,
+        op: impl Fn(&mut LaneMemory, &[NodeMemory]) + Sync,
+    ) {
+        if groups.len() > 1 && moved >= PAR_COPY_THRESHOLD {
+            std::thread::scope(|scope| {
+                let mut rest = mems;
+                for group in groups.iter_mut() {
+                    let (mine, tail) = rest.split_at(group.nodes());
+                    rest = tail;
+                    let op = &op;
+                    scope.spawn(move || op(group, mine));
+                }
+            });
+        } else {
+            let mut base = 0;
+            for group in groups {
+                let n = group.nodes();
+                op(group, &mems[base..base + n]);
+                base += n;
+            }
+        }
+    }
+
+    /// Copies every non-private viewed range of every node into the
+    /// mirror, fanning groups across host threads for large views.
     ///
     /// # Panics
     ///
     /// Panics if `mems.len()` differs from the mirrored node count.
     pub fn gather(&mut self, view: &LaneView, mems: &[NodeMemory]) {
         assert_eq!(mems.len(), self.nodes, "one node memory per lane");
-        let mut base = 0;
-        for group in &mut self.groups {
-            let n = group.nodes();
-            group.gather(view, &mems[base..base + n]);
-            base += n;
-        }
-        self.gathered_words += (view.words() * self.nodes) as u64;
+        let moved = view.gather_words() * self.nodes;
+        Self::for_each_group(&mut self.groups, mems, moved, |group, mine| {
+            group.gather(view, mine);
+        });
+        self.gathered_words += moved as u64;
     }
 
-    /// Copies every *writable* viewed range back into node memories.
+    /// Copies every *writable*, non-private viewed range back into node
+    /// memories, fanning groups across host threads for large views.
     ///
     /// # Panics
     ///
     /// Panics if `mems.len()` differs from the mirrored node count.
     pub fn scatter(&mut self, view: &LaneView, mems: &mut [NodeMemory]) {
         assert_eq!(mems.len(), self.nodes, "one node memory per lane");
-        let mut base = 0;
-        for group in &self.groups {
-            let n = group.nodes();
-            group.scatter(view, &mut mems[base..base + n]);
-            base += n;
+        let moved = view.scatter_words() * self.nodes;
+        if self.groups.len() > 1 && moved >= PAR_COPY_THRESHOLD {
+            std::thread::scope(|scope| {
+                let mut rest = &mut mems[..];
+                for group in &self.groups {
+                    let (mine, tail) = std::mem::take(&mut rest).split_at_mut(group.nodes());
+                    rest = tail;
+                    scope.spawn(move || group.scatter(view, mine));
+                }
+            });
+        } else {
+            let mut base = 0;
+            for group in &self.groups {
+                let n = group.nodes();
+                group.scatter(view, &mut mems[base..base + n]);
+                base += n;
+            }
         }
-        let writable: usize = view
-            .ranges()
-            .iter()
-            .filter(|r| r.writable)
-            .map(|r| r.len)
-            .sum();
-        self.scattered_words += (writable * self.nodes) as u64;
+        self.scattered_words += moved as u64;
     }
 
     /// Copies a rectangle of every node's memory into the mirror — see
-    /// [`LaneMemory::gather_rows`].
+    /// [`LaneMemory::gather_rows`]. Fans groups across host threads for
+    /// large rectangles.
     ///
     /// # Panics
     ///
@@ -558,13 +644,11 @@ impl LaneMirror {
     /// run is out of bounds.
     pub fn gather_rows(&mut self, mems: &[NodeMemory], rect: &RectCopy) {
         assert_eq!(mems.len(), self.nodes, "one node memory per lane");
-        let mut base = 0;
-        for group in &mut self.groups {
-            let n = group.nodes();
-            group.gather_rows(&mems[base..base + n], rect);
-            base += n;
-        }
-        self.row_gathered_words += (rect.rows * rect.cols * self.nodes) as u64;
+        let moved = rect.rows * rect.cols * self.nodes;
+        Self::for_each_group(&mut self.groups, mems, moved, |group, mine| {
+            group.gather_rows(mine, rect);
+        });
+        self.row_gathered_words += moved as u64;
     }
 
     /// Like [`LaneMirror::gather_rows`], but counts the words as
@@ -577,13 +661,11 @@ impl LaneMirror {
     /// run is out of bounds.
     pub fn gather_rect(&mut self, mems: &[NodeMemory], rect: &RectCopy) {
         assert_eq!(mems.len(), self.nodes, "one node memory per lane");
-        let mut base = 0;
-        for group in &mut self.groups {
-            let n = group.nodes();
-            group.gather_rows(&mems[base..base + n], rect);
-            base += n;
-        }
-        self.gathered_words += (rect.rows * rect.cols * self.nodes) as u64;
+        let moved = rect.rows * rect.cols * self.nodes;
+        Self::for_each_group(&mut self.groups, mems, moved, |group, mine| {
+            group.gather_rows(mine, rect);
+        });
+        self.gathered_words += moved as u64;
     }
 
     /// Copies `len` lane words starting at `src` of node `from`'s lane
@@ -819,6 +901,75 @@ mod tests {
         assert_eq!(mems[1].read(4), 12.0);
         assert_eq!(mems[0].read(5), 3.0);
         assert_eq!(mems[1].read(5), 13.0);
+    }
+
+    #[test]
+    fn private_ranges_are_skipped_by_gather_and_scatter() {
+        // word layout: [ro 0..2, private rw 4..6, rw 8..10]
+        let view = LaneView::new_with_private(&[
+            (0, 2, false, false),
+            (4, 2, true, true),
+            (8, 2, true, false),
+        ])
+        .unwrap();
+        assert_eq!(view.words(), 6);
+        assert_eq!(view.gather_words(), 4);
+        assert_eq!(view.scatter_words(), 2);
+        let mut mems: Vec<NodeMemory> = (0..2).map(|_| NodeMemory::new(12)).collect();
+        for (n, mem) in mems.iter_mut().enumerate() {
+            mem.write(4, 100.0 + n as f32);
+            mem.write(5, 200.0 + n as f32);
+        }
+        let mut lanes = LaneMemory::new(view.words(), 2);
+        for w in 0..6 {
+            lanes
+                .word_mut(w)
+                .copy_from_slice(&[w as f32, (w + 10) as f32]);
+        }
+        lanes.gather(&view, &mems);
+        // Private lane words survive the gather untouched…
+        assert_eq!(lanes.word(2), &[2.0, 12.0]);
+        assert_eq!(lanes.word(3), &[3.0, 13.0]);
+        // …while the plain writable range was gathered over. Emulate a
+        // kernel rewriting it so the scatter has something to land.
+        lanes.word_mut(4).copy_from_slice(&[4.0, 14.0]);
+        lanes.word_mut(5).copy_from_slice(&[5.0, 15.0]);
+        lanes.scatter(&view, &mut mems);
+        // …and the node image behind them survives the scatter.
+        assert_eq!(mems[0].read(4), 100.0);
+        assert_eq!(mems[1].read(5), 201.0);
+        // The plain writable range still lands.
+        assert_eq!(mems[0].read(8), 4.0);
+        assert_eq!(mems[1].read(9), 15.0);
+    }
+
+    #[test]
+    fn mirror_threaded_copies_match_serial_for_large_views() {
+        // 4 nodes over 2 groups, view big enough to cross the fan-out
+        // threshold: threaded gather/scatter must be bitwise identical
+        // to the single-group serial path.
+        let words = PAR_COPY_THRESHOLD / 2;
+        let view = LaneView::new(&[(0, words, true)]).unwrap();
+        let mut mems: Vec<NodeMemory> = (0..4).map(|_| NodeMemory::new(words)).collect();
+        for (n, mem) in mems.iter_mut().enumerate() {
+            for w in 0..words {
+                mem.write(w, (n * 7 + w) as f32 * 0.5);
+            }
+        }
+        let mut par = LaneMirror::new();
+        par.ensure(words, 4, 2);
+        par.gather(&view, &mems);
+        let mut ser = LaneMirror::new();
+        ser.ensure(words, 4, 1);
+        ser.gather(&view, &mems);
+        let mut out_par: Vec<NodeMemory> = (0..4).map(|_| NodeMemory::new(words)).collect();
+        let mut out_ser = out_par.clone();
+        par.scatter(&view, &mut out_par);
+        ser.scatter(&view, &mut out_ser);
+        assert_eq!(out_par, out_ser);
+        assert_eq!(out_par, mems);
+        assert_eq!(par.gathered_words(), ser.gathered_words());
+        assert_eq!(par.scattered_words(), ser.scattered_words());
     }
 
     #[test]

@@ -381,6 +381,7 @@ impl Machine {
             Ok(total)
         };
         let per_node: Vec<Result<StripRun, HazardError>> = if threads == 1 {
+            let _cpu = cmcc_obs::span(cmcc_obs::Phase::ExecuteWorkers);
             self.nodes.iter_mut().map(run_node).collect()
         } else {
             let run_node = &run_node;
@@ -390,7 +391,10 @@ impl Machine {
                     .nodes
                     .chunks_mut(chunk)
                     .map(|mems| {
-                        scope.spawn(move || mems.iter_mut().map(run_node).collect::<Vec<_>>())
+                        scope.spawn(move || {
+                            let _cpu = cmcc_obs::span(cmcc_obs::Phase::ExecuteWorkers);
+                            mems.iter_mut().map(run_node).collect::<Vec<_>>()
+                        })
                     })
                     .collect();
                 handles

@@ -25,6 +25,12 @@
 //!   --iters N          iterations per stencil for --run (default 1);
 //!                      the execution plan is built once and replayed,
 //!                      reporting first-iteration vs steady-state time
+//!   --temporal K       fuse K time steps per execute (temporal tiling
+//!                      on the lane-resident mirror; default 1). Implies
+//!                      the fast-mode lockstep engine; depths the shape
+//!                      cannot carry clamp to 1 with a recorded reason.
+//!                      In --serve, a statement line may carry its own
+//!                      `@temporal=K ` prefix
 //!   --subgrid RxC      per-node subgrid for --run (default 64x64)
 //!   --threads N        host threads for node execution (default: all cores)
 //!   --engine E         scalar | lockstep: fast-mode interpreter for --run.
@@ -33,7 +39,7 @@
 //!                      are reported as 0 and only wall-clock timing applies
 //!   --profile[=json]   enable telemetry and print a per-statement profile
 //!                      after each --run: a human-readable table, or one
-//!                      schema-stable JSON line (`cmcc-profile-v2`) with
+//!                      schema-stable JSON line (`cmcc-profile-v3`) with
 //!                      derived rates and bytes/iteration against the
 //!                      analytic steady-state prediction. The CMCC_PROFILE
 //!                      environment variable enables the counters alone
@@ -65,7 +71,7 @@ use std::process::ExitCode;
 enum ProfileMode {
     /// Human-readable counter table plus derived rates.
     Table,
-    /// One schema-stable JSON line per statement (`cmcc-profile-v2`).
+    /// One schema-stable JSON line per statement (`cmcc-profile-v3`).
     Json,
 }
 
@@ -75,6 +81,7 @@ struct Options {
     serve: bool,
     workers: usize,
     iters: usize,
+    temporal: usize,
     subgrid: (usize, usize),
     threads: Option<usize>,
     engine: Option<ExecEngine>,
@@ -86,9 +93,9 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: cmcc [--run] [--serve] [--workers N] [--iters N] [--subgrid RxC] \
-         [--threads N] [--engine scalar|lockstep] [--profile[=json]] [--full-machine] \
-         [--pictogram] [--dump-kernel] <file.f90 | ->"
+        "usage: cmcc [--run] [--serve] [--workers N] [--iters N] [--temporal K] \
+         [--subgrid RxC] [--threads N] [--engine scalar|lockstep] [--profile[=json]] \
+         [--full-machine] [--pictogram] [--dump-kernel] <file.f90 | ->"
     );
     std::process::exit(2);
 }
@@ -100,6 +107,7 @@ fn parse_args() -> Options {
         serve: false,
         workers: 4,
         iters: 1,
+        temporal: 1,
         subgrid: (64, 64),
         threads: None,
         engine: None,
@@ -155,6 +163,13 @@ fn parse_args() -> Options {
                 let Some(n) = args.next() else { usage() };
                 match n.parse::<usize>() {
                     Ok(n) if n > 0 => opts.iters = n,
+                    _ => usage(),
+                }
+            }
+            "--temporal" => {
+                let Some(n) = args.next() else { usage() };
+                match n.parse::<usize>() {
+                    Ok(n) if n > 0 => opts.temporal = n,
                     _ => usage(),
                 }
             }
@@ -348,6 +363,16 @@ fn run_compiled(
             exec_opts.mode = ExecMode::Fast;
         }
     }
+    if opts.temporal > 1 {
+        // Temporal tiling lives on the fast-mode lockstep engine; honor
+        // an explicit --engine scalar (the plan will clamp and record
+        // why), otherwise select the engine that can carry the depth.
+        exec_opts = exec_opts.with_temporal_depth(opts.temporal);
+        exec_opts.mode = ExecMode::Fast;
+        if opts.engine.is_none() {
+            exec_opts = exec_opts.with_engine(ExecEngine::Lockstep);
+        }
+    }
 
     // Compile-once/run-many through the plan cache: the first call
     // misses and builds the plan (halo buffers, exchange program,
@@ -383,7 +408,15 @@ fn run_compiled(
             CoeffSpec::Literal(v) => CoeffValue::Literal(*v),
         })
         .collect();
-    let want = reference_convolve_multi(compiled.stencil(), rows, cols, &source_slices, &values);
+    // One execute advances the plan's effective temporal depth worth of
+    // time steps (1 unless --temporal took effect), so the golden model
+    // iterates the depth-1 reference that many times.
+    let depth = session.last_plan().map_or(1, |p| p.temporal_depth());
+    let mut want =
+        reference_convolve_multi(compiled.stencil(), rows, cols, &source_slices, &values);
+    for _ in 1..depth {
+        want = reference_convolve_multi(compiled.stencil(), rows, cols, &[&want], &values);
+    }
     let got = r.gather(&machine);
     let exact = got
         .iter()
@@ -433,6 +466,17 @@ fn run_compiled(
         }
     }
     println!(" [verified bit-exact]");
+    if opts.temporal > 1 {
+        match session.last_plan().and_then(|p| p.temporal_fallback()) {
+            Some(reason) => println!(
+                "    temporal: requested depth {} clamped to 1 ({reason})",
+                opts.temporal
+            ),
+            None => {
+                println!("    temporal: {depth} fused steps per execute, one halo refresh each")
+            }
+        }
+    }
     if opts.iters > 1 {
         let steady_per_iter = steady_total / (opts.iters - 1) as u32;
         println!(
@@ -501,9 +545,20 @@ struct Derived {
     model_fraction: f64,
     /// Useful flops over host wall-clock per steady iteration.
     wall_gflops: f64,
+    /// Useful flops over *summed worker-thread* time per steady
+    /// iteration — the `execute_workers` phase attributes kernel time
+    /// inside each execute's thread fan-out, so wall vs CPU separates
+    /// parallel speed-up from per-core throughput.
+    cpu_gflops: f64,
+    /// The plan's effective temporal depth (fused steps per execute).
+    temporal_depth: usize,
     /// Observed bytes copied per steady-state iteration (counter delta
     /// over the steady iterations; the whole run when `--iters 1`).
     bytes_per_iter_observed: f64,
+    /// Observed bytes amortized over the fused steps in each iteration:
+    /// `bytes_per_iter_observed / temporal_depth` — the figure temporal
+    /// tiling actually improves.
+    bytes_per_step_amortized: f64,
     /// The plan's analytic `steady_state_copy_words` prediction, in bytes.
     bytes_per_iter_predicted: f64,
 }
@@ -537,12 +592,26 @@ fn derive_metrics(
     } else {
         0.0
     };
+    let (rate_report, rate_iters) = if iters > 1 {
+        (steady_report, (iters - 1) as f64)
+    } else {
+        (full_report, 1.0)
+    };
+    let cpu_secs_per_iter =
+        rate_report.phase_nanos(cmcc_obs::Phase::ExecuteWorkers) as f64 * 1e-9 / rate_iters;
+    let cpu_gflops = if cpu_secs_per_iter > 0.0 {
+        m.useful_flops as f64 / cpu_secs_per_iter / 1.0e9
+    } else {
+        0.0
+    };
+    let temporal_depth = session.last_plan().map_or(1, |p| p.temporal_depth());
     const WORD_BYTES: f64 = 4.0;
     let bytes_per_iter_observed = if iters > 1 {
         steady_report.copy_words() as f64 * WORD_BYTES / (iters - 1) as f64
     } else {
         full_report.copy_words() as f64 * WORD_BYTES
     };
+    let bytes_per_step_amortized = bytes_per_iter_observed / temporal_depth as f64;
     let bytes_per_iter_predicted = session
         .last_plan()
         .map_or(0.0, |p| p.steady_state_copy_words() as f64 * WORD_BYTES);
@@ -550,7 +619,10 @@ fn derive_metrics(
         effective_gflops,
         model_fraction,
         wall_gflops,
+        cpu_gflops,
+        temporal_depth,
         bytes_per_iter_observed,
+        bytes_per_step_amortized,
         bytes_per_iter_predicted,
     }
 }
@@ -600,12 +672,20 @@ impl Profile {
             self.statement, self.engine, self.mode
         );
         println!(
-            "      effective {:.3} Gflops (model fraction {:.3}), wall-clock {:.3} Gflops",
-            self.derived.effective_gflops, self.derived.model_fraction, self.derived.wall_gflops,
+            "      effective {:.3} Gflops (model fraction {:.3}), wall-clock {:.3} Gflops, \
+             cpu {:.3} Gflops",
+            self.derived.effective_gflops,
+            self.derived.model_fraction,
+            self.derived.wall_gflops,
+            self.derived.cpu_gflops,
         );
         println!(
-            "      copy traffic {:.0} bytes/iter observed vs {:.0} predicted (steady_state_copy_words)",
-            self.derived.bytes_per_iter_observed, self.derived.bytes_per_iter_predicted,
+            "      copy traffic {:.0} bytes/iter observed vs {:.0} predicted \
+             (steady_state_copy_words); temporal depth {} -> {:.0} bytes/step amortized",
+            self.derived.bytes_per_iter_observed,
+            self.derived.bytes_per_iter_predicted,
+            self.derived.temporal_depth,
+            self.derived.bytes_per_step_amortized,
         );
         println!(
             "      plan cache: {} hits / {} misses / {} evictions (capacity {})",
@@ -626,10 +706,10 @@ impl Profile {
         }
     }
 
-    /// One compact JSON line. The key set is the `cmcc-profile-v2`
-    /// schema (v1 plus the sharded-cache fields: `shards`,
-    /// `shard_evictions`, `shared_in_flight`): CI validates it, so
-    /// additions must bump the version.
+    /// One compact JSON line. The key set is the `cmcc-profile-v3`
+    /// schema (v2 plus the temporal-tiling fields: `cpu_gflops`,
+    /// `temporal_depth`, `bytes_per_step_amortized`): CI validates it,
+    /// so additions must bump the version.
     fn to_json(&self) -> String {
         let shards: Vec<String> = self
             .stats
@@ -645,12 +725,13 @@ impl Profile {
             .collect();
         format!(
             concat!(
-                "{{\"schema\":\"cmcc-profile-v2\",\"statement\":{},",
+                "{{\"schema\":\"cmcc-profile-v3\",\"statement\":{},",
                 "\"engine\":\"{}\",\"mode\":\"{}\",\"nodes\":{},\"iters\":{},",
                 "\"measurement\":{{\"useful_flops\":{},\"cycles\":{{\"comm\":{},",
                 "\"compute\":{},\"frontend\":{},\"total\":{}}},\"nodes\":{}}},",
                 "\"derived\":{{\"effective_gflops\":{},\"model_fraction\":{},",
-                "\"wall_gflops\":{},\"bytes_per_iter_observed\":{},",
+                "\"wall_gflops\":{},\"cpu_gflops\":{},\"temporal_depth\":{},",
+                "\"bytes_per_iter_observed\":{},\"bytes_per_step_amortized\":{},",
                 "\"bytes_per_iter_predicted\":{}}},",
                 "\"plan_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},",
                 "\"capacity\":{},\"shards\":[{}],\"shard_evictions\":[{}],",
@@ -670,7 +751,10 @@ impl Profile {
             json_f64(self.derived.effective_gflops),
             json_f64(self.derived.model_fraction),
             json_f64(self.derived.wall_gflops),
+            json_f64(self.derived.cpu_gflops),
+            self.derived.temporal_depth,
             json_f64(self.derived.bytes_per_iter_observed),
+            json_f64(self.derived.bytes_per_step_amortized),
             json_f64(self.derived.bytes_per_iter_predicted),
             self.stats.hits,
             self.stats.misses,
@@ -702,6 +786,21 @@ struct TenantStats {
 /// compile, allocate and fill deterministic inputs, run `--iters` times
 /// through the shared plan cache, and verify bit-exactly against the
 /// reference evaluator.
+/// Splits an optional `@temporal=K ` prefix off a served statement
+/// line, returning the requested depth and the bare statement.
+fn parse_serve_directive(line: &str) -> Result<(usize, &str), String> {
+    let Some(rest) = line.strip_prefix("@temporal=") else {
+        return Ok((1, line));
+    };
+    let (num, stmt) = rest
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| "`@temporal=K` directive without a statement".to_owned())?;
+    match num.parse::<usize>() {
+        Ok(k) if k > 0 => Ok((k, stmt.trim_start())),
+        _ => Err(format!("bad temporal depth `{num}` in serve directive")),
+    }
+}
+
 fn serve_one(
     session: &mut Session,
     tenant: usize,
@@ -710,6 +809,18 @@ fn serve_one(
     exec_opts: &ExecOptions,
     opts: &Options,
 ) -> Result<(), Box<dyn std::error::Error>> {
+    let (temporal, statement) = parse_serve_directive(statement)?;
+    let mut exec_opts = *exec_opts;
+    if temporal > 1 {
+        // Per-line temporal tiling: the depth keys the plan cache, so
+        // tenants asking different depths for the same statement get
+        // distinct shared artifacts.
+        exec_opts = exec_opts
+            .with_temporal_depth(temporal)
+            .with_engine(ExecEngine::Lockstep);
+        exec_opts.mode = ExecMode::Fast;
+    }
+    let exec_opts = &exec_opts;
     let compiled = session.compile(statement)?;
     let spec = compiled.spec();
     let rows = opts.subgrid.0 * session.machine().grid().rows();
@@ -760,7 +871,14 @@ fn serve_one(
             CoeffSpec::Literal(v) => CoeffValue::Literal(*v),
         })
         .collect();
-    let want = reference_convolve_multi(compiled.stencil(), rows, cols, &source_slices, &values);
+    // A temporal plan advances `depth` steps per execute; iterate the
+    // depth-1 reference to match (clamped depths report 1 here).
+    let depth = session.last_plan().map_or(1, |p| p.temporal_depth());
+    let mut want =
+        reference_convolve_multi(compiled.stencil(), rows, cols, &source_slices, &values);
+    for _ in 1..depth {
+        want = reference_convolve_multi(compiled.stencil(), rows, cols, &[&want], &values);
+    }
     let exact = got
         .iter()
         .zip(&want)

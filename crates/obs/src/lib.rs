@@ -105,6 +105,18 @@ pub enum Counter {
     InterpretedSteps,
     /// Lane-mirror buffer (re)allocations. Zero across a steady state.
     MirrorAllocations,
+    /// Halo exchanges run (node-domain or lane-domain, one per program
+    /// run). Temporal tiling divides this by the fused depth: `k` time
+    /// steps share one exchange.
+    HaloExchanges,
+    /// Time steps advanced by fused (temporal-tiling) executes: each
+    /// execute adds its plan's effective temporal depth. Equal to the
+    /// execute count when no plan fuses.
+    FusedSteps,
+    /// Temporal-depth requests the planner clamped back to 1 (scalar
+    /// engine, cycle mode, multi-source or pointwise stencils,
+    /// non-resident lanes, or a subgrid smaller than `k·radius`).
+    TemporalFallbacks,
     /// Useful floating-point operations (the paper's numerator: interior
     /// results only, no halo redundancy), accumulated per execute.
     UsefulFlops,
@@ -142,6 +154,9 @@ impl Counter {
         Counter::KernelizedSteps,
         Counter::InterpretedSteps,
         Counter::MirrorAllocations,
+        Counter::HaloExchanges,
+        Counter::FusedSteps,
+        Counter::TemporalFallbacks,
         Counter::UsefulFlops,
         Counter::TotalFlops,
     ];
@@ -171,6 +186,9 @@ impl Counter {
             Counter::KernelizedSteps => "kernelized_steps",
             Counter::InterpretedSteps => "interpreted_steps",
             Counter::MirrorAllocations => "mirror_allocations",
+            Counter::HaloExchanges => "halo_exchanges",
+            Counter::FusedSteps => "fused_steps",
+            Counter::TemporalFallbacks => "temporal_fallbacks",
             Counter::UsefulFlops => "useful_flops",
             Counter::TotalFlops => "total_flops",
         }
@@ -195,10 +213,14 @@ pub enum Phase {
     PlanRebind,
     /// One plan execute (exchange + kernel run + accounting).
     Execute,
+    /// Per-worker kernel time inside an execute's thread fan-out. Summed
+    /// across workers this is CPU time; `Execute` is wall time. The two
+    /// coincide when the plan runs single-threaded.
+    ExecuteWorkers,
 }
 
 /// Number of [`Phase`] variants.
-pub const PHASE_COUNT: usize = Phase::Execute as usize + 1;
+pub const PHASE_COUNT: usize = Phase::ExecuteWorkers as usize + 1;
 
 impl Phase {
     /// All phases, in schema order.
@@ -210,6 +232,7 @@ impl Phase {
         Phase::PlanBuild,
         Phase::PlanRebind,
         Phase::Execute,
+        Phase::ExecuteWorkers,
     ];
 
     /// The phase's stable JSON key stem (`<stem>_ns`, `<stem>_calls`).
@@ -222,6 +245,7 @@ impl Phase {
             Phase::PlanBuild => "plan_build",
             Phase::PlanRebind => "plan_rebind",
             Phase::Execute => "execute",
+            Phase::ExecuteWorkers => "execute_workers",
         }
     }
 }
@@ -642,13 +666,17 @@ impl RunReport {
         .unwrap();
         write!(
             s,
-            ",\"exec\":{{\"execute_ns\":{},\"executes\":{},\"scalar_runs\":{},\
+            ",\"exec\":{{\"execute_ns\":{},\"executes\":{},\"execute_workers_ns\":{},\
+             \"execute_workers_calls\":{},\"scalar_runs\":{},\
              \"lockstep_runs\":{},\"lane_resident_runs\":{},\"scalar_steps\":{},\
              \"lockstep_steps\":{},\"kernelized_steps\":{},\"interpreted_steps\":{},\
-             \"mirror_allocations\":{},\"useful_flops\":{},\
+             \"mirror_allocations\":{},\"halo_exchanges\":{},\"fused_steps\":{},\
+             \"temporal_fallbacks\":{},\"useful_flops\":{},\
              \"total_flops\":{}}}}}",
             self.phase_nanos(Phase::Execute),
             self.phase_calls(Phase::Execute),
+            self.phase_nanos(Phase::ExecuteWorkers),
+            self.phase_calls(Phase::ExecuteWorkers),
             c(Counter::ScalarRuns),
             c(Counter::LockstepRuns),
             c(Counter::LaneResidentRuns),
@@ -657,6 +685,9 @@ impl RunReport {
             c(Counter::KernelizedSteps),
             c(Counter::InterpretedSteps),
             c(Counter::MirrorAllocations),
+            c(Counter::HaloExchanges),
+            c(Counter::FusedSteps),
+            c(Counter::TemporalFallbacks),
             c(Counter::UsefulFlops),
             c(Counter::TotalFlops),
         )
@@ -720,11 +751,12 @@ impl RunReport {
         .unwrap();
         writeln!(
             s,
-            "  exec: {} executes ({:.3} ms) — {} scalar / {} lockstep / {} lane-resident; \
+            "  exec: {} executes ({:.3} ms wall, {:.3} ms cpu) — {} scalar / {} lockstep / {} lane-resident; \
              steps {} scalar + {} lockstep ({} kernelized, {} interpreted); \
              {} mirror allocations",
             self.phase_calls(Phase::Execute),
             ms(self.phase_nanos(Phase::Execute)),
+            ms(self.phase_nanos(Phase::ExecuteWorkers)),
             self.get(Counter::ScalarRuns),
             self.get(Counter::LockstepRuns),
             self.get(Counter::LaneResidentRuns),
@@ -733,6 +765,14 @@ impl RunReport {
             self.get(Counter::KernelizedSteps),
             self.get(Counter::InterpretedSteps),
             self.get(Counter::MirrorAllocations),
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "  temporal: {} halo exchanges, {} fused steps, {} depth fallbacks",
+            self.get(Counter::HaloExchanges),
+            self.get(Counter::FusedSteps),
+            self.get(Counter::TemporalFallbacks),
         )
         .unwrap();
         let useful = self.get(Counter::UsefulFlops);
@@ -875,6 +915,11 @@ mod tests {
             "\"kernelized_steps\":",
             "\"interpreted_steps\":",
             "\"mirror_allocations\":",
+            "\"execute_workers_ns\":",
+            "\"execute_workers_calls\":",
+            "\"halo_exchanges\":",
+            "\"fused_steps\":",
+            "\"temporal_fallbacks\":",
             "\"useful_flops\":42",
             "\"total_flops\":",
         ] {
@@ -930,6 +975,7 @@ mod tests {
             "exchange words",
             "strips by width",
             "exec:",
+            "temporal:",
             "flops:",
         ] {
             assert!(table.contains(needle), "missing {needle}");

@@ -57,6 +57,21 @@ pub struct ExecOptions {
     /// the scalar engine and cycle mode. See DESIGN.md §12 for the
     /// invalidation rules.
     pub lane_resident: bool,
+    /// Fuse this many time steps per halo exchange (temporal tiling).
+    /// `1` (the default) is the classic one-exchange-per-execute loop.
+    /// With `k > 1` the plan deepens every halo to `k·radius`, and a
+    /// single `execute` applies the stencil `k` times — ping-ponging
+    /// between lane-private scratch states with a shrinking valid
+    /// region per inner step — before one interior refresh, one
+    /// exchange, and one writable-only scatter. Callers therefore
+    /// advance `k` time steps per `execute`; query the plan's
+    /// effective depth via `ExecutionPlan::temporal_depth()` (the
+    /// planner clamps back to `1` — and counts `TemporalFallbacks` —
+    /// when the request cannot be honored: scalar engine, cycle mode,
+    /// multi-source stencils, pointwise stencils, non-resident lanes,
+    /// or subgrids smaller than `k·radius`). Part of the plan-cache
+    /// key like every other option.
+    pub temporal_depth: usize,
 }
 
 impl Default for ExecOptions {
@@ -69,6 +84,7 @@ impl Default for ExecOptions {
             skip_corners_when_possible: true,
             threads: default_threads(),
             lane_resident: true,
+            temporal_depth: 1,
         }
     }
 }
@@ -114,6 +130,16 @@ impl ExecOptions {
     pub fn with_lane_resident(self, lane_resident: bool) -> Self {
         ExecOptions {
             lane_resident,
+            ..self
+        }
+    }
+
+    /// The same options with a requested temporal-tiling depth: one
+    /// `execute` fuses up to `k` time steps per halo exchange. `0` is
+    /// treated as `1`.
+    pub fn with_temporal_depth(self, k: usize) -> Self {
+        ExecOptions {
+            temporal_depth: k.max(1),
             ..self
         }
     }

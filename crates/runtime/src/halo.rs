@@ -109,6 +109,29 @@ impl HaloBuffer {
         })
     }
 
+    /// Wraps an already-allocated `field` in halo-buffer addressing —
+    /// no allocation, no ownership. Temporal plans use this to give
+    /// their scratch states (plain persistent fields) halo geometry so
+    /// fill programs and strip layouts can be built over them.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `field` is not exactly
+    /// `(sub_rows + 2·pad) × (sub_cols + 2·pad)` words.
+    pub(crate) fn over(field: Field, sub_rows: usize, sub_cols: usize, pad: usize) -> Self {
+        assert_eq!(
+            field.len(),
+            (sub_rows + 2 * pad) * (sub_cols + 2 * pad),
+            "field length does not match the padded shape"
+        );
+        HaloBuffer {
+            field,
+            pad,
+            sub_rows,
+            sub_cols,
+        }
+    }
+
     /// Returns a persistently allocated buffer to the arena.
     ///
     /// # Panics
@@ -397,30 +420,7 @@ impl ExchangeProgram {
             // Global-edge fill spans (EOSHIFT): full-width strips so
             // corner blocks beyond either boundary are covered too.
             if boundary == Boundary::ZeroFill {
-                let padded_cols = halo.sub_cols + 2 * p;
-                for node in grid.iter() {
-                    let (gr, gc) = grid.coords(node);
-                    if gr == 0 {
-                        for r in 0..p {
-                            fills.push((node, halo.addr(r, 0), padded_cols));
-                        }
-                    }
-                    if gr == grid.rows() - 1 {
-                        for r in 0..p {
-                            fills.push((node, halo.addr(p + halo.sub_rows + r, 0), padded_cols));
-                        }
-                    }
-                    if gc == 0 {
-                        for r in 0..halo.sub_rows + 2 * p {
-                            fills.push((node, halo.addr(r, 0), p));
-                        }
-                    }
-                    if gc == grid.cols() - 1 {
-                        for r in 0..halo.sub_rows + 2 * p {
-                            fills.push((node, halo.addr(r, p + halo.sub_cols), p));
-                        }
-                    }
-                }
+                fills = boundary_fill_spans(halo, grid);
             }
         }
         ExchangeProgram {
@@ -457,6 +457,7 @@ impl ExchangeProgram {
 
     /// Executes the exchange and returns the cycles charged.
     pub fn run(&self, machine: &mut Machine) -> u64 {
+        cmcc_obs::add(cmcc_obs::Counter::HaloExchanges, 1);
         cmcc_obs::add(cmcc_obs::Counter::ExchangeEdgeWords, self.edge_words as u64);
         cmcc_obs::add(
             cmcc_obs::Counter::ExchangeCornerWords,
@@ -469,6 +470,124 @@ impl ExchangeProgram {
             machine.mem_mut(node).fill_range(addr, len, self.fill);
         }
         self.cycles
+    }
+}
+
+/// The `(node, addr, len)` spans of `halo` that lie beyond the global
+/// array edge — the region a [`Boundary::ZeroFill`] exchange overwrites
+/// with the fill value after its copies. Full-width strips on the
+/// north/south edges so corner blocks beyond either boundary are
+/// covered too; the overlap is harmless (every span writes the same
+/// value).
+fn boundary_fill_spans(halo: &HaloBuffer, grid: NodeGrid) -> Vec<(NodeId, usize, usize)> {
+    let p = halo.pad;
+    let mut fills = Vec::new();
+    if p == 0 {
+        return fills;
+    }
+    let padded_cols = halo.sub_cols + 2 * p;
+    for node in grid.iter() {
+        let (gr, gc) = grid.coords(node);
+        if gr == 0 {
+            for r in 0..p {
+                fills.push((node, halo.addr(r, 0), padded_cols));
+            }
+        }
+        if gr == grid.rows() - 1 {
+            for r in 0..p {
+                fills.push((node, halo.addr(p + halo.sub_rows + r, 0), padded_cols));
+            }
+        }
+        if gc == 0 {
+            for r in 0..halo.sub_rows + 2 * p {
+                fills.push((node, halo.addr(r, 0), p));
+            }
+        }
+        if gc == grid.cols() - 1 {
+            for r in 0..halo.sub_rows + 2 * p {
+                fills.push((node, halo.addr(r, p + halo.sub_cols), p));
+            }
+        }
+    }
+    fills
+}
+
+/// A precomputed batch of constant-value node-memory fills: the
+/// beyond-global-edge frame of one padded buffer.
+///
+/// Temporal tiling needs this as a *standalone* step: each fused inner
+/// step writes its whole extended region — including positions beyond
+/// the global edge, which under [`Boundary::ZeroFill`] must read as the
+/// fill value in the next step. Running the fill program after every
+/// non-final step restores that invariant (under [`Boundary::Circular`]
+/// the span list is empty and nothing needs restoring — the margin
+/// recomputes the wrapped values bit-identically).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FillProgram {
+    fills: Vec<(NodeId, usize, usize)>,
+    fill: f32,
+}
+
+impl FillProgram {
+    /// The beyond-global-edge fill frame of `halo` under `boundary`:
+    /// empty for [`Boundary::Circular`], the beyond-edge spans under
+    /// [`Boundary::ZeroFill`].
+    pub fn boundary(halo: &HaloBuffer, grid: NodeGrid, boundary: Boundary, fill: f32) -> Self {
+        let fills = match boundary {
+            Boundary::ZeroFill => boundary_fill_spans(halo, grid),
+            Boundary::Circular => Vec::new(),
+        };
+        FillProgram { fills, fill }
+    }
+
+    /// Whether one run writes anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.fills.is_empty()
+    }
+
+    /// Executes the fills against node memory.
+    pub fn run(&self, machine: &mut Machine) {
+        for &(node, addr, len) in &self.fills {
+            machine.mem_mut(node).fill_range(addr, len, self.fill);
+        }
+    }
+}
+
+/// A [`FillProgram`] translated onto a lane mirror — the same spans
+/// addressed in lane words, for plans whose fused steps never leave the
+/// mirror.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneFillProgram {
+    fills: Vec<(usize, usize, usize)>,
+    fill: f32,
+}
+
+impl LaneFillProgram {
+    /// Translates `program`'s spans into the lane word space of `view`.
+    /// Returns `None` when any span is not fully inside one viewed range.
+    pub fn translate(program: &FillProgram, view: &cmcc_cm2::lane::LaneView) -> Option<Self> {
+        let fills = program
+            .fills
+            .iter()
+            .map(|&(node, addr, len)| {
+                let (word, range) = view.locate(addr)?;
+                if addr + len > range.node_base + range.len {
+                    return None;
+                }
+                Some((node.0, word, len))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(LaneFillProgram {
+            fills,
+            fill: program.fill,
+        })
+    }
+
+    /// Executes the fills on the mirror.
+    pub fn run(&self, mirror: &mut cmcc_cm2::lane::LaneMirror) {
+        for &(node, word, len) in &self.fills {
+            mirror.fill_lane_run(node, word, len, self.fill);
+        }
     }
 }
 
@@ -625,6 +744,7 @@ impl LaneExchangeProgram {
     /// mirror must have been shaped for the same machine and view the
     /// program was translated against.
     pub fn run(&self, mirror: &mut cmcc_cm2::lane::LaneMirror) -> u64 {
+        cmcc_obs::add(cmcc_obs::Counter::HaloExchanges, 1);
         cmcc_obs::add(cmcc_obs::Counter::ExchangeEdgeWords, self.edge_words as u64);
         cmcc_obs::add(
             cmcc_obs::Counter::ExchangeCornerWords,
@@ -840,6 +960,68 @@ mod tests {
         let len = h.field().len();
         let split = LaneView::new(&[(base, 10, true), (base + 10, len - 10, true)]).unwrap();
         assert!(LaneExchangeProgram::translate(&program, &split).is_none());
+    }
+
+    #[test]
+    fn fill_program_writes_exactly_the_beyond_edge_frame() {
+        use cmcc_cm2::lane::{LaneMirror, LaneView};
+        // Poison the whole padded buffer, run the fill program, and
+        // check that beyond-global-edge positions (and only those) were
+        // overwritten — on nodes at every board position.
+        let (mut m, _, h) = setup(1);
+        for node in m.grid().iter() {
+            let base = h.field().base();
+            m.mem_mut(node).fill_range(base, h.field().len(), -9.0);
+        }
+        let program = FillProgram::boundary(&h, m.grid(), Boundary::ZeroFill, 7.5);
+        assert!(!program.is_empty());
+        program.run(&mut m);
+        let grid = m.grid();
+        for node in grid.iter() {
+            let (gr, gc) = grid.coords(node);
+            for r in -1..3_i64 {
+                for c in -1..3_i64 {
+                    let beyond = (r < 0 && gr == 0)
+                        || (r >= 2 && gr == grid.rows() - 1)
+                        || (c < 0 && gc == 0)
+                        || (c >= 2 && gc == grid.cols() - 1);
+                    let want = if beyond { 7.5 } else { -9.0 };
+                    assert_eq!(
+                        read(&m, &h, node, r, c),
+                        want,
+                        "node {node} logical ({r}, {c})"
+                    );
+                }
+            }
+        }
+        // Circular has nothing to restore.
+        assert!(FillProgram::boundary(&h, grid, Boundary::Circular, 7.5).is_empty());
+
+        // The lane translation writes the same words.
+        let (mut lane_m, _, h2) = setup(1);
+        for node in lane_m.grid().iter() {
+            let base = h2.field().base();
+            lane_m
+                .mem_mut(node)
+                .fill_range(base, h2.field().len(), -9.0);
+        }
+        let view = LaneView::new(&[(h2.field().base(), h2.field().len(), true)]).unwrap();
+        let lane = LaneFillProgram::translate(&program, &view).expect("whole-buffer view maps");
+        let mut mirror = LaneMirror::new();
+        {
+            let (_, mems) = lane_m.exec_parts_mut();
+            mirror.ensure(view.words(), mems.len(), 2);
+            mirror.gather(&view, mems);
+            lane.run(&mut mirror);
+            mirror.scatter(&view, mems);
+        }
+        for node in m.grid().iter() {
+            assert_eq!(
+                m.mem(node).field(h.field()),
+                lane_m.mem(node).field(h2.field()),
+                "lane fill diverged on {node}"
+            );
+        }
     }
 
     #[test]

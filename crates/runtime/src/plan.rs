@@ -31,9 +31,9 @@
 use crate::array::CmArray;
 use crate::convolve::ExecOptions;
 use crate::error::RuntimeError;
-use crate::halo::{ExchangeProgram, HaloBuffer, LaneExchangeProgram};
+use crate::halo::{ExchangeProgram, FillProgram, HaloBuffer, LaneExchangeProgram, LaneFillProgram};
 use crate::strips::{full_strip, halfstrips, plan_strips};
-use cmcc_cm2::exec::{ExecEngine, ExecMode, FieldLayout, ResolvedStrip, StripContext};
+use cmcc_cm2::exec::{ExecEngine, ExecMode, FieldLayout, ResolvedStrip, StripContext, StripRun};
 use cmcc_cm2::kernels::{run_lockstep_groups_kernelized, CoeffStreams, StripKernels};
 use cmcc_cm2::lane::{LaneMirror, LaneView, RectCopy};
 use cmcc_cm2::machine::Machine;
@@ -228,6 +228,45 @@ pub struct CompiledPlan {
     /// 4, 2, 1) — the paper's strip-mine distribution, replayed verbatim
     /// by every execute and reported through `cmcc_obs`.
     strip_widths: [u64; 4],
+    /// The temporal-tiling schedule: `Some` when the plan fuses two or
+    /// more time steps per halo exchange ([`ExecOptions::temporal_depth`]
+    /// honored), `None` for the classic one-step plan.
+    temporal: Option<TemporalPlan>,
+    /// Why a requested `temporal_depth > 1` was clamped back to 1, when
+    /// it was. `None` when the request was honored (or never made).
+    temporal_fallback: Option<&'static str>,
+}
+
+/// The shared artifacts of a temporally tiled plan: `depth` fused time
+/// steps share one deepened (`depth·radius`) halo exchange per execute,
+/// ping-ponging intermediate states through plan-owned scratch buffers.
+/// Every node computes a shrinking extended region per inner step — the
+/// classic redundant-compute trade: margin points are recomputed locally
+/// instead of communicated.
+#[derive(Debug)]
+struct TemporalPlan {
+    /// Fused time steps per execute (≥ 2).
+    depth: usize,
+    /// Ping-pong intermediate-state buffers, each padded to the full
+    /// `depth·radius` frame: none for depth 1, one for depth 2, two
+    /// beyond (consecutive states always land in different buffers).
+    scratch: Vec<Field>,
+    /// Per-named-coefficient halo buffers, padded `(depth−1)·radius`:
+    /// intermediate steps read coefficients at margin positions, which
+    /// live on neighbor nodes just like source halo words do.
+    coeff_halos: Vec<HaloBuffer>,
+    /// The halo exchange for each coefficient halo above.
+    coeff_exchanges: Vec<ExchangeProgram>,
+    /// The beyond-global-edge fill fix-up per scratch buffer: a
+    /// zero-fill boundary requires margin reads past the global edge to
+    /// see the fill value, but intermediate steps write computed garbage
+    /// there; this restores the invariant after every non-final step.
+    /// Empty programs under a circular boundary (wrapped margin values
+    /// are recomputed bit-identically, no fix-up needed).
+    scratch_fills: Vec<FillProgram>,
+    /// Prefix boundaries into `strips`/`lane_strips` per inner step:
+    /// step `j` runs the index range `step_bounds[j]..step_bounds[j+1]`.
+    step_bounds: Vec<usize>,
 }
 
 /// The mutable half of an execution plan: one tenant's binding and
@@ -274,12 +313,19 @@ pub struct PlanInstance {
     /// `lane_primed`. Poolable across instances via
     /// [`ExecutionPlan::take_mirror`] / [`ExecutionPlan::install_mirror`].
     lane_mirror: LaneMirror,
-    /// The halo exchange translated onto the mirror, one per source.
-    /// Empty unless `lane_resident`.
+    /// The halo exchange translated onto the mirror — one per source,
+    /// then (temporal plans) one per coefficient halo. Empty unless
+    /// `lane_resident`.
     lane_exchanges: Vec<LaneExchangeProgram>,
-    /// Per-source interior refresh on the mirror (the lane-domain
-    /// `fill_interior`). Empty unless `lane_resident`.
+    /// Interior refresh on the mirror (the lane-domain `fill_interior`),
+    /// parallel to `lane_exchanges`: sources first, then (temporal
+    /// plans) the bound named-coefficient arrays into their halos.
+    /// Empty unless `lane_resident`.
     lane_interiors: Vec<RectCopy>,
+    /// The scratch-buffer boundary fix-ups translated onto the mirror,
+    /// parallel to the shared plan's `TemporalPlan::scratch_fills`.
+    /// Empty unless `lane_resident` on a temporal plan.
+    lane_scratch_fills: Vec<LaneFillProgram>,
     /// Whether the mirror currently holds the bound operands. Set by the
     /// priming gather of the first execute after build.
     lane_primed: bool,
@@ -307,10 +353,12 @@ pub struct PlanInstance {
     lane_synced_writes: u64,
     /// The packed coefficient streams the kernel tier reads (the
     /// paper's §4 access-order coefficient layout), cached across
-    /// executes. Invalidated when a rebind moves a coefficient base,
-    /// when strips are retranslated, and when the host writes node
-    /// memory; result/source-only rebinds keep it.
-    lane_streams: CoeffStreams,
+    /// executes — one per fused inner step (a single entry for classic
+    /// plans; the stream cache is keyed on a step's kernel list, so
+    /// steps cannot share one). Invalidated when a rebind moves a
+    /// coefficient base, when strips are retranslated, and when the
+    /// host writes node memory; result/source-only rebinds keep it.
+    lane_streams: Vec<CoeffStreams>,
     result: CmArray,
     sources: Vec<CmArray>,
     coeffs: Vec<CmArray>,
@@ -402,14 +450,56 @@ impl CompiledPlan {
         let pad = stencil.borders().max_width() as usize;
         let persistent = lifetime == PlanLifetime::Persistent;
 
+        // Temporal tiling: fuse `depth` time steps per halo exchange by
+        // deepening the halo to `depth·radius` and recomputing margin
+        // points locally (the redundant-compute trade). Eligibility is
+        // exactly the set of plans the fused schedule below can express;
+        // anything else clamps back to one step per exchange and records
+        // why, both in the counter and on the plan.
+        let requested_depth = opts.temporal_depth.max(1);
+        let mut temporal_fallback = None;
+        let depth = if requested_depth == 1 {
+            1
+        } else {
+            let reason = if opts.mode != ExecMode::Fast {
+                Some("cycle-accurate mode")
+            } else if opts.engine != ExecEngine::Lockstep {
+                Some("scalar engine")
+            } else if !opts.lane_resident {
+                Some("lane residency disabled")
+            } else if binding.sources().len() != 1 {
+                Some("multi-source stencil")
+            } else if pad == 0 {
+                Some("pointwise stencil")
+            } else if requested_depth * pad > sub_rows.min(sub_cols) {
+                Some("subgrid smaller than depth x radius")
+            } else {
+                None
+            };
+            match reason {
+                Some(why) => {
+                    cmcc_obs::add(cmcc_obs::Counter::TemporalFallbacks, 1);
+                    temporal_fallback = Some(why);
+                    1
+                }
+                None => requested_depth,
+            }
+        };
+        // The deepest margin any inner step computes: step j writes a
+        // `(depth-1-j)·radius`-deep extension of the subgrid, so step 0
+        // reads `depth·radius` (the source halo) and every step reads
+        // coefficients at up to `(depth-1)·radius` beyond the edge.
+        let halo_pad = depth * pad;
+        let coeff_pad = (depth - 1) * pad;
+
         let halos: Vec<HaloBuffer> = binding
             .sources()
             .iter()
             .map(|_| {
                 if persistent {
-                    HaloBuffer::new_persistent(machine, sub_rows, sub_cols, pad)
+                    HaloBuffer::new_persistent(machine, sub_rows, sub_cols, halo_pad)
                 } else {
-                    HaloBuffer::new(machine, sub_rows, sub_cols, pad)
+                    HaloBuffer::new(machine, sub_rows, sub_cols, halo_pad)
                 }
             })
             .collect::<Result<_, _>>()?;
@@ -422,14 +512,16 @@ impl CompiledPlan {
             }
         };
 
-        // Constant pages: one word each of 1.0 and 0.0, plus one
-        // `sub_cols`-wide page per literal coefficient (streamed with a
-        // zero row stride).
+        // Constant pages: one word each of 1.0 and 0.0, plus one page
+        // per literal coefficient (streamed with a zero row stride).
+        // Temporal plans widen the pages by the deepest intermediate
+        // margin so extended-region columns stay in bounds.
         let consts = alloc(machine, 2)?;
+        let page_cols = sub_cols + 2 * coeff_pad;
         let mut pages: Vec<Option<(Field, f32)>> = Vec::with_capacity(spec.coeffs.len());
         for c in &spec.coeffs {
             match c {
-                CoeffSpec::Literal(v) => pages.push(Some((alloc(machine, sub_cols)?, *v))),
+                CoeffSpec::Literal(v) => pages.push(Some((alloc(machine, page_cols)?, *v))),
                 CoeffSpec::Named(_) => pages.push(None),
             }
         }
@@ -446,8 +538,11 @@ impl CompiledPlan {
         // The halo exchange, compiled: neighbor lookups, copy addresses,
         // fill spans, and the cycle price are all fixed by (shape, grid,
         // boundary, primitive).
+        // Fused steps always need corners: composing the stencil with
+        // itself reaches diagonal neighbors even when one application
+        // does not.
         let need_corners = if opts.skip_corners_when_possible {
-            stencil.needs_corner_exchange()
+            stencil.needs_corner_exchange() || depth > 1
         } else {
             pad > 0
         };
@@ -467,8 +562,69 @@ impl CompiledPlan {
             })
             .collect();
 
+        // Temporal plans read named coefficients at margin positions,
+        // which live on neighbor nodes: each gets its own (shallower)
+        // halo buffer and exchange, refreshed alongside the source halo.
+        let mut coeff_halos: Vec<HaloBuffer> = Vec::new();
+        let mut coeff_exchanges: Vec<ExchangeProgram> = Vec::new();
+        if depth > 1 {
+            for _ in binding.coeffs() {
+                let halo = if persistent {
+                    HaloBuffer::new_persistent(machine, sub_rows, sub_cols, coeff_pad)?
+                } else {
+                    HaloBuffer::new(machine, sub_rows, sub_cols, coeff_pad)?
+                };
+                coeff_exchanges.push(ExchangeProgram::new(
+                    &halo,
+                    grid,
+                    machine.config(),
+                    stencil.boundary(),
+                    stencil.fill(),
+                    need_corners,
+                    opts.primitive,
+                ));
+                coeff_halos.push(halo);
+            }
+        }
+
+        // Intermediate-state scratch, ping-ponged between inner steps.
+        // Padded to the full halo frame so every step's extended write
+        // region (and the next step's reads one radius beyond it) stays
+        // in bounds at non-negative padded coordinates.
+        let scratch_count = match depth {
+            1 => 0,
+            2 => 1,
+            _ => 2,
+        };
+        let scratch_stride = sub_cols + 2 * halo_pad;
+        let scratch: Vec<Field> = (0..scratch_count)
+            .map(|_| alloc(machine, (sub_rows + 2 * halo_pad) * scratch_stride))
+            .collect::<Result<_, _>>()?;
+        let scratch_layout = |f: &Field| FieldLayout {
+            base: f.base(),
+            row_stride: scratch_stride,
+            row_offset: halo_pad as i64,
+            col_offset: halo_pad as i64,
+        };
+        let scratch_fills: Vec<FillProgram> = scratch
+            .iter()
+            .map(|&f| {
+                FillProgram::boundary(
+                    &HaloBuffer::over(f, sub_rows, sub_cols, halo_pad),
+                    grid,
+                    stencil.boundary(),
+                    stencil.fill(),
+                )
+            })
+            .collect();
+
         // Coefficient address tables, indexed like `MemRef::Coeff.array`.
+        // Temporal plans read named coefficients through their plan-owned
+        // halo buffers (margin positions included) instead of the bound
+        // arrays directly; literal pages carry the margin as a column
+        // offset (their row stride is zero either way).
         let mut named_iter = binding.coeffs().iter();
+        let mut coeff_halo_iter = coeff_halos.iter();
         let mut named_slots = Vec::with_capacity(binding.coeffs().len());
         let coeff_layouts: Vec<FieldLayout> = spec
             .coeffs
@@ -478,18 +634,22 @@ impl CompiledPlan {
             .map(|(i, (c, page))| match c {
                 CoeffSpec::Named(_) => {
                     named_slots.push(i as u16);
-                    named_iter
-                        .next()
-                        .expect("coefficient count was validated")
-                        .layout()
+                    let bound = named_iter.next().expect("coefficient count was validated");
+                    match coeff_halo_iter.next() {
+                        Some(halo) => halo.layout(),
+                        None => bound.layout(),
+                    }
                 }
                 CoeffSpec::Literal(_) => {
                     let (page, _) = page.expect("literal page was allocated");
+                    // The row offset keeps margin-shifted rows (down to
+                    // `-coeff_pad`) non-negative; with a zero row stride
+                    // it never moves the address.
                     FieldLayout {
                         base: page.base(),
                         row_stride: 0,
-                        row_offset: 0,
-                        col_offset: 0,
+                        row_offset: coeff_pad as i64,
+                        col_offset: coeff_pad as i64,
                     }
                 }
             })
@@ -498,39 +658,68 @@ impl CompiledPlan {
         // The strip schedule, resolved: identical on every node (SIMD),
         // built once in the same order the rebuild-per-call path emits,
         // with every memory operand turned into an absolute address.
-        let halves = if opts.half_strips {
-            halfstrips(sub_rows)
-        } else {
-            full_strip(sub_rows)
-        };
+        // Temporal plans concatenate one sub-schedule per fused inner
+        // step: step `j` computes a `(depth-1-j)·radius`-deep extension
+        // of the subgrid (reads reach one radius further — exactly the
+        // previous step's write margin), reading the deepened source
+        // halo (step 0) or the previous scratch state, and writing the
+        // next scratch state or (final step) the bound result.
         let src_layouts: Vec<FieldLayout> = halos.iter().map(HaloBuffer::layout).collect();
         let mut strips = Vec::new();
         let mut strip_widths = [0u64; 4];
-        for strip in plan_strips(compiled, sub_cols) {
-            let sk = compiled
-                .widest_kernel_for(strip.width)
-                .expect("plan_strips used compiled widths");
-            debug_assert_eq!(sk.width, strip.width);
-            for half in &halves {
-                let kernel = match half.walk {
-                    Walk::North => &sk.north,
-                    Walk::South => &sk.south,
-                };
-                let ctx = StripContext {
-                    srcs: &src_layouts,
-                    res: result.layout(),
-                    coeffs: &coeff_layouts,
-                    ones_addr,
-                    zeros_addr,
-                    start_row: half.start_row as i64,
-                    lines: half.lines,
-                    col0: strip.col0 as i64,
-                };
-                strips.push(ResolvedStrip::new(kernel, &ctx));
-                if let Some(slot) = width_slot(strip.width) {
-                    strip_widths[slot] += 1;
+        let mut step_bounds = vec![0usize];
+        for step in 0..depth {
+            let margin = (depth - 1 - step) * pad;
+            let step_srcs: Vec<FieldLayout> = if step == 0 {
+                src_layouts.clone()
+            } else {
+                vec![scratch_layout(&scratch[(step - 1) % 2])]
+            };
+            let step_res = if step + 1 == depth {
+                result.layout()
+            } else {
+                scratch_layout(&scratch[step % 2])
+            };
+            let halves = if opts.half_strips {
+                halfstrips(sub_rows + 2 * margin)
+            } else {
+                full_strip(sub_rows + 2 * margin)
+            };
+            for strip in plan_strips(compiled, sub_cols + 2 * margin) {
+                let sk = compiled
+                    .widest_kernel_for(strip.width)
+                    .expect("plan_strips used compiled widths");
+                debug_assert_eq!(sk.width, strip.width);
+                for half in &halves {
+                    let kernel = match half.walk {
+                        Walk::North => &sk.north,
+                        Walk::South => &sk.south,
+                    };
+                    let ctx = StripContext {
+                        srcs: &step_srcs,
+                        res: step_res,
+                        coeffs: &coeff_layouts,
+                        ones_addr,
+                        zeros_addr,
+                        start_row: half.start_row as i64 - margin as i64,
+                        lines: half.lines,
+                        col0: strip.col0 as i64 - margin as i64,
+                    };
+                    let mut resolved = ResolvedStrip::new(kernel, &ctx);
+                    if depth > 1 {
+                        // Scratch and coefficient-halo addresses are
+                        // plan-owned and never move on rebind: freeze
+                        // them so rebase shifts only the final step's
+                        // result operands.
+                        resolved.freeze_slots(step + 1 < depth, true);
+                    }
+                    strips.push(resolved);
+                    if let Some(slot) = width_slot(strip.width) {
+                        strip_widths[slot] += 1;
+                    }
                 }
             }
+            step_bounds.push(strips.len());
         }
 
         // Lane mapping for the lockstep engine: mirror exactly the
@@ -546,13 +735,25 @@ impl CompiledPlan {
         let literal_pages: Vec<(Field, f32)> = pages.into_iter().flatten().collect();
         let mut lane_strips = Vec::new();
         if opts.mode == ExecMode::Fast && opts.engine == ExecEngine::Lockstep {
-            if let Some(view) = LaneView::new(&lane_ranges(
-                &halos,
-                consts,
-                &literal_pages,
-                binding.coeffs(),
-                &result,
-            )) {
+            let view = if depth > 1 {
+                LaneView::new_with_private(&lane_ranges_temporal(
+                    &halos,
+                    consts,
+                    &literal_pages,
+                    &coeff_halos,
+                    &scratch,
+                    &result,
+                ))
+            } else {
+                LaneView::new(&lane_ranges(
+                    &halos,
+                    consts,
+                    &literal_pages,
+                    binding.coeffs(),
+                    &result,
+                ))
+            };
+            if let Some(view) = view {
                 if let Some(translated) = strips
                     .iter()
                     .map(|s| s.translate(&view))
@@ -583,7 +784,9 @@ impl CompiledPlan {
             result,
             sources: binding.sources().to_vec(),
             coeffs: binding.coeffs().to_vec(),
-            useful_flops: stencil.useful_flops_per_point() * (result.rows() * result.cols()) as u64,
+            useful_flops: stencil.useful_flops_per_point()
+                * (result.rows() * result.cols()) as u64
+                * depth as u64,
             call_overhead: u64::from(cfg.call_overhead_cycles),
             dispatch: u64::from(cfg.frontend_dispatch_cycles),
             nodes: machine.node_count(),
@@ -591,6 +794,15 @@ impl CompiledPlan {
             fingerprint: compiled.fingerprint(),
             lifetime,
             strip_widths,
+            temporal: (depth > 1).then_some(TemporalPlan {
+                depth,
+                scratch,
+                coeff_halos,
+                coeff_exchanges,
+                scratch_fills,
+                step_bounds,
+            }),
+            temporal_fallback,
         })
     }
 
@@ -666,8 +878,8 @@ impl CompiledPlan {
         self.lifetime
     }
 
-    /// Words of node memory the artifact's halo buffers and constant
-    /// pages occupy.
+    /// Words of node memory the artifact's halo buffers, constant pages,
+    /// and (temporal plans) coefficient halos and scratch states occupy.
     pub fn words(&self) -> usize {
         self.halos.iter().map(HaloBuffer::words).sum::<usize>()
             + self.consts.len()
@@ -676,6 +888,22 @@ impl CompiledPlan {
                 .iter()
                 .map(|(p, _)| p.len())
                 .sum::<usize>()
+            + self.temporal.as_ref().map_or(0, |tp| {
+                tp.coeff_halos.iter().map(HaloBuffer::words).sum::<usize>()
+                    + tp.scratch.iter().map(Field::len).sum::<usize>()
+            })
+    }
+
+    /// Fused time steps per execute: the effective temporal depth (1 for
+    /// classic plans, including clamped requests).
+    pub fn temporal_depth(&self) -> usize {
+        self.temporal.as_ref().map_or(1, |tp| tp.depth)
+    }
+
+    /// Why a requested temporal depth above 1 was clamped back to one
+    /// step per exchange, when it was.
+    pub fn temporal_fallback(&self) -> Option<&'static str> {
+        self.temporal_fallback
     }
 
     /// Returns the artifact's persistent fields to the arena. The caller
@@ -693,6 +921,14 @@ impl CompiledPlan {
             PlanLifetime::Persistent,
             "scoped plans are reclaimed by release_to, not release"
         );
+        if let Some(tp) = self.temporal {
+            for field in tp.scratch.into_iter().rev() {
+                machine.free_field_persistent(field);
+            }
+            for halo in tp.coeff_halos.into_iter().rev() {
+                halo.release(machine);
+            }
+        }
         for &(page, _) in self.literal_pages.iter().rev() {
             machine.free_field_persistent(page);
         }
@@ -748,13 +984,7 @@ impl PlanInstance {
         let mut lane_view = None;
         let mut lane_strips_override = None;
         if cp.opts.mode == ExecMode::Fast && cp.opts.engine == ExecEngine::Lockstep {
-            if let Some(view) = LaneView::new(&lane_ranges(
-                &cp.halos,
-                cp.consts,
-                &cp.literal_pages,
-                coeffs,
-                result,
-            )) {
+            if let Some(view) = instance_lane_view(cp, sources, coeffs, result) {
                 if cp.lane_strips.len() == strips.len() {
                     lane_view = Some(view);
                 } else if let Some(translated) = strips
@@ -771,21 +1001,21 @@ impl PlanInstance {
 
         let mut lane_exchanges = Vec::new();
         let mut lane_interiors = Vec::new();
+        let mut lane_scratch_fills = Vec::new();
         let mut lane_resident = false;
         let mut lane_reprime = Vec::new();
         if cp.opts.lane_resident {
             if let Some(view) = &lane_view {
-                if let (Some(xs), Some(ins)) = (
-                    cp.exchanges
-                        .iter()
-                        .map(|p| LaneExchangeProgram::translate(p, view))
-                        .collect::<Option<Vec<_>>>(),
-                    lane_interior_copies(view, &cp.halos, sources),
-                ) {
-                    lane_exchanges = xs;
-                    lane_interiors = ins;
+                if let Some(programs) = resident_programs(cp, view, sources, coeffs) {
+                    lane_exchanges = programs.exchanges;
+                    lane_interiors = programs.interiors;
+                    lane_scratch_fills = programs.scratch_fills;
                     lane_resident = true;
-                    if populate_reprime {
+                    // Temporal plans have nothing to re-prime: the view's
+                    // read-only non-halo ranges are all plan-owned, and
+                    // coefficient-halo contents flow through the interior
+                    // refresh, never through a node-memory gather.
+                    if populate_reprime && cp.temporal.is_none() {
                         lane_reprime = reprime_copies(view, cp.halos.len());
                     }
                 }
@@ -801,12 +1031,15 @@ impl PlanInstance {
             lane_mirror: LaneMirror::new(),
             lane_exchanges,
             lane_interiors,
+            lane_scratch_fills,
             lane_primed: false,
             lane_stale: false,
             lane_reprime,
             lane_halos_current: false,
             lane_synced_writes: 0,
-            lane_streams: CoeffStreams::new(),
+            lane_streams: (0..cp.temporal_depth())
+                .map(|_| CoeffStreams::new())
+                .collect(),
             result: *result,
             sources: sources.to_vec(),
             coeffs: coeffs.to_vec(),
@@ -832,13 +1065,20 @@ impl PlanInstance {
         // ranges are re-primed, as a rebind would.
         if self.lane_view.is_some() && self.lane_synced_writes != machine.host_writes() {
             self.lane_synced_writes = machine.host_writes();
-            self.lane_streams.invalidate();
+            for streams in &mut self.lane_streams {
+                streams.invalidate();
+            }
             self.lane_halos_current = false;
             if self.lane_primed {
                 self.lane_stale = true;
             }
         }
         let steady_at_entry = !self.lane_resident || (self.lane_primed && !self.lane_stale);
+        // A rebind (or host write) cycle: the mirror is primed but its
+        // read-only snapshot is stale. The analytic
+        // `rebind_cycle_copy_words` prediction applies exactly here.
+        let rebind_at_entry = self.lane_resident && self.lane_primed && self.lane_stale;
+        let depth = cp.temporal_depth();
         let mirror_base = MirrorWords::of(&self.lane_mirror);
         let mut interior_words = 0usize;
         let mut exchange_words = 0usize;
@@ -883,6 +1123,7 @@ impl PlanInstance {
                 }
                 self.lane_stale = false;
             }
+            let refreshed = !self.lane_halos_current;
             for (interior, exchange) in self.lane_interiors.iter().zip(&self.lane_exchanges) {
                 // The modeled NEWS cycles are charged every iteration —
                 // the CM-2 exchanges every time. Skipping the host-side
@@ -896,21 +1137,48 @@ impl PlanInstance {
                 }
             }
             self.lane_halos_current = true;
+            if refreshed
+                && cp
+                    .temporal
+                    .as_ref()
+                    .is_some_and(|tp| !tp.coeff_halos.is_empty())
+            {
+                // The refresh rewrote the coefficient halos on the
+                // mirror; the packed streams hold the old values.
+                for streams in &mut self.lane_streams {
+                    streams.invalidate();
+                }
+            }
             let kernels: &[Option<StripKernels>] =
                 if self.kernel_tier { lane_kernels } else { &[] };
-            let run = run_lockstep_groups_kernelized(
-                lane_strips,
-                kernels,
-                &mut self.lane_streams,
-                self.lane_mirror.groups_mut(),
-            );
+            let mut run = StripRun::default();
+            for step in 0..depth {
+                let (lo, hi) = match &cp.temporal {
+                    Some(tp) => (tp.step_bounds[step], tp.step_bounds[step + 1]),
+                    None => (0, lane_strips.len()),
+                };
+                let step_kernels = if kernels.is_empty() {
+                    kernels
+                } else {
+                    &kernels[lo..hi]
+                };
+                run.absorb(&run_lockstep_groups_kernelized(
+                    &lane_strips[lo..hi],
+                    step_kernels,
+                    &mut self.lane_streams[step],
+                    self.lane_mirror.groups_mut(),
+                ));
+                if step + 1 < depth {
+                    self.lane_scratch_fills[step % 2].run(&mut self.lane_mirror);
+                }
+            }
             // In debug builds, prove the scatter honors the view's
             // read-only ranges (node 0 stands in for all — SIMD).
             #[cfg(debug_assertions)]
             let before: Vec<u32> = view
                 .ranges()
                 .iter()
-                .filter(|r| !r.writable)
+                .filter(|r| !r.writable || r.private)
                 .flat_map(|r| {
                     mems[0]
                         .slice(r.node_base, r.len)
@@ -924,7 +1192,7 @@ impl PlanInstance {
                 let after: Vec<u32> = view
                     .ranges()
                     .iter()
-                    .filter(|r| !r.writable)
+                    .filter(|r| !r.writable || r.private)
                     .flat_map(|r| {
                         mems[0]
                             .slice(r.node_base, r.len)
@@ -932,7 +1200,45 @@ impl PlanInstance {
                             .map(|v| v.to_bits())
                     })
                     .collect();
-                debug_assert_eq!(before, after, "scatter touched a read-only range");
+                debug_assert_eq!(
+                    before, after,
+                    "scatter touched a read-only or lane-private range"
+                );
+            }
+            run
+        } else if let Some(tp) = &cp.temporal {
+            // The node-domain fused loop: the fallback for temporal
+            // plans whose binding cannot ride the lane mirror (aliased
+            // arrays, a failed translation). One deepened exchange per
+            // execute, then every inner step runs its sub-schedule
+            // against node memory, with the scratch boundary fix-up
+            // between steps.
+            for ((halo, program), src) in cp.halos.iter().zip(&cp.exchanges).zip(&self.sources) {
+                interior_words += halo.fill_interior(machine, src);
+                exchange_words += program.words_moved();
+                comm += program.run(machine);
+            }
+            for ((halo, program), arr) in tp
+                .coeff_halos
+                .iter()
+                .zip(&tp.coeff_exchanges)
+                .zip(&self.coeffs)
+            {
+                interior_words += halo.fill_interior(machine, arr);
+                exchange_words += program.words_moved();
+                comm += program.run(machine);
+            }
+            let mut run = StripRun::default();
+            for step in 0..depth {
+                let (lo, hi) = (tp.step_bounds[step], tp.step_bounds[step + 1]);
+                run.absorb(&machine.run_resolved_all(
+                    &self.strips[lo..hi],
+                    cp.opts.mode,
+                    cp.opts.threads,
+                )?);
+                if step + 1 < depth {
+                    tp.scratch_fills[step % 2].run(machine);
+                }
             }
             run
         } else {
@@ -948,7 +1254,7 @@ impl PlanInstance {
                 Some(view) => machine.run_resolved_lockstep_all_kernelized(
                     lane_strips,
                     if self.kernel_tier { lane_kernels } else { &[] },
-                    &mut self.lane_streams,
+                    &mut self.lane_streams[0],
                     view,
                     cp.opts.threads,
                     &mut self.lane_mirror,
@@ -967,6 +1273,7 @@ impl PlanInstance {
             },
             1,
         );
+        cmcc_obs::add(cmcc_obs::Counter::FusedSteps, depth as u64);
         cmcc_obs::add(cmcc_obs::Counter::UsefulFlops, cp.useful_flops);
         cmcc_obs::add(
             cmcc_obs::Counter::TotalFlops,
@@ -999,6 +1306,19 @@ impl PlanInstance {
                     "lane exchange moved a different word count than its program records"
                 );
             }
+        } else if cfg!(debug_assertions) && rebind_at_entry {
+            // The rebind-cycle counterpart: a primed-but-stale entry
+            // re-primes, refreshes, exchanges, and scatters — exactly
+            // the amortized traffic `rebind_cycle_copy_words` models.
+            let observed = (interior_words + exchange_words) as u64
+                + d.row_gathered
+                + d.gathered
+                + d.scattered;
+            assert_eq!(
+                observed,
+                self.rebind_cycle_copy_words(cp) as u64,
+                "rebind-cycle copy words diverged from the analytic prediction"
+            );
         }
 
         // One front-end microcode dispatch per half-strip, exactly as the
@@ -1059,7 +1379,9 @@ impl PlanInstance {
             // The packed coefficient streams hold the *old* coefficient
             // values; result/source-only rebinds keep them (the stream
             // is a pure function of the coefficient bindings).
-            self.lane_streams.invalidate();
+            for streams in &mut self.lane_streams {
+                streams.invalidate();
+            }
         }
 
         self.result = *result;
@@ -1075,13 +1397,7 @@ impl PlanInstance {
         // lockstep path off (the new binding aliases arrays) or back on.
         if cp.opts.mode == ExecMode::Fast && cp.opts.engine == ExecEngine::Lockstep {
             self.lane_view = None;
-            if let Some(view) = LaneView::new(&lane_ranges(
-                &cp.halos,
-                cp.consts,
-                &cp.literal_pages,
-                &self.coeffs,
-                &self.result,
-            )) {
+            if let Some(view) = instance_lane_view(cp, &self.sources, &self.coeffs, &self.result) {
                 let lane_len = self
                     .lane_strips_override
                     .as_ref()
@@ -1098,7 +1414,9 @@ impl PlanInstance {
                 {
                     let kernels = translated.iter().map(StripKernels::compile).collect();
                     self.lane_strips_override = Some((translated, kernels));
-                    self.lane_streams.invalidate();
+                    for streams in &mut self.lane_streams {
+                        streams.invalidate();
+                    }
                     self.lane_view = Some(view);
                 }
             }
@@ -1121,20 +1439,18 @@ impl PlanInstance {
         self.lane_resident = false;
         self.lane_exchanges.clear();
         self.lane_interiors.clear();
+        self.lane_scratch_fills.clear();
         self.lane_reprime.clear();
         if cp.opts.lane_resident {
             if let Some(view) = &self.lane_view {
-                if let (Some(xs), Some(ins)) = (
-                    cp.exchanges
-                        .iter()
-                        .map(|p| LaneExchangeProgram::translate(p, view))
-                        .collect::<Option<Vec<_>>>(),
-                    lane_interior_copies(view, &cp.halos, &self.sources),
-                ) {
-                    self.lane_exchanges = xs;
-                    self.lane_interiors = ins;
+                if let Some(programs) = resident_programs(cp, view, &self.sources, &self.coeffs) {
+                    self.lane_exchanges = programs.exchanges;
+                    self.lane_interiors = programs.interiors;
+                    self.lane_scratch_fills = programs.scratch_fills;
                     self.lane_resident = true;
-                    self.lane_reprime = reprime_copies(view, cp.halos.len());
+                    if cp.temporal.is_none() {
+                        self.lane_reprime = reprime_copies(view, cp.halos.len());
+                    }
                 }
             }
         }
@@ -1147,7 +1463,7 @@ impl PlanInstance {
         let scatter = |view: &LaneView| {
             view.ranges()
                 .iter()
-                .filter(|r| r.writable)
+                .filter(|r| r.writable && !r.private)
                 .map(|r| r.len)
                 .sum::<usize>()
                 * cp.nodes
@@ -1156,18 +1472,82 @@ impl PlanInstance {
             let view = self.lane_view.as_ref().expect("resident plans are mapped");
             return scatter(view);
         }
+        // Node-domain refresh: every source interior, plus (temporal
+        // plans only) every named-coefficient interior feeding the
+        // widened coefficient halos.
+        let coeff_interior = match &cp.temporal {
+            Some(tp) if !tp.coeff_halos.is_empty() => {
+                self.coeffs
+                    .iter()
+                    .map(|c| c.sub_rows() * c.sub_cols())
+                    .sum::<usize>()
+                    * cp.nodes
+            }
+            _ => 0,
+        };
         let interior: usize = self
             .sources
             .iter()
             .map(|s| s.sub_rows() * s.sub_cols())
             .sum::<usize>()
-            * cp.nodes;
-        let exchange: usize = cp.exchanges.iter().map(ExchangeProgram::words_moved).sum();
-        let mirror = match &self.lane_view {
-            Some(view) => view.words() * cp.nodes + scatter(view),
-            None => 0,
+            * cp.nodes
+            + coeff_interior;
+        let exchange: usize = cp
+            .exchanges
+            .iter()
+            .map(ExchangeProgram::words_moved)
+            .sum::<usize>()
+            + cp.temporal.as_ref().map_or(0, |tp| {
+                tp.coeff_exchanges
+                    .iter()
+                    .map(ExchangeProgram::words_moved)
+                    .sum()
+            });
+        // Temporal plans never run the gather/scatter-per-execute lane
+        // path — without residency they fall back to the node-domain
+        // fused loop — so the mirror term only applies to depth-1 plans.
+        let mirror = match (&self.lane_view, &cp.temporal) {
+            (Some(view), None) => view.words() * cp.nodes + scatter(view),
+            _ => 0,
         };
         interior + exchange + mirror
+    }
+
+    /// Machine-total words copied by the execute right after a tenant
+    /// swap on the lane-resident path: the re-prime gathers, the full
+    /// interior refresh, the halo exchange, and the result scatter.
+    /// Off the resident path this is the same as the steady-state
+    /// figure (every execute already pays the full refresh).
+    fn rebind_cycle_copy_words(&self, cp: &CompiledPlan) -> usize {
+        if !self.lane_resident {
+            return self.steady_copy_words(cp);
+        }
+        let view = self.lane_view.as_ref().expect("resident plans are mapped");
+        let reprime: usize = self
+            .lane_reprime
+            .iter()
+            .map(|r| r.rows * r.cols)
+            .sum::<usize>()
+            * cp.nodes;
+        let interior: usize = self
+            .lane_interiors
+            .iter()
+            .map(|r| r.rows * r.cols)
+            .sum::<usize>()
+            * cp.nodes;
+        let exchange: usize = self
+            .lane_exchanges
+            .iter()
+            .map(LaneExchangeProgram::words_moved)
+            .sum();
+        let scatter = view
+            .ranges()
+            .iter()
+            .filter(|r| r.writable && !r.private)
+            .map(|r| r.len)
+            .sum::<usize>()
+            * cp.nodes;
+        reprime + interior + exchange + scatter
     }
 }
 
@@ -1419,6 +1799,27 @@ impl ExecutionPlan {
         self.inst.steady_copy_words(&self.shared)
     }
 
+    /// Machine-total words the execute right after a tenant swap moves
+    /// on the lane-resident path (re-prime + interior refresh + halo
+    /// exchange + scatter); equals [`Self::steady_state_copy_words`]
+    /// off that path.
+    pub fn rebind_cycle_copy_words(&self) -> usize {
+        self.inst.rebind_cycle_copy_words(&self.shared)
+    }
+
+    /// Fused time steps a single `execute` advances: the plan's
+    /// effective temporal depth (1 when temporal tiling is off or was
+    /// clamped).
+    pub fn temporal_depth(&self) -> usize {
+        self.shared.temporal_depth()
+    }
+
+    /// Why a requested `temporal_depth > 1` was clamped to 1, if it
+    /// was; `None` when the requested depth took effect.
+    pub fn temporal_fallback(&self) -> Option<&'static str> {
+        self.shared.temporal_fallback()
+    }
+
     /// Words of node memory the plan's halo buffers and constant pages
     /// occupy.
     pub fn words(&self) -> usize {
@@ -1485,6 +1886,82 @@ impl MirrorWords {
 /// then the result array (the one range scattered back). The order and
 /// lengths are rebind-invariant, which is what keeps lane-translated
 /// strips valid across rebinds.
+/// The temporal-plan variant of [`lane_ranges`]: named-coefficient
+/// *arrays* are replaced by the plan-owned coefficient halos (refreshed
+/// like source halos), and the ping-pong scratch states join as
+/// writable **lane-private** ranges — their contents are produced and
+/// consumed entirely on the mirror within one execute, so neither
+/// gather nor scatter ever copies them.
+fn lane_ranges_temporal(
+    halos: &[HaloBuffer],
+    consts: Field,
+    literal_pages: &[(Field, f32)],
+    coeff_halos: &[HaloBuffer],
+    scratch: &[Field],
+    result: &CmArray,
+) -> Vec<(usize, usize, bool, bool)> {
+    let mut ranges = Vec::new();
+    for halo in halos {
+        let f = halo.field();
+        ranges.push((f.base(), f.len(), false, false));
+    }
+    ranges.push((consts.base(), consts.len(), false, false));
+    for &(page, _) in literal_pages {
+        ranges.push((page.base(), page.len(), false, false));
+    }
+    for halo in coeff_halos {
+        let f = halo.field();
+        ranges.push((f.base(), f.len(), false, false));
+    }
+    for f in scratch {
+        ranges.push((f.base(), f.len(), true, true));
+    }
+    let f = result.field();
+    ranges.push((f.base(), f.len(), true, false));
+    ranges
+}
+
+/// The lane view over an instance binding of `cp`, or `None` when the
+/// binding cannot run on the lockstep engine. Classic plans let the
+/// view's own overlap check reject aliased bindings; temporal plans
+/// view only plan-owned buffers plus the result, so a result aliased
+/// onto a source or coefficient array would slip through — the explicit
+/// check here rejects it instead (the fixed-point refresh assumes
+/// sources and coefficients are read-only across executes), sending the
+/// binding to the node-domain fused loop.
+fn instance_lane_view(
+    cp: &CompiledPlan,
+    sources: &[CmArray],
+    coeffs: &[CmArray],
+    result: &CmArray,
+) -> Option<LaneView> {
+    match &cp.temporal {
+        Some(tp) => {
+            let rf = result.field();
+            let overlaps =
+                |f: Field| f.base() < rf.base() + rf.len() && rf.base() < f.base() + f.len();
+            if sources.iter().chain(coeffs).any(|a| overlaps(a.field())) {
+                return None;
+            }
+            LaneView::new_with_private(&lane_ranges_temporal(
+                &cp.halos,
+                cp.consts,
+                &cp.literal_pages,
+                &tp.coeff_halos,
+                &tp.scratch,
+                result,
+            ))
+        }
+        None => LaneView::new(&lane_ranges(
+            &cp.halos,
+            cp.consts,
+            &cp.literal_pages,
+            coeffs,
+            result,
+        )),
+    }
+}
+
 fn lane_ranges(
     halos: &[HaloBuffer],
     consts: Field,
@@ -1535,6 +2012,46 @@ fn reprime_copies(view: &LaneView, halo_count: usize) -> Vec<RectCopy> {
             cols: range.len,
         })
         .collect()
+}
+
+/// The full lane-resident program set for `view`: every halo exchange
+/// (sources first, then temporal coefficient halos) and interior
+/// refresh translated onto the mirror, plus the scratch boundary
+/// fix-ups of a temporal plan. `None` when any part fails to translate
+/// — the plan then runs without residency.
+struct ResidentPrograms {
+    exchanges: Vec<LaneExchangeProgram>,
+    interiors: Vec<RectCopy>,
+    scratch_fills: Vec<LaneFillProgram>,
+}
+
+fn resident_programs(
+    cp: &CompiledPlan,
+    view: &LaneView,
+    sources: &[CmArray],
+    coeffs: &[CmArray],
+) -> Option<ResidentPrograms> {
+    let mut exchanges: Vec<LaneExchangeProgram> = cp
+        .exchanges
+        .iter()
+        .map(|p| LaneExchangeProgram::translate(p, view))
+        .collect::<Option<_>>()?;
+    let mut interiors = lane_interior_copies(view, &cp.halos, sources)?;
+    let mut scratch_fills = Vec::new();
+    if let Some(tp) = &cp.temporal {
+        for p in &tp.coeff_exchanges {
+            exchanges.push(LaneExchangeProgram::translate(p, view)?);
+        }
+        interiors.extend(lane_interior_copies(view, &tp.coeff_halos, coeffs)?);
+        for p in &tp.scratch_fills {
+            scratch_fills.push(LaneFillProgram::translate(p, view)?);
+        }
+    }
+    Some(ResidentPrograms {
+        exchanges,
+        interiors,
+        scratch_fills,
+    })
 }
 
 fn lane_interior_copies(

@@ -171,6 +171,7 @@ fn every_option_combination_is_functionally_identical() {
                                 skip_corners_when_possible: skip,
                                 threads,
                                 lane_resident,
+                                temporal_depth: 1,
                             };
                             let (rows, cols) = (8usize, 8usize);
                             let x = session.array(rows, cols).unwrap();

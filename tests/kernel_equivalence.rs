@@ -431,6 +431,159 @@ fn property_kernel_tier_is_indistinguishable() {
     });
 }
 
+/// The per-step slices of a temporal schedule run through the kernel
+/// tier exactly like a depth-1 schedule: tier on, tier off, and the
+/// iterated scalar oracle must be indistinguishable at every depth.
+#[test]
+fn temporal_kernel_tier_matches_interpreter_and_scalar() {
+    let cfg = MachineConfig::tiny_4();
+    let (rows, cols, steps) = (16, 24, 4usize);
+    let run = |pattern: PaperPattern, depth: usize, opts: &ExecOptions, tier: bool| -> Vec<u32> {
+        let compiler = Compiler::new(cfg.clone());
+        let compiled = compiler
+            .compile_assignment(&pattern.fortran())
+            .expect("paper patterns compile");
+        let mut machine = Machine::new(cfg.clone()).expect("tiny_4 is valid");
+        let a = CmArray::new(&mut machine, rows, cols).unwrap();
+        let b = CmArray::new(&mut machine, rows, cols).unwrap();
+        a.fill_with(&mut machine, |r, c| {
+            ((r * 31 + c * 7) % 41) as f32 * 0.125 - 2.5
+        });
+        b.fill(&mut machine, 0.0);
+        let named = compiled
+            .spec()
+            .coeffs
+            .iter()
+            .filter(|c| matches!(c, CoeffSpec::Named(_)))
+            .count();
+        let coeffs: Vec<CmArray> = (0..named)
+            .map(|s| {
+                let arr = CmArray::new(&mut machine, rows, cols).unwrap();
+                arr.fill_with(&mut machine, move |r, c| {
+                    ((r * 5 + c * 11 + s * 3) % 13) as f32 * 0.0625 - 0.375
+                });
+                arr
+            })
+            .collect();
+        let refs: Vec<&CmArray> = coeffs.iter().collect();
+        let opts = (*opts).with_temporal_depth(depth);
+        let binding = StencilBinding::new(&compiled, &b, &[&a], &refs).unwrap();
+        let mut plan =
+            ExecutionPlan::build(&mut machine, &binding, &opts, PlanLifetime::Scoped).unwrap();
+        plan.set_kernel_tier(tier);
+        let executes = steps / depth;
+        for e in 0..executes {
+            plan.execute(&mut machine).unwrap();
+            if e + 1 < executes {
+                let (from, to) = if e % 2 == 0 { (&b, &a) } else { (&a, &b) };
+                plan.rebind(to, &[from], &refs).unwrap();
+            }
+        }
+        let last = if executes.is_multiple_of(2) { &a } else { &b };
+        last.gather(&machine).iter().map(|v| v.to_bits()).collect()
+    };
+    for pattern in [PaperPattern::Square9, PaperPattern::Cross5] {
+        let oracle = run(pattern, 1, &scalar_fast(), true);
+        for depth in [2, 4] {
+            let kern = run(pattern, depth, &lockstep_fast(), true);
+            let interp = run(pattern, depth, &lockstep_fast(), false);
+            assert_eq!(
+                oracle,
+                kern,
+                "{} depth {depth}: kernelized temporal run diverges",
+                pattern.name()
+            );
+            assert_eq!(
+                oracle,
+                interp,
+                "{} depth {depth}: interpreted temporal run diverges",
+                pattern.name()
+            );
+        }
+    }
+}
+
+/// The point of temporal tiling, pinned by telemetry: a time loop at
+/// depth k issues exactly k× fewer halo-exchange program runs than the
+/// same loop one step at a time, every execute books k fused steps, and
+/// a depth the plan cannot honor books one fallback.
+#[test]
+fn temporal_telemetry_counts_exchanges_fused_steps_and_fallbacks() {
+    let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let was_on = obs::enabled();
+    obs::set_enabled(true);
+
+    // All-literal five-point heat kernel: no coefficient halos, so the
+    // exchange count is purely the source-halo traffic.
+    let heat = "T_NEXT = 0.2 * EOSHIFT(T, DIM=1, SHIFT=-1) \
+                + 0.2 * EOSHIFT(T, DIM=2, SHIFT=-1) + 0.2 * T \
+                + 0.2 * EOSHIFT(T, DIM=2, SHIFT=+1) \
+                + 0.2 * EOSHIFT(T, DIM=1, SHIFT=+1)";
+    let cfg = MachineConfig::tiny_4();
+    let compiler = Compiler::new(cfg.clone());
+    let compiled = compiler
+        .compile_assignment(heat)
+        .expect("heat kernel compiles");
+    let (rows, cols, steps) = (16, 24, 4usize);
+
+    let exchanges_at_depth = |depth: usize| -> (u64, u64) {
+        let mut machine = Machine::new(cfg.clone()).expect("tiny_4 is valid");
+        let a = CmArray::new(&mut machine, rows, cols).unwrap();
+        let b = CmArray::new(&mut machine, rows, cols).unwrap();
+        a.fill_with(&mut machine, |r, c| ((r * 13 + c) % 17) as f32 * 0.25);
+        b.fill(&mut machine, 0.0);
+        let opts = lockstep_fast().with_temporal_depth(depth);
+        let binding = StencilBinding::new(&compiled, &b, &[&a], &[]).unwrap();
+        let mut plan =
+            ExecutionPlan::build(&mut machine, &binding, &opts, PlanLifetime::Scoped).unwrap();
+        assert_eq!(plan.temporal_depth(), depth, "depth should take effect");
+        let before = obs::snapshot();
+        for e in 0..steps / depth {
+            plan.execute(&mut machine).unwrap();
+            if e + 1 < steps / depth {
+                let (from, to) = if e % 2 == 0 { (&b, &a) } else { (&a, &b) };
+                plan.rebind(to, &[from], &[]).unwrap();
+            }
+        }
+        let delta = obs::snapshot().delta(&before);
+        (
+            delta.get(Counter::HaloExchanges),
+            delta.get(Counter::FusedSteps),
+        )
+    };
+
+    let (shallow_exchanges, shallow_fused) = exchanges_at_depth(1);
+    let (deep_exchanges, deep_fused) = exchanges_at_depth(steps);
+    assert!(shallow_exchanges > 0, "exchanges must be counted at all");
+    assert_eq!(
+        shallow_exchanges,
+        deep_exchanges * steps as u64,
+        "depth {steps} must cut halo exchanges exactly {steps}x"
+    );
+    // Both loops advance the same number of physical time steps.
+    assert_eq!(shallow_fused, steps as u64);
+    assert_eq!(deep_fused, steps as u64);
+
+    // A depth the shape cannot carry books exactly one fallback.
+    let mut machine = Machine::new(cfg.clone()).expect("tiny_4 is valid");
+    let a = CmArray::new(&mut machine, 8, 8).unwrap();
+    a.fill(&mut machine, 1.0);
+    let b = CmArray::new(&mut machine, 8, 8).unwrap();
+    let binding = StencilBinding::new(&compiled, &b, &[&a], &[]).unwrap();
+    let before = obs::snapshot();
+    let plan = ExecutionPlan::build(
+        &mut machine,
+        &binding,
+        &lockstep_fast().with_temporal_depth(16),
+        PlanLifetime::Scoped,
+    )
+    .unwrap();
+    let delta = obs::snapshot().delta(&before);
+    obs::set_enabled(was_on);
+    assert_eq!(plan.temporal_depth(), 1);
+    assert_eq!(delta.get(Counter::TemporalFallbacks), 1);
+}
+
 /// A binding whose result aliases a coefficient array cannot lane-map,
 /// so the kernel tier never sees it: the plan falls back to the scalar
 /// engine and records no lockstep steps at all — the fallback is

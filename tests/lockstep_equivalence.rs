@@ -366,6 +366,261 @@ fn aliased_bindings_fall_back_and_stay_exact() {
     assert_eq!(run(&scalar_fast()), run(&lockstep_fast()));
 }
 
+/// Builds machine + deterministically filled arrays for `pattern` and
+/// advances `steps` time steps, `depth` of them fused per `execute`
+/// (`steps` must be a multiple of `depth`), ping-ponging result and
+/// source between executes. Returns the final array's bits.
+fn run_time_stepped(
+    pattern: PaperPattern,
+    rows: usize,
+    cols: usize,
+    steps: usize,
+    depth: usize,
+    opts: &ExecOptions,
+) -> Vec<u32> {
+    assert_eq!(steps % depth, 0, "whole executes only");
+    let cfg = MachineConfig::tiny_4();
+    let compiler = Compiler::new(cfg.clone());
+    let compiled = compiler
+        .compile_assignment(&pattern.fortran())
+        .expect("paper patterns compile");
+    let mut machine = Machine::new(cfg).expect("tiny_4 is valid");
+    let a = CmArray::new(&mut machine, rows, cols).unwrap();
+    let b = CmArray::new(&mut machine, rows, cols).unwrap();
+    a.fill_with(&mut machine, |r, c| {
+        ((r * 31 + c * 7) % 41) as f32 * 0.125 - 2.5
+    });
+    b.fill(&mut machine, 0.0);
+    let named = compiled
+        .spec()
+        .coeffs
+        .iter()
+        .filter(|c| matches!(c, CoeffSpec::Named(_)))
+        .count();
+    let coeffs: Vec<CmArray> = (0..named)
+        .map(|s| {
+            let arr = CmArray::new(&mut machine, rows, cols).unwrap();
+            arr.fill_with(&mut machine, move |r, c| {
+                ((r * 5 + c * 11 + s * 3) % 13) as f32 * 0.0625 - 0.375
+            });
+            arr
+        })
+        .collect();
+    let refs: Vec<&CmArray> = coeffs.iter().collect();
+    // Keep a caller-provided depth (e.g. one expected to clamp) intact.
+    let opts = if depth > 1 {
+        (*opts).with_temporal_depth(depth)
+    } else {
+        *opts
+    };
+    let binding = StencilBinding::new(&compiled, &b, &[&a], &refs).unwrap();
+    let mut plan =
+        ExecutionPlan::build(&mut machine, &binding, &opts, PlanLifetime::Scoped).unwrap();
+    let executes = steps / depth;
+    for e in 0..executes {
+        plan.execute(&mut machine).unwrap();
+        if e + 1 < executes {
+            let (from, to) = if e % 2 == 0 { (&b, &a) } else { (&a, &b) };
+            plan.rebind(to, &[from], &refs).unwrap();
+        }
+    }
+    let last = if executes.is_multiple_of(2) { &a } else { &b };
+    last.gather(&machine).iter().map(|v| v.to_bits()).collect()
+}
+
+/// Temporal tiling: one fused execute at depth k must be bit-identical
+/// to k iterated depth-1 scalar steps, for every paper pattern and
+/// every supported depth — including patterns with named coefficient
+/// arrays, whose halo-margin values flow through the widened
+/// coefficient halos.
+#[test]
+fn temporal_fused_executes_match_iterated_scalar() {
+    for pattern in PaperPattern::ALL {
+        // 4 steps: scalar one-at-a-time vs fused at every divisor depth.
+        let oracle = run_time_stepped(pattern, 16, 24, 4, 1, &scalar_fast());
+        for depth in [1, 2, 4] {
+            let fused = run_time_stepped(pattern, 16, 24, 4, depth, &lockstep_fast());
+            assert_eq!(
+                oracle,
+                fused,
+                "{}: depth-{depth} fused run diverges from iterated scalar",
+                pattern.name()
+            );
+        }
+    }
+}
+
+/// Temporal tiling across edge subgrid shapes and rebind ping-pong:
+/// uneven strips, margin-shifted schedules, and mirror re-priming
+/// between fused executes must all stay exact.
+#[test]
+fn temporal_edge_shapes_and_rebinds_stay_exact() {
+    for pattern in [PaperPattern::Square9, PaperPattern::Cross5] {
+        for (rows, cols) in [(16, 30), (8, 14), (12, 18)] {
+            let oracle = run_time_stepped(pattern, rows, cols, 6, 1, &scalar_fast());
+            for depth in [2, 3] {
+                let fused = run_time_stepped(pattern, rows, cols, 6, depth, &lockstep_fast());
+                assert_eq!(
+                    oracle,
+                    fused,
+                    "{} at {rows}x{cols}: depth-{depth} diverges",
+                    pattern.name()
+                );
+            }
+        }
+    }
+}
+
+/// A step count that does not divide by the fused depth: run the bulk
+/// through the deep plan and the tail through a depth-1 plan on the
+/// same machine — exactly how a driver time loop handles remainders.
+#[test]
+fn temporal_tail_steps_via_shallow_plan_stay_exact() {
+    let (rows, cols, total, depth) = (12, 16, 7usize, 3usize);
+    let pattern = PaperPattern::Square9;
+    let oracle = run_time_stepped(pattern, rows, cols, total, 1, &scalar_fast());
+
+    let cfg = MachineConfig::tiny_4();
+    let compiler = Compiler::new(cfg.clone());
+    let compiled = compiler
+        .compile_assignment(&pattern.fortran())
+        .expect("paper patterns compile");
+    let mut machine = Machine::new(cfg).expect("tiny_4 is valid");
+    let a = CmArray::new(&mut machine, rows, cols).unwrap();
+    let b = CmArray::new(&mut machine, rows, cols).unwrap();
+    a.fill_with(&mut machine, |r, c| {
+        ((r * 31 + c * 7) % 41) as f32 * 0.125 - 2.5
+    });
+    b.fill(&mut machine, 0.0);
+    let named = compiled
+        .spec()
+        .coeffs
+        .iter()
+        .filter(|c| matches!(c, CoeffSpec::Named(_)))
+        .count();
+    let coeffs: Vec<CmArray> = (0..named)
+        .map(|s| {
+            let arr = CmArray::new(&mut machine, rows, cols).unwrap();
+            arr.fill_with(&mut machine, move |r, c| {
+                ((r * 5 + c * 11 + s * 3) % 13) as f32 * 0.0625 - 0.375
+            });
+            arr
+        })
+        .collect();
+    let refs: Vec<&CmArray> = coeffs.iter().collect();
+
+    let deep_opts = lockstep_fast().with_temporal_depth(depth);
+    let binding = StencilBinding::new(&compiled, &b, &[&a], &refs).unwrap();
+    let mut deep =
+        ExecutionPlan::build(&mut machine, &binding, &deep_opts, PlanLifetime::Scoped).unwrap();
+    assert_eq!(deep.temporal_depth(), depth, "depth should take effect");
+    deep.execute(&mut machine).unwrap(); // steps 1..=3 → b
+    deep.rebind(&a, &[&b], &refs).unwrap();
+    deep.execute(&mut machine).unwrap(); // steps 4..=6 → a
+
+    let tail_binding = StencilBinding::new(&compiled, &b, &[&a], &refs).unwrap();
+    let mut tail = ExecutionPlan::build(
+        &mut machine,
+        &tail_binding,
+        &lockstep_fast(),
+        PlanLifetime::Scoped,
+    )
+    .unwrap();
+    tail.execute(&mut machine).unwrap(); // step 7 → b
+
+    let got: Vec<u32> = b.gather(&machine).iter().map(|v| v.to_bits()).collect();
+    assert_eq!(oracle, got, "tail-step composition diverges");
+}
+
+/// Depths the plan cannot honor clamp to 1 with a recorded reason —
+/// and the clamped plan still runs exactly one step per execute.
+#[test]
+fn temporal_depth_clamps_with_a_reason() {
+    let cfg = MachineConfig::tiny_4();
+    let compiler = Compiler::new(cfg.clone());
+    let compiled = compiler
+        .compile_assignment(&PaperPattern::Square9.fortran())
+        .expect("paper patterns compile");
+    let build =
+        |machine: &mut Machine, arrays: &(CmArray, CmArray, Vec<CmArray>), opts: &ExecOptions| {
+            let (a, b, coeffs) = arrays;
+            let refs: Vec<&CmArray> = coeffs.iter().collect();
+            let binding = StencilBinding::new(&compiled, b, &[a], &refs).unwrap();
+            ExecutionPlan::build(machine, &binding, opts, PlanLifetime::Scoped).unwrap()
+        };
+    let mut machine = Machine::new(cfg).expect("tiny_4 is valid");
+    // 8×8 global on the 2×2 board → 4×4 subgrids: depth 8 needs an
+    // 8-deep halo, deeper than the subgrid.
+    let (rows, cols) = (8, 8);
+    let a = CmArray::new(&mut machine, rows, cols).unwrap();
+    a.fill_with(&mut machine, |r, c| (r * 3 + c) as f32 * 0.25);
+    let b = CmArray::new(&mut machine, rows, cols).unwrap();
+    let named = compiled
+        .spec()
+        .coeffs
+        .iter()
+        .filter(|c| matches!(c, CoeffSpec::Named(_)))
+        .count();
+    let coeffs: Vec<CmArray> = (0..named)
+        .map(|s| {
+            let arr = CmArray::new(&mut machine, rows, cols).unwrap();
+            arr.fill(&mut machine, (s as f32 + 1.0) * 0.125);
+            arr
+        })
+        .collect();
+    let arrays = (a, b, coeffs);
+
+    let small = build(
+        &mut machine,
+        &arrays,
+        &lockstep_fast().with_temporal_depth(8),
+    );
+    assert_eq!(small.temporal_depth(), 1, "oversized depth must clamp");
+    assert_eq!(
+        small.temporal_fallback(),
+        Some("subgrid smaller than depth x radius")
+    );
+
+    let scalar = build(&mut machine, &arrays, &scalar_fast().with_temporal_depth(4));
+    assert_eq!(scalar.temporal_depth(), 1);
+    assert_eq!(scalar.temporal_fallback(), Some("scalar engine"));
+
+    let node_exchange = build(
+        &mut machine,
+        &arrays,
+        &lockstep_fast()
+            .with_temporal_depth(4)
+            .with_lane_resident(false),
+    );
+    assert_eq!(node_exchange.temporal_depth(), 1);
+    assert_eq!(
+        node_exchange.temporal_fallback(),
+        Some("lane residency disabled")
+    );
+
+    // A depth the shape supports records no fallback.
+    let ok = build(
+        &mut machine,
+        &arrays,
+        &lockstep_fast().with_temporal_depth(2),
+    );
+    assert_eq!(ok.temporal_depth(), 2);
+    assert_eq!(ok.temporal_fallback(), None);
+
+    // And the clamped plan advances exactly one step per execute: one
+    // execute must equal one scalar step, not eight.
+    let oracle = run_time_stepped(PaperPattern::Square9, 16, 24, 1, 1, &scalar_fast());
+    let clamped = run_time_stepped(
+        PaperPattern::Square9,
+        16,
+        24,
+        1,
+        1,
+        &lockstep_fast().with_temporal_depth(64),
+    );
+    assert_eq!(oracle, clamped, "clamped plan must run one step");
+}
+
 /// Randomized sweep: random shapes, patterns, and thread counts, fresh
 /// random data per case — scalar and lockstep stay indistinguishable.
 #[test]
