@@ -2,21 +2,24 @@
 """Validate the stability of the `cmcc --profile=json` schema.
 
 Reads driver output on stdin, finds the single-line JSON profile object
-(the line opening with ``{"schema":"cmcc-profile-v3"``), and checks every
-documented key of the cmcc-profile-v3 schema (DESIGN.md §13) is present
-with a sane type. Exits non-zero with a diagnostic on any missing or
-mistyped field, so CI fails when the schema drifts without a version
-bump.
+(the line opening with ``{"schema":"cmcc-profile-v4"``), and checks every
+documented key of the cmcc-profile-v4 schema (DESIGN.md §13) is present
+with a sane type — including the region-lease block (``leases.*``) and
+the lease counters under ``report.exec``. Exits non-zero with a
+diagnostic on any missing or mistyped field, so CI fails when the schema
+drifts without a version bump.
 
 With ``--serve`` it instead validates the ``cmcc --serve --profile=json``
-output: the single ``cmcc-serve-v1`` line with per-tenant stats, the
-sharded plan-cache aggregate, and the build-once flag (which must be
-true — one build per distinct plan however many tenants race).
+output: the single ``cmcc-serve-v2`` line with per-tenant stats, the
+sharded plan-cache aggregate, the lease totals, the build-once flag
+(which must be true — one build per distinct plan however many tenants
+race), and the drained flag (which must be true — zero live or queued
+leases after the pool exits).
 
 With ``--bench-parallel FILE`` it instead validates the schema of the
 ``repro_parallel`` bench output (``BENCH_parallel.json``), including the
-``oversubscribed`` flag that marks single-core curves as non-scaling
-measurements.
+``scaling_gate`` string that records whether the ≥2× assertion was
+asserted, recorded only, or skipped on a single-core host.
 
 With ``--bench-temporal FILE`` it instead validates the schema of the
 ``repro_temporal`` bench output (``BENCH_temporal.json``) and re-checks
@@ -24,19 +27,27 @@ its recorded correctness gates: every depth bit-identical to the
 iterated scalar oracle, halo exchanges reduced by exactly the fused
 depth, and observed copy words equal to the analytic prediction.
 
+With ``--bench-serve FILE`` it instead validates the schema of the
+``repro_serve`` bench output (``BENCH_serve.json``) and re-checks its
+recorded gates: concurrent results bit-identical to the serialized
+baseline, zero live leases after the pool drains, at least one region
+grant, and — when the speedup gate was asserted (2+ cores) — ≥1.5×
+throughput with the overlap probe having counted an exclusive fallback.
+
 Usage:
     cmcc --run --iters 3 --profile=json five.f90 | python3 ci/check_profile_schema.py
     cmcc --serve --profile=json - < batch.txt | python3 ci/check_profile_schema.py --serve
     python3 ci/check_profile_schema.py --bench-parallel BENCH_parallel.json
     python3 ci/check_profile_schema.py --bench-temporal BENCH_temporal.json
+    python3 ci/check_profile_schema.py --bench-serve BENCH_serve.json
 """
 
 import json
 import numbers
 import sys
 
-SCHEMA = "cmcc-profile-v3"
-SERVE_SCHEMA = "cmcc-serve-v1"
+SCHEMA = "cmcc-profile-v4"
+SERVE_SCHEMA = "cmcc-serve-v2"
 
 # (dotted path, expected type) for every key the schema promises.
 EXPECTED = [
@@ -67,6 +78,10 @@ EXPECTED = [
     ("plan_cache.shards", list),
     ("plan_cache.shard_evictions", list),
     ("plan_cache.shared_in_flight", numbers.Integral),
+    ("leases.region_grants", numbers.Integral),
+    ("leases.conflicts", numbers.Integral),
+    ("leases.peak_concurrent", numbers.Integral),
+    ("leases.live", numbers.Integral),
     ("report.enabled", bool),
     ("report.compile.recognize_ns", numbers.Integral),
     ("report.compile.recognize_calls", numbers.Integral),
@@ -107,6 +122,10 @@ EXPECTED = [
     ("report.exec.kernelized_steps", numbers.Integral),
     ("report.exec.interpreted_steps", numbers.Integral),
     ("report.exec.mirror_allocations", numbers.Integral),
+    ("report.exec.mirror_pool_misses", numbers.Integral),
+    ("report.exec.region_leases", numbers.Integral),
+    ("report.exec.lease_conflicts", numbers.Integral),
+    ("report.exec.concurrent_executes_peak", numbers.Integral),
     ("report.exec.useful_flops", numbers.Integral),
     ("report.exec.total_flops", numbers.Integral),
 ]
@@ -126,7 +145,7 @@ BENCH_PARALLEL_EXPECTED = [
     ("global_grid", list),
     ("subgrid", list),
     ("host_cores", numbers.Integral),
-    ("oversubscribed", bool),
+    ("scaling_gate", str),
     ("warmup", numbers.Integral),
     ("iters", numbers.Integral),
     ("curve", list),
@@ -160,8 +179,11 @@ def check_bench_parallel(path):
             value, found = lookup(point, key)
             if not found or not isinstance(value, kind):
                 errors.append("%s: curve[%d].%s missing or mistyped" % (path, i, key))
-    if bench.get("oversubscribed") and bench.get("host_cores", 0) > 1:
-        errors.append("%s: oversubscribed set on a multi-core host" % path)
+    gate = bench.get("scaling_gate", "")
+    if not gate.startswith(("asserted", "recorded only", "skipped")):
+        errors.append("%s: scaling_gate %r is not a recognized disposition" % (path, gate))
+    if gate.startswith("asserted") and bench.get("max_threads_speedup", 0.0) < 2.0:
+        errors.append("%s: scaling gate asserted but speedup < 2x" % path)
     if errors:
         sys.exit("\n".join(errors))
     print("ok: %s matches the repro_parallel bench schema" % path)
@@ -238,14 +260,83 @@ def check_bench_temporal(path):
     )
 
 
-# (dotted path, expected type) for the aggregate half of cmcc-serve-v1.
+# (dotted path, expected type) for every key BENCH_serve.json promises.
+BENCH_SERVE_EXPECTED = [
+    ("workers", numbers.Integral),
+    ("subgrid", list),
+    ("host_cores", numbers.Integral),
+    ("iters", numbers.Integral),
+    ("concurrent_secs", numbers.Real),
+    ("serialized_secs", numbers.Real),
+    ("concurrent_runs_per_sec", numbers.Real),
+    ("serialized_runs_per_sec", numbers.Real),
+    ("speedup", numbers.Real),
+    ("region_grants", numbers.Integral),
+    ("peak_concurrent", numbers.Integral),
+    ("overlap_conflicts", numbers.Integral),
+    ("live_leases_after", numbers.Integral),
+    ("lane_resident", list),
+    ("bit_identical", bool),
+    ("gate", str),
+]
+
+
+def check_bench_serve(path):
+    with open(path) as f:
+        bench = json.load(f)
+    errors = []
+    for key, kind in BENCH_SERVE_EXPECTED:
+        value, found = lookup(bench, key)
+        if not found:
+            errors.append("%s: missing key %s" % (path, key))
+        elif kind is not bool and isinstance(value, bool):
+            errors.append("%s: %s is a bool, expected %s" % (path, key, kind))
+        elif not isinstance(value, kind):
+            errors.append(
+                "%s: %s has type %s, expected %s"
+                % (path, key, type(value).__name__, kind)
+            )
+    # The bench asserts these before writing the file; re-check so a
+    # stale or hand-edited artifact cannot pass CI.
+    if bench.get("bit_identical") is not True:
+        errors.append("%s: concurrent results diverged from the baseline" % path)
+    if bench.get("live_leases_after") != 0:
+        errors.append("%s: leases leaked after the pool drained" % path)
+    if not bench.get("region_grants", 0) > 0:
+        errors.append("%s: no execute ever took the region-lease path" % path)
+    gate = bench.get("gate", "")
+    if not gate.startswith(("asserted", "skipped")):
+        errors.append("%s: gate %r is not a recognized disposition" % (path, gate))
+    if gate.startswith("asserted"):
+        if bench.get("speedup", 0.0) < 1.5:
+            errors.append("%s: gate asserted but speedup < 1.5x" % path)
+        if not bench.get("overlap_conflicts", 0) > 0:
+            errors.append(
+                "%s: gate asserted but the overlap probe counted no exclusive fallback"
+                % path
+            )
+    if errors:
+        sys.exit("\n".join(errors))
+    print(
+        "ok: %s matches the repro_serve bench schema (%s, %.2fx)"
+        % (path, gate.split(" (")[0], bench.get("speedup", 0.0))
+    )
+
+
+# (dotted path, expected type) for the aggregate half of cmcc-serve-v2.
 SERVE_EXPECTED = [
     ("schema", str),
     ("workers", numbers.Integral),
+    ("quota", numbers.Integral),
     ("statements", numbers.Integral),
     ("iters", numbers.Integral),
     ("build_once", bool),
+    ("drained", bool),
     ("tenants", list),
+    ("leases.region_grants", numbers.Integral),
+    ("leases.conflicts", numbers.Integral),
+    ("leases.peak_concurrent", numbers.Integral),
+    ("leases.live", numbers.Integral),
     ("plan_cache.hits", numbers.Integral),
     ("plan_cache.misses", numbers.Integral),
     ("plan_cache.evictions", numbers.Integral),
@@ -303,6 +394,8 @@ def check_serve():
             errors.append("serve: tenants[%d] reported errors" % i)
     if batch.get("build_once") is not True:
         errors.append("serve: build-once violated (builds != misses)")
+    if batch.get("drained") is not True:
+        errors.append("serve: lease table not drained (live or queued leases remain)")
     builds = sum(t.get("plan_builds", 0) for t in tenants)
     misses, _ = lookup(batch, "plan_cache.misses")
     if builds != misses:
@@ -317,7 +410,7 @@ def check_serve():
     if errors:
         sys.exit("\n".join(errors))
     print(
-        "ok: serve batch matches %s (%d tenants, build-once held)"
+        "ok: serve batch matches %s (%d tenants, build-once held, leases drained)"
         % (SERVE_SCHEMA, len(tenants))
     )
 
@@ -335,6 +428,11 @@ def main():
         if len(sys.argv) != 3:
             sys.exit("usage: check_profile_schema.py --bench-temporal FILE")
         check_bench_temporal(sys.argv[2])
+        return
+    if len(sys.argv) >= 2 and sys.argv[1] == "--bench-serve":
+        if len(sys.argv) != 3:
+            sys.exit("usage: check_profile_schema.py --bench-serve FILE")
+        check_bench_serve(sys.argv[2])
         return
 
     profiles = []

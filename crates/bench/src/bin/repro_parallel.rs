@@ -3,11 +3,12 @@
 //! Runs the 9-point square stencil on the simulated 16-node test board
 //! with a 128×128 per-node subgrid (a 512×512 global array) under the
 //! cycle-accurate scalar engine, sweeping the host thread count over
-//! {1, 2, 4, available cores}. Every thread count must be
-//! indistinguishable from the serial baseline: bit-identical result
-//! arrays and exactly equal `Measurement`s. Each point is a warmup run
-//! followed by 20 timed iterations (best-of); the full scaling curve is
-//! written to `BENCH_parallel.json`.
+//! the powers of two up to `available_parallelism()` (plus the core
+//! count itself) — the curve never oversubscribes the host. Every
+//! thread count must be indistinguishable from the serial baseline:
+//! bit-identical result arrays and exactly equal `Measurement`s. Each
+//! point is a warmup run followed by 20 timed iterations (best-of); the
+//! full scaling curve is written to `BENCH_parallel.json`.
 //!
 //! ```sh
 //! cargo run --release -p cmcc-bench --bin repro_parallel
@@ -16,8 +17,10 @@
 //!
 //! `--smoke` drops to 2 timed iterations per point (for CI). The ≥2×
 //! speedup assertion applies to the maximum thread count only, and only
-//! on hosts with 4+ cores — on fewer cores the curve is still recorded,
-//! but a speedup is not expected.
+//! on hosts with 4+ cores. On a single core the curve collapses to the
+//! serial point and the scaling gate is skipped outright (recorded in
+//! the JSON as the `scaling_gate` reason) — there is no scaling to
+//! measure, and timing thread churn would only produce noise.
 
 use cmcc_bench::Workload;
 use cmcc_cm2::config::MachineConfig;
@@ -62,8 +65,12 @@ fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let iters = if smoke { 2 } else { FULL_ITERS };
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let mut sweep = vec![1, 2, 4, cores];
-    sweep.sort_unstable();
+    // Powers of two up to the host's parallelism, plus the core count
+    // itself: {1} on one core, {1,2,4,6} on six, {1,2,4,8} on eight.
+    let mut sweep: Vec<usize> = std::iter::successors(Some(1usize), |t| Some(t * 2))
+        .take_while(|&t| t < cores)
+        .collect();
+    sweep.push(cores);
     sweep.dedup();
 
     println!("Parallel per-node execution engine benchmark");
@@ -117,16 +124,19 @@ fn main() {
             )
         })
         .collect();
-    // A single-core host oversubscribes every multi-thread point: the
-    // curve then measures scheduler churn, not scaling, so the JSON
-    // carries an explicit flag instead of a misleading slowdown.
-    let oversubscribed = cores == 1;
-    if oversubscribed {
-        println!("  (1 host core: curve marked oversubscribed, not a scaling measurement)");
-    }
+    // The gate is a real assertion only where scaling is measurable; a
+    // single core has no multi-thread points at all, so the gate is
+    // skipped, with the reason recorded rather than implied.
+    let scaling_gate = if cores >= 4 {
+        format!("asserted (>=2x at {} threads)", max_point.threads)
+    } else if cores == 1 {
+        "skipped (1 host core: serial point only, no scaling to measure)".to_owned()
+    } else {
+        format!("recorded only ({cores} cores < 4)")
+    };
     let json = format!(
         "{{\n  \"pattern\": \"{}\",\n  \"global_grid\": [512, 512],\n  \"subgrid\": [{}, {}],\n  \
-         \"host_cores\": {cores},\n  \"oversubscribed\": {oversubscribed},\n  \
+         \"host_cores\": {cores},\n  \"scaling_gate\": \"{scaling_gate}\",\n  \
          \"warmup\": 1,\n  \"iters\": {iters},\n  \
          \"curve\": [\n{}\n  ],\n  \
          \"max_threads_speedup\": {max_speedup:.4},\n  \"bit_identical\": {bit_identical},\n  \
@@ -150,6 +160,6 @@ fn main() {
             "expected >=2x speedup on {cores} cores, got {max_speedup:.2}x"
         );
     } else {
-        println!("  ({cores} core(s) < 4: speedup recorded but not asserted)");
+        println!("  ({scaling_gate})");
     }
 }

@@ -408,6 +408,25 @@ impl LaneMemory {
         }
     }
 
+    /// Transposes every *writable*, non-private viewed range into staged
+    /// node-major buffers (`bufs[i]` holds range `i`'s words for this
+    /// group's lanes, one contiguous `len`-word run per lane) instead of
+    /// writing node memory — the group-local half of
+    /// [`LaneMirror::scatter_stage`].
+    fn scatter_to_stage(&self, view: &LaneView, mut bufs: Vec<&mut [f32]>) {
+        let nodes = self.nodes;
+        let mut it = bufs.iter_mut();
+        for range in view.ranges().iter().filter(|r| r.writable && !r.private) {
+            let buf = it.next().expect("one staged buffer per writable range");
+            let src = &self.data[range.lane_base * nodes..(range.lane_base + range.len) * nodes];
+            for (w, row) in src.chunks_exact(nodes).enumerate() {
+                for (lane, &value) in row.iter().enumerate() {
+                    buf[lane * range.len + w] = value;
+                }
+            }
+        }
+    }
+
     /// Copies every *writable*, non-private viewed range from the mirror
     /// back into `mems`.
     ///
@@ -634,6 +653,44 @@ impl LaneMirror {
         self.scattered_words += moved as u64;
     }
 
+    /// The region-path counterpart of [`LaneMirror::scatter`]: transposes
+    /// every writable, non-private viewed range into `stage`'s node-major
+    /// buffers instead of writing node memory. A region-leased execute
+    /// holds only a *shared* machine borrow, so its writes are staged
+    /// here and committed later with [`RegionStage::apply`] under a brief
+    /// exclusive lock. Counts the same scattered words as a direct
+    /// scatter (the commit itself counts nothing), so traffic telemetry
+    /// is path-independent. Fans groups across host threads for large
+    /// views; stage buffers are recycled across executes.
+    pub fn scatter_stage(&mut self, view: &LaneView, stage: &mut RegionStage) {
+        let moved = view.scatter_words() * self.nodes;
+        stage.shape(view, self.nodes, self.chunk);
+        // Slice each range's buffer at group boundaries: group `g`'s
+        // lanes own the contiguous node-major run `base*len..(base+n)*len`.
+        let mut per_group: Vec<Vec<&mut [f32]>> = self.groups.iter().map(|_| Vec::new()).collect();
+        for buf in &mut stage.bufs {
+            let len = buf.len() / self.nodes;
+            let mut rest = &mut buf[..];
+            for (g, group) in self.groups.iter().enumerate() {
+                let (mine, tail) = std::mem::take(&mut rest).split_at_mut(group.nodes() * len);
+                rest = tail;
+                per_group[g].push(mine);
+            }
+        }
+        if self.groups.len() > 1 && moved >= PAR_COPY_THRESHOLD {
+            std::thread::scope(|scope| {
+                for (group, bufs) in self.groups.iter().zip(per_group) {
+                    scope.spawn(move || group.scatter_to_stage(view, bufs));
+                }
+            });
+        } else {
+            for (group, bufs) in self.groups.iter().zip(per_group) {
+                group.scatter_to_stage(view, bufs);
+            }
+        }
+        self.scattered_words += moved as u64;
+    }
+
     /// Copies a rectangle of every node's memory into the mirror — see
     /// [`LaneMemory::gather_rows`]. Fans groups across host threads for
     /// large rectangles.
@@ -754,6 +811,104 @@ impl LaneMirror {
     }
 }
 
+/// The writable image of one lane-resident execute, staged off to the
+/// side in node-major order.
+///
+/// Region-leased executes run under a *shared* machine lock (many
+/// tenants at once) and therefore cannot scatter into node memory
+/// directly. [`LaneMirror::scatter_stage`] transposes the mirror's
+/// writable ranges into these buffers while still under the shared lock
+/// — the expensive lane-major → node-major transpose — and
+/// [`RegionStage::apply`] then commits them under a brief exclusive
+/// lock as one contiguous slice copy per (node, range) pair.
+///
+/// Buffers are recycled across executes (a steady state stages
+/// allocation-free), and [`RegionStage::ranges`] exposes exactly which
+/// node ranges the commit will touch so the caller can assert they are
+/// contained in the execute's leased writable ranges.
+#[derive(Debug, Default)]
+pub struct RegionStage {
+    /// `(node_base, len)` per staged range, in view order.
+    ranges: Vec<(usize, usize)>,
+    /// One node-major buffer per range: lane `n`'s words at
+    /// `n*len..(n+1)*len`.
+    bufs: Vec<Vec<f32>>,
+    nodes: usize,
+    chunk: usize,
+}
+
+impl RegionStage {
+    /// An empty stage; shaped by the first [`LaneMirror::scatter_stage`].
+    pub fn new() -> Self {
+        RegionStage::default()
+    }
+
+    /// The staged `(node_base, len)` node ranges, in view order. Empty
+    /// until the first `scatter_stage`.
+    pub fn ranges(&self) -> &[(usize, usize)] {
+        &self.ranges
+    }
+
+    /// Machine-total staged words.
+    pub fn words(&self) -> usize {
+        self.ranges.iter().map(|&(_, len)| len).sum::<usize>() * self.nodes
+    }
+
+    /// Reshapes to `view`'s writable, non-private ranges, recycling
+    /// buffers where sizes allow.
+    fn shape(&mut self, view: &LaneView, nodes: usize, chunk: usize) {
+        self.nodes = nodes;
+        self.chunk = chunk.max(1);
+        self.ranges.clear();
+        let mut spare = std::mem::take(&mut self.bufs);
+        for range in view.ranges().iter().filter(|r| r.writable && !r.private) {
+            self.ranges.push((range.node_base, range.len));
+            let mut buf = spare.pop().unwrap_or_default();
+            buf.resize(range.len * nodes, 0.0);
+            self.bufs.push(buf);
+        }
+    }
+
+    /// Commits the staged image to node memories: per range, each node's
+    /// words are one contiguous slice copy. Fans node chunks across host
+    /// threads for large stages (bit-deterministic — every (node, range)
+    /// destination is disjoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mems.len()` differs from the staged node count or a
+    /// range is out of a node memory's bounds.
+    pub fn apply(&self, mems: &mut [NodeMemory]) {
+        assert_eq!(mems.len(), self.nodes, "one node memory per staged lane");
+        let total = self.words();
+        if self.nodes > self.chunk && total >= PAR_COPY_THRESHOLD {
+            std::thread::scope(|scope| {
+                let mut rest = &mut mems[..];
+                let mut base = 0;
+                while !rest.is_empty() {
+                    let n = self.chunk.min(rest.len());
+                    let (mine, tail) = std::mem::take(&mut rest).split_at_mut(n);
+                    rest = tail;
+                    scope.spawn(move || self.apply_chunk(mine, base));
+                    base += n;
+                }
+            });
+        } else {
+            self.apply_chunk(mems, 0);
+        }
+    }
+
+    fn apply_chunk(&self, mems: &mut [NodeMemory], base: usize) {
+        for (i, m) in mems.iter_mut().enumerate() {
+            let node = base + i;
+            for (&(node_base, len), buf) in self.ranges.iter().zip(&self.bufs) {
+                m.slice_mut(node_base, len)
+                    .copy_from_slice(&buf[node * len..(node + 1) * len]);
+            }
+        }
+    }
+}
+
 /// A bounded free-list of [`LaneMirror`]s shared across plan instances.
 ///
 /// Tenants of a concurrent session come and go, and each instance owns a
@@ -773,6 +928,7 @@ pub struct MirrorPool {
     capacity: usize,
     reused: std::sync::atomic::AtomicU64,
     returned: std::sync::atomic::AtomicU64,
+    missed: std::sync::atomic::AtomicU64,
 }
 
 impl MirrorPool {
@@ -783,20 +939,38 @@ impl MirrorPool {
             capacity,
             reused: std::sync::atomic::AtomicU64::new(0),
             returned: std::sync::atomic::AtomicU64::new(0),
+            missed: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// The most retired mirrors the pool will hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Hands out a pooled mirror, or a fresh empty one when the pool is
     /// dry. Pooled contents are unspecified — prime before use.
     pub fn take(&self) -> LaneMirror {
+        self.take_counted().0
+    }
+
+    /// Like [`MirrorPool::take`], but also reports whether the take
+    /// missed (found the free list empty and had to hand out a fresh
+    /// mirror) — the signal the session turns into its
+    /// `mirror_pool_misses` telemetry.
+    pub fn take_counted(&self) -> (LaneMirror, bool) {
         let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
         match free.pop() {
             Some(m) => {
                 self.reused
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                m
+                (m, false)
             }
-            None => LaneMirror::new(),
+            None => {
+                self.missed
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                (LaneMirror::new(), true)
+            }
         }
     }
 
@@ -832,6 +1006,14 @@ impl MirrorPool {
     /// How many retired mirrors were accepted back into the pool.
     pub fn returns(&self) -> u64 {
         self.returned.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// How many takes found the pool dry and allocated a fresh mirror.
+    /// The first take per distinct shape always misses; a steadily
+    /// climbing count under a stable tenant load means the capacity is
+    /// too small for the working set.
+    pub fn misses(&self) -> u64 {
+        self.missed.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Drops every pooled mirror (their host buffers free immediately).

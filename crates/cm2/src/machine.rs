@@ -257,6 +257,16 @@ impl Machine {
         (&self.config, &mut self.nodes)
     }
 
+    /// The shared-borrow counterpart of [`Machine::exec_parts_mut`]: the
+    /// configuration plus every node memory, read-only. This is the view
+    /// a region-leased execute runs against — many tenants may hold it
+    /// simultaneously under a shared machine lock, because a lane-resident
+    /// execute only *reads* node memory (gathers into its private mirror)
+    /// and defers its writes to a staged scatter applied later.
+    pub fn exec_parts(&self) -> (&MachineConfig, &[NodeMemory]) {
+        (&self.config, &self.nodes)
+    }
+
     /// Executes `kernel` over the half-strip `ctx` on **every** node
     /// (SIMD), returning the per-node cycle/operation counts — identical
     /// across nodes because the instruction stream is identical.

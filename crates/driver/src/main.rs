@@ -19,9 +19,18 @@
 //!                      batch concurrently on a pool of tenant threads
 //!                      sharing one machine and one plan cache, and print
 //!                      per-tenant stats (plan builds, cache hits, kernel
-//!                      mix) plus aggregate cache/shard occupancy. With
-//!                      --profile=json, emits one `cmcc-serve-v1` line
+//!                      mix) plus aggregate cache/shard occupancy and
+//!                      region-lease totals. With --profile=json, emits
+//!                      one `cmcc-serve-v2` line
 //!   --workers N        tenant threads for --serve (default 4)
+//!   --quota N          admission control for --serve: each tenant may
+//!                      have at most N statement executes in flight
+//!                      (default 1 — tenants run their batch share
+//!                      sequentially). Conflicting executes queue in
+//!                      fair FIFO order on the session's lease table
+//!   --mirror-pool N    retired lane mirrors the session recycles
+//!                      across tenant instances (default 32); takes
+//!                      past the supply count as MirrorPoolMisses
 //!   --iters N          iterations per stencil for --run (default 1);
 //!                      the execution plan is built once and replayed,
 //!                      reporting first-iteration vs steady-state time
@@ -39,17 +48,18 @@
 //!                      are reported as 0 and only wall-clock timing applies
 //!   --profile[=json]   enable telemetry and print a per-statement profile
 //!                      after each --run: a human-readable table, or one
-//!                      schema-stable JSON line (`cmcc-profile-v3`) with
-//!                      derived rates and bytes/iteration against the
-//!                      analytic steady-state prediction. The CMCC_PROFILE
-//!                      environment variable enables the counters alone
+//!                      schema-stable JSON line (`cmcc-profile-v4`) with
+//!                      derived rates, bytes/iteration against the
+//!                      analytic steady-state prediction, and region-lease
+//!                      admission stats. The CMCC_PROFILE environment
+//!                      variable enables the counters alone
 //!   --full-machine     extrapolate rates to 2,048 nodes
 //!   --pictogram        draw each recognized stencil
 //!   --dump-kernel      print the widest kernel's microcode listing
 //!   -h, --help         this text
 //! ```
 
-use cmcc::{PlanCacheStats, Session};
+use cmcc::{LeaseStats, PlanCacheStats, Session, DEFAULT_MIRROR_POOL_CAPACITY};
 use cmcc_cm2::config::MachineConfig;
 use cmcc_cm2::exec::{ExecEngine, ExecMode};
 use cmcc_cm2::machine::Machine;
@@ -71,7 +81,7 @@ use std::process::ExitCode;
 enum ProfileMode {
     /// Human-readable counter table plus derived rates.
     Table,
-    /// One schema-stable JSON line per statement (`cmcc-profile-v3`).
+    /// One schema-stable JSON line per statement (`cmcc-profile-v4`).
     Json,
 }
 
@@ -80,6 +90,8 @@ struct Options {
     run: bool,
     serve: bool,
     workers: usize,
+    quota: usize,
+    mirror_pool: usize,
     iters: usize,
     temporal: usize,
     subgrid: (usize, usize),
@@ -93,7 +105,8 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: cmcc [--run] [--serve] [--workers N] [--iters N] [--temporal K] \
+        "usage: cmcc [--run] [--serve] [--workers N] [--quota N] [--mirror-pool N] \
+         [--iters N] [--temporal K] \
          [--subgrid RxC] [--threads N] [--engine scalar|lockstep] [--profile[=json]] \
          [--full-machine] [--pictogram] [--dump-kernel] <file.f90 | ->"
     );
@@ -106,6 +119,8 @@ fn parse_args() -> Options {
         run: false,
         serve: false,
         workers: 4,
+        quota: 1,
+        mirror_pool: DEFAULT_MIRROR_POOL_CAPACITY,
         iters: 1,
         temporal: 1,
         subgrid: (64, 64),
@@ -125,6 +140,20 @@ fn parse_args() -> Options {
                 let Some(n) = args.next() else { usage() };
                 match n.parse::<usize>() {
                     Ok(n) if n > 0 => opts.workers = n,
+                    _ => usage(),
+                }
+            }
+            "--quota" => {
+                let Some(n) = args.next() else { usage() };
+                match n.parse::<usize>() {
+                    Ok(n) if n > 0 => opts.quota = n,
+                    _ => usage(),
+                }
+            }
+            "--mirror-pool" => {
+                let Some(n) = args.next() else { usage() };
+                match n.parse::<usize>() {
+                    Ok(n) => opts.mirror_pool = n,
                     _ => usage(),
                 }
             }
@@ -324,7 +353,7 @@ fn run_compiled(
     cfg: &MachineConfig,
     opts: &Options,
 ) -> Result<PlanCacheStats, Box<dyn std::error::Error>> {
-    let mut session = Session::with_config(cfg.clone())?;
+    let mut session = Session::with_config_and_mirror_pool(cfg.clone(), opts.mirror_pool)?;
     let rows = opts.subgrid.0 * session.machine().grid().rows();
     let cols = opts.subgrid.1 * session.machine().grid().cols();
     let mut rng = Rng::new(0xCC);
@@ -524,6 +553,7 @@ fn run_compiled(
                 &full_report,
             ),
             stats: session.plan_cache_stats(),
+            leases: session.lease_stats(),
             kernel_mix: kernel_mix_since(&hits_before),
             report: full_report,
         };
@@ -637,6 +667,7 @@ struct Profile {
     m: Measurement,
     derived: Derived,
     stats: PlanCacheStats,
+    leases: LeaseStats,
     /// Kernel variants this statement's run dispatched, as
     /// `(name, hits)` — the per-variant split behind the report's
     /// `kernelized_steps`. Table output only; the JSON schema keys the
@@ -691,6 +722,11 @@ impl Profile {
             "      plan cache: {} hits / {} misses / {} evictions (capacity {})",
             self.stats.hits, self.stats.misses, self.stats.evictions, self.stats.capacity,
         );
+        println!(
+            "      leases: {} region grants, {} conflicts (exclusive fallback), \
+             peak {} concurrent",
+            self.leases.region_grants, self.leases.conflicts, self.leases.peak_concurrent,
+        );
         if self.kernel_mix.is_empty() {
             println!("      kernel mix: (none — interpreted lockstep or scalar path)");
         } else {
@@ -706,10 +742,12 @@ impl Profile {
         }
     }
 
-    /// One compact JSON line. The key set is the `cmcc-profile-v3`
-    /// schema (v2 plus the temporal-tiling fields: `cpu_gflops`,
-    /// `temporal_depth`, `bytes_per_step_amortized`): CI validates it,
-    /// so additions must bump the version.
+    /// One compact JSON line. The key set is the `cmcc-profile-v4`
+    /// schema (v3 plus the region-lease fields: the `leases` object
+    /// here and the `mirror_pool_misses`/`region_leases`/
+    /// `lease_conflicts`/`concurrent_executes_peak` exec counters in
+    /// the report): CI validates it, so additions must bump the
+    /// version.
     fn to_json(&self) -> String {
         let shards: Vec<String> = self
             .stats
@@ -725,7 +763,7 @@ impl Profile {
             .collect();
         format!(
             concat!(
-                "{{\"schema\":\"cmcc-profile-v3\",\"statement\":{},",
+                "{{\"schema\":\"cmcc-profile-v4\",\"statement\":{},",
                 "\"engine\":\"{}\",\"mode\":\"{}\",\"nodes\":{},\"iters\":{},",
                 "\"measurement\":{{\"useful_flops\":{},\"cycles\":{{\"comm\":{},",
                 "\"compute\":{},\"frontend\":{},\"total\":{}}},\"nodes\":{}}},",
@@ -735,7 +773,9 @@ impl Profile {
                 "\"bytes_per_iter_predicted\":{}}},",
                 "\"plan_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},",
                 "\"capacity\":{},\"shards\":[{}],\"shard_evictions\":[{}],",
-                "\"shared_in_flight\":{}}},\"report\":{}}}"
+                "\"shared_in_flight\":{}}},",
+                "\"leases\":{{\"region_grants\":{},\"conflicts\":{},",
+                "\"peak_concurrent\":{},\"live\":{}}},\"report\":{}}}"
             ),
             self.statement,
             self.engine,
@@ -763,6 +803,10 @@ impl Profile {
             shards.join(","),
             shard_evictions.join(","),
             self.stats.shared_in_flight,
+            self.leases.region_grants,
+            self.leases.conflicts,
+            self.leases.peak_concurrent,
+            self.leases.live,
             self.report.to_json(),
         )
     }
@@ -893,19 +937,31 @@ fn serve_one(
     Ok(())
 }
 
-/// One tenant's full pass over the batch. Execution runs with one host
-/// thread so every counter the run records lands on this tenant's
-/// thread-local obs shard — `thread_snapshot` deltas then attribute
-/// plan builds, cache hits, and kernel steps to the tenant exactly.
+/// One tenant's full pass over the batch, under the tenant's admission
+/// quota: at most `--quota` statement executes in flight at once
+/// (default 1 — the batch share runs sequentially on this thread).
+/// Execution runs with one host thread so every counter a run records
+/// lands on the running thread's obs shard — summing `thread_snapshot`
+/// deltas over the quota workers attributes plan builds, cache hits,
+/// and kernel steps to the tenant exactly.
 fn serve_tenant(
     tenant: usize,
-    mut session: Session,
+    session: Session,
     statements: &[String],
     opts: &Options,
 ) -> TenantStats {
     use cmcc_obs::Counter;
-    let exec_opts = ExecOptions::default().with_threads(1);
-    let before = cmcc_obs::thread_snapshot();
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let mut exec_opts = ExecOptions::default().with_threads(1);
+    if let Some(engine) = opts.engine {
+        // `--engine lockstep` serves lane-resident plans, which are
+        // eligible for the concurrent region path (the lockstep engine
+        // is functional-only, so it implies fast mode).
+        exec_opts = exec_opts.with_engine(engine);
+        if engine == ExecEngine::Lockstep {
+            exec_opts.mode = ExecMode::Fast;
+        }
+    }
     let mut stats = TenantStats {
         tenant,
         statements: 0,
@@ -918,22 +974,52 @@ fn serve_tenant(
         scalar_steps: 0,
         errors: Vec::new(),
     };
-    for (i, stmt) in statements.iter().enumerate() {
-        match serve_one(&mut session, tenant, i, stmt, &exec_opts, opts) {
-            Ok(()) => {
-                stats.statements += 1;
-                stats.runs += opts.iters as u64;
+    // The quota workers drain one shared cursor, so together they serve
+    // the tenant's batch exactly once, up to `quota` lines in flight.
+    let cursor = AtomicUsize::new(0);
+    let drain = |mut handle: Session| {
+        let before = cmcc_obs::thread_snapshot();
+        let mut served = 0usize;
+        let mut errors = Vec::new();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= statements.len() {
+                break;
             }
-            Err(e) => stats.errors.push(format!("statement {}: {e}", i + 1)),
+            match serve_one(&mut handle, tenant, i, &statements[i], &exec_opts, opts) {
+                Ok(()) => served += 1,
+                Err(e) => errors.push(format!("statement {}: {e}", i + 1)),
+            }
         }
+        (served, errors, cmcc_obs::thread_snapshot().delta(&before))
+    };
+    let shares: Vec<(usize, Vec<String>, cmcc_obs::RunReport)> = if opts.quota <= 1 {
+        vec![drain(session)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..opts.quota)
+                .map(|_| {
+                    let handle = session.clone();
+                    scope.spawn(|| drain(handle))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("quota worker panicked"))
+                .collect()
+        })
+    };
+    for (served, errors, report) in shares {
+        stats.statements += served;
+        stats.runs += (served * opts.iters) as u64;
+        stats.errors.extend(errors);
+        stats.plan_builds += report.get(Counter::PlanBuilds);
+        stats.cache_hits += report.get(Counter::PlanCacheHits);
+        stats.cache_misses += report.get(Counter::PlanCacheMisses);
+        stats.kernelized_steps += report.get(Counter::KernelizedSteps);
+        stats.interpreted_steps += report.get(Counter::InterpretedSteps);
+        stats.scalar_steps += report.get(Counter::ScalarSteps);
     }
-    let report = cmcc_obs::thread_snapshot().delta(&before);
-    stats.plan_builds = report.get(Counter::PlanBuilds);
-    stats.cache_hits = report.get(Counter::PlanCacheHits);
-    stats.cache_misses = report.get(Counter::PlanCacheMisses);
-    stats.kernelized_steps = report.get(Counter::KernelizedSteps);
-    stats.interpreted_steps = report.get(Counter::InterpretedSteps);
-    stats.scalar_steps = report.get(Counter::ScalarSteps);
     stats
 }
 
@@ -956,7 +1042,7 @@ fn serve_batch(
     if statements.is_empty() {
         return Err("no statements to serve".into());
     }
-    let session = Session::with_config(cfg.clone())?;
+    let session = Session::with_config_and_mirror_pool(cfg.clone(), opts.mirror_pool)?;
     let tenants: Vec<TenantStats> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..opts.workers)
             .map(|w| {
@@ -972,13 +1058,16 @@ fn serve_batch(
     });
 
     let cache = session.plan_cache_stats();
+    let leases = session.lease_stats();
     let total_builds: u64 = tenants.iter().map(|t| t.plan_builds).sum();
     let build_once = total_builds == cache.misses;
-    let mut failed = !build_once;
+    let drained = leases.live == 0 && leases.queued == 0;
+    let mut failed = !build_once || !drained;
 
     println!(
-        "serve: {} tenants x {} statements x {} iters ({}x{} per node, {} nodes)",
+        "serve: {} tenants (quota {}) x {} statements x {} iters ({}x{} per node, {} nodes)",
         opts.workers,
+        opts.quota,
         statements.len(),
         opts.iters,
         opts.subgrid.0,
@@ -1035,6 +1124,18 @@ fn serve_batch(
         shard_ev.join(" "),
         cache.shared_in_flight,
     );
+    println!(
+        "  leases: {} region grants, {} conflicts (exclusive fallback), \
+         peak {} concurrent executes, drained {}",
+        leases.region_grants,
+        leases.conflicts,
+        leases.peak_concurrent,
+        if drained {
+            "OK (0 live, 0 queued)".to_owned()
+        } else {
+            format!("VIOLATED ({} live, {} queued)", leases.live, leases.queued)
+        },
+    );
 
     if opts.profile == Some(ProfileMode::Json) {
         let tenant_json: Vec<String> = tenants
@@ -1062,16 +1163,21 @@ fn serve_batch(
             .collect();
         println!(
             concat!(
-                "{{\"schema\":\"cmcc-serve-v1\",\"workers\":{},\"statements\":{},",
-                "\"iters\":{},\"build_once\":{},\"tenants\":[{}],",
+                "{{\"schema\":\"cmcc-serve-v2\",\"workers\":{},\"quota\":{},",
+                "\"statements\":{},",
+                "\"iters\":{},\"build_once\":{},\"drained\":{},\"tenants\":[{}],",
                 "\"plan_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},",
                 "\"capacity\":{},\"shards\":[{}],\"shard_evictions\":[{}],",
-                "\"shared_in_flight\":{}}}}}"
+                "\"shared_in_flight\":{}}},",
+                "\"leases\":{{\"region_grants\":{},\"conflicts\":{},",
+                "\"peak_concurrent\":{},\"live\":{}}}}}"
             ),
             opts.workers,
+            opts.quota,
             statements.len(),
             opts.iters,
             build_once,
+            drained,
             tenant_json.join(","),
             cache.hits,
             cache.misses,
@@ -1080,6 +1186,10 @@ fn serve_batch(
             occupancy.join(","),
             shard_ev.join(","),
             cache.shared_in_flight,
+            leases.region_grants,
+            leases.conflicts,
+            leases.peak_concurrent,
+            leases.live,
         );
     }
 

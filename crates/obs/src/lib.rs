@@ -124,10 +124,26 @@ pub enum Counter {
     /// including dummy-thread padding and halo-region work),
     /// machine-total.
     TotalFlops,
+    /// Mirror-pool takes that found the free list empty and allocated a
+    /// fresh mirror. A steadily nonzero rate under a stable tenant count
+    /// means the pool capacity is too small for the working set.
+    MirrorPoolMisses,
+    /// Region leases granted: executes admitted to the shared-lock
+    /// region path (no overlapping live lease, plan eligible).
+    RegionLeases,
+    /// Lease conflicts: executes that found an overlapping live lease
+    /// and fell back to the exclusive write path after waiting their
+    /// FIFO turn.
+    LeaseConflicts,
+    /// High-water mark of simultaneously in-flight executes observed by
+    /// the lease table. Recorded as monotone increments, so a snapshot
+    /// reads the true peak; greater than 1 proves region leasing
+    /// actually overlapped two executes.
+    ConcurrentExecutesPeak,
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = Counter::TotalFlops as usize + 1;
+pub const COUNTER_COUNT: usize = Counter::ConcurrentExecutesPeak as usize + 1;
 
 impl Counter {
     /// All counters, in schema order.
@@ -159,6 +175,10 @@ impl Counter {
         Counter::TemporalFallbacks,
         Counter::UsefulFlops,
         Counter::TotalFlops,
+        Counter::MirrorPoolMisses,
+        Counter::RegionLeases,
+        Counter::LeaseConflicts,
+        Counter::ConcurrentExecutesPeak,
     ];
 
     /// The counter's stable JSON key.
@@ -191,6 +211,10 @@ impl Counter {
             Counter::TemporalFallbacks => "temporal_fallbacks",
             Counter::UsefulFlops => "useful_flops",
             Counter::TotalFlops => "total_flops",
+            Counter::MirrorPoolMisses => "mirror_pool_misses",
+            Counter::RegionLeases => "region_leases",
+            Counter::LeaseConflicts => "lease_conflicts",
+            Counter::ConcurrentExecutesPeak => "concurrent_executes_peak",
         }
     }
 }
@@ -670,8 +694,9 @@ impl RunReport {
              \"execute_workers_calls\":{},\"scalar_runs\":{},\
              \"lockstep_runs\":{},\"lane_resident_runs\":{},\"scalar_steps\":{},\
              \"lockstep_steps\":{},\"kernelized_steps\":{},\"interpreted_steps\":{},\
-             \"mirror_allocations\":{},\"halo_exchanges\":{},\"fused_steps\":{},\
-             \"temporal_fallbacks\":{},\"useful_flops\":{},\
+             \"mirror_allocations\":{},\"mirror_pool_misses\":{},\"halo_exchanges\":{},\
+             \"fused_steps\":{},\"temporal_fallbacks\":{},\"region_leases\":{},\
+             \"lease_conflicts\":{},\"concurrent_executes_peak\":{},\"useful_flops\":{},\
              \"total_flops\":{}}}}}",
             self.phase_nanos(Phase::Execute),
             self.phase_calls(Phase::Execute),
@@ -685,9 +710,13 @@ impl RunReport {
             c(Counter::KernelizedSteps),
             c(Counter::InterpretedSteps),
             c(Counter::MirrorAllocations),
+            c(Counter::MirrorPoolMisses),
             c(Counter::HaloExchanges),
             c(Counter::FusedSteps),
             c(Counter::TemporalFallbacks),
+            c(Counter::RegionLeases),
+            c(Counter::LeaseConflicts),
+            c(Counter::ConcurrentExecutesPeak),
             c(Counter::UsefulFlops),
             c(Counter::TotalFlops),
         )
@@ -753,7 +782,7 @@ impl RunReport {
             s,
             "  exec: {} executes ({:.3} ms wall, {:.3} ms cpu) — {} scalar / {} lockstep / {} lane-resident; \
              steps {} scalar + {} lockstep ({} kernelized, {} interpreted); \
-             {} mirror allocations",
+             {} mirror allocations ({} pool misses)",
             self.phase_calls(Phase::Execute),
             ms(self.phase_nanos(Phase::Execute)),
             ms(self.phase_nanos(Phase::ExecuteWorkers)),
@@ -765,6 +794,15 @@ impl RunReport {
             self.get(Counter::KernelizedSteps),
             self.get(Counter::InterpretedSteps),
             self.get(Counter::MirrorAllocations),
+            self.get(Counter::MirrorPoolMisses),
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "  leases: {} region grants, {} conflicts (exclusive fallback), peak {} concurrent executes",
+            self.get(Counter::RegionLeases),
+            self.get(Counter::LeaseConflicts),
+            self.get(Counter::ConcurrentExecutesPeak),
         )
         .unwrap();
         writeln!(
@@ -920,6 +958,10 @@ mod tests {
             "\"halo_exchanges\":",
             "\"fused_steps\":",
             "\"temporal_fallbacks\":",
+            "\"mirror_pool_misses\":",
+            "\"region_leases\":",
+            "\"lease_conflicts\":",
+            "\"concurrent_executes_peak\":",
             "\"useful_flops\":42",
             "\"total_flops\":",
         ] {
@@ -975,6 +1017,7 @@ mod tests {
             "exchange words",
             "strips by width",
             "exec:",
+            "leases:",
             "temporal:",
             "flops:",
         ] {

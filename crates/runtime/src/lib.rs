@@ -61,7 +61,9 @@ pub use cmcc_cm2::exec::ExecEngine;
 pub use convolve::{convolve, convolve_multi, ExecOptions};
 pub use error::RuntimeError;
 pub use halo::{ExchangePrimitive, ExchangeProgram, HaloBuffer};
-pub use plan::{CompiledPlan, ExecutionPlan, PlanInstance, PlanLifetime, StencilBinding};
+pub use plan::{
+    CompiledPlan, ExecutionPlan, LeaseRange, PlanInstance, PlanLifetime, StencilBinding,
+};
 pub use reference::{reference_convolve, reference_convolve_multi, CoeffValue};
 pub use strips::{full_strip, halfstrips, plan_strips, HalfStrip, Strip};
 pub use volume::{convolve_volume, CmVolume};

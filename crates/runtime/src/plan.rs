@@ -35,9 +35,9 @@ use crate::halo::{ExchangeProgram, FillProgram, HaloBuffer, LaneExchangeProgram,
 use crate::strips::{full_strip, halfstrips, plan_strips};
 use cmcc_cm2::exec::{ExecEngine, ExecMode, FieldLayout, ResolvedStrip, StripContext, StripRun};
 use cmcc_cm2::kernels::{run_lockstep_groups_kernelized, CoeffStreams, StripKernels};
-use cmcc_cm2::lane::{LaneMirror, LaneView, RectCopy};
+use cmcc_cm2::lane::{LaneMirror, LaneView, RectCopy, RegionStage};
 use cmcc_cm2::machine::Machine;
-use cmcc_cm2::memory::Field;
+use cmcc_cm2::memory::{Field, NodeMemory};
 use cmcc_cm2::timing::{CycleBreakdown, Measurement};
 use cmcc_core::compiler::CompiledStencil;
 use cmcc_core::recognize::CoeffSpec;
@@ -1046,25 +1046,14 @@ impl PlanInstance {
         }
     }
 
-    /// Runs one iteration over the shared artifact `cp`. See
-    /// [`ExecutionPlan::execute`].
-    fn execute(
-        &mut self,
-        cp: &CompiledPlan,
-        machine: &mut Machine,
-    ) -> Result<Measurement, RuntimeError> {
-        let _span = cmcc_obs::span(cmcc_obs::Phase::Execute);
-        // Whether this execute is a steady-state iteration (no priming
-        // or re-priming gather): the analytic `steady_state_copy_words`
-        // prediction applies exactly, and debug builds cross-check it
-        // below.
-        // A host write since the last execute (array scatter/fill/set)
-        // invalidates every cached snapshot of node memory: the packed
-        // coefficient streams are repacked, and on the resident path
-        // the source fixed point is re-read and the read-only non-halo
-        // ranges are re-primed, as a rebind would.
-        if self.lane_view.is_some() && self.lane_synced_writes != machine.host_writes() {
-            self.lane_synced_writes = machine.host_writes();
+    /// Folds a host-write generation bump into the instance's cached
+    /// node-memory snapshots: a host write since the last execute (array
+    /// scatter/fill/set) invalidates the packed coefficient streams, and
+    /// on the resident path the source fixed point is re-read and the
+    /// read-only non-halo ranges are re-primed, as a rebind would.
+    fn sync_host_writes(&mut self, host_writes: u64) {
+        if self.lane_view.is_some() && self.lane_synced_writes != host_writes {
+            self.lane_synced_writes = host_writes;
             for streams in &mut self.lane_streams {
                 streams.invalidate();
             }
@@ -1073,16 +1062,21 @@ impl PlanInstance {
                 self.lane_stale = true;
             }
         }
-        let steady_at_entry = !self.lane_resident || (self.lane_primed && !self.lane_stale);
-        // A rebind (or host write) cycle: the mirror is primed but its
-        // read-only snapshot is stale. The analytic
-        // `rebind_cycle_copy_words` prediction applies exactly here.
-        let rebind_at_entry = self.lane_resident && self.lane_primed && self.lane_stale;
+    }
+
+    /// The lane-resident execute body, shared between the exclusive
+    /// write-lock path and the region-leased shared-lock path — the two
+    /// differ only in how the final scatter reaches node memory (see
+    /// [`ResidentAccess`]). Returns the kernel run plus the modeled
+    /// exchange cycles and the halo words this execute actually moved.
+    fn run_resident(
+        &mut self,
+        cp: &CompiledPlan,
+        access: ResidentAccess<'_, '_>,
+    ) -> (StripRun, u64, usize) {
         let depth = cp.temporal_depth();
-        let mirror_base = MirrorWords::of(&self.lane_mirror);
-        let mut interior_words = 0usize;
         let mut exchange_words = 0usize;
-        let mut comm = 0;
+        let mut comm = 0u64;
         // The effective lane schedule: the instance's private
         // translation when the shared artifact has none (it was built
         // from an aliased binding and this binding is clean), else the
@@ -1091,105 +1085,94 @@ impl PlanInstance {
             Some((s, k)) => (s.as_slice(), k.as_slice()),
             None => (cp.lane_strips.as_slice(), cp.lane_kernels.as_slice()),
         };
-        let run = if self.lane_resident {
-            // Lane-resident steady state: operands live in the plan's
-            // mirror between executes. Read-only ranges were gathered
-            // when the mirror was primed; the source interiors and the
-            // halo exchange are refreshed once and then treated as a
-            // fixed point — sources are read-only, the kernels write
-            // only the result range, and the scatter writes only
-            // writable node ranges, so nothing the refresh produced can
-            // change until a rebind moves a base or the host writes
-            // node memory (tracked by `Machine::host_writes`). Only
-            // writable ranges are scattered back each iteration.
-            let view = self
-                .lane_view
+        // Lane-resident steady state: operands live in the plan's
+        // mirror between executes. Read-only ranges were gathered
+        // when the mirror was primed; the source interiors and the
+        // halo exchange are refreshed once and then treated as a
+        // fixed point — sources are read-only, the kernels write
+        // only the result range, and the scatter writes only
+        // writable node ranges, so nothing the refresh produced can
+        // change until a rebind moves a base or the host writes
+        // node memory (tracked by `Machine::host_writes`). Only
+        // writable ranges are scattered back each iteration.
+        let view = self
+            .lane_view
+            .as_ref()
+            .expect("resident plans are lane-mapped");
+        self.lane_mirror
+            .ensure(view.words(), cp.nodes, cp.opts.threads);
+        let mems: &[NodeMemory] = match &access {
+            ResidentAccess::Exclusive(m) => m,
+            ResidentAccess::Shared(m, _) => m,
+        };
+        if !self.lane_primed {
+            self.lane_mirror.gather(view, mems);
+            self.lane_primed = true;
+            self.lane_stale = false;
+        } else if self.lane_stale {
+            // Partial re-prime after a rebind: only the read-only
+            // non-halo ranges can hold stale contents (see the
+            // `lane_stale` field). Far cheaper than a full gather —
+            // this is what keeps plan-cache hits in steady state.
+            for rect in &self.lane_reprime {
+                self.lane_mirror.gather_rect(mems, rect);
+            }
+            self.lane_stale = false;
+        }
+        let refreshed = !self.lane_halos_current;
+        for (interior, exchange) in self.lane_interiors.iter().zip(&self.lane_exchanges) {
+            // The modeled NEWS cycles are charged every iteration —
+            // the CM-2 exchanges every time. Skipping the host-side
+            // copies is an emulator fixed-point optimization and
+            // must not perturb the `Measurement`.
+            comm += exchange.cycles();
+            if !self.lane_halos_current {
+                self.lane_mirror.gather_rows(mems, interior);
+                exchange_words += exchange.words_moved();
+                let _ = exchange.run(&mut self.lane_mirror);
+            }
+        }
+        self.lane_halos_current = true;
+        if refreshed
+            && cp
+                .temporal
                 .as_ref()
-                .expect("resident plans are lane-mapped");
-            self.lane_mirror
-                .ensure(view.words(), cp.nodes, cp.opts.threads);
-            let (_, mems) = machine.exec_parts_mut();
-            if !self.lane_primed {
-                self.lane_mirror.gather(view, mems);
-                self.lane_primed = true;
-                self.lane_stale = false;
-            } else if self.lane_stale {
-                // Partial re-prime after a rebind: only the read-only
-                // non-halo ranges can hold stale contents (see the
-                // `lane_stale` field). Far cheaper than a full gather —
-                // this is what keeps plan-cache hits in steady state.
-                for rect in &self.lane_reprime {
-                    self.lane_mirror.gather_rect(mems, rect);
-                }
-                self.lane_stale = false;
+                .is_some_and(|tp| !tp.coeff_halos.is_empty())
+        {
+            // The refresh rewrote the coefficient halos on the
+            // mirror; the packed streams hold the old values.
+            for streams in &mut self.lane_streams {
+                streams.invalidate();
             }
-            let refreshed = !self.lane_halos_current;
-            for (interior, exchange) in self.lane_interiors.iter().zip(&self.lane_exchanges) {
-                // The modeled NEWS cycles are charged every iteration —
-                // the CM-2 exchanges every time. Skipping the host-side
-                // copies is an emulator fixed-point optimization and
-                // must not perturb the `Measurement`.
-                comm += exchange.cycles();
-                if !self.lane_halos_current {
-                    self.lane_mirror.gather_rows(mems, interior);
-                    exchange_words += exchange.words_moved();
-                    let _ = exchange.run(&mut self.lane_mirror);
-                }
+        }
+        let kernels: &[Option<StripKernels>] = if self.kernel_tier { lane_kernels } else { &[] };
+        let mut run = StripRun::default();
+        for step in 0..depth {
+            let (lo, hi) = match &cp.temporal {
+                Some(tp) => (tp.step_bounds[step], tp.step_bounds[step + 1]),
+                None => (0, lane_strips.len()),
+            };
+            let step_kernels = if kernels.is_empty() {
+                kernels
+            } else {
+                &kernels[lo..hi]
+            };
+            run.absorb(&run_lockstep_groups_kernelized(
+                &lane_strips[lo..hi],
+                step_kernels,
+                &mut self.lane_streams[step],
+                self.lane_mirror.groups_mut(),
+            ));
+            if step + 1 < depth {
+                self.lane_scratch_fills[step % 2].run(&mut self.lane_mirror);
             }
-            self.lane_halos_current = true;
-            if refreshed
-                && cp
-                    .temporal
-                    .as_ref()
-                    .is_some_and(|tp| !tp.coeff_halos.is_empty())
-            {
-                // The refresh rewrote the coefficient halos on the
-                // mirror; the packed streams hold the old values.
-                for streams in &mut self.lane_streams {
-                    streams.invalidate();
-                }
-            }
-            let kernels: &[Option<StripKernels>] =
-                if self.kernel_tier { lane_kernels } else { &[] };
-            let mut run = StripRun::default();
-            for step in 0..depth {
-                let (lo, hi) = match &cp.temporal {
-                    Some(tp) => (tp.step_bounds[step], tp.step_bounds[step + 1]),
-                    None => (0, lane_strips.len()),
-                };
-                let step_kernels = if kernels.is_empty() {
-                    kernels
-                } else {
-                    &kernels[lo..hi]
-                };
-                run.absorb(&run_lockstep_groups_kernelized(
-                    &lane_strips[lo..hi],
-                    step_kernels,
-                    &mut self.lane_streams[step],
-                    self.lane_mirror.groups_mut(),
-                ));
-                if step + 1 < depth {
-                    self.lane_scratch_fills[step % 2].run(&mut self.lane_mirror);
-                }
-            }
-            // In debug builds, prove the scatter honors the view's
-            // read-only ranges (node 0 stands in for all — SIMD).
-            #[cfg(debug_assertions)]
-            let before: Vec<u32> = view
-                .ranges()
-                .iter()
-                .filter(|r| !r.writable || r.private)
-                .flat_map(|r| {
-                    mems[0]
-                        .slice(r.node_base, r.len)
-                        .iter()
-                        .map(|v| v.to_bits())
-                })
-                .collect();
-            self.lane_mirror.scatter(view, mems);
-            #[cfg(debug_assertions)]
-            {
-                let after: Vec<u32> = view
+        }
+        match access {
+            ResidentAccess::Exclusive(mems) => {
+                // In debug builds, prove the scatter honors the view's
+                // read-only ranges (node 0 stands in for all — SIMD).
+                #[cfg(debug_assertions)]
+                let before: Vec<u32> = view
                     .ranges()
                     .iter()
                     .filter(|r| !r.writable || r.private)
@@ -1200,11 +1183,116 @@ impl PlanInstance {
                             .map(|v| v.to_bits())
                     })
                     .collect();
-                debug_assert_eq!(
-                    before, after,
-                    "scatter touched a read-only or lane-private range"
+                self.lane_mirror.scatter(view, mems);
+                #[cfg(debug_assertions)]
+                {
+                    let after: Vec<u32> = view
+                        .ranges()
+                        .iter()
+                        .filter(|r| !r.writable || r.private)
+                        .flat_map(|r| {
+                            mems[0]
+                                .slice(r.node_base, r.len)
+                                .iter()
+                                .map(|v| v.to_bits())
+                        })
+                        .collect();
+                    debug_assert_eq!(
+                        before, after,
+                        "scatter touched a read-only or lane-private range"
+                    );
+                }
+            }
+            ResidentAccess::Shared(_, stage) => {
+                // Node memory is a shared borrow here: transpose the
+                // writable image into the stage instead of scattering.
+                // The commit happens later, under the session's brief
+                // exclusive lock, while the lease is still held.
+                self.lane_mirror.scatter_stage(view, stage);
+                // Prove the commit will only touch writable, non-private
+                // viewed ranges — the words the execute's lease covers
+                // as writable.
+                debug_assert!(
+                    stage.ranges().iter().all(|&(base, len)| {
+                        view.ranges().iter().any(|r| {
+                            r.writable
+                                && !r.private
+                                && base >= r.node_base
+                                && base + len <= r.node_base + r.len
+                        })
+                    }),
+                    "staged scatter escaped the view's writable ranges"
                 );
             }
+        }
+        (run, comm, exchange_words)
+    }
+
+    /// Runs one region-leased iteration over the shared artifact `cp`:
+    /// node memory is borrowed *shared* (many tenants at once under the
+    /// session's read lock) and the scatter is staged into `stage` for a
+    /// later exclusive commit. Only lane-resident instances may take
+    /// this path — the caller checks [`PlanInstance::lane_resident`] —
+    /// and the resident path cannot fail, so this returns a bare
+    /// [`Measurement`].
+    fn execute_region(
+        &mut self,
+        cp: &CompiledPlan,
+        machine: &Machine,
+        stage: &mut RegionStage,
+    ) -> Measurement {
+        let _span = cmcc_obs::span(cmcc_obs::Phase::Execute);
+        assert!(self.lane_resident, "region executes require lane residency");
+        self.sync_host_writes(machine.host_writes());
+        let steady_at_entry = self.lane_primed && !self.lane_stale;
+        let rebind_at_entry = self.lane_primed && self.lane_stale;
+        let mirror_base = MirrorWords::of(&self.lane_mirror);
+        let (_, mems) = machine.exec_parts();
+        let (run, comm, exchange_words) =
+            self.run_resident(cp, ResidentAccess::Shared(mems, stage));
+        self.finish(
+            cp,
+            ExecTally {
+                run,
+                comm,
+                interior_words: 0,
+                exchange_words,
+                mirror_base,
+                steady_at_entry,
+                rebind_at_entry,
+            },
+        )
+    }
+
+    /// Runs one iteration over the shared artifact `cp`. See
+    /// [`ExecutionPlan::execute`].
+    fn execute(
+        &mut self,
+        cp: &CompiledPlan,
+        machine: &mut Machine,
+    ) -> Result<Measurement, RuntimeError> {
+        let _span = cmcc_obs::span(cmcc_obs::Phase::Execute);
+        self.sync_host_writes(machine.host_writes());
+        // Whether this execute is a steady-state iteration (no priming
+        // or re-priming gather): the analytic `steady_state_copy_words`
+        // prediction applies exactly, and debug builds cross-check it
+        // in `finish`.
+        let steady_at_entry = !self.lane_resident || (self.lane_primed && !self.lane_stale);
+        // A rebind (or host write) cycle: the mirror is primed but its
+        // read-only snapshot is stale. The analytic
+        // `rebind_cycle_copy_words` prediction applies exactly here.
+        let rebind_at_entry = self.lane_resident && self.lane_primed && self.lane_stale;
+        let mirror_base = MirrorWords::of(&self.lane_mirror);
+        let mut interior_words = 0usize;
+        let mut exchange_words = 0usize;
+        let mut comm = 0;
+        let depth = cp.temporal_depth();
+        let run = if self.lane_resident {
+            let (_, mems) = machine.exec_parts_mut();
+            let (run, resident_comm, resident_exchange) =
+                self.run_resident(cp, ResidentAccess::Exclusive(mems));
+            comm = resident_comm;
+            exchange_words = resident_exchange;
             run
         } else if let Some(tp) = &cp.temporal {
             // The node-domain fused loop: the fallback for temporal
@@ -1247,6 +1335,13 @@ impl PlanInstance {
                 exchange_words += program.words_moved();
                 comm += program.run(machine);
             }
+            // The effective lane schedule: the instance's private
+            // translation when the shared artifact has none, else the
+            // shared one (see `run_resident`).
+            let (lane_strips, lane_kernels) = match &self.lane_strips_override {
+                Some((s, k)) => (s.as_slice(), k.as_slice()),
+                None => (cp.lane_strips.as_slice(), cp.lane_kernels.as_slice()),
+            };
             match &self.lane_view {
                 // The lockstep engine without residency: every node
                 // gathered into lane storage per execute, each resolved
@@ -1262,6 +1357,33 @@ impl PlanInstance {
                 None => machine.run_resolved_all(&self.strips, cp.opts.mode, cp.opts.threads)?,
             }
         };
+        Ok(self.finish(
+            cp,
+            ExecTally {
+                run,
+                comm,
+                interior_words,
+                exchange_words,
+                mirror_base,
+                steady_at_entry,
+                rebind_at_entry,
+            },
+        ))
+    }
+
+    /// The execute epilogue shared by the exclusive and region paths:
+    /// telemetry, the analytic copy-word cross-checks, and the paper's
+    /// cycle accounting rolled into a [`Measurement`].
+    fn finish(&self, cp: &CompiledPlan, tally: ExecTally) -> Measurement {
+        let ExecTally {
+            run,
+            comm,
+            interior_words,
+            exchange_words,
+            mirror_base,
+            steady_at_entry,
+            rebind_at_entry,
+        } = tally;
         let d = MirrorWords::of(&self.lane_mirror).minus(&mirror_base);
         cmcc_obs::add(
             if self.lane_resident {
@@ -1273,7 +1395,7 @@ impl PlanInstance {
             },
             1,
         );
-        cmcc_obs::add(cmcc_obs::Counter::FusedSteps, depth as u64);
+        cmcc_obs::add(cmcc_obs::Counter::FusedSteps, cp.temporal_depth() as u64);
         cmcc_obs::add(cmcc_obs::Counter::UsefulFlops, cp.useful_flops);
         cmcc_obs::add(
             cmcc_obs::Counter::TotalFlops,
@@ -1289,7 +1411,8 @@ impl PlanInstance {
 
         // Debug builds prove the analytic prediction against observed
         // traffic: in steady state (no priming gather) the words this
-        // execute moved are exactly `steady_state_copy_words`.
+        // execute moved are exactly `steady_state_copy_words`. Staged
+        // scatters count at stage time, so the check is path-independent.
         if cfg!(debug_assertions) && steady_at_entry {
             let observed = (interior_words + exchange_words) as u64
                 + d.row_gathered
@@ -1325,7 +1448,7 @@ impl PlanInstance {
         // rebuild path charges.
         let frontend = cp.call_overhead + cp.dispatch * self.strips.len() as u64;
 
-        Ok(Measurement {
+        Measurement {
             useful_flops: cp.useful_flops,
             cycles: CycleBreakdown {
                 comm,
@@ -1333,7 +1456,7 @@ impl PlanInstance {
                 frontend,
             },
             nodes: cp.nodes,
-        })
+        }
     }
 
     /// Retargets the instance to different arrays of identical shape
@@ -1645,6 +1768,83 @@ impl ExecutionPlan {
         self.inst.execute(&self.shared, machine)
     }
 
+    /// Whether this plan's next execute can run region-leased: the
+    /// lane-resident steady state, whose only node-memory writes are the
+    /// final writable-range scatter (stageable), and whose execute
+    /// cannot fail. Everything else — scalar engine, non-resident
+    /// lockstep, aliased bindings, the node-domain temporal fallback —
+    /// writes node memory mid-execute and must keep the exclusive path.
+    pub fn region_eligible(&self) -> bool {
+        self.inst.lane_resident
+    }
+
+    /// Runs one iteration under *shared* machine access: gathers and
+    /// kernels proceed against the read-only node memories, and the
+    /// final scatter is transposed into `stage` instead of written. The
+    /// caller commits the stage with [`RegionStage::apply`] under a
+    /// brief exclusive lock — while still holding the lease over this
+    /// plan's [`ExecutionPlan::lease_ranges`], so no overlapping execute
+    /// can interleave between the read phase and the commit.
+    ///
+    /// Results, [`Measurement`]s, and telemetry are bit-identical to
+    /// [`ExecutionPlan::execute`] (staged words count as scatter words
+    /// at stage time; the commit itself counts nothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is not [`ExecutionPlan::region_eligible`].
+    pub fn execute_region(&mut self, machine: &Machine, stage: &mut RegionStage) -> Measurement {
+        self.inst.execute_region(&self.shared, machine, stage)
+    }
+
+    /// The node-memory ranges this plan's next execute touches, with
+    /// write flags — what the session leases before admitting the
+    /// execute. Covers the bound arrays (result writable; sources and
+    /// coefficients read-only) plus every plan-owned field: halo
+    /// buffers, the constant pair, literal coefficient pages, and —
+    /// temporal plans — coefficient halos and ping-pong scratch. On the
+    /// lane-resident path the plan-owned fields are read-only (the
+    /// refresh and exchange run on the instance's private mirror); off
+    /// it, `fill_interior` and the node-domain fused loop write them, so
+    /// two instances of one shared artifact must serialize.
+    pub fn lease_ranges(&self) -> Vec<LeaseRange> {
+        let cp = &*self.shared;
+        let owned_writable = !self.inst.lane_resident;
+        let mut out = Vec::new();
+        let mut push = |f: Field, writable: bool| {
+            if !f.is_empty() {
+                out.push(LeaseRange {
+                    start: f.base(),
+                    end: f.base() + f.len(),
+                    writable,
+                });
+            }
+        };
+        for halo in &cp.halos {
+            push(halo.field(), owned_writable);
+        }
+        push(cp.consts, false);
+        for &(page, _) in &cp.literal_pages {
+            push(page, false);
+        }
+        if let Some(tp) = &cp.temporal {
+            for halo in &tp.coeff_halos {
+                push(halo.field(), owned_writable);
+            }
+            for f in &tp.scratch {
+                push(*f, owned_writable);
+            }
+        }
+        for s in &self.inst.sources {
+            push(s.field(), false);
+        }
+        for c in &self.inst.coeffs {
+            push(c.field(), false);
+        }
+        push(self.inst.result.field(), true);
+        out
+    }
+
     /// Retargets the plan to different arrays of identical shape without
     /// rebuilding anything: source swaps are free (sources are read
     /// through the plan's own halo buffers each iteration) and
@@ -1844,6 +2044,59 @@ fn width_slot(width: usize) -> Option<usize> {
         2 => Some(2),
         1 => Some(3),
         _ => None,
+    }
+}
+
+/// How a lane-resident execute reaches node memory.
+///
+/// The exclusive variant is the classic write-lock path: the final
+/// scatter writes node memory directly. The shared variant is the
+/// region-leased path: node memory is a shared borrow (other tenants may
+/// be reading it concurrently), so the scatter is transposed into a
+/// [`RegionStage`] and committed later under a brief exclusive lock.
+enum ResidentAccess<'a, 'b> {
+    /// Exclusive node-memory access; scatter writes through.
+    Exclusive(&'a mut [NodeMemory]),
+    /// Shared node-memory access; scatter staged for a later commit.
+    Shared(&'a [NodeMemory], &'b mut RegionStage),
+}
+
+/// What one execute accumulated on its way to the shared epilogue
+/// ([`PlanInstance::finish`]): the kernel run, modeled exchange cycles,
+/// observed copy traffic, and the entry-state flags the debug
+/// cross-checks key on.
+struct ExecTally {
+    run: StripRun,
+    comm: u64,
+    interior_words: usize,
+    exchange_words: usize,
+    mirror_base: MirrorWords,
+    steady_at_entry: bool,
+    rebind_at_entry: bool,
+}
+
+/// One node-memory address range an execute touches, with whether it may
+/// write it — the unit of the session's region-lease table.
+///
+/// Two executes may run concurrently exactly when no writable range of
+/// either overlaps any range of the other: read-read overlap is harmless
+/// (tenants of one shared artifact all read its constant pages and halo
+/// buffers), while any overlap involving a write must serialize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseRange {
+    /// First node-memory address of the range.
+    pub start: usize,
+    /// One past the last address (exclusive).
+    pub end: usize,
+    /// Whether the execute may store into the range.
+    pub writable: bool,
+}
+
+impl LeaseRange {
+    /// Whether two leased ranges cannot be held concurrently: they
+    /// overlap and at least one side writes.
+    pub fn conflicts(&self, other: &LeaseRange) -> bool {
+        self.start < other.end && other.start < self.end && (self.writable || other.writable)
     }
 }
 

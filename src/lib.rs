@@ -46,6 +46,14 @@
 //! tenants onto the same artifact), and every handle keeps its own
 //! mutable [`runtime::PlanInstance`] state, so tenants never observe
 //! each other's bindings.
+//!
+//! Executes are admitted through a **region-lease table**: each run
+//! leases the node-memory ranges it touches, and runs whose leases
+//! don't conflict (disjoint, or read-read overlap) proceed
+//! concurrently under the *shared* machine lock, staging their result
+//! scatter and committing it under a brief exclusive lock.
+//! Conflicting runs fall back — in fair FIFO order — to the exclusive
+//! write path, bit-identically. See [`Session::lease_stats`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -61,15 +69,16 @@ pub use cmcc_cm2::{CycleBreakdown, Machine, MachineConfig, Measurement};
 pub use cmcc_core::{CompileError, CompiledStencil, Compiler, PaperPattern};
 pub use cmcc_runtime::{
     convolve, convolve_multi, convolve_volume, CmArray, CmVolume, CompiledPlan, ExecEngine,
-    ExecOptions, ExecutionPlan, PlanLifetime, RuntimeError, StencilBinding,
+    ExecOptions, ExecutionPlan, LeaseRange, PlanLifetime, RuntimeError, StencilBinding,
 };
 
-use cmcc_cm2::lane::MirrorPool;
+use cmcc_cm2::lane::{MirrorPool, RegionStage};
+use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Everything needed for typical use, in one import.
 pub mod prelude {
@@ -234,13 +243,153 @@ pub struct PlanCacheStats {
 /// keeps alive.
 const DEFAULT_PLAN_CACHE_CAPACITY: usize = 8;
 
-/// How many retired lane mirrors the session pool holds for recycling
-/// across tenant instances.
-const MIRROR_POOL_CAPACITY: usize = 32;
+/// Default number of retired lane mirrors the session pool holds for
+/// recycling across tenant instances (see
+/// [`Session::with_config_and_mirror_pool`] to override).
+pub const DEFAULT_MIRROR_POOL_CAPACITY: usize = 32;
+
+/// Mutable state of the region-lease table, behind one mutex.
+#[derive(Debug, Default)]
+struct LeaseState {
+    /// Live leases: one entry per in-flight execute, keyed by ticket.
+    live: Vec<(u64, Vec<LeaseRange>)>,
+    /// Conflicted requests waiting their turn, in arrival order.
+    queue: VecDeque<(u64, Vec<LeaseRange>)>,
+    next_ticket: u64,
+    /// Executes currently holding a lease.
+    in_flight: usize,
+    /// Highest `in_flight` ever observed (monotone).
+    peak: usize,
+    /// Portion of `peak` already emitted to
+    /// [`cmcc_obs::Counter::ConcurrentExecutesPeak`]; the counter is fed
+    /// monotone deltas so its global sum equals the peak itself.
+    reported_peak: usize,
+    conflicts: u64,
+}
+
+/// The region-lease table: admission control for concurrent executes.
+///
+/// Every execute — region or exclusive — acquires a lease over the
+/// node-memory ranges it will touch ([`ExecutionPlan::lease_ranges`])
+/// before touching the machine lock, and holds it until its results are
+/// committed. Disjoint (or read-read overlapping) leases are granted
+/// immediately and may run concurrently; a conflicting request queues
+/// FIFO behind every earlier request it conflicts with, and runs on the
+/// exclusive write path once granted. Lock order: lease table →
+/// machine lock, never the reverse.
+#[derive(Debug, Default)]
+struct LeaseTable {
+    state: Mutex<LeaseState>,
+    granted: Condvar,
+    /// Leases admitted to the concurrent region path.
+    region_grants: AtomicU64,
+}
+
+/// A live region lease. Dropping it — normally or during a panic
+/// unwind — releases the ranges and wakes every queued waiter.
+#[derive(Debug)]
+struct LeaseGuard<'a> {
+    table: &'a LeaseTable,
+    ticket: u64,
+}
+
+fn ranges_conflict(a: &[LeaseRange], b: &[LeaseRange]) -> bool {
+    a.iter().any(|ra| b.iter().any(|rb| ra.conflicts(rb)))
+}
+
+impl LeaseTable {
+    /// Acquires a lease over `ranges`, blocking while any live or
+    /// earlier-queued lease conflicts. Returns the guard plus whether
+    /// the request ever conflicted — a conflicted lease must take the
+    /// exclusive write path (and be counted), never the region path.
+    fn acquire(&self, ranges: Vec<LeaseRange>) -> (LeaseGuard<'_>, bool) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        let blocked = |st: &LeaseState| {
+            st.live.iter().any(|(_, lr)| ranges_conflict(lr, &ranges))
+                || st
+                    .queue
+                    .iter()
+                    .take_while(|(t, _)| *t != ticket)
+                    .any(|(_, qr)| ranges_conflict(qr, &ranges))
+        };
+        let conflicted = blocked(&st);
+        if conflicted {
+            st.conflicts += 1;
+            st.queue.push_back((ticket, ranges.clone()));
+            while blocked(&st) {
+                st = self.granted.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            let pos = st
+                .queue
+                .iter()
+                .position(|(t, _)| *t == ticket)
+                .expect("queued lease ticket vanished");
+            st.queue.remove(pos);
+        }
+        st.live.push((ticket, ranges));
+        st.in_flight += 1;
+        if st.in_flight > st.peak {
+            st.peak = st.in_flight;
+            let delta = (st.peak - st.reported_peak) as u64;
+            st.reported_peak = st.peak;
+            cmcc_obs::add(cmcc_obs::Counter::ConcurrentExecutesPeak, delta);
+        }
+        drop(st);
+        (
+            LeaseGuard {
+                table: self,
+                ticket,
+            },
+            conflicted,
+        )
+    }
+
+    fn stats(&self) -> LeaseStats {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        LeaseStats {
+            region_grants: self.region_grants.load(Ordering::Relaxed),
+            conflicts: st.conflicts,
+            peak_concurrent: st.peak,
+            live: st.live.len(),
+            queued: st.queue.len(),
+        }
+    }
+}
+
+impl Drop for LeaseGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.table.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.live.retain(|(t, _)| *t != self.ticket);
+        st.in_flight -= 1;
+        drop(st);
+        self.table.granted.notify_all();
+    }
+}
+
+/// A snapshot of the session's region-lease table (shared across handle
+/// clones): grants, conflicts, the concurrency high-water mark, and the
+/// instantaneous live/queued population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LeaseStats {
+    /// Executes admitted to the concurrent region path (shared machine
+    /// lock, staged scatter).
+    pub region_grants: u64,
+    /// Requests that conflicted with a live or queued lease and fell
+    /// back to the exclusive write path after their FIFO turn.
+    pub conflicts: u64,
+    /// Highest number of simultaneously leased executes ever observed.
+    pub peak_concurrent: usize,
+    /// Leases live right now.
+    pub live: usize,
+    /// Requests queued on a conflict right now.
+    pub queued: usize,
+}
 
 /// The state every [`Session`] handle shares: the machine behind a
-/// read-write lock, the compiler, the sharded plan cache, and the
-/// lane-mirror pool.
+/// read-write lock, the compiler, the sharded plan cache, the
+/// lane-mirror pool, and the region-lease table that admits executes.
 #[derive(Debug)]
 struct SessionShared {
     machine: RwLock<Machine>,
@@ -248,6 +397,7 @@ struct SessionShared {
     config: MachineConfig,
     cache: PlanCache,
     mirrors: MirrorPool,
+    leases: LeaseTable,
 }
 
 /// A shared read guard over the session's [`Machine`]. Dereferences to
@@ -300,9 +450,12 @@ impl SessionShared {
     /// The cache-aware lookup: returns the shared artifact for `key`,
     /// building it exactly once across all handles and threads.
     ///
-    /// Lock order (must never be violated elsewhere): shard lock →
-    /// slot build lock → machine write lock. The machine lock is always
-    /// innermost, and eviction only ever *try*-locks slots.
+    /// Lock order (must never be violated elsewhere): lease table →
+    /// shard lock → slot build lock → machine lock. The machine lock is
+    /// always innermost (builds take it *without* a lease — they only
+    /// touch freshly allocated fields, and the write lock itself
+    /// excludes every concurrent reader), and eviction only ever
+    /// *try*-locks slots.
     fn lookup_or_build(
         &self,
         binding: &StencilBinding<'_>,
@@ -453,11 +606,15 @@ pub struct Session {
     last_report: cmcc_obs::RunReport,
     /// Cache key of the most recent `run*` call, for [`Session::last_plan`].
     last_key: Option<PlanKey>,
+    /// This handle's staged-scatter buffer, recycled across region-path
+    /// executes so the concurrent path allocates nothing per run.
+    stage: RegionStage,
 }
 
 impl Clone for Session {
-    /// Clones the handle: the machine, compiler, plan cache, and mirror
-    /// pool are shared; plan instances and per-handle state start empty.
+    /// Clones the handle: the machine, compiler, plan cache, mirror
+    /// pool, and lease table are shared; plan instances and per-handle
+    /// state start empty.
     fn clone(&self) -> Self {
         Session {
             shared: Arc::clone(&self.shared),
@@ -465,6 +622,7 @@ impl Clone for Session {
             local_tick: 0,
             last_report: cmcc_obs::RunReport::default(),
             last_key: None,
+            stage: RegionStage::new(),
         }
     }
 }
@@ -480,12 +638,29 @@ impl Drop for Session {
 }
 
 impl Session {
-    /// A session on the given machine configuration.
+    /// A session on the given machine configuration, with the default
+    /// mirror-pool capacity ([`DEFAULT_MIRROR_POOL_CAPACITY`]).
     ///
     /// # Errors
     ///
     /// [`SessionError::Machine`] if the configuration is invalid.
     pub fn with_config(config: MachineConfig) -> Result<Self, SessionError> {
+        Self::with_config_and_mirror_pool(config, DEFAULT_MIRROR_POOL_CAPACITY)
+    }
+
+    /// A session on the given machine configuration holding at most
+    /// `mirror_pool` retired lane mirrors for recycling across tenant
+    /// instances. Size it to the expected number of concurrently
+    /// resident plans; takes past the pool's supply are counted as
+    /// [`cmcc_obs::Counter::MirrorPoolMisses`].
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Machine`] if the configuration is invalid.
+    pub fn with_config_and_mirror_pool(
+        config: MachineConfig,
+        mirror_pool: usize,
+    ) -> Result<Self, SessionError> {
         let machine = Machine::new(config.clone()).map_err(SessionError::Machine)?;
         Ok(Session {
             shared: Arc::new(SessionShared {
@@ -493,12 +668,14 @@ impl Session {
                 compiler: Compiler::new(config.clone()),
                 config,
                 cache: PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY),
-                mirrors: MirrorPool::new(MIRROR_POOL_CAPACITY),
+                mirrors: MirrorPool::new(mirror_pool),
+                leases: LeaseTable::default(),
             }),
             plans: Vec::new(),
             local_tick: 0,
             last_report: cmcc_obs::RunReport::default(),
             last_key: None,
+            stage: RegionStage::new(),
         })
     }
 
@@ -649,9 +826,21 @@ impl Session {
         self.last_key = Some(key);
 
         if shared.cache.capacity.load(Ordering::Relaxed) == 0 {
-            // Caching disabled: build, run, and free in one breath.
+            // Caching disabled: build, run, and free in one breath. The
+            // build allocates and releases node memory, so this path
+            // leases the whole machine — it conflicts with (and so
+            // serializes against) every concurrent execute.
             shared.cache.misses.fetch_add(1, Ordering::Relaxed);
             cmcc_obs::add(cmcc_obs::Counter::PlanCacheMisses, 1);
+            let whole_machine = vec![LeaseRange {
+                start: 0,
+                end: usize::MAX,
+                writable: true,
+            }];
+            let (lease, conflicted) = shared.leases.acquire(whole_machine);
+            if conflicted {
+                cmcc_obs::add(cmcc_obs::Counter::LeaseConflicts, 1);
+            }
             let measurement = {
                 let mut machine = shared.machine_write();
                 let mut plan =
@@ -660,6 +849,7 @@ impl Session {
                 plan.release(&mut machine);
                 measurement
             };
+            drop(lease);
             self.last_report = cmcc_obs::snapshot().delta(&before);
             self.last_key = None;
             return Ok(measurement);
@@ -680,7 +870,11 @@ impl Session {
                     shared.mirrors.put(stale.plan.take_mirror());
                 }
                 let mut plan = ExecutionPlan::from_shared(&cp, &binding)?;
-                plan.install_mirror(shared.mirrors.take());
+                let (mirror, missed) = shared.mirrors.take_counted();
+                if missed {
+                    cmcc_obs::add(cmcc_obs::Counter::MirrorPoolMisses, 1);
+                }
+                plan.install_mirror(mirror);
                 self.plans.push(LocalPlan {
                     key,
                     plan,
@@ -691,10 +885,45 @@ impl Session {
         };
         self.plans[idx].last_used = self.local_tick;
         self.plans[idx].plan.rebind(result, sources, coeffs)?;
-        let measurement = {
+
+        // Admission: lease the ranges this execute will touch. Every
+        // execute holds a lease — even the exclusive fallback — so an
+        // overlapping execute can never interleave between a region
+        // tenant's read phase and its staged commit.
+        let ranges = self.plans[idx].plan.lease_ranges();
+        let (lease, conflicted) = shared.leases.acquire(ranges);
+        let measurement = if conflicted {
+            // The lease overlapped a live (or earlier-queued) lease:
+            // after our FIFO turn, run bit-identically on the exclusive
+            // write path.
+            cmcc_obs::add(cmcc_obs::Counter::LeaseConflicts, 1);
+            let mut machine = shared.machine_write();
+            self.plans[idx].plan.execute(&mut machine)?
+        } else if self.plans[idx].plan.region_eligible() {
+            // Concurrent region path: gather and compute under the
+            // shared lock, stage the scatter, commit it under a brief
+            // write lock — the lease is held across both phases.
+            shared.leases.region_grants.fetch_add(1, Ordering::Relaxed);
+            cmcc_obs::add(cmcc_obs::Counter::RegionLeases, 1);
+            let mut stage = std::mem::take(&mut self.stage);
+            let measurement = {
+                let machine = shared.machine_read();
+                self.plans[idx].plan.execute_region(&machine, &mut stage)
+            };
+            {
+                let mut machine = shared.machine_write();
+                stage.apply(machine.exec_parts_mut().1);
+            }
+            self.stage = stage;
+            measurement
+        } else {
+            // Not lane-resident (scalar engine, node-domain temporal,
+            // lockstep strips): the kernels write node memory in place,
+            // so run under the exclusive lock.
             let mut machine = shared.machine_write();
             self.plans[idx].plan.execute(&mut machine)?
         };
+        drop(lease);
         self.last_report = cmcc_obs::snapshot().delta(&before);
 
         self.evict_over_capacity();
@@ -825,6 +1054,27 @@ impl Session {
             .unwrap_or_else(|e| e.into_inner())
             .len();
         stats
+    }
+
+    /// A snapshot of the region-lease table shared by every clone of
+    /// this session: region grants, exclusive-fallback conflicts, the
+    /// concurrency high-water mark, and the live/queued population
+    /// (both zero whenever no execute is in flight).
+    pub fn lease_stats(&self) -> LeaseStats {
+        self.shared.leases.stats()
+    }
+
+    /// The shared mirror pool's capacity (see
+    /// [`Session::with_config_and_mirror_pool`]).
+    pub fn mirror_pool_capacity(&self) -> usize {
+        self.shared.mirrors.capacity()
+    }
+
+    /// Mirror takes this session served with a fresh allocation because
+    /// the pool was empty — the lifetime total behind
+    /// [`cmcc_obs::Counter::MirrorPoolMisses`].
+    pub fn mirror_pool_misses(&self) -> u64 {
+        self.shared.mirrors.misses()
     }
 
     /// Telemetry recorded by the most recent `run*` call on *this
@@ -966,5 +1216,102 @@ mod tests {
             stats.shard_occupancy.iter().sum::<usize>(),
             a.cached_plans()
         );
+    }
+
+    fn rw(start: usize, end: usize) -> LeaseRange {
+        LeaseRange {
+            start,
+            end,
+            writable: true,
+        }
+    }
+
+    fn ro(start: usize, end: usize) -> LeaseRange {
+        LeaseRange {
+            start,
+            end,
+            writable: false,
+        }
+    }
+
+    #[test]
+    fn lease_table_grants_disjoint_and_read_read_overlap_immediately() {
+        let table = LeaseTable::default();
+        let (a, ca) = table.acquire(vec![ro(0, 100)]);
+        let (b, cb) = table.acquire(vec![ro(50, 150)]); // read-read overlap
+        let (c, cc) = table.acquire(vec![rw(150, 250)]); // end-exclusive: adjacent writer
+        assert!(!ca && !cb && !cc, "no request may be marked conflicted");
+        let stats = table.stats();
+        assert_eq!(stats.live, 3);
+        assert_eq!(stats.conflicts, 0);
+        assert_eq!(stats.peak_concurrent, 3);
+        drop(a);
+        drop(b);
+        drop(c);
+        let stats = table.stats();
+        assert_eq!(stats.live, 0, "released leases must leave the table");
+        assert_eq!(stats.peak_concurrent, 3, "the high-water mark is monotone");
+    }
+
+    #[test]
+    fn lease_conflict_blocks_fifo_but_disjoint_requests_barge_past() {
+        let table = LeaseTable::default();
+        std::thread::scope(|scope| {
+            let (a, ca) = table.acquire(vec![rw(0, 100)]);
+            assert!(!ca);
+            let waiter = scope.spawn(|| {
+                // Write-read overlap with the live lease: queued FIFO.
+                let (g, conflicted) = table.acquire(vec![ro(50, 150)]);
+                assert!(conflicted, "overlapping request must report the conflict");
+                drop(g);
+            });
+            while table.stats().queued == 0 {
+                std::thread::yield_now();
+            }
+            // A request disjoint from both the live lease and the queued
+            // waiter is granted immediately — FIFO fairness never stalls
+            // unrelated executes.
+            let (d, dc) = table.acquire(vec![rw(300, 400)]);
+            assert!(
+                !dc,
+                "disjoint request must not inherit the queue's conflict"
+            );
+            drop(d);
+            assert_eq!(
+                table.stats().queued,
+                1,
+                "the waiter stays queued until release"
+            );
+            drop(a);
+            waiter.join().expect("waiter panicked");
+        });
+        let stats = table.stats();
+        assert_eq!(
+            stats.conflicts, 1,
+            "exactly the overlapping request conflicts"
+        );
+        assert_eq!(stats.live, 0);
+        assert_eq!(stats.queued, 0);
+    }
+
+    #[test]
+    fn lease_released_when_the_holder_panics() {
+        let table = LeaseTable::default();
+        let died = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let (_lease, _) = table.acquire(vec![rw(0, 100)]);
+                    panic!("execute dies while holding its lease");
+                })
+                .join()
+        });
+        assert!(died.is_err(), "holder thread must have panicked");
+        let stats = table.stats();
+        assert_eq!(stats.live, 0, "unwind must release the lease");
+        assert_eq!(stats.queued, 0);
+        // The range is immediately reacquirable with no queueing — the
+        // table survived the poison and the dead holder's ticket.
+        let (_lease, conflicted) = table.acquire(vec![rw(0, 100)]);
+        assert!(!conflicted, "a released range must not conflict");
     }
 }
