@@ -2,19 +2,33 @@
 """Validate the stability of the `cmcc --profile=json` schema.
 
 Reads driver output on stdin, finds the single-line JSON profile object
-(the line opening with ``{"schema":"cmcc-profile-v4"``), and checks every
-documented key of the cmcc-profile-v4 schema (DESIGN.md §13) is present
-with a sane type — including the region-lease block (``leases.*``) and
-the lease counters under ``report.exec``. Exits non-zero with a
+(the line opening with ``{"schema":"cmcc-profile-v5"``), and checks every
+documented key of the cmcc-profile-v5 schema (DESIGN.md §13/§18) is
+present with a sane type — including the region-lease block
+(``leases.*``), the lease and trace counters under ``report.exec``, the
+model-drift cross-check under ``derived``, and the flight-recorder
+latency histograms under ``latency.phases``. Exits non-zero with a
 diagnostic on any missing or mistyped field, so CI fails when the schema
 drifts without a version bump.
 
 With ``--serve`` it instead validates the ``cmcc --serve --profile=json``
-output: the single ``cmcc-serve-v2`` line with per-tenant stats, the
-sharded plan-cache aggregate, the lease totals, the build-once flag
+output: the single ``cmcc-serve-v3`` line with per-tenant stats and
+latency histograms, the sharded plan-cache aggregate, the lease totals
+and contention attribution (``latency.lease.*``, whose
+``waits_consistent`` flag must be true — the traced conflicted waits
+agree with the lease table's conflict counter), the build-once flag
 (which must be true — one build per distinct plan however many tenants
-race), and the drained flag (which must be true — zero live or queued
-leases after the pool exits).
+race), the drained flag (which must be true — zero live or queued
+leases after the pool exits), and each tenant's blocked + executing
+split staying within its wall time.
+
+With ``--trace FILE`` it instead validates a Chrome trace-event file
+written by ``cmcc --trace=FILE``: well-formed JSON with a
+``traceEvents`` list, integral pid/tid on every event, non-decreasing
+timestamps, balanced B/E duration pairs per thread and name, and
+balanced b/e async pairs per (name, id). With ``--expect-conflict`` it
+additionally requires at least one conflicted ``lease_acquire`` end
+event (``args.arg == 1``) — proof the run induced a lease overlap.
 
 With ``--bench-parallel FILE`` it instead validates the schema of the
 ``repro_parallel`` bench output (``BENCH_parallel.json``), including the
@@ -37,6 +51,7 @@ throughput with the overlap probe having counted an exclusive fallback.
 Usage:
     cmcc --run --iters 3 --profile=json five.f90 | python3 ci/check_profile_schema.py
     cmcc --serve --profile=json - < batch.txt | python3 ci/check_profile_schema.py --serve
+    python3 ci/check_profile_schema.py --trace trace.json [--expect-conflict]
     python3 ci/check_profile_schema.py --bench-parallel BENCH_parallel.json
     python3 ci/check_profile_schema.py --bench-temporal BENCH_temporal.json
     python3 ci/check_profile_schema.py --bench-serve BENCH_serve.json
@@ -46,8 +61,54 @@ import json
 import numbers
 import sys
 
-SCHEMA = "cmcc-profile-v4"
-SERVE_SCHEMA = "cmcc-serve-v2"
+SCHEMA = "cmcc-profile-v5"
+SERVE_SCHEMA = "cmcc-serve-v3"
+
+# The operations latency.phases keys (crates/obs/src/trace.rs order).
+LATENCY_PHASES = [
+    "plan_build",
+    "plan_rebind",
+    "execute",
+    "execute_workers",
+    "halo_exchange",
+    "interior_refresh",
+    "kernel_sweep",
+    "region_commit",
+    "lease_acquire",
+    "lease_held",
+]
+
+# Every histogram summary carries exactly these keys.
+HIST_EXPECTED = [
+    ("count", numbers.Integral),
+    ("p50_ns", numbers.Integral),
+    ("p95_ns", numbers.Integral),
+    ("p99_ns", numbers.Integral),
+    ("max_ns", numbers.Integral),
+]
+
+
+def check_hist(obj, label, errors):
+    """Appends an error per missing/mistyped key of a histogram summary."""
+    if not isinstance(obj, dict):
+        errors.append("%s: histogram summary is not an object" % label)
+        return
+    for key, kind in HIST_EXPECTED:
+        value = obj.get(key)
+        if isinstance(value, bool) or not isinstance(value, kind):
+            errors.append("%s.%s: missing or mistyped" % (label, key))
+
+
+def check_latency_phases(obj, label, errors):
+    """Validates a ``latency.phases`` object: one histogram per phase."""
+    if not isinstance(obj, dict):
+        errors.append("%s: latency.phases is not an object" % label)
+        return
+    for phase in LATENCY_PHASES:
+        if phase not in obj:
+            errors.append("%s: latency.phases missing %s" % (label, phase))
+        else:
+            check_hist(obj[phase], "%s.latency.phases.%s" % (label, phase), errors)
 
 # (dotted path, expected type) for every key the schema promises.
 EXPECTED = [
@@ -71,6 +132,8 @@ EXPECTED = [
     ("derived.bytes_per_iter_observed", numbers.Real),
     ("derived.bytes_per_iter_predicted", numbers.Real),
     ("derived.bytes_per_step_amortized", numbers.Real),
+    ("derived.model_drift", numbers.Real),
+    ("derived.model_drift_ok", bool),
     ("plan_cache.hits", numbers.Integral),
     ("plan_cache.misses", numbers.Integral),
     ("plan_cache.evictions", numbers.Integral),
@@ -82,6 +145,7 @@ EXPECTED = [
     ("leases.conflicts", numbers.Integral),
     ("leases.peak_concurrent", numbers.Integral),
     ("leases.live", numbers.Integral),
+    ("latency.phases", dict),
     ("report.enabled", bool),
     ("report.compile.recognize_ns", numbers.Integral),
     ("report.compile.recognize_calls", numbers.Integral),
@@ -126,6 +190,7 @@ EXPECTED = [
     ("report.exec.region_leases", numbers.Integral),
     ("report.exec.lease_conflicts", numbers.Integral),
     ("report.exec.concurrent_executes_peak", numbers.Integral),
+    ("report.exec.trace_drops", numbers.Integral),
     ("report.exec.useful_flops", numbers.Integral),
     ("report.exec.total_flops", numbers.Integral),
 ]
@@ -193,6 +258,8 @@ def check_bench_parallel(path):
 BENCH_TEMPORAL_EXPECTED = [
     ("workload", str),
     ("global_grid", list),
+    ("host_cores", numbers.Integral),
+    ("scaling_gate", str),
     ("subgrid", list),
     ("threads", numbers.Integral),
     ("steps", numbers.Integral),
@@ -278,6 +345,7 @@ BENCH_SERVE_EXPECTED = [
     ("lane_resident", list),
     ("bit_identical", bool),
     ("gate", str),
+    ("scaling_gate", str),
 ]
 
 
@@ -344,6 +412,11 @@ SERVE_EXPECTED = [
     ("plan_cache.shards", list),
     ("plan_cache.shard_evictions", list),
     ("plan_cache.shared_in_flight", numbers.Integral),
+    ("latency.phases", dict),
+    ("latency.lease.time_to_grant", dict),
+    ("latency.lease.conflicted_waits", numbers.Integral),
+    ("latency.lease.waits_consistent", bool),
+    ("trace_drops", numbers.Integral),
 ]
 
 # (dotted path, expected type) for each element of ``tenants``.
@@ -357,6 +430,10 @@ SERVE_TENANT_EXPECTED = [
     ("kernelized_steps", numbers.Integral),
     ("interpreted_steps", numbers.Integral),
     ("scalar_steps", numbers.Integral),
+    ("latency", dict),
+    ("blocked_ns", numbers.Integral),
+    ("executing_ns", numbers.Integral),
+    ("wall_ns", numbers.Integral),
     ("errors", numbers.Integral),
 ]
 
@@ -392,6 +469,26 @@ def check_serve():
                 errors.append("serve: tenants[%d].%s missing or mistyped" % (i, path))
         if tenant.get("errors", 0):
             errors.append("serve: tenants[%d] reported errors" % i)
+        check_hist(tenant.get("latency"), "serve: tenants[%d].latency" % i, errors)
+        blocked = tenant.get("blocked_ns", 0)
+        executing = tenant.get("executing_ns", 0)
+        wall = tenant.get("wall_ns", 0)
+        if blocked + executing > wall:
+            errors.append(
+                "serve: tenants[%d] blocked %s + executing %s exceeds wall %s"
+                % (i, blocked, executing, wall)
+            )
+    phases, found = lookup(batch, "latency.phases")
+    if found:
+        check_latency_phases(phases, "serve", errors)
+    grant, found = lookup(batch, "latency.lease.time_to_grant")
+    if found:
+        check_hist(grant, "serve: latency.lease.time_to_grant", errors)
+    consistent, found = lookup(batch, "latency.lease.waits_consistent")
+    if found and consistent is not True:
+        errors.append(
+            "serve: traced conflicted waits diverge from the lease conflict counter"
+        )
     if batch.get("build_once") is not True:
         errors.append("serve: build-once violated (builds != misses)")
     if batch.get("drained") is not True:
@@ -415,9 +512,90 @@ def check_serve():
     )
 
 
+def check_trace(path, expect_conflict):
+    with open(path) as f:
+        trace = json.load(f)
+    errors = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        sys.exit("%s: no traceEvents list" % path)
+
+    # Per (pid, tid): a stack of open B names; per (name, id): async depth.
+    stacks = {}
+    async_depth = {}
+    prev_ts = None
+    conflicted = 0
+    for i, e in enumerate(events):
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in e:
+                errors.append("%s: event %d missing %s" % (path, i, key))
+        name, ph = e.get("name", ""), e.get("ph", "")
+        for key in ("pid", "tid"):
+            if isinstance(e.get(key), bool) or not isinstance(
+                e.get(key), numbers.Integral
+            ):
+                errors.append("%s: event %d %s is not integral" % (path, i, key))
+        if ph == "M":
+            continue
+        ts = e.get("ts")
+        if not isinstance(ts, numbers.Real):
+            errors.append("%s: event %d has no numeric ts" % (path, i))
+            continue
+        if prev_ts is not None and ts < prev_ts:
+            errors.append("%s: event %d ts runs backwards" % (path, i))
+        prev_ts = ts
+        key = (e.get("pid"), e.get("tid"))
+        if ph == "B":
+            stacks.setdefault(key, []).append(name)
+        elif ph == "E":
+            stack = stacks.setdefault(key, [])
+            if not stack or stack.pop() != name:
+                errors.append(
+                    "%s: event %d E %r does not close the open B on tid %s"
+                    % (path, i, name, e.get("tid"))
+                )
+            if name == "lease_acquire" and e.get("args", {}).get("arg") == 1:
+                conflicted += 1
+        elif ph == "b":
+            akey = (name, e.get("id"))
+            async_depth[akey] = async_depth.get(akey, 0) + 1
+        elif ph == "e":
+            akey = (name, e.get("id"))
+            async_depth[akey] = async_depth.get(akey, 0) - 1
+            if async_depth[akey] < 0:
+                errors.append("%s: event %d async e without b" % (path, i))
+        elif ph != "i":
+            errors.append("%s: event %d has unknown ph %r" % (path, i, ph))
+    for key, stack in stacks.items():
+        if stack:
+            errors.append(
+                "%s: tid %s left unclosed B events %s" % (path, key[1], stack)
+            )
+    for akey, depth in async_depth.items():
+        if depth != 0:
+            errors.append("%s: async track %r unbalanced" % (path, akey))
+    if expect_conflict and conflicted == 0:
+        errors.append(
+            "%s: expected at least one conflicted lease_acquire end event" % path
+        )
+    if errors:
+        sys.exit("\n".join(errors))
+    print(
+        "ok: %s is a balanced Chrome trace (%d events, %d conflicted waits)"
+        % (path, len(events), conflicted)
+    )
+
+
 def main():
     if len(sys.argv) >= 2 and sys.argv[1] == "--serve":
         check_serve()
+        return
+    if len(sys.argv) >= 2 and sys.argv[1] == "--trace":
+        if len(sys.argv) not in (3, 4) or (
+            len(sys.argv) == 4 and sys.argv[3] != "--expect-conflict"
+        ):
+            sys.exit("usage: check_profile_schema.py --trace FILE [--expect-conflict]")
+        check_trace(sys.argv[2], len(sys.argv) == 4)
         return
     if len(sys.argv) >= 2 and sys.argv[1] == "--bench-parallel":
         if len(sys.argv) != 3:
@@ -459,6 +637,11 @@ def main():
                 )
         if profile.get("schema") != SCHEMA:
             errors.append("profile %d: schema key mismatch" % i)
+        phases, found = lookup(profile, "latency.phases")
+        if found:
+            check_latency_phases(phases, "profile %d" % i, errors)
+        if profile.get("derived", {}).get("model_drift_ok") is not True:
+            errors.append("profile %d: model drift exceeded tolerance" % i)
 
     if errors:
         sys.exit("\n".join(errors))

@@ -160,8 +160,15 @@ fn main() {
         resident.steady_mirror_allocs
     );
 
+    let cores = cmcc_bench::host_cores();
+    let scaling_gate = if quick {
+        "recorded only (--quick: speedup not asserted)"
+    } else {
+        "asserted (>=1.3x over the gather/scatter baseline)"
+    };
     let json = format!(
         "{{\n  \"pattern\": \"{}\",\n  \"global_grid\": [512, 512],\n  \"subgrid\": [{}, {}],\n  \
+         \"host_cores\": {cores},\n  \"scaling_gate\": \"{scaling_gate}\",\n  \
          \"threads\": 1,\n  \"warmup\": {WARMUP},\n  \"iters\": {iters},\n  \
          \"resident_secs_per_iter\": {:.6},\n  \
          \"lockstep_secs_per_iter\": {:.6},\n  \

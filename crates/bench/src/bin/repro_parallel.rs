@@ -64,7 +64,7 @@ fn time_threads(w: &mut Workload, threads: usize, iters: usize) -> Point {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let iters = if smoke { 2 } else { FULL_ITERS };
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let cores = cmcc_bench::host_cores();
     // Powers of two up to the host's parallelism, plus the core count
     // itself: {1} on one core, {1,2,4,6} on six, {1,2,4,8} on eight.
     let mut sweep: Vec<usize> = std::iter::successors(Some(1usize), |t| Some(t * 2))

@@ -161,8 +161,16 @@ fn main() {
     let speedup = rebuild_secs / planned_secs;
     println!("\n  speedup {speedup:.2}x steady-state over rebuild-per-iteration");
 
+    let cores = cmcc_bench::host_cores();
+    let scaling_gate = if quick {
+        "recorded only (--quick: speedup not asserted)"
+    } else {
+        "asserted (>=1.5x steady-state over rebuild)"
+    };
     let json = format!(
-        "{{\n  \"pattern\": \"{}\",\n  \"subgrid\": [{}, {}],\n  \"iters\": {iters},\n  \
+        "{{\n  \"pattern\": \"{}\",\n  \"subgrid\": [{}, {}],\n  \
+         \"host_cores\": {cores},\n  \"scaling_gate\": \"{scaling_gate}\",\n  \
+         \"iters\": {iters},\n  \
          \"quick\": {quick},\n  \"first_call_secs\": {first_call_secs:.9},\n  \
          \"rebuild_secs_per_iter\": {rebuild_secs:.9},\n  \
          \"planned_secs_per_iter\": {planned_secs:.9},\n  \"plan_build_secs\": {build_secs:.9},\n  \

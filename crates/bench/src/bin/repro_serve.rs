@@ -98,7 +98,7 @@ fn exec_opts() -> ExecOptions {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let iters = if smoke { SMOKE_ITERS } else { FULL_ITERS };
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let cores = cmcc_bench::host_cores();
 
     println!("Serve-pool throughput benchmark: region leases vs exclusive lock");
     println!(
@@ -253,7 +253,8 @@ fn main() {
          \"peak_concurrent\": {peak_concurrent},\n  \
          \"overlap_conflicts\": {overlap_conflicts},\n  \
          \"live_leases_after\": {},\n  \"lane_resident\": [{}],\n  \
-         \"bit_identical\": {bit_identical},\n  \"gate\": \"{gate}\"\n}}\n",
+         \"bit_identical\": {bit_identical},\n  \"gate\": \"{gate}\",\n  \
+         \"scaling_gate\": \"{gate}\"\n}}\n",
         SUBGRID.0,
         SUBGRID.1,
         runs / concurrent_secs,

@@ -295,8 +295,15 @@ fn main() {
         ));
     }
 
+    let cores = cmcc_bench::host_cores();
+    let scaling_gate = if quick {
+        "recorded only (--quick: depth-4 speedup not asserted)"
+    } else {
+        "asserted (>=1.25x at depth 4 over the scalar oracle)"
+    };
     let json = format!(
         "{{\n  \"workload\": \"heat5\",\n  \"global_grid\": [{}, {}],\n  \
+         \"host_cores\": {cores},\n  \"scaling_gate\": \"{scaling_gate}\",\n  \
          \"subgrid\": [{}, {}],\n  \"threads\": 1,\n  \"steps\": {steps},\n  \
          \"interleave_rounds\": {rounds},\n  \
          \"scalar_secs\": {:.6},\n  \"depths\": [\n{}\n  ],\n  \

@@ -70,6 +70,14 @@ pub fn paper_reference(pattern: PaperPattern, subgrid: (usize, usize)) -> Option
         .map(|(_, v)| v)
 }
 
+/// The host's available parallelism (1 when it cannot be queried).
+/// Every `BENCH_*.json` records this next to its `scaling_gate`
+/// disposition so a reader can judge wall-clock numbers without
+/// guessing what machine produced them.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 /// A ready-to-run measurement setup.
 pub struct Workload {
     /// The machine under test.

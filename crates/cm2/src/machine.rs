@@ -377,6 +377,7 @@ impl Machine {
         if strips.is_empty() {
             return Ok(StripRun::default());
         }
+        let _t = cmcc_obs::trace::scope(cmcc_obs::trace::TraceOp::KernelSweep, strips.len() as u64);
         cmcc_obs::add(
             cmcc_obs::Counter::ScalarSteps,
             strips.iter().map(|s| s.steps()).sum(),
@@ -462,6 +463,10 @@ impl Machine {
         if lane_strips.is_empty() {
             return StripRun::default();
         }
+        let _t = cmcc_obs::trace::scope(
+            cmcc_obs::trace::TraceOp::KernelSweep,
+            lane_strips.len() as u64,
+        );
         mirror.ensure(view.words(), self.nodes.len(), threads);
         mirror.gather(view, &self.nodes);
         let run = run_resolved_lockstep_groups(lane_strips, mirror.groups_mut());
@@ -494,6 +499,10 @@ impl Machine {
         if lane_strips.is_empty() {
             return StripRun::default();
         }
+        let _t = cmcc_obs::trace::scope(
+            cmcc_obs::trace::TraceOp::KernelSweep,
+            lane_strips.len() as u64,
+        );
         mirror.ensure(view.words(), self.nodes.len(), threads);
         mirror.gather(view, &self.nodes);
         let run =

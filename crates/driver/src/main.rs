@@ -21,7 +21,8 @@
 //!                      per-tenant stats (plan builds, cache hits, kernel
 //!                      mix) plus aggregate cache/shard occupancy and
 //!                      region-lease totals. With --profile=json, emits
-//!                      one `cmcc-serve-v2` line
+//!                      one `cmcc-serve-v3` line with per-tenant latency
+//!                      histograms and lease-contention attribution
 //!   --workers N        tenant threads for --serve (default 4)
 //!   --quota N          admission control for --serve: each tenant may
 //!                      have at most N statement executes in flight
@@ -48,11 +49,25 @@
 //!                      are reported as 0 and only wall-clock timing applies
 //!   --profile[=json]   enable telemetry and print a per-statement profile
 //!                      after each --run: a human-readable table, or one
-//!                      schema-stable JSON line (`cmcc-profile-v4`) with
+//!                      schema-stable JSON line (`cmcc-profile-v5`) with
 //!                      derived rates, bytes/iteration against the
-//!                      analytic steady-state prediction, and region-lease
+//!                      analytic steady-state prediction (surfaced as the
+//!                      `model_drift` field, enforced by --drift-tol),
+//!                      per-phase latency histograms, and region-lease
 //!                      admission stats. The CMCC_PROFILE environment
 //!                      variable enables the counters alone
+//!   --trace FILE       write a Chrome trace-event JSON (chrome://tracing
+//!                      or Perfetto) of the run to FILE: per-thread
+//!                      begin/end slices for plan build, halo exchange,
+//!                      interior refresh, kernel sweeps, lease
+//!                      request/grant/release, region commits, and (in
+//!                      --serve) one tid per worker plus one async track
+//!                      per tenant. `--trace=FILE` works too
+//!   --drift-tol F      fail a profiled --run whose steady-state
+//!                      |observed - predicted| / predicted copy traffic
+//!                      exceeds F (default 0 — the model must be exact;
+//!                      checked only when --iters > 1 makes a steady
+//!                      state observable)
 //!   --full-machine     extrapolate rates to 2,048 nodes
 //!   --pictogram        draw each recognized stencil
 //!   --dump-kernel      print the widest kernel's microcode listing
@@ -81,7 +96,7 @@ use std::process::ExitCode;
 enum ProfileMode {
     /// Human-readable counter table plus derived rates.
     Table,
-    /// One schema-stable JSON line per statement (`cmcc-profile-v4`).
+    /// One schema-stable JSON line per statement (`cmcc-profile-v5`).
     Json,
 }
 
@@ -98,6 +113,8 @@ struct Options {
     threads: Option<usize>,
     engine: Option<ExecEngine>,
     profile: Option<ProfileMode>,
+    trace: Option<String>,
+    drift_tol: f64,
     full_machine: bool,
     pictogram: bool,
     dump_kernel: bool,
@@ -108,6 +125,7 @@ fn usage() -> ! {
         "usage: cmcc [--run] [--serve] [--workers N] [--quota N] [--mirror-pool N] \
          [--iters N] [--temporal K] \
          [--subgrid RxC] [--threads N] [--engine scalar|lockstep] [--profile[=json]] \
+         [--trace FILE] [--drift-tol F] \
          [--full-machine] [--pictogram] [--dump-kernel] <file.f90 | ->"
     );
     std::process::exit(2);
@@ -127,6 +145,8 @@ fn parse_args() -> Options {
         threads: None,
         engine: None,
         profile: None,
+        trace: None,
+        drift_tol: 0.0,
         full_machine: false,
         pictogram: false,
         dump_kernel: false,
@@ -163,6 +183,17 @@ fn parse_args() -> Options {
             "--profile" => opts.profile = Some(ProfileMode::Table),
             "--profile=json" => opts.profile = Some(ProfileMode::Json),
             "--profile=table" => opts.profile = Some(ProfileMode::Table),
+            "--trace" => {
+                let Some(f) = args.next() else { usage() };
+                opts.trace = Some(f);
+            }
+            "--drift-tol" => {
+                let Some(f) = args.next() else { usage() };
+                match f.parse::<f64>() {
+                    Ok(f) if f >= 0.0 && f.is_finite() => opts.drift_tol = f,
+                    _ => usage(),
+                }
+            }
             "--subgrid" => {
                 let Some(spec) = args.next() else { usage() };
                 let Some((r, c)) = spec.split_once('x') else {
@@ -203,6 +234,9 @@ fn parse_args() -> Options {
                 }
             }
             "-h" | "--help" => usage(),
+            other if other.starts_with("--trace=") && other.len() > "--trace=".len() => {
+                opts.trace = Some(other["--trace=".len()..].to_owned());
+            }
             "-" if opts.path.is_empty() => opts.path = "-".to_owned(),
             other if opts.path.is_empty() && !other.starts_with('-') => {
                 opts.path = other.to_owned();
@@ -222,6 +256,12 @@ fn main() -> ExitCode {
         // `--profile` implies counting; CMCC_PROFILE=1 alone also enables
         // the counters (latched inside cmcc_obs on first use).
         cmcc_obs::set_enabled(true);
+    }
+    if opts.profile.is_some() || opts.trace.is_some() {
+        // The profile's latency histograms and the exported trace are
+        // both distilled from the same flight-recorder events.
+        cmcc_obs::trace::set_trace_enabled(true);
+        cmcc_obs::trace::set_thread_label("main");
     }
     let source = if opts.path == "-" {
         let mut buf = String::new();
@@ -334,11 +374,25 @@ fn main() -> ExitCode {
         );
     }
     println!();
+    if let Err(e) = write_trace_file(&opts) {
+        eprintln!("cmcc: {e}");
+        return ExitCode::FAILURE;
+    }
     if warnings > 0 {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Writes the flight recorder's Chrome trace-event JSON to `--trace
+/// FILE`, if requested.
+fn write_trace_file(opts: &Options) -> Result<(), String> {
+    let Some(file) = &opts.trace else {
+        return Ok(());
+    };
+    std::fs::write(file, cmcc_obs::trace::chrome_trace_json())
+        .map_err(|e| format!("cannot write trace `{file}`: {e}"))
 }
 
 /// Executes one compiled stencil on random data through a [`Session`]
@@ -406,6 +460,8 @@ fn run_compiled(
     // Compile-once/run-many through the plan cache: the first call
     // misses and builds the plan (halo buffers, exchange program,
     // resolved schedule); later iterations hit and replay it.
+    let stmt_start_ns = cmcc_obs::trace::now_ns();
+    let stmt_scope = cmcc_obs::trace::scope(cmcc_obs::trace::TraceOp::Statement, statement as u64);
     let full_before = cmcc_obs::snapshot();
     let hits_before = cmcc_obs::kernel_hits();
     let build_start = std::time::Instant::now();
@@ -422,6 +478,7 @@ fn run_compiled(
     let steady_total = steady_start.elapsed();
     let steady_report = cmcc_obs::snapshot().delta(&steady_before);
     let full_report = cmcc_obs::snapshot().delta(&full_before);
+    drop(stmt_scope);
 
     // Verify against the golden model.
     let machine = session.machine();
@@ -531,6 +588,32 @@ fn run_compiled(
                 "scalar"
             }
         });
+        let derived = derive_metrics(
+            cfg,
+            &m,
+            &exec_opts,
+            &session,
+            opts.iters,
+            first_iter,
+            steady_total,
+            &steady_report,
+            &full_report,
+            opts.drift_tol,
+        );
+        // Distill this statement's flight-recorder events (everything
+        // that began after the statement started, on any thread) into
+        // the per-phase latency histograms.
+        let slices = pair_slices(&cmcc_obs::trace::threads(), stmt_start_ns);
+        let drift_failure = (!derived.model_drift_ok).then(|| {
+            format!(
+                "steady-state copy traffic drifted {:+.4}% from the analytic model \
+                 (observed {:.0} vs predicted {:.0} bytes/iter, tolerance {})",
+                derived.model_drift * 100.0,
+                derived.bytes_per_iter_observed,
+                derived.bytes_per_iter_predicted,
+                opts.drift_tol,
+            )
+        });
         let profile = Profile {
             statement,
             engine,
@@ -541,25 +624,19 @@ fn run_compiled(
             nodes: machine.node_count(),
             iters: opts.iters,
             m,
-            derived: derive_metrics(
-                cfg,
-                &m,
-                &exec_opts,
-                &session,
-                opts.iters,
-                first_iter,
-                steady_total,
-                &steady_report,
-                &full_report,
-            ),
+            derived,
             stats: session.plan_cache_stats(),
             leases: session.lease_stats(),
             kernel_mix: kernel_mix_since(&hits_before),
+            latency: phase_hists(&slices),
             report: full_report,
         };
         match mode {
             ProfileMode::Table => profile.print_table(),
             ProfileMode::Json => println!("{}", profile.to_json()),
+        }
+        if let Some(msg) = drift_failure {
+            return Err(msg.into());
         }
     }
     Ok(session.plan_cache_stats())
@@ -591,6 +668,19 @@ struct Derived {
     bytes_per_step_amortized: f64,
     /// The plan's analytic `steady_state_copy_words` prediction, in bytes.
     bytes_per_iter_predicted: f64,
+    /// Signed relative drift of the observed steady-state copy traffic
+    /// from the analytic prediction:
+    /// `(observed - predicted) / predicted`. This is the release-mode
+    /// form of the `cfg(debug_assertions)` copy-words cross-check — the
+    /// class of bug the PR-5 lane re-prime fix was caught by. 0 when the
+    /// check is not applicable (see `model_drift_checked`).
+    model_drift: f64,
+    /// Whether the drift was measurable: a steady state was observed
+    /// (`--iters > 1`) and the plan predicts nonzero traffic.
+    model_drift_checked: bool,
+    /// `|model_drift| <= --drift-tol` (vacuously true when unchecked).
+    /// A profiled run with a false value fails.
+    model_drift_ok: bool,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -604,6 +694,7 @@ fn derive_metrics(
     steady_total: std::time::Duration,
     steady_report: &cmcc_obs::RunReport,
     full_report: &cmcc_obs::RunReport,
+    drift_tol: f64,
 ) -> Derived {
     let cycle_mode = exec_opts.mode == ExecMode::Cycle;
     let effective_gflops = if cycle_mode { m.gflops(cfg) } else { 0.0 };
@@ -645,6 +736,16 @@ fn derive_metrics(
     let bytes_per_iter_predicted = session
         .last_plan()
         .map_or(0.0, |p| p.steady_state_copy_words() as f64 * WORD_BYTES);
+    // The observed/predicted cross-check is meaningful only over steady
+    // iterations — the first iteration folds in plan build and priming
+    // traffic the steady-state model deliberately excludes.
+    let model_drift_checked = iters > 1 && bytes_per_iter_predicted > 0.0;
+    let model_drift = if model_drift_checked {
+        (bytes_per_iter_observed - bytes_per_iter_predicted) / bytes_per_iter_predicted
+    } else {
+        0.0
+    };
+    let model_drift_ok = !model_drift_checked || model_drift.abs() <= drift_tol;
     Derived {
         effective_gflops,
         model_fraction,
@@ -654,6 +755,9 @@ fn derive_metrics(
         bytes_per_iter_observed,
         bytes_per_step_amortized,
         bytes_per_iter_predicted,
+        model_drift,
+        model_drift_checked,
+        model_drift_ok,
     }
 }
 
@@ -673,6 +777,9 @@ struct Profile {
     /// `kernelized_steps`. Table output only; the JSON schema keys the
     /// aggregate split.
     kernel_mix: Vec<(String, u64)>,
+    /// Per-operation duration histograms distilled from this
+    /// statement's flight-recorder slices, indexed by `TraceOp`.
+    latency: Vec<cmcc_obs::hist::Histogram>,
     report: cmcc_obs::RunReport,
 }
 
@@ -685,6 +792,84 @@ fn kernel_mix_since(before: &[u64; cmcc_obs::KERNEL_VARIANT_CAP]) -> Vec<(String
         .filter(|&(id, (&now, &was))| now > was && id < cmcc_cm2::kernels::KERNEL_VARIANTS)
         .map(|(id, (&now, &was))| (cmcc_cm2::kernels::variant_name(id), now - was))
         .collect()
+}
+
+/// One begin/end-paired flight-recorder slice.
+struct Slice {
+    op: cmcc_obs::trace::TraceOp,
+    tenant: Option<u32>,
+    dur_ns: u64,
+    /// The end event's argument (e.g. the conflicted flag of a
+    /// `lease_acquire` slice).
+    end_arg: u64,
+}
+
+/// Pairs each thread's begin/end events stack-wise per operation and
+/// returns the completed slices whose begin timestamp is at or after
+/// `since_ns` (0 keeps everything). Unmatched ends (begin before the
+/// recorder was reset or dropped on overflow) are ignored.
+fn pair_slices(threads: &[cmcc_obs::trace::ThreadTrace], since_ns: u64) -> Vec<Slice> {
+    use cmcc_obs::trace::{TraceKind, TRACE_OP_COUNT};
+    let mut slices = Vec::new();
+    for t in threads {
+        let mut stacks: Vec<Vec<u64>> = vec![Vec::new(); TRACE_OP_COUNT];
+        for e in &t.events {
+            match e.kind {
+                TraceKind::Begin => stacks[e.op as usize].push(e.ts_ns),
+                TraceKind::End => {
+                    if let Some(start) = stacks[e.op as usize].pop() {
+                        if start >= since_ns {
+                            slices.push(Slice {
+                                op: e.op,
+                                tenant: e.tenant,
+                                dur_ns: e.ts_ns.saturating_sub(start),
+                                end_arg: e.arg,
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    slices
+}
+
+/// The operations the `latency.phases` JSON object keys, in schema
+/// order (compile phases are excluded — the report's `compile` object
+/// already times them).
+const LATENCY_PHASES: [cmcc_obs::trace::TraceOp; 10] = [
+    cmcc_obs::trace::TraceOp::PlanBuild,
+    cmcc_obs::trace::TraceOp::PlanRebind,
+    cmcc_obs::trace::TraceOp::Execute,
+    cmcc_obs::trace::TraceOp::ExecuteWorkers,
+    cmcc_obs::trace::TraceOp::HaloExchange,
+    cmcc_obs::trace::TraceOp::InteriorRefresh,
+    cmcc_obs::trace::TraceOp::KernelSweep,
+    cmcc_obs::trace::TraceOp::RegionCommit,
+    cmcc_obs::trace::TraceOp::LeaseAcquire,
+    cmcc_obs::trace::TraceOp::LeaseHeld,
+];
+
+/// Per-operation duration histograms over a slice set.
+fn phase_hists(slices: &[Slice]) -> Vec<cmcc_obs::hist::Histogram> {
+    let mut hists: Vec<cmcc_obs::hist::Histogram> = (0..cmcc_obs::trace::TRACE_OP_COUNT)
+        .map(|_| cmcc_obs::hist::Histogram::new())
+        .collect();
+    for s in slices {
+        hists[s.op as usize].record(s.dur_ns);
+    }
+    hists
+}
+
+/// Renders the fixed `latency.phases` object: one histogram summary per
+/// [`LATENCY_PHASES`] operation.
+fn latency_phases_json(hists: &[cmcc_obs::hist::Histogram]) -> String {
+    let parts: Vec<String> = LATENCY_PHASES
+        .iter()
+        .map(|op| format!("\"{}\":{}", op.name(), hists[*op as usize].summary_json()))
+        .collect();
+    format!("{{{}}}", parts.join(","))
 }
 
 /// Formats an `f64` as a JSON number (non-finite values become 0).
@@ -718,6 +903,17 @@ impl Profile {
             self.derived.temporal_depth,
             self.derived.bytes_per_step_amortized,
         );
+        if self.derived.model_drift_checked {
+            println!(
+                "      model drift {:+.4}% ({})",
+                self.derived.model_drift * 100.0,
+                if self.derived.model_drift_ok {
+                    "within tolerance"
+                } else {
+                    "EXCEEDS tolerance"
+                },
+            );
+        }
         println!(
             "      plan cache: {} hits / {} misses / {} evictions (capacity {})",
             self.stats.hits, self.stats.misses, self.stats.evictions, self.stats.capacity,
@@ -737,17 +933,31 @@ impl Profile {
                 .collect();
             println!("      kernel mix: {}", mix.join(" "));
         }
+        for op in LATENCY_PHASES {
+            let h = &self.latency[op as usize];
+            if h.count() == 0 {
+                continue;
+            }
+            println!(
+                "      latency {}: n={} p50={}ns p95={}ns p99={}ns max={}ns",
+                op.name(),
+                h.count(),
+                h.percentile(50.0),
+                h.percentile(95.0),
+                h.percentile(99.0),
+                h.max(),
+            );
+        }
         for line in self.report.render_table().lines() {
             println!("      {line}");
         }
     }
 
-    /// One compact JSON line. The key set is the `cmcc-profile-v4`
-    /// schema (v3 plus the region-lease fields: the `leases` object
-    /// here and the `mirror_pool_misses`/`region_leases`/
-    /// `lease_conflicts`/`concurrent_executes_peak` exec counters in
-    /// the report): CI validates it, so additions must bump the
-    /// version.
+    /// One compact JSON line. The key set is the `cmcc-profile-v5`
+    /// schema (v4 plus the flight-recorder fields: the model-drift
+    /// cross-check in `derived`, the `latency.phases` histogram
+    /// summaries, and the `trace_drops` exec counter in the report):
+    /// CI validates it, so additions must bump the version.
     fn to_json(&self) -> String {
         let shards: Vec<String> = self
             .stats
@@ -763,19 +973,21 @@ impl Profile {
             .collect();
         format!(
             concat!(
-                "{{\"schema\":\"cmcc-profile-v4\",\"statement\":{},",
+                "{{\"schema\":\"cmcc-profile-v5\",\"statement\":{},",
                 "\"engine\":\"{}\",\"mode\":\"{}\",\"nodes\":{},\"iters\":{},",
                 "\"measurement\":{{\"useful_flops\":{},\"cycles\":{{\"comm\":{},",
                 "\"compute\":{},\"frontend\":{},\"total\":{}}},\"nodes\":{}}},",
                 "\"derived\":{{\"effective_gflops\":{},\"model_fraction\":{},",
                 "\"wall_gflops\":{},\"cpu_gflops\":{},\"temporal_depth\":{},",
                 "\"bytes_per_iter_observed\":{},\"bytes_per_step_amortized\":{},",
-                "\"bytes_per_iter_predicted\":{}}},",
+                "\"bytes_per_iter_predicted\":{},\"model_drift\":{},",
+                "\"model_drift_ok\":{}}},",
                 "\"plan_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},",
                 "\"capacity\":{},\"shards\":[{}],\"shard_evictions\":[{}],",
                 "\"shared_in_flight\":{}}},",
                 "\"leases\":{{\"region_grants\":{},\"conflicts\":{},",
-                "\"peak_concurrent\":{},\"live\":{}}},\"report\":{}}}"
+                "\"peak_concurrent\":{},\"live\":{}}},",
+                "\"latency\":{{\"phases\":{}}},\"report\":{}}}"
             ),
             self.statement,
             self.engine,
@@ -796,6 +1008,8 @@ impl Profile {
             json_f64(self.derived.bytes_per_iter_observed),
             json_f64(self.derived.bytes_per_step_amortized),
             json_f64(self.derived.bytes_per_iter_predicted),
+            json_f64(self.derived.model_drift),
+            self.derived.model_drift_ok,
             self.stats.hits,
             self.stats.misses,
             self.stats.evictions,
@@ -807,6 +1021,7 @@ impl Profile {
             self.leases.conflicts,
             self.leases.peak_concurrent,
             self.leases.live,
+            latency_phases_json(&self.latency),
             self.report.to_json(),
         )
     }
@@ -823,6 +1038,10 @@ struct TenantStats {
     kernelized_steps: u64,
     interpreted_steps: u64,
     scalar_steps: u64,
+    /// Summed wall-clock of this tenant's quota workers' drain loops.
+    /// The tenant's blocked + executing trace time can never exceed it,
+    /// and the batch fails if it does.
+    wall_ns: u64,
     errors: Vec<String>,
 }
 
@@ -972,12 +1191,19 @@ fn serve_tenant(
         kernelized_steps: 0,
         interpreted_steps: 0,
         scalar_steps: 0,
+        wall_ns: 0,
         errors: Vec::new(),
     };
     // The quota workers drain one shared cursor, so together they serve
     // the tenant's batch exactly once, up to `quota` lines in flight.
     let cursor = AtomicUsize::new(0);
     let drain = |mut handle: Session| {
+        // Tag the worker thread so every flight-recorder event its runs
+        // emit (execution is single-threaded per run) carries the tenant,
+        // and per-tenant latency/blocked/executing attribution is exact.
+        cmcc_obs::trace::set_tenant(Some(tenant as u32));
+        cmcc_obs::trace::set_thread_label(&format!("tenant {tenant} worker"));
+        let wall = std::time::Instant::now();
         let before = cmcc_obs::thread_snapshot();
         let mut served = 0usize;
         let mut errors = Vec::new();
@@ -986,14 +1212,34 @@ fn serve_tenant(
             if i >= statements.len() {
                 break;
             }
+            // Each served line is a `statement` slice on the worker's
+            // timeline plus an async slice on the tenant's trace track.
+            cmcc_obs::trace::record(
+                cmcc_obs::trace::TraceKind::AsyncBegin,
+                cmcc_obs::trace::TraceOp::Statement,
+                tenant as u64,
+            );
+            let span = cmcc_obs::trace::scope(cmcc_obs::trace::TraceOp::Statement, i as u64);
             match serve_one(&mut handle, tenant, i, &statements[i], &exec_opts, opts) {
                 Ok(()) => served += 1,
                 Err(e) => errors.push(format!("statement {}: {e}", i + 1)),
             }
+            drop(span);
+            cmcc_obs::trace::record(
+                cmcc_obs::trace::TraceKind::AsyncEnd,
+                cmcc_obs::trace::TraceOp::Statement,
+                tenant as u64,
+            );
         }
-        (served, errors, cmcc_obs::thread_snapshot().delta(&before))
+        (
+            served,
+            errors,
+            cmcc_obs::thread_snapshot().delta(&before),
+            wall.elapsed().as_nanos() as u64,
+        )
     };
-    let shares: Vec<(usize, Vec<String>, cmcc_obs::RunReport)> = if opts.quota <= 1 {
+    type Share = (usize, Vec<String>, cmcc_obs::RunReport, u64);
+    let shares: Vec<Share> = if opts.quota <= 1 {
         vec![drain(session)]
     } else {
         std::thread::scope(|scope| {
@@ -1009,9 +1255,10 @@ fn serve_tenant(
                 .collect()
         })
     };
-    for (served, errors, report) in shares {
+    for (served, errors, report, wall_ns) in shares {
         stats.statements += served;
         stats.runs += (served * opts.iters) as u64;
+        stats.wall_ns += wall_ns;
         stats.errors.extend(errors);
         stats.plan_builds += report.get(Counter::PlanBuilds);
         stats.cache_hits += report.get(Counter::PlanCacheHits);
@@ -1042,6 +1289,9 @@ fn serve_batch(
     if statements.is_empty() {
         return Err("no statements to serve".into());
     }
+    // Serve always runs the flight recorder: the per-tenant latency and
+    // lease-contention attribution below are distilled from its events.
+    cmcc_obs::trace::set_trace_enabled(true);
     let session = Session::with_config_and_mirror_pool(cfg.clone(), opts.mirror_pool)?;
     let tenants: Vec<TenantStats> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..opts.workers)
@@ -1063,6 +1313,55 @@ fn serve_batch(
     let build_once = total_builds == cache.misses;
     let drained = leases.live == 0 && leases.queued == 0;
     let mut failed = !build_once || !drained;
+
+    // Lease-contention attribution: pair the batch's flight-recorder
+    // events into slices and split each tenant's wall time into blocked
+    // (lease time-to-grant) vs executing. The conflicted-wait count must
+    // agree with the lease table's own conflict counter — a structural
+    // cross-check between two independent observers — unless the ring
+    // overflowed and dropped events.
+    let slices = pair_slices(&cmcc_obs::trace::threads(), 0);
+    let hists = phase_hists(&slices);
+    let mut time_to_grant = cmcc_obs::hist::Histogram::new();
+    let mut conflicted_waits: u64 = 0;
+    let mut tenant_stmt: Vec<cmcc_obs::hist::Histogram> = (0..opts.workers)
+        .map(|_| cmcc_obs::hist::Histogram::new())
+        .collect();
+    let mut tenant_blocked = vec![0u64; opts.workers];
+    let mut tenant_executing = vec![0u64; opts.workers];
+    for s in &slices {
+        let w = s.tenant.map(|t| t as usize).filter(|&t| t < opts.workers);
+        match s.op {
+            cmcc_obs::trace::TraceOp::LeaseAcquire => {
+                time_to_grant.record(s.dur_ns);
+                if s.end_arg == 1 {
+                    conflicted_waits += 1;
+                }
+                if let Some(w) = w {
+                    tenant_blocked[w] += s.dur_ns;
+                }
+            }
+            cmcc_obs::trace::TraceOp::Execute => {
+                if let Some(w) = w {
+                    tenant_executing[w] += s.dur_ns;
+                }
+            }
+            cmcc_obs::trace::TraceOp::Statement => {
+                if let Some(w) = w {
+                    tenant_stmt[w].record(s.dur_ns);
+                }
+            }
+            _ => {}
+        }
+    }
+    let trace_drops = cmcc_obs::trace::total_drops();
+    let waits_consistent = trace_drops > 0 || conflicted_waits == leases.conflicts;
+    let split_ok = tenants
+        .iter()
+        .all(|t| tenant_blocked[t.tenant] + tenant_executing[t.tenant] <= t.wall_ns);
+    if !waits_consistent || !split_ok {
+        failed = true;
+    }
 
     println!(
         "serve: {} tenants (quota {}) x {} statements x {} iters ({}x{} per node, {} nodes)",
@@ -1086,6 +1385,19 @@ fn serve_batch(
             t.kernelized_steps,
             t.interpreted_steps,
             t.scalar_steps,
+        );
+        let h = &tenant_stmt[t.tenant];
+        println!(
+            "    latency: statements n={} p50={}ns p95={}ns p99={}ns max={}ns; \
+             blocked {}ns + executing {}ns <= wall {}ns",
+            h.count(),
+            h.percentile(50.0),
+            h.percentile(95.0),
+            h.percentile(99.0),
+            h.max(),
+            tenant_blocked[t.tenant],
+            tenant_executing[t.tenant],
+            t.wall_ns,
         );
         for e in &t.errors {
             failed = true;
@@ -1136,6 +1448,30 @@ fn serve_batch(
             format!("VIOLATED ({} live, {} queued)", leases.live, leases.queued)
         },
     );
+    println!(
+        "  lease wait: n={} p50={}ns p95={}ns p99={}ns max={}ns, {} conflicted, \
+         attribution {}",
+        time_to_grant.count(),
+        time_to_grant.percentile(50.0),
+        time_to_grant.percentile(95.0),
+        time_to_grant.percentile(99.0),
+        time_to_grant.max(),
+        conflicted_waits,
+        if waits_consistent {
+            "OK (trace waits == lease conflicts)".to_owned()
+        } else {
+            format!(
+                "VIOLATED ({conflicted_waits} traced waits != {} lease conflicts)",
+                leases.conflicts
+            )
+        },
+    );
+    if !split_ok {
+        eprintln!("  SERVE FAILED: a tenant's blocked + executing time exceeds its wall time");
+    }
+    if trace_drops > 0 {
+        println!("  trace: {trace_drops} events dropped (ring overflow)");
+    }
 
     if opts.profile == Some(ProfileMode::Json) {
         let tenant_json: Vec<String> = tenants
@@ -1146,7 +1482,8 @@ fn serve_batch(
                         "{{\"tenant\":{},\"statements\":{},\"runs\":{},",
                         "\"plan_builds\":{},\"cache_hits\":{},\"cache_misses\":{},",
                         "\"kernelized_steps\":{},\"interpreted_steps\":{},",
-                        "\"scalar_steps\":{},\"errors\":{}}}"
+                        "\"scalar_steps\":{},\"latency\":{},\"blocked_ns\":{},",
+                        "\"executing_ns\":{},\"wall_ns\":{},\"errors\":{}}}"
                     ),
                     t.tenant,
                     t.statements,
@@ -1157,20 +1494,27 @@ fn serve_batch(
                     t.kernelized_steps,
                     t.interpreted_steps,
                     t.scalar_steps,
+                    tenant_stmt[t.tenant].summary_json(),
+                    tenant_blocked[t.tenant],
+                    tenant_executing[t.tenant],
+                    t.wall_ns,
                     t.errors.len(),
                 )
             })
             .collect();
         println!(
             concat!(
-                "{{\"schema\":\"cmcc-serve-v2\",\"workers\":{},\"quota\":{},",
+                "{{\"schema\":\"cmcc-serve-v3\",\"workers\":{},\"quota\":{},",
                 "\"statements\":{},",
                 "\"iters\":{},\"build_once\":{},\"drained\":{},\"tenants\":[{}],",
                 "\"plan_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},",
                 "\"capacity\":{},\"shards\":[{}],\"shard_evictions\":[{}],",
                 "\"shared_in_flight\":{}}},",
                 "\"leases\":{{\"region_grants\":{},\"conflicts\":{},",
-                "\"peak_concurrent\":{},\"live\":{}}}}}"
+                "\"peak_concurrent\":{},\"live\":{}}},",
+                "\"latency\":{{\"phases\":{},\"lease\":{{\"time_to_grant\":{},",
+                "\"conflicted_waits\":{},\"waits_consistent\":{}}}}},",
+                "\"trace_drops\":{}}}"
             ),
             opts.workers,
             opts.quota,
@@ -1190,9 +1534,15 @@ fn serve_batch(
             leases.conflicts,
             leases.peak_concurrent,
             leases.live,
+            latency_phases_json(&hists),
+            time_to_grant.summary_json(),
+            conflicted_waits,
+            waits_consistent,
+            trace_drops,
         );
     }
 
+    write_trace_file(opts)?;
     Ok(if failed {
         ExitCode::FAILURE
     } else {

@@ -33,6 +33,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod hist;
+pub mod trace;
+
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -140,10 +143,14 @@ pub enum Counter {
     /// reads the true peak; greater than 1 proves region leasing
     /// actually overlapped two executes.
     ConcurrentExecutesPeak,
+    /// Trace events dropped because a thread's flight-recorder ring
+    /// ([`trace`]) was full. Earlier events in a full ring stay intact;
+    /// only the overflow is lost, and this counter says how much.
+    TraceDrops,
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = Counter::ConcurrentExecutesPeak as usize + 1;
+pub const COUNTER_COUNT: usize = Counter::TraceDrops as usize + 1;
 
 impl Counter {
     /// All counters, in schema order.
@@ -179,6 +186,7 @@ impl Counter {
         Counter::RegionLeases,
         Counter::LeaseConflicts,
         Counter::ConcurrentExecutesPeak,
+        Counter::TraceDrops,
     ];
 
     /// The counter's stable JSON key.
@@ -215,6 +223,7 @@ impl Counter {
             Counter::RegionLeases => "region_leases",
             Counter::LeaseConflicts => "lease_conflicts",
             Counter::ConcurrentExecutesPeak => "concurrent_executes_peak",
+            Counter::TraceDrops => "trace_drops",
         }
     }
 }
@@ -415,12 +424,13 @@ pub fn add(counter: Counter, n: u64) {
 
 /// A live span timer: created by [`span`], records its elapsed wall time
 /// under its [`Phase`] when dropped. Does not read the clock at all when
-/// telemetry is disabled.
+/// both telemetry and tracing are disabled.
 #[derive(Debug)]
 #[must_use = "a span measures the scope it is bound to; binding it to _ drops it immediately"]
 pub struct Span {
     phase: Phase,
     start: Option<Instant>,
+    traced: bool,
 }
 
 impl Drop for Span {
@@ -432,15 +442,35 @@ impl Drop for Span {
                 s.phase_calls[self.phase as usize].fetch_add(1, Ordering::Relaxed);
             });
         }
+        if self.traced {
+            trace::record(
+                trace::TraceKind::End,
+                trace::TraceOp::from_phase(self.phase),
+                0,
+            );
+        }
     }
 }
 
 /// Starts timing `phase`; the returned guard records on drop.
+///
+/// When the flight recorder is on ([`trace::trace_enabled`]), the span
+/// additionally emits a trace begin event now and the matching end event
+/// on drop, so every profiled phase shows up on the timeline for free.
 #[inline]
 pub fn span(phase: Phase) -> Span {
+    let traced = trace::trace_enabled();
+    if traced {
+        trace::record(
+            trace::TraceKind::Begin,
+            trace::TraceOp::from_phase(phase),
+            0,
+        );
+    }
     Span {
         phase,
         start: enabled().then(Instant::now),
+        traced,
     }
 }
 
@@ -696,8 +726,8 @@ impl RunReport {
              \"lockstep_steps\":{},\"kernelized_steps\":{},\"interpreted_steps\":{},\
              \"mirror_allocations\":{},\"mirror_pool_misses\":{},\"halo_exchanges\":{},\
              \"fused_steps\":{},\"temporal_fallbacks\":{},\"region_leases\":{},\
-             \"lease_conflicts\":{},\"concurrent_executes_peak\":{},\"useful_flops\":{},\
-             \"total_flops\":{}}}}}",
+             \"lease_conflicts\":{},\"concurrent_executes_peak\":{},\"trace_drops\":{},\
+             \"useful_flops\":{},\"total_flops\":{}}}}}",
             self.phase_nanos(Phase::Execute),
             self.phase_calls(Phase::Execute),
             self.phase_nanos(Phase::ExecuteWorkers),
@@ -717,6 +747,7 @@ impl RunReport {
             c(Counter::RegionLeases),
             c(Counter::LeaseConflicts),
             c(Counter::ConcurrentExecutesPeak),
+            c(Counter::TraceDrops),
             c(Counter::UsefulFlops),
             c(Counter::TotalFlops),
         )
@@ -813,6 +844,12 @@ impl RunReport {
             self.get(Counter::TemporalFallbacks),
         )
         .unwrap();
+        writeln!(
+            s,
+            "  trace: {} events dropped (ring overflow)",
+            self.get(Counter::TraceDrops),
+        )
+        .unwrap();
         let useful = self.get(Counter::UsefulFlops);
         let total = self.get(Counter::TotalFlops);
         writeln!(
@@ -829,17 +866,22 @@ impl RunReport {
     }
 }
 
+/// Serializes tests that touch the process-global telemetry or trace
+/// state; shared across this crate's test modules so a counter test's
+/// spans never leak trace events into a trace test's assertions.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Mutex;
-
-    /// The counters are process-global; tests that write them serialize.
-    static LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn disabled_records_nothing() {
-        let _guard = LOCK.lock().unwrap();
+        let _guard = crate::test_lock();
         set_enabled(false);
         reset();
         add(Counter::PlanBuilds, 3);
@@ -852,7 +894,7 @@ mod tests {
 
     #[test]
     fn counters_and_spans_accumulate_and_delta() {
-        let _guard = LOCK.lock().unwrap();
+        let _guard = crate::test_lock();
         set_enabled(true);
         reset();
         add(Counter::ExchangeEdgeWords, 10);
@@ -875,7 +917,7 @@ mod tests {
 
     #[test]
     fn thread_shards_aggregate_exactly_and_attribute_locally() {
-        let _guard = LOCK.lock().unwrap();
+        let _guard = crate::test_lock();
         set_enabled(true);
         reset();
         add(Counter::ScalarRuns, 1);
@@ -909,7 +951,7 @@ mod tests {
 
     #[test]
     fn json_is_schema_stable() {
-        let _guard = LOCK.lock().unwrap();
+        let _guard = crate::test_lock();
         set_enabled(true);
         reset();
         add(Counter::UsefulFlops, 42);
@@ -962,6 +1004,7 @@ mod tests {
             "\"region_leases\":",
             "\"lease_conflicts\":",
             "\"concurrent_executes_peak\":",
+            "\"trace_drops\":",
             "\"useful_flops\":42",
             "\"total_flops\":",
         ] {
@@ -990,7 +1033,7 @@ mod tests {
 
     #[test]
     fn kernel_hits_record_reset_and_gate() {
-        let _guard = LOCK.lock().unwrap();
+        let _guard = crate::test_lock();
         set_enabled(true);
         reset();
         kernel_hit(3);
@@ -1019,6 +1062,7 @@ mod tests {
             "exec:",
             "leases:",
             "temporal:",
+            "trace:",
             "flops:",
         ] {
             assert!(table.contains(needle), "missing {needle}");

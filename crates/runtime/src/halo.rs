@@ -186,6 +186,10 @@ impl HaloBuffer {
         let dst0 = self.addr(self.pad, self.pad);
         let dst_stride = self.sub_cols + 2 * self.pad;
         let (rows, cols) = (self.sub_rows, self.sub_cols);
+        let _t = cmcc_obs::trace::scope(
+            cmcc_obs::trace::TraceOp::InteriorRefresh,
+            (rows * cols) as u64,
+        );
         let mut nodes = 0;
         for (_, mem) in machine.par_nodes_mut() {
             for lr in 0..rows {
@@ -457,6 +461,10 @@ impl ExchangeProgram {
 
     /// Executes the exchange and returns the cycles charged.
     pub fn run(&self, machine: &mut Machine) -> u64 {
+        let _t = cmcc_obs::trace::scope(
+            cmcc_obs::trace::TraceOp::HaloExchange,
+            self.words_moved() as u64,
+        );
         cmcc_obs::add(cmcc_obs::Counter::HaloExchanges, 1);
         cmcc_obs::add(cmcc_obs::Counter::ExchangeEdgeWords, self.edge_words as u64);
         cmcc_obs::add(
@@ -744,6 +752,10 @@ impl LaneExchangeProgram {
     /// mirror must have been shaped for the same machine and view the
     /// program was translated against.
     pub fn run(&self, mirror: &mut cmcc_cm2::lane::LaneMirror) -> u64 {
+        let _t = cmcc_obs::trace::scope(
+            cmcc_obs::trace::TraceOp::HaloExchange,
+            self.words_moved() as u64,
+        );
         cmcc_obs::add(cmcc_obs::Counter::HaloExchanges, 1);
         cmcc_obs::add(cmcc_obs::Counter::ExchangeEdgeWords, self.edge_words as u64);
         cmcc_obs::add(

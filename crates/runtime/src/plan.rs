@@ -1127,7 +1127,13 @@ impl PlanInstance {
             // must not perturb the `Measurement`.
             comm += exchange.cycles();
             if !self.lane_halos_current {
-                self.lane_mirror.gather_rows(mems, interior);
+                {
+                    let _t = cmcc_obs::trace::scope(
+                        cmcc_obs::trace::TraceOp::InteriorRefresh,
+                        (interior.rows * interior.cols) as u64,
+                    );
+                    self.lane_mirror.gather_rows(mems, interior);
+                }
                 exchange_words += exchange.words_moved();
                 let _ = exchange.run(&mut self.lane_mirror);
             }
@@ -1157,6 +1163,7 @@ impl PlanInstance {
             } else {
                 &kernels[lo..hi]
             };
+            let _t = cmcc_obs::trace::scope(cmcc_obs::trace::TraceOp::KernelSweep, step as u64);
             run.absorb(&run_lockstep_groups_kernelized(
                 &lane_strips[lo..hi],
                 step_kernels,

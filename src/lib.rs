@@ -303,6 +303,15 @@ impl LeaseTable {
     /// the request ever conflicted — a conflicted lease must take the
     /// exclusive write path (and be counted), never the region path.
     fn acquire(&self, ranges: Vec<LeaseRange>) -> (LeaseGuard<'_>, bool) {
+        // Flight-recorder lease lifecycle: the `lease_acquire` slice runs
+        // from request to grant (its duration is the time-to-grant, and
+        // its end event's arg says whether the request conflicted); the
+        // `lease_held` slice runs from grant to release.
+        cmcc_obs::trace::record(
+            cmcc_obs::trace::TraceKind::Begin,
+            cmcc_obs::trace::TraceOp::LeaseAcquire,
+            0,
+        );
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let ticket = st.next_ticket;
         st.next_ticket += 1;
@@ -337,6 +346,16 @@ impl LeaseTable {
             cmcc_obs::add(cmcc_obs::Counter::ConcurrentExecutesPeak, delta);
         }
         drop(st);
+        cmcc_obs::trace::record(
+            cmcc_obs::trace::TraceKind::End,
+            cmcc_obs::trace::TraceOp::LeaseAcquire,
+            conflicted as u64,
+        );
+        cmcc_obs::trace::record(
+            cmcc_obs::trace::TraceKind::Begin,
+            cmcc_obs::trace::TraceOp::LeaseHeld,
+            ticket,
+        );
         (
             LeaseGuard {
                 table: self,
@@ -365,6 +384,11 @@ impl Drop for LeaseGuard<'_> {
         st.in_flight -= 1;
         drop(st);
         self.table.granted.notify_all();
+        cmcc_obs::trace::record(
+            cmcc_obs::trace::TraceKind::End,
+            cmcc_obs::trace::TraceOp::LeaseHeld,
+            self.ticket,
+        );
     }
 }
 
@@ -912,6 +936,10 @@ impl Session {
             };
             {
                 let mut machine = shared.machine_write();
+                let _t = cmcc_obs::trace::scope(
+                    cmcc_obs::trace::TraceOp::RegionCommit,
+                    stage.ranges().len() as u64,
+                );
                 stage.apply(machine.exec_parts_mut().1);
             }
             self.stage = stage;

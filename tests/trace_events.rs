@@ -1,0 +1,340 @@
+//! Flight-recorder contract tests: begin/end events pair up with
+//! monotone per-thread timestamps, ring overflow is counted (never
+//! corrupting the already-recorded prefix), latency histograms quantize
+//! percentiles exactly against a sorted oracle, and racing tenants'
+//! blocked-vs-executing attribution stays within their measured wall
+//! time while agreeing with the lease table's own conflict counter.
+//!
+//! The recorder's rings are process-global, so every test takes a
+//! shared lock and resets the registry before measuring.
+
+use std::sync::Mutex;
+
+use cmcc::obs::hist::Histogram;
+use cmcc::obs::trace::{self, ThreadTrace, TraceKind, TraceOp, TRACE_OP_COUNT, TRACE_RING_CAP};
+use cmcc::obs::{self, Counter};
+use cmcc::runtime::{CmArray, ExecOptions};
+use cmcc::{PaperPattern, Session};
+
+/// Serializes tests that touch the global recorder registry.
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One paired begin/end slice (mirrors the driver's distillation).
+struct Slice {
+    op: TraceOp,
+    tenant: Option<u32>,
+    dur_ns: u64,
+    end_arg: u64,
+}
+
+/// Pairs begin/end events stack-wise per thread and operation.
+fn pair_slices(threads: &[ThreadTrace]) -> Vec<Slice> {
+    let mut slices = Vec::new();
+    for t in threads {
+        let mut stacks: Vec<Vec<u64>> = vec![Vec::new(); TRACE_OP_COUNT];
+        for e in &t.events {
+            match e.kind {
+                TraceKind::Begin => stacks[e.op as usize].push(e.ts_ns),
+                TraceKind::End => {
+                    if let Some(start) = stacks[e.op as usize].pop() {
+                        slices.push(Slice {
+                            op: e.op,
+                            tenant: e.tenant,
+                            dur_ns: e.ts_ns.saturating_sub(start),
+                            end_arg: e.arg,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    slices
+}
+
+/// Runs the five-point cross `iters` times through a fresh session.
+fn run_statement(session: &mut Session, iters: usize) {
+    let c = session.compile(&PaperPattern::Cross5.fortran()).unwrap();
+    let x = session.array(8, 8).unwrap();
+    let r = session.array(8, 8).unwrap();
+    x.fill_with(&mut session.machine_mut(), |row, col| {
+        ((row * 3 + col) % 5) as f32
+    });
+    let named = c
+        .spec()
+        .coeffs
+        .iter()
+        .filter(|c| matches!(c, cmcc::core::recognize::CoeffSpec::Named(_)))
+        .count();
+    let coeffs: Vec<CmArray> = (0..named).map(|_| session.array(8, 8).unwrap()).collect();
+    for (i, a) in coeffs.iter().enumerate() {
+        a.fill(&mut session.machine_mut(), 0.25 * (i + 1) as f32);
+    }
+    let refs: Vec<&CmArray> = coeffs.iter().collect();
+    let opts = ExecOptions::fast();
+    for _ in 0..iters {
+        session.run_with(&c, &r, &x, &refs, &opts).unwrap();
+    }
+}
+
+/// `workers` tenant threads race `iters` executes each of the same
+/// statement on clones of one session (the shared plan artifact makes
+/// their leases overlap). Returns the recorder snapshot, the session's
+/// lease stats, and each tenant's measured wall time.
+fn race_tenants(workers: usize, iters: usize) -> (Vec<ThreadTrace>, cmcc::LeaseStats, Vec<u64>) {
+    let root = Session::tiny().unwrap();
+    let walls: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let mut session = root.clone();
+                scope.spawn(move || {
+                    trace::set_tenant(Some(w as u32));
+                    trace::set_thread_label(&format!("race tenant {w}"));
+                    let wall = std::time::Instant::now();
+                    let scope = trace::scope(TraceOp::Statement, w as u64);
+                    run_statement(&mut session, iters);
+                    drop(scope);
+                    wall.elapsed().as_nanos() as u64
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("tenant thread panicked"))
+            .collect()
+    });
+    (trace::threads(), root.lease_stats(), walls)
+}
+
+/// Every end event closes a begin of the same operation on the same
+/// thread, and each thread's timestamps never run backwards.
+#[test]
+fn spans_pair_and_timestamps_are_monotone() {
+    let _g = lock();
+    trace::reset_trace();
+    trace::set_trace_enabled(true);
+
+    let mut session = Session::tiny().unwrap();
+    run_statement(&mut session, 3);
+
+    let threads = trace::threads();
+    let mut total_events = 0usize;
+    let mut executes = 0usize;
+    for t in &threads {
+        total_events += t.events.len();
+        let mut prev_ts = 0u64;
+        let mut depth = vec![0i64; TRACE_OP_COUNT];
+        for e in &t.events {
+            assert!(
+                e.ts_ns >= prev_ts,
+                "thread `{}` timestamps run backwards",
+                t.label
+            );
+            prev_ts = e.ts_ns;
+            match e.kind {
+                TraceKind::Begin => depth[e.op as usize] += 1,
+                TraceKind::End => {
+                    depth[e.op as usize] -= 1;
+                    assert!(
+                        depth[e.op as usize] >= 0,
+                        "`{}` end without a begin on thread `{}`",
+                        e.op.name(),
+                        t.label
+                    );
+                    if e.op == TraceOp::Execute {
+                        executes += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (op, d) in TraceOp::ALL.iter().zip(&depth) {
+            assert_eq!(
+                *d,
+                0,
+                "unclosed `{}` span on thread `{}`",
+                op.name(),
+                t.label
+            );
+        }
+    }
+    assert!(total_events > 0, "the run recorded no events");
+    assert_eq!(executes, 3, "each run must close exactly one execute span");
+    trace::set_trace_enabled(false);
+}
+
+/// Overflowing a thread's ring counts every dropped event (both in the
+/// ring's own counter and the `TraceDrops` obs counter) and leaves the
+/// already-recorded prefix bit-exact.
+#[test]
+fn ring_overflow_counts_drops_and_preserves_prefix() {
+    let _g = lock();
+    obs::set_enabled(true);
+    trace::reset_trace();
+    trace::set_trace_enabled(true);
+    trace::set_thread_label("overflow probe");
+    let before = obs::snapshot();
+
+    for i in 0..TRACE_RING_CAP as u64 + 7 {
+        trace::record(TraceKind::Instant, TraceOp::Statement, i);
+    }
+
+    let threads = trace::threads();
+    let probe = threads
+        .iter()
+        .find(|t| t.label == "overflow probe")
+        .expect("the probe thread registered a ring");
+    assert_eq!(
+        probe.events.len(),
+        TRACE_RING_CAP,
+        "ring must fill, not wrap"
+    );
+    for (i, e) in probe.events.iter().enumerate() {
+        assert_eq!(e.arg, i as u64, "event {i} corrupted by the overflow");
+        assert_eq!(e.op, TraceOp::Statement);
+    }
+    assert_eq!(probe.drops, 7, "exactly the overflowing events are dropped");
+    let report = obs::snapshot().delta(&before);
+    assert_eq!(
+        report.get(Counter::TraceDrops),
+        7,
+        "TraceDrops must count the same overflow"
+    );
+    trace::set_trace_enabled(false);
+    obs::set_enabled(false);
+}
+
+/// Histogram percentiles equal the quantized rank statistic of the raw
+/// sample — quantization is monotone, so bucketing commutes with
+/// rank selection.
+#[test]
+fn histogram_percentiles_match_sorted_oracle() {
+    let mut h = Histogram::new();
+    let mut samples = Vec::new();
+    // Xorshift over a wide dynamic range (ns to tens of seconds).
+    let mut x = 0x2545_f491_4f6c_dd1du64;
+    for i in 0..10_000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let v = x % (1u64 << (10 + (i % 25)));
+        samples.push(v);
+        h.record(v);
+    }
+    samples.sort_unstable();
+    for p in [0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0] {
+        let rank = ((p / 100.0 * samples.len() as f64).ceil() as usize)
+            .max(1)
+            .min(samples.len());
+        let oracle = Histogram::quantize(samples[rank - 1]);
+        assert_eq!(
+            h.percentile(p),
+            oracle,
+            "p{p} diverges from the sorted oracle"
+        );
+    }
+    assert_eq!(h.count(), samples.len() as u64);
+    assert_eq!(
+        h.max(),
+        *samples.last().unwrap(),
+        "max is exact, not quantized"
+    );
+}
+
+/// Racing tenants on one shared artifact: each tenant's traced blocked
+/// (lease time-to-grant) plus executing time fits within its measured
+/// wall time, and the conflicted-wait count agrees with the lease
+/// table's conflict counter when nothing was dropped.
+#[test]
+fn racing_tenants_split_blocked_and_executing_within_wall() {
+    let _g = lock();
+    trace::reset_trace();
+    trace::set_trace_enabled(true);
+
+    const WORKERS: usize = 4;
+    let (threads, leases, walls) = race_tenants(WORKERS, 4);
+    let slices = pair_slices(&threads);
+
+    let mut blocked = [0u64; WORKERS];
+    let mut executing = [0u64; WORKERS];
+    let mut conflicted_waits = 0u64;
+    for s in &slices {
+        let w = s.tenant.map(|t| t as usize).filter(|&t| t < WORKERS);
+        match s.op {
+            TraceOp::LeaseAcquire => {
+                if s.end_arg == 1 {
+                    conflicted_waits += 1;
+                }
+                if let Some(w) = w {
+                    blocked[w] += s.dur_ns;
+                }
+            }
+            TraceOp::Execute => {
+                if let Some(w) = w {
+                    executing[w] += s.dur_ns;
+                }
+            }
+            _ => {}
+        }
+    }
+    for w in 0..WORKERS {
+        assert!(executing[w] > 0, "tenant {w} traced no executes");
+        assert!(
+            blocked[w] + executing[w] <= walls[w],
+            "tenant {w}: blocked {} + executing {} exceeds wall {}",
+            blocked[w],
+            executing[w],
+            walls[w]
+        );
+    }
+    if trace::total_drops() == 0 {
+        assert_eq!(
+            conflicted_waits, leases.conflicts,
+            "traced conflicted waits must agree with the lease table"
+        );
+    }
+    trace::set_trace_enabled(false);
+}
+
+/// Per-tenant statement-latency percentiles (what serve-v3 reports)
+/// equal the quantized sorted oracle of that tenant's slice durations.
+#[test]
+fn per_tenant_percentiles_match_sorted_oracle() {
+    let _g = lock();
+    trace::reset_trace();
+    trace::set_trace_enabled(true);
+
+    const WORKERS: usize = 3;
+    let (threads, _leases, _walls) = race_tenants(WORKERS, 5);
+    let slices = pair_slices(&threads);
+
+    for w in 0..WORKERS as u32 {
+        let mut durs: Vec<u64> = slices
+            .iter()
+            .filter(|s| s.op == TraceOp::Execute && s.tenant == Some(w))
+            .map(|s| s.dur_ns)
+            .collect();
+        assert!(!durs.is_empty(), "tenant {w} traced no executes");
+        let mut h = Histogram::new();
+        for &d in &durs {
+            h.record(d);
+        }
+        durs.sort_unstable();
+        for p in [50.0, 95.0, 99.0] {
+            let rank = ((p / 100.0 * durs.len() as f64).ceil() as usize)
+                .max(1)
+                .min(durs.len());
+            assert_eq!(
+                h.percentile(p),
+                Histogram::quantize(durs[rank - 1]),
+                "tenant {w} p{p} diverges from its sorted oracle"
+            );
+        }
+        assert_eq!(h.max(), *durs.last().unwrap());
+    }
+    trace::set_trace_enabled(false);
+}
